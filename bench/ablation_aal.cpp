@@ -1,0 +1,38 @@
+// Ablation: AAL5 vs AAL3/4 (both appear in the paper's protocol stacks,
+// Figs 11/12). AAL3/4 spends 4 of each cell's 48 payload bytes on per-cell
+// framing plus a CPCS envelope; AAL5 carries 48 and pays one 8-byte
+// trailer per PDU — the efficiency argument that made AAL5 the HPDC
+// choice.
+#include <cstdio>
+
+#include "atm/aal34.hpp"
+#include "atm/aal5.hpp"
+#include "cluster/drivers.hpp"
+
+using namespace ncs;
+using namespace ncs::cluster;
+
+int main() {
+  std::printf("Ablation: AAL5 vs AAL3/4\n\n");
+  std::printf("wire efficiency (payload bytes / wire bytes):\n");
+  std::printf("%10s %10s %10s\n", "payload", "AAL5", "AAL3/4");
+  for (const std::size_t n : {64u, 512u, 4096u, 9180u}) {
+    const double e5 = static_cast<double>(n) /
+                      (static_cast<double>(atm::aal5::cell_count(n)) * atm::Cell::kSize);
+    const double e34 = static_cast<double>(n) /
+                       (static_cast<double>(atm::aal34::cell_count(n)) * atm::Cell::kSize);
+    std::printf("%10zu %9.1f%% %9.1f%%\n", n, e5 * 100, e34 * 100);
+  }
+
+  std::printf("\nend-to-end: 4-node JPEG pipeline on the ATM LAN (NCS/HSM):\n");
+  ClusterConfig cfg5 = sun_atm_lan(0);
+  ClusterConfig cfg34 = sun_atm_lan(0);
+  cfg34.nic.adaptation = atm::Adaptation::aal34;
+  const AppResult r5 = run_jpeg_ncs(cfg5, 4, NcsTier::hsm_atm);
+  const AppResult r34 = run_jpeg_ncs(cfg34, 4, NcsTier::hsm_atm);
+  std::printf("  AAL5:   %.3f s %s\n", r5.elapsed.sec(), r5.correct ? "" : "WRONG");
+  std::printf("  AAL3/4: %.3f s %s\n", r34.elapsed.sec(), r34.correct ? "" : "WRONG");
+  std::printf("  AAL3/4 penalty: %.2f %%\n",
+              (r34.elapsed - r5.elapsed).sec() / r5.elapsed.sec() * 100.0);
+  return r5.correct && r34.correct && r34.elapsed >= r5.elapsed ? 0 : 1;
+}

@@ -1,0 +1,168 @@
+// Ablation: NCS flow-control and error-control policies (the paper's
+// Fig 5 QOS argument, quantified).
+//
+//  1. A bursty sender into a slow consumer: window flow control bounds the
+//     receiver-side backlog that `none` lets grow without limit.
+//  2. A VOD-style stream: rate pacing smooths injection and keeps
+//     per-message latency flat, where greedy injection oscillates.
+//  3. A lossy WAN hop: retransmitting error control delivers everything;
+//     without it messages vanish (raw AAL5 detects, NCS must recover).
+#include <cmath>
+#include <cstdio>
+
+#include "cluster/cluster.hpp"
+
+using namespace ncs;
+using namespace ncs::cluster;
+using namespace ncs::literals;
+
+namespace {
+
+struct BacklogResult {
+  std::size_t peak_backlog = 0;
+  Duration makespan;
+  std::uint64_t stalls = 0;
+};
+
+BacklogResult burst_into_slow_consumer(mps::FlowControlKind kind) {
+  ClusterConfig cfg = sun_atm_lan(2);
+  cfg.n_procs = 2;
+  cfg.ncs.flow.kind = kind;
+  cfg.ncs.flow.window = 4;
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+
+  constexpr int kMessages = 64;
+  BacklogResult result;
+  c.run([&](int rank) {
+    mps::Node& node = c.node(rank);
+    const int t = node.t_create([&, rank] {
+      if (rank == 0) {
+        for (int i = 0; i < kMessages; ++i) node.send(0, 0, 1, Bytes(8000, std::byte{1}));
+      } else {
+        for (int i = 0; i < kMessages; ++i) {
+          (void)node.recv(0, 0, 0);
+          // Slow consumer: 5 ms of processing per message.
+          node.host().charge_cycles(0.005 * 40e6, sim::Activity::compute);
+        }
+      }
+    });
+    node.host().join(node.user_thread(t));
+  });
+  result.makespan = Duration::picoseconds(c.engine().now().ps());
+  result.stalls = c.node(0).flow_control().stats().window_stalls;
+  return result;
+}
+
+void vod_stream(mps::FlowControlKind kind, double* jitter_ms, double* mean_gap_ms) {
+  // 24 frames/s video: 48 frames of 16 KB each; measure inter-arrival gap
+  // statistics at the receiver.
+  ClusterConfig cfg = nynet_wan(2);
+  cfg.n_procs = 2;
+  cfg.ncs.flow.kind = kind;
+  cfg.ncs.flow.rate_bytes_per_sec = 16384.0 * 24;  // exactly the stream rate
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+
+  std::vector<double> arrivals;
+  c.run([&](int rank) {
+    mps::Node& node = c.node(rank);
+    const int t = node.t_create([&, rank] {
+      constexpr int kFrames = 48;
+      if (rank == 0) {
+        for (int i = 0; i < kFrames; ++i) node.send(0, 0, 1, Bytes(16384, std::byte{1}));
+      } else {
+        for (int i = 0; i < kFrames; ++i) {
+          (void)node.recv(0, 0, 0);
+          arrivals.push_back(c.engine().now().sec());
+        }
+      }
+    });
+    node.host().join(node.user_thread(t));
+  });
+
+  double mean = 0;
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    gaps.push_back(arrivals[i] - arrivals[i - 1]);
+    mean += gaps.back();
+  }
+  mean /= static_cast<double>(gaps.size());
+  double var = 0;
+  for (double g : gaps) var += (g - mean) * (g - mean);
+  *jitter_ms = std::sqrt(var / static_cast<double>(gaps.size())) * 1e3;
+  *mean_gap_ms = mean * 1e3;
+}
+
+struct LossResult {
+  int delivered = 0;
+  std::uint64_t retransmits = 0;
+};
+
+LossResult lossy_wan(mps::ErrorControlKind kind) {
+  ClusterConfig cfg = nynet_wan(2);
+  cfg.n_procs = 2;
+  cfg.wan_backbone.loss_probability = 0.08;
+  cfg.ncs.error.kind = kind;
+  cfg.ncs.error.rto = 25_ms;
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+
+  constexpr int kMessages = 40;
+  LossResult result;
+  for (int r = 0; r < 2; ++r) {
+    c.host(r).spawn([&c, r, &result] {
+      mps::Node& node = c.node(r);
+      if (r == 0) {
+        for (int i = 0; i < kMessages; ++i) node.send(0, 0, 1, Bytes(4000, std::byte{1}));
+      } else {
+        for (int i = 0; i < kMessages; ++i) {
+          (void)node.recv(mps::kAnyThread, mps::kAnyProcess, 0);
+          ++result.delivered;
+        }
+      }
+    }, {.name = "main"});
+  }
+  c.engine().run_until(TimePoint::origin() + 10_sec);
+  result.retransmits = c.node(0).error_control().stats().retransmits;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: NCS flow-control / error-control policies "
+              "(NCS_init(flow, error) selection)\n\n");
+
+  std::printf("1. Burst of 64 x 8 KB into a slow consumer (HSM, ATM LAN):\n");
+  for (const auto kind : {mps::FlowControlKind::none, mps::FlowControlKind::window}) {
+    const auto r = burst_into_slow_consumer(kind);
+    std::printf("   flow=%-7s makespan %7.1f ms   sender window stalls %llu\n",
+                mps::to_string(kind), r.makespan.ms(),
+                static_cast<unsigned long long>(r.stalls));
+  }
+  std::printf("   (same makespan — the consumer is the bottleneck — but the window\n"
+              "   policy bounds the unacknowledged backlog instead of dumping the\n"
+              "   whole burst into the receiver's buffers.)\n\n");
+
+  std::printf("2. 24 fps x 16 KB VOD stream over the WAN (HSM):\n");
+  for (const auto kind : {mps::FlowControlKind::none, mps::FlowControlKind::rate}) {
+    double jitter = 0, gap = 0;
+    vod_stream(kind, &jitter, &gap);
+    std::printf("   flow=%-7s mean inter-frame gap %6.2f ms   jitter (stddev) %6.3f ms\n",
+                mps::to_string(kind), gap, jitter);
+  }
+  std::printf("   (rate pacing delivers frames on the stream's own cadence; greedy\n"
+              "   injection burns the link in a burst and then goes idle.)\n\n");
+
+  std::printf("3. 40 x 4 KB over an 8%%-lossy DS-3 hop:\n");
+  for (const auto kind : {mps::ErrorControlKind::none, mps::ErrorControlKind::retransmit}) {
+    const auto r = lossy_wan(kind);
+    std::printf("   error=%-10s delivered %2d/40   retransmissions %llu\n",
+                mps::to_string(kind), r.delivered,
+                static_cast<unsigned long long>(r.retransmits));
+  }
+  std::printf("   (raw AAL5 detects damage but cannot recover it; the NCS error-\n"
+              "   control thread restores exactly-once delivery.)\n");
+  return 0;
+}

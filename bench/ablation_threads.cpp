@@ -1,0 +1,35 @@
+// Ablation: threads per node process (the paper fixes 2; here 1/2/4) and
+// the scheduler's context-switch cost, for the matmul workload.
+#include <cstdio>
+
+#include "cluster/drivers.hpp"
+
+using namespace ncs;
+using namespace ncs::cluster;
+
+int main() {
+  std::printf("Ablation: threads per node process, 4-node matmul\n\n");
+  std::printf("%-14s %12s %12s\n", "threads/node", "Ethernet (s)", "ATM LAN (s)");
+  for (const int tpn : {1, 2, 4}) {
+    const auto eth = run_matmul_ncs(sun_ethernet(0), 4, NcsTier::nsm_p4, tpn);
+    const auto atm = run_matmul_ncs(sun_atm_lan(0), 4, NcsTier::nsm_p4, tpn);
+    std::printf("%-14d %12.3f %12.3f   %s\n", tpn, eth.elapsed.sec(), atm.elapsed.sec(),
+                eth.correct && atm.correct ? "" : "INCORRECT RESULT");
+  }
+  std::printf("\n(Each extra thread halves the chunk the node can start on, but\n"
+              "adds per-message costs; two threads — the paper's choice — is near\n"
+              "the knee for this workload.)\n\n");
+
+  std::printf("Ablation: context-switch cost, 4-node NCS matmul on Ethernet\n\n");
+  std::printf("%-22s %12s\n", "switch cost (us)", "time (s)");
+  for (const double us : {0.0, 8.0, 50.0, 200.0}) {
+    ClusterConfig cfg = sun_ethernet(0);
+    cfg.context_switch_cost = Duration::microseconds(us);
+    const auto r = run_matmul_ncs(cfg, 4);
+    std::printf("%-22.0f %12.3f\n", us, r.elapsed.sec());
+  }
+  std::printf("\n(The paper attributes NCS's small one-node deficit to thread\n"
+              "maintenance; a QuickThreads-class switch is cheap enough that even\n"
+              "a 25x slower one barely registers at this message granularity.)\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Wall-clock microbenchmarks of the application kernels: DCT, Huffman,
+// whole-image JPEG codec, FFT and the matmul inner loop.
+#include <benchmark/benchmark.h>
+
+#include "apps/fft.hpp"
+#include "apps/jpeg/codec.hpp"
+#include "apps/jpeg/dct.hpp"
+#include "apps/jpeg/huffman.hpp"
+#include "apps/matmul.hpp"
+
+namespace {
+
+using namespace ncs;
+using namespace ncs::apps;
+
+void BM_ForwardDct(benchmark::State& state) {
+  jpeg::Block in, out;
+  for (int i = 0; i < 64; ++i) in[static_cast<std::size_t>(i)] = (i * 37 % 255) - 128.0;
+  for (auto _ : state) {
+    jpeg::forward_dct(in, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForwardDct);
+
+void BM_InverseDct(benchmark::State& state) {
+  jpeg::Block in, out;
+  for (int i = 0; i < 64; ++i) in[static_cast<std::size_t>(i)] = (i % 7) * 10.0;
+  for (auto _ : state) {
+    jpeg::inverse_dct(in, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InverseDct);
+
+void BM_JpegCompress(benchmark::State& state) {
+  const Image img = make_test_image(static_cast<int>(state.range(0)),
+                                    static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    auto stream = jpeg::compress(img);
+    benchmark::DoNotOptimize(stream);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(img.size_bytes()));
+}
+BENCHMARK(BM_JpegCompress)->Arg(128)->Arg(512);
+
+void BM_JpegDecompress(benchmark::State& state) {
+  const Image img = make_test_image(static_cast<int>(state.range(0)),
+                                    static_cast<int>(state.range(0)), 3);
+  const Bytes stream = jpeg::compress(img);
+  for (auto _ : state) {
+    auto out = jpeg::decompress(stream);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(img.size_bytes()));
+}
+BENCHMARK(BM_JpegDecompress)->Arg(128)->Arg(512);
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  std::vector<std::uint64_t> freq(64, 1);
+  freq[0] = 1000;
+  freq[1] = 300;
+  const auto table = jpeg::HuffmanTable::build(freq);
+  std::vector<int> symbols;
+  for (int i = 0; i < 4096; ++i) symbols.push_back(i % 23 == 0 ? i % 64 : 0);
+  for (auto _ : state) {
+    jpeg::BitWriter w;
+    for (int s : symbols) table.encode(w, s);
+    auto out = w.finish();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(symbols.size()));
+}
+BENCHMARK(BM_HuffmanEncode);
+
+void BM_Fft(benchmark::State& state) {
+  const auto samples = fft::make_samples(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    auto out = fft::fft(samples);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fft)->Arg(512)->Arg(4096);
+
+void BM_MatmulKernel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto a = matmul::make_matrix(n, 1);
+  const auto b = matmul::make_matrix(n, 2);
+  matmul::Matrix c(a.size());
+  for (auto _ : state) {
+    matmul::multiply_rows(a.data(), b.data(), c.data(), n, 0, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(matmul::op_count(n, n)));
+}
+BENCHMARK(BM_MatmulKernel)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Wall-clock microbenchmarks of the ATM substrate: CRC generators, cell
+// packing, AAL5/AAL3-4 segmentation and reassembly throughput.
+#include <benchmark/benchmark.h>
+
+#include "atm/aal34.hpp"
+#include "atm/aal5.hpp"
+#include "common/crc.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace ncs;
+
+Bytes random_bytes(std::size_t n) {
+  Rng rng(42);
+  Bytes b(n);
+  for (auto& x : b) x = static_cast<std::byte>(rng.next_u64() & 0xFF);
+  return b;
+}
+
+void BM_Crc32(benchmark::State& state) {
+  const Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(crc32_ieee(data));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_Crc10(benchmark::State& state) {
+  const Bytes data = random_bytes(48);
+  for (auto _ : state) benchmark::DoNotOptimize(crc10_aal34(data));
+  state.SetBytesProcessed(state.iterations() * 48);
+}
+BENCHMARK(BM_Crc10);
+
+void BM_HecComputeVerify(benchmark::State& state) {
+  std::uint8_t header[5] = {0x12, 0x34, 0x56, 0x78, 0};
+  header[4] = hec_compute(header);
+  for (auto _ : state) benchmark::DoNotOptimize(hec_verify(header));
+}
+BENCHMARK(BM_HecComputeVerify);
+
+void BM_CellPackUnpack(benchmark::State& state) {
+  atm::Cell cell;
+  cell.header.vci = 77;
+  for (std::size_t i = 0; i < atm::Cell::kPayloadSize; ++i)
+    cell.payload[i] = static_cast<std::byte>(i);
+  std::array<std::byte, atm::Cell::kSize> wire{};
+  for (auto _ : state) {
+    cell.pack(wire);
+    auto r = atm::Cell::unpack(wire);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(atm::Cell::kSize));
+}
+BENCHMARK(BM_CellPackUnpack);
+
+void BM_Aal5SegmentReassemble(benchmark::State& state) {
+  const Bytes payload = random_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto cells = atm::aal5::segment(atm::VcId{0, 1}, payload);
+    atm::aal5::Reassembler reasm;
+    std::optional<Result<Bytes>> out;
+    for (const auto& c : cells) out = reasm.push(c);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Aal5SegmentReassemble)->Arg(1024)->Arg(9180)->Arg(65535);
+
+void BM_Aal34SegmentReassemble(benchmark::State& state) {
+  const Bytes payload = random_bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto cells = atm::aal34::segment(atm::VcId{0, 1}, payload);
+    atm::aal34::Reassembler reasm;
+    std::optional<Result<Bytes>> out;
+    for (const auto& c : cells) out = reasm.push(c);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Aal34SegmentReassemble)->Arg(1024)->Arg(9180);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// Wall-clock microbenchmarks of the NCS_MTS runtime (google-benchmark):
+// raw context switches, thread creation, scheduler queue operations and
+// synchronization primitives. These measure the *implementation* on the
+// build machine, complementing the simulated-time benches.
+#include <benchmark/benchmark.h>
+
+#include "core/mts/sync.hpp"
+#include "qt/context.hpp"
+
+namespace {
+
+using namespace ncs;
+
+// --- raw qt context switch ---------------------------------------------------
+
+qt::Context g_main_ctx;
+qt::Context g_fiber_ctx;
+
+void switcher(void*) {
+  for (;;) qt::Context::switch_to(g_fiber_ctx, g_main_ctx);
+}
+
+void BM_ContextSwitch(benchmark::State& state) {
+  qt::Stack stack;
+  g_fiber_ctx.init(stack, switcher, nullptr);
+  for (auto _ : state) {
+    qt::Context::switch_to(g_main_ctx, g_fiber_ctx);  // in and back = 2 switches
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_ContextSwitch);
+
+// --- scheduler operations -----------------------------------------------------
+
+mts::SchedulerParams zero_cost() {
+  mts::SchedulerParams p;
+  p.context_switch_cost = Duration::zero();
+  p.thread_create_cost = Duration::zero();
+  return p;
+}
+
+void BM_ThreadSpawnRunFinish(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    mts::Scheduler sched(engine, zero_cost());
+    sched.spawn([] {});
+    engine.run();
+  }
+}
+BENCHMARK(BM_ThreadSpawnRunFinish);
+
+void BM_SchedulerYieldPingPong(benchmark::State& state) {
+  const auto rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    mts::Scheduler sched(engine, zero_cost());
+    for (int t = 0; t < 2; ++t)
+      sched.spawn([&sched, rounds] {
+        for (int i = 0; i < rounds; ++i) sched.yield();
+      });
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_SchedulerYieldPingPong)->Arg(64)->Arg(1024);
+
+void BM_SemaphorePingPong(benchmark::State& state) {
+  const auto rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    mts::Scheduler sched(engine, zero_cost());
+    auto ping = std::make_shared<mts::Semaphore>(sched, 0);
+    auto pong = std::make_shared<mts::Semaphore>(sched, 0);
+    sched.spawn([=, &sched] {
+      (void)sched;
+      for (int i = 0; i < rounds; ++i) {
+        ping->signal();
+        pong->wait();
+      }
+    });
+    sched.spawn([=] {
+      for (int i = 0; i < rounds; ++i) {
+        ping->wait();
+        pong->signal();
+      }
+    });
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_SemaphorePingPong)->Arg(256);
+
+void BM_ChannelThroughput(benchmark::State& state) {
+  const auto items = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    mts::Scheduler sched(engine, zero_cost());
+    auto ch = std::make_shared<mts::Channel<int>>(sched);
+    sched.spawn([=] {
+      long sum = 0;
+      for (int i = 0; i < items; ++i) sum += ch->pop();
+      benchmark::DoNotOptimize(sum);
+    });
+    sched.spawn([=] {
+      for (int i = 0; i < items; ++i) ch->push(i);
+    });
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+}
+BENCHMARK(BM_ChannelThroughput)->Arg(1024);
+
+// --- engine -------------------------------------------------------------------
+
+void BM_EngineEventDispatch(benchmark::State& state) {
+  const auto events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < events; ++i)
+      engine.schedule_after(Duration::microseconds(i % 97), [] {});
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EngineEventDispatch)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

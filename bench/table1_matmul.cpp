@@ -1,0 +1,44 @@
+// Reproduces Table 1: "Execution times of Matrix Multiplication (seconds)"
+// — p4 vs NCS_MTS/p4 on the SUN/Ethernet and ATM (NYNET) testbeds for
+// 1/2/4/8 nodes (the paper reports no 8-node ATM row; neither do we).
+#include <cstdio>
+
+#include "cluster/drivers.hpp"
+#include "cluster/table.hpp"
+
+int main() {
+  using namespace ncs::cluster;
+
+  std::vector<TableRow> rows;
+  bool all_correct = true;
+
+  for (const int nodes : {1, 2, 4, 8}) {
+    TableRow row;
+    row.nodes = nodes;
+
+    const AppResult p4_eth = run_matmul_p4(sun_ethernet(0), nodes);
+    const AppResult ncs_eth = run_matmul_ncs(sun_ethernet(0), nodes);
+    row.p4_ethernet = p4_eth.elapsed;
+    row.ncs_ethernet = ncs_eth.elapsed;
+    all_correct = all_correct && p4_eth.correct && ncs_eth.correct;
+
+    if (nodes <= 4) {
+      const AppResult p4_atm = run_matmul_p4(sun_atm_lan(0), nodes);
+      const AppResult ncs_atm = run_matmul_ncs(sun_atm_lan(0), nodes);
+      row.p4_atm = p4_atm.elapsed;
+      row.ncs_atm = ncs_atm.elapsed;
+      all_correct = all_correct && p4_atm.correct && ncs_atm.correct;
+    } else {
+      row.has_atm = false;
+    }
+    rows.push_back(row);
+  }
+
+  std::fputs(format_table("Table 1: Execution times of Matrix Multiplication (seconds), "
+                          "128x128 doubles",
+                          "SUN/Ethernet", "NYNET (ATM) testbed", rows)
+                 .c_str(),
+             stdout);
+  std::printf("\nresult verification: %s\n", all_correct ? "all runs correct" : "FAILED");
+  return all_correct ? 0 : 1;
+}

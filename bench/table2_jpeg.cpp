@@ -1,0 +1,45 @@
+// Reproduces Table 2: "Total execution times (Seconds)" for the JPEG
+// compression/decompression pipeline (600 KB image; N/2 compressor and
+// N/2 decompressor nodes; 2/4/8 nodes; no 8-node ATM row in the paper).
+#include <cstdio>
+
+#include "cluster/drivers.hpp"
+#include "cluster/table.hpp"
+
+int main() {
+  using namespace ncs::cluster;
+
+  std::vector<TableRow> rows;
+  bool all_correct = true;
+
+  for (const int nodes : {2, 4, 8}) {
+    TableRow row;
+    row.nodes = nodes;
+
+    const AppResult p4_eth = run_jpeg_p4(sun_ethernet(0), nodes);
+    const AppResult ncs_eth = run_jpeg_ncs(sun_ethernet(0), nodes);
+    row.p4_ethernet = p4_eth.elapsed;
+    row.ncs_ethernet = ncs_eth.elapsed;
+    all_correct = all_correct && p4_eth.correct && ncs_eth.correct;
+
+    if (nodes <= 4) {
+      const AppResult p4_atm = run_jpeg_p4(sun_atm_lan(0), nodes);
+      const AppResult ncs_atm = run_jpeg_ncs(sun_atm_lan(0), nodes);
+      row.p4_atm = p4_atm.elapsed;
+      row.ncs_atm = ncs_atm.elapsed;
+      all_correct = all_correct && p4_atm.correct && ncs_atm.correct;
+    } else {
+      row.has_atm = false;
+    }
+    rows.push_back(row);
+  }
+
+  std::fputs(format_table("Table 2: JPEG compression/decompression pipeline total times "
+                          "(seconds), 600 KB image",
+                          "SUN/Ethernet", "NYNET (ATM) testbed", rows)
+                 .c_str(),
+             stdout);
+  std::printf("\nresult verification (PSNR > 30 dB vs original): %s\n",
+              all_correct ? "all runs correct" : "FAILED");
+  return all_correct ? 0 : 1;
+}

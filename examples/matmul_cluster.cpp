@@ -1,0 +1,39 @@
+// Distributed matrix multiplication (the paper's Section 5.1 workload) as
+// a library consumer would run it: pick a testbed, pick a runtime, compare.
+#include <cstdio>
+
+#include "cluster/drivers.hpp"
+#include "cluster/table.hpp"
+
+using namespace ncs::cluster;
+
+int main(int argc, char** argv) {
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 4;
+
+  std::printf("Distributed %dx%d matrix multiplication, %d node processes\n\n",
+              calibration().matmul_n, calibration().matmul_n, nodes);
+
+  struct Case {
+    const char* label;
+    AppResult result;
+  };
+  const Case cases[] = {
+      {"p4 on shared Ethernet", run_matmul_p4(sun_ethernet(0), nodes)},
+      {"NCS_MTS/p4 on shared Ethernet", run_matmul_ncs(sun_ethernet(0), nodes)},
+      {"p4 on the ATM LAN", run_matmul_p4(sun_atm_lan(0), nodes)},
+      {"NCS_MTS/p4 on the ATM LAN", run_matmul_ncs(sun_atm_lan(0), nodes)},
+      {"NCS/HSM straight on the ATM API", run_matmul_ncs(sun_atm_lan(0), nodes, NcsTier::hsm_atm)},
+  };
+
+  for (const Case& c : cases)
+    std::printf("  %-34s %8.3f s   %s\n", c.label, c.result.elapsed.sec(),
+                c.result.correct ? "(verified against sequential C=A*B)" : "WRONG RESULT");
+
+  std::printf("\nimprovement of NCS over p4, Ethernet: %5.2f %%\n",
+              improvement_pct(cases[0].result.elapsed, cases[1].result.elapsed));
+  std::printf("improvement of NCS over p4, ATM:      %5.2f %%\n",
+              improvement_pct(cases[2].result.elapsed, cases[3].result.elapsed));
+  std::printf("HSM over NSM on ATM:                  %5.2f %%\n",
+              improvement_pct(cases[3].result.elapsed, cases[4].result.elapsed));
+  return 0;
+}

@@ -1,0 +1,113 @@
+// The paper's Fig 5 scenario: a Video-on-Demand application and a
+// parallel/distributed application with *different* QOS requirements,
+// served by different flow-control policies selected at NCS_init time.
+//
+// A VOD server streams real JPEG-compressed frames (apps/vod) to a client
+// across the NYNET backbone while a P/D application pushes bulk transfers
+// over the same hop. The client runs a playout (jitter-buffer) model; with
+// greedy injection (flow=none) the clip arrives as one burst the client
+// must buffer wholesale, with rate-based flow control it arrives on the
+// stream's own cadence.
+#include <cstdio>
+
+#include "apps/vod.hpp"
+#include "cluster/cluster.hpp"
+
+using namespace ncs;
+using namespace ncs::cluster;
+using apps::vod::FrameSource;
+using apps::vod::JitterBuffer;
+using apps::vod::VideoParams;
+
+namespace {
+
+constexpr VideoParams kClip{.width = 320, .height = 240, .fps = 24, .frame_count = 48,
+                            .quality = 60};
+
+struct Outcome {
+  JitterBuffer::Report playout;
+  bool frames_ok = true;
+  double avg_frame_bytes = 0;
+};
+
+Outcome run_vod(mps::FlowControlKind video_policy) {
+  // Hosts 0 (site 0) -> 2 (site 1): the video crosses the DS-3 backbone;
+  // 1 -> 3 is the P/D application's bulk traffic on the same hop.
+  ClusterConfig cfg = nynet_wan(4);
+  cfg.ncs.flow.kind = video_policy;
+  // Pace at the stream's own average rate (measured from the source).
+  FrameSource probe(kClip);
+  std::size_t clip_bytes = 0;
+  for (Bytes f = probe.next_frame(); !f.empty(); f = probe.next_frame())
+    clip_bytes += f.size();
+  cfg.ncs.flow.rate_bytes_per_sec =
+      static_cast<double>(clip_bytes) / kClip.frame_count * kClip.fps;
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+
+  Outcome out;
+  out.avg_frame_bytes = static_cast<double>(clip_bytes) / kClip.frame_count;
+  auto buffer = std::make_shared<JitterBuffer>(kClip.fps, Duration::milliseconds(100));
+
+  c.run([&](int rank) {
+    mps::Node& node = c.node(rank);
+    const int t = node.t_create([&, rank] {
+      switch (rank) {
+        case 0: {  // VOD server
+          FrameSource source(kClip);
+          for (Bytes f = source.next_frame(); !f.empty(); f = source.next_frame())
+            node.send(0, 0, 2, f);
+          break;
+        }
+        case 2: {  // VOD client with playout model
+          FrameSource reference(kClip);
+          for (int i = 0; i < kClip.frame_count; ++i) {
+            const Bytes frame = node.recv(0, 0, 0);
+            buffer->on_arrival(c.engine().now(), frame.size());
+            if (i == 0) {  // spot-check content end-to-end
+              const auto img = FrameSource::decode_frame(frame);
+              out.frames_ok = apps::psnr(reference.reference_frame(0), img) > 30.0;
+            }
+          }
+          break;
+        }
+        case 1:  // P/D application: bulk transfers over the same hop
+          for (int i = 0; i < 24; ++i) node.send(0, 0, 3, Bytes(60000, std::byte{2}));
+          break;
+        case 3:
+          for (int i = 0; i < 24; ++i) (void)node.recv(0, 1, 0);
+          break;
+        default: break;
+      }
+    });
+    node.host().join(node.user_thread(t));
+  });
+
+  out.playout = buffer->report();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("QOS demo (paper Fig 5): a VOD stream and a P/D application share\n");
+  std::printf("the NYNET backbone; the VOD node selects flow control at NCS_init.\n");
+  std::printf("clip: %dx%d, %d fps, %d JPEG frames; client prebuffers 100 ms\n\n",
+              kClip.width, kClip.height, kClip.fps, kClip.frame_count);
+
+  for (const auto policy : {mps::FlowControlKind::none, mps::FlowControlKind::rate}) {
+    const Outcome o = run_vod(policy);
+    std::printf("  flow=%-5s  avg frame %5.1f KB  underruns %2d/%d  worst lateness %6.2f ms"
+                "  peak client buffer %2d frames  %s\n",
+                mps::to_string(policy), o.avg_frame_bytes / 1024.0, o.playout.underruns,
+                o.playout.frames, o.playout.worst_lateness.ms(), o.playout.max_depth,
+                o.frames_ok ? "(frame content verified)" : "FRAME CORRUPT");
+  }
+
+  std::printf("\nBoth policies play cleanly here — the difference is the client-side\n"
+              "cost: greedy injection lands the whole clip almost at once, so the\n"
+              "player must buffer nearly every frame; rate pacing keeps the buffer\n"
+              "a few frames deep. Same messaging system, different QOS per\n"
+              "application — the paper's modularity argument.\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+#include "apps/fft.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <numbers>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace ncs::apps::fft {
+
+bool is_power_of_two(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+int log2_exact(std::size_t v) {
+  NCS_ASSERT(is_power_of_two(v));
+  int bits = 0;
+  while ((std::size_t{1} << bits) < v) ++bits;
+  return bits;
+}
+
+std::size_t bit_reverse(std::size_t value, int bits) {
+  std::size_t out = 0;
+  for (int i = 0; i < bits; ++i) {
+    out = (out << 1) | (value & 1);
+    value >>= 1;
+  }
+  return out;
+}
+
+Complex twiddle(std::size_t e, std::size_t m) {
+  const double angle = -2.0 * std::numbers::pi * static_cast<double>(e) / static_cast<double>(m);
+  return Complex(std::cos(angle), std::sin(angle));
+}
+
+std::vector<Complex> dft_reference(std::span<const Complex> input) {
+  const std::size_t m = input.size();
+  std::vector<Complex> out(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    Complex acc(0, 0);
+    for (std::size_t k = 0; k < m; ++k) acc += input[k] * twiddle(i * k % m, m);
+    out[i] = acc;
+  }
+  return out;
+}
+
+namespace {
+
+/// In-place DIF stages from distance `top` down to 1; `m` is the full
+/// transform size that the twiddle exponents refer to.
+void dif_stages(std::span<Complex> data, std::size_t m, std::size_t top) {
+  for (std::size_t h = top; h >= 1; h >>= 1) {
+    const std::size_t stride = m / (2 * h);  // twiddle exponent step
+    for (std::size_t block = 0; block < data.size(); block += 2 * h) {
+      for (std::size_t i = 0; i < h; ++i) {
+        const Complex u = data[block + i];
+        const Complex v = data[block + i + h];
+        data[block + i] = u + v;
+        data[block + i + h] = (u - v) * twiddle(i * stride % m, m);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Complex> fft(std::vector<Complex> input) {
+  const std::size_t m = input.size();
+  NCS_ASSERT(is_power_of_two(m));
+  if (m == 1) return input;
+  dif_stages(input, m, m / 2);
+  return assemble(input);
+}
+
+std::vector<Complex> make_samples(std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> s(m);
+  const double f1 = 3.0, f2 = 17.0;
+  for (std::size_t k = 0; k < m; ++k) {
+    const double t = static_cast<double>(k) / static_cast<double>(m);
+    const double tone = std::sin(2.0 * std::numbers::pi * f1 * t) +
+                        0.5 * std::cos(2.0 * std::numbers::pi * f2 * t);
+    s[k] = Complex(tone + 0.1 * (rng.next_double() - 0.5),
+                   0.05 * (rng.next_double() - 0.5));
+  }
+  return s;
+}
+
+void global_stage(std::span<const Complex> a, std::span<const Complex> b,
+                  std::span<Complex> x, std::span<Complex> y, int thread_num, int step,
+                  std::size_t m, std::size_t n_threads) {
+  const std::size_t r = m / (2 * n_threads);
+  NCS_ASSERT(a.size() == r && b.size() == r && x.size() == r && y.size() == r);
+  const std::size_t half = m / 2;
+  for (std::size_t i = 0; i < r; ++i) {
+    const std::size_t k =
+        (static_cast<std::size_t>(thread_num) * r + i) * (std::size_t{1} << step) % half;
+    x[i] = a[i] + b[i];
+    y[i] = (a[i] - b[i]) * twiddle(k, m);
+  }
+}
+
+void local_phase(std::span<Complex> data, std::size_t m) {
+  NCS_ASSERT(is_power_of_two(data.size()));
+  if (data.size() < 2) return;
+  dif_stages(data, m, data.size() / 2);
+}
+
+std::vector<Complex> assemble(std::span<const Complex> concatenated) {
+  const std::size_t m = concatenated.size();
+  const int bits = log2_exact(m);
+  std::vector<Complex> out(m);
+  for (std::size_t i = 0; i < m; ++i) out[i] = concatenated[bit_reverse(i, bits)];
+  return out;
+}
+
+bool approx_equal(std::span<const Complex> a, std::span<const Complex> b, double tolerance) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::abs(a[i] - b[i]) > tolerance) return false;
+  return true;
+}
+
+Bytes pack(std::span<const Complex> values) {
+  Bytes out(values.size() * sizeof(Complex));
+  std::memcpy(out.data(), values.data(), out.size());
+  return out;
+}
+
+std::vector<Complex> unpack(BytesView data) {
+  NCS_ASSERT(data.size() % sizeof(Complex) == 0);
+  std::vector<Complex> out(data.size() / sizeof(Complex));
+  std::memcpy(out.data(), data.data(), data.size());
+  return out;
+}
+
+}  // namespace ncs::apps::fft

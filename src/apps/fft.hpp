@@ -1,0 +1,75 @@
+// Radix-2 decimation-in-frequency FFT (the paper's Section 5.3 workload),
+// in both a whole-array form and the decomposed pieces the distributed
+// drivers use.
+//
+// The paper's distributed scheme (Figs 19-21): with M sample points and
+// T = 2N threads (two per node process), each thread owns R = M/(2T)
+// butterfly rows — arrays A and B holding the upper and lower inputs.
+// For the first log2(T) stages it computes X = A + B and
+// Y = (A - B) * W^k, then exchanges one of the halves with the partner
+// thread at distance d (upper keeps X, ships Y; lower the reverse). After
+// those stages every thread holds one *independent* sub-FFT of size 2R,
+// which it finishes locally (the pseudocode's "rearrange the index"
+// stages). Concatenating all threads' outputs gives the DIF result in
+// bit-reversed order; the host permutes once at the end.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace ncs::apps::fft {
+
+using Complex = std::complex<double>;
+
+/// O(M^2) reference DFT: X(i) = sum_k s(k) W^{ik}, W = e^{-j 2 pi / M}.
+std::vector<Complex> dft_reference(std::span<const Complex> input);
+
+/// In-place DIF FFT returning natural-order output. M must be a power of 2.
+std::vector<Complex> fft(std::vector<Complex> input);
+
+std::size_t bit_reverse(std::size_t value, int bits);
+bool is_power_of_two(std::size_t v);
+int log2_exact(std::size_t v);
+
+/// Twiddle W_M^e.
+Complex twiddle(std::size_t e, std::size_t m);
+
+/// Deterministic synthetic sample set (sum of a few tones plus noise).
+std::vector<Complex> make_samples(std::size_t m, std::uint64_t seed);
+
+// ---- distributed pieces (paper Fig 21) ----
+
+/// One global stage on a thread's rows: fills X[i] = A[i] + B[i] and
+/// Y[i] = (A[i] - B[i]) * W^k with k = (thread_num*R + i) * 2^step mod M/2.
+void global_stage(std::span<const Complex> a, std::span<const Complex> b,
+                  std::span<Complex> x, std::span<Complex> y, int thread_num, int step,
+                  std::size_t m, std::size_t n_threads);
+
+/// True if `thread_num` keeps X (the sum half) at communication distance d.
+inline bool keeps_sum_half(int thread_num, int d) { return thread_num % (2 * d) < d; }
+
+/// Finishes the local sub-FFT: `data` holds 2R points whose butterfly
+/// pairs sit at distance R; twiddles are in the full-M root system.
+/// Output is the sub-FFT's DIF result (bit-reversed within the block).
+void local_phase(std::span<Complex> data, std::size_t m);
+
+/// Reassembles the concatenated per-thread outputs (bit-reversed DIF
+/// order) into natural order.
+std::vector<Complex> assemble(std::span<const Complex> concatenated);
+
+/// Butterflies per thread per stage is R; flops per butterfly (complex
+/// add + complex sub + complex multiply).
+inline double flops_per_butterfly() { return 4 + 4 + 6; }
+
+bool approx_equal(std::span<const Complex> a, std::span<const Complex> b,
+                  double tolerance = 1e-6);
+
+/// Complex vector (de)serialization for the wire.
+Bytes pack(std::span<const Complex> values);
+std::vector<Complex> unpack(BytesView data);
+
+}  // namespace ncs::apps::fft

@@ -1,0 +1,70 @@
+// MSB-first bit I/O for the entropy-coded segment.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "common/bytes.hpp"
+
+namespace ncs::apps::jpeg {
+
+class BitWriter {
+ public:
+  /// Appends the `count` low bits of `bits`, most significant first.
+  void put(std::uint32_t bits, int count) {
+    NCS_ASSERT(count >= 0 && count <= 24);
+    acc_ = (acc_ << count) | (static_cast<std::uint64_t>(bits) & ((1ull << count) - 1));
+    filled_ += count;
+    while (filled_ >= 8) {
+      filled_ -= 8;
+      out_.push_back(static_cast<std::byte>((acc_ >> filled_) & 0xFF));
+    }
+  }
+
+  /// Pads the final partial byte with 1-bits (JPEG convention) and returns
+  /// the stream.
+  Bytes finish() {
+    if (filled_ > 0) {
+      const int pad = 8 - filled_;
+      put((1u << pad) - 1, pad);
+    }
+    return std::move(out_);
+  }
+
+  std::size_t bits_written() const { return out_.size() * 8 + static_cast<std::size_t>(filled_); }
+
+ private:
+  Bytes out_;
+  std::uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(BytesView data) : data_(data) {}
+
+  /// Reads `count` bits MSB-first.
+  std::uint32_t get(int count) {
+    NCS_ASSERT(count >= 0 && count <= 24);
+    while (filled_ < count) {
+      NCS_ASSERT_MSG(pos_ < data_.size(), "bitstream underrun");
+      acc_ = (acc_ << 8) | static_cast<std::uint64_t>(data_[pos_++]);
+      filled_ += 8;
+    }
+    filled_ -= count;
+    return static_cast<std::uint32_t>((acc_ >> filled_) & ((1ull << count) - 1));
+  }
+
+  /// Single-bit convenience used by the Huffman decoder.
+  int get_bit() { return static_cast<int>(get(1)); }
+
+  bool exhausted() const { return pos_ >= data_.size() && filled_ == 0; }
+
+ private:
+  BytesView data_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+}  // namespace ncs::apps::jpeg

@@ -1,0 +1,275 @@
+#include "apps/jpeg/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "apps/jpeg/bitstream.hpp"
+#include "apps/jpeg/dct.hpp"
+#include "apps/jpeg/huffman.hpp"
+#include "common/assert.hpp"
+
+namespace ncs::apps::jpeg {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4E434A31;  // "NCJ1"
+
+// ITU T.81 Annex K luminance quantization table.
+constexpr std::uint16_t kBaseQuant[64] = {
+    16, 11, 10, 16, 24,  40,  51,  61,   //
+    12, 12, 14, 19, 26,  58,  60,  55,   //
+    14, 13, 16, 24, 40,  57,  69,  56,   //
+    14, 17, 22, 29, 51,  87,  80,  62,   //
+    18, 22, 37, 56, 68,  109, 103, 77,   //
+    24, 35, 55, 64, 81,  104, 113, 92,   //
+    49, 64, 78, 87, 103, 121, 120, 101,  //
+    72, 92, 95, 98, 112, 100, 103, 99};
+
+constexpr std::uint8_t kZigzag[64] = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,   //
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,  //
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,  //
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+constexpr int kEob = 0x00;  // end-of-block AC symbol
+constexpr int kZrl = 0xF0;  // 16-zero run AC symbol
+constexpr int kDcAlphabet = 16;
+constexpr int kAcAlphabet = 256;
+
+/// Magnitude category: smallest s with |v| < 2^s.
+int category(int v) {
+  int a = std::abs(v);
+  int s = 0;
+  while (a != 0) {
+    a >>= 1;
+    ++s;
+  }
+  return s;
+}
+
+/// JPEG amplitude encoding: positive values as-is; negative values as
+/// value + 2^s - 1 (one's complement trick).
+std::uint32_t amplitude_bits(int v, int s) {
+  return v >= 0 ? static_cast<std::uint32_t>(v)
+                : static_cast<std::uint32_t>(v + (1 << s) - 1);
+}
+
+int amplitude_decode(std::uint32_t bits, int s) {
+  if (s == 0) return 0;
+  const std::uint32_t half = 1u << (s - 1);
+  return bits >= half ? static_cast<int>(bits)
+                      : static_cast<int>(bits) - (1 << s) + 1;
+}
+
+/// Per-block symbol stream: the DC category + AC (run,size) symbols with
+/// their amplitudes — computed once, used for both the frequency pass and
+/// the emission pass.
+struct CodedBlock {
+  int dc_category = 0;
+  std::uint32_t dc_bits = 0;
+  std::vector<std::pair<int, std::pair<int, std::uint32_t>>> ac;  // symbol, (size, bits)
+};
+
+void quantize_block(const Block& coeffs, const std::uint16_t q[64], int out[64]) {
+  for (int i = 0; i < 64; ++i) {
+    const double v = coeffs[static_cast<std::size_t>(i)] / q[i];
+    out[i] = static_cast<int>(std::lround(v));
+  }
+}
+
+CodedBlock code_block(const int quantized[64], int& prev_dc) {
+  CodedBlock cb;
+  int zz[64];
+  for (int i = 0; i < 64; ++i) zz[i] = quantized[kZigzag[i]];
+
+  const int diff = zz[0] - prev_dc;
+  prev_dc = zz[0];
+  cb.dc_category = category(diff);
+  cb.dc_bits = amplitude_bits(diff, cb.dc_category);
+
+  int run = 0;
+  for (int i = 1; i < 64; ++i) {
+    if (zz[i] == 0) {
+      ++run;
+      continue;
+    }
+    while (run >= 16) {
+      cb.ac.push_back({kZrl, {0, 0}});
+      run -= 16;
+    }
+    const int s = category(zz[i]);
+    // Orthonormal DCT of +-128-shifted samples bounds |coef| by 1024.
+    NCS_ASSERT(s >= 1 && s <= 11);
+    cb.ac.push_back({run * 16 + s, {s, amplitude_bits(zz[i], s)}});
+    run = 0;
+  }
+  if (run > 0) cb.ac.push_back({kEob, {0, 0}});
+  return cb;
+}
+
+}  // namespace
+
+const std::uint8_t* zigzag_order() { return kZigzag; }
+
+void quant_table(int quality, std::uint16_t out[64]) {
+  NCS_ASSERT(quality >= 1 && quality <= 100);
+  // IJG scaling.
+  const int scale = quality < 50 ? 5000 / quality : 200 - quality * 2;
+  for (int i = 0; i < 64; ++i) {
+    int v = (kBaseQuant[i] * scale + 50) / 100;
+    v = std::clamp(v, 1, 32767);
+    out[i] = static_cast<std::uint16_t>(v);
+  }
+}
+
+Bytes compress(const Image& img, CodecParams params) {
+  NCS_ASSERT(img.width > 0 && img.height > 0);
+  std::uint16_t q[64];
+  quant_table(params.quality, q);
+
+  const int bw = (img.width + 7) / 8;
+  const int bh = (img.height + 7) / 8;
+
+  // Pass 1: transform + quantize + symbol statistics.
+  std::vector<CodedBlock> blocks;
+  blocks.reserve(static_cast<std::size_t>(bw) * static_cast<std::size_t>(bh));
+  std::vector<std::uint64_t> dc_freq(kDcAlphabet, 0);
+  std::vector<std::uint64_t> ac_freq(kAcAlphabet, 0);
+
+  int prev_dc = 0;
+  Block spatial, coeffs;
+  for (int by = 0; by < bh; ++by) {
+    for (int bx = 0; bx < bw; ++bx) {
+      for (int y = 0; y < 8; ++y) {
+        const int sy = std::min(by * 8 + y, img.height - 1);
+        for (int x = 0; x < 8; ++x) {
+          const int sx = std::min(bx * 8 + x, img.width - 1);
+          spatial[static_cast<std::size_t>(y * 8 + x)] =
+              static_cast<double>(img.at(sx, sy)) - 128.0;
+        }
+      }
+      forward_dct(spatial, coeffs);
+      int quantized[64];
+      quantize_block(coeffs, q, quantized);
+      CodedBlock cb = code_block(quantized, prev_dc);
+      ++dc_freq[static_cast<std::size_t>(cb.dc_category)];
+      for (const auto& [sym, payload] : cb.ac) ++ac_freq[static_cast<std::size_t>(sym)];
+      blocks.push_back(std::move(cb));
+    }
+  }
+
+  const HuffmanTable dc_table = HuffmanTable::build(dc_freq);
+  const HuffmanTable ac_table = HuffmanTable::build(ac_freq);
+
+  // Pass 2: emit.
+  BitWriter bits;
+  for (const CodedBlock& cb : blocks) {
+    dc_table.encode(bits, cb.dc_category);
+    if (cb.dc_category > 0) bits.put(cb.dc_bits, cb.dc_category);
+    for (const auto& [sym, payload] : cb.ac) {
+      ac_table.encode(bits, sym);
+      if (payload.first > 0) bits.put(payload.second, payload.first);
+    }
+  }
+  Bytes body = bits.finish();
+
+  Bytes out;
+  out.resize(4 + 4 + 4 + 1);
+  {
+    ByteWriter w(out);
+    w.u32(kMagic);
+    w.u32(static_cast<std::uint32_t>(img.width));
+    w.u32(static_cast<std::uint32_t>(img.height));
+    w.u8(static_cast<std::uint8_t>(params.quality));
+  }
+  dc_table.serialize(out);
+  ac_table.serialize(out);
+  const std::size_t len_pos = out.size();
+  out.resize(len_pos + 4);
+  {
+    ByteWriter w(std::span<std::byte>(out).subspan(len_pos));
+    w.u32(static_cast<std::uint32_t>(body.size()));
+  }
+  append(out, body);
+  return out;
+}
+
+Image decompress(BytesView stream) {
+  ByteReader r(stream);
+  NCS_ASSERT_MSG(r.u32() == kMagic, "not an NCJ1 stream");
+  Image img;
+  img.width = static_cast<int>(r.u32());
+  img.height = static_cast<int>(r.u32());
+  const int quality = r.u8();
+  const HuffmanTable dc_table = HuffmanTable::deserialize(r);
+  const HuffmanTable ac_table = HuffmanTable::deserialize(r);
+  const std::uint32_t body_len = r.u32();
+  BitReader bits(r.bytes(body_len));
+
+  std::uint16_t q[64];
+  quant_table(quality, q);
+
+  img.pixels.assign(static_cast<std::size_t>(img.width) * static_cast<std::size_t>(img.height),
+                    0);
+  const int bw = (img.width + 7) / 8;
+  const int bh = (img.height + 7) / 8;
+
+  int prev_dc = 0;
+  Block coeffs, spatial;
+  for (int by = 0; by < bh; ++by) {
+    for (int bx = 0; bx < bw; ++bx) {
+      int zz[64] = {};
+      const int dc_cat = dc_table.decode(bits);
+      const int diff = dc_cat > 0 ? amplitude_decode(bits.get(dc_cat), dc_cat) : 0;
+      prev_dc += diff;
+      zz[0] = prev_dc;
+
+      int i = 1;
+      while (i < 64) {
+        const int sym = ac_table.decode(bits);
+        if (sym == kEob) break;
+        if (sym == kZrl) {
+          i += 16;
+          continue;
+        }
+        const int run = sym >> 4;
+        const int s = sym & 0xF;
+        i += run;
+        NCS_ASSERT_MSG(i < 64, "AC index overflow in stream");
+        zz[i++] = amplitude_decode(bits.get(s), s);
+      }
+
+      for (int k = 0; k < 64; ++k)
+        coeffs[kZigzag[k]] = static_cast<double>(zz[k]) * q[kZigzag[k]];
+      inverse_dct(coeffs, spatial);
+
+      for (int y = 0; y < 8; ++y) {
+        const int sy = by * 8 + y;
+        if (sy >= img.height) continue;
+        for (int x = 0; x < 8; ++x) {
+          const int sx = bx * 8 + x;
+          if (sx >= img.width) continue;
+          const double v = spatial[static_cast<std::size_t>(y * 8 + x)] + 128.0;
+          img.pixels[static_cast<std::size_t>(sy) * static_cast<std::size_t>(img.width) +
+                     static_cast<std::size_t>(sx)] =
+              static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0) + 0.5);
+        }
+      }
+    }
+  }
+  return img;
+}
+
+double compress_ops_per_pixel() {
+  // Dominated by the separable DCT (2 passes x 8 mul-adds per sample),
+  // plus quantization and entropy coding.
+  return 16 + 2 + 6;
+}
+
+double decompress_ops_per_pixel() {
+  // IDCT mirrors the DCT; entropy decode is a little cheaper.
+  return 16 + 2 + 4;
+}
+
+}  // namespace ncs::apps::jpeg

@@ -1,0 +1,44 @@
+// JPEG-style grayscale codec: 8x8 DCT, quantization, zigzag, run-length
+// and Huffman entropy coding — the compression kernel of the paper's
+// Section 5.2 pipeline.
+//
+// Baseline-JPEG shaped rather than byte-exact ITU T.81: the block
+// pipeline, the coefficient statistics and the (run, size)+amplitude
+// entropy model match; the container format is our own (canonical-Huffman
+// tables embedded per stream). That preserves what the experiment
+// measures — per-stage CPU cost proportional to pixels and a realistic
+// compressed-size ratio — while staying self-contained.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/image.hpp"
+#include "common/bytes.hpp"
+
+namespace ncs::apps::jpeg {
+
+struct CodecParams {
+  /// 1 (worst) .. 100 (best); scales the quantization table like IJG.
+  int quality = 75;
+};
+
+/// Compresses a grayscale image (any dimensions; edge blocks are padded by
+/// replication).
+Bytes compress(const Image& img, CodecParams params = {});
+
+/// Inverse of compress().
+Image decompress(BytesView stream);
+
+/// Approximate per-pixel operation count of each direction, used by the
+/// cluster drivers to charge simulated CPU cycles (the real computation is
+/// performed as well; this only prices it).
+double compress_ops_per_pixel();
+double decompress_ops_per_pixel();
+
+/// Exposed for tests: zigzag scan order of an 8x8 block.
+const std::uint8_t* zigzag_order();
+
+/// Exposed for tests: quantization table for a quality setting.
+void quant_table(int quality, std::uint16_t out[64]);
+
+}  // namespace ncs::apps::jpeg

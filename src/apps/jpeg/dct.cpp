@@ -1,0 +1,67 @@
+#include "apps/jpeg/dct.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ncs::apps::jpeg {
+
+namespace {
+
+/// cos((2n+1) u pi / 16) basis, scaled for orthonormality.
+struct Basis {
+  double c[8][8];  // c[u][n]
+  Basis() {
+    for (int u = 0; u < 8; ++u) {
+      const double s = u == 0 ? std::sqrt(1.0 / 8.0) : std::sqrt(2.0 / 8.0);
+      for (int n = 0; n < 8; ++n)
+        c[u][n] = s * std::cos((2 * n + 1) * u * std::numbers::pi / 16.0);
+    }
+  }
+};
+
+const Basis& basis() {
+  static const Basis b;
+  return b;
+}
+
+}  // namespace
+
+void forward_dct(const Block& in, Block& out) {
+  const auto& c = basis().c;
+  double tmp[64];
+  // Rows.
+  for (int y = 0; y < 8; ++y)
+    for (int u = 0; u < 8; ++u) {
+      double acc = 0;
+      for (int x = 0; x < 8; ++x) acc += in[static_cast<std::size_t>(y * 8 + x)] * c[u][x];
+      tmp[y * 8 + u] = acc;
+    }
+  // Columns.
+  for (int v = 0; v < 8; ++v)
+    for (int u = 0; u < 8; ++u) {
+      double acc = 0;
+      for (int y = 0; y < 8; ++y) acc += tmp[y * 8 + u] * c[v][y];
+      out[static_cast<std::size_t>(v * 8 + u)] = acc;
+    }
+}
+
+void inverse_dct(const Block& in, Block& out) {
+  const auto& c = basis().c;
+  double tmp[64];
+  // Columns (transpose of forward).
+  for (int y = 0; y < 8; ++y)
+    for (int u = 0; u < 8; ++u) {
+      double acc = 0;
+      for (int v = 0; v < 8; ++v) acc += in[static_cast<std::size_t>(v * 8 + u)] * c[v][y];
+      tmp[y * 8 + u] = acc;
+    }
+  // Rows.
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) {
+      double acc = 0;
+      for (int u = 0; u < 8; ++u) acc += tmp[y * 8 + u] * c[u][x];
+      out[static_cast<std::size_t>(y * 8 + x)] = acc;
+    }
+}
+
+}  // namespace ncs::apps::jpeg

@@ -1,0 +1,18 @@
+// 8x8 type-II DCT and its inverse (orthonormal scaling), the transform
+// stage of the JPEG pipeline. Separable implementation: 1-D transforms on
+// rows then columns.
+#pragma once
+
+#include <array>
+
+namespace ncs::apps::jpeg {
+
+using Block = std::array<double, 64>;  // row-major 8x8
+
+/// Forward DCT-II of a level-shifted block.
+void forward_dct(const Block& in, Block& out);
+
+/// Inverse DCT (DCT-III) — forward_dct's inverse under orthonormal scaling.
+void inverse_dct(const Block& in, Block& out);
+
+}  // namespace ncs::apps::jpeg

@@ -1,0 +1,147 @@
+#include "apps/jpeg/huffman.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/assert.hpp"
+
+namespace ncs::apps::jpeg {
+
+namespace {
+
+/// Returns per-symbol code lengths of an (unlimited) Huffman tree.
+std::vector<std::uint8_t> huffman_lengths(std::span<const std::uint64_t> freqs) {
+  struct Node {
+    std::uint64_t weight;
+    int index;  // tie-break for determinism
+    int left = -1, right = -1;
+    int symbol = -1;
+  };
+  std::vector<Node> nodes;
+  using Item = std::pair<std::uint64_t, int>;  // (weight, node index)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+
+  for (std::size_t s = 0; s < freqs.size(); ++s) {
+    if (freqs[s] == 0) continue;
+    nodes.push_back({freqs[s], static_cast<int>(nodes.size()), -1, -1, static_cast<int>(s)});
+    heap.emplace(freqs[s], nodes.back().index);
+  }
+  NCS_ASSERT_MSG(!heap.empty(), "Huffman build with no used symbols");
+
+  std::vector<std::uint8_t> lengths(freqs.size(), 0);
+  if (heap.size() == 1) {
+    // Single symbol: give it a 1-bit code.
+    lengths[static_cast<std::size_t>(nodes[0].symbol)] = 1;
+    return lengths;
+  }
+
+  while (heap.size() > 1) {
+    const auto [wa, a] = heap.top();
+    heap.pop();
+    const auto [wb, b] = heap.top();
+    heap.pop();
+    nodes.push_back({wa + wb, static_cast<int>(nodes.size()), a, b, -1});
+    heap.emplace(wa + wb, nodes.back().index);
+  }
+
+  // Depth-first length assignment (iterative).
+  std::vector<std::pair<int, int>> stack{{heap.top().second, 0}};
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes[static_cast<std::size_t>(idx)];
+    if (n.symbol >= 0) {
+      lengths[static_cast<std::size_t>(n.symbol)] = static_cast<std::uint8_t>(depth);
+    } else {
+      stack.emplace_back(n.left, depth + 1);
+      stack.emplace_back(n.right, depth + 1);
+    }
+  }
+  return lengths;
+}
+
+}  // namespace
+
+HuffmanTable HuffmanTable::build(std::span<const std::uint64_t> frequencies) {
+  // Rebuild with halved frequencies until the deepest code fits 16 bits.
+  std::vector<std::uint64_t> f(frequencies.begin(), frequencies.end());
+  std::vector<std::uint8_t> lengths;
+  for (;;) {
+    lengths = huffman_lengths(f);
+    const std::uint8_t deepest = *std::max_element(lengths.begin(), lengths.end());
+    if (deepest <= kMaxCodeLength) break;
+    for (auto& w : f)
+      if (w > 0) w = (w + 1) / 2;
+  }
+  return from_lengths(std::move(lengths));
+}
+
+HuffmanTable HuffmanTable::from_lengths(std::vector<std::uint8_t> lengths) {
+  HuffmanTable t;
+  t.lengths_ = std::move(lengths);
+  t.assign_canonical_codes();
+  return t;
+}
+
+void HuffmanTable::assign_canonical_codes() {
+  codes_.assign(lengths_.size(), 0);
+  std::fill(std::begin(count_), std::end(count_), 0);
+  for (std::uint8_t len : lengths_) {
+    NCS_ASSERT(len <= kMaxCodeLength);
+    if (len > 0) ++count_[len];
+  }
+
+  // Canonical numbering: shorter codes first; within a length, symbol order.
+  std::uint16_t code = 0;
+  std::uint32_t index = 0;
+  symbols_by_code_.clear();
+  for (int len = 1; len <= kMaxCodeLength; ++len) {
+    first_code_[len] = code;
+    first_index_[len] = index;
+    for (std::size_t s = 0; s < lengths_.size(); ++s) {
+      if (lengths_[s] == len) {
+        codes_[s] = code++;
+        symbols_by_code_.push_back(static_cast<int>(s));
+        ++index;
+      }
+    }
+    NCS_ASSERT_MSG(code <= (1u << len), "over-subscribed Huffman code space");
+    code = static_cast<std::uint16_t>(code << 1);
+  }
+}
+
+void HuffmanTable::encode(BitWriter& w, int symbol) const {
+  const auto s = static_cast<std::size_t>(symbol);
+  NCS_ASSERT_MSG(lengths_[s] != 0, "encoding a symbol with no code");
+  w.put(codes_[s], lengths_[s]);
+}
+
+int HuffmanTable::decode(BitReader& r) const {
+  std::uint32_t code = 0;
+  for (int len = 1; len <= kMaxCodeLength; ++len) {
+    code = (code << 1) | static_cast<std::uint32_t>(r.get_bit());
+    const std::uint32_t offset = code - first_code_[len];
+    if (count_[len] != 0 && code >= first_code_[len] && offset < count_[len]) {
+      return symbols_by_code_[first_index_[len] + offset];
+    }
+  }
+  NCS_UNREACHABLE("invalid Huffman code in stream");
+}
+
+void HuffmanTable::serialize(Bytes& out) const {
+  const std::size_t base = out.size();
+  out.resize(base + 2 + lengths_.size());
+  ByteWriter w(std::span<std::byte>(out).subspan(base));
+  w.u16(static_cast<std::uint16_t>(lengths_.size()));
+  w.bytes(BytesView(reinterpret_cast<const std::byte*>(lengths_.data()), lengths_.size()));
+}
+
+HuffmanTable HuffmanTable::deserialize(ByteReader& r) {
+  const std::uint16_t n = r.u16();
+  const BytesView raw = r.bytes(n);
+  std::vector<std::uint8_t> lengths(n);
+  for (std::size_t i = 0; i < n; ++i) lengths[i] = static_cast<std::uint8_t>(raw[i]);
+  return from_lengths(std::move(lengths));
+}
+
+}  // namespace ncs::apps::jpeg

@@ -1,0 +1,57 @@
+// Canonical length-limited Huffman coding for the entropy stage.
+//
+// Codes are built from the symbol frequencies of the material being
+// compressed (two-pass encoder) and shipped as a code-length table — the
+// canonical-code property means lengths alone reconstruct the codebook.
+// Lengths are limited to 16 bits as in JPEG; if the raw Huffman tree is
+// deeper, frequencies are halved and the tree rebuilt until it fits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/jpeg/bitstream.hpp"
+#include "common/bytes.hpp"
+
+namespace ncs::apps::jpeg {
+
+inline constexpr int kMaxCodeLength = 16;
+
+class HuffmanTable {
+ public:
+  /// Builds a canonical code for `frequencies.size()` symbols. Symbols
+  /// with zero frequency get no code. At least one symbol must be used.
+  static HuffmanTable build(std::span<const std::uint64_t> frequencies);
+
+  /// Reconstructs a table from per-symbol code lengths.
+  static HuffmanTable from_lengths(std::vector<std::uint8_t> lengths);
+
+  int alphabet_size() const { return static_cast<int>(lengths_.size()); }
+  const std::vector<std::uint8_t>& lengths() const { return lengths_; }
+  bool has_code(int symbol) const { return lengths_[static_cast<std::size_t>(symbol)] != 0; }
+
+  /// Writes `symbol`'s code.
+  void encode(BitWriter& w, int symbol) const;
+
+  /// Reads one symbol.
+  int decode(BitReader& r) const;
+
+  /// Serialized form: u16 alphabet size + one length byte per symbol.
+  void serialize(Bytes& out) const;
+  static HuffmanTable deserialize(ByteReader& r);
+
+ private:
+  void assign_canonical_codes();
+
+  std::vector<std::uint8_t> lengths_;   // per symbol; 0 = unused
+  std::vector<std::uint16_t> codes_;    // per symbol, left-aligned in `len` bits
+
+  // Canonical decode acceleration: per length, first code value and the
+  // symbols of that length in code order.
+  std::uint16_t first_code_[kMaxCodeLength + 1] = {};
+  std::uint16_t count_[kMaxCodeLength + 1] = {};
+  std::vector<int> symbols_by_code_;     // all coded symbols, canonical order
+  std::uint32_t first_index_[kMaxCodeLength + 1] = {};
+};
+
+}  // namespace ncs::apps::jpeg

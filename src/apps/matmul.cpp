@@ -1,0 +1,62 @@
+#include "apps/matmul.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace ncs::apps::matmul {
+
+Matrix make_matrix(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (double& v : m) v = rng.next_double() * 2.0 - 1.0;
+  return m;
+}
+
+void multiply_rows(const double* a, const double* b, double* c_rows, int n, int row_begin,
+                   int row_end) {
+  NCS_ASSERT(0 <= row_begin && row_begin <= row_end && row_end <= n);
+  for (int i = row_begin; i < row_end; ++i) {
+    double* c = c_rows + static_cast<std::ptrdiff_t>(i - row_begin) * n;
+    const double* ai = a + static_cast<std::ptrdiff_t>(i) * n;
+    for (int j = 0; j < n; ++j) c[j] = 0.0;
+    for (int k = 0; k < n; ++k) {
+      const double aik = ai[k];
+      const double* bk = b + static_cast<std::ptrdiff_t>(k) * n;
+      for (int j = 0; j < n; ++j) c[j] += aik * bk[j];
+    }
+  }
+}
+
+Matrix multiply(const Matrix& a, const Matrix& b, int n) {
+  NCS_ASSERT(a.size() == static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  NCS_ASSERT(b.size() == a.size());
+  Matrix c(a.size());
+  multiply_rows(a.data(), b.data(), c.data(), n, 0, n);
+  return c;
+}
+
+bool approx_equal(const Matrix& a, const Matrix& b, double tolerance) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::fabs(a[i] - b[i]) > tolerance) return false;
+  return true;
+}
+
+Bytes pack_rows(const double* rows, int n_rows, int n) {
+  const std::size_t count = static_cast<std::size_t>(n_rows) * static_cast<std::size_t>(n);
+  Bytes out(count * sizeof(double));
+  std::memcpy(out.data(), rows, out.size());
+  return out;
+}
+
+std::vector<double> unpack_rows(BytesView data) {
+  NCS_ASSERT(data.size() % sizeof(double) == 0);
+  std::vector<double> out(data.size() / sizeof(double));
+  std::memcpy(out.data(), data.data(), data.size());
+  return out;
+}
+
+}  // namespace ncs::apps::matmul

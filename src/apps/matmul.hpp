@@ -1,0 +1,42 @@
+// Dense matrix multiplication kernel (the paper's Section 5.1 workload).
+//
+// Plain row-major double matrices and a straightforward triple loop — the
+// paper deliberately uses "a simple distributed matrix multiplication
+// algorithm since our intent is to compare the performance of NCS ... with
+// p4", not to showcase BLAS. The distributed drivers (src/cluster) move
+// row blocks of A and the whole B, exactly like Figs 13/14.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace ncs::apps::matmul {
+
+/// Row-major n x n matrix.
+using Matrix = std::vector<double>;
+
+/// Deterministic pseudo-random matrix with entries in [-1, 1).
+Matrix make_matrix(int n, std::uint64_t seed);
+
+/// C[row_begin..row_end) = A[row_begin..row_end) * B. A and B are n x n;
+/// `c_rows` holds (row_end - row_begin) rows.
+void multiply_rows(const double* a, const double* b, double* c_rows, int n, int row_begin,
+                   int row_end);
+
+/// Full C = A * B (reference and 1-node path).
+Matrix multiply(const Matrix& a, const Matrix& b, int n);
+
+/// Inner-loop operation count (multiply-adds) for a row block.
+inline double op_count(int rows, int n) {
+  return static_cast<double>(rows) * n * n;
+}
+
+bool approx_equal(const Matrix& a, const Matrix& b, double tolerance = 1e-9);
+
+/// Row-block (de)serialization for the wire.
+Bytes pack_rows(const double* rows, int n_rows, int n);
+std::vector<double> unpack_rows(BytesView data);
+
+}  // namespace ncs::apps::matmul

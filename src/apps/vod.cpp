@@ -1,0 +1,56 @@
+#include "apps/vod.hpp"
+
+#include <algorithm>
+
+#include "apps/jpeg/codec.hpp"
+#include "common/assert.hpp"
+
+namespace ncs::apps::vod {
+
+Image FrameSource::reference_frame(int index) const {
+  // The scene drifts: each frame uses a phase-shifted seed so consecutive
+  // frames differ but remain continuous-tone.
+  return make_test_image(params_.width, params_.height,
+                         params_.seed + static_cast<std::uint64_t>(index) * 7919);
+}
+
+Bytes FrameSource::next_frame() {
+  if (produced_ >= params_.frame_count) return {};
+  const Image frame = reference_frame(produced_);
+  ++produced_;
+  return jpeg::compress(frame, {.quality = params_.quality});
+}
+
+Image FrameSource::decode_frame(BytesView frame) { return jpeg::decompress(frame); }
+
+void JitterBuffer::on_arrival(TimePoint now, std::size_t frame_bytes) {
+  NCS_ASSERT_MSG(arrivals_.empty() || now >= arrivals_.back(),
+                 "arrivals must be reported in order");
+  arrivals_.push_back(now);
+  bytes_ += frame_bytes;
+}
+
+JitterBuffer::Report JitterBuffer::report() const {
+  Report r;
+  r.frames = static_cast<int>(arrivals_.size());
+  r.bytes = bytes_;
+  if (arrivals_.empty()) return r;
+
+  const TimePoint start = arrivals_.front() + prebuffer_;
+  const Duration tick = Duration::seconds(1.0 / fps_);
+  for (std::size_t i = 0; i < arrivals_.size(); ++i) {
+    const TimePoint deadline = start + tick * static_cast<std::int64_t>(i);
+    if (arrivals_[i] > deadline) {
+      ++r.underruns;
+      r.worst_lateness = ncs::max(r.worst_lateness, arrivals_[i] - deadline);
+    }
+    // Depth at arrival i: frames arrived minus frames already played out.
+    const double played =
+        arrivals_[i] <= start ? 0.0 : (arrivals_[i] - start).sec() * fps_;
+    const int depth = static_cast<int>(i + 1) - static_cast<int>(played);
+    r.max_depth = std::max(r.max_depth, depth);
+  }
+  return r;
+}
+
+}  // namespace ncs::apps::vod

@@ -1,0 +1,78 @@
+// Video-on-Demand application components (the HPCC application class the
+// paper's introduction and Fig 5 are motivated by).
+//
+// FrameSource synthesizes a deterministic moving scene and compresses each
+// frame with the JPEG codec — so VOD traffic has realistic, varying frame
+// sizes. JitterBuffer models the client player: frames arrive with network
+// timing, playout ticks at the stream's rate after a prebuffer, and the
+// report says whether the stream was watchable (underruns) and how much
+// buffering it needed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/image.hpp"
+#include "common/time.hpp"
+
+namespace ncs::apps::vod {
+
+struct VideoParams {
+  int width = 320;
+  int height = 240;
+  int fps = 24;
+  int frame_count = 48;
+  int quality = 60;
+  std::uint64_t seed = 99;
+};
+
+/// Deterministic synthetic video: a test-pattern scene whose phase advances
+/// per frame, compressed frame-by-frame.
+class FrameSource {
+ public:
+  explicit FrameSource(VideoParams params) : params_(params) {}
+
+  const VideoParams& params() const { return params_; }
+  int remaining() const { return params_.frame_count - produced_; }
+
+  /// Next compressed frame (empty when the clip is exhausted).
+  Bytes next_frame();
+
+  /// Decodes a frame back to pixels (for end-to-end verification).
+  static Image decode_frame(BytesView frame);
+
+  /// The uncompressed frame the source would produce at `index` — lets a
+  /// receiver verify content without shipping originals.
+  Image reference_frame(int index) const;
+
+ private:
+  VideoParams params_;
+  int produced_ = 0;
+};
+
+/// Client-side playout model.
+class JitterBuffer {
+ public:
+  /// Playout starts `prebuffer` after the first arrival and then consumes
+  /// one frame every 1/fps.
+  JitterBuffer(int fps, Duration prebuffer) : fps_(fps), prebuffer_(prebuffer) {}
+
+  void on_arrival(TimePoint now, std::size_t frame_bytes);
+
+  struct Report {
+    int frames = 0;
+    int underruns = 0;        // frames that missed their playout deadline
+    Duration worst_lateness;  // how late the worst frame was
+    int max_depth = 0;        // peak frames buffered ahead of playout
+    std::size_t bytes = 0;
+  };
+  Report report() const;
+
+ private:
+  int fps_;
+  Duration prebuffer_;
+  std::vector<TimePoint> arrivals_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace ncs::apps::vod

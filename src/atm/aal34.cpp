@@ -1,0 +1,152 @@
+#include "atm/aal34.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/crc.hpp"
+
+namespace ncs::atm::aal34 {
+
+namespace {
+
+/// CPCS-PDU length (header + payload padded to 4 + trailer).
+std::size_t cpcs_size(std::size_t payload_bytes) {
+  const std::size_t padded = (payload_bytes + 3) / 4 * 4;
+  return kCpcsHeaderSize + padded + kCpcsTrailerSize;
+}
+
+/// Builds one 48-byte SAR-PDU.
+void build_sar_pdu(std::array<std::byte, Cell::kPayloadSize>& out, SegmentType st,
+                   std::uint8_t sn, std::uint16_t mid, BytesView chunk) {
+  NCS_ASSERT(chunk.size() <= kSarPayloadSize);
+  ByteWriter w(out);
+  const std::uint16_t head = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(st) << 14) | ((sn & 0xF) << 10) | (mid & 0x3FF));
+  w.u16(head);
+  w.bytes(chunk);
+  w.zeros(kSarPayloadSize - chunk.size());
+  // Trailer: LI (6 bits) in the upper bits, CRC-10 over header+payload+LI.
+  const std::uint16_t li = static_cast<std::uint16_t>(chunk.size());
+  // Compose the final 16 bits with CRC zeroed, compute, then patch.
+  w.u16(static_cast<std::uint16_t>(li << 10));
+  const std::uint16_t crc =
+      crc10_aal34(BytesView(out.data(), Cell::kPayloadSize));
+  const std::uint16_t trailer = static_cast<std::uint16_t>((li << 10) | (crc & 0x3FF));
+  out[46] = static_cast<std::byte>(trailer >> 8);
+  out[47] = static_cast<std::byte>(trailer & 0xFF);
+}
+
+}  // namespace
+
+std::size_t cell_count(std::size_t payload_bytes) {
+  return (cpcs_size(payload_bytes) + kSarPayloadSize - 1) / kSarPayloadSize;
+}
+
+std::vector<Cell> segment(VcId vc, BytesView payload, std::uint16_t mid, std::uint8_t btag) {
+  NCS_ASSERT_MSG(payload.size() <= 65535 - 8, "AAL3/4 payload too large");
+
+  // CPCS encapsulation.
+  Bytes cpcs(cpcs_size(payload.size()), std::byte{0});
+  {
+    ByteWriter w(cpcs);
+    w.u8(0);     // CPI
+    w.u8(btag);  // Btag
+    w.u16(static_cast<std::uint16_t>(cpcs.size() - kCpcsHeaderSize - kCpcsTrailerSize));  // BASize
+    w.bytes(payload);
+  }
+  {
+    ByteWriter w(std::span<std::byte>(cpcs).subspan(cpcs.size() - kCpcsTrailerSize));
+    w.u8(0);     // AL
+    w.u8(btag);  // Etag, must equal Btag
+    w.u16(static_cast<std::uint16_t>(payload.size()));
+  }
+
+  // SAR segmentation into 44-byte chunks.
+  const std::size_t n = (cpcs.size() + kSarPayloadSize - 1) / kSarPayloadSize;
+  std::vector<Cell> cells(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t off = i * kSarPayloadSize;
+    const std::size_t len = std::min(kSarPayloadSize, cpcs.size() - off);
+    SegmentType st;
+    if (n == 1) st = SegmentType::ssm;
+    else if (i == 0) st = SegmentType::bom;
+    else if (i + 1 == n) st = SegmentType::eom;
+    else st = SegmentType::com;
+
+    Cell& c = cells[i];
+    c.header.vpi = vc.vpi;
+    c.header.vci = vc.vci;
+    build_sar_pdu(c.payload, st, static_cast<std::uint8_t>(i & 0xF), mid,
+                  BytesView(cpcs).subspan(off, len));
+  }
+  return cells;
+}
+
+Result<Bytes> Reassembler::fail(const char* why) {
+  reset();
+  return Result<Bytes>(Status(ErrorCode::data_corruption, why));
+}
+
+void Reassembler::reset() {
+  buffer_.clear();
+  in_message_ = false;
+  next_sn_ = 0;
+}
+
+std::optional<Result<Bytes>> Reassembler::push(const Cell& cell) {
+  // Validate CRC-10 first: recompute over the SAR-PDU with the CRC bits
+  // zeroed and compare.
+  std::array<std::byte, Cell::kPayloadSize> scratch = cell.payload;
+  const std::uint16_t trailer = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(scratch[46]) << 8) | static_cast<std::uint16_t>(scratch[47]));
+  const std::uint16_t li = static_cast<std::uint16_t>(trailer >> 10);
+  const std::uint16_t got_crc = static_cast<std::uint16_t>(trailer & 0x3FF);
+  scratch[46] = static_cast<std::byte>((trailer >> 8) & 0xFC);
+  scratch[47] = std::byte{0};
+  if (crc10_aal34(BytesView(scratch.data(), Cell::kPayloadSize)) != got_crc)
+    return fail("AAL3/4 CRC-10 mismatch");
+  if (li > kSarPayloadSize) return fail("AAL3/4 length indicator out of range");
+
+  ByteReader r(BytesView(cell.payload));
+  const std::uint16_t head = r.u16();
+  const auto st = static_cast<SegmentType>(head >> 14);
+  const auto sn = static_cast<std::uint8_t>((head >> 10) & 0xF);
+  const BytesView chunk = r.bytes(li);
+
+  if (st == SegmentType::bom || st == SegmentType::ssm) {
+    buffer_.clear();
+    in_message_ = true;
+    next_sn_ = static_cast<std::uint8_t>((sn + 1) & 0xF);
+  } else {
+    if (!in_message_) return fail("AAL3/4 COM/EOM without BOM");
+    if (sn != next_sn_) return fail("AAL3/4 sequence number gap");
+    next_sn_ = static_cast<std::uint8_t>((sn + 1) & 0xF);
+  }
+  append(buffer_, chunk);
+
+  if (st != SegmentType::eom && st != SegmentType::ssm) return std::nullopt;
+
+  // Message complete: strip and validate CPCS envelope.
+  Bytes cpcs = std::move(buffer_);
+  reset();
+  if (cpcs.size() < kCpcsHeaderSize + kCpcsTrailerSize) return fail("AAL3/4 CPCS too short");
+
+  ByteReader hr(cpcs);
+  hr.u8();  // CPI
+  const std::uint8_t bt = hr.u8();
+  const std::uint16_t ba_size = hr.u16();
+
+  ByteReader tr(BytesView(cpcs).subspan(cpcs.size() - kCpcsTrailerSize));
+  tr.u8();  // AL
+  const std::uint8_t et = tr.u8();
+  const std::uint16_t length = tr.u16();
+
+  if (bt != et) return fail("AAL3/4 Btag/Etag mismatch");
+  if (length > ba_size || kCpcsHeaderSize + ba_size + kCpcsTrailerSize != cpcs.size())
+    return fail("AAL3/4 CPCS length inconsistent");
+
+  Bytes payload(cpcs.begin() + kCpcsHeaderSize, cpcs.begin() + kCpcsHeaderSize + length);
+  return Result<Bytes>(std::move(payload));
+}
+
+}  // namespace ncs::atm::aal34

@@ -1,0 +1,62 @@
+// AAL3/4 segmentation and reassembly (ITU-T I.363).
+//
+// The older adaptation layer the paper's Fig 11/12 stacks show alongside
+// AAL5. Far heavier per cell: each SAR-PDU spends 4 of the 48 payload bytes
+// on a 2-byte header (segment type, sequence number, MID) and a 2-byte
+// trailer (length indicator, CRC-10), so only 44 bytes carry data. The
+// CPCS adds another 4-byte header (CPI, Btag, BASize) and 4-byte trailer
+// (AL, Etag, Length) with begin/end tag matching. Implemented in full —
+// per-cell CRC-10, sequence-number checking, Btag/Etag matching — both as
+// an authentic substrate and as the contrast that motivated AAL5.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "atm/cell.hpp"
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace ncs::atm::aal34 {
+
+enum class SegmentType : std::uint8_t {
+  bom = 2,  // beginning of message
+  com = 0,  // continuation
+  eom = 1,  // end of message
+  ssm = 3,  // single-segment message
+};
+
+inline constexpr std::size_t kSarPayloadSize = 44;
+inline constexpr std::size_t kCpcsHeaderSize = 4;
+inline constexpr std::size_t kCpcsTrailerSize = 4;
+
+/// Number of cells to carry `payload_bytes` of user data.
+std::size_t cell_count(std::size_t payload_bytes);
+
+/// Segments one CPCS-PDU into SAR cells on `vc`. `mid` is the multiplexing
+/// id shared by all cells of the message; `btag` disambiguates back-to-back
+/// messages. payload.size() must be <= 65535 - 8.
+std::vector<Cell> segment(VcId vc, BytesView payload, std::uint16_t mid = 0,
+                          std::uint8_t btag = 0);
+
+/// Reassembler for a single MID stream.
+class Reassembler {
+ public:
+  /// Feed cells in order. nullopt mid-message; payload on success; error
+  /// Status on CRC-10 failure, sequence gap, tag mismatch or bad length.
+  std::optional<Result<Bytes>> push(const Cell& cell);
+
+  void reset();
+
+ private:
+  Result<Bytes> fail(const char* why);
+
+  Bytes buffer_;
+  bool in_message_ = false;
+  std::uint8_t next_sn_ = 0;
+  std::uint8_t btag_ = 0;
+  std::uint16_t expected_total_ = 0;
+};
+
+}  // namespace ncs::atm::aal34

@@ -1,0 +1,74 @@
+#include "atm/aal5.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/crc.hpp"
+
+namespace ncs::atm::aal5 {
+
+Bytes build_cpcs_pdu(BytesView payload, std::uint8_t cpcs_uu) {
+  NCS_ASSERT_MSG(payload.size() <= kMaxPayload, "AAL5 payload exceeds 65535 bytes");
+  const std::size_t total =
+      (payload.size() + kTrailerSize + Cell::kPayloadSize - 1) / Cell::kPayloadSize *
+      Cell::kPayloadSize;
+  Bytes pdu(total, std::byte{0});
+  std::memcpy(pdu.data(), payload.data(), payload.size());
+
+  // Trailer: CPCS-UU, CPI, Length, CRC-32 — the CRC covers everything
+  // before its own field.
+  ByteWriter w(std::span<std::byte>(pdu).subspan(total - kTrailerSize));
+  w.u8(cpcs_uu);
+  w.u8(0);  // CPI, must be 0
+  w.u16(static_cast<std::uint16_t>(payload.size()));
+  const std::uint32_t crc = crc32_ieee(BytesView(pdu).first(total - 4));
+  w.u32(crc);
+  return pdu;
+}
+
+std::vector<Cell> segment(VcId vc, BytesView payload, std::uint8_t cpcs_uu) {
+  const Bytes pdu = build_cpcs_pdu(payload, cpcs_uu);
+  NCS_ASSERT(pdu.size() % Cell::kPayloadSize == 0);
+  const std::size_t n = pdu.size() / Cell::kPayloadSize;
+
+  std::vector<Cell> cells(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Cell& c = cells[i];
+    c.header.vpi = vc.vpi;
+    c.header.vci = vc.vci;
+    c.header.set_aal5_end_of_pdu(i + 1 == n);
+    std::memcpy(c.payload.data(), pdu.data() + i * Cell::kPayloadSize, Cell::kPayloadSize);
+  }
+  return cells;
+}
+
+std::optional<Result<Bytes>> Reassembler::push(const Cell& cell) {
+  append(buffer_, BytesView(cell.payload));
+  if (!cell.header.aal5_end_of_pdu()) return std::nullopt;
+
+  Bytes pdu = std::move(buffer_);
+  buffer_.clear();
+
+  if (pdu.size() < Cell::kPayloadSize)
+    return Result<Bytes>(Status(ErrorCode::data_corruption, "AAL5 PDU shorter than one cell"));
+
+  const std::uint32_t expected_crc = crc32_ieee(BytesView(pdu).first(pdu.size() - 4));
+  ByteReader r(BytesView(pdu).subspan(pdu.size() - kTrailerSize));
+  r.u8();  // CPCS-UU
+  r.u8();  // CPI
+  const std::uint16_t length = r.u16();
+  const std::uint32_t crc = r.u32();
+
+  if (crc != expected_crc)
+    return Result<Bytes>(Status(ErrorCode::data_corruption, "AAL5 CRC-32 mismatch"));
+  // Length must be consistent with the padded PDU size: the payload plus
+  // trailer must fit, with less than one extra cell of padding.
+  const std::size_t needed = length + kTrailerSize;
+  if (needed > pdu.size() || pdu.size() - needed >= Cell::kPayloadSize)
+    return Result<Bytes>(Status(ErrorCode::data_corruption, "AAL5 length field inconsistent"));
+
+  pdu.resize(length);
+  return Result<Bytes>(std::move(pdu));
+}
+
+}  // namespace ncs::atm::aal5

@@ -1,0 +1,58 @@
+// AAL5 segmentation and reassembly (ITU-T I.363.5).
+//
+// The adaptation layer the FORE SBA-200 implements in adapter firmware and
+// the one NCS's HSM path rides on. A CPCS-PDU is the user payload, zero
+// padding, and an 8-byte trailer (CPCS-UU, CPI, 16-bit Length, CRC-32),
+// padded so the whole PDU is a multiple of 48 bytes; the final cell is
+// marked via PTI. Reassembly validates Length and CRC-32 and surfaces
+// corruption as Status errors, which the error-control ablations exercise.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "atm/cell.hpp"
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace ncs::atm::aal5 {
+
+inline constexpr std::size_t kTrailerSize = 8;
+inline constexpr std::size_t kMaxPayload = 65535;
+
+/// Number of cells needed to carry `payload_bytes` of user data.
+constexpr std::size_t cell_count(std::size_t payload_bytes) {
+  return (payload_bytes + kTrailerSize + Cell::kPayloadSize - 1) / Cell::kPayloadSize;
+}
+
+/// Bytes on the wire for `payload_bytes` of user data.
+constexpr std::size_t wire_bytes(std::size_t payload_bytes) {
+  return cell_count(payload_bytes) * Cell::kSize;
+}
+
+/// Builds the padded CPCS-PDU (payload + pad + trailer) for `payload`.
+Bytes build_cpcs_pdu(BytesView payload, std::uint8_t cpcs_uu = 0);
+
+/// Segments `payload` into cells on `vc`. The last cell carries the
+/// end-of-PDU mark. payload.size() must be <= kMaxPayload.
+std::vector<Cell> segment(VcId vc, BytesView payload, std::uint8_t cpcs_uu = 0);
+
+/// Per-VC reassembler: feed cells in order; returns the recovered payload
+/// when an end-of-PDU cell completes a valid CPCS-PDU.
+class Reassembler {
+ public:
+  /// Returns nullopt while mid-PDU; a payload on success; or a failed
+  /// Result if the completed PDU has a bad CRC-32 or Length field
+  /// (partial state is discarded either way).
+  std::optional<Result<Bytes>> push(const Cell& cell);
+
+  /// Bytes buffered for the in-progress PDU.
+  std::size_t pending_bytes() const { return buffer_.size(); }
+  void reset() { buffer_.clear(); }
+
+ private:
+  Bytes buffer_;
+};
+
+}  // namespace ncs::atm::aal5

@@ -1,0 +1,42 @@
+// The data-plane transfer unit.
+//
+// A Burst is a back-to-back train of cells carrying one AAL5 CPCS-PDU — at
+// most one NIC I/O buffer's worth of user data. Two fidelity modes share
+// the same timing arithmetic (wire bytes = cells x 53):
+//
+//  - burst mode (default for benchmarks): `payload` carries the user chunk;
+//    cell framing is charged in time but cells are not materialized.
+//  - detailed mode: `cells` carries the real segmented cells; the receiving
+//    NIC runs HEC checks and the real AAL5 reassembler. A property test
+//    pins the two modes to identical timing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atm/cell.hpp"
+#include "common/bytes.hpp"
+
+namespace ncs::atm {
+
+struct Burst {
+  VcId vc;
+  std::uint32_t n_cells = 0;
+  /// True on the burst that completes an API-level write (message framing
+  /// above AAL5; carried opaquely by the network).
+  bool end_of_message = true;
+  Bytes payload;            // burst mode: the user chunk
+  std::vector<Cell> cells;  // detailed mode: real cells (payload empty)
+
+  bool detailed() const { return !cells.empty(); }
+  std::size_t wire_bytes() const { return static_cast<std::size_t>(n_cells) * Cell::kSize; }
+};
+
+/// Anything that can receive bursts from a link: a switch port or a NIC.
+class CellSink {
+ public:
+  virtual ~CellSink() = default;
+  virtual void accept(int port, Burst burst) = 0;
+};
+
+}  // namespace ncs::atm

@@ -1,0 +1,36 @@
+#include "atm/cell.hpp"
+
+#include <cstring>
+
+#include "common/crc.hpp"
+
+namespace ncs::atm {
+
+void Cell::pack(std::span<std::byte, kSize> out) const {
+  std::uint8_t h[4];
+  h[0] = static_cast<std::uint8_t>((header.gfc & 0x0F) << 4 | (header.vpi >> 4));
+  h[1] = static_cast<std::uint8_t>((header.vpi & 0x0F) << 4 | (header.vci >> 12));
+  h[2] = static_cast<std::uint8_t>((header.vci >> 4) & 0xFF);
+  h[3] = static_cast<std::uint8_t>((header.vci & 0x0F) << 4 | (header.pti & 0x7) << 1 |
+                                   (header.clp ? 1 : 0));
+  for (int i = 0; i < 4; ++i) out[static_cast<std::size_t>(i)] = static_cast<std::byte>(h[i]);
+  out[4] = static_cast<std::byte>(hec_compute(h));
+  std::memcpy(out.data() + kHeaderSize, payload.data(), kPayloadSize);
+}
+
+Result<Cell> Cell::unpack(std::span<const std::byte, kSize> in) {
+  std::uint8_t h[5];
+  for (int i = 0; i < 5; ++i) h[i] = static_cast<std::uint8_t>(in[static_cast<std::size_t>(i)]);
+  if (!hec_verify(h)) return Status(ErrorCode::data_corruption, "ATM header HEC mismatch");
+
+  Cell cell;
+  cell.header.gfc = static_cast<std::uint8_t>(h[0] >> 4);
+  cell.header.vpi = static_cast<std::uint8_t>((h[0] & 0x0F) << 4 | (h[1] >> 4));
+  cell.header.vci = static_cast<std::uint16_t>((h[1] & 0x0F) << 12 | (h[2] << 4) | (h[3] >> 4));
+  cell.header.pti = static_cast<std::uint8_t>((h[3] >> 1) & 0x7);
+  cell.header.clp = (h[3] & 0x1) != 0;
+  std::memcpy(cell.payload.data(), in.data() + kHeaderSize, kPayloadSize);
+  return cell;
+}
+
+}  // namespace ncs::atm

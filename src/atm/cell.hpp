@@ -1,0 +1,57 @@
+// ATM cell format (ITU-T I.361, UNI variant).
+//
+// 53 bytes on the wire: 5-byte header (GFC/VPI/VCI/PTI/CLP + HEC) and a
+// 48-byte payload. The 48/53 framing tax is why a "155 Mbps" OC-3 carries
+// at most ~135 Mbps of AAL payload — the substrates charge it explicitly.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace ncs::atm {
+
+/// Virtual path + virtual channel identifier pair: the per-hop connection
+/// label every cell carries and every switch rewrites.
+struct VcId {
+  std::uint8_t vpi = 0;
+  std::uint16_t vci = 0;
+
+  friend constexpr auto operator<=>(VcId, VcId) = default;
+};
+
+struct CellHeader {
+  std::uint8_t gfc = 0;   // 4 bits (UNI only)
+  std::uint8_t vpi = 0;   // 8 bits at UNI
+  std::uint16_t vci = 0;  // 16 bits
+  std::uint8_t pti = 0;   // 3 bits; bit0 = AAL5 end-of-PDU (AUU)
+  bool clp = false;       // cell loss priority
+
+  VcId vc() const { return VcId{vpi, vci}; }
+
+  /// PTI bit 0 carries the AAL5 "last cell of CPCS-PDU" indication.
+  bool aal5_end_of_pdu() const { return (pti & 0x1) != 0; }
+  void set_aal5_end_of_pdu(bool end) {
+    pti = static_cast<std::uint8_t>(end ? (pti | 0x1) : (pti & ~0x1));
+  }
+};
+
+struct Cell {
+  static constexpr std::size_t kSize = 53;
+  static constexpr std::size_t kHeaderSize = 5;
+  static constexpr std::size_t kPayloadSize = 48;
+
+  CellHeader header;
+  std::array<std::byte, kPayloadSize> payload{};
+
+  /// Serializes header (computing HEC) + payload into 53 bytes.
+  void pack(std::span<std::byte, kSize> out) const;
+
+  /// Parses 53 bytes; fails with data_corruption if the HEC does not match.
+  static Result<Cell> unpack(std::span<const std::byte, kSize> in);
+};
+
+}  // namespace ncs::atm

@@ -1,0 +1,89 @@
+#include "atm/cellmux.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace ncs::atm {
+
+CellMux::CellMux(sim::Engine& engine, net::Link& link, CellSink& peer, int peer_port)
+    : engine_(engine), link_(link), peer_(peer), peer_port_(peer_port) {}
+
+void CellMux::submit(Burst burst) {
+  NCS_ASSERT(burst.n_cells > 0);
+  ++stats_.bursts;
+  if (!interleave_) {
+    fifo_.push_back(std::move(burst));
+  } else {
+    Flow& flow = flows_[burst.vc];
+    if (flow.bursts.empty() && flow.cells_left_in_head == 0) {
+      // First pending work on this VC: join the round-robin ring.
+      if (std::find(rr_order_.begin(), rr_order_.end(), burst.vc) == rr_order_.end())
+        rr_order_.push_back(burst.vc);
+    }
+    if (flow.bursts.empty()) flow.cells_left_in_head = burst.n_cells;
+    flow.bursts.push_back(std::move(burst));
+  }
+  pump();
+}
+
+CellMux::Flow* CellMux::next_flow() {
+  for (std::size_t probe = 0; probe < rr_order_.size(); ++probe) {
+    const std::size_t idx = (rr_pos_ + probe) % rr_order_.size();
+    Flow& flow = flows_[rr_order_[idx]];
+    if (!flow.bursts.empty()) {
+      rr_pos_ = (idx + 1) % rr_order_.size();
+      return &flow;
+    }
+  }
+  return nullptr;
+}
+
+void CellMux::pump() {
+  if (transmitting_) return;
+
+  if (!interleave_) {
+    if (fifo_.empty()) return;
+    Burst burst = std::move(fifo_.front());
+    fifo_.pop_front();
+    transmitting_ = true;
+    stats_.cells_sent += burst.n_cells;
+    ++stats_.turns;
+    link_.transmit(
+        burst.wire_bytes(),
+        [this] {
+          transmitting_ = false;
+          pump();
+        },
+        [this, b = std::move(burst)]() mutable { peer_.accept(peer_port_, std::move(b)); });
+    return;
+  }
+
+  Flow* flow = next_flow();
+  if (flow == nullptr) return;
+
+  NCS_ASSERT(flow->cells_left_in_head > 0);
+  --flow->cells_left_in_head;
+  ++stats_.cells_sent;
+  ++stats_.turns;
+  const bool last_cell = flow->cells_left_in_head == 0;
+
+  transmitting_ = true;
+  sim::EventFn on_delivered;
+  if (last_cell) {
+    Burst finished = std::move(flow->bursts.front());
+    flow->bursts.pop_front();
+    if (!flow->bursts.empty()) flow->cells_left_in_head = flow->bursts.front().n_cells;
+    on_delivered = [this, b = std::move(finished)]() mutable {
+      peer_.accept(peer_port_, std::move(b));
+    };
+  }
+  link_.transmit(Cell::kSize,
+                 [this] {
+                   transmitting_ = false;
+                   pump();
+                 },
+                 std::move(on_delivered));
+}
+
+}  // namespace ncs::atm

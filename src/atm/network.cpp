@@ -1,0 +1,89 @@
+#include "atm/network.hpp"
+
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace ncs::atm {
+
+AtmLan::AtmLan(sim::Engine& engine, LanConfig config) {
+  NCS_ASSERT(config.n_hosts >= 1);
+  switch_ = std::make_unique<Switch>(engine, config.sw, "lan-switch");
+
+  for (int i = 0; i < config.n_hosts; ++i) {
+    links_.push_back(std::make_unique<net::DuplexLink>(engine, config.host_link,
+                                                       "taxi" + std::to_string(i)));
+    nics_.push_back(std::make_unique<Nic>(engine, config.nic, "nic" + std::to_string(i)));
+  }
+  // Switch port i transmits down link i toward NIC i; NIC i transmits up
+  // link i into the switch, arriving tagged with in_port = i.
+  for (int i = 0; i < config.n_hosts; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const int port = switch_->add_port(links_[ui]->backward(), *nics_[ui], 0);
+    NCS_ASSERT(port == i);
+    nics_[ui]->attach(links_[ui]->forward(), *switch_, i);
+  }
+  for (int i = 0; i < config.n_hosts; ++i)
+    for (int j = 0; j < config.n_hosts; ++j)
+      switch_->add_route(i, vc_to(j), j, vc_to(i));
+}
+
+AtmWan::AtmWan(sim::Engine& engine, WanConfig config) {
+  NCS_ASSERT(config.n_hosts >= 2);
+  site0_hosts_ = (config.n_hosts + 1) / 2;
+
+  switches_.push_back(std::make_unique<Switch>(engine, config.sw, "wan-switch0"));
+  switches_.push_back(std::make_unique<Switch>(engine, config.sw, "wan-switch1"));
+
+  // Per-site local port index of each host.
+  std::vector<int> local_port(static_cast<std::size_t>(config.n_hosts));
+  int counts[2] = {0, 0};
+  for (int i = 0; i < config.n_hosts; ++i)
+    local_port[static_cast<std::size_t>(i)] = counts[site_of(i)]++;
+  local_port_ = local_port;
+
+  for (int i = 0; i < config.n_hosts; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    const int site = site_of(i);
+    links_.push_back(std::make_unique<net::DuplexLink>(engine, config.host_link,
+                                                       "taxi" + std::to_string(i)));
+    nics_.push_back(std::make_unique<Nic>(engine, config.nic, "nic" + std::to_string(i)));
+    Switch& sw = *switches_[static_cast<std::size_t>(site)];
+    const int port = sw.add_port(links_[ui]->backward(), *nics_[ui], 0);
+    NCS_ASSERT(port == local_port[ui]);
+    nics_[ui]->attach(links_[ui]->forward(), sw, port);
+  }
+
+  // Backbone: one duplex link between the two site switches; its switch
+  // port index is counts[site] (the port after all host ports).
+  links_.push_back(std::make_unique<net::DuplexLink>(engine, config.backbone, "sonet"));
+  net::DuplexLink& bb = *links_.back();
+  const int bb_port0 = switches_[0]->add_port(bb.forward(), *switches_[1], counts[1]);
+  const int bb_port1 = switches_[1]->add_port(bb.backward(), *switches_[0], counts[0]);
+  NCS_ASSERT(bb_port0 == counts[0]);
+  NCS_ASSERT(bb_port1 == counts[1]);
+  const int bb_in_port[2] = {counts[0], counts[1]};
+  backbone_port_[0] = bb_port0;
+  backbone_port_[1] = bb_port1;
+
+  for (int i = 0; i < config.n_hosts; ++i) {
+    for (int j = 0; j < config.n_hosts; ++j) {
+      const int si = site_of(i);
+      const int sj = site_of(j);
+      const int pi = local_port[static_cast<std::size_t>(i)];
+      const int pj = local_port[static_cast<std::size_t>(j)];
+      if (si == sj) {
+        switches_[static_cast<std::size_t>(si)]->add_route(pi, vc_to(j), pj, vc_to(i));
+      } else {
+        // Ingress switch: host uplink -> backbone, with a per-pair backbone
+        // label in VPI 1 space. Egress switch: backbone -> host downlink.
+        const VcId bb_vc{1, static_cast<std::uint16_t>(i * 256 + j)};
+        switches_[static_cast<std::size_t>(si)]->add_route(
+            pi, vc_to(j), /*out_port=*/bb_in_port[si], bb_vc);
+        switches_[static_cast<std::size_t>(sj)]->add_route(bb_in_port[sj], bb_vc, pj, vc_to(i));
+      }
+    }
+  }
+}
+
+}  // namespace ncs::atm

@@ -1,0 +1,107 @@
+// ATM testbed topologies.
+//
+// AtmLan — the paper's "SUN/ATM LAN": N hosts, each on a dedicated
+// 140 Mbps TAXI link into one FORE-style switch, with a full mesh of PVCs.
+//
+// AtmWan — the NYNET shape (Fig 1): two sites, each a LAN star, whose
+// switches are joined by a long-haul SONET link (OC-48 core, or the DS-3
+// upstate-downstate hop) with millisecond propagation delay — the term the
+// paper's overlap argument targets.
+//
+// VC numbering: a host sends to destination j on VCI kVciBase+j and
+// receives from source i on VCI kVciBase+i; the switches rewrite between
+// the two (cross-site hops use a VPI-1 backbone label space).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "atm/nic.hpp"
+#include "atm/switch.hpp"
+#include "common/units.hpp"
+#include "net/link.hpp"
+#include "sim/engine.hpp"
+
+namespace ncs::atm {
+
+inline constexpr std::uint16_t kVciBase = 64;
+
+/// VC a host uses to send to host `dst`.
+inline VcId vc_to(int dst) { return VcId{0, static_cast<std::uint16_t>(kVciBase + dst)}; }
+
+/// Source host of a received chunk, from the delivered VC label.
+inline int src_of(VcId vc) { return static_cast<int>(vc.vci) - static_cast<int>(kVciBase); }
+
+/// Abstract N-host ATM fabric; LAN and WAN expose the same host-side API
+/// so the protocol stacks are topology-agnostic.
+class AtmFabric {
+ public:
+  virtual ~AtmFabric() = default;
+  virtual int n_hosts() const = 0;
+  virtual Nic& nic(int host) = 0;
+};
+
+struct LanConfig {
+  int n_hosts = 4;
+  NicParams nic;
+  net::LinkParams host_link{
+      .bandwidth_bps = bw::taxi_140,
+      .propagation = Duration::microseconds(2),  // tens of meters of fiber
+      .per_frame_overhead = Duration::zero(),
+  };
+  SwitchParams sw;
+};
+
+class AtmLan final : public AtmFabric {
+ public:
+  AtmLan(sim::Engine& engine, LanConfig config);
+
+  int n_hosts() const override { return static_cast<int>(nics_.size()); }
+  Nic& nic(int host) override { return *nics_[static_cast<std::size_t>(host)]; }
+  Switch& fabric() { return *switch_; }
+
+ private:
+  std::vector<std::unique_ptr<net::DuplexLink>> links_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::unique_ptr<Switch> switch_;
+};
+
+struct WanConfig {
+  int n_hosts = 4;  // first half at site 0, rest at site 1
+  NicParams nic;
+  net::LinkParams host_link{
+      .bandwidth_bps = bw::taxi_140,
+      .propagation = Duration::microseconds(2),
+  };
+  /// Inter-site SONET hop. Default: DS-3 with upstate-downstate distance.
+  net::LinkParams backbone{
+      .bandwidth_bps = bw::ds3,
+      .propagation = Duration::milliseconds(2.5),  // ~500 km of fiber
+  };
+  SwitchParams sw;
+};
+
+class AtmWan final : public AtmFabric {
+ public:
+  AtmWan(sim::Engine& engine, WanConfig config);
+
+  int n_hosts() const override { return static_cast<int>(nics_.size()); }
+  Nic& nic(int host) override { return *nics_[static_cast<std::size_t>(host)]; }
+  int site_of(int host) const { return host < site0_hosts_ ? 0 : 1; }
+  Switch& site_switch(int site) { return *switches_[static_cast<std::size_t>(site)]; }
+
+  /// Port index of `host` on its site switch.
+  int local_port(int host) const { return local_port_[static_cast<std::size_t>(host)]; }
+  /// Port index of the inter-site link on `site`'s switch.
+  int backbone_port(int site) const { return backbone_port_[site]; }
+
+ private:
+  int site0_hosts_ = 0;
+  std::vector<int> local_port_;
+  int backbone_port_[2] = {0, 0};
+  std::vector<std::unique_ptr<net::DuplexLink>> links_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+};
+
+}  // namespace ncs::atm

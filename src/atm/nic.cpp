@@ -1,0 +1,153 @@
+#include "atm/nic.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace ncs::atm {
+
+Nic::Nic(sim::Engine& engine, NicParams params, std::string name)
+    : engine_(engine), params_(params), name_(std::move(name)),
+      corrupt_rng_(params.corrupt_seed) {
+  NCS_ASSERT(params_.tx_buffers >= 1);
+  NCS_ASSERT(params_.io_buffer_size >= 1);
+  NCS_ASSERT_MSG(params_.cell_corrupt_probability == 0.0 || params_.detailed_cells,
+                 "cell corruption injection needs detailed_cells");
+}
+
+void Nic::attach(net::Link& tx_link, CellSink& peer, int peer_port) {
+  tx_link_ = &tx_link;
+  peer_ = &peer;
+  peer_port_ = peer_port;
+}
+
+void Nic::notify_tx_buffer(sim::EventFn cb) {
+  NCS_ASSERT(cb != nullptr);
+  if (tx_buffer_available()) {
+    engine_.post(std::move(cb));
+  } else {
+    tx_waiters_.push_back(std::move(cb));
+  }
+}
+
+void Nic::free_tx_buffer() {
+  NCS_ASSERT(tx_buffers_in_use_ > 0);
+  --tx_buffers_in_use_;
+  if (!tx_waiters_.empty()) {
+    // FIFO hand-off: one buffer freed wakes one waiter.
+    sim::EventFn cb = std::move(tx_waiters_.front());
+    tx_waiters_.erase(tx_waiters_.begin());
+    engine_.post(std::move(cb));
+  }
+}
+
+Duration Nic::tx_stage_time(std::size_t n) const {
+  const auto cells = static_cast<std::int64_t>(cells_for(n));
+  const Duration dma =
+      params_.dma_setup + Duration::for_bytes(static_cast<std::int64_t>(n), params_.dma_bandwidth_bps);
+  const Duration sar = params_.sar_setup + params_.sar_per_cell * cells;
+  const Duration wire = tx_link_ != nullptr
+                            ? tx_link_->tx_time(static_cast<std::size_t>(cells) * Cell::kSize)
+                            : Duration::zero();
+  return dma + sar + wire;
+}
+
+void Nic::submit_tx(VcId vc, Bytes chunk, bool end_of_message) {
+  NCS_ASSERT_MSG(tx_link_ != nullptr && peer_ != nullptr, "NIC not attached");
+  NCS_ASSERT_MSG(tx_buffer_available(), "submit_tx with no free buffer");
+  NCS_ASSERT_MSG(chunk.size() <= params_.io_buffer_size, "chunk exceeds I/O buffer");
+  ++tx_buffers_in_use_;
+  const std::size_t chunk_bytes = chunk.size();
+
+  Burst burst;
+  burst.vc = vc;
+  burst.end_of_message = end_of_message;
+  if (params_.detailed_cells) {
+    burst.cells = params_.adaptation == Adaptation::aal5
+                      ? aal5::segment(vc, chunk)
+                      : aal34::segment(vc, chunk, /*mid=*/0, next_btag_++);
+    burst.n_cells = static_cast<std::uint32_t>(burst.cells.size());
+    if (params_.cell_corrupt_probability > 0.0) {
+      // Transit fault injection: flip one payload bit in afflicted cells.
+      for (Cell& c : burst.cells) {
+        if (corrupt_rng_.next_bool(params_.cell_corrupt_probability)) {
+          const auto at = corrupt_rng_.next_below(Cell::kPayloadSize);
+          c.payload[at] ^= static_cast<std::byte>(1u << corrupt_rng_.next_below(8));
+        }
+      }
+    }
+  } else {
+    burst.n_cells = static_cast<std::uint32_t>(cells_for(chunk.size()));
+    burst.payload = std::move(chunk);
+  }
+  ++stats_.tx_chunks;
+  stats_.tx_cells += burst.n_cells;
+
+  // Pipeline: DMA then SAR are serial per-engine; the wire is entered via
+  // an event at SAR completion so link FIFO order matches SAR order.
+  const Duration dma_time =
+      params_.dma_setup +
+      Duration::for_bytes(static_cast<std::int64_t>(chunk_bytes), params_.dma_bandwidth_bps);
+  const TimePoint dma_done = tx_dma_.occupy(engine_.now(), dma_time);
+  const Duration sar_time = params_.sar_setup + params_.sar_per_cell * burst.n_cells;
+  const TimePoint sar_done = sar_.occupy(dma_done, sar_time);
+
+  engine_.schedule_at(sar_done, [this, b = std::move(burst)]() mutable {
+    CellSink* peer = peer_;
+    const int port = peer_port_;
+    tx_link_->transmit(
+        b.wire_bytes(), [this] { free_tx_buffer(); },
+        [peer, port, b2 = std::move(b)]() mutable { peer->accept(port, std::move(b2)); });
+  });
+}
+
+void Nic::accept(int /*port*/, Burst burst) {
+  ++stats_.rx_chunks;
+  stats_.rx_cells += burst.n_cells;
+
+  Bytes payload;
+  if (burst.detailed()) {
+    // Real reassembly: HEC was implicitly valid (cells were never packed on
+    // this path); run the adaptation layer's CRC/length checks.
+    const auto push_all = [&](auto& reasm) -> bool {
+      bool complete = false;
+      for (const Cell& c : burst.cells) {
+        auto out = reasm.push(c);
+        if (!out.has_value()) continue;
+        if (!out->is_ok()) {
+          ++stats_.rx_errors;
+          NCS_WARN("atm.nic", "%s: reassembly error: %s", name_.c_str(),
+                   out->status().to_string().c_str());
+          return false;
+        }
+        payload = std::move(out->value());
+        complete = true;
+      }
+      NCS_ASSERT_MSG(complete, "burst did not end a CPCS-PDU");
+      return true;
+    };
+    const bool ok = params_.adaptation == Adaptation::aal5
+                        ? push_all(rx_reassembly_[burst.vc])
+                        : push_all(rx_reassembly34_[burst.vc]);
+    if (!ok) return;
+  } else {
+    payload = std::move(burst.payload);
+  }
+
+  // Adapter->host DMA, then the host upcall.
+  const Duration dma_time =
+      params_.dma_setup +
+      Duration::for_bytes(static_cast<std::int64_t>(payload.size()), params_.dma_bandwidth_bps);
+  const TimePoint done = rx_dma_.occupy(engine_.now(), dma_time);
+  engine_.schedule_at(done, [this, vc = burst.vc, p = std::move(payload),
+                             eom = burst.end_of_message]() mutable {
+    if (const auto it = vc_handlers_.find(vc); it != vc_handlers_.end()) {
+      it->second(vc, std::move(p), eom);
+      return;
+    }
+    if (rx_handler_) rx_handler_(vc, std::move(p), eom);
+  });
+}
+
+}  // namespace ncs::atm

@@ -1,0 +1,133 @@
+#include "cluster/cluster.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "core/mps/atm_transport.hpp"
+#include "core/mps/p4_transport.hpp"
+
+namespace ncs::cluster {
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  NCS_ASSERT(config_.n_procs >= 1);
+
+  for (int r = 0; r < config_.n_procs; ++r) {
+    mts::SchedulerParams sp;
+    sp.name = "p" + std::to_string(r);
+    sp.cpu_mhz = config_.cpu_mhz;
+    sp.context_switch_cost = config_.context_switch_cost;
+    sp.thread_create_cost = config_.thread_create_cost;
+    hosts_.push_back(std::make_unique<mts::Scheduler>(engine_, sp));
+  }
+
+  switch (config_.network) {
+    case NetworkKind::ethernet:
+      bus_ = std::make_unique<ether::Bus>(engine_, config_.bus, config_.n_procs);
+      break;
+    case NetworkKind::atm_lan: {
+      atm::LanConfig lc;
+      lc.n_hosts = config_.n_procs;
+      lc.nic = config_.nic;
+      lc.host_link = config_.host_link;
+      lc.sw = config_.sw;
+      fabric_ = std::make_unique<atm::AtmLan>(engine_, lc);
+      break;
+    }
+    case NetworkKind::atm_wan: {
+      atm::WanConfig wc;
+      wc.n_hosts = config_.n_procs;
+      wc.nic = config_.nic;
+      wc.host_link = config_.host_link;
+      wc.backbone = config_.wan_backbone;
+      wc.sw = config_.sw;
+      if (config_.n_procs < 2) {
+        // A one-host "WAN" degenerates to a LAN star.
+        atm::LanConfig lc;
+        lc.n_hosts = config_.n_procs;
+        lc.nic = config_.nic;
+        lc.host_link = config_.host_link;
+        lc.sw = config_.sw;
+        fabric_ = std::make_unique<atm::AtmLan>(engine_, lc);
+      } else {
+        fabric_ = std::make_unique<atm::AtmWan>(engine_, wc);
+      }
+      break;
+    }
+  }
+}
+
+Cluster::~Cluster() {
+  for (auto& n : nodes_) api::unregister_node(n.get());
+}
+
+void Cluster::enable_timeline() {
+  timeline_enabled_ = true;
+  for (auto& h : hosts_) h->set_timeline(&timeline_);
+}
+
+p4::Runtime& Cluster::init_p4() {
+  NCS_ASSERT_MSG(p4_ == nullptr, "runtime already initialized");
+  if (config_.network == NetworkKind::ethernet) {
+    segnet_ = std::make_unique<proto::EthernetSegmentNetwork>(*bus_, config_.n_procs);
+  } else {
+    segnet_ = std::make_unique<proto::AtmSegmentNetwork>(engine_, *fabric_);
+  }
+  std::vector<mts::Scheduler*> scheds;
+  for (auto& h : hosts_) scheds.push_back(h.get());
+  p4_ = std::make_unique<p4::Runtime>(engine_, scheds, *segnet_, config_.tcp, config_.costs);
+  return *p4_;
+}
+
+void Cluster::init_ncs_nsm() {
+  init_p4();
+  for (int r = 0; r < config_.n_procs; ++r) {
+    auto transport = std::make_unique<mps::P4Transport>(p4_->process(r));
+    nodes_.push_back(std::make_unique<mps::Node>(host(r), r, config_.n_procs,
+                                                 std::move(transport), config_.ncs));
+    api::register_node(nodes_.back().get());
+  }
+}
+
+void Cluster::init_ncs_hsm() {
+  NCS_ASSERT_MSG(config_.network != NetworkKind::ethernet,
+                 "HSM requires an ATM fabric");
+  NCS_ASSERT_MSG(p4_ == nullptr, "runtime already initialized");
+  if (config_.hsm_use_svc) {
+    auto* lan = dynamic_cast<atm::AtmLan*>(fabric_.get());
+    NCS_ASSERT_MSG(lan != nullptr, "SVC provisioning needs the single-switch ATM LAN");
+    call_controller_ = std::make_unique<atm::CallController>(engine_, *lan);
+  }
+  for (int r = 0; r < config_.n_procs; ++r) {
+    mps::AtmTransport::Params tp;
+    tp.chunk_size = config_.hsm_chunk;
+    tp.costs = config_.costs;
+    if (call_controller_ != nullptr) tp.signaling = &call_controller_->agent(r);
+    auto transport = std::make_unique<mps::AtmTransport>(host(r), fabric_->nic(r), tp);
+    nodes_.push_back(std::make_unique<mps::Node>(host(r), r, config_.n_procs,
+                                                 std::move(transport), config_.ncs));
+    api::register_node(nodes_.back().get());
+  }
+}
+
+Duration Cluster::run(std::function<void(int)> main_fn) {
+  const TimePoint t0 = engine_.now();
+  TimePoint last_finish = t0;
+  int remaining = config_.n_procs;
+
+  for (int r = 0; r < config_.n_procs; ++r) {
+    host(r).spawn(
+        [this, r, main_fn, &last_finish, &remaining] {
+          main_fn(r);
+          last_finish = ncs::max(last_finish, engine_.now());
+          --remaining;
+        },
+        {.name = "main", .priority = mts::kDefaultPriority});
+  }
+  engine_.run();
+  NCS_ASSERT_MSG(remaining == 0,
+                 "a main thread never finished (deadlocked waiting on a message?)");
+  if (timeline_enabled_) timeline_.finish(engine_.now());
+  return last_finish - t0;
+}
+
+}  // namespace ncs::cluster

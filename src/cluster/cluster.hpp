@@ -1,0 +1,78 @@
+// Experiment harness: builds a simulated testbed (hosts + network),
+// binds a runtime (plain p4, NCS over p4, or NCS over the ATM API), runs
+// one application main per process, and reports the simulated makespan.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "atm/signaling.hpp"
+#include "cluster/config.hpp"
+#include "core/api.hpp"
+#include "core/mps/node.hpp"
+#include "p4/p4.hpp"
+#include "proto/segment_network.hpp"
+#include "sim/timeline.hpp"
+
+namespace ncs::cluster {
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  const ClusterConfig& config() const { return config_; }
+  int n_procs() const { return config_.n_procs; }
+  mts::Scheduler& host(int rank) { return *hosts_[static_cast<std::size_t>(rank)]; }
+
+  /// Call before init_*/run to record per-thread activity timelines.
+  void enable_timeline();
+  sim::Timeline& timeline() { return timeline_; }
+
+  // --- runtime selection (exactly one per Cluster instance) ---
+
+  /// Plain p4 over TCP/IP over this cluster's network.
+  p4::Runtime& init_p4();
+
+  /// NCS approach 1 (NSM): NCS_MTS over p4 — the paper's benchmarked mode.
+  void init_ncs_nsm();
+
+  /// NCS approach 2 (HSM): NCS straight on the ATM API. Requires an ATM
+  /// network kind.
+  void init_ncs_hsm();
+
+  p4::Runtime& p4() { return *p4_; }
+  bool has_p4() const { return p4_ != nullptr; }
+  mps::Node& node(int rank) { return *nodes_[static_cast<std::size_t>(rank)]; }
+  bool has_ncs() const { return !nodes_.empty(); }
+
+  /// The physical substrate, for statistics reporting (null when the other
+  /// network kind is configured).
+  ether::Bus* ethernet() { return bus_.get(); }
+  atm::AtmFabric* atm_fabric() { return fabric_.get(); }
+
+  /// Runs main_fn(rank) as a thread on every host; returns the simulated
+  /// time from launch until the last main finishes.
+  Duration run(std::function<void(int)> main_fn);
+
+ private:
+  ClusterConfig config_;
+  sim::Engine engine_;
+  sim::Timeline timeline_;
+  bool timeline_enabled_ = false;
+
+  std::vector<std::unique_ptr<mts::Scheduler>> hosts_;
+  std::unique_ptr<ether::Bus> bus_;
+  std::unique_ptr<atm::AtmFabric> fabric_;
+  std::unique_ptr<atm::CallController> call_controller_;  // SVC mode only
+  std::unique_ptr<proto::SegmentNetwork> segnet_;
+  std::unique_ptr<p4::Runtime> p4_;
+  std::vector<std::unique_ptr<mps::Node>> nodes_;
+};
+
+}  // namespace ncs::cluster

@@ -1,0 +1,35 @@
+// Cooperative compute charging.
+//
+// Under user-space threads nothing preempts a running computation: a
+// monolithic multi-second charge() would starve the send/receive system
+// threads and stall the NIC pipeline behind it — visibly wrecking the HSM
+// tier. Well-behaved 1995 thread code yielded periodically for exactly
+// this reason, and the paper's Fig 16 shows computation interleaving with
+// communication at fine grain. charge_compute() charges in ~quantum-sized
+// slices with a yield between slices, giving the scheduler its dispatch
+// points (the higher-priority system threads win them when they have
+// work).
+#pragma once
+
+#include <algorithm>
+
+#include "core/mts/scheduler.hpp"
+
+namespace ncs::cluster {
+
+inline constexpr double kDefaultComputeQuantumCycles = 2e6;  // ~50 ms at 40 MHz
+
+inline void charge_compute(mts::Scheduler& host, double cycles,
+                           double quantum_cycles = kDefaultComputeQuantumCycles) {
+  while (cycles > 0) {
+    const double q = std::min(cycles, quantum_cycles);
+    host.charge_cycles(q, sim::Activity::compute);
+    cycles -= q;
+    // Only the (higher-priority) system threads may take the dispatch
+    // point: sibling compute threads must not timeshare, or the first
+    // pipeline stage finishes late and every downstream stage slips.
+    if (cycles > 0) host.yield_to_higher();
+  }
+}
+
+}  // namespace ncs::cluster

@@ -1,0 +1,46 @@
+#include "cluster/config.hpp"
+
+namespace ncs::cluster {
+
+const char* to_string(NetworkKind k) {
+  switch (k) {
+    case NetworkKind::ethernet: return "Ethernet";
+    case NetworkKind::atm_lan: return "ATM LAN";
+    case NetworkKind::atm_wan: return "NYNET WAN";
+  }
+  return "?";
+}
+
+ClusterConfig sun_ethernet(int n_procs) {
+  ClusterConfig c;
+  c.name = "SUN/Ethernet";
+  c.n_procs = n_procs;
+  c.network = NetworkKind::ethernet;
+  c.cpu_mhz = 33.0;  // SPARCstation ELC
+  return c;
+}
+
+ClusterConfig sun_atm_lan(int n_procs) {
+  ClusterConfig c;
+  c.name = "SUN/ATM LAN";
+  c.n_procs = n_procs;
+  c.network = NetworkKind::atm_lan;
+  c.cpu_mhz = 40.0;  // SPARCstation IPX
+  return c;
+}
+
+ClusterConfig nynet_wan(int n_procs) {
+  ClusterConfig c;
+  c.name = "NYNET WAN";
+  c.n_procs = n_procs;
+  c.network = NetworkKind::atm_wan;
+  c.cpu_mhz = 40.0;
+  return c;
+}
+
+const Calibration& calibration() {
+  static const Calibration cal;
+  return cal;
+}
+
+}  // namespace ncs::cluster

@@ -1,0 +1,264 @@
+#include "apps/fft.hpp"
+#include "cluster/compute.hpp"
+#include "cluster/drivers.hpp"
+#include "common/assert.hpp"
+
+namespace ncs::cluster {
+
+namespace {
+
+using apps::fft::assemble;
+using apps::fft::Complex;
+using apps::fft::fft;
+using apps::fft::flops_per_butterfly;
+using apps::fft::global_stage;
+using apps::fft::keeps_sum_half;
+using apps::fft::local_phase;
+using apps::fft::log2_exact;
+using apps::fft::make_samples;
+using apps::fft::pack;
+using apps::fft::unpack;
+
+constexpr int kTypeA = 30;
+constexpr int kTypeB = 31;
+constexpr int kTypeExchange = 32;
+constexpr int kTypeResult = 33;
+
+double stage_cycles(std::size_t butterflies) {
+  return static_cast<double>(butterflies) * calibration().fft_cycles_per_butterfly;
+}
+
+/// The compute/communicate body shared by both variants: runs the paper's
+/// Fig 21 algorithm for one global thread. `exchange` sends `out` to the
+/// partner thread and returns its counterpart; `charge` prices butterflies.
+template <typename ExchangeFn, typename ChargeFn>
+std::vector<Complex> fft_thread_body(std::vector<Complex> a, std::vector<Complex> b,
+                                     int thread_num, std::size_t m, std::size_t n_threads,
+                                     ExchangeFn&& exchange, ChargeFn&& charge) {
+  const std::size_t r = m / (2 * n_threads);
+  std::vector<Complex> x(r), y(r);
+  const int global_steps = log2_exact(n_threads);
+
+  for (int step = 0; step < global_steps; ++step) {
+    charge(r);
+    global_stage(a, b, x, y, thread_num, step, m, n_threads);
+    const int d = static_cast<int>(n_threads) >> (step + 1);
+    if (keeps_sum_half(thread_num, d)) {
+      // Upper half: keep the sums, ship the twiddled differences down.
+      b = exchange(thread_num + d, pack(y));
+      a = x;
+    } else {
+      a = exchange(thread_num - d, pack(x));
+      b = y;
+    }
+  }
+
+  // Local sub-FFT of the 2R points this thread now owns.
+  std::vector<Complex> local(2 * r);
+  std::copy(a.begin(), a.end(), local.begin());
+  std::copy(b.begin(), b.end(), local.begin() + static_cast<std::ptrdiff_t>(r));
+  charge(r * static_cast<std::size_t>(log2_exact(2 * r)));
+  local_phase(local, m);
+  return local;
+}
+
+bool verify_sets(const std::vector<std::vector<Complex>>& results, std::size_t m, int sets) {
+  for (int s = 0; s < sets; ++s) {
+    const auto reference = fft(make_samples(m, static_cast<std::uint64_t>(s)));
+    if (!apps::fft::approx_equal(results[static_cast<std::size_t>(s)], reference,
+                                 1e-6 * static_cast<double>(m)))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace {
+
+/// One-node rows (paper Tables 3): a single workstation, no host/node
+/// traffic. `threads` > 1 splits the butterfly work across NCS threads
+/// with a local barrier per set — pure thread-maintenance overhead, which
+/// is why the paper's 1-node NCS times trail p4's slightly.
+AppResult run_fft_single(ClusterConfig base, int threads) {
+  const Calibration& cal = calibration();
+  const std::size_t m = cal.fft_m;
+  base.n_procs = 1;
+  Cluster cluster(std::move(base));
+
+  std::vector<std::vector<Complex>> results(static_cast<std::size_t>(cal.fft_sample_sets));
+  const double butterflies_per_set = static_cast<double>(m / 2 * static_cast<std::size_t>(log2_exact(m)));
+
+  const Duration elapsed = cluster.run([&](int) {
+    mts::Scheduler& host = cluster.host(0);
+    if (threads == 1) {
+      for (int set = 0; set < cal.fft_sample_sets; ++set) {
+        charge_compute(host, butterflies_per_set * cal.fft_cycles_per_butterfly);
+        results[static_cast<std::size_t>(set)] = fft(make_samples(m, static_cast<std::uint64_t>(set)));
+      }
+      return;
+    }
+    auto barrier = std::make_shared<mts::Barrier>(host, threads);
+    std::vector<mts::Thread*> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.push_back(host.spawn([&, t, barrier] {
+        for (int set = 0; set < cal.fft_sample_sets; ++set) {
+          charge_compute(host, butterflies_per_set * cal.fft_cycles_per_butterfly / threads);
+          barrier->arrive_and_wait();
+          if (t == 0)
+            results[static_cast<std::size_t>(set)] =
+                fft(make_samples(m, static_cast<std::uint64_t>(set)));
+        }
+      }, {.name = "fft" + std::to_string(t)}));
+    }
+    for (mts::Thread* w : workers) host.join(w);
+  });
+
+  AppResult result{elapsed, false};
+  result.correct = verify_sets(results, m, cal.fft_sample_sets);
+  return result;
+}
+
+}  // namespace
+
+AppResult run_fft_p4(ClusterConfig base, int nodes) {
+  const Calibration& cal = calibration();
+  const std::size_t m = cal.fft_m;
+  const auto n_threads = static_cast<std::size_t>(nodes);  // one per node process
+  NCS_ASSERT(nodes >= 1 && m % (2 * n_threads) == 0);
+  if (nodes == 1) return run_fft_single(std::move(base), 1);
+  base.n_procs = nodes + 1;
+  Cluster cluster(std::move(base));
+  p4::Runtime& rt = cluster.init_p4();
+
+  const std::size_t r = m / (2 * n_threads);
+  std::vector<std::vector<Complex>> results(static_cast<std::size_t>(cal.fft_sample_sets));
+
+  const Duration elapsed = cluster.run([&](int rank) {
+    p4::Process& p = rt.process(rank);
+    if (rank == 0) {
+      for (int set = 0; set < cal.fft_sample_sets; ++set) {
+        const auto samples = make_samples(m, static_cast<std::uint64_t>(set));
+        for (int i = 1; i <= nodes; ++i) {
+          const std::size_t base_row = static_cast<std::size_t>(i - 1) * r;
+          p.send(kTypeA, i, pack({samples.data() + base_row, r}));
+          p.send(kTypeB, i, pack({samples.data() + base_row + m / 2, r}));
+        }
+        std::vector<Complex> concatenated(m);
+        for (int i = 1; i <= nodes; ++i) {
+          int type = kTypeResult;
+          int from = i;
+          const auto block = unpack(p.recv(&type, &from));
+          std::copy(block.begin(), block.end(),
+                    concatenated.begin() +
+                        static_cast<std::ptrdiff_t>(static_cast<std::size_t>(i - 1) * 2 * r));
+        }
+        results[static_cast<std::size_t>(set)] = assemble(concatenated);
+      }
+    } else {
+      const int thread_num = rank - 1;
+      for (int set = 0; set < cal.fft_sample_sets; ++set) {
+        int type = kTypeA, from = 0;
+        auto a = unpack(p.recv(&type, &from));
+        type = kTypeB;
+        from = 0;
+        auto b = unpack(p.recv(&type, &from));
+
+        auto local = fft_thread_body(
+            std::move(a), std::move(b), thread_num, m, n_threads,
+            [&](int partner, Bytes out) {
+              p.send(kTypeExchange, partner + 1, out);
+              int t = kTypeExchange;
+              int f = partner + 1;
+              return unpack(p.recv(&t, &f));
+            },
+            [&](std::size_t butterflies) {
+              charge_compute(p.host(), stage_cycles(butterflies));
+            });
+        p.send(kTypeResult, 0, pack(local));
+      }
+    }
+  });
+
+  AppResult result{elapsed, false};
+  result.correct = verify_sets(results, m, cal.fft_sample_sets);
+  return result;
+}
+
+AppResult run_fft_ncs(ClusterConfig base, int nodes, NcsTier tier) {
+  const Calibration& cal = calibration();
+  const std::size_t m = cal.fft_m;
+  constexpr int kTpn = 2;  // two threads per node process (paper Fig 20)
+  const auto n_threads = static_cast<std::size_t>(nodes * kTpn);
+  NCS_ASSERT(nodes >= 1 && m % (2 * n_threads) == 0);
+  if (nodes == 1) return run_fft_single(std::move(base), kTpn);
+  base.n_procs = nodes + 1;
+  Cluster cluster(std::move(base));
+  if (tier == NcsTier::nsm_p4) {
+    cluster.init_ncs_nsm();
+  } else {
+    cluster.init_ncs_hsm();
+  }
+
+  const std::size_t r = m / (2 * n_threads);
+  std::vector<std::vector<Complex>> results(static_cast<std::size_t>(cal.fft_sample_sets));
+
+  // Global thread g lives on process g/kTpn + 1 as local thread g%kTpn.
+  const auto proc_of = [](int g) { return g / kTpn + 1; };
+  const auto local_of = [](int g) { return g % kTpn; };
+
+  const Duration elapsed = cluster.run([&](int rank) {
+    mps::Node& node = cluster.node(rank);
+
+    if (rank == 0) {
+      // Host process has a single thread (paper Section 5.3.2): the main
+      // thread itself distributes and collects.
+      for (int set = 0; set < cal.fft_sample_sets; ++set) {
+        const auto samples = make_samples(m, static_cast<std::uint64_t>(set));
+        for (std::size_t g = 0; g < n_threads; ++g) {
+          const std::size_t base_row = g * r;
+          const int gi = static_cast<int>(g);
+          node.send(0, local_of(gi), proc_of(gi), pack({samples.data() + base_row, r}));
+          node.send(0, local_of(gi), proc_of(gi), pack({samples.data() + base_row + m / 2, r}));
+        }
+        std::vector<Complex> concatenated(m);
+        for (std::size_t g = 0; g < n_threads; ++g) {
+          const int gi = static_cast<int>(g);
+          const auto block = unpack(node.recv(local_of(gi), proc_of(gi), 0));
+          std::copy(block.begin(), block.end(),
+                    concatenated.begin() + static_cast<std::ptrdiff_t>(g * 2 * r));
+        }
+        results[static_cast<std::size_t>(set)] = assemble(concatenated);
+      }
+    } else {
+      std::vector<int> tids(kTpn);
+      for (int t = 0; t < kTpn; ++t) {
+        tids[static_cast<std::size_t>(t)] = node.t_create([&, t, rank] {
+          const int thread_num = (rank - 1) * kTpn + t;  // paper: 2*my_num + tid
+          for (int set = 0; set < cal.fft_sample_sets; ++set) {
+            auto a = unpack(node.recv(0, 0, t));
+            auto b = unpack(node.recv(0, 0, t));
+
+            auto local = fft_thread_body(
+                std::move(a), std::move(b), thread_num, m, n_threads,
+                [&](int partner, Bytes out) {
+                  node.send(t, local_of(partner), proc_of(partner), out);
+                  return unpack(node.recv(local_of(partner), proc_of(partner), t));
+                },
+                [&](std::size_t butterflies) {
+                  charge_compute(node.host(), stage_cycles(butterflies));
+                });
+            node.send(t, 0, 0, pack(local));
+          }
+        }, mts::kDefaultPriority, "fft" + std::to_string(t));
+      }
+      for (int tid : tids) node.host().join(node.user_thread(tid));
+    }
+  });
+
+  AppResult result{elapsed, false};
+  result.correct = verify_sets(results, m, cal.fft_sample_sets);
+  return result;
+}
+
+}  // namespace ncs::cluster

@@ -1,0 +1,208 @@
+#include "apps/image.hpp"
+#include "apps/jpeg/codec.hpp"
+#include "cluster/compute.hpp"
+#include "cluster/drivers.hpp"
+#include "common/assert.hpp"
+
+namespace ncs::cluster {
+
+namespace {
+
+using apps::Image;
+using apps::make_test_image;
+using apps::pack_image;
+using apps::psnr;
+using apps::unpack_image;
+
+constexpr int kTypeStrip = 20;
+constexpr int kTypeCompressed = 21;
+constexpr int kTypeBack = 22;
+
+/// Messages carry the strip's first row so the master can place results
+/// arriving in any order.
+Bytes with_offset(int row_begin, BytesView payload) {
+  Bytes out(4 + payload.size());
+  ByteWriter w(out);
+  w.u32(static_cast<std::uint32_t>(row_begin));
+  w.bytes(payload);
+  return out;
+}
+
+std::pair<int, BytesView> split_offset(BytesView data) {
+  ByteReader r(data);
+  const int row = static_cast<int>(r.u32());
+  return {row, r.bytes(r.remaining())};
+}
+
+/// Paste `strip` into `out` starting at `row_begin`.
+void paste(Image& out, const Image& strip, int row_begin) {
+  NCS_ASSERT(strip.width == out.width);
+  NCS_ASSERT(row_begin + strip.height <= out.height);
+  std::copy(strip.pixels.begin(), strip.pixels.end(),
+            out.pixels.begin() + static_cast<std::ptrdiff_t>(row_begin) * out.width);
+}
+
+double compress_cycles(const Image& img) {
+  return static_cast<double>(img.pixels.size()) *
+         calibration().jpeg_compress_cycles_per_pixel;
+}
+
+double decompress_cycles(std::size_t pixels) {
+  return static_cast<double>(pixels) * calibration().jpeg_decompress_cycles_per_pixel;
+}
+
+/// Cost of the master reading the image from disk (stage 0 of the paper's
+/// five-stage pipeline).
+double read_cycles(const Image& img) { return static_cast<double>(img.pixels.size()) * 2.0; }
+
+}  // namespace
+
+AppResult run_jpeg_p4(ClusterConfig base, int nodes) {
+  const Calibration& cal = calibration();
+  NCS_ASSERT(nodes >= 2 && nodes % 2 == 0);
+  const int compressors = nodes / 2;
+  NCS_ASSERT(cal.jpeg_height % compressors == 0);
+  base.n_procs = nodes + 1;
+  Cluster cluster(std::move(base));
+  p4::Runtime& rt = cluster.init_p4();
+
+  const Image original = make_test_image(cal.jpeg_width, cal.jpeg_height, 7);
+  Image reconstructed;
+  reconstructed.width = original.width;
+  reconstructed.height = original.height;
+  reconstructed.pixels.assign(original.pixels.size(), 0);
+  const int strip_rows = cal.jpeg_height / compressors;
+
+  const Duration elapsed = cluster.run([&](int rank) {
+    p4::Process& p = rt.process(rank);
+    if (rank == 0) {
+      // Stage 1: read + distribute the uncompressed image.
+      charge_compute(p.host(), read_cycles(original));
+      for (int i = 1; i <= compressors; ++i) {
+        const int row = (i - 1) * strip_rows;
+        p.send(kTypeStrip, i, with_offset(row, pack_image(original.strip(row, row + strip_rows))));
+      }
+      // Stage 5: collect + combine decompressed strips.
+      for (int k = 0; k < compressors; ++k) {
+        int type = kTypeBack;
+        int from = p4::kAnyProc;
+        const Bytes data = p.recv(&type, &from);
+        const auto [row, payload] = split_offset(data);
+        paste(reconstructed, unpack_image(payload), row);
+      }
+    } else if (rank <= compressors) {
+      // Stage 2: compress.
+      int type = kTypeStrip;
+      int from = 0;
+      const Bytes data = p.recv(&type, &from);
+      const auto [row, payload] = split_offset(data);
+      const Image strip = unpack_image(payload);
+      charge_compute(p.host(), compress_cycles(strip));
+      const Bytes stream = apps::jpeg::compress(strip);
+      // Stage 3: ship compressed data to the partner decompressor.
+      p.send(kTypeCompressed, rank + compressors, with_offset(row, stream));
+    } else {
+      // Stage 4: decompress and return.
+      int type = kTypeCompressed;
+      int from = rank - compressors;
+      const Bytes data = p.recv(&type, &from);
+      const auto [row, payload] = split_offset(data);
+      const Image strip = apps::jpeg::decompress(payload);
+      charge_compute(p.host(), decompress_cycles(strip.pixels.size()));
+      p.send(kTypeBack, 0, with_offset(row, pack_image(strip)));
+    }
+  });
+
+  AppResult result{elapsed, false};
+  result.correct = psnr(original, reconstructed) > 30.0;
+  return result;
+}
+
+AppResult run_jpeg_ncs(ClusterConfig base, int nodes, NcsTier tier) {
+  const Calibration& cal = calibration();
+  NCS_ASSERT(nodes >= 2 && nodes % 2 == 0);
+  const int compressors = nodes / 2;
+  constexpr int kTpn = 2;  // threads per node process (paper Section 5.2)
+  NCS_ASSERT(cal.jpeg_height % (compressors * kTpn) == 0);
+  base.n_procs = nodes + 1;
+  Cluster cluster(std::move(base));
+  if (tier == NcsTier::nsm_p4) {
+    cluster.init_ncs_nsm();
+  } else {
+    cluster.init_ncs_hsm();
+  }
+
+  const Image original = make_test_image(cal.jpeg_width, cal.jpeg_height, 7);
+  Image reconstructed;
+  reconstructed.width = original.width;
+  reconstructed.height = original.height;
+  reconstructed.pixels.assign(original.pixels.size(), 0);
+  const int half_rows = cal.jpeg_height / (compressors * kTpn);
+
+  const Duration elapsed = cluster.run([&](int rank) {
+    mps::Node& node = cluster.node(rank);
+
+    if (rank == 0) {
+      // Host (paper Fig 17): thread 0 reads the image, unblocks thread 1,
+      // distributes its half-strips and collects every decompressed piece;
+      // thread 1 distributes the other halves as soon as the read is done.
+      auto image_read = std::make_shared<mts::Event>(node.host());
+      std::vector<int> tids(kTpn);
+      for (int t = 0; t < kTpn; ++t) {
+        tids[static_cast<std::size_t>(t)] = node.t_create([&, t, image_read] {
+          if (t == 0) {
+            charge_compute(node.host(), read_cycles(original));
+            image_read->set();  // NCS_unblock(tid2) in the paper
+          } else {
+            image_read->wait();  // NCS_block() in the paper
+          }
+          for (int i = 1; i <= compressors; ++i) {
+            const int slice = (i - 1) * kTpn + t;
+            const int row = slice * half_rows;
+            node.send(t, t, i,
+                      with_offset(row, pack_image(original.strip(row, row + half_rows))));
+          }
+          if (t == 0) {
+            for (int k = 0; k < compressors * kTpn; ++k) {
+              const Bytes data = node.recv(mps::kAnyThread, mps::kAnyProcess, 0);
+              const auto [row, payload] = split_offset(data);
+              paste(reconstructed, unpack_image(payload), row);
+            }
+          }
+        }, mts::kDefaultPriority, "host-t" + std::to_string(t));
+      }
+      for (int tid : tids) node.host().join(node.user_thread(tid));
+    } else if (rank <= compressors) {
+      std::vector<int> tids(kTpn);
+      for (int t = 0; t < kTpn; ++t) {
+        tids[static_cast<std::size_t>(t)] = node.t_create([&, t, rank] {
+          const Bytes data = node.recv(t, 0, t);
+          const auto [row, payload] = split_offset(data);
+          const Image strip = unpack_image(payload);
+          charge_compute(node.host(), compress_cycles(strip));
+          const Bytes stream = apps::jpeg::compress(strip);
+          node.send(t, t, rank + compressors, with_offset(row, stream));
+        }, mts::kDefaultPriority, "compress" + std::to_string(t));
+      }
+      for (int tid : tids) node.host().join(node.user_thread(tid));
+    } else {
+      std::vector<int> tids(kTpn);
+      for (int t = 0; t < kTpn; ++t) {
+        tids[static_cast<std::size_t>(t)] = node.t_create([&, t, rank] {
+          const Bytes data = node.recv(t, rank - compressors, t);
+          const auto [row, payload] = split_offset(data);
+          const Image strip = apps::jpeg::decompress(payload);
+          charge_compute(node.host(), decompress_cycles(strip.pixels.size()));
+          node.send(t, 0, 0, with_offset(row, pack_image(strip)));
+        }, mts::kDefaultPriority, "decompress" + std::to_string(t));
+      }
+      for (int tid : tids) node.host().join(node.user_thread(tid));
+    }
+  });
+
+  AppResult result{elapsed, false};
+  result.correct = psnr(original, reconstructed) > 30.0;
+  return result;
+}
+
+}  // namespace ncs::cluster

@@ -1,0 +1,45 @@
+// Distributed application drivers — the paper's Section 5 experiments.
+//
+// Each application exists in two structurally-matched variants:
+//   *_p4  : plain p4, one thread per process (the paper's baseline,
+//           Figs 13, 19).
+//   *_ncs : NCS_MTS/p4 with `threads_per_node` compute threads per node
+//           process (the paper's multithreaded versions, Figs 14, 17/18,
+//           20/21). The host is rank 0 in both variants.
+//
+// Every run performs the real computation on real data and verifies the
+// distributed result against a sequential reference — the verification
+// happens outside simulated time and is reported in AppResult::correct.
+//
+// Pass a preset from config.hpp (sun_ethernet / sun_atm_lan / nynet_wan);
+// the driver overrides n_procs with nodes+1 (host + node processes).
+#pragma once
+
+#include "cluster/cluster.hpp"
+
+namespace ncs::cluster {
+
+struct AppResult {
+  Duration elapsed;
+  bool correct = false;
+};
+
+/// Which NCS tier the *_ncs drivers bind (the paper evaluates NSM).
+enum class NcsTier { nsm_p4, hsm_atm };
+
+// --- Matrix multiplication (Table 1; Figs 13/14) ---
+AppResult run_matmul_p4(ClusterConfig base, int nodes);
+AppResult run_matmul_ncs(ClusterConfig base, int nodes, NcsTier tier = NcsTier::nsm_p4,
+                         int threads_per_node = 2);
+
+// --- JPEG compression/decompression pipeline (Table 2; Figs 17/18) ---
+// `nodes` must be even: the first half compresses, the second half
+// decompresses.
+AppResult run_jpeg_p4(ClusterConfig base, int nodes);
+AppResult run_jpeg_ncs(ClusterConfig base, int nodes, NcsTier tier = NcsTier::nsm_p4);
+
+// --- Distributed DIF FFT (Table 3; Figs 19-21) ---
+AppResult run_fft_p4(ClusterConfig base, int nodes);
+AppResult run_fft_ncs(ClusterConfig base, int nodes, NcsTier tier = NcsTier::nsm_p4);
+
+}  // namespace ncs::cluster

@@ -1,0 +1,101 @@
+#include "cluster/report.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ncs::cluster {
+
+namespace {
+
+void line(std::string& out, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+void line(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  out += buf;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string report(Cluster& cluster) {
+  std::string out;
+  line(out, "=== run report: %s, %d processes, clock %s ===",
+       cluster.config().name.c_str(), cluster.n_procs(),
+       cluster.engine().now().to_string().c_str());
+  line(out, "engine: %llu events processed",
+       static_cast<unsigned long long>(cluster.engine().processed()));
+
+  line(out, "%-5s %10s %11s %11s %11s", "host", "dispatches", "cpu-busy", "overhead",
+       "threads");
+  for (int r = 0; r < cluster.n_procs(); ++r) {
+    const auto& s = cluster.host(r).stats();
+    line(out, "p%-4d %10llu %10.3fs %10.3fs %11llu", r,
+         static_cast<unsigned long long>(s.dispatches), s.cpu_busy.sec(), s.overhead.sec(),
+         static_cast<unsigned long long>(s.spawns));
+  }
+
+  if (cluster.has_ncs()) {
+    line(out, "%-5s %7s %7s %7s %9s %9s %7s %7s", "node", "sends", "recvs", "bcasts",
+         "tx-bytes", "rx-bytes", "acks", "local");
+    for (int r = 0; r < cluster.n_procs(); ++r) {
+      const auto& s = cluster.node(r).stats();
+      line(out, "p%-4d %7llu %7llu %7llu %9llu %9llu %7llu %7llu", r,
+           static_cast<unsigned long long>(s.sends), static_cast<unsigned long long>(s.recvs),
+           static_cast<unsigned long long>(s.bcasts),
+           static_cast<unsigned long long>(s.bytes_sent),
+           static_cast<unsigned long long>(s.bytes_received),
+           static_cast<unsigned long long>(s.acks_sent),
+           static_cast<unsigned long long>(s.local_deliveries));
+    }
+    std::uint64_t stalls = 0, retx = 0, give_ups = 0;
+    for (int r = 0; r < cluster.n_procs(); ++r) {
+      stalls += cluster.node(r).flow_control().stats().window_stalls;
+      retx += cluster.node(r).error_control().stats().retransmits;
+      give_ups += cluster.node(r).error_control().stats().give_ups;
+    }
+    line(out, "flow-control stalls %llu, retransmissions %llu, give-ups %llu",
+         static_cast<unsigned long long>(stalls), static_cast<unsigned long long>(retx),
+         static_cast<unsigned long long>(give_ups));
+  }
+
+  if (cluster.has_p4()) {
+    const auto tcp = cluster.p4().mesh().total_stats();
+    line(out,
+         "tcp: %llu data segments, %llu acks (%llu delayed), %llu retransmits, "
+         "%llu nagle holds, %llu bytes delivered",
+         static_cast<unsigned long long>(tcp.data_segments),
+         static_cast<unsigned long long>(tcp.acks_sent),
+         static_cast<unsigned long long>(tcp.acks_delayed),
+         static_cast<unsigned long long>(tcp.retransmits),
+         static_cast<unsigned long long>(tcp.nagle_holds),
+         static_cast<unsigned long long>(tcp.bytes_delivered));
+  }
+
+  if (ether::Bus* bus = cluster.ethernet(); bus != nullptr) {
+    const auto& s = bus->stats();
+    line(out, "ethernet: %llu frames, %llu payload bytes, %llu contention events (%s lost)",
+         static_cast<unsigned long long>(s.frames),
+         static_cast<unsigned long long>(s.payload_bytes),
+         static_cast<unsigned long long>(s.contention_events),
+         s.contention_delay.to_string().c_str());
+  }
+
+  if (atm::AtmFabric* fabric = cluster.atm_fabric(); fabric != nullptr) {
+    std::uint64_t tx_cells = 0, rx_errors = 0;
+    for (int h = 0; h < fabric->n_hosts(); ++h) {
+      tx_cells += fabric->nic(h).stats().tx_cells;
+      rx_errors += fabric->nic(h).stats().rx_errors;
+    }
+    line(out, "atm: %llu cells transmitted (%0.2f MB on the wire), %llu reassembly errors",
+         static_cast<unsigned long long>(tx_cells),
+         static_cast<double>(tx_cells) * atm::Cell::kSize / 1e6,
+         static_cast<unsigned long long>(rx_errors));
+  }
+
+  return out;
+}
+
+}  // namespace ncs::cluster

@@ -1,0 +1,18 @@
+// Post-run statistics report: everything the runtimes and substrates
+// counted during a simulation, rendered as one text block. Benches and
+// examples print it so a run's behaviour (message counts, stalls,
+// retransmissions, scheduler overheads, wire-level traffic) is inspectable
+// without a debugger.
+#pragma once
+
+#include <string>
+
+#include "cluster/cluster.hpp"
+
+namespace ncs::cluster {
+
+/// Renders per-host scheduler/runtime statistics plus network-level
+/// counters for whatever runtime(s) and substrate the cluster used.
+std::string report(Cluster& cluster);
+
+}  // namespace ncs::cluster

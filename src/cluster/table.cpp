@@ -1,0 +1,47 @@
+#include "cluster/table.hpp"
+
+#include <cstdio>
+
+namespace ncs::cluster {
+
+double improvement_pct(Duration p4_time, Duration ncs_time) {
+  if (p4_time.is_zero()) return 0.0;
+  return (p4_time - ncs_time).sec() / p4_time.sec() * 100.0;
+}
+
+std::string format_table(const std::string& title, const std::string& left_testbed,
+                         const std::string& right_testbed,
+                         const std::vector<TableRow>& rows) {
+  std::string out;
+  char line[256];
+
+  out += title + "\n";
+  std::snprintf(line, sizeof line, "%-6s | %28s | %28s\n", "", left_testbed.c_str(),
+                right_testbed.c_str());
+  out += line;
+  std::snprintf(line, sizeof line, "%-6s | %8s %11s %7s | %8s %11s %7s\n", "Nodes", "p4",
+                "NCS_MTS/p4", "%impr", "p4", "NCS_MTS/p4", "%impr");
+  out += line;
+  out += std::string(93, '-') + "\n";
+
+  for (const TableRow& r : rows) {
+    std::string left = "       (not measured)       ";
+    std::string right = left;
+    char buf[96];
+    if (r.has_ethernet) {
+      std::snprintf(buf, sizeof buf, "%8.2f %11.2f %6.2f%%", r.p4_ethernet.sec(),
+                    r.ncs_ethernet.sec(), improvement_pct(r.p4_ethernet, r.ncs_ethernet));
+      left = buf;
+    }
+    if (r.has_atm) {
+      std::snprintf(buf, sizeof buf, "%8.2f %11.2f %6.2f%%", r.p4_atm.sec(),
+                    r.ncs_atm.sec(), improvement_pct(r.p4_atm, r.ncs_atm));
+      right = buf;
+    }
+    std::snprintf(line, sizeof line, "%-6d | %s | %s\n", r.nodes, left.c_str(), right.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ncs::cluster

@@ -1,0 +1,32 @@
+// Paper-style table rendering for the benchmark harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace ncs::cluster {
+
+/// One row of a Tables-1/2/3-shaped comparison.
+struct TableRow {
+  int nodes = 0;
+  Duration p4_ethernet;
+  Duration ncs_ethernet;
+  Duration p4_atm;
+  Duration ncs_atm;
+  bool has_ethernet = true;
+  bool has_atm = true;
+};
+
+/// Percentage improvement of NCS over p4 — the paper's metric:
+/// (p4 - ncs) / p4 * 100.
+double improvement_pct(Duration p4_time, Duration ncs_time);
+
+/// Renders the paper's two-testbed layout:
+///   Nodes | p4 | NCS_MTS/p4 | %impr || p4 | NCS_MTS/p4 | %impr
+std::string format_table(const std::string& title, const std::string& left_testbed,
+                         const std::string& right_testbed,
+                         const std::vector<TableRow>& rows);
+
+}  // namespace ncs::cluster

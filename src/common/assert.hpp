@@ -1,0 +1,34 @@
+// Internal invariant checking.
+//
+// NCS_ASSERT is compiled in every build type: the simulator's determinism
+// guarantees rest on these invariants, and the cost is negligible next to
+// event dispatch. Failures print file:line and the expression, then abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ncs::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "NCS_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ncs::detail
+
+#define NCS_ASSERT(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) ::ncs::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define NCS_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) ::ncs::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+// Marks unreachable control flow; aborts if reached.
+#define NCS_UNREACHABLE(msg) ::ncs::detail::assert_fail("unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,127 @@
+// Byte-buffer helpers: owned buffers, big-endian field packing (network
+// order, used by every wire format in the ATM/Ethernet substrates), and a
+// bounds-checked reader/writer pair for header (de)serialization.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace ncs {
+
+using Bytes = std::vector<std::byte>;
+using BytesView = std::span<const std::byte>;
+
+inline Bytes to_bytes(std::string_view s) {
+  Bytes b(s.size());
+  std::memcpy(b.data(), s.data(), s.size());
+  return b;
+}
+
+inline Bytes to_bytes(BytesView v) { return Bytes(v.begin(), v.end()); }
+
+template <typename T>
+BytesView as_bytes_view(const T& pod) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return BytesView(reinterpret_cast<const std::byte*>(&pod), sizeof(T));
+}
+
+/// Appends `view` to `out`.
+inline void append(Bytes& out, BytesView view) { out.insert(out.end(), view.begin(), view.end()); }
+
+/// Sequential big-endian writer over a caller-provided buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::span<std::byte> buf) : buf_(buf) {}
+
+  std::size_t written() const { return pos_; }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u16(std::uint16_t v) {
+    const std::uint8_t b[2] = {static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+    raw(b, 2);
+  }
+  void u32(std::uint32_t v) {
+    const std::uint8_t b[4] = {
+        static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+        static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+    raw(b, 4);
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void bytes(BytesView v) { raw(v.data(), v.size()); }
+  void zeros(std::size_t n) {
+    NCS_ASSERT(n <= remaining());
+    std::memset(buf_.data() + pos_, 0, n);
+    pos_ += n;
+  }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    NCS_ASSERT_MSG(n <= remaining(), "ByteWriter overflow");
+    std::memcpy(buf_.data() + pos_, p, n);
+    pos_ += n;
+  }
+
+  std::span<std::byte> buf_;
+  std::size_t pos_ = 0;
+};
+
+/// Sequential big-endian reader over a view.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView buf) : buf_(buf) {}
+
+  std::size_t consumed() const { return pos_; }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+  std::uint8_t u8() {
+    std::uint8_t v;
+    raw(&v, 1);
+    return v;
+  }
+  std::uint16_t u16() {
+    std::uint8_t b[2];
+    raw(b, 2);
+    return static_cast<std::uint16_t>((b[0] << 8) | b[1]);
+  }
+  std::uint32_t u32() {
+    std::uint8_t b[4];
+    raw(b, 4);
+    return (static_cast<std::uint32_t>(b[0]) << 24) | (static_cast<std::uint32_t>(b[1]) << 16) |
+           (static_cast<std::uint32_t>(b[2]) << 8) | static_cast<std::uint32_t>(b[3]);
+  }
+  std::uint64_t u64() {
+    const std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+  }
+  BytesView bytes(std::size_t n) {
+    NCS_ASSERT_MSG(n <= remaining(), "ByteReader underflow");
+    BytesView v = buf_.subspan(pos_, n);
+    pos_ += n;
+    return v;
+  }
+  void skip(std::size_t n) {
+    NCS_ASSERT_MSG(n <= remaining(), "ByteReader underflow");
+    pos_ += n;
+  }
+
+ private:
+  void raw(void* p, std::size_t n) {
+    NCS_ASSERT_MSG(n <= remaining(), "ByteReader underflow");
+    std::memcpy(p, buf_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  BytesView buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ncs

@@ -1,0 +1,78 @@
+#include "common/crc.hpp"
+
+#include <array>
+
+namespace ncs {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint16_t, 256> make_crc10_table() {
+  // Polynomial x^10 + x^9 + x^5 + x^4 + x + 1 -> 0x633 (non-reflected).
+  std::array<std::uint16_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint16_t c = static_cast<std::uint16_t>(i << 2);
+    for (int k = 0; k < 8; ++k)
+      c = static_cast<std::uint16_t>((c & 0x200u) ? ((c << 1) ^ 0x633u) : (c << 1));
+    table[i] = static_cast<std::uint16_t>(c & 0x3FFu);
+  }
+  return table;
+}
+
+constexpr std::array<std::uint8_t, 256> make_crc8_table() {
+  // HEC polynomial x^8 + x^2 + x + 1 -> 0x07.
+  std::array<std::uint8_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint8_t c = static_cast<std::uint8_t>(i);
+    for (int k = 0; k < 8; ++k)
+      c = static_cast<std::uint8_t>((c & 0x80u) ? ((c << 1) ^ 0x07u) : (c << 1));
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kCrc32Table = make_crc32_table();
+constexpr auto kCrc10Table = make_crc10_table();
+constexpr auto kCrc8Table = make_crc8_table();
+
+}  // namespace
+
+void Crc32::update(std::span<const std::byte> data) {
+  std::uint32_t c = state_;
+  for (std::byte b : data)
+    c = kCrc32Table[(c ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (c >> 8);
+  state_ = c;
+}
+
+std::uint32_t crc32_ieee(std::span<const std::byte> data) {
+  Crc32 crc;
+  crc.update(data);
+  return crc.final();
+}
+
+std::uint16_t crc10_aal34(std::span<const std::byte> data) {
+  std::uint16_t c = 0;
+  for (std::byte b : data) {
+    const auto idx = static_cast<std::uint8_t>(((c >> 2) ^ static_cast<std::uint16_t>(b)) & 0xFFu);
+    c = static_cast<std::uint16_t>(((c << 8) ^ kCrc10Table[idx]) & 0x3FFu);
+  }
+  return c;
+}
+
+std::uint8_t hec_compute(const std::uint8_t header[4]) {
+  std::uint8_t c = 0;
+  for (int i = 0; i < 4; ++i) c = kCrc8Table[c ^ header[i]];
+  return static_cast<std::uint8_t>(c ^ 0x55u);  // I.432 coset
+}
+
+bool hec_verify(const std::uint8_t header[5]) { return hec_compute(header) == header[4]; }
+
+}  // namespace ncs

@@ -1,0 +1,37 @@
+// CRC generators used by the ATM substrate.
+//
+//  - CRC-32 (IEEE 802.3): AAL5 CPCS trailer and Ethernet FCS.
+//  - CRC-10 (x^10+x^9+x^5+x^4+x+1): AAL3/4 per-cell protection.
+//  - CRC-8 HEC (x^8+x^2+x+1, ATM I.432): cell header error control,
+//    including the standard 0x55 coset XOR.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace ncs {
+
+/// IEEE 802.3 CRC-32 (reflected, init 0xFFFFFFFF, final XOR 0xFFFFFFFF).
+std::uint32_t crc32_ieee(std::span<const std::byte> data);
+
+/// Incremental form: feed chunks, then finalize.
+class Crc32 {
+ public:
+  void update(std::span<const std::byte> data);
+  std::uint32_t final() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// ITU-T I.363 AAL3/4 CRC-10 over `data` (non-reflected, init 0).
+std::uint16_t crc10_aal34(std::span<const std::byte> data);
+
+/// ATM HEC: CRC-8 over the first 4 header octets, XOR 0x55 (ITU-T I.432).
+std::uint8_t hec_compute(const std::uint8_t header[4]);
+
+/// True if `header[4]` equals the HEC of `header[0..3]`.
+bool hec_verify(const std::uint8_t header[5]);
+
+}  // namespace ncs

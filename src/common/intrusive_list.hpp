@@ -1,0 +1,142 @@
+// Intrusive doubly-linked list.
+//
+// This is the data structure the paper builds its scheduler from (Fig 9):
+// the multi-level priority queue is one circular doubly-linked list per
+// priority, and the blocked queue is another — doubly linked "to speed up
+// search operation during unblocking of threads", i.e. O(1) removal from
+// the middle given a pointer to the node. Intrusive linkage means a thread
+// moves between queues without any allocation.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+
+#include "common/assert.hpp"
+
+namespace ncs {
+
+/// Embed one of these per list a type participates in.
+/// A default-constructed hook is unlinked; destroying a linked hook aborts
+/// (the owner must be removed from the list first).
+class ListHook {
+ public:
+  ListHook() = default;
+  ~ListHook() { NCS_ASSERT_MSG(!is_linked(), "destroying a ListHook that is still linked"); }
+
+  ListHook(const ListHook&) = delete;
+  ListHook& operator=(const ListHook&) = delete;
+
+  bool is_linked() const { return next_ != nullptr; }
+
+ private:
+  template <typename T, ListHook T::*>
+  friend class IntrusiveList;
+
+  ListHook* prev_ = nullptr;
+  ListHook* next_ = nullptr;
+};
+
+/// Doubly-linked list of T, linked through member hook `HookPtr`.
+/// The list does not own its elements.
+template <typename T, ListHook T::*HookPtr>
+class IntrusiveList {
+ public:
+  IntrusiveList() { sentinel_.prev_ = sentinel_.next_ = &sentinel_; }
+  ~IntrusiveList() {
+    clear();
+    // The sentinel is self-linked by construction; unlink it so its own
+    // hook destructor does not misread it as a stranded element.
+    sentinel_.prev_ = sentinel_.next_ = nullptr;
+  }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const { return sentinel_.next_ == &sentinel_; }
+  std::size_t size() const { return size_; }
+
+  void push_back(T& item) { insert_before(sentinel_, hook(item)); }
+  void push_front(T& item) { insert_before(*sentinel_.next_, hook(item)); }
+
+  T& front() {
+    NCS_ASSERT(!empty());
+    return *owner(sentinel_.next_);
+  }
+  T& back() {
+    NCS_ASSERT(!empty());
+    return *owner(sentinel_.prev_);
+  }
+
+  T& pop_front() {
+    T& item = front();
+    remove(item);
+    return item;
+  }
+
+  /// O(1): unlink `item` from this list. `item` must be in this list.
+  void remove(T& item) {
+    ListHook& h = hook(item);
+    NCS_ASSERT_MSG(h.is_linked(), "removing an unlinked item");
+    h.prev_->next_ = h.next_;
+    h.next_->prev_ = h.prev_;
+    h.prev_ = h.next_ = nullptr;
+    --size_;
+  }
+
+  /// Unlinks every element (does not destroy them).
+  void clear() {
+    while (!empty()) pop_front();
+  }
+
+  static bool is_linked(const T& item) { return (item.*HookPtr).is_linked(); }
+
+  class iterator {
+   public:
+    using iterator_category = std::bidirectional_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = T*;
+    using reference = T&;
+
+    iterator() = default;
+    explicit iterator(ListHook* pos) : pos_(pos) {}
+
+    reference operator*() const { return *owner(pos_); }
+    pointer operator->() const { return owner(pos_); }
+    iterator& operator++() { pos_ = pos_->next_; return *this; }
+    iterator operator++(int) { iterator t = *this; ++*this; return t; }
+    iterator& operator--() { pos_ = pos_->prev_; return *this; }
+    iterator operator--(int) { iterator t = *this; --*this; return t; }
+    friend bool operator==(iterator a, iterator b) { return a.pos_ == b.pos_; }
+
+   private:
+    ListHook* pos_ = nullptr;
+  };
+
+  iterator begin() { return iterator(sentinel_.next_); }
+  iterator end() { return iterator(&sentinel_); }
+
+ private:
+  static ListHook& hook(T& item) { return item.*HookPtr; }
+
+  static T* owner(ListHook* h) {
+    // Recover the T* from the embedded hook address.
+    const auto offset = reinterpret_cast<std::ptrdiff_t>(
+        &(reinterpret_cast<T const volatile*>(0x1000)->*HookPtr)) - 0x1000;
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(h) - offset);
+  }
+
+  void insert_before(ListHook& pos, ListHook& h) {
+    NCS_ASSERT_MSG(!h.is_linked(), "inserting an already-linked item");
+    h.prev_ = pos.prev_;
+    h.next_ = &pos;
+    pos.prev_->next_ = &h;
+    pos.prev_ = &h;
+    ++size_;
+  }
+
+  ListHook sentinel_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ncs

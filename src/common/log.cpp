@@ -1,0 +1,38 @@
+#include "common/log.hpp"
+
+#include <cstdarg>
+
+namespace ncs::log {
+
+namespace {
+Level g_level = Level::warn;
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::trace: return "TRACE";
+    case Level::debug: return "DEBUG";
+    case Level::info: return "INFO";
+    case Level::warn: return "WARN";
+    case Level::error: return "ERROR";
+    case Level::off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+Level level() { return g_level; }
+void set_level(Level lvl) { g_level = lvl; }
+
+namespace detail {
+
+void vlogf(Level lvl, const char* tag, const char* fmt, ...) {
+  std::fprintf(stderr, "[%s] %s: ", level_name(lvl), tag);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace detail
+}  // namespace ncs::log

@@ -1,0 +1,40 @@
+// Minimal leveled logging.
+//
+// Logging is for humans debugging the simulator; it never affects virtual
+// time. The level is a process-global runtime setting (default: warn), and
+// trace/debug statements compile away entirely in NDEBUG builds so the
+// benchmark hot paths carry no formatting cost.
+#pragma once
+
+#include <cstdio>
+#include <utility>
+
+namespace ncs::log {
+
+enum class Level : int { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+Level level();
+void set_level(Level lvl);
+
+namespace detail {
+void vlogf(Level lvl, const char* tag, const char* fmt, ...) __attribute__((format(printf, 3, 4)));
+}
+
+#define NCS_LOG_AT(lvl, tag, ...)                                       \
+  do {                                                                  \
+    if (static_cast<int>(lvl) >= static_cast<int>(::ncs::log::level())) \
+      ::ncs::log::detail::vlogf((lvl), (tag), __VA_ARGS__);             \
+  } while (0)
+
+#ifdef NDEBUG
+#define NCS_TRACE(tag, ...) do {} while (0)
+#define NCS_DEBUG(tag, ...) do {} while (0)
+#else
+#define NCS_TRACE(tag, ...) NCS_LOG_AT(::ncs::log::Level::trace, (tag), __VA_ARGS__)
+#define NCS_DEBUG(tag, ...) NCS_LOG_AT(::ncs::log::Level::debug, (tag), __VA_ARGS__)
+#endif
+#define NCS_INFO(tag, ...) NCS_LOG_AT(::ncs::log::Level::info, (tag), __VA_ARGS__)
+#define NCS_WARN(tag, ...) NCS_LOG_AT(::ncs::log::Level::warn, (tag), __VA_ARGS__)
+#define NCS_ERROR(tag, ...) NCS_LOG_AT(::ncs::log::Level::error, (tag), __VA_ARGS__)
+
+}  // namespace ncs::log

@@ -1,0 +1,23 @@
+#include "common/result.hpp"
+
+namespace ncs {
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::ok: return "OK";
+    case ErrorCode::invalid_argument: return "INVALID_ARGUMENT";
+    case ErrorCode::not_found: return "NOT_FOUND";
+    case ErrorCode::already_exists: return "ALREADY_EXISTS";
+    case ErrorCode::resource_exhausted: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::failed_precondition: return "FAILED_PRECONDITION";
+    case ErrorCode::out_of_range: return "OUT_OF_RANGE";
+    case ErrorCode::data_corruption: return "DATA_CORRUPTION";
+    case ErrorCode::timed_out: return "TIMED_OUT";
+    case ErrorCode::connection_reset: return "CONNECTION_RESET";
+    case ErrorCode::unimplemented: return "UNIMPLEMENTED";
+    case ErrorCode::internal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace ncs

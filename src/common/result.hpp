@@ -1,0 +1,95 @@
+// Error handling for the runtime's fallible paths.
+//
+// Green threads switch stacks underneath C++; throwing across a context
+// switch is undefined behaviour, so runtime and protocol code reports
+// failures through Status/Result instead of exceptions. Exceptions remain
+// acceptable at configuration/setup time (before any fiber runs).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/assert.hpp"
+
+namespace ncs {
+
+enum class ErrorCode {
+  ok = 0,
+  invalid_argument,
+  not_found,
+  already_exists,
+  resource_exhausted,
+  failed_precondition,
+  out_of_range,
+  data_corruption,   // CRC / length mismatch during reassembly
+  timed_out,         // error-control retransmission budget exceeded
+  connection_reset,  // peer process terminated
+  unimplemented,
+  internal,
+};
+
+const char* to_string(ErrorCode code);
+
+/// Success-or-error, with an optional human-readable detail message.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {
+    NCS_ASSERT_MSG(code != ErrorCode::ok, "use default Status for success");
+  }
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == ErrorCode::ok; }
+  explicit operator bool() const { return is_ok(); }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const {
+    if (is_ok()) return "OK";
+    std::string s = ncs::to_string(code_);
+    if (!message_.empty()) { s += ": "; s += message_; }
+    return s;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::ok;
+  std::string message_;
+};
+
+/// A value or a Status describing why the value could not be produced.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : v_(std::move(status)) {  // NOLINT: implicit by design
+    NCS_ASSERT_MSG(!std::get<Status>(v_).is_ok(), "Result from OK status has no value");
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    NCS_ASSERT_MSG(is_ok(), "Result::value() on error");
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    NCS_ASSERT_MSG(is_ok(), "Result::value() on error");
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    NCS_ASSERT_MSG(is_ok(), "Result::value() on error");
+    return std::get<T>(std::move(v_));
+  }
+
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(v_);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace ncs

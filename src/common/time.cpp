@@ -1,0 +1,30 @@
+#include "common/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ncs {
+
+namespace {
+
+std::string format_seconds(double s) {
+  char buf[64];
+  const double as = std::fabs(s);
+  if (as >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.6fs", s);
+  } else if (as >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3fms", s * 1e3);
+  } else if (as >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.3fus", s * 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fns", s * 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::to_string() const { return format_seconds(sec()); }
+std::string TimePoint::to_string() const { return format_seconds(sec()); }
+
+}  // namespace ncs

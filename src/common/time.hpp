@@ -1,0 +1,101 @@
+// Simulated time.
+//
+// The whole system runs on one virtual clock with integer picosecond
+// resolution: fine enough to resolve single bit times on an OC-48 (2.4 Gbps)
+// link (~417 ps) and wide enough (int64) for ~106 days of simulated time,
+// orders of magnitude beyond the tens of seconds the paper's benchmarks run.
+// Integer time is what makes event ordering — and therefore every benchmark
+// table — bit-for-bit reproducible.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace ncs {
+
+/// A span of simulated time. Internally int64 picoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration picoseconds(std::int64_t ps) { return Duration(ps); }
+  static constexpr Duration nanoseconds(double ns) { return Duration(static_cast<std::int64_t>(ns * 1e3)); }
+  static constexpr Duration microseconds(double us) { return Duration(static_cast<std::int64_t>(us * 1e6)); }
+  static constexpr Duration milliseconds(double ms) { return Duration(static_cast<std::int64_t>(ms * 1e9)); }
+  static constexpr Duration seconds(double s) { return Duration(static_cast<std::int64_t>(s * 1e12)); }
+  static constexpr Duration zero() { return Duration(0); }
+  static constexpr Duration infinite() { return Duration(INT64_MAX); }
+
+  constexpr std::int64_t ps() const { return ps_; }
+  constexpr double ns() const { return static_cast<double>(ps_) * 1e-3; }
+  constexpr double us() const { return static_cast<double>(ps_) * 1e-6; }
+  constexpr double ms() const { return static_cast<double>(ps_) * 1e-9; }
+  constexpr double sec() const { return static_cast<double>(ps_) * 1e-12; }
+
+  constexpr bool is_zero() const { return ps_ == 0; }
+  constexpr bool is_negative() const { return ps_ < 0; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration(a.ps_ + b.ps_); }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration(a.ps_ - b.ps_); }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) { return Duration(a.ps_ * k); }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) { return Duration(a.ps_ * k); }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) { return Duration(a.ps_ / k); }
+  constexpr Duration& operator+=(Duration o) { ps_ += o.ps_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ps_ -= o.ps_; return *this; }
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  /// Time to move `bytes` at `bits_per_second`, rounded up to a whole ps.
+  static constexpr Duration for_bits(std::int64_t bits, double bits_per_second) {
+    const double s = static_cast<double>(bits) / bits_per_second;
+    return Duration(static_cast<std::int64_t>(s * 1e12 + 0.5));
+  }
+  static constexpr Duration for_bytes(std::int64_t bytes, double bits_per_second) {
+    return for_bits(bytes * 8, bits_per_second);
+  }
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t ps) : ps_(ps) {}
+  std::int64_t ps_ = 0;
+};
+
+/// An absolute point on the simulation clock.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  static constexpr TimePoint origin() { return TimePoint(); }
+  static constexpr TimePoint from_ps(std::int64_t ps) { TimePoint t; t.ps_ = ps; return t; }
+
+  constexpr std::int64_t ps() const { return ps_; }
+  constexpr double sec() const { return static_cast<double>(ps_) * 1e-12; }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) { return from_ps(t.ps_ + d.ps()); }
+  friend constexpr TimePoint operator+(Duration d, TimePoint t) { return t + d; }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) { return from_ps(t.ps_ - d.ps()); }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) {
+    return Duration::picoseconds(a.ps_ - b.ps_);
+  }
+  constexpr TimePoint& operator+=(Duration d) { ps_ += d.ps(); return *this; }
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+  std::string to_string() const;
+
+ private:
+  std::int64_t ps_ = 0;
+};
+
+constexpr TimePoint max(TimePoint a, TimePoint b) { return a < b ? b : a; }
+constexpr Duration max(Duration a, Duration b) { return a < b ? b : a; }
+constexpr Duration min(Duration a, Duration b) { return a < b ? a : b; }
+
+namespace literals {
+constexpr Duration operator""_ps(unsigned long long v) { return Duration::picoseconds(static_cast<std::int64_t>(v)); }
+constexpr Duration operator""_ns(unsigned long long v) { return Duration::nanoseconds(static_cast<double>(v)); }
+constexpr Duration operator""_us(unsigned long long v) { return Duration::microseconds(static_cast<double>(v)); }
+constexpr Duration operator""_ms(unsigned long long v) { return Duration::milliseconds(static_cast<double>(v)); }
+constexpr Duration operator""_sec(unsigned long long v) { return Duration::seconds(static_cast<double>(v)); }
+}  // namespace literals
+
+}  // namespace ncs

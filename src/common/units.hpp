@@ -1,0 +1,27 @@
+// Bandwidth and size units used across network models.
+#pragma once
+
+#include <cstdint>
+
+namespace ncs {
+
+/// Bandwidths are plain doubles in bits per second; these named constants
+/// document the 1995 link technologies the paper's testbeds use.
+namespace bw {
+inline constexpr double kbps(double v) { return v * 1e3; }
+inline constexpr double mbps(double v) { return v * 1e6; }
+inline constexpr double gbps(double v) { return v * 1e9; }
+
+inline constexpr double ethernet_10 = mbps(10);   // shared 10BASE Ethernet
+inline constexpr double taxi_140 = mbps(140);     // FORE TAXI host-switch link
+inline constexpr double oc3 = mbps(155.52);       // SONET OC-3 (site links)
+inline constexpr double oc48 = gbps(2.488);       // SONET OC-48 (NYNET WAN core)
+inline constexpr double ds3 = mbps(44.736);       // DS-3 (upstate-downstate)
+}  // namespace bw
+
+namespace size {
+inline constexpr std::size_t KiB = 1024;
+inline constexpr std::size_t MiB = 1024 * 1024;
+}  // namespace size
+
+}  // namespace ncs

@@ -1,0 +1,32 @@
+#include "core/api.hpp"
+
+#include <map>
+
+namespace ncs::api {
+
+namespace {
+std::map<mts::Scheduler*, mps::Node*>& registry() {
+  static std::map<mts::Scheduler*, mps::Node*> nodes;
+  return nodes;
+}
+}  // namespace
+
+void register_node(mps::Node* node) {
+  NCS_ASSERT(node != nullptr);
+  registry()[&node->host()] = node;
+}
+
+void unregister_node(mps::Node* node) {
+  NCS_ASSERT(node != nullptr);
+  registry().erase(&node->host());
+}
+
+mps::Node& self() {
+  mts::Scheduler* sched = mts::Scheduler::active();
+  NCS_ASSERT_MSG(sched != nullptr, "NCS API used outside a thread");
+  const auto it = registry().find(sched);
+  NCS_ASSERT_MSG(it != registry().end(), "no NCS node registered for this host");
+  return *it->second;
+}
+
+}  // namespace ncs::api

@@ -1,0 +1,54 @@
+// Paper-style NCS API.
+//
+// The paper's programming interface is a set of C functions (Fig 7, 10):
+// NCS_init / NCS_t_create / NCS_start / NCS_send / NCS_recv / NCS_bcast /
+// NCS_block / NCS_unblock. These wrappers reproduce those signatures on
+// top of mps::Node so the example programs read like the paper's
+// pseudocode. The node for "this process" is found through the scheduler
+// of the calling green thread; the cluster harness registers it at setup.
+#pragma once
+
+#include "core/mps/node.hpp"
+
+namespace ncs::api {
+
+/// Associates `node` with its host scheduler (harness setup).
+void register_node(mps::Node* node);
+void unregister_node(mps::Node* node);
+
+/// The Node of the calling thread's process. Aborts outside a thread.
+mps::Node& self();
+
+inline int NCS_get_my_id() { return self().rank(); }
+inline int NCS_num_procs() { return self().n_procs(); }
+
+inline int NCS_t_create(std::function<void()> body, int priority = mts::kDefaultPriority) {
+  return self().t_create(std::move(body), priority);
+}
+
+inline void NCS_send(int from_thread, int from_process, int to_thread, int to_process,
+                     BytesView data) {
+  mps::Node& node = self();
+  NCS_ASSERT_MSG(from_process == node.rank(), "NCS_send from_process must be the caller's");
+  node.send(from_thread, to_thread, to_process, data);
+}
+
+inline Bytes NCS_recv(int from_thread, int from_process, int to_thread, int to_process,
+                      int* src_thread = nullptr, int* src_process = nullptr) {
+  mps::Node& node = self();
+  NCS_ASSERT_MSG(to_process == node.rank(), "NCS_recv to_process must be the caller's");
+  return node.recv(from_thread, from_process, to_thread, src_thread, src_process);
+}
+
+inline void NCS_bcast(int from_thread, int from_process,
+                      std::span<const mps::Endpoint> list, BytesView data) {
+  mps::Node& node = self();
+  NCS_ASSERT_MSG(from_process == node.rank(), "NCS_bcast from_process must be the caller's");
+  node.bcast(from_thread, list, data);
+}
+
+inline void NCS_barrier() { self().barrier(); }
+inline void NCS_block() { self().block(); }
+inline void NCS_unblock(int tid) { self().unblock(tid); }
+
+}  // namespace ncs::api

@@ -1,0 +1,106 @@
+#include "core/mps/atm_transport.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace ncs::mps {
+
+AtmTransport::AtmTransport(mts::Scheduler& host, atm::Nic& nic, Params params)
+    : host_(host), nic_(nic), params_(params), rx_(host) {
+  NCS_ASSERT_MSG(params_.chunk_size >= kHeaderBytes, "chunk must hold the NCS header");
+  NCS_ASSERT_MSG(params_.chunk_size <= nic.params().io_buffer_size,
+                 "chunk larger than a NIC I/O buffer");
+  nic_.set_rx_handler([this](atm::VcId vc, Bytes data, bool eom) {
+    rx_.push(RxChunk{vc, std::move(data), eom});
+  });
+}
+
+void AtmTransport::wait_for_tx_buffer() {
+  while (!nic_.tx_buffer_available()) {
+    ++stats_.tx_buffer_stalls;
+    mts::Thread* self = host_.current();
+    nic_.notify_tx_buffer([this, self] { host_.unblock(self); });
+    host_.block(sim::Activity::communicate);
+  }
+}
+
+atm::VcId AtmTransport::vc_towards(int to_process) {
+  if (params_.signaling == nullptr) return atm::vc_to(to_process);
+
+  const auto it = svc_to_.find(to_process);
+  if (it != svc_to_.end()) return it->second;
+
+  // First traffic for this peer: set up a switched circuit. The signaling
+  // handshake is asynchronous; park the calling (send) thread until the
+  // CONNECT arrives.
+  mts::Thread* self = host_.current();
+  std::optional<Result<atm::VcId>> outcome;
+  params_.signaling->open_call(to_process, [this, self, &outcome](Result<atm::VcId> vc) {
+    outcome = std::move(vc);
+    host_.unblock(self);
+  });
+  ++stats_.svc_calls_opened;
+  while (!outcome.has_value()) host_.block(sim::Activity::communicate);
+  NCS_ASSERT_MSG(outcome->is_ok(), "SVC call setup rejected");
+  svc_to_.emplace(to_process, outcome->value());
+  return outcome->value();
+}
+
+void AtmTransport::submit(const Message& msg) {
+  NCS_ASSERT_MSG(mts::Scheduler::active() == &host_, "submit from a foreign thread");
+  const atm::VcId vc = vc_towards(msg.to_process);
+  const Bytes wire = encode(msg);
+
+  std::size_t off = 0;
+  do {
+    const std::size_t len = std::min(params_.chunk_size, wire.size() - off);
+    // Backpressure first: copying into a buffer requires owning one.
+    wait_for_tx_buffer();
+    // Trap + copy into the mapped kernel buffer (Fig 3b: 2 accesses/word).
+    host_.charge_cycles(params_.costs.ncs_chunk_cycles(len), sim::Activity::communicate);
+    Bytes chunk(wire.begin() + static_cast<std::ptrdiff_t>(off),
+                wire.begin() + static_cast<std::ptrdiff_t>(off + len));
+    const bool last = off + len == wire.size();
+    nic_.submit_tx(vc, std::move(chunk), last);
+    ++stats_.tx_chunks;
+    off += len;
+  } while (off < wire.size());
+}
+
+Message AtmTransport::recv_next() {
+  NCS_ASSERT_MSG(mts::Scheduler::active() == &host_, "recv_next from a foreign thread");
+  for (;;) {
+    RxChunk chunk = rx_.pop(sim::Activity::communicate);
+    ++stats_.rx_chunks;
+    // Trap + copy out of the mapped kernel buffer.
+    host_.charge_cycles(params_.costs.ncs_chunk_cycles(chunk.data.size()),
+                        sim::Activity::communicate);
+    Bytes& buf = partial_[chunk.vc];
+    append(buf, chunk.data);
+    if (!chunk.end_of_message) continue;
+
+    // A chunk lost on the wire (no error control) leaves an inconsistent
+    // reassembly buffer; drop it — recovering is the error-control
+    // policy's job, not the transport's.
+    std::optional<Message> msg = try_decode(buf);
+    buf.clear();
+    // On the PVC mesh the VC label encodes the source; cross-check it.
+    // SVC labels are dynamic, so the header is the source of truth there.
+    const bool src_consistent =
+        params_.signaling != nullptr || !msg.has_value() ||
+        msg->from_process == atm::src_of(chunk.vc);
+    if (!msg.has_value() || !src_consistent) {
+      ++stats_.rx_frame_errors;
+      NCS_WARN("ncs.hsm", "dropping garbled reassembly on vci %u", chunk.vc.vci);
+      if (frame_error_handler_)
+        frame_error_handler_(msg.has_value() ? msg->from_process
+                                             : atm::src_of(chunk.vc));
+      continue;
+    }
+    return std::move(*msg);
+  }
+}
+
+}  // namespace ncs::mps

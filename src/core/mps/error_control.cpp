@@ -1,0 +1,80 @@
+#include "core/mps/error_control.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace ncs::mps {
+
+const char* to_string(ErrorControlKind k) {
+  switch (k) {
+    case ErrorControlKind::none: return "none";
+    case ErrorControlKind::retransmit: return "retransmit";
+  }
+  return "?";
+}
+
+ErrorControl::ErrorControl(sim::Engine& engine, ErrorControlParams params,
+                           std::function<void(Message)> retransmit_fn)
+    : engine_(engine), params_(params), retransmit_fn_(std::move(retransmit_fn)) {
+  NCS_ASSERT(params_.kind == ErrorControlKind::none || retransmit_fn_ != nullptr);
+}
+
+void ErrorControl::on_sent(const Message& msg) {
+  if (params_.kind != ErrorControlKind::retransmit) return;
+  const Key key{msg.to_process, msg.seq};
+  auto it = in_flight_.find(key);
+  if (it == in_flight_.end()) {
+    it = in_flight_.emplace(key, InFlight{msg, 0, 0}).first;
+  } else {
+    ++it->second.attempts;  // this was a retransmission completing
+  }
+  arm_timer(key);
+}
+
+void ErrorControl::arm_timer(const Key& key) {
+  InFlight& f = in_flight_.at(key);
+  if (f.timer != 0) engine_.cancel(f.timer);
+  f.timer = engine_.schedule_after(params_.rto, [this, key] {
+    auto it = in_flight_.find(key);
+    if (it == in_flight_.end()) return;
+    it->second.timer = 0;
+    if (it->second.attempts >= params_.max_retries) {
+      ++stats_.give_ups;
+      NCS_WARN("ncs.ec", "giving up on msg seq %u to %d after %d attempts", key.seq, key.peer,
+               it->second.attempts);
+      in_flight_.erase(it);
+      if (give_up_handler_) give_up_handler_(key.peer, key.seq);
+      return;
+    }
+    ++stats_.retransmits;
+    retransmit_fn_(it->second.msg);
+  });
+}
+
+void ErrorControl::on_ack(int from_process, std::uint32_t seq) {
+  if (params_.kind != ErrorControlKind::retransmit) return;
+  const auto it = in_flight_.find(Key{from_process, seq});
+  if (it == in_flight_.end()) return;  // late ack for a retired message
+  if (it->second.timer != 0) engine_.cancel(it->second.timer);
+  in_flight_.erase(it);
+}
+
+bool ErrorControl::accept(const Message& msg) {
+  if (params_.kind != ErrorControlKind::retransmit) return true;
+  SeenState& st = seen_[msg.from_process];
+  if (msg.seq < st.low || st.sparse.contains(msg.seq)) {
+    ++stats_.duplicates_dropped;
+    return false;
+  }
+  st.sparse.insert(msg.seq);
+  // Advance the contiguous low watermark and forget what it covers.
+  while (!st.sparse.empty() && *st.sparse.begin() == st.low) {
+    st.sparse.erase(st.sparse.begin());
+    ++st.low;
+  }
+  return true;
+}
+
+}  // namespace ncs::mps

@@ -1,0 +1,152 @@
+#include "core/mps/filters.hpp"
+
+#include <cstring>
+
+namespace ncs::mps {
+
+namespace {
+
+Bytes frame(int type, BytesView data) {
+  Bytes out(4 + data.size());
+  ByteWriter w(out);
+  w.u32(static_cast<std::uint32_t>(type));
+  w.bytes(data);
+  return out;
+}
+
+std::pair<int, Bytes> unframe(BytesView wire) {
+  ByteReader r(wire);
+  const int type = static_cast<int>(r.u32());
+  return {type, to_bytes(r.bytes(r.remaining()))};
+}
+
+}  // namespace
+
+void P4Filter::send(int type, int dst, BytesView data) {
+  node_.send(/*from_thread=*/0, /*to_thread=*/0, dst, frame(type, data));
+}
+
+void P4Filter::drain_available() {
+  while (node_.available(kAnyThread, kAnyProcess, 0)) {
+    int src_thread = 0, src_process = 0;
+    const Bytes wire = node_.recv(kAnyThread, kAnyProcess, 0, &src_thread, &src_process);
+    auto [type, payload] = unframe(wire);
+    queue_.push_back(Entry{type, src_process, std::move(payload)});
+  }
+}
+
+Bytes P4Filter::recv(int* type, int* from) {
+  NCS_ASSERT(type != nullptr && from != nullptr);
+  for (;;) {
+    drain_available();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (matches(*type, *from, *it)) {
+        *type = it->type;
+        *from = it->from;
+        Bytes data = std::move(it->data);
+        queue_.erase(it);
+        return data;
+      }
+    }
+    // Nothing queued matches: block for the next arrival and re-check.
+    int src_thread = 0, src_process = 0;
+    const Bytes wire = node_.recv(kAnyThread, kAnyProcess, 0, &src_thread, &src_process);
+    auto [t, payload] = unframe(wire);
+    queue_.push_back(Entry{t, src_process, std::move(payload)});
+  }
+}
+
+bool P4Filter::messages_available(int* type, int* from) {
+  NCS_ASSERT(type != nullptr && from != nullptr);
+  drain_available();
+  for (const Entry& e : queue_) {
+    if (matches(*type, *from, e)) {
+      *type = e.type;
+      *from = e.from;
+      return true;
+    }
+  }
+  return false;
+}
+
+void PvmFilter::pk_raw(Kind kind, BytesView raw) {
+  const std::size_t base = tx_.size();
+  tx_.resize(base + 1 + 4 + raw.size());
+  ByteWriter w(std::span<std::byte>(tx_).subspan(base));
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(static_cast<std::uint32_t>(raw.size()));
+  w.bytes(raw);
+}
+
+BytesView PvmFilter::upk_raw(Kind kind) {
+  NCS_ASSERT_MSG(rx_pos_ + 5 <= rx_.size(), "pvm unpack past end of message");
+  ByteReader r(BytesView(rx_).subspan(rx_pos_));
+  const auto got = static_cast<Kind>(r.u8());
+  NCS_ASSERT_MSG(got == kind, "pvm unpack type mismatch");
+  const std::uint32_t len = r.u32();
+  const BytesView raw = r.bytes(len);
+  rx_pos_ += 5 + len;
+  return raw;
+}
+
+void PvmFilter::pkint(std::span<const std::int32_t> values) {
+  pk_raw(Kind::ints, BytesView(reinterpret_cast<const std::byte*>(values.data()),
+                               values.size() * sizeof(std::int32_t)));
+}
+
+void PvmFilter::pkdouble(std::span<const double> values) {
+  pk_raw(Kind::doubles, BytesView(reinterpret_cast<const std::byte*>(values.data()),
+                                  values.size() * sizeof(double)));
+}
+
+void PvmFilter::pkbytes(BytesView data) { pk_raw(Kind::bytes, data); }
+
+void PvmFilter::send(int tid, int tag) {
+  p4_.send(tag, tid, tx_);
+  tx_.clear();
+}
+
+int PvmFilter::recv(int tid, int tag, int* actual_tag) {
+  int t = tag;
+  int f = tid;
+  rx_ = p4_.recv(&t, &f);
+  rx_pos_ = 0;
+  if (actual_tag != nullptr) *actual_tag = t;
+  return f;
+}
+
+bool PvmFilter::probe(int tid, int tag) {
+  int t = tag;
+  int f = tid;
+  return p4_.messages_available(&t, &f);
+}
+
+void PvmFilter::upkint(std::span<std::int32_t> out) {
+  const BytesView raw = upk_raw(Kind::ints);
+  NCS_ASSERT_MSG(raw.size() == out.size() * sizeof(std::int32_t), "pvm unpack length mismatch");
+  std::memcpy(out.data(), raw.data(), raw.size());
+}
+
+void PvmFilter::upkdouble(std::span<double> out) {
+  const BytesView raw = upk_raw(Kind::doubles);
+  NCS_ASSERT_MSG(raw.size() == out.size() * sizeof(double), "pvm unpack length mismatch");
+  std::memcpy(out.data(), raw.data(), raw.size());
+}
+
+Bytes PvmFilter::upkbytes() { return to_bytes(upk_raw(Kind::bytes)); }
+
+void MpiFilter::bcast(Bytes& buffer, int root) {
+  std::vector<Bytes> payloads;
+  if (node_.rank() == root)
+    payloads.assign(static_cast<std::size_t>(node_.n_procs()), buffer);
+  buffer = node_.scatter(root, payloads);
+}
+
+void P4Filter::broadcast(int type, BytesView data) {
+  std::vector<Endpoint> destinations;
+  for (int p = 0; p < node_.n_procs(); ++p)
+    if (p != node_.rank()) destinations.push_back(Endpoint{p, 0});
+  node_.bcast(0, destinations, frame(type, data));
+}
+
+}  // namespace ncs::mps

@@ -1,0 +1,151 @@
+// Message-passing filters (paper Figs 6/12): adapters that map another
+// tool's primitives onto NCS so "any parallel/distributed application
+// written using these tools can be ported to NCS without any change".
+//
+// P4Filter exposes p4's typed, wildcard-matched interface on top of an
+// mps::Node: the p4 message type rides a small header inside the NCS
+// payload, endpoints are thread 0 of each process, and type-selective
+// receives are implemented with a local reorder queue (NCS matches on
+// endpoints; the filter matches on type).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <span>
+
+#include "core/mps/node.hpp"
+
+namespace ncs::mps {
+
+class P4Filter {
+ public:
+  explicit P4Filter(Node& node) : node_(node) {}
+
+  int my_id() const { return node_.rank(); }
+  int num_procs() const { return node_.n_procs(); }
+
+  /// p4_send: typed send to process `dst`.
+  void send(int type, int dst, BytesView data);
+
+  /// p4_recv: blocking receive; *type/*from may be -1 wildcards and return
+  /// the matched message's type and source.
+  Bytes recv(int* type, int* from);
+
+  /// p4_messages_available-style probe over already-arrived messages.
+  bool messages_available(int* type, int* from);
+
+  /// p4_broadcast: to every other process.
+  void broadcast(int type, BytesView data);
+
+  /// p4_global_barrier, via the NCS barrier service.
+  void global_barrier() { node_.barrier(); }
+
+ private:
+  struct Entry {
+    int type;
+    int from;
+    Bytes data;
+  };
+
+  static bool matches(int want_type, int want_from, const Entry& e) {
+    return (want_type == -1 || want_type == e.type) && (want_from == -1 || want_from == e.from);
+  }
+
+  /// Drains every message already in the NCS mailbox into the local queue.
+  void drain_available();
+
+  Node& node_;
+  std::list<Entry> queue_;  // type-reorder buffer
+};
+
+/// PVM-flavored filter: PVM 3's buffer-oriented interface (initsend /
+/// pk* / send, recv / upk*) on NCS — the second adapter in the paper's
+/// Fig 6. Typed packing is length-prefixed so upk* calls can verify they
+/// match the pk* sequence, as PVM's XDR encoding effectively did.
+class PvmFilter {
+ public:
+  static constexpr int kAnyTid = -1;
+  static constexpr int kAnyTag = -1;
+
+  explicit PvmFilter(Node& node) : p4_(node), node_(node) {}
+
+  /// PVM task ids are process ranks here.
+  int mytid() const { return node_.rank(); }
+  int ntasks() const { return node_.n_procs(); }
+
+  // -- send side --
+  void initsend() { tx_.clear(); }
+  void pkint(std::span<const std::int32_t> values);
+  void pkdouble(std::span<const double> values);
+  void pkbytes(BytesView data);
+  void send(int tid, int tag);
+
+  // -- receive side --
+  /// Blocks until a message matching (tid, tag) arrives and makes it the
+  /// active unpack buffer. Returns the sender's tid.
+  int recv(int tid, int tag, int* actual_tag = nullptr);
+  /// Non-blocking probe.
+  bool probe(int tid, int tag);
+  void upkint(std::span<std::int32_t> out);
+  void upkdouble(std::span<double> out);
+  Bytes upkbytes();
+
+ private:
+  enum class Kind : std::uint8_t { ints = 1, doubles = 2, bytes = 3 };
+  void pk_raw(Kind kind, BytesView raw);
+  BytesView upk_raw(Kind kind);
+
+  P4Filter p4_;
+  Node& node_;
+  Bytes tx_;
+  Bytes rx_;
+  std::size_t rx_pos_ = 0;
+};
+
+/// MPI-flavored filter: (destination, tag) point-to-point plus the basic
+/// collectives, mapped onto the same NCS services — the third adapter the
+/// paper's Fig 6 sketches (p4, PVM, MPI applications over NCS).
+class MpiFilter {
+ public:
+  static constexpr int kAnySource = -1;
+  static constexpr int kAnyTag = -1;
+
+  explicit MpiFilter(Node& node) : p4_(node), node_(node) {}
+
+  int rank() const { return node_.rank(); }
+  int size() const { return node_.n_procs(); }
+
+  void send(BytesView data, int dest, int tag) { p4_.send(tag, dest, data); }
+
+  /// Blocking receive with MPI_ANY_SOURCE / MPI_ANY_TAG wildcards; the
+  /// matched envelope is reported through the optional out-params.
+  Bytes recv(int source, int tag, int* actual_source = nullptr, int* actual_tag = nullptr) {
+    int t = tag;
+    int f = source;
+    Bytes data = p4_.recv(&t, &f);
+    if (actual_source != nullptr) *actual_source = f;
+    if (actual_tag != nullptr) *actual_tag = t;
+    return data;
+  }
+
+  /// MPI_Bcast: root's buffer replaces everyone's.
+  void bcast(Bytes& buffer, int root);
+
+  /// MPI_Gather of variable-size buffers (root gets all, by rank).
+  std::vector<Bytes> gather(BytesView contribution, int root) {
+    return node_.gather(root, contribution);
+  }
+
+  /// MPI_Reduce(MPI_SUM) over doubles.
+  std::vector<double> reduce_sum(std::span<const double> values, int root) {
+    return node_.reduce_sum(root, values);
+  }
+
+  void barrier() { node_.barrier(); }
+
+ private:
+  P4Filter p4_;
+  Node& node_;
+};
+
+}  // namespace ncs::mps

@@ -1,0 +1,69 @@
+#include "core/mps/flow_control.hpp"
+
+#include "common/assert.hpp"
+
+namespace ncs::mps {
+
+const char* to_string(FlowControlKind k) {
+  switch (k) {
+    case FlowControlKind::none: return "none";
+    case FlowControlKind::window: return "window";
+    case FlowControlKind::rate: return "rate";
+  }
+  return "?";
+}
+
+FlowControl::FlowControl(mts::Scheduler& sched, FlowControlParams params, int n_procs)
+    : sched_(sched), params_(params), outstanding_(static_cast<std::size_t>(n_procs), 0) {
+  NCS_ASSERT(params_.window >= 1);
+  NCS_ASSERT(params_.rate_bytes_per_sec > 0);
+}
+
+void FlowControl::before_send(const Message& msg) {
+  switch (params_.kind) {
+    case FlowControlKind::none:
+      return;
+
+    case FlowControlKind::window: {
+      auto& out = outstanding_[static_cast<std::size_t>(msg.to_process)];
+      const TimePoint started = sched_.engine().now();
+      while (out >= params_.window) {
+        ++stats_.window_stalls;
+        window_waiters_.push_back(sched_.current());
+        sched_.block(sim::Activity::communicate);
+      }
+      stats_.time_blocked += sched_.engine().now() - started;
+      ++out;
+      return;
+    }
+
+    case FlowControlKind::rate: {
+      const TimePoint now = sched_.engine().now();
+      if (next_free_ > now) {
+        ++stats_.rate_delays;
+        const TimePoint started = now;
+        sched_.sleep_until(next_free_);
+        stats_.time_blocked += sched_.engine().now() - started;
+      }
+      const Duration occupancy =
+          Duration::seconds(static_cast<double>(msg.data.size()) / params_.rate_bytes_per_sec);
+      next_free_ = ncs::max(sched_.engine().now(), next_free_) + occupancy;
+      return;
+    }
+  }
+}
+
+void FlowControl::on_ack(int from_process) {
+  if (params_.kind != FlowControlKind::window) return;
+  auto& out = outstanding_[static_cast<std::size_t>(from_process)];
+  // Clamp instead of asserting: with retransmitting error control over a
+  // lossy link, duplicate deliveries produce duplicate acks.
+  if (out > 0) --out;
+  if (!window_waiters_.empty()) {
+    mts::Thread* t = window_waiters_.front();
+    window_waiters_.pop_front();
+    sched_.unblock(t);
+  }
+}
+
+}  // namespace ncs::mps

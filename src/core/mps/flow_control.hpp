@@ -1,0 +1,68 @@
+// Flow-control policies — the paper's Fig 5 QOS argument.
+//
+// NCS_init(flow, error) lets each application pick the policy that fits
+// its QOS class: a parallel/distributed application wants window-based
+// backpressure (bound the unacknowledged backlog per destination), a
+// Video-on-Demand stream wants rate pacing (smooth the injection rate and
+// never stall on acknowledgements), and the paper's *evaluated*
+// configuration delegates to p4 — i.e. `none` at the NCS level.
+//
+// before_send() runs in the send system thread and may block it; credits
+// return via control acknowledgements handled by the receive thread.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "core/mps/message.hpp"
+#include "core/mts/sync.hpp"
+
+namespace ncs::mps {
+
+enum class FlowControlKind { none, window, rate };
+
+const char* to_string(FlowControlKind k);
+
+struct FlowControlParams {
+  FlowControlKind kind = FlowControlKind::none;
+  /// window: maximum unacknowledged messages per destination.
+  int window = 8;
+  /// rate: sustained injection rate (payload bytes per second).
+  double rate_bytes_per_sec = 4e6;
+};
+
+class FlowControl {
+ public:
+  FlowControl(mts::Scheduler& sched, FlowControlParams params, int n_procs);
+
+  /// Acknowledgement traffic is only generated when a policy consumes it.
+  bool wants_acks() const { return params_.kind == FlowControlKind::window; }
+
+  /// Send-thread context; blocks until policy admits the message.
+  void before_send(const Message& msg);
+
+  /// Receive-thread context: credit returned by an ack from `from_process`.
+  void on_ack(int from_process);
+
+  struct Stats {
+    std::uint64_t window_stalls = 0;
+    std::uint64_t rate_delays = 0;
+    Duration time_blocked;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  mts::Scheduler& sched_;
+  FlowControlParams params_;
+
+  // window state
+  std::vector<int> outstanding_;
+  std::deque<mts::Thread*> window_waiters_;
+
+  // rate state (token-bucket horizon)
+  TimePoint next_free_;
+
+  Stats stats_;
+};
+
+}  // namespace ncs::mps

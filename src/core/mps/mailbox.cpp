@@ -1,0 +1,42 @@
+#include "core/mps/mailbox.hpp"
+
+#include <utility>
+
+namespace ncs::mps {
+
+void Mailbox::deliver(Message msg) {
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    Waiter* w = *it;
+    if (w->pattern.matches(msg)) {
+      waiters_.erase(it);
+      w->msg = std::move(msg);
+      w->filled = true;
+      sched_.unblock(w->thread);
+      return;
+    }
+  }
+  pending_.push_back(std::move(msg));
+}
+
+Message Mailbox::recv(Pattern pattern) {
+  NCS_ASSERT_MSG(mts::Scheduler::active() == &sched_, "recv from a foreign thread");
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (pattern.matches(*it)) {
+      Message m = std::move(*it);
+      pending_.erase(it);
+      return m;
+    }
+  }
+  Waiter w{pattern, sched_.current()};
+  waiters_.push_back(&w);
+  while (!w.filled) sched_.block(sim::Activity::communicate);
+  return std::move(w.msg);
+}
+
+bool Mailbox::available(const Pattern& pattern) const {
+  for (const Message& m : pending_)
+    if (pattern.matches(m)) return true;
+  return false;
+}
+
+}  // namespace ncs::mps

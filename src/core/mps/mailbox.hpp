@@ -1,0 +1,44 @@
+// Per-process mailbox: FIFO pending queue plus blocked receivers.
+//
+// deliver() is called by the receive system thread once a message is fully
+// reassembled and its protocol cost charged; recv() is called by compute
+// threads. Matching follows the paper's wildcard rules (Pattern).
+#pragma once
+
+#include <list>
+
+#include "core/mps/message.hpp"
+#include "core/mts/scheduler.hpp"
+
+namespace ncs::mps {
+
+class Mailbox {
+ public:
+  explicit Mailbox(mts::Scheduler& sched) : sched_(sched) {}
+
+  /// Hands the message to the longest-waiting matching receiver, or queues
+  /// it. Callable from any context.
+  void deliver(Message msg);
+
+  /// Blocks the calling thread until a matching message arrives.
+  Message recv(Pattern pattern);
+
+  /// Non-blocking probe.
+  bool available(const Pattern& pattern) const;
+
+  std::size_t pending() const { return pending_.size(); }
+
+ private:
+  struct Waiter {
+    Pattern pattern;
+    mts::Thread* thread;
+    bool filled = false;
+    Message msg;
+  };
+
+  mts::Scheduler& sched_;
+  std::list<Message> pending_;
+  std::list<Waiter*> waiters_;
+};
+
+}  // namespace ncs::mps

@@ -1,0 +1,96 @@
+// NCS message: thread-addressed, per the paper's primitive signatures
+//   NCS_send(from_thread, from_process, to_thread, to_process, data, size)
+//   NCS_recv(from_thread, from_process, to_thread, to_process, &data, &size)
+// with -1 wildcards on the receive side's source fields.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace ncs::mps {
+
+inline constexpr int kAnyThread = -1;
+inline constexpr int kAnyProcess = -1;
+/// to_thread value routing a message to the control plane (flow/error
+/// control threads) instead of the user mailbox.
+inline constexpr int kControlThread = -2;
+/// to_thread value reserved for the collective operations (gather /
+/// scatter / all-to-all / reduce); keeps collective traffic from ever
+/// matching an application wildcard receive.
+inline constexpr int kCollectiveThread = -3;
+
+struct Endpoint {
+  int process = 0;
+  int thread = 0;
+};
+
+struct Message {
+  int from_process = 0;
+  int from_thread = 0;
+  int to_process = 0;
+  int to_thread = 0;
+  /// Per-destination sequence number, stamped by the send thread; used by
+  /// window flow control and retransmitting error control.
+  std::uint32_t seq = 0;
+  Bytes data;
+};
+
+/// Fixed wire header prepended to every NCS message.
+inline constexpr std::size_t kHeaderBytes = 4 * 4 + 4 + 4;
+
+inline Bytes encode(const Message& m) {
+  Bytes out(kHeaderBytes + m.data.size());
+  ByteWriter w(out);
+  w.u32(static_cast<std::uint32_t>(m.from_process));
+  w.u32(static_cast<std::uint32_t>(m.from_thread));
+  w.u32(static_cast<std::uint32_t>(m.to_process));
+  w.u32(static_cast<std::uint32_t>(m.to_thread));
+  w.u32(m.seq);
+  w.u32(static_cast<std::uint32_t>(m.data.size()));
+  w.bytes(m.data);
+  return out;
+}
+
+inline Message decode(BytesView wire) {
+  ByteReader r(wire);
+  Message m;
+  m.from_process = static_cast<int>(r.u32());
+  m.from_thread = static_cast<int>(r.u32());
+  m.to_process = static_cast<int>(r.u32());
+  m.to_thread = static_cast<int>(r.u32());
+  m.seq = r.u32();
+  const std::uint32_t len = r.u32();
+  m.data = to_bytes(r.bytes(len));
+  return m;
+}
+
+/// Tolerant decode for transports whose framing can be damaged by loss
+/// (HSM over raw AAL5 without error control): returns nullopt when the
+/// buffer cannot be a whole, consistent message.
+inline std::optional<Message> try_decode(BytesView wire) {
+  if (wire.size() < kHeaderBytes) return std::nullopt;
+  ByteReader peek(wire);
+  peek.skip(kHeaderBytes - 4);
+  const std::uint32_t len = peek.u32();
+  if (wire.size() != kHeaderBytes + len) return std::nullopt;
+  return decode(wire);
+}
+
+/// Receive-side match pattern (paper semantics: source may be wildcarded,
+/// destination identifies the receiving thread exactly).
+struct Pattern {
+  int from_thread = kAnyThread;
+  int from_process = kAnyProcess;
+  int to_thread = 0;
+  int to_process = 0;
+
+  bool matches(const Message& m) const {
+    return m.to_thread == to_thread && m.to_process == to_process &&
+           (from_thread == kAnyThread || m.from_thread == from_thread) &&
+           (from_process == kAnyProcess || m.from_process == from_process);
+  }
+};
+
+}  // namespace ncs::mps

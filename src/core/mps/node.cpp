@@ -1,0 +1,300 @@
+#include "core/mps/node.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace ncs::mps {
+
+namespace {
+constexpr std::uint8_t kCtlAck = 1;
+constexpr std::uint8_t kCtlBarrierArrive = 2;
+constexpr std::uint8_t kCtlBarrierRelease = 3;
+
+Bytes control_payload(std::uint8_t kind) { return Bytes(1, static_cast<std::byte>(kind)); }
+}  // namespace
+
+Node::Node(mts::Scheduler& host, int rank, int n_procs, std::unique_ptr<Transport> transport,
+           Options options)
+    : host_(host),
+      rank_(rank),
+      n_procs_(n_procs),
+      transport_(std::move(transport)),
+      options_(options),
+      mailbox_(host),
+      submit_mutex_(host),
+      send_queue_(host),
+      retx_queue_(host),
+      fc_(host, options.flow, n_procs),
+      ec_(host.engine(), options.error, [this](Message m) { retx_queue_.push(std::move(m)); }),
+      barrier_arrivals_(host, 0),
+      barrier_release_(host, 0),
+      next_seq_(static_cast<std::size_t>(n_procs), 0) {
+  NCS_ASSERT(transport_ != nullptr);
+  NCS_ASSERT(rank >= 0 && rank < n_procs);
+
+  // System threads (paper Fig 8). High priority so protocol processing
+  // preempts queued compute work at dispatch points.
+  host_.spawn([this] { send_thread_main(); },
+              {.name = "ncs-send", .priority = 1, .cls = mts::ThreadClass::system});
+  host_.spawn([this] { recv_thread_main(); },
+              {.name = "ncs-recv", .priority = 1, .cls = mts::ThreadClass::system});
+  if (options_.error.kind == ErrorControlKind::retransmit) {
+    host_.spawn([this] { ec_thread_main(); },
+                {.name = "ncs-ec", .priority = 1, .cls = mts::ThreadClass::system});
+  }
+
+  // Exception-handling service: surface unrecoverable delivery failures to
+  // the application's registered handler (paper Section 3.1).
+  ec_.set_give_up_handler([this](int peer, std::uint32_t seq) {
+    if (exception_handler_) exception_handler_(Exception::message_timeout, peer, seq);
+  });
+  transport_->set_frame_error_handler([this](int peer) {
+    if (exception_handler_) exception_handler_(Exception::frame_error, peer, 0);
+  });
+}
+
+int Node::t_create(std::function<void()> body, int priority, std::string name) {
+  const int tid = static_cast<int>(user_threads_.size());
+  if (name.empty()) name = "thread" + std::to_string(tid);
+  user_threads_.push_back(host_.spawn(std::move(body),
+                                      {.name = std::move(name),
+                                       .priority = priority,
+                                       .cls = mts::ThreadClass::user}));
+  return tid;
+}
+
+mts::Thread* Node::user_thread(int tid) {
+  NCS_ASSERT(tid >= 0 && static_cast<std::size_t>(tid) < user_threads_.size());
+  return user_threads_[static_cast<std::size_t>(tid)];
+}
+
+void Node::block() { host_.block(sim::Activity::idle); }
+
+void Node::unblock(int tid) { host_.unblock(user_thread(tid)); }
+
+void Node::send(int from_thread, int to_thread, int to_process, BytesView data) {
+  NCS_ASSERT_MSG(mts::Scheduler::active() == &host_, "NCS_send from a foreign thread");
+  NCS_ASSERT(to_process >= 0 && to_process < n_procs_);
+  Message msg{rank_, from_thread, to_process, to_thread,
+              next_seq_[static_cast<std::size_t>(to_process)]++, to_bytes(data)};
+  ++stats_.sends;
+  stats_.bytes_sent += data.size();
+
+  // Wake the send thread and block until it completes the hand-off —
+  // the paper's NCS_send semantics.
+  mts::Event done(host_);
+  send_queue_.push(SendRequest{std::move(msg), &done});
+  done.wait();
+}
+
+Bytes Node::recv(int from_thread, int from_process, int to_thread, int* src_thread,
+                 int* src_process) {
+  NCS_ASSERT_MSG(mts::Scheduler::active() == &host_, "NCS_recv from a foreign thread");
+  Message msg = mailbox_.recv(Pattern{from_thread, from_process, to_thread, rank_});
+  ++stats_.recvs;
+  stats_.bytes_received += msg.data.size();
+  if (src_thread != nullptr) *src_thread = msg.from_thread;
+  if (src_process != nullptr) *src_process = msg.from_process;
+  return std::move(msg.data);
+}
+
+void Node::bcast(int from_thread, std::span<const Endpoint> destinations, BytesView data) {
+  NCS_ASSERT_MSG(mts::Scheduler::active() == &host_, "NCS_bcast from a foreign thread");
+  ++stats_.bcasts;
+  // Queue the whole fan-out, then wait once for the final hand-off: the
+  // send thread pipelines the copies while earlier transfers drain.
+  mts::Event done(host_);
+  for (std::size_t i = 0; i < destinations.size(); ++i) {
+    const Endpoint& ep = destinations[i];
+    NCS_ASSERT(ep.process >= 0 && ep.process < n_procs_);
+    Message msg{rank_, from_thread, ep.process, ep.thread,
+                next_seq_[static_cast<std::size_t>(ep.process)]++, to_bytes(data)};
+    stats_.bytes_sent += data.size();
+    send_queue_.push(
+        SendRequest{std::move(msg), i + 1 == destinations.size() ? &done : nullptr});
+  }
+  if (!destinations.empty()) done.wait();
+}
+
+bool Node::available(int from_thread, int from_process, int to_thread) const {
+  return mailbox_.available(Pattern{from_thread, from_process, to_thread, rank_});
+}
+
+void Node::barrier() {
+  NCS_ASSERT_MSG(mts::Scheduler::active() == &host_, "barrier from a foreign thread");
+  const auto send_control = [this](std::uint8_t kind, int dst) {
+    Message msg{rank_, kControlThread, dst, kControlThread, 0, control_payload(kind)};
+    mts::Event done(host_);
+    send_queue_.push(SendRequest{std::move(msg), &done});
+    done.wait();
+  };
+  if (rank_ == 0) {
+    for (int i = 1; i < n_procs_; ++i) barrier_arrivals_.wait();
+    for (int dst = 1; dst < n_procs_; ++dst) send_control(kCtlBarrierRelease, dst);
+  } else {
+    send_control(kCtlBarrierArrive, 0);
+    barrier_release_.wait();
+  }
+}
+
+void Node::collective_send(int to_process, BytesView data) {
+  Message msg{rank_, kCollectiveThread, to_process, kCollectiveThread,
+              next_seq_[static_cast<std::size_t>(to_process)]++, to_bytes(data)};
+  stats_.bytes_sent += data.size();
+  mts::Event done(host_);
+  send_queue_.push(SendRequest{std::move(msg), &done});
+  done.wait();
+}
+
+Bytes Node::collective_recv(int from_process) {
+  Message msg =
+      mailbox_.recv(Pattern{kCollectiveThread, from_process, kCollectiveThread, rank_});
+  stats_.bytes_received += msg.data.size();
+  return std::move(msg.data);
+}
+
+std::vector<Bytes> Node::gather(int root, BytesView contribution) {
+  NCS_ASSERT_MSG(mts::Scheduler::active() == &host_, "collective from a foreign thread");
+  NCS_ASSERT(root >= 0 && root < n_procs_);
+  if (rank_ != root) {
+    collective_send(root, contribution);
+    return {};
+  }
+  std::vector<Bytes> out(static_cast<std::size_t>(n_procs_));
+  out[static_cast<std::size_t>(rank_)] = to_bytes(contribution);
+  for (int p = 0; p < n_procs_; ++p)
+    if (p != rank_) out[static_cast<std::size_t>(p)] = collective_recv(p);
+  return out;
+}
+
+Bytes Node::scatter(int root, std::span<const Bytes> payloads) {
+  NCS_ASSERT_MSG(mts::Scheduler::active() == &host_, "collective from a foreign thread");
+  NCS_ASSERT(root >= 0 && root < n_procs_);
+  if (rank_ != root) return collective_recv(root);
+  NCS_ASSERT_MSG(payloads.size() == static_cast<std::size_t>(n_procs_),
+                 "scatter needs one payload per rank");
+  for (int p = 0; p < n_procs_; ++p)
+    if (p != rank_) collective_send(p, payloads[static_cast<std::size_t>(p)]);
+  return payloads[static_cast<std::size_t>(rank_)];
+}
+
+std::vector<Bytes> Node::all_to_all(BytesView contribution) {
+  NCS_ASSERT_MSG(mts::Scheduler::active() == &host_, "collective from a foreign thread");
+  // Everyone sends to everyone (ring order to avoid hammering one
+  // destination first), then collects.
+  for (int step = 1; step < n_procs_; ++step)
+    collective_send((rank_ + step) % n_procs_, contribution);
+  std::vector<Bytes> out(static_cast<std::size_t>(n_procs_));
+  out[static_cast<std::size_t>(rank_)] = to_bytes(contribution);
+  for (int p = 0; p < n_procs_; ++p)
+    if (p != rank_) out[static_cast<std::size_t>(p)] = collective_recv(p);
+  return out;
+}
+
+std::vector<double> Node::reduce_sum(int root, std::span<const double> values) {
+  NCS_ASSERT_MSG(mts::Scheduler::active() == &host_, "collective from a foreign thread");
+  const BytesView raw(reinterpret_cast<const std::byte*>(values.data()),
+                      values.size() * sizeof(double));
+  if (rank_ != root) {
+    collective_send(root, raw);
+    return {};
+  }
+  std::vector<double> acc(values.begin(), values.end());
+  for (int p = 0; p < n_procs_; ++p) {
+    if (p == rank_) continue;
+    const Bytes data = collective_recv(p);
+    NCS_ASSERT_MSG(data.size() == values.size() * sizeof(double),
+                   "reduce_sum contributions must have equal lengths");
+    const auto* remote = reinterpret_cast<const double*>(data.data());
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += remote[i];
+  }
+  return acc;
+}
+
+void Node::submit_locked(const Message& msg) {
+  mts::LockGuard guard(submit_mutex_);
+  transport_->submit(msg);
+}
+
+void Node::send_thread_main() {
+  for (;;) {
+    SendRequest req = send_queue_.pop(sim::Activity::communicate);
+    if (req.msg.to_process == rank_) {
+      // Intra-process delivery: shared address space, one memory copy.
+      host_.charge_cycles(options_.local_send_fixed_cycles +
+                              options_.local_copy_cycles_per_byte *
+                                  static_cast<double>(req.msg.data.size()),
+                          sim::Activity::communicate);
+      ++stats_.local_deliveries;
+      mailbox_.deliver(std::move(req.msg));
+      if (req.done != nullptr) req.done->set();
+      continue;
+    }
+    const bool is_control = req.msg.to_thread == kControlThread;
+    if (!is_control) fc_.before_send(req.msg);
+    submit_locked(req.msg);
+    if (!is_control) ec_.on_sent(req.msg);
+    if (req.done != nullptr) req.done->set();
+  }
+}
+
+void Node::recv_thread_main() {
+  for (;;) {
+    Message msg = transport_->recv_next();
+    NCS_ASSERT(msg.to_process == rank_);
+    if (msg.to_thread == kControlThread) {
+      handle_control(msg);
+      continue;
+    }
+    const bool need_ack = fc_.wants_acks() || ec_.wants_acks();
+    if (!ec_.accept(msg)) {
+      // Duplicate: the original ack was probably lost; ack again, drop.
+      if (need_ack) send_ack_for(msg);
+      continue;
+    }
+    if (need_ack) send_ack_for(msg);
+    mailbox_.deliver(std::move(msg));
+  }
+}
+
+void Node::ec_thread_main() {
+  for (;;) {
+    Message msg = retx_queue_.pop(sim::Activity::communicate);
+    NCS_DEBUG("ncs.ec", "node %d retransmitting seq %u to %d", rank_, msg.seq, msg.to_process);
+    submit_locked(msg);
+    ec_.on_sent(msg);
+  }
+}
+
+void Node::send_ack_for(const Message& msg) {
+  Message ack{rank_, kControlThread, msg.from_process, kControlThread, msg.seq,
+              control_payload(kCtlAck)};
+  ++stats_.acks_sent;
+  // Sent directly from the receive thread: routing acks through the send
+  // queue would deadlock when the send thread itself is blocked waiting
+  // for window credit.
+  submit_locked(ack);
+}
+
+void Node::handle_control(const Message& msg) {
+  NCS_ASSERT(!msg.data.empty());
+  switch (static_cast<std::uint8_t>(msg.data[0])) {
+    case kCtlAck:
+      fc_.on_ack(msg.from_process);
+      ec_.on_ack(msg.from_process, msg.seq);
+      break;
+    case kCtlBarrierArrive:
+      NCS_ASSERT_MSG(rank_ == 0, "barrier arrival at non-root");
+      barrier_arrivals_.signal();
+      break;
+    case kCtlBarrierRelease:
+      barrier_release_.signal();
+      break;
+    default:
+      NCS_UNREACHABLE("unknown NCS control message kind");
+  }
+}
+
+}  // namespace ncs::mps

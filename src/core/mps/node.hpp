@@ -1,0 +1,180 @@
+// NCS per-process runtime — the paper's Fig 8 put together.
+//
+// Construction is NCS_init(flow, error): it creates the system threads —
+// send, receive, and (when the retransmit policy is selected) error
+// control — and binds the chosen transport tier (P4Transport for NSM,
+// AtmTransport for HSM). Compute threads are user threads created with
+// t_create (NCS_t_create).
+//
+// Paper call flow, reproduced exactly:
+//   NCS_send wakes the send thread and blocks the caller; the send thread
+//   performs the transfer (flow control, CPU-charged copies, NIC/socket
+//   hand-off) and wakes the caller when done. NCS_recv blocks the caller
+//   until the receive thread has a matching message; meanwhile every other
+//   thread keeps computing — that is the overlap the tables measure.
+//
+// Flow-control policy code executes on the send/receive system threads
+// (the paper draws FC as its own thread; the scheduling consequences are
+// identical under cooperative threading). Error control does own a
+// dedicated system thread, which performs retransmissions ordered by
+// engine timers.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/mps/error_control.hpp"
+#include "core/mps/flow_control.hpp"
+#include "core/mps/mailbox.hpp"
+#include "core/mps/transport.hpp"
+#include "core/mts/sync.hpp"
+
+namespace ncs::mps {
+
+class Node {
+ public:
+  struct Options {
+    FlowControlParams flow;
+    ErrorControlParams error;
+    /// Same-process sends bypass the transport entirely — threads share
+    /// one address space (the paper: "the last communication step is local
+    /// among threads and does not involve remote communication"). Only a
+    /// memory copy is charged.
+    double local_copy_cycles_per_byte = 0.75;
+    double local_send_fixed_cycles = 200;
+  };
+
+  /// NCS_init: binds a transport and spawns the system threads.
+  Node(mts::Scheduler& host, int rank, int n_procs, std::unique_ptr<Transport> transport,
+       Options options);
+  Node(mts::Scheduler& host, int rank, int n_procs, std::unique_ptr<Transport> transport)
+      : Node(host, rank, n_procs, std::move(transport), Options()) {}
+
+  int rank() const { return rank_; }
+  int n_procs() const { return n_procs_; }
+  mts::Scheduler& host() { return host_; }
+  Transport& transport() { return *transport_; }
+
+  // --- thread services (NCS_t_create / NCS_block / NCS_unblock) ---
+
+  /// Creates a user (compute) thread; returns its logical NCS thread id
+  /// (0, 1, ... in creation order — the paper's THREAD1/THREAD2).
+  int t_create(std::function<void()> body, int priority = mts::kDefaultPriority,
+               std::string name = {});
+
+  mts::Thread* user_thread(int tid);
+
+  /// NCS_block: blocks the calling thread until NCS_unblock(tid).
+  void block();
+  void unblock(int tid);
+
+  // --- message passing (thread context only) ---
+
+  /// NCS_send: from_process is implicitly this node's rank.
+  void send(int from_thread, int to_thread, int to_process, BytesView data);
+
+  /// NCS_recv: blocks until a message matching the pattern arrives.
+  /// from_thread/from_process accept kAnyThread/kAnyProcess wildcards;
+  /// the actual source is reported through the optional out-params.
+  Bytes recv(int from_thread, int from_process, int to_thread,
+             int* src_thread = nullptr, int* src_process = nullptr);
+
+  /// NCS_bcast: one send per listed endpoint (1-to-many group primitive).
+  void bcast(int from_thread, std::span<const Endpoint> destinations, BytesView data);
+
+  /// Non-blocking probe for a matching pending message.
+  bool available(int from_thread, int from_process, int to_thread) const;
+
+  /// Cross-process barrier; every process must call it once per phase
+  /// (from any one of its threads).
+  void barrier();
+
+  // --- group communication (paper Section 3.1: 1-to-many, many-to-1,
+  //     many-to-many). Collectives: every process calls the same operation
+  //     in the same order, each from one thread. ---
+
+  /// many-to-1: every process contributes; the root receives all
+  /// contributions indexed by rank (its own included). Non-roots get {}.
+  std::vector<Bytes> gather(int root, BytesView contribution);
+
+  /// 1-to-many: the root supplies one payload per rank (size n_procs);
+  /// every process returns its own slice. Non-roots pass {}.
+  Bytes scatter(int root, std::span<const Bytes> payloads);
+
+  /// many-to-many: everyone exchanges with everyone; returns the payloads
+  /// indexed by source rank (own contribution included).
+  std::vector<Bytes> all_to_all(BytesView contribution);
+
+  /// many-to-1 reduction: element-wise sum of equal-length double vectors
+  /// at the root (empty elsewhere).
+  std::vector<double> reduce_sum(int root, std::span<const double> values);
+
+  // --- exception handling (paper Section 3.1, fourth service class) ---
+
+  enum class Exception {
+    message_timeout,  // error control exhausted its retries
+    frame_error,      // transport delivered a garbled frame (loss, no EC)
+  };
+
+  /// Handler invoked from system context (must not block) when the runtime
+  /// detects a delivery failure: (kind, peer process, sequence or 0).
+  using ExceptionHandler = std::function<void(Exception, int, std::uint32_t)>;
+  void set_exception_handler(ExceptionHandler handler) {
+    exception_handler_ = std::move(handler);
+  }
+
+  struct Stats {
+    std::uint64_t sends = 0;
+    std::uint64_t recvs = 0;
+    std::uint64_t bcasts = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t acks_sent = 0;
+    std::uint64_t local_deliveries = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  const FlowControl& flow_control() const { return fc_; }
+  const ErrorControl& error_control() const { return ec_; }
+
+ private:
+  struct SendRequest {
+    Message msg;
+    mts::Event* done;  // null for fire-and-forget (bcast fan-out tail)
+  };
+
+  void send_thread_main();
+  void recv_thread_main();
+  void ec_thread_main();
+  void submit_locked(const Message& msg);
+  void send_ack_for(const Message& msg);
+  void handle_control(const Message& msg);
+
+  mts::Scheduler& host_;
+  int rank_;
+  int n_procs_;
+  std::unique_ptr<Transport> transport_;
+  Options options_;
+
+  Mailbox mailbox_;
+  mts::Mutex submit_mutex_;
+  mts::Channel<SendRequest> send_queue_;
+  mts::Channel<Message> retx_queue_;
+  FlowControl fc_;
+  ErrorControl ec_;
+
+  mts::Semaphore barrier_arrivals_;
+  mts::Semaphore barrier_release_;
+  ExceptionHandler exception_handler_;
+
+  /// Collective-plane send/recv (endpoint kCollectiveThread).
+  void collective_send(int to_process, BytesView data);
+  Bytes collective_recv(int from_process);
+
+  std::vector<std::uint32_t> next_seq_;  // per destination process
+  std::vector<mts::Thread*> user_threads_;
+
+  Stats stats_;
+};
+
+}  // namespace ncs::mps

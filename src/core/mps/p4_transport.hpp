@@ -1,0 +1,41 @@
+// Approach 1: NCS_MPS over p4 (the configuration the paper benchmarks).
+//
+// NCS messages travel as p4 messages of a reserved type; p4's blocking
+// calls block only the green thread that issues them — which is the NCS
+// send or receive *system* thread, never the whole process. That one
+// sentence is the paper's Section 4.2.
+#pragma once
+
+#include "core/mps/transport.hpp"
+#include "p4/p4.hpp"
+
+namespace ncs::mps {
+
+/// p4 message type reserved for NCS traffic (stays below p4's own
+/// internal-type space so p4 applications can coexist).
+inline constexpr int kNcsP4Type = (1 << 29) + 7;
+
+class P4Transport final : public Transport {
+ public:
+  explicit P4Transport(p4::Process& proc) : proc_(proc) {}
+
+  void submit(const Message& msg) override {
+    proc_.send(kNcsP4Type, msg.to_process, encode(msg));
+  }
+
+  Message recv_next() override {
+    int type = kNcsP4Type;
+    int from = p4::kAnyProc;
+    Bytes wire = proc_.recv(&type, &from);
+    Message msg = decode(wire);
+    NCS_ASSERT(msg.from_process == from);
+    return msg;
+  }
+
+  const char* name() const override { return "NSM/p4"; }
+
+ private:
+  p4::Process& proc_;
+};
+
+}  // namespace ncs::mps

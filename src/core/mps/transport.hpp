@@ -1,0 +1,45 @@
+// NCS_MPS transport interface — the seam between the paper's two
+// implementation approaches.
+//
+//   Approach 1 (evaluated, "NCS_MTS/p4"): P4Transport — NCS messages ride
+//   p4 typed messages over TCP. NSM tier.
+//
+//   Approach 2 (described, HSM): AtmTransport — NCS messages go straight
+//   to the ATM API: trap + copy into mapped kernel buffers, chunked
+//   through the NIC's multiple I/O buffers (Fig 2 pipelining).
+//
+// Both sides run inside NCS system threads: submit() is called by the send
+// thread and may block it (NIC buffer backpressure, p4 socket costs);
+// recv_next() is called by the receive thread and blocks until a complete
+// message has arrived and its receive-side CPU cost is charged.
+#pragma once
+
+#include <functional>
+
+#include "core/mps/message.hpp"
+
+namespace ncs::mps {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends one message (send-thread context). Returns when the local
+  /// hand-off completes — the paper's point at which the blocked compute
+  /// thread may be woken.
+  virtual void submit(const Message& msg) = 0;
+
+  /// Blocks until the next complete inbound message (receive-thread
+  /// context). Receive-side CPU costs are charged here.
+  virtual Message recv_next() = 0;
+
+  /// Human-readable tier name ("NSM/p4" or "HSM/ATM").
+  virtual const char* name() const = 0;
+
+  /// Optional: invoked (system context, non-blocking) when the transport
+  /// detects and drops a damaged inbound frame, with the source process.
+  /// Transports without such a failure mode ignore it.
+  virtual void set_frame_error_handler(std::function<void(int)> /*handler*/) {}
+};
+
+}  // namespace ncs::mps

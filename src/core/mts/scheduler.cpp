@@ -1,0 +1,297 @@
+#include "core/mts/scheduler.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace ncs::mts {
+
+namespace {
+/// The scheduler whose thread is executing right now. A plain global is
+/// correct: the whole simulation runs on one OS thread, and dispatches
+/// never nest (cross-host interactions go through engine events).
+Scheduler* g_active = nullptr;
+}  // namespace
+
+Scheduler* Scheduler::active() { return g_active; }
+
+Scheduler::Scheduler(sim::Engine& engine, SchedulerParams params)
+    : engine_(engine), params_(std::move(params)) {
+  NCS_ASSERT(params_.cpu_mhz > 0);
+}
+
+Scheduler::~Scheduler() {
+  // Unlink every thread before the Thread objects (and their hooks) die.
+  for (auto& q : runnable_) q.clear();
+  blocked_.clear();
+}
+
+Thread* Scheduler::spawn(std::function<void()> body, ThreadOptions opts) {
+  const auto id = static_cast<ThreadId>(threads_.size());
+  threads_.push_back(std::make_unique<Thread>(*this, id, std::move(body), std::move(opts)));
+  Thread* t = threads_.back().get();
+  ++stats_.spawns;
+
+  if (timeline_ != nullptr) {
+    t->timeline_track_ = timeline_->add_track(params_.name + "/" + t->name_);
+    timeline_->transition(t->timeline_track_, engine_.now(), sim::Activity::idle);
+  }
+
+  // Creation cost: charged inline when a thread of this host spawns,
+  // otherwise (setup from engine context) pushed onto the CPU horizon.
+  if (params_.thread_create_cost > Duration::zero()) {
+    if (g_active == this && current_ != nullptr) {
+      stats_.overhead += params_.thread_create_cost;
+      charge(params_.thread_create_cost, sim::Activity::overhead);
+    } else {
+      reserve_cpu(params_.thread_create_cost, /*as_overhead=*/true);
+    }
+  }
+
+  t->state_ = ThreadState::runnable;
+  make_runnable(t, /*front=*/false);
+  kick();
+  return t;
+}
+
+void Scheduler::make_runnable(Thread* t, bool front) {
+  NCS_ASSERT(t->queue_ == nullptr);
+  Queue& q = runnable_[static_cast<std::size_t>(t->priority_)];
+  if (front) {
+    q.push_front(*t);
+  } else {
+    q.push_back(*t);
+  }
+  t->queue_ = &q;
+}
+
+Thread* Scheduler::pop_runnable() {
+  for (auto& q : runnable_) {
+    if (!q.empty()) {
+      Thread& t = q.pop_front();
+      t.queue_ = nullptr;
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+void Scheduler::mark(Thread* t, sim::Activity a) {
+  if (timeline_ != nullptr && t->timeline_track_ >= 0)
+    timeline_->transition(t->timeline_track_, engine_.now(), a);
+}
+
+void Scheduler::reserve_cpu(Duration d, bool as_overhead) {
+  cpu_free_at_ = ncs::max(engine_.now(), cpu_free_at_) + d;
+  stats_.cpu_busy += d;
+  if (as_overhead) stats_.overhead += d;
+}
+
+void Scheduler::kick() {
+  if (dispatch_scheduled_ || in_dispatch_) return;
+  dispatch_scheduled_ = true;
+  engine_.post([this] {
+    dispatch_scheduled_ = false;
+    if (!in_dispatch_) dispatch_loop();
+  });
+}
+
+void Scheduler::dispatch_loop() {
+  NCS_ASSERT(!in_dispatch_ && current_ == nullptr);
+  in_dispatch_ = true;
+  for (;;) {
+    // Overhead window (context switch / spawn cost) still running.
+    if (engine_.now() < cpu_free_at_) {
+      if (!dispatch_scheduled_) {
+        dispatch_scheduled_ = true;
+        engine_.schedule_at(cpu_free_at_, [this] {
+          dispatch_scheduled_ = false;
+          if (!in_dispatch_) dispatch_loop();
+        });
+      }
+      break;
+    }
+
+    Thread* t = nullptr;
+    if (resume_direct_ != nullptr) {
+      // Continuation of the running thread (post-charge or post-switch-cost):
+      // no context switch happens, so no switch cost.
+      t = std::exchange(resume_direct_, nullptr);
+    } else if (cpu_owner_ != nullptr) {
+      break;  // a charge window is in progress; its timer will resume us
+    } else {
+      t = pop_runnable();
+      if (t == nullptr) break;
+      if (params_.context_switch_cost > Duration::zero()) {
+        // Pay the dispatch cost, then resume this thread directly.
+        reserve_cpu(params_.context_switch_cost, /*as_overhead=*/true);
+        resume_direct_ = t;
+        continue;
+      }
+    }
+    run_thread(t);
+  }
+  in_dispatch_ = false;
+}
+
+void Scheduler::run_thread(Thread* t) {
+  NCS_ASSERT(t->queue_ == nullptr);
+  NCS_ASSERT(t->state_ == ThreadState::runnable || t->state_ == ThreadState::blocked);
+  t->state_ = ThreadState::running;
+  current_ = t;
+  ++stats_.dispatches;
+
+  Scheduler* prev_active = g_active;
+  g_active = this;
+  qt::Context::switch_to(scheduler_context_, t->context_);
+  g_active = prev_active;
+  current_ = nullptr;
+}
+
+void Scheduler::switch_to_scheduler() {
+  Thread* t = current_;
+  NCS_ASSERT(t != nullptr);
+  qt::Context::switch_to(t->context_, scheduler_context_);
+  // Resumed: run_thread set current_ = t again before switching here.
+  NCS_ASSERT(current_ == t && t->state_ == ThreadState::running);
+}
+
+void Scheduler::thread_main(Thread* t) {
+  NCS_ASSERT(current_ == t);
+  t->body_();
+  t->body_ = nullptr;  // release captured resources
+  t->state_ = ThreadState::finished;
+  mark(t, sim::Activity::idle);
+  for (Thread* j : t->joiners_) unblock(j);
+  t->joiners_.clear();
+  // Switch away forever.
+  qt::Context::switch_to(t->context_, scheduler_context_);
+  NCS_UNREACHABLE("finished thread resumed");
+}
+
+void Scheduler::block(sim::Activity blocked_as) {
+  Thread* t = current_;
+  NCS_ASSERT_MSG(t != nullptr && g_active == this, "block() outside a thread");
+  t->state_ = ThreadState::blocked;
+  t->blocked_as_ = blocked_as;
+  blocked_.push_back(*t);
+  t->queue_ = &blocked_;
+  mark(t, blocked_as);
+  switch_to_scheduler();
+  mark(t, sim::Activity::idle);
+}
+
+void Scheduler::unblock(Thread* t) {
+  NCS_ASSERT(t != nullptr);
+  NCS_ASSERT_MSG(t->state_ == ThreadState::blocked && t->queue_ == &blocked_,
+                 "unblock target is not on the blocked queue");
+  blocked_.remove(*t);
+  t->queue_ = nullptr;
+  t->state_ = ThreadState::runnable;
+  mark(t, sim::Activity::idle);
+  make_runnable(t, /*front=*/false);
+  kick();
+}
+
+void Scheduler::charge(Duration d, sim::Activity a) {
+  Thread* t = current_;
+  NCS_ASSERT_MSG(t != nullptr && g_active == this, "charge() outside a thread");
+  if (d <= Duration::zero()) return;
+
+  mark(t, a);
+  stats_.cpu_busy += d;
+  NCS_ASSERT(cpu_owner_ == nullptr);
+  cpu_owner_ = t;
+  engine_.schedule_after(d, [this, t] {
+    NCS_ASSERT(cpu_owner_ == t);
+    cpu_owner_ = nullptr;
+    resume_direct_ = t;
+    if (!in_dispatch_) dispatch_loop();
+  });
+  t->state_ = ThreadState::blocked;  // parked, but owns the CPU; not queued
+  switch_to_scheduler();
+  mark(t, sim::Activity::idle);
+}
+
+void Scheduler::yield() {
+  Thread* t = current_;
+  NCS_ASSERT_MSG(t != nullptr && g_active == this, "yield() outside a thread");
+  if (runnable_count() == 0) return;  // nothing to yield to
+  t->state_ = ThreadState::runnable;
+  make_runnable(t, /*front=*/false);
+  mark(t, sim::Activity::idle);
+  switch_to_scheduler();
+}
+
+void Scheduler::yield_to_higher() {
+  Thread* t = current_;
+  NCS_ASSERT_MSG(t != nullptr && g_active == this, "yield_to_higher() outside a thread");
+  bool higher = false;
+  for (int p = kHighestPriority; p < t->priority_; ++p) {
+    if (!runnable_[static_cast<std::size_t>(p)].empty()) {
+      higher = true;
+      break;
+    }
+  }
+  if (!higher) return;
+  t->state_ = ThreadState::runnable;
+  make_runnable(t, /*front=*/true);
+  mark(t, sim::Activity::idle);
+  switch_to_scheduler();
+}
+
+void Scheduler::sleep_until(TimePoint when) {
+  Thread* t = current_;
+  NCS_ASSERT_MSG(t != nullptr && g_active == this, "sleep_until() outside a thread");
+  if (when <= engine_.now()) return;
+  engine_.schedule_at(when, [this, t] { unblock(t); });
+  block(sim::Activity::idle);
+}
+
+void Scheduler::join(Thread* t) {
+  NCS_ASSERT(t != nullptr);
+  Thread* self = current_;
+  NCS_ASSERT_MSG(self != nullptr && g_active == this, "join() outside a thread");
+  NCS_ASSERT_MSG(t != self, "thread joining itself");
+  if (t->finished()) return;
+  t->joiners_.push_back(self);
+  block(sim::Activity::idle);
+}
+
+void Scheduler::set_priority(Thread* t, int priority) {
+  NCS_ASSERT(t != nullptr);
+  NCS_ASSERT(priority >= kHighestPriority && priority <= kLowestPriority);
+  if (t->priority_ == priority) return;
+  const bool requeue = t->state_ == ThreadState::runnable && t->queue_ != nullptr &&
+                       t->queue_ != &blocked_;
+  if (requeue) {
+    t->queue_->remove(*t);
+    t->queue_ = nullptr;
+  }
+  t->priority_ = priority;
+  if (requeue) {
+    make_runnable(t, /*front=*/false);
+    kick();
+  }
+}
+
+bool Scheduler::quiescent() const {
+  if (current_ != nullptr || cpu_owner_ != nullptr || resume_direct_ != nullptr) return false;
+  for (const auto& q : runnable_)
+    if (!q.empty()) return false;
+  return true;
+}
+
+std::size_t Scheduler::runnable_count() const {
+  std::size_t n = 0;
+  for (const auto& q : runnable_) n += q.size();
+  return n;
+}
+
+Thread* Scheduler::thread_by_id(ThreadId id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= threads_.size()) return nullptr;
+  return threads_[static_cast<std::size_t>(id)].get();
+}
+
+}  // namespace ncs::mts

@@ -1,0 +1,88 @@
+#include "core/mts/sync.hpp"
+
+namespace ncs::mts {
+
+namespace {
+
+Thread* current_thread_of(Scheduler& sched) {
+  Scheduler* active = Scheduler::active();
+  NCS_ASSERT_MSG(active == &sched, "sync primitive used from a foreign host's thread");
+  Thread* t = active->current();
+  NCS_ASSERT(t != nullptr);
+  return t;
+}
+
+}  // namespace
+
+void Semaphore::wait() {
+  Thread* self = current_thread_of(sched_);
+  if (value_ > 0) {
+    --value_;
+    return;
+  }
+  waiters_.push_back(self);
+  sched_.block(sim::Activity::idle);
+  // Direct hand-off: the signaler consumed the credit on our behalf.
+}
+
+void Semaphore::signal() {
+  if (!waiters_.empty()) {
+    Thread* t = waiters_.front();
+    waiters_.pop_front();
+    sched_.unblock(t);
+    return;
+  }
+  ++value_;
+}
+
+void CondVar::wait(Mutex& m) {
+  Thread* self = current_thread_of(sched_);
+  m.unlock();
+  waiters_.push_back(self);
+  sched_.block(sim::Activity::idle);
+  m.lock();
+}
+
+void CondVar::notify_one() {
+  if (waiters_.empty()) return;
+  Thread* t = waiters_.front();
+  waiters_.pop_front();
+  sched_.unblock(t);
+}
+
+void CondVar::notify_all() {
+  while (!waiters_.empty()) notify_one();
+}
+
+void Barrier::arrive_and_wait() {
+  Thread* self = current_thread_of(sched_);
+  ++arrived_;
+  if (arrived_ == parties_) {
+    arrived_ = 0;
+    ++generation_;
+    for (Thread* t : waiters_) sched_.unblock(t);
+    waiters_.clear();
+    return;
+  }
+  const int my_generation = generation_;
+  waiters_.push_back(self);
+  do {
+    sched_.block(sim::Activity::idle);
+  } while (generation_ == my_generation);
+}
+
+void Event::wait() {
+  Thread* self = current_thread_of(sched_);
+  while (!set_) {
+    waiters_.push_back(self);
+    sched_.block(sim::Activity::idle);
+  }
+}
+
+void Event::set() {
+  set_ = true;
+  for (Thread* t : waiters_) sched_.unblock(t);
+  waiters_.clear();
+}
+
+}  // namespace ncs::mts

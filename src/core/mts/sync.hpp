@@ -1,0 +1,172 @@
+// NCS_MTS synchronization primitives.
+//
+// The paper's services taxonomy (Section 3.1) lists synchronization —
+// barrier, wait, signal — alongside point-to-point and group
+// communication. These are the intra-process primitives, built directly
+// on block()/unblock(); the cross-process barrier lives in NCS_MPS.
+//
+// Cooperative threads never race on plain data (a thread only loses the
+// CPU at a blocking call), so these primitives order *blocking points*:
+// a semaphore hand-off, a producer/consumer queue, a phase barrier.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "core/mts/scheduler.hpp"
+
+namespace ncs::mts {
+
+/// Counting semaphore — the paper's wait/signal pair.
+class Semaphore {
+ public:
+  explicit Semaphore(Scheduler& sched, int initial = 0) : sched_(sched), value_(initial) {
+    NCS_ASSERT(initial >= 0);
+  }
+
+  /// P: decrements, blocking while the count is zero. FIFO wakeups.
+  void wait();
+
+  /// V: increments; wakes the longest-blocked waiter if any.
+  void signal();
+
+  int value() const { return value_; }
+
+ private:
+  Scheduler& sched_;
+  int value_;
+  std::deque<Thread*> waiters_;
+};
+
+/// Mutual exclusion across blocking points.
+class Mutex {
+ public:
+  explicit Mutex(Scheduler& sched) : sem_(sched, 1) {}
+
+  void lock() {
+    sem_.wait();
+    owner_ = Scheduler::active()->current();
+  }
+  void unlock() {
+    NCS_ASSERT_MSG(owner_ == Scheduler::active()->current(), "unlock by non-owner");
+    owner_ = nullptr;
+    sem_.signal();
+  }
+  bool locked() const { return owner_ != nullptr; }
+
+ private:
+  Semaphore sem_;
+  Thread* owner_ = nullptr;
+};
+
+/// RAII guard for Mutex.
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) : m_(m) { m_.lock(); }
+  ~LockGuard() { m_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Condition variable over Mutex.
+class CondVar {
+ public:
+  explicit CondVar(Scheduler& sched) : sched_(sched) {}
+
+  /// Atomically releases `m` and blocks; re-acquires before returning.
+  void wait(Mutex& m);
+  void notify_one();
+  void notify_all();
+
+ private:
+  Scheduler& sched_;
+  std::deque<Thread*> waiters_;
+};
+
+/// Reusable phase barrier for `parties` threads of one process.
+class Barrier {
+ public:
+  Barrier(Scheduler& sched, int parties) : sched_(sched), parties_(parties) {
+    NCS_ASSERT(parties >= 1);
+  }
+
+  /// Blocks until `parties` threads have arrived; the last arrival releases
+  /// everyone and resets the barrier for the next phase.
+  void arrive_and_wait();
+
+  int generation() const { return generation_; }
+
+ private:
+  Scheduler& sched_;
+  int parties_;
+  int arrived_ = 0;
+  int generation_ = 0;
+  std::deque<Thread*> waiters_;
+};
+
+/// One-shot event: waiters block until set() (sticky thereafter).
+class Event {
+ public:
+  explicit Event(Scheduler& sched) : sched_(sched) {}
+
+  void wait();
+  void set();
+  bool is_set() const { return set_; }
+
+ private:
+  Scheduler& sched_;
+  bool set_ = false;
+  std::deque<Thread*> waiters_;
+};
+
+/// Unbounded single-process producer/consumer queue of T. The backbone of
+/// the system threads: compute threads push send requests, the send thread
+/// pops; the NIC upcall pushes chunks, the receive thread pops.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Scheduler& sched) : sched_(sched) {}
+
+  /// Callable from engine context or thread context.
+  void push(T item) {
+    items_.push_back(std::move(item));
+    if (!waiters_.empty()) {
+      Thread* t = waiters_.front();
+      waiters_.pop_front();
+      sched_.unblock(t);
+    }
+  }
+
+  /// Thread context only: blocks until an item is available. Re-checks on
+  /// wakeup: an item can be stolen by try_pop() between push and resume.
+  T pop(sim::Activity blocked_as = sim::Activity::idle) {
+    while (items_.empty()) {
+      waiters_.push_back(sched_.current());
+      sched_.block(blocked_as);
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Non-blocking pop; callable from any context.
+  std::optional<T> try_pop() {
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+ private:
+  Scheduler& sched_;
+  std::deque<Thread*> waiters_;
+  std::deque<T> items_;
+};
+
+}  // namespace ncs::mts

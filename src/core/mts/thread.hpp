@@ -1,0 +1,91 @@
+// NCS_MTS thread object.
+//
+// Mirrors the paper's Section 4.1: a thread is blocked, runnable or
+// running; it lives on doubly-linked queues (one circular runnable queue
+// per priority level, one blocked queue); and it is either a *system*
+// thread (send / receive / flow control / error control, created by
+// NCS_init) or a *user* thread (compute threads created by NCS_t_create).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/intrusive_list.hpp"
+#include "common/time.hpp"
+#include "qt/context.hpp"
+#include "qt/stack.hpp"
+#include "sim/timeline.hpp"
+
+namespace ncs::mts {
+
+class Scheduler;
+
+using ThreadId = std::int32_t;
+inline constexpr ThreadId kInvalidThread = -1;
+
+/// Priority levels, highest first. The paper: "current implementation has
+/// N = 16", round-robin within each level.
+inline constexpr int kPriorityLevels = 16;
+inline constexpr int kHighestPriority = 0;
+inline constexpr int kDefaultPriority = 8;
+inline constexpr int kLowestPriority = kPriorityLevels - 1;
+
+enum class ThreadState : std::uint8_t { runnable, running, blocked, finished };
+enum class ThreadClass : std::uint8_t { user, system };
+
+const char* to_string(ThreadState s);
+
+struct ThreadOptions {
+  std::string name;
+  int priority = kDefaultPriority;
+  ThreadClass cls = ThreadClass::user;
+  std::size_t stack_size = qt::Stack::kDefaultSize;
+};
+
+class Thread {
+ public:
+  Thread(Scheduler& scheduler, ThreadId id, std::function<void()> body, ThreadOptions opts);
+
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  ThreadId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  int priority() const { return priority_; }
+  ThreadClass thread_class() const { return cls_; }
+  ThreadState state() const { return state_; }
+  Scheduler& scheduler() { return scheduler_; }
+
+  bool finished() const { return state_ == ThreadState::finished; }
+
+  /// Peak stack usage, valid once the thread has run (stacks are painted).
+  std::size_t stack_high_watermark() const { return stack_.high_watermark(); }
+
+ private:
+  friend class Scheduler;
+  static void trampoline(void* self);
+
+  Scheduler& scheduler_;
+  ThreadId id_;
+  std::string name_;
+  int priority_;
+  ThreadClass cls_;
+  ThreadState state_ = ThreadState::runnable;
+
+  std::function<void()> body_;
+  qt::Stack stack_;
+  qt::Context context_;
+
+  ListHook queue_hook_;  // runnable queue or blocked queue
+  IntrusiveList<Thread, &Thread::queue_hook_>* queue_ = nullptr;
+
+  // Joiners blocked on this thread's completion.
+  std::vector<Thread*> joiners_;
+
+  int timeline_track_ = -1;
+  sim::Activity blocked_as_ = sim::Activity::idle;
+};
+
+}  // namespace ncs::mts

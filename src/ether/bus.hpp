@@ -1,0 +1,88 @@
+// Shared 10 Mbps Ethernet segment — the paper's "SUN/Ethernet" baseline.
+//
+// Every host hangs off one medium: exactly one frame is on the wire at a
+// time and all hosts pay for each other's traffic. That serialization is
+// the dominant effect in the paper's Ethernet columns (four nodes share
+// 10 Mbps while the ATM hosts each get a dedicated 140 Mbps TAXI link).
+//
+// CSMA/CD is modeled deterministically: frames queue while the medium is
+// busy (carrier sense / deferral), and when more than one station is
+// waiting at dequeue time, a contention penalty drawn from a seeded RNG
+// approximates the collision + binary-exponential-backoff resolution of
+// 802.3 without the non-determinism of real collision timing. Set
+// `model_contention = false` for a pure store-and-forward medium.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "ether/frame.hpp"
+#include "sim/engine.hpp"
+
+namespace ncs::ether {
+
+struct BusParams {
+  double bandwidth_bps = 10e6;
+  /// End-to-end propagation over the segment.
+  Duration propagation = Duration::microseconds(10);
+  /// 802.3 slot time (512 bit times at 10 Mbps).
+  Duration slot_time = Duration::microseconds(51.2);
+  bool model_contention = true;
+  /// Upper bound on the backoff draw per transmission. ~8 models a lightly
+  /// contended segment (>80 % utilization); 16-32 models the measured
+  /// behaviour of a segment saturated by several simultaneous senders
+  /// (40-70 % utilization).
+  std::uint64_t max_backoff_slots = 16;
+  std::uint64_t seed = 0xE7E12;
+};
+
+class Bus {
+ public:
+  /// Handler invoked on the destination host: (src host, payload).
+  using RxHandler = std::function<void(int, Bytes)>;
+
+  Bus(sim::Engine& engine, BusParams params, int n_hosts);
+
+  void set_rx_handler(int host, RxHandler handler);
+
+  /// Queues one frame of `payload` (<= kMaxPayload) from `src` to `dst`.
+  /// `on_sent` fires when the frame has left `src`'s transmitter (transmit
+  /// buffer reusable); the destination handler fires one propagation later.
+  void send(int src, int dst, Bytes payload, sim::EventFn on_sent);
+
+  struct Stats {
+    std::uint64_t frames = 0;
+    std::uint64_t payload_bytes = 0;
+    std::uint64_t contention_events = 0;
+    Duration contention_delay;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    int src;
+    int dst;
+    Bytes payload;
+    sim::EventFn on_sent;
+    int attempts = 0;
+  };
+
+  void pump();
+  void start_transmit(Pending&& frame);
+
+  sim::Engine& engine_;
+  BusParams params_;
+  Rng rng_;
+  std::vector<RxHandler> handlers_;
+  std::deque<Pending> queue_;
+  bool medium_busy_ = false;
+  Stats stats_;
+};
+
+}  // namespace ncs::ether

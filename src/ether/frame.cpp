@@ -1,0 +1,60 @@
+#include "ether/frame.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/crc.hpp"
+
+namespace ncs::ether {
+
+MacAddress mac_of_host(int index) {
+  NCS_ASSERT(index >= 0);
+  const auto i = static_cast<std::uint32_t>(index);
+  // 0x02 = locally administered, unicast.
+  return MacAddress{0x02, 0x4E, 0x43, 0x53,  // "NCS"
+                    static_cast<std::uint8_t>(i >> 8), static_cast<std::uint8_t>(i & 0xFF)};
+}
+
+std::size_t Frame::wire_size() const {
+  return kHeaderSize + std::max(payload.size(), kMinPayload) + kFcsSize;
+}
+
+Bytes Frame::pack() const {
+  NCS_ASSERT_MSG(payload.size() <= kMaxPayload, "Ethernet payload exceeds MTU");
+  Bytes out(wire_size(), std::byte{0});
+  ByteWriter w(out);
+  for (std::uint8_t b : dst) w.u8(b);
+  for (std::uint8_t b : src) w.u8(b);
+  w.u16(ethertype);
+  w.bytes(payload);
+  // Padding bytes are already zero; FCS covers header + payload + padding.
+  const std::size_t body = out.size() - kFcsSize;
+  const std::uint32_t fcs = crc32_ieee(BytesView(out).first(body));
+  ByteWriter t(std::span<std::byte>(out).subspan(body));
+  t.u32(fcs);
+  return out;
+}
+
+Result<Frame> Frame::unpack(BytesView wire) {
+  if (wire.size() < kHeaderSize + kMinPayload + kFcsSize)
+    return Status(ErrorCode::data_corruption, "Ethernet frame below minimum size");
+
+  const std::size_t body = wire.size() - kFcsSize;
+  ByteReader t(wire.subspan(body));
+  if (t.u32() != crc32_ieee(wire.first(body)))
+    return Status(ErrorCode::data_corruption, "Ethernet FCS mismatch");
+
+  Frame f;
+  ByteReader r(wire);
+  for (auto& b : f.dst) b = r.u8();
+  for (auto& b : f.src) b = r.u8();
+  f.ethertype = r.u16();
+  f.payload = to_bytes(r.bytes(body - kHeaderSize));
+  return f;
+}
+
+std::size_t wire_bytes_for_payload(std::size_t n) {
+  return kHeaderSize + std::max(n, kMinPayload) + kFcsSize + kSilentOverheadBytes;
+}
+
+}  // namespace ncs::ether

@@ -1,0 +1,48 @@
+// Ethernet II framing (DIX): 6+6 byte MACs, 2-byte EtherType, payload
+// padded to the 46-byte minimum, 4-byte FCS (CRC-32). On the wire each
+// frame additionally costs 8 bytes of preamble/SFD and a 12-byte
+// inter-frame gap; EtherBus charges those as per-frame overhead time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace ncs::ether {
+
+using MacAddress = std::array<std::uint8_t, 6>;
+
+/// Deterministic locally-administered MAC for simulated host `index`.
+MacAddress mac_of_host(int index);
+
+inline constexpr std::size_t kHeaderSize = 14;
+inline constexpr std::size_t kFcsSize = 4;
+inline constexpr std::size_t kMinPayload = 46;
+inline constexpr std::size_t kMaxPayload = 1500;
+/// Preamble + SFD + inter-frame gap, charged as time, not carried as bytes.
+inline constexpr std::size_t kSilentOverheadBytes = 8 + 12;
+
+struct Frame {
+  MacAddress dst{};
+  MacAddress src{};
+  std::uint16_t ethertype = 0x0800;  // IPv4 by default
+  Bytes payload;
+
+  /// Serialized size including header, padding and FCS.
+  std::size_t wire_size() const;
+
+  /// Serializes (padding short payloads) and appends the FCS.
+  Bytes pack() const;
+
+  /// Parses and verifies the FCS. The payload keeps any padding (the layer
+  /// above carries explicit lengths, as IP does).
+  static Result<Frame> unpack(BytesView wire);
+};
+
+/// Total on-the-wire byte cost (including silent overhead) for a payload of
+/// `n` bytes — the quantity EtherBus converts to serialization time.
+std::size_t wire_bytes_for_payload(std::size_t n);
+
+}  // namespace ncs::ether

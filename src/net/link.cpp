@@ -1,0 +1,33 @@
+#include "net/link.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace ncs::net {
+
+Link::Link(sim::Engine& engine, LinkParams params, std::string name)
+    : engine_(engine), params_(params), name_(std::move(name)), loss_rng_(params.loss_seed) {
+  NCS_ASSERT(params_.bandwidth_bps > 0);
+  NCS_ASSERT(params_.loss_probability >= 0.0 && params_.loss_probability <= 1.0);
+}
+
+void Link::transmit(std::size_t wire_bytes, sim::EventFn on_sent, sim::EventFn on_delivered) {
+  const TimePoint start = ncs::max(engine_.now(), busy_until_);
+  const TimePoint sent = start + tx_time(wire_bytes);
+  busy_until_ = sent;
+  ++stats_.frames;
+  stats_.bytes += wire_bytes;
+
+  if (on_sent) engine_.schedule_at(sent, std::move(on_sent));
+
+  const bool lost =
+      params_.loss_probability > 0.0 && loss_rng_.next_bool(params_.loss_probability);
+  if (lost) {
+    ++stats_.drops;
+    return;
+  }
+  if (on_delivered) engine_.schedule_at(sent + params_.propagation, std::move(on_delivered));
+}
+
+}  // namespace ncs::net

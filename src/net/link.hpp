@@ -1,0 +1,85 @@
+// Point-to-point unidirectional link.
+//
+// Models the three quantities that matter to every 1995 network in the
+// paper: serialization (one frame on the wire at a time, at a fixed bit
+// rate), propagation delay (the WAN term the paper's overlap argument is
+// built on), and per-frame fixed overhead (preamble/IFG for Ethernet,
+// nothing for ATM where framing is counted in cell bytes). Optional
+// deterministic loss injection feeds the error-control ablations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/engine.hpp"
+
+namespace ncs::net {
+
+struct LinkParams {
+  double bandwidth_bps = 10e6;
+  Duration propagation = Duration::microseconds(5);
+  /// Charged once per transmit() in addition to the payload serialization
+  /// time (e.g. Ethernet preamble + inter-frame gap).
+  Duration per_frame_overhead = Duration::zero();
+  /// Probability that a frame is dropped after occupying the wire.
+  double loss_probability = 0.0;
+  std::uint64_t loss_seed = 0x10ADBA5E;
+};
+
+class Link {
+ public:
+  Link(sim::Engine& engine, LinkParams params, std::string name = "link");
+
+  /// Queues `wire_bytes` for transmission. The link serializes frames in
+  /// FIFO order. `on_sent` fires when the last bit leaves the sender (the
+  /// point at which a sending NIC buffer frees); `on_delivered` fires one
+  /// propagation delay later at the receiver — unless the frame is lost,
+  /// in which case only `on_sent` fires. Either callback may be null.
+  void transmit(std::size_t wire_bytes, sim::EventFn on_sent, sim::EventFn on_delivered);
+
+  /// Time at which the wire becomes free given everything queued so far.
+  TimePoint busy_until() const { return busy_until_; }
+
+  /// Serialization time for `wire_bytes` on this link (no queueing).
+  Duration tx_time(std::size_t wire_bytes) const {
+    return params_.per_frame_overhead +
+           Duration::for_bytes(static_cast<std::int64_t>(wire_bytes), params_.bandwidth_bps);
+  }
+
+  const LinkParams& params() const { return params_; }
+  const std::string& name() const { return name_; }
+
+  struct Stats {
+    std::uint64_t frames = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t drops = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  sim::Engine& engine_;
+  LinkParams params_;
+  std::string name_;
+  TimePoint busy_until_;
+  Rng loss_rng_;
+  Stats stats_;
+};
+
+/// Convenience: a full-duplex pair of identical links.
+class DuplexLink {
+ public:
+  DuplexLink(sim::Engine& engine, const LinkParams& params, const std::string& name = "link")
+      : forward_(engine, params, name + ">"), backward_(engine, params, name + "<") {}
+
+  Link& forward() { return forward_; }
+  Link& backward() { return backward_; }
+
+ private:
+  Link forward_;
+  Link backward_;
+};
+
+}  // namespace ncs::net

@@ -1,0 +1,69 @@
+// Host-side protocol cost model — the paper's Fig 3 made explicit.
+//
+// The paper's argument for the HSM path is counted in memory-bus accesses
+// per transmitted word: the socket/TCP/IP stack touches each word five
+// times (application write, socket-layer copy in and out, TCP checksum
+// read, copy to the interface), while NCS's mmap'ed kernel buffers cut
+// that to three. The application's own write of its buffer happens in both
+// paths (it is part of "compute"), so the charges below cover the
+// *protocol* portion: 4 accesses/word for TCP, 2 for NCS.
+//
+// All costs are expressed in CPU cycles so the same model scales between
+// the 33 MHz ELCs (Ethernet testbed) and 40 MHz IPXs (ATM testbed);
+// threads charge them through their host's Scheduler.
+#pragma once
+
+#include <cstddef>
+
+namespace ncs::proto {
+
+struct CostModel {
+  /// CPU cycles per memory-bus access of one 4-byte word (these machines
+  /// moved data with the CPU; cache misses dominate).
+  double cycles_per_bus_access = 6.0;
+  double word_bytes = 4.0;
+
+  /// Protocol-path bus accesses per word, CPU-charged (see header comment).
+  double tcp_accesses_per_word = 4.0;
+  double ncs_accesses_per_word = 2.0;
+
+  /// Fixed per-operation costs, in cycles.
+  double syscall_cycles = 1500;       // SunOS syscall + socket layer entry
+  double trap_cycles = 150;           // NCS read/write trap (paper: cheaper)
+  double tcp_per_segment_cycles = 5000;  // TCP/IP header processing, checksums
+  double ncs_per_chunk_cycles = 400;     // NCS buffer bookkeeping per I/O chunk
+
+  /// p4 library costs on top of the socket path: internal buffering plus
+  /// XDR data conversion per byte, and per-message bookkeeping. Era
+  /// measurements put p4/PVM effective throughput near 1 MB/s on
+  /// SPARCstation-class hosts — far below the raw socket path — and this
+  /// is the term that dominates the paper's communication times.
+  double p4_per_byte_cycles = 20;
+  double p4_per_message_cycles = 10000;
+
+  /// Copy cost in cycles for `bytes` at `accesses_per_word`.
+  double copy_cycles(std::size_t bytes, double accesses_per_word) const {
+    return static_cast<double>(bytes) / word_bytes * accesses_per_word *
+           cycles_per_bus_access;
+  }
+
+  /// Send/receive CPU cost of one message through the socket/TCP path,
+  /// excluding the application's own buffer write.
+  double tcp_side_cycles(std::size_t bytes, std::size_t mss) const {
+    const auto segments = static_cast<double>(bytes / mss + (bytes % mss != 0 ? 1 : 0));
+    return syscall_cycles + copy_cycles(bytes, tcp_accesses_per_word) +
+           tcp_per_segment_cycles * (segments == 0 ? 1 : segments);
+  }
+
+  /// Send/receive CPU cost of one chunk through the NCS/ATM-API path.
+  double ncs_chunk_cycles(std::size_t bytes) const {
+    return trap_cycles + copy_cycles(bytes, ncs_accesses_per_word) + ncs_per_chunk_cycles;
+  }
+};
+
+/// IPv4 + TCP header bytes carried by every segment.
+inline constexpr std::size_t kIpTcpHeaderBytes = 40;
+/// RFC 1483 LLC/SNAP encapsulation for IP over AAL5.
+inline constexpr std::size_t kLlcSnapBytes = 8;
+
+}  // namespace ncs::proto

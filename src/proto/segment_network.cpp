@@ -1,0 +1,55 @@
+#include "proto/segment_network.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace ncs::proto {
+
+AtmSegmentNetwork::AtmSegmentNetwork(sim::Engine& engine, atm::AtmFabric& fabric)
+    : engine_(engine),
+      fabric_(fabric),
+      queues_(static_cast<std::size_t>(fabric.n_hosts())),
+      pump_pending_(static_cast<std::size_t>(fabric.n_hosts()), false),
+      handlers_(static_cast<std::size_t>(fabric.n_hosts())) {
+  for (int h = 0; h < fabric_.n_hosts(); ++h) {
+    NCS_ASSERT_MSG(fabric_.nic(h).params().io_buffer_size >= mtu(),
+                   "IP-over-ATM needs NIC buffers >= the 9180-byte MTU");
+    fabric_.nic(h).set_rx_handler([this, h](atm::VcId vc, Bytes data, bool eom) {
+      NCS_ASSERT_MSG(eom, "IP datagram must be a single AAL5 PDU");
+      auto& handler = handlers_[static_cast<std::size_t>(h)];
+      if (handler) handler(atm::src_of(vc), std::move(data));
+    });
+  }
+}
+
+void AtmSegmentNetwork::send(int src, int dst, Bytes datagram, sim::EventFn on_sent) {
+  NCS_ASSERT(datagram.size() <= mtu());
+  queues_[static_cast<std::size_t>(src)].push_back(
+      Pending{dst, std::move(datagram), std::move(on_sent)});
+  pump(src);
+}
+
+void AtmSegmentNetwork::pump(int host) {
+  auto& queue = queues_[static_cast<std::size_t>(host)];
+  atm::Nic& nic = fabric_.nic(host);
+  while (!queue.empty() && nic.tx_buffer_available()) {
+    Pending p = std::move(queue.front());
+    queue.pop_front();
+    if (p.on_sent) engine_.post(std::move(p.on_sent));  // accepted by the driver
+    nic.submit_tx(atm::vc_to(p.dst), std::move(p.datagram), /*end_of_message=*/true);
+  }
+  if (!queue.empty() && !pump_pending_[static_cast<std::size_t>(host)]) {
+    pump_pending_[static_cast<std::size_t>(host)] = true;
+    nic.notify_tx_buffer([this, host] {
+      pump_pending_[static_cast<std::size_t>(host)] = false;
+      pump(host);
+    });
+  }
+}
+
+void AtmSegmentNetwork::set_rx(int host, RxHandler handler) {
+  handlers_[static_cast<std::size_t>(host)] = std::move(handler);
+}
+
+}  // namespace ncs::proto

@@ -1,0 +1,86 @@
+// Datagram abstraction over the two physical substrates.
+//
+// TCP (below) needs only "move an opaque datagram from host i to host j,
+// maybe dropping it". Ethernet provides that directly; ATM provides it via
+// one AAL5 PDU per datagram (RFC 1483 style), submitted through the NIC's
+// I/O buffers with backpressure handled by an internal per-host queue.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "atm/network.hpp"
+#include "common/bytes.hpp"
+#include "ether/bus.hpp"
+#include "sim/engine.hpp"
+
+namespace ncs::proto {
+
+class SegmentNetwork {
+ public:
+  using RxHandler = std::function<void(int /*src*/, Bytes)>;
+
+  virtual ~SegmentNetwork() = default;
+
+  /// Queues one datagram. `on_sent` (nullable) fires when the local
+  /// transmitter is done with it.
+  virtual void send(int src, int dst, Bytes datagram, sim::EventFn on_sent) = 0;
+
+  virtual void set_rx(int host, RxHandler handler) = 0;
+
+  /// Largest datagram this network carries.
+  virtual std::size_t mtu() const = 0;
+
+  virtual int n_hosts() const = 0;
+};
+
+/// 10 Mbps shared Ethernet: datagram = one frame payload.
+class EthernetSegmentNetwork final : public SegmentNetwork {
+ public:
+  explicit EthernetSegmentNetwork(ether::Bus& bus, int n_hosts)
+      : bus_(bus), n_hosts_(n_hosts) {}
+
+  void send(int src, int dst, Bytes datagram, sim::EventFn on_sent) override {
+    bus_.send(src, dst, std::move(datagram), std::move(on_sent));
+  }
+  void set_rx(int host, RxHandler handler) override {
+    bus_.set_rx_handler(host, std::move(handler));
+  }
+  std::size_t mtu() const override { return ether::kMaxPayload; }
+  int n_hosts() const override { return n_hosts_; }
+
+ private:
+  ether::Bus& bus_;
+  int n_hosts_;
+};
+
+/// Classical IP over ATM: datagram = one AAL5 PDU on the pairwise PVC.
+/// The 9180-byte IP-over-ATM MTU applies; NIC I/O buffers must be at
+/// least that large (the kernel driver owns big buffers on this path).
+class AtmSegmentNetwork final : public SegmentNetwork {
+ public:
+  AtmSegmentNetwork(sim::Engine& engine, atm::AtmFabric& fabric);
+
+  void send(int src, int dst, Bytes datagram, sim::EventFn on_sent) override;
+  void set_rx(int host, RxHandler handler) override;
+  std::size_t mtu() const override { return 9180; }
+  int n_hosts() const override { return fabric_.n_hosts(); }
+
+ private:
+  struct Pending {
+    int dst;
+    Bytes datagram;
+    sim::EventFn on_sent;
+  };
+
+  void pump(int host);
+
+  sim::Engine& engine_;
+  atm::AtmFabric& fabric_;
+  std::vector<std::deque<Pending>> queues_;  // per source host
+  std::vector<bool> pump_pending_;           // notify_tx_buffer already armed
+  std::vector<RxHandler> handlers_;
+};
+
+}  // namespace ncs::proto

@@ -1,0 +1,89 @@
+#include "qt/context.hpp"
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+extern "C" void ncs_qt_entry_returned() {
+  NCS_UNREACHABLE("a qt::Context entry function returned; it must switch away instead");
+}
+
+#if defined(NCS_QT_UCONTEXT)
+
+// -------- ucontext(3) fallback --------------------------------------------
+//
+// makecontext only passes int arguments portably, so the 64-bit entry/arg
+// pointers are split into 32-bit halves and reassembled in the shim.
+
+namespace ncs::qt {
+namespace {
+
+void entry_shim(unsigned fn_hi, unsigned fn_lo, unsigned arg_hi, unsigned arg_lo) {
+  const auto join = [](unsigned hi, unsigned lo) {
+    return (static_cast<std::uint64_t>(hi) << 32) | static_cast<std::uint64_t>(lo);
+  };
+  auto entry = reinterpret_cast<Context::Entry>(join(fn_hi, fn_lo));
+  auto* arg = reinterpret_cast<void*>(join(arg_hi, arg_lo));
+  entry(arg);
+  ncs_qt_entry_returned();
+}
+
+}  // namespace
+
+void Context::init(Stack& stack, Entry entry, void* arg) {
+  NCS_ASSERT(getcontext(&uc_) == 0);
+  uc_.uc_stack.ss_sp = stack.base();
+  uc_.uc_stack.ss_size = stack.size();
+  uc_.uc_link = nullptr;
+  const auto fn_bits = reinterpret_cast<std::uint64_t>(entry);
+  const auto arg_bits = reinterpret_cast<std::uint64_t>(arg);
+  makecontext(&uc_, reinterpret_cast<void (*)()>(entry_shim), 4,
+              static_cast<unsigned>(fn_bits >> 32), static_cast<unsigned>(fn_bits),
+              static_cast<unsigned>(arg_bits >> 32), static_cast<unsigned>(arg_bits));
+}
+
+void Context::switch_to(Context& from, Context& to) {
+  NCS_ASSERT(swapcontext(&from.uc_, &to.uc_) == 0);
+}
+
+}  // namespace ncs::qt
+
+#else
+
+// -------- x86-64 assembly implementation -----------------------------------
+
+extern "C" {
+void ncs_qt_switch(void** save_sp, void* restore_sp);
+void ncs_qt_start();
+}
+
+namespace ncs::qt {
+
+void Context::init(Stack& stack, Entry entry, void* arg) {
+  // Build the saved frame ncs_qt_switch's restore path expects; see the
+  // layout comment in context_x86_64.S. Frame base is 16-byte aligned so
+  // ncs_qt_start observes SysV pre-call alignment.
+  auto top = reinterpret_cast<std::uintptr_t>(stack.top());
+  top &= ~static_cast<std::uintptr_t>(15);
+  auto* frame = reinterpret_cast<std::uint64_t*>(top) - 8;  // 64 bytes
+  frame[7] = reinterpret_cast<std::uint64_t>(&ncs_qt_start);  // return address
+  frame[6] = 0;                                               // rbp
+  frame[5] = 0;                                               // rbx
+  frame[4] = reinterpret_cast<std::uint64_t>(entry);          // r12
+  frame[3] = reinterpret_cast<std::uint64_t>(arg);            // r13
+  frame[2] = 0;                                               // r14
+  frame[1] = 0;                                               // r15
+  // FP control block: default mxcsr (all exceptions masked, round-nearest)
+  // and default x87 control word.
+  frame[0] = 0x1F80ull | (0x037Full << 32);
+  sp_ = frame;
+}
+
+void Context::switch_to(Context& from, Context& to) {
+  NCS_ASSERT_MSG(to.sp_ != nullptr, "switching to an uninitialized context");
+  ncs_qt_switch(&from.sp_, to.sp_);
+}
+
+}  // namespace ncs::qt
+
+#endif

@@ -1,0 +1,53 @@
+// Cooperative execution contexts — the QuickThreads role.
+//
+// The paper builds NCS_MTS on the University of Washington QuickThreads
+// toolkit, which "only provides the capability for thread initialization
+// and context switching"; scheduling and synchronization live a layer up
+// (src/core/mts). This module is the same minimal contract:
+//
+//   Context ctx;
+//   ctx.init(stack, entry, arg);        // prepare a fresh context
+//   Context::switch_to(here, ctx);      // transfer control; `here` resumes
+//                                       // when someone switches back to it
+//
+// Two interchangeable implementations, selected at build time:
+//  - x86-64 SysV assembly (default on x86-64): saves callee-saved GPRs plus
+//    mxcsr/x87 control words, ~30 instructions per switch.
+//  - ucontext(3) fallback (-DNCS_USE_UCONTEXT=ON or non-x86-64 hosts).
+//
+// An entry function must never return: the layer above must switch away
+// (thread exit is a scheduler concept). Returning aborts the process.
+#pragma once
+
+#include "qt/stack.hpp"
+
+#if defined(NCS_QT_UCONTEXT)
+#include <ucontext.h>
+#endif
+
+namespace ncs::qt {
+
+class Context {
+ public:
+  using Entry = void (*)(void*);
+
+  Context() = default;
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  /// Prepares this context to run `entry(arg)` on `stack` at first switch-in.
+  void init(Stack& stack, Entry entry, void* arg);
+
+  /// Saves the current machine context into `from` and resumes `to`.
+  /// Returns (into `from`) when another switch targets `from` again.
+  static void switch_to(Context& from, Context& to);
+
+ private:
+#if defined(NCS_QT_UCONTEXT)
+  ucontext_t uc_{};
+#else
+  void* sp_ = nullptr;
+#endif
+};
+
+}  // namespace ncs::qt

@@ -1,0 +1,53 @@
+#include "sim/engine.hpp"
+
+#include "common/assert.hpp"
+
+namespace ncs::sim {
+
+EventId Engine::schedule_at(TimePoint t, EventFn fn) {
+  NCS_ASSERT_MSG(t >= now_, "scheduling an event in the past");
+  NCS_ASSERT(fn != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  queue_.emplace(Key{t, seq}, std::move(fn));
+  by_seq_.emplace(seq, t);
+  return seq;
+}
+
+bool Engine::cancel(EventId id) {
+  const auto idx = by_seq_.find(id);
+  if (idx == by_seq_.end()) return false;  // already fired or cancelled
+  const auto it = queue_.find(Key{idx->second, id});
+  NCS_ASSERT(it != queue_.end());
+  queue_.erase(it);
+  by_seq_.erase(idx);
+  return true;
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  auto it = queue_.begin();
+  NCS_ASSERT(it->first.first >= now_);
+  now_ = it->first.first;
+  by_seq_.erase(it->first.second);
+  EventFn fn = std::move(it->second);
+  queue_.erase(it);
+  ++processed_;
+  fn();
+  return true;
+}
+
+std::uint64_t Engine::run() {
+  const std::uint64_t start = processed_;
+  while (step()) {
+  }
+  return processed_ - start;
+}
+
+std::uint64_t Engine::run_until(TimePoint deadline) {
+  const std::uint64_t start = processed_;
+  while (!queue_.empty() && queue_.begin()->first.first <= deadline) step();
+  if (now_ < deadline) now_ = deadline;
+  return processed_ - start;
+}
+
+}  // namespace ncs::sim

@@ -1,0 +1,69 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded, deterministic: events fire in (time, insertion-sequence)
+// order, so two runs with the same inputs produce identical traces and
+// identical benchmark tables. Everything in the repository — links, switches,
+// NIC DMA, CPU busy windows, thread wakeups — is expressed as events here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "common/time.hpp"
+
+namespace ncs::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle for cancellation. 0 is never a valid id.
+using EventId = std::uint64_t;
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must not be in the past).
+  EventId schedule_at(TimePoint t, EventFn fn);
+
+  /// Schedules `fn` at now + d.
+  EventId schedule_after(Duration d, EventFn fn) { return schedule_at(now_ + d, std::move(fn)); }
+
+  /// Schedules `fn` to run after all events already queued for `now`.
+  EventId post(EventFn fn) { return schedule_after(Duration::zero(), std::move(fn)); }
+
+  /// Cancels a pending event. Returns false if it already fired or was
+  /// cancelled (safe to call with stale ids).
+  bool cancel(EventId id);
+
+  /// Runs the next event. Returns false if the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains. Returns the number of events processed.
+  std::uint64_t run();
+
+  /// Runs events with time <= deadline; advances the clock to `deadline`
+  /// even if the queue drains earlier. Returns events processed.
+  std::uint64_t run_until(TimePoint deadline);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::uint64_t processed() const { return processed_; }
+
+ private:
+  using Key = std::pair<TimePoint, std::uint64_t>;  // (time, seq)
+
+  TimePoint now_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t processed_ = 0;
+  std::map<Key, EventFn> queue_;
+  std::unordered_map<EventId, TimePoint> by_seq_;  // pending events, for cancel()
+};
+
+}  // namespace ncs::sim

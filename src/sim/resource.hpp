@@ -1,0 +1,30 @@
+// Serially-occupied resource.
+//
+// Models any device that does one thing at a time — a DMA engine, an SAR
+// coprocessor, a bus — as a rolling "busy until" horizon. occupy() is the
+// whole scheduling discipline: FIFO in request order, which is what the
+// paper-era hardware (SBus DMA, the SBA-200's i960) actually did.
+#pragma once
+
+#include "common/time.hpp"
+
+namespace ncs::sim {
+
+class SerialResource {
+ public:
+  /// Reserves the resource for `dur`, starting no earlier than `earliest`
+  /// and no earlier than the end of all previous reservations.
+  /// Returns the completion time.
+  TimePoint occupy(TimePoint earliest, Duration dur) {
+    const TimePoint start = ncs::max(earliest, busy_until_);
+    busy_until_ = start + dur;
+    return busy_until_;
+  }
+
+  TimePoint busy_until() const { return busy_until_; }
+
+ private:
+  TimePoint busy_until_;
+};
+
+}  // namespace ncs::sim

@@ -1,0 +1,117 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace ncs::sim {
+
+char activity_glyph(Activity a) {
+  switch (a) {
+    case Activity::idle: return '.';
+    case Activity::compute: return '#';
+    case Activity::communicate: return '=';
+    case Activity::overhead: return '+';
+  }
+  return '?';
+}
+
+const char* activity_name(Activity a) {
+  switch (a) {
+    case Activity::idle: return "idle";
+    case Activity::compute: return "compute";
+    case Activity::communicate: return "communicate";
+    case Activity::overhead: return "overhead";
+  }
+  return "?";
+}
+
+int Timeline::add_track(std::string name) {
+  Track t;
+  t.name = std::move(name);
+  tracks_.push_back(std::move(t));
+  return static_cast<int>(tracks_.size()) - 1;
+}
+
+void Timeline::transition(int track, TimePoint t, Activity a) {
+  Track& tr = tracks_[static_cast<std::size_t>(track)];
+  if (tr.open) {
+    NCS_ASSERT_MSG(t >= tr.open_since, "timeline transition going backwards");
+    if (t > tr.open_since || tr.open_activity != a) {
+      if (t > tr.open_since)
+        tr.intervals.push_back({tr.open_since, t, tr.open_activity});
+    }
+  }
+  tr.open_since = t;
+  tr.open_activity = a;
+  tr.open = true;
+}
+
+void Timeline::finish(TimePoint t) {
+  for (auto& tr : tracks_) {
+    if (tr.open && t > tr.open_since)
+      tr.intervals.push_back({tr.open_since, t, tr.open_activity});
+    tr.open = false;
+  }
+}
+
+Timeline::Summary Timeline::summarize(int track) const {
+  Summary s{};
+  for (const auto& iv : intervals(track)) {
+    const Duration d = iv.end - iv.begin;
+    s.total += d;
+    s.per_activity[static_cast<int>(iv.activity)] += d;
+  }
+  return s;
+}
+
+std::string Timeline::render_ascii(TimePoint t0, TimePoint t1, int width) const {
+  NCS_ASSERT(width > 0 && t1 > t0);
+  const double span = (t1 - t0).sec();
+
+  std::size_t name_w = 0;
+  for (const auto& tr : tracks_) name_w = std::max(name_w, tr.name.size());
+
+  std::string out;
+  for (int k = 0; k < track_count(); ++k) {
+    const Track& tr = tracks_[static_cast<std::size_t>(k)];
+    std::string row(static_cast<std::size_t>(width), ' ');
+    // For each column pick the activity covering the largest share of it.
+    for (int c = 0; c < width; ++c) {
+      const TimePoint cb = t0 + Duration::seconds(span * c / width);
+      const TimePoint ce = t0 + Duration::seconds(span * (c + 1) / width);
+      Duration best = Duration::zero();
+      Activity best_a = Activity::idle;
+      bool any = false;
+      for (const auto& iv : tr.intervals) {
+        const TimePoint b = ncs::max(iv.begin, cb);
+        const TimePoint e = iv.end < ce ? iv.end : ce;
+        if (e > b) {
+          const Duration d = e - b;
+          // Prefer non-idle activities on ties so thin compute slivers show.
+          if (!any || d > best || (d == best && iv.activity != Activity::idle)) {
+            best = d;
+            best_a = iv.activity;
+            any = true;
+          }
+        }
+      }
+      row[static_cast<std::size_t>(c)] = any ? activity_glyph(best_a) : ' ';
+    }
+    out += tr.name;
+    out.append(name_w - tr.name.size() + 2, ' ');
+    out += '|';
+    out += row;
+    out += "|\n";
+  }
+  char legend[160];
+  std::snprintf(legend, sizeof legend, "%*s  [%c compute  %c communicate  %c overhead  %c idle]  span %s\n",
+                static_cast<int>(name_w), "", activity_glyph(Activity::compute),
+                activity_glyph(Activity::communicate), activity_glyph(Activity::overhead),
+                activity_glyph(Activity::idle), (t1 - t0).to_string().c_str());
+  out += legend;
+  return out;
+}
+
+}  // namespace ncs::sim

@@ -1,0 +1,78 @@
+// Per-thread activity timelines.
+//
+// The scheduler reports state transitions here; the recorder reconstructs,
+// for every (host, thread) track, the compute / communicate / idle intervals
+// that the paper draws in Fig 16 and uses to argue the overlap benefit.
+// Benches render these as ASCII Gantt charts and busy-fraction summaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace ncs::sim {
+
+enum class Activity : std::uint8_t {
+  idle = 0,         // runnable or blocked, CPU not working for this track
+  compute = 1,      // application computation
+  communicate = 2,  // protocol processing, copies, blocking send/recv
+  overhead = 3,     // scheduler / thread-maintenance work
+};
+
+char activity_glyph(Activity a);
+const char* activity_name(Activity a);
+
+class Timeline {
+ public:
+  struct Interval {
+    TimePoint begin;
+    TimePoint end;
+    Activity activity;
+  };
+
+  struct Summary {
+    Duration total;
+    Duration per_activity[4];
+    double fraction(Activity a) const {
+      if (total.is_zero()) return 0.0;
+      return per_activity[static_cast<int>(a)].sec() / total.sec();
+    }
+  };
+
+  /// Registers a named track (e.g. "node1/thread0"); returns its index.
+  int add_track(std::string name);
+
+  int track_count() const { return static_cast<int>(tracks_.size()); }
+  const std::string& track_name(int track) const { return tracks_[static_cast<std::size_t>(track)].name; }
+  const std::vector<Interval>& intervals(int track) const {
+    return tracks_[static_cast<std::size_t>(track)].intervals;
+  }
+
+  /// Closes the current interval of `track` at time `t` and opens one in
+  /// state `a`. Transitions must be monotone in time per track.
+  void transition(int track, TimePoint t, Activity a);
+
+  /// Closes all open intervals at `t` (call once, at end of run).
+  void finish(TimePoint t);
+
+  Summary summarize(int track) const;
+
+  /// Renders all tracks as an ASCII Gantt chart over [t0, t1], `width`
+  /// columns wide. Each column shows the dominant activity in its slice.
+  std::string render_ascii(TimePoint t0, TimePoint t1, int width) const;
+
+ private:
+  struct Track {
+    std::string name;
+    std::vector<Interval> intervals;
+    TimePoint open_since;
+    Activity open_activity = Activity::idle;
+    bool open = false;
+  };
+
+  std::vector<Track> tracks_;
+};
+
+}  // namespace ncs::sim

@@ -1,0 +1,136 @@
+#include "apps/fft.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ncs::apps::fft {
+namespace {
+
+TEST(Fft, MatchesReferenceDft) {
+  for (std::size_t m : {2u, 8u, 64u, 512u}) {
+    const auto samples = make_samples(m, 1);
+    const auto fast = fft(samples);
+    const auto slow = dft_reference(samples);
+    EXPECT_TRUE(approx_equal(fast, slow, 1e-6 * static_cast<double>(m))) << "M=" << m;
+  }
+}
+
+TEST(Fft, DeltaFunctionIsFlat) {
+  std::vector<Complex> x(16, Complex(0, 0));
+  x[0] = Complex(1, 0);
+  for (const Complex& v : fft(x)) EXPECT_NEAR(std::abs(v - Complex(1, 0)), 0.0, 1e-12);
+}
+
+TEST(Fft, PureToneHitsOneBin) {
+  const std::size_t m = 64;
+  std::vector<Complex> x(m);
+  // x_k = e^{+j 2 pi 5 k / M} = W^{-5k}: X(i) peaks at bin 5 under the
+  // e^{-j} transform convention.
+  for (std::size_t k = 0; k < m; ++k) x[k] = std::conj(twiddle(5 * k % m, m));
+  const auto out = fft(x);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i == 5) {
+      EXPECT_NEAR(std::abs(out[i]), static_cast<double>(m), 1e-9);
+    } else {
+      EXPECT_NEAR(std::abs(out[i]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  const std::size_t m = 256;
+  const auto x = make_samples(m, 3);
+  const auto y = fft(x);
+  double ex = 0, ey = 0;
+  for (const auto& v : x) ex += std::norm(v);
+  for (const auto& v : y) ey += std::norm(v);
+  EXPECT_NEAR(ey, ex * static_cast<double>(m), 1e-6 * ex * static_cast<double>(m));
+}
+
+TEST(Fft, BitReverse) {
+  EXPECT_EQ(bit_reverse(0b000, 3), 0b000u);
+  EXPECT_EQ(bit_reverse(0b001, 3), 0b100u);
+  EXPECT_EQ(bit_reverse(0b011, 3), 0b110u);
+  EXPECT_EQ(bit_reverse(0b101, 3), 0b101u);
+  for (std::size_t i = 0; i < 32; ++i) EXPECT_EQ(bit_reverse(bit_reverse(i, 5), 5), i);
+}
+
+TEST(Fft, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(512));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(12));
+  EXPECT_EQ(log2_exact(512), 9);
+}
+
+TEST(Fft, PackUnpackRoundTrip) {
+  const auto x = make_samples(32, 4);
+  EXPECT_EQ(unpack(pack(x)), x);
+}
+
+/// The distributed decomposition (paper Fig 21) run in-process: threads'
+/// exchanges performed by direct buffer swaps. Sweeps thread counts.
+class FftDistributed : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftDistributed, DecompositionMatchesWholeArrayFft) {
+  const std::size_t m = 512;
+  const std::size_t n_threads = GetParam();
+  const std::size_t r = m / (2 * n_threads);
+  const auto samples = make_samples(m, 7);
+
+  // Per-thread A/B rows.
+  std::vector<std::vector<Complex>> a(n_threads), b(n_threads);
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    a[t].assign(samples.begin() + static_cast<std::ptrdiff_t>(t * r),
+                samples.begin() + static_cast<std::ptrdiff_t>((t + 1) * r));
+    b[t].assign(samples.begin() + static_cast<std::ptrdiff_t>(t * r + m / 2),
+                samples.begin() + static_cast<std::ptrdiff_t>((t + 1) * r + m / 2));
+  }
+
+  const int steps = log2_exact(n_threads);
+  for (int step = 0; step < steps; ++step) {
+    std::vector<std::vector<Complex>> x(n_threads, std::vector<Complex>(r));
+    std::vector<std::vector<Complex>> y(n_threads, std::vector<Complex>(r));
+    for (std::size_t t = 0; t < n_threads; ++t)
+      global_stage(a[t], b[t], x[t], y[t], static_cast<int>(t), step, m, n_threads);
+    const int d = static_cast<int>(n_threads) >> (step + 1);
+    for (std::size_t t = 0; t < n_threads; ++t) {
+      if (keeps_sum_half(static_cast<int>(t), d)) {
+        const std::size_t partner = t + static_cast<std::size_t>(d);
+        a[t] = x[t];
+        b[t] = x[partner];
+      } else {
+        const std::size_t partner = t - static_cast<std::size_t>(d);
+        a[t] = y[partner];
+        b[t] = y[t];
+      }
+    }
+  }
+
+  std::vector<Complex> concatenated;
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    std::vector<Complex> local(2 * r);
+    std::copy(a[t].begin(), a[t].end(), local.begin());
+    std::copy(b[t].begin(), b[t].end(), local.begin() + static_cast<std::ptrdiff_t>(r));
+    local_phase(local, m);
+    concatenated.insert(concatenated.end(), local.begin(), local.end());
+  }
+
+  const auto assembled = assemble(concatenated);
+  const auto expected = fft(samples);
+  EXPECT_TRUE(approx_equal(assembled, expected, 1e-6 * static_cast<double>(m)));
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, FftDistributed, ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(Fft, KeepsSumHalfPattern) {
+  // d=1: even threads keep sums; d=2: threads 0,1 vs 2,3.
+  EXPECT_TRUE(keeps_sum_half(0, 1));
+  EXPECT_FALSE(keeps_sum_half(1, 1));
+  EXPECT_TRUE(keeps_sum_half(0, 2));
+  EXPECT_TRUE(keeps_sum_half(1, 2));
+  EXPECT_FALSE(keeps_sum_half(2, 2));
+  EXPECT_FALSE(keeps_sum_half(3, 2));
+}
+
+}  // namespace
+}  // namespace ncs::apps::fft

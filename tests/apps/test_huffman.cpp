@@ -1,0 +1,145 @@
+#include "apps/jpeg/huffman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace ncs::apps::jpeg {
+namespace {
+
+std::vector<std::uint64_t> freq_of(const std::vector<int>& symbols, int alphabet) {
+  std::vector<std::uint64_t> f(static_cast<std::size_t>(alphabet), 0);
+  for (int s : symbols) ++f[static_cast<std::size_t>(s)];
+  return f;
+}
+
+std::vector<int> roundtrip(const HuffmanTable& table, const std::vector<int>& symbols) {
+  BitWriter w;
+  for (int s : symbols) table.encode(w, s);
+  const Bytes stream = w.finish();
+  BitReader r(stream);
+  std::vector<int> out;
+  out.reserve(symbols.size());
+  for (std::size_t i = 0; i < symbols.size(); ++i) out.push_back(table.decode(r));
+  return out;
+}
+
+TEST(Huffman, EncodeDecodeRoundTrip) {
+  std::vector<int> symbols;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) symbols.push_back(static_cast<int>(rng.next_below(20)));
+  const auto table = HuffmanTable::build(freq_of(symbols, 20));
+  EXPECT_EQ(roundtrip(table, symbols), symbols);
+}
+
+TEST(Huffman, SkewedDistributionCompresses) {
+  // 90% zeros: entropy coding must beat fixed-width.
+  std::vector<int> symbols;
+  Rng rng(2);
+  for (int i = 0; i < 10'000; ++i)
+    symbols.push_back(rng.next_below(10) == 0 ? static_cast<int>(1 + rng.next_below(15)) : 0);
+  const auto table = HuffmanTable::build(freq_of(symbols, 16));
+
+  BitWriter w;
+  for (int s : symbols) table.encode(w, s);
+  const Bytes stream = w.finish();
+  EXPECT_LT(stream.size() * 8, symbols.size() * 4);  // < 4 bits/symbol avg
+}
+
+TEST(Huffman, FrequentSymbolsGetShorterCodes) {
+  std::vector<std::uint64_t> f{1000, 100, 10, 1};
+  const auto table = HuffmanTable::build(f);
+  const auto& lengths = table.lengths();
+  EXPECT_LE(lengths[0], lengths[1]);
+  EXPECT_LE(lengths[1], lengths[2]);
+  EXPECT_LE(lengths[2], lengths[3]);
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  std::vector<std::uint64_t> f{0, 42, 0};
+  const auto table = HuffmanTable::build(f);
+  const std::vector<int> symbols(7, 1);
+  EXPECT_EQ(roundtrip(table, symbols), symbols);
+}
+
+TEST(Huffman, UnusedSymbolsHaveNoCode) {
+  std::vector<std::uint64_t> f{5, 0, 5, 0, 5};
+  const auto table = HuffmanTable::build(f);
+  EXPECT_TRUE(table.has_code(0));
+  EXPECT_FALSE(table.has_code(1));
+  EXPECT_FALSE(table.has_code(3));
+}
+
+TEST(Huffman, LengthLimitEnforcedOnPathologicalInput) {
+  // Fibonacci-like weights force maximal depth in an unconstrained tree.
+  std::vector<std::uint64_t> f(40);
+  std::uint64_t a = 1, b = 1;
+  for (auto& w : f) {
+    w = a;
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const auto table = HuffmanTable::build(f);
+  for (std::uint8_t len : table.lengths()) EXPECT_LE(len, kMaxCodeLength);
+  // Still decodable.
+  std::vector<int> symbols{0, 5, 39, 20, 1, 38};
+  EXPECT_EQ(roundtrip(table, symbols), symbols);
+}
+
+TEST(Huffman, SerializationRoundTrip) {
+  std::vector<std::uint64_t> f{10, 0, 7, 3, 99, 1};
+  const auto table = HuffmanTable::build(f);
+  Bytes out;
+  table.serialize(out);
+  ByteReader r(out);
+  const auto restored = HuffmanTable::deserialize(r);
+  EXPECT_EQ(restored.lengths(), table.lengths());
+
+  const std::vector<int> symbols{0, 2, 3, 4, 5, 4, 4, 0};
+  EXPECT_EQ(roundtrip(restored, symbols), symbols);
+}
+
+TEST(Huffman, KraftInequalityHolds) {
+  Rng rng(3);
+  std::vector<std::uint64_t> f(100);
+  for (auto& w : f) w = rng.next_below(1000);
+  f[0] = 1;  // ensure at least one used
+  const auto table = HuffmanTable::build(f);
+  double kraft = 0;
+  for (std::uint8_t len : table.lengths())
+    if (len > 0) kraft += std::pow(2.0, -static_cast<double>(len));
+  EXPECT_LE(kraft, 1.0 + 1e-12);
+}
+
+TEST(BitStream, WriteReadMixedWidths) {
+  BitWriter w;
+  w.put(0b1, 1);
+  w.put(0b1010, 4);
+  w.put(0xABCDE, 20);
+  w.put(0, 3);
+  const Bytes stream = w.finish();
+  BitReader r(stream);
+  EXPECT_EQ(r.get(1), 0b1u);
+  EXPECT_EQ(r.get(4), 0b1010u);
+  EXPECT_EQ(r.get(20), 0xABCDEu);
+  EXPECT_EQ(r.get(3), 0u);
+}
+
+TEST(BitStream, PaddingWithOnes) {
+  BitWriter w;
+  w.put(0, 1);  // forces 7 pad bits
+  const Bytes stream = w.finish();
+  ASSERT_EQ(stream.size(), 1u);
+  EXPECT_EQ(stream[0], std::byte{0x7F});
+}
+
+TEST(BitStreamDeathTest, UnderrunAborts) {
+  BitReader r(BytesView{});
+  EXPECT_DEATH((void)r.get(1), "underrun");
+}
+
+}  // namespace
+}  // namespace ncs::apps::jpeg

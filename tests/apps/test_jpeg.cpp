@@ -1,0 +1,177 @@
+#include "apps/jpeg/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/jpeg/dct.hpp"
+
+namespace ncs::apps::jpeg {
+namespace {
+
+// --- DCT -------------------------------------------------------------------
+
+Block random_block(std::uint64_t seed) {
+  Block b;
+  std::uint64_t x = seed;
+  for (auto& v : b) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    v = static_cast<double>(x >> 40) / (1 << 16) - 128.0;
+  }
+  return b;
+}
+
+TEST(Dct, RoundTripIsIdentity) {
+  const Block in = random_block(1);
+  Block freq, back;
+  forward_dct(in, freq);
+  inverse_dct(freq, back);
+  for (int i = 0; i < 64; ++i) EXPECT_NEAR(back[static_cast<std::size_t>(i)], in[static_cast<std::size_t>(i)], 1e-9);
+}
+
+TEST(Dct, ConstantBlockIsPureDc) {
+  Block in;
+  in.fill(100.0);
+  Block freq;
+  forward_dct(in, freq);
+  EXPECT_NEAR(freq[0], 800.0, 1e-9);  // 100 * 8 under orthonormal scaling
+  for (int i = 1; i < 64; ++i) EXPECT_NEAR(freq[static_cast<std::size_t>(i)], 0.0, 1e-9);
+}
+
+TEST(Dct, EnergyPreserved) {
+  const Block in = random_block(2);
+  Block freq;
+  forward_dct(in, freq);
+  double es = 0, ef = 0;
+  for (int i = 0; i < 64; ++i) {
+    es += in[static_cast<std::size_t>(i)] * in[static_cast<std::size_t>(i)];
+    ef += freq[static_cast<std::size_t>(i)] * freq[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(ef, es, 1e-6 * es);
+}
+
+TEST(Dct, LinearityOfTransform) {
+  const Block a = random_block(3);
+  const Block b = random_block(4);
+  Block sum;
+  for (int i = 0; i < 64; ++i) sum[static_cast<std::size_t>(i)] = a[static_cast<std::size_t>(i)] + b[static_cast<std::size_t>(i)];
+  Block fa, fb, fsum;
+  forward_dct(a, fa);
+  forward_dct(b, fb);
+  forward_dct(sum, fsum);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_NEAR(fsum[static_cast<std::size_t>(i)], fa[static_cast<std::size_t>(i)] + fb[static_cast<std::size_t>(i)], 1e-9);
+}
+
+// --- codec ------------------------------------------------------------------
+
+TEST(Codec, RoundTripHighQualityIsNearLossless) {
+  const Image img = make_test_image(128, 96, 5);
+  const Bytes stream = compress(img, {.quality = 95});
+  const Image out = decompress(stream);
+  EXPECT_EQ(out.width, img.width);
+  EXPECT_EQ(out.height, img.height);
+  EXPECT_GT(psnr(img, out), 40.0);
+}
+
+TEST(Codec, QualityTradesSizeForFidelity) {
+  const Image img = make_test_image(256, 128, 6);
+  const Bytes q90 = compress(img, {.quality = 90});
+  const Bytes q30 = compress(img, {.quality = 30});
+  EXPECT_LT(q30.size(), q90.size());
+  EXPECT_GT(psnr(img, decompress(q90)), psnr(img, decompress(q30)));
+  EXPECT_GT(psnr(img, decompress(q30)), 25.0);
+}
+
+TEST(Codec, CompressesContinuousToneMaterial) {
+  const Image img = make_test_image(512, 512, 7);
+  const Bytes stream = compress(img);
+  // Smooth synthetic content at default quality: well under half size.
+  EXPECT_LT(stream.size(), img.size_bytes() / 2);
+}
+
+TEST(Codec, NonMultipleOf8DimensionsHandled) {
+  for (const auto& [w, h] : {std::pair{17, 9}, {8, 8}, {1, 1}, {33, 64}, {100, 75}}) {
+    const Image img = make_test_image(w, h, 8);
+    const Image out = decompress(compress(img, {.quality = 90}));
+    EXPECT_EQ(out.width, w);
+    EXPECT_EQ(out.height, h);
+    EXPECT_GT(psnr(img, out), 30.0) << w << "x" << h;
+  }
+}
+
+TEST(Codec, DeterministicStream) {
+  const Image img = make_test_image(64, 64, 9);
+  EXPECT_EQ(compress(img), compress(img));
+}
+
+TEST(Codec, ZigzagVisitsEveryCoefficientOnce) {
+  const std::uint8_t* zz = zigzag_order();
+  bool seen[64] = {};
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_LT(zz[i], 64);
+    EXPECT_FALSE(seen[zz[i]]);
+    seen[zz[i]] = true;
+  }
+  EXPECT_EQ(zz[0], 0);   // DC first
+  EXPECT_EQ(zz[1], 1);   // then the first AC pair
+  EXPECT_EQ(zz[2], 8);
+  EXPECT_EQ(zz[63], 63);
+}
+
+TEST(Codec, QuantTableScalesWithQuality) {
+  std::uint16_t q50[64], q10[64], q95[64];
+  quant_table(50, q50);
+  quant_table(10, q10);
+  quant_table(95, q95);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_GE(q10[i], q50[i]);
+    EXPECT_LE(q95[i], q50[i]);
+    EXPECT_GE(q95[i], 1);
+  }
+}
+
+TEST(CodecDeathTest, GarbageStreamRejected) {
+  const Bytes junk = to_bytes("definitely not a compressed image");
+  EXPECT_DEATH((void)decompress(junk), "NCJ1");
+}
+
+// --- image helpers -----------------------------------------------------------
+
+TEST(Image, StripExtractsRows) {
+  const Image img = make_test_image(32, 16, 10);
+  const Image s = img.strip(4, 8);
+  EXPECT_EQ(s.width, 32);
+  EXPECT_EQ(s.height, 4);
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 32; ++x) EXPECT_EQ(s.at(x, y), img.at(x, y + 4));
+}
+
+TEST(Image, PackUnpackRoundTrip) {
+  const Image img = make_test_image(40, 30, 11);
+  const Image out = unpack_image(pack_image(img));
+  EXPECT_EQ(out.width, img.width);
+  EXPECT_EQ(out.height, img.height);
+  EXPECT_EQ(out.pixels, img.pixels);
+}
+
+TEST(Image, PsnrProperties) {
+  const Image img = make_test_image(64, 64, 12);
+  EXPECT_TRUE(std::isinf(psnr(img, img)));
+  Image noisy = img;
+  noisy.pixels[100] = static_cast<std::uint8_t>(noisy.pixels[100] ^ 0x40);
+  const double p = psnr(img, noisy);
+  EXPECT_GT(p, 20.0);
+  EXPECT_FALSE(std::isinf(p));
+}
+
+TEST(Image, TestImageDeterministicAndInRange) {
+  const Image a = make_test_image(100, 50, 13);
+  const Image b = make_test_image(100, 50, 13);
+  EXPECT_EQ(a.pixels, b.pixels);
+  const Image c = make_test_image(100, 50, 14);
+  EXPECT_NE(a.pixels, c.pixels);
+}
+
+}  // namespace
+}  // namespace ncs::apps::jpeg

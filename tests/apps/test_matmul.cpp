@@ -1,0 +1,95 @@
+#include "apps/matmul.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ncs::apps::matmul {
+namespace {
+
+TEST(Matmul, IdentityTimesAnything) {
+  const int n = 16;
+  Matrix identity(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) identity[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(i)] = 1.0;
+  const Matrix a = make_matrix(n, 42);
+  EXPECT_TRUE(approx_equal(multiply(identity, a, n), a));
+  EXPECT_TRUE(approx_equal(multiply(a, identity, n), a));
+}
+
+TEST(Matmul, KnownSmallProduct) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  const Matrix a{1, 2, 3, 4};
+  const Matrix b{5, 6, 7, 8};
+  const Matrix c = multiply(a, b, 2);
+  EXPECT_DOUBLE_EQ(c[0], 19);
+  EXPECT_DOUBLE_EQ(c[1], 22);
+  EXPECT_DOUBLE_EQ(c[2], 43);
+  EXPECT_DOUBLE_EQ(c[3], 50);
+}
+
+TEST(Matmul, RowBlocksComposeToFullProduct) {
+  const int n = 32;
+  const Matrix a = make_matrix(n, 1);
+  const Matrix b = make_matrix(n, 2);
+  const Matrix full = multiply(a, b, n);
+
+  Matrix assembled(static_cast<std::size_t>(n) * n, 0.0);
+  for (int begin = 0; begin < n; begin += 8)
+    multiply_rows(a.data(), b.data(), assembled.data() + static_cast<std::ptrdiff_t>(begin) * n,
+                  n, begin, begin + 8);
+  EXPECT_TRUE(approx_equal(assembled, full));
+}
+
+TEST(Matmul, MakeMatrixDeterministicPerSeed) {
+  EXPECT_EQ(make_matrix(8, 5), make_matrix(8, 5));
+  EXPECT_NE(make_matrix(8, 5), make_matrix(8, 6));
+}
+
+TEST(Matmul, MakeMatrixValuesBounded) {
+  for (double v : make_matrix(16, 9)) {
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Matmul, PackUnpackRoundTrip) {
+  const int n = 8;
+  const Matrix a = make_matrix(n, 3);
+  const Bytes wire = pack_rows(a.data() + 2 * n, 3, n);
+  EXPECT_EQ(wire.size(), 3u * n * sizeof(double));
+  const auto rows = unpack_rows(wire);
+  for (int i = 0; i < 3 * n; ++i)
+    EXPECT_DOUBLE_EQ(rows[static_cast<std::size_t>(i)], a[static_cast<std::size_t>(2 * n + i)]);
+}
+
+TEST(Matmul, OpCount) {
+  EXPECT_DOUBLE_EQ(op_count(4, 128), 4.0 * 128 * 128);
+}
+
+TEST(Matmul, ApproxEqualRespectsTolerance) {
+  Matrix a{1.0, 2.0};
+  Matrix b{1.0 + 1e-12, 2.0};
+  EXPECT_TRUE(approx_equal(a, b, 1e-9));
+  b[0] = 1.001;
+  EXPECT_FALSE(approx_equal(a, b, 1e-9));
+  EXPECT_FALSE(approx_equal(a, Matrix{1.0}, 1e-9));
+}
+
+class MatmulSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatmulSizeSweep, BlockDecompositionMatchesForAnyDivision) {
+  const int n = 64;
+  const int blocks = GetParam();
+  const Matrix a = make_matrix(n, 11);
+  const Matrix b = make_matrix(n, 12);
+  const Matrix full = multiply(a, b, n);
+  Matrix assembled(static_cast<std::size_t>(n) * n, 0.0);
+  const int rows = n / blocks;
+  for (int k = 0; k < blocks; ++k)
+    multiply_rows(a.data(), b.data(), assembled.data() + static_cast<std::ptrdiff_t>(k) * rows * n,
+                  n, k * rows, (k + 1) * rows);
+  EXPECT_TRUE(approx_equal(assembled, full));
+}
+
+INSTANTIATE_TEST_SUITE_P(Divisions, MatmulSizeSweep, ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace ncs::apps::matmul

@@ -1,0 +1,113 @@
+#include "atm/aal34.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace ncs::atm::aal34 {
+namespace {
+
+Bytes random_payload(std::size_t n, std::uint64_t seed = 7) {
+  Rng rng(seed);
+  Bytes b(n);
+  for (auto& x : b) x = static_cast<std::byte>(rng.next_u64() & 0xFF);
+  return b;
+}
+
+TEST(Aal34, SegmentTypes) {
+  // Small message fits one cell -> SSM encoded; larger -> BOM/COM/EOM.
+  const auto small = segment(VcId{0, 1}, random_payload(20));
+  EXPECT_EQ(small.size(), 1u);
+
+  const auto big = segment(VcId{0, 1}, random_payload(200));
+  EXPECT_GE(big.size(), 3u);
+}
+
+class Aal34SizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Aal34SizeSweep, RoundTripPreservesPayload) {
+  const Bytes payload = random_payload(GetParam(), GetParam() * 3 + 1);
+  Reassembler r;
+  std::optional<Result<Bytes>> out;
+  for (const auto& c : segment(VcId{0, 5}, payload, /*mid=*/9, /*btag=*/3)) out = r.push(c);
+  ASSERT_TRUE(out.has_value());
+  ASSERT_TRUE(out->is_ok()) << out->status().to_string();
+  EXPECT_EQ(out->value(), payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(BoundarySizes, Aal34SizeSweep,
+                         ::testing::Values(0, 1, 35, 36, 37, 43, 44, 45, 87, 88, 200, 4096,
+                                           65527));
+
+TEST(Aal34, MoreCellsThanAal5) {
+  // 44 data bytes/cell vs AAL5's 48: AAL3/4 always needs at least as many.
+  for (std::size_t n : {100u, 1000u, 9000u}) {
+    EXPECT_GE(cell_count(n), (n + 47) / 48);
+    EXPECT_GT(cell_count(n), n / 48);
+  }
+}
+
+TEST(Aal34, PerCellCrcDetectsCorruption) {
+  auto cells = segment(VcId{0, 1}, random_payload(300));
+  cells[1].payload[20] ^= std::byte{0x40};
+  Reassembler r;
+  std::optional<Result<Bytes>> out;
+  for (const auto& c : cells) {
+    out = r.push(c);
+    if (out.has_value() && !out->is_ok()) break;
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_FALSE(out->is_ok());
+  EXPECT_EQ(out->status().code(), ErrorCode::data_corruption);
+}
+
+TEST(Aal34, SequenceGapDetected) {
+  const auto cells = segment(VcId{0, 1}, random_payload(300));
+  ASSERT_GE(cells.size(), 4u);
+  Reassembler r;
+  (void)r.push(cells[0]);
+  const auto out = r.push(cells[2]);  // skip cells[1]
+  ASSERT_TRUE(out.has_value());
+  EXPECT_FALSE(out->is_ok());
+}
+
+TEST(Aal34, ComWithoutBomRejected) {
+  const auto cells = segment(VcId{0, 1}, random_payload(300));
+  Reassembler r;
+  const auto out = r.push(cells[1]);  // COM first
+  ASSERT_TRUE(out.has_value());
+  EXPECT_FALSE(out->is_ok());
+}
+
+TEST(Aal34, BackToBackMessagesWithDifferentBtags) {
+  Reassembler r;
+  for (std::uint8_t k = 0; k < 4; ++k) {
+    const Bytes payload = random_payload(120 + k, k);
+    std::optional<Result<Bytes>> out;
+    for (const auto& c : segment(VcId{0, 1}, payload, 0, k)) out = r.push(c);
+    ASSERT_TRUE(out.has_value() && out->is_ok());
+    EXPECT_EQ(out->value(), payload);
+  }
+}
+
+TEST(Aal34, RecoversAfterCorruptMessage) {
+  auto bad = segment(VcId{0, 1}, random_payload(150, 1), 0, 1);
+  bad[0].payload[5] ^= std::byte{0x01};
+  const Bytes good_payload = random_payload(150, 2);
+  const auto good = segment(VcId{0, 1}, good_payload, 0, 2);
+
+  Reassembler r;
+  std::optional<Result<Bytes>> out;
+  for (const auto& c : bad) {
+    out = r.push(c);
+    if (out.has_value() && !out->is_ok()) break;
+  }
+  EXPECT_TRUE(out.has_value() && !out->is_ok());
+
+  for (const auto& c : good) out = r.push(c);
+  ASSERT_TRUE(out.has_value() && out->is_ok());
+  EXPECT_EQ(out->value(), good_payload);
+}
+
+}  // namespace
+}  // namespace ncs::atm::aal34

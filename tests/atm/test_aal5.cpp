@@ -1,0 +1,132 @@
+#include "atm/aal5.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace ncs::atm::aal5 {
+namespace {
+
+Bytes random_payload(std::size_t n, std::uint64_t seed = 42) {
+  Rng rng(seed);
+  Bytes b(n);
+  for (auto& x : b) x = static_cast<std::byte>(rng.next_u64() & 0xFF);
+  return b;
+}
+
+Bytes roundtrip(const Bytes& payload) {
+  const auto cells = segment(VcId{0, 99}, payload);
+  Reassembler r;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    auto out = r.push(cells[i]);
+    if (i + 1 < cells.size()) {
+      EXPECT_FALSE(out.has_value()) << "early completion at cell " << i;
+    } else {
+      EXPECT_TRUE(out.has_value());
+      EXPECT_TRUE(out->is_ok()) << out->status().to_string();
+      return std::move(out->value());
+    }
+  }
+  return {};
+}
+
+TEST(Aal5, CellCountArithmetic) {
+  // trailer is 8 bytes: payload+8 rounded up to 48.
+  EXPECT_EQ(cell_count(0), 1u);
+  EXPECT_EQ(cell_count(40), 1u);
+  EXPECT_EQ(cell_count(41), 2u);
+  EXPECT_EQ(cell_count(88), 2u);
+  EXPECT_EQ(cell_count(89), 3u);
+  EXPECT_EQ(wire_bytes(40), 53u);
+  EXPECT_EQ(wire_bytes(41), 106u);
+}
+
+TEST(Aal5, OnlyLastCellMarked) {
+  const auto cells = segment(VcId{0, 7}, random_payload(200));
+  ASSERT_EQ(cells.size(), cell_count(200));
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    EXPECT_EQ(cells[i].header.aal5_end_of_pdu(), i + 1 == cells.size());
+}
+
+TEST(Aal5, AllCellsCarryTheVc) {
+  const auto cells = segment(VcId{3, 77}, random_payload(100));
+  for (const auto& c : cells) {
+    EXPECT_EQ(c.header.vpi, 3);
+    EXPECT_EQ(c.header.vci, 77);
+  }
+}
+
+class Aal5SizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Aal5SizeSweep, RoundTripPreservesPayload) {
+  const Bytes payload = random_payload(GetParam(), GetParam() + 1);
+  EXPECT_EQ(roundtrip(payload), payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(BoundarySizes, Aal5SizeSweep,
+                         ::testing::Values(0, 1, 39, 40, 41, 47, 48, 49, 87, 88, 89, 95, 96,
+                                           1000, 4096, 9180, 65535));
+
+TEST(Aal5, CorruptedPayloadFailsCrc) {
+  auto cells = segment(VcId{0, 1}, random_payload(500));
+  cells[2].payload[10] ^= std::byte{0x01};
+  Reassembler r;
+  std::optional<Result<Bytes>> out;
+  for (const auto& c : cells) out = r.push(c);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_FALSE(out->is_ok());
+  EXPECT_EQ(out->status().code(), ErrorCode::data_corruption);
+}
+
+TEST(Aal5, DroppedCellDetected) {
+  const auto cells = segment(VcId{0, 1}, random_payload(500));
+  Reassembler r;
+  std::optional<Result<Bytes>> out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i == 3) continue;  // lose one cell
+    out = r.push(cells[i]);
+  }
+  ASSERT_TRUE(out.has_value());
+  EXPECT_FALSE(out->is_ok());
+}
+
+TEST(Aal5, ReassemblerRecoversAfterError) {
+  auto bad = segment(VcId{0, 1}, random_payload(100, 1));
+  bad[0].payload[0] ^= std::byte{0xFF};
+  const Bytes good_payload = random_payload(100, 2);
+  const auto good = segment(VcId{0, 1}, good_payload);
+
+  Reassembler r;
+  std::optional<Result<Bytes>> out;
+  for (const auto& c : bad) out = r.push(c);
+  EXPECT_FALSE(out->is_ok());
+
+  for (const auto& c : good) out = r.push(c);
+  ASSERT_TRUE(out.has_value());
+  ASSERT_TRUE(out->is_ok());
+  EXPECT_EQ(out->value(), good_payload);
+}
+
+TEST(Aal5, BackToBackPdusOnOneVc) {
+  Reassembler r;
+  for (int k = 0; k < 5; ++k) {
+    const Bytes payload = random_payload(37 * static_cast<std::size_t>(k + 1),
+                                         static_cast<std::uint64_t>(k));
+    std::optional<Result<Bytes>> out;
+    for (const auto& c : segment(VcId{0, 1}, payload)) out = r.push(c);
+    ASSERT_TRUE(out.has_value() && out->is_ok());
+    EXPECT_EQ(out->value(), payload);
+  }
+}
+
+TEST(Aal5, CpcsPduIsMultipleOf48WithTrailer) {
+  for (std::size_t n : {0u, 1u, 40u, 41u, 100u}) {
+    const Bytes pdu = build_cpcs_pdu(random_payload(n));
+    EXPECT_EQ(pdu.size() % Cell::kPayloadSize, 0u);
+    EXPECT_GE(pdu.size(), n + kTrailerSize);
+    EXPECT_LT(pdu.size(), n + kTrailerSize + Cell::kPayloadSize);
+  }
+}
+
+}  // namespace
+}  // namespace ncs::atm::aal5

@@ -1,0 +1,84 @@
+#include "atm/cell.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ncs::atm {
+namespace {
+
+Cell make_cell() {
+  Cell c;
+  c.header.gfc = 0x5;
+  c.header.vpi = 0xAB;
+  c.header.vci = 0x1234;
+  c.header.pti = 0x3;
+  c.header.clp = true;
+  for (std::size_t i = 0; i < Cell::kPayloadSize; ++i)
+    c.payload[i] = static_cast<std::byte>(i * 7);
+  return c;
+}
+
+TEST(Cell, PackUnpackRoundTrip) {
+  const Cell c = make_cell();
+  std::array<std::byte, Cell::kSize> wire{};
+  c.pack(wire);
+
+  const auto r = Cell::unpack(wire);
+  ASSERT_TRUE(r.is_ok());
+  const Cell& d = r.value();
+  EXPECT_EQ(d.header.gfc, c.header.gfc);
+  EXPECT_EQ(d.header.vpi, c.header.vpi);
+  EXPECT_EQ(d.header.vci, c.header.vci);
+  EXPECT_EQ(d.header.pti, c.header.pti);
+  EXPECT_EQ(d.header.clp, c.header.clp);
+  EXPECT_EQ(d.payload, c.payload);
+}
+
+TEST(Cell, HeaderCorruptionDetectedByHec) {
+  const Cell c = make_cell();
+  std::array<std::byte, Cell::kSize> wire{};
+  c.pack(wire);
+  wire[2] ^= std::byte{0x10};  // flip a VCI bit
+  const auto r = Cell::unpack(wire);
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::data_corruption);
+}
+
+TEST(Cell, PayloadCorruptionNotCaughtByHec) {
+  // HEC only protects the header; payload integrity is AAL's job.
+  const Cell c = make_cell();
+  std::array<std::byte, Cell::kSize> wire{};
+  c.pack(wire);
+  wire[20] ^= std::byte{0xFF};
+  EXPECT_TRUE(Cell::unpack(wire).is_ok());
+}
+
+TEST(Cell, EndOfPduFlagInPti) {
+  Cell c;
+  EXPECT_FALSE(c.header.aal5_end_of_pdu());
+  c.header.set_aal5_end_of_pdu(true);
+  EXPECT_TRUE(c.header.aal5_end_of_pdu());
+  EXPECT_EQ(c.header.pti, 1);
+  c.header.set_aal5_end_of_pdu(false);
+  EXPECT_FALSE(c.header.aal5_end_of_pdu());
+}
+
+TEST(Cell, VciFullRangeSurvivesPacking) {
+  for (std::uint32_t vci : {0u, 1u, 255u, 4096u, 65535u}) {
+    Cell c;
+    c.header.vci = static_cast<std::uint16_t>(vci);
+    std::array<std::byte, Cell::kSize> wire{};
+    c.pack(wire);
+    const auto r = Cell::unpack(wire);
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(r.value().header.vci, vci);
+  }
+}
+
+TEST(VcId, OrderingAndEquality) {
+  EXPECT_EQ((VcId{0, 5}), (VcId{0, 5}));
+  EXPECT_LT((VcId{0, 5}), (VcId{1, 0}));
+  EXPECT_LT((VcId{1, 2}), (VcId{1, 3}));
+}
+
+}  // namespace
+}  // namespace ncs::atm

@@ -1,0 +1,275 @@
+#include "atm/signaling.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ncs::atm {
+namespace {
+
+struct SignalingFixture : ::testing::Test {
+  SignalingFixture() {
+    LanConfig lc;
+    lc.n_hosts = 3;
+    lan = std::make_unique<AtmLan>(engine, lc);
+    controller = std::make_unique<CallController>(engine, *lan);
+  }
+
+  sim::Engine engine;
+  std::unique_ptr<AtmLan> lan;
+  std::unique_ptr<CallController> controller;
+};
+
+TEST(SignalingMessage, EncodeDecodeRoundTrip) {
+  SignalingMessage m;
+  m.type = SignalingMessageType::connect;
+  m.call_ref = 0xABCD1234;
+  m.calling_party = 7;
+  m.called_party = 2;
+  m.assigned_vc = VcId{1, 2000};
+  m.peer_vc = VcId{0, 1025};
+
+  const auto d = SignalingMessage::decode(m.encode());
+  ASSERT_TRUE(d.is_ok());
+  EXPECT_EQ(d.value().type, SignalingMessageType::connect);
+  EXPECT_EQ(d.value().call_ref, 0xABCD1234u);
+  EXPECT_EQ(d.value().calling_party, 7);
+  EXPECT_EQ(d.value().called_party, 2);
+  EXPECT_EQ(d.value().assigned_vc, (VcId{1, 2000}));
+  EXPECT_EQ(d.value().peer_vc, (VcId{0, 1025}));
+}
+
+TEST(SignalingMessage, MalformedRejected) {
+  EXPECT_FALSE(SignalingMessage::decode(to_bytes("short")).is_ok());
+  Bytes bad(19, std::byte{0});  // type = 0: invalid
+  EXPECT_FALSE(SignalingMessage::decode(bad).is_ok());
+}
+
+TEST_F(SignalingFixture, CallSetupAssignsDynamicVc) {
+  std::optional<VcId> caller_vc;
+  controller->agent(1);  // callee agent exists (default-accepts)
+  controller->agent(0).open_call(1, [&](Result<VcId> vc) {
+    ASSERT_TRUE(vc.is_ok());
+    caller_vc = vc.value();
+  });
+  engine.run();
+
+  ASSERT_TRUE(caller_vc.has_value());
+  EXPECT_GE(caller_vc->vci, kDynamicVciBase);
+  EXPECT_EQ(controller->stats().connects, 1u);
+  EXPECT_EQ(controller->stats().active_calls, 1u);
+  // Callee learned its own transmit label too.
+  EXPECT_TRUE(controller->agent(1).accepted_vc_from(0).has_value());
+}
+
+TEST_F(SignalingFixture, DataFlowsOnTheSignaledVc) {
+  std::optional<VcId> caller_vc;
+  controller->agent(1);
+  controller->agent(0).open_call(1, [&](Result<VcId> vc) { caller_vc = vc.value(); });
+  engine.run();
+  ASSERT_TRUE(caller_vc.has_value());
+
+  Bytes got;
+  lan->nic(1).set_rx_handler([&](VcId vc, Bytes data, bool) {
+    EXPECT_EQ(vc, *caller_vc);  // delivered under the caller's tx label
+    got = std::move(data);
+  });
+  lan->nic(0).submit_tx(*caller_vc, to_bytes("svc data"), true);
+  engine.run();
+  EXPECT_EQ(got, to_bytes("svc data"));
+}
+
+TEST_F(SignalingFixture, BothDirectionsWork) {
+  std::optional<VcId> caller_vc;
+  controller->agent(2);
+  controller->agent(0).open_call(2, [&](Result<VcId> vc) { caller_vc = vc.value(); });
+  engine.run();
+  const auto callee_vc = controller->agent(2).accepted_vc_from(0);
+  ASSERT_TRUE(caller_vc.has_value());
+  ASSERT_TRUE(callee_vc.has_value());
+
+  Bytes at0, at2;
+  lan->nic(0).set_rx_handler([&](VcId, Bytes d, bool) { at0 = std::move(d); });
+  lan->nic(2).set_rx_handler([&](VcId, Bytes d, bool) { at2 = std::move(d); });
+  lan->nic(0).submit_tx(*caller_vc, to_bytes("to callee"), true);
+  lan->nic(2).submit_tx(*callee_vc, to_bytes("to caller"), true);
+  engine.run();
+  EXPECT_EQ(at2, to_bytes("to callee"));
+  EXPECT_EQ(at0, to_bytes("to caller"));
+}
+
+TEST_F(SignalingFixture, RejectedCallReportsError) {
+  controller->agent(1).set_incoming_filter([](int) { return false; });
+  Status status;
+  controller->agent(0).open_call(1, [&](Result<VcId> vc) {
+    EXPECT_FALSE(vc.is_ok());
+    status = vc.status();
+  });
+  engine.run();
+  EXPECT_EQ(status.code(), ErrorCode::failed_precondition);
+  EXPECT_EQ(controller->stats().rejects, 1u);
+  EXPECT_EQ(controller->stats().active_calls, 0u);
+}
+
+TEST_F(SignalingFixture, ReleaseTearsDownRoutes) {
+  std::optional<VcId> caller_vc;
+  controller->agent(1);
+  controller->agent(0).open_call(1, [&](Result<VcId> vc) { caller_vc = vc.value(); });
+  engine.run();
+  ASSERT_TRUE(caller_vc.has_value());
+
+  controller->agent(0).release_call(*caller_vc);
+  engine.run();
+  EXPECT_EQ(controller->stats().active_calls, 0u);
+  EXPECT_FALSE(controller->agent(1).accepted_vc_from(0).has_value());
+
+  // Traffic on the released label is now unroutable.
+  const auto unroutable_before = lan->fabric().stats().unroutable;
+  lan->nic(0).submit_tx(*caller_vc, to_bytes("ghost"), true);
+  engine.run();
+  EXPECT_EQ(lan->fabric().stats().unroutable, unroutable_before + 1);
+}
+
+TEST_F(SignalingFixture, ConcurrentCallsGetDistinctLabels) {
+  std::vector<VcId> vcs;
+  controller->agent(1);
+  controller->agent(2);
+  for (int callee : {1, 2, 1}) {
+    controller->agent(0).open_call(callee, [&](Result<VcId> vc) {
+      ASSERT_TRUE(vc.is_ok());
+      vcs.push_back(vc.value());
+    });
+  }
+  engine.run();
+  ASSERT_EQ(vcs.size(), 3u);
+  EXPECT_NE(vcs[0], vcs[1]);
+  EXPECT_NE(vcs[1], vcs[2]);
+  EXPECT_NE(vcs[0], vcs[2]);
+  EXPECT_EQ(controller->stats().active_calls, 3u);
+}
+
+TEST_F(SignalingFixture, SignalingCoexistsWithPvcMesh) {
+  // The static PVC mesh keeps working while SVCs are up.
+  std::optional<VcId> caller_vc;
+  controller->agent(1);
+  controller->agent(0).open_call(1, [&](Result<VcId> vc) { caller_vc = vc.value(); });
+  engine.run();
+
+  Bytes pvc_got, svc_got;
+  lan->nic(1).set_rx_handler([&](VcId vc, Bytes d, bool) {
+    if (vc == *caller_vc) {
+      svc_got = std::move(d);
+    } else {
+      EXPECT_EQ(src_of(vc), 0);
+      pvc_got = std::move(d);
+    }
+  });
+  lan->nic(0).submit_tx(vc_to(1), to_bytes("over the pvc"), true);
+  engine.run();
+  lan->nic(0).submit_tx(*caller_vc, to_bytes("over the svc"), true);
+  engine.run();
+  EXPECT_EQ(pvc_got, to_bytes("over the pvc"));
+  EXPECT_EQ(svc_got, to_bytes("over the svc"));
+}
+
+
+// --- WAN (two-site) signaling --------------------------------------------------
+
+struct WanSignalingFixture : ::testing::Test {
+  WanSignalingFixture() {
+    WanConfig wc;
+    wc.n_hosts = 4;  // 0,1 at site 0; 2,3 at site 1
+    wan = std::make_unique<AtmWan>(engine, wc);
+    controller = std::make_unique<WanCallController>(engine, *wan);
+  }
+
+  sim::Engine engine;
+  std::unique_ptr<AtmWan> wan;
+  std::unique_ptr<WanCallController> controller;
+};
+
+TEST_F(WanSignalingFixture, SameSiteCallWorks) {
+  std::optional<VcId> vc;
+  controller->agent(1);
+  controller->agent(0).open_call(1, [&](Result<VcId> r) { vc = r.value(); });
+  engine.run();
+  ASSERT_TRUE(vc.has_value());
+  EXPECT_EQ(controller->stats().backbone_hops, 0u);
+
+  Bytes got;
+  wan->nic(1).set_rx_handler([&](VcId, Bytes d, bool) { got = std::move(d); });
+  wan->nic(0).submit_tx(*vc, to_bytes("local call"), true);
+  engine.run();
+  EXPECT_EQ(got, to_bytes("local call"));
+}
+
+TEST_F(WanSignalingFixture, CrossSiteCallTransitsBackbone) {
+  std::optional<VcId> vc;
+  TimePoint connected;
+  controller->agent(3);
+  controller->agent(0).open_call(3, [&](Result<VcId> r) {
+    vc = r.value();
+    connected = engine.now();
+  });
+  engine.run();
+  ASSERT_TRUE(vc.has_value());
+  EXPECT_GE(controller->stats().backbone_hops, 2u);  // offer out, connect back
+  // Setup latency includes at least two backbone propagations (2.5 ms each).
+  EXPECT_GT((connected - TimePoint::origin()).ms(), 5.0);
+
+  Bytes got;
+  wan->nic(3).set_rx_handler([&](VcId dvc, Bytes d, bool) {
+    EXPECT_EQ(dvc, *vc);
+    got = std::move(d);
+  });
+  wan->nic(0).submit_tx(*vc, to_bytes("across the wan"), true);
+  engine.run();
+  EXPECT_EQ(got, to_bytes("across the wan"));
+}
+
+TEST_F(WanSignalingFixture, CrossSiteBothDirections) {
+  std::optional<VcId> caller_vc;
+  controller->agent(2);
+  controller->agent(1).open_call(2, [&](Result<VcId> r) { caller_vc = r.value(); });
+  engine.run();
+  const auto callee_vc = controller->agent(2).accepted_vc_from(1);
+  ASSERT_TRUE(caller_vc.has_value());
+  ASSERT_TRUE(callee_vc.has_value());
+
+  Bytes at1, at2;
+  wan->nic(1).set_rx_handler([&](VcId, Bytes d, bool) { at1 = std::move(d); });
+  wan->nic(2).set_rx_handler([&](VcId, Bytes d, bool) { at2 = std::move(d); });
+  wan->nic(1).submit_tx(*caller_vc, to_bytes("east"), true);
+  wan->nic(2).submit_tx(*callee_vc, to_bytes("west"), true);
+  engine.run();
+  EXPECT_EQ(at2, to_bytes("east"));
+  EXPECT_EQ(at1, to_bytes("west"));
+}
+
+TEST_F(WanSignalingFixture, CrossSiteReleaseTearsDownBothSwitches) {
+  std::optional<VcId> vc;
+  controller->agent(3);
+  controller->agent(0).open_call(3, [&](Result<VcId> r) { vc = r.value(); });
+  engine.run();
+  ASSERT_TRUE(vc.has_value());
+
+  controller->agent(0).release_call(*vc);
+  engine.run();
+  EXPECT_EQ(controller->stats().active_calls, 0u);
+  EXPECT_FALSE(controller->agent(3).accepted_vc_from(0).has_value());
+
+  const auto unroutable_before = wan->site_switch(0).stats().unroutable;
+  wan->nic(0).submit_tx(*vc, to_bytes("ghost"), true);
+  engine.run();
+  EXPECT_EQ(wan->site_switch(0).stats().unroutable, unroutable_before + 1);
+}
+
+TEST_F(WanSignalingFixture, CrossSiteRejectPropagates) {
+  controller->agent(2).set_incoming_filter([](int) { return false; });
+  Status status;
+  controller->agent(0).open_call(2, [&](Result<VcId> r) { status = r.status(); });
+  engine.run();
+  EXPECT_EQ(status.code(), ErrorCode::failed_precondition);
+  EXPECT_EQ(controller->stats().active_calls, 0u);
+}
+
+}  // namespace
+}  // namespace ncs::atm

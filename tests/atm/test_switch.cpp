@@ -1,0 +1,190 @@
+#include "atm/switch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace ncs::atm {
+namespace {
+
+using namespace ncs::literals;
+
+/// Records everything delivered to it.
+struct SinkRecorder : CellSink {
+  struct Arrival {
+    int port;
+    VcId vc;
+    std::uint32_t cells;
+    TimePoint at;
+  };
+  explicit SinkRecorder(sim::Engine& engine) : engine_(engine) {}
+  void accept(int port, Burst burst) override {
+    arrivals.push_back({port, burst.vc, burst.n_cells, engine_.now()});
+  }
+  sim::Engine& engine_;
+  std::vector<Arrival> arrivals;
+};
+
+struct SwitchFixture : ::testing::Test {
+  SwitchFixture()
+      : sw(engine, SwitchParams{.forward_latency = 10_us}),
+        link_a(engine, params()),
+        link_b(engine, params()),
+        sink_a(engine),
+        sink_b(engine) {
+    port_a = sw.add_port(link_a, sink_a, 5);
+    port_b = sw.add_port(link_b, sink_b, 6);
+  }
+
+  static net::LinkParams params() {
+    net::LinkParams p;
+    p.bandwidth_bps = bw::taxi_140;
+    p.propagation = 2_us;
+    return p;
+  }
+
+  Burst burst_of(VcId vc, std::uint32_t cells) {
+    Burst b;
+    b.vc = vc;
+    b.n_cells = cells;
+    b.payload.resize(cells * Cell::kPayloadSize);
+    return b;
+  }
+
+  sim::Engine engine;
+  Switch sw;
+  net::Link link_a, link_b;
+  SinkRecorder sink_a, sink_b;
+  int port_a = -1, port_b = -1;
+};
+
+TEST_F(SwitchFixture, ForwardsAndRewritesVc) {
+  sw.add_route(port_a, VcId{0, 100}, port_b, VcId{0, 200});
+  sw.accept(port_a, burst_of(VcId{0, 100}, 4));
+  engine.run();
+
+  ASSERT_EQ(sink_b.arrivals.size(), 1u);
+  EXPECT_EQ(sink_b.arrivals[0].vc, (VcId{0, 200}));
+  EXPECT_EQ(sink_b.arrivals[0].port, 6);
+  EXPECT_EQ(sink_b.arrivals[0].cells, 4u);
+  EXPECT_TRUE(sink_a.arrivals.empty());
+}
+
+TEST_F(SwitchFixture, ForwardTimingIsLatencyPlusTxPlusPropagation) {
+  sw.add_route(port_a, VcId{0, 100}, port_b, VcId{0, 200});
+  sw.accept(port_a, burst_of(VcId{0, 100}, 1));
+  engine.run();
+
+  const Duration expected = 10_us + Duration::for_bytes(53, bw::taxi_140) + 2_us;
+  EXPECT_EQ(sink_b.arrivals[0].at, TimePoint::origin() + expected);
+}
+
+TEST_F(SwitchFixture, UnroutableBurstDroppedAndCounted) {
+  sw.accept(port_a, burst_of(VcId{0, 999}, 1));
+  engine.run();
+  EXPECT_TRUE(sink_a.arrivals.empty());
+  EXPECT_TRUE(sink_b.arrivals.empty());
+  EXPECT_EQ(sw.stats().unroutable, 1u);
+}
+
+TEST_F(SwitchFixture, OutputContentionSerializes) {
+  // Two inputs race for the same output port: deliveries serialize on the
+  // output link.
+  sw.add_route(port_a, VcId{0, 100}, port_b, VcId{0, 200});
+  sw.add_route(port_b, VcId{0, 101}, port_b, VcId{0, 201});
+  sw.accept(port_a, burst_of(VcId{0, 100}, 10));
+  sw.accept(port_b, burst_of(VcId{0, 101}, 10));
+  engine.run();
+
+  ASSERT_EQ(sink_b.arrivals.size(), 2u);
+  const Duration tx = Duration::for_bytes(530, bw::taxi_140);
+  EXPECT_EQ(sink_b.arrivals[0].at, TimePoint::origin() + 10_us + tx + 2_us);
+  EXPECT_EQ(sink_b.arrivals[1].at, TimePoint::origin() + 10_us + tx + tx + 2_us);
+}
+
+TEST_F(SwitchFixture, DetailedCellsGetHeadersRewritten) {
+  sw.add_route(port_a, VcId{0, 100}, port_b, VcId{2, 222});
+  Burst b;
+  b.vc = VcId{0, 100};
+  b.cells.resize(3);
+  for (auto& c : b.cells) {
+    c.header.vpi = 0;
+    c.header.vci = 100;
+  }
+  b.n_cells = 3;
+  sw.accept(port_a, std::move(b));
+  engine.run();
+
+  ASSERT_EQ(sink_b.arrivals.size(), 1u);
+  EXPECT_EQ(sink_b.arrivals[0].vc, (VcId{2, 222}));
+}
+
+TEST_F(SwitchFixture, StatsAccumulate) {
+  sw.add_route(port_a, VcId{0, 100}, port_b, VcId{0, 200});
+  sw.accept(port_a, burst_of(VcId{0, 100}, 3));
+  sw.accept(port_a, burst_of(VcId{0, 100}, 5));
+  engine.run();
+  EXPECT_EQ(sw.stats().bursts, 2u);
+  EXPECT_EQ(sw.stats().cells, 8u);
+}
+
+
+TEST_F(SwitchFixture, RemoveRouteStopsForwarding) {
+  sw.add_route(port_a, VcId{0, 100}, port_b, VcId{0, 200});
+  EXPECT_TRUE(sw.remove_route(port_a, VcId{0, 100}));
+  EXPECT_FALSE(sw.remove_route(port_a, VcId{0, 100}));  // already gone
+  sw.accept(port_a, burst_of(VcId{0, 100}, 1));
+  engine.run();
+  EXPECT_TRUE(sink_b.arrivals.empty());
+  EXPECT_EQ(sw.stats().unroutable, 1u);
+}
+
+TEST_F(SwitchFixture, RouteCanBeReinstalledAfterRemoval) {
+  sw.add_route(port_a, VcId{0, 100}, port_b, VcId{0, 200});
+  sw.remove_route(port_a, VcId{0, 100});
+  sw.add_route(port_a, VcId{0, 100}, port_b, VcId{0, 300});  // new label
+  sw.accept(port_a, burst_of(VcId{0, 100}, 1));
+  engine.run();
+  ASSERT_EQ(sink_b.arrivals.size(), 1u);
+  EXPECT_EQ(sink_b.arrivals[0].vc, (VcId{0, 300}));
+}
+
+TEST_F(SwitchFixture, LocalEndpointInterceptsBeforeRouting) {
+  sw.add_route(port_a, VcId{0, 5}, port_b, VcId{0, 200});  // would-be route
+  int local_hits = 0, local_port = -1;
+  sw.add_local_endpoint(VcId{0, 5}, [&](int in_port, Burst) {
+    ++local_hits;
+    local_port = in_port;
+  });
+  sw.accept(port_a, burst_of(VcId{0, 5}, 2));
+  engine.run();
+  EXPECT_EQ(local_hits, 1);
+  EXPECT_EQ(local_port, port_a);
+  EXPECT_TRUE(sink_b.arrivals.empty());  // intercepted, not forwarded
+}
+
+TEST_F(SwitchFixture, SendLocalOriginatesFromTheSwitch) {
+  sw.send_local(port_b, burst_of(VcId{0, 77}, 3));
+  engine.run();
+  ASSERT_EQ(sink_b.arrivals.size(), 1u);
+  EXPECT_EQ(sink_b.arrivals[0].vc, (VcId{0, 77}));
+  EXPECT_EQ(sink_b.arrivals[0].cells, 3u);
+  // Pays the forwarding latency + wire + propagation like any burst.
+  const Duration expected = 10_us + Duration::for_bytes(3 * 53, bw::taxi_140) + 2_us;
+  EXPECT_EQ(sink_b.arrivals[0].at, TimePoint::origin() + expected);
+}
+
+TEST_F(SwitchFixture, DuplicateLocalEndpointAborts) {
+  sw.add_local_endpoint(VcId{0, 5}, [](int, Burst) {});
+  EXPECT_DEATH(sw.add_local_endpoint(VcId{0, 5}, [](int, Burst) {}), "duplicate");
+}
+
+TEST_F(SwitchFixture, DuplicateRouteAborts) {
+  sw.add_route(port_a, VcId{0, 100}, port_b, VcId{0, 200});
+  EXPECT_DEATH(sw.add_route(port_a, VcId{0, 100}, port_b, VcId{0, 201}), "duplicate");
+}
+
+}  // namespace
+}  // namespace ncs::atm

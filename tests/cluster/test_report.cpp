@@ -1,0 +1,103 @@
+#include "cluster/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/compute.hpp"
+
+namespace ncs::cluster {
+namespace {
+
+TEST(Report, CoversNcsRunOverAtm) {
+  Cluster c(sun_atm_lan(2));
+  c.init_ncs_hsm();
+  c.run([&](int rank) {
+    mps::Node& node = c.node(rank);
+    const int t = node.t_create([&, rank] {
+      if (rank == 0) {
+        node.send(0, 0, 1, Bytes(5000, std::byte{1}));
+      } else {
+        (void)node.recv(mps::kAnyThread, mps::kAnyProcess, 0);
+      }
+    });
+    node.host().join(node.user_thread(t));
+  });
+
+  const std::string r = report(c);
+  EXPECT_NE(r.find("SUN/ATM LAN"), std::string::npos);
+  EXPECT_NE(r.find("2 processes"), std::string::npos);
+  EXPECT_NE(r.find("atm:"), std::string::npos);
+  EXPECT_NE(r.find("cells transmitted"), std::string::npos);
+  EXPECT_NE(r.find("flow-control stalls 0"), std::string::npos);
+  EXPECT_EQ(r.find("tcp:"), std::string::npos);       // no TCP on the HSM tier
+  EXPECT_EQ(r.find("ethernet:"), std::string::npos);  // no bus on ATM
+}
+
+TEST(Report, CoversP4RunOverEthernet) {
+  Cluster c(sun_ethernet(2));
+  p4::Runtime& rt = c.init_p4();
+  c.run([&](int rank) {
+    p4::Process& p = rt.process(rank);
+    if (rank == 0) {
+      p.send(1, 1, Bytes(3000, std::byte{1}));
+    } else {
+      int type = 1, from = 0;
+      (void)p.recv(&type, &from);
+    }
+  });
+
+  const std::string r = report(c);
+  EXPECT_NE(r.find("tcp:"), std::string::npos);
+  EXPECT_NE(r.find("data segments"), std::string::npos);
+  EXPECT_NE(r.find("ethernet:"), std::string::npos);
+  EXPECT_EQ(r.find("atm:"), std::string::npos);
+}
+
+TEST(ChargeCompute, QuantaLetSystemThreadsIn) {
+  // A long computation charged through charge_compute must allow a
+  // higher-priority thread woken mid-way to run long before the end.
+  sim::Engine engine;
+  mts::SchedulerParams sp;
+  sp.cpu_mhz = 40;
+  sp.context_switch_cost = Duration::zero();
+  sp.thread_create_cost = Duration::zero();
+  mts::Scheduler sched(engine, sp);
+
+  TimePoint system_ran;
+  mts::Thread* system_thread = sched.spawn([&] {
+    sched.block();
+    system_ran = engine.now();
+  }, {.name = "sys", .priority = 1});
+
+  engine.schedule_after(Duration::milliseconds(75), [&] { sched.unblock(system_thread); });
+  TimePoint compute_done;
+  sched.spawn([&] {
+    charge_compute(sched, 40e6);  // 1 simulated second
+    compute_done = engine.now();
+  }, {.name = "worker", .priority = 8});
+  engine.run();
+
+  EXPECT_NEAR(compute_done.sec(), 1.0, 0.01);
+  // The system thread ran at the next quantum boundary (~50 ms grain),
+  // not after the whole second.
+  EXPECT_LT(system_ran.sec(), 0.2);
+  EXPECT_GT(system_ran.sec(), 0.07);
+}
+
+TEST(ChargeCompute, TotalTimeIsExact) {
+  sim::Engine engine;
+  mts::SchedulerParams sp;
+  sp.cpu_mhz = 33;
+  sp.context_switch_cost = Duration::zero();
+  sp.thread_create_cost = Duration::zero();
+  mts::Scheduler sched(engine, sp);
+  TimePoint done;
+  sched.spawn([&] {
+    charge_compute(sched, 33e6 * 0.7);  // 0.7 s in many quanta
+    done = engine.now();
+  });
+  engine.run();
+  EXPECT_NEAR(done.sec(), 0.7, 1e-9);
+}
+
+}  // namespace
+}  // namespace ncs::cluster

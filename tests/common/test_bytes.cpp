@@ -1,0 +1,86 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ncs {
+namespace {
+
+TEST(Bytes, ToBytesFromString) {
+  const Bytes b = to_bytes("abc");
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[0], std::byte{'a'});
+  EXPECT_EQ(b[2], std::byte{'c'});
+}
+
+TEST(ByteWriter, BigEndianFields) {
+  Bytes buf(15);
+  ByteWriter w(buf);
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0102030405060708ull);
+  EXPECT_EQ(w.written(), 15u);
+  EXPECT_EQ(w.remaining(), 0u);
+  EXPECT_EQ(buf[0], std::byte{0xAB});
+  EXPECT_EQ(buf[1], std::byte{0x12});
+  EXPECT_EQ(buf[2], std::byte{0x34});
+  EXPECT_EQ(buf[3], std::byte{0xDE});
+  EXPECT_EQ(buf[6], std::byte{0xEF});
+  EXPECT_EQ(buf[7], std::byte{0x01});
+  EXPECT_EQ(buf[14], std::byte{0x08});
+}
+
+TEST(ByteReaderWriter, RoundTrip) {
+  Bytes buf(15 + 4);
+  ByteWriter w(buf);
+  w.u8(7);
+  w.u16(513);
+  w.u32(1u << 31);
+  w.u64(0xFFFFFFFFFFFFFFFFull);
+  w.bytes(to_bytes("abcd"));
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 7u);
+  EXPECT_EQ(r.u16(), 513u);
+  EXPECT_EQ(r.u32(), 1u << 31);
+  EXPECT_EQ(r.u64(), 0xFFFFFFFFFFFFFFFFull);
+  const BytesView tail = r.bytes(4);
+  EXPECT_EQ(tail[0], std::byte{'a'});
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteWriter, ZerosFills) {
+  Bytes buf(4, std::byte{0xFF});
+  ByteWriter w(buf);
+  w.zeros(4);
+  for (auto b : buf) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(ByteReader, SkipAdvances) {
+  const Bytes buf = to_bytes("abcdef");
+  ByteReader r(buf);
+  r.skip(4);
+  EXPECT_EQ(r.u8(), static_cast<std::uint8_t>('e'));
+}
+
+TEST(ByteWriterDeathTest, OverflowAborts) {
+  Bytes buf(2);
+  ByteWriter w(buf);
+  EXPECT_DEATH(w.u32(1), "overflow");
+}
+
+TEST(ByteReaderDeathTest, UnderflowAborts) {
+  const Bytes buf = to_bytes("x");
+  ByteReader r(buf);
+  EXPECT_DEATH(r.u16(), "underflow");
+}
+
+TEST(Bytes, AppendConcatenates) {
+  Bytes a = to_bytes("ab");
+  append(a, to_bytes("cd"));
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_EQ(a[3], std::byte{'d'});
+}
+
+}  // namespace
+}  // namespace ncs

@@ -1,0 +1,77 @@
+#include "common/crc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace ncs {
+namespace {
+
+Bytes bytes_of(std::string_view s) { return to_bytes(s); }
+
+TEST(Crc32, KnownVectorCheck) {
+  // The classic CRC-32 check value: crc32("123456789") == 0xCBF43926.
+  EXPECT_EQ(crc32_ieee(bytes_of("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInputIsZero) { EXPECT_EQ(crc32_ieee({}), 0x00000000u); }
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const Bytes data = bytes_of("the quick brown fox jumps over the lazy dog");
+  Crc32 inc;
+  inc.update(BytesView(data).first(10));
+  inc.update(BytesView(data).subspan(10, 7));
+  inc.update(BytesView(data).subspan(17));
+  EXPECT_EQ(inc.final(), crc32_ieee(data));
+}
+
+TEST(Crc32, SensitiveToSingleBitFlip) {
+  Bytes data = bytes_of("payload payload payload");
+  const std::uint32_t before = crc32_ieee(data);
+  data[5] ^= std::byte{0x01};
+  EXPECT_NE(crc32_ieee(data), before);
+}
+
+TEST(Crc10, AtmCheckVector) {
+  // CRC-10/ATM (poly x^10+x^9+x^5+x^4+x+1, init 0): check("123456789") = 0x199.
+  EXPECT_EQ(crc10_aal34(bytes_of("123456789")), 0x199u);
+}
+
+TEST(Crc10, SensitiveToBitFlips) {
+  Bytes data = bytes_of("atm adaptation layer three slash four");
+  const std::uint16_t before = crc10_aal34(data);
+  data[7] ^= std::byte{0x20};
+  EXPECT_NE(crc10_aal34(data), before);
+}
+
+TEST(Crc10, TenBitRange) {
+  for (int i = 0; i < 64; ++i) {
+    Bytes data(static_cast<std::size_t>(i + 1), static_cast<std::byte>(i * 37));
+    EXPECT_LE(crc10_aal34(data), 0x3FFu);
+  }
+}
+
+TEST(Hec, RoundTrip) {
+  const std::uint8_t header[4] = {0x12, 0x34, 0x56, 0x78};
+  std::uint8_t full[5] = {0x12, 0x34, 0x56, 0x78, hec_compute(header)};
+  EXPECT_TRUE(hec_verify(full));
+}
+
+TEST(Hec, DetectsHeaderCorruption) {
+  const std::uint8_t header[4] = {0xAA, 0xBB, 0xCC, 0xDD};
+  std::uint8_t full[5] = {0xAA, 0xBB, 0xCC, 0xDD, hec_compute(header)};
+  full[1] ^= 0x04;
+  EXPECT_FALSE(hec_verify(full));
+}
+
+TEST(Hec, CosetMakesAllZeroHeaderNonZero) {
+  // ITU I.432's 0x55 coset guarantees an idle (all-zero) header does not
+  // have an all-zero HEC.
+  const std::uint8_t zero[4] = {0, 0, 0, 0};
+  EXPECT_EQ(hec_compute(zero), 0x55);
+}
+
+}  // namespace
+}  // namespace ncs

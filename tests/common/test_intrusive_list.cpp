@@ -1,0 +1,124 @@
+#include "common/intrusive_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ncs {
+namespace {
+
+struct Node {
+  explicit Node(int v) : value(v) {}
+  int value;
+  ListHook hook;
+  ListHook other_hook;
+};
+
+using List = IntrusiveList<Node, &Node::hook>;
+using OtherList = IntrusiveList<Node, &Node::other_hook>;
+
+TEST(IntrusiveList, StartsEmpty) {
+  List list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.size(), 0u);
+}
+
+TEST(IntrusiveList, PushBackPreservesFifoOrder) {
+  List list;
+  Node a(1), b(2), c(3);
+  list.push_back(a);
+  list.push_back(b);
+  list.push_back(c);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.pop_front().value, 1);
+  EXPECT_EQ(list.pop_front().value, 2);
+  EXPECT_EQ(list.pop_front().value, 3);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveList, PushFront) {
+  List list;
+  Node a(1), b(2);
+  list.push_back(a);
+  list.push_front(b);
+  EXPECT_EQ(list.front().value, 2);
+  EXPECT_EQ(list.back().value, 1);
+  list.clear();
+}
+
+TEST(IntrusiveList, RemoveFromMiddleIsO1AndKeepsOrder) {
+  List list;
+  Node a(1), b(2), c(3), d(4);
+  for (Node* n : {&a, &b, &c, &d}) list.push_back(*n);
+  list.remove(b);
+  EXPECT_FALSE(List::is_linked(b));
+  std::vector<int> order;
+  for (Node& n : list) order.push_back(n.value);
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 4}));
+  list.clear();
+}
+
+TEST(IntrusiveList, ReinsertAfterRemove) {
+  List list;
+  Node a(1);
+  list.push_back(a);
+  list.remove(a);
+  list.push_back(a);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(&list.front(), &a);
+  list.clear();
+}
+
+TEST(IntrusiveList, ItemCanBeOnTwoListsThroughDifferentHooks) {
+  List list;
+  OtherList other;
+  Node a(7);
+  list.push_back(a);
+  other.push_back(a);
+  EXPECT_EQ(&list.front(), &a);
+  EXPECT_EQ(&other.front(), &a);
+  list.clear();
+  other.clear();
+}
+
+TEST(IntrusiveList, IterationBidirectional) {
+  List list;
+  Node a(1), b(2), c(3);
+  for (Node* n : {&a, &b, &c}) list.push_back(*n);
+  auto it = list.begin();
+  ++it;
+  EXPECT_EQ(it->value, 2);
+  --it;
+  EXPECT_EQ(it->value, 1);
+  list.clear();
+}
+
+TEST(IntrusiveList, ClearUnlinksEverything) {
+  List list;
+  Node a(1), b(2);
+  list.push_back(a);
+  list.push_back(b);
+  list.clear();
+  EXPECT_FALSE(List::is_linked(a));
+  EXPECT_FALSE(List::is_linked(b));
+}
+
+TEST(IntrusiveListDeathTest, DoubleInsertAborts) {
+  List list;
+  Node a(1);
+  list.push_back(a);
+  EXPECT_DEATH(list.push_back(a), "already-linked");
+  list.clear();
+}
+
+TEST(IntrusiveListDeathTest, DestroyLinkedHookAborts) {
+  List list;
+  auto* a = new Node(1);
+  list.push_back(*a);
+  EXPECT_DEATH(delete a, "still linked");
+  list.clear();
+  delete a;
+}
+
+}  // namespace
+}  // namespace ncs

@@ -1,0 +1,57 @@
+#include "common/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ncs {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::ok);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s(ErrorCode::data_corruption, "bad crc");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_FALSE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), ErrorCode::data_corruption);
+  EXPECT_EQ(s.to_string(), "DATA_CORRUPTION: bad crc");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status(ErrorCode::timed_out, "no ack"));
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::timed_out);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> r(Status(ErrorCode::not_found, ""));
+  EXPECT_DEATH((void)r.value(), "value\\(\\) on error");
+}
+
+TEST(ErrorCode, AllCodesHaveNames) {
+  EXPECT_STREQ(to_string(ErrorCode::ok), "OK");
+  EXPECT_STREQ(to_string(ErrorCode::data_corruption), "DATA_CORRUPTION");
+  EXPECT_STREQ(to_string(ErrorCode::timed_out), "TIMED_OUT");
+  EXPECT_STREQ(to_string(ErrorCode::connection_reset), "CONNECTION_RESET");
+}
+
+}  // namespace
+}  // namespace ncs

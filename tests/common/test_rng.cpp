@@ -1,0 +1,60 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ncs {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i)
+    if (a.next_u64() != b.next_u64()) ++differing;
+  EXPECT_GE(differing, 30);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(13), 13u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequencyRoughlyMatchesP) {
+  Rng r(11);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (r.next_bool(0.25)) ++hits;
+  const double freq = static_cast<double>(hits) / n;
+  EXPECT_NEAR(freq, 0.25, 0.02);
+}
+
+TEST(Rng, ZeroProbabilityNeverHits) {
+  Rng r(3);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(r.next_bool(0.0));
+}
+
+}  // namespace
+}  // namespace ncs

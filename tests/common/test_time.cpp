@@ -1,0 +1,68 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ncs {
+namespace {
+
+using namespace ncs::literals;
+
+TEST(Duration, UnitConversions) {
+  EXPECT_EQ(Duration::seconds(1).ps(), 1'000'000'000'000);
+  EXPECT_EQ(Duration::milliseconds(1).ps(), 1'000'000'000);
+  EXPECT_EQ(Duration::microseconds(1).ps(), 1'000'000);
+  EXPECT_EQ(Duration::nanoseconds(1).ps(), 1'000);
+  EXPECT_DOUBLE_EQ(Duration::seconds(2.5).sec(), 2.5);
+}
+
+TEST(Duration, Literals) {
+  EXPECT_EQ((5_us).ps(), 5'000'000);
+  EXPECT_EQ((3_ms).ps(), 3'000'000'000);
+  EXPECT_EQ((1_sec).ps(), 1'000'000'000'000);
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ((2_us + 3_us).ps(), (5_us).ps());
+  EXPECT_EQ((5_us - 3_us).ps(), (2_us).ps());
+  EXPECT_EQ((2_us * 3).ps(), (6_us).ps());
+  EXPECT_EQ((6_us / 3).ps(), (2_us).ps());
+  EXPECT_TRUE((1_us - 2_us).is_negative());
+}
+
+TEST(Duration, ForBitsRoundsUpToWholePicosecond) {
+  // One bit at 1 Gbps is exactly 1000 ps.
+  EXPECT_EQ(Duration::for_bits(1, 1e9).ps(), 1000);
+  // 53 bytes at 140 Mbps: 424 bits / 140e6 ~ 3.0286 us.
+  const Duration cell = Duration::for_bytes(53, 140e6);
+  EXPECT_NEAR(cell.us(), 3.0286, 0.001);
+}
+
+TEST(Duration, Ordering) {
+  EXPECT_LT(1_us, 2_us);
+  EXPECT_EQ(ncs::max(1_us, 2_us), 2_us);
+  EXPECT_EQ(ncs::min(1_us, 2_us), 1_us);
+}
+
+TEST(TimePoint, ArithmeticWithDurations) {
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint t1 = t0 + 5_us;
+  EXPECT_EQ((t1 - t0).ps(), (5_us).ps());
+  EXPECT_EQ((t1 - 2_us).ps(), (3_us).ps());
+  EXPECT_LT(t0, t1);
+}
+
+TEST(TimePoint, MaxPicksLater) {
+  const TimePoint a = TimePoint::from_ps(100);
+  const TimePoint b = TimePoint::from_ps(200);
+  EXPECT_EQ(ncs::max(a, b), b);
+}
+
+TEST(Duration, ToStringPicksSensibleUnit) {
+  EXPECT_EQ((2_sec).to_string(), "2.000000s");
+  EXPECT_EQ((3_ms).to_string(), "3.000ms");
+  EXPECT_EQ((4_us).to_string(), "4.000us");
+  EXPECT_EQ((500_ns).to_string(), "500.0ns");
+}
+
+}  // namespace
+}  // namespace ncs

@@ -1,0 +1,243 @@
+// Group communication (paper Section 3.1: 1-to-many, many-to-1,
+// many-to-many) and the exception-handling service.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "core/mps/filters.hpp"
+#include "core/mps/node.hpp"
+
+namespace ncs::mps {
+namespace {
+
+using namespace ncs::literals;
+using cluster::Cluster;
+
+std::unique_ptr<Cluster> make_cluster(int n_procs, bool hsm = true) {
+  auto c = std::make_unique<Cluster>(hsm ? cluster::sun_atm_lan(n_procs)
+                                         : cluster::sun_ethernet(n_procs));
+  if (hsm) {
+    c->init_ncs_hsm();
+  } else {
+    c->init_ncs_nsm();
+  }
+  return c;
+}
+
+/// Runs `body(rank)` as one user thread per process.
+void run_threads(Cluster& c, std::function<void(int)> body) {
+  c.run([&c, body](int rank) {
+    Node& node = c.node(rank);
+    const int t = node.t_create([body, rank] { body(rank); });
+    node.host().join(node.user_thread(t));
+  });
+}
+
+TEST(Collectives, GatherCollectsByRank) {
+  auto c = make_cluster(4);
+  std::vector<Bytes> at_root;
+  run_threads(*c, [&](int rank) {
+    auto out = c->node(rank).gather(0, to_bytes("from" + std::to_string(rank)));
+    if (rank == 0) at_root = std::move(out);
+    else EXPECT_TRUE(out.empty());
+  });
+  ASSERT_EQ(at_root.size(), 4u);
+  for (int p = 0; p < 4; ++p)
+    EXPECT_EQ(at_root[static_cast<std::size_t>(p)], to_bytes("from" + std::to_string(p)));
+}
+
+TEST(Collectives, GatherToNonZeroRoot) {
+  auto c = make_cluster(3);
+  std::vector<Bytes> at_root;
+  run_threads(*c, [&](int rank) {
+    auto out = c->node(rank).gather(2, to_bytes(std::string(1, static_cast<char>('a' + rank))));
+    if (rank == 2) at_root = std::move(out);
+  });
+  ASSERT_EQ(at_root.size(), 3u);
+  EXPECT_EQ(at_root[0], to_bytes("a"));
+  EXPECT_EQ(at_root[2], to_bytes("c"));
+}
+
+TEST(Collectives, ScatterDistributesSlices) {
+  auto c = make_cluster(3);
+  std::vector<Bytes> mine(3);
+  run_threads(*c, [&](int rank) {
+    std::vector<Bytes> payloads;
+    if (rank == 1)
+      for (int p = 0; p < 3; ++p) payloads.push_back(to_bytes("slice" + std::to_string(p)));
+    mine[static_cast<std::size_t>(rank)] = c->node(rank).scatter(1, payloads);
+  });
+  for (int p = 0; p < 3; ++p)
+    EXPECT_EQ(mine[static_cast<std::size_t>(p)], to_bytes("slice" + std::to_string(p)));
+}
+
+TEST(Collectives, AllToAllEveryoneSeesEveryone) {
+  auto c = make_cluster(4);
+  std::vector<std::vector<Bytes>> views(4);
+  run_threads(*c, [&](int rank) {
+    views[static_cast<std::size_t>(rank)] =
+        c->node(rank).all_to_all(to_bytes("p" + std::to_string(rank)));
+  });
+  for (int me = 0; me < 4; ++me) {
+    ASSERT_EQ(views[static_cast<std::size_t>(me)].size(), 4u);
+    for (int p = 0; p < 4; ++p)
+      EXPECT_EQ(views[static_cast<std::size_t>(me)][static_cast<std::size_t>(p)],
+                to_bytes("p" + std::to_string(p)));
+  }
+}
+
+TEST(Collectives, ReduceSumElementwise) {
+  auto c = make_cluster(3);
+  std::vector<double> result;
+  run_threads(*c, [&](int rank) {
+    const std::vector<double> mine{1.0 * rank, 10.0 * rank, 0.5};
+    auto out = c->node(rank).reduce_sum(0, mine);
+    if (rank == 0) result = std::move(out);
+  });
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_DOUBLE_EQ(result[0], 0 + 1 + 2);
+  EXPECT_DOUBLE_EQ(result[1], 0 + 10 + 20);
+  EXPECT_DOUBLE_EQ(result[2], 1.5);
+}
+
+TEST(Collectives, RepeatedCollectivesStayInPhase) {
+  auto c = make_cluster(3);
+  std::vector<double> sums;
+  run_threads(*c, [&](int rank) {
+    Node& node = c->node(rank);
+    for (int round = 0; round < 5; ++round) {
+      const std::vector<double> mine{static_cast<double>(rank + round)};
+      auto out = node.reduce_sum(0, mine);
+      if (rank == 0) sums.push_back(out[0]);
+    }
+  });
+  ASSERT_EQ(sums.size(), 5u);
+  for (int round = 0; round < 5; ++round)
+    EXPECT_DOUBLE_EQ(sums[static_cast<std::size_t>(round)], 3.0 * round + 3);
+}
+
+TEST(Collectives, DoNotCollideWithWildcardRecv) {
+  // A wildcard user receive posted during a collective must not swallow
+  // collective traffic (reserved endpoint).
+  auto c = make_cluster(2);
+  Bytes user_got;
+  std::vector<Bytes> gathered;
+  run_threads(*c, [&](int rank) {
+    Node& node = c->node(rank);
+    if (rank == 0) {
+      // Post a wildcard receive in another thread, then run a collective.
+      const int rx = node.t_create(
+          [&] { user_got = node.recv(kAnyThread, kAnyProcess, 0); });
+      gathered = node.gather(0, to_bytes("root"));
+      node.send(0, 0, 0, to_bytes("a real user message"));  // self, serves rx
+      node.host().join(node.user_thread(rx));
+    } else {
+      (void)node.gather(0, to_bytes("peer"));
+    }
+  });
+  EXPECT_EQ(user_got, to_bytes("a real user message"));
+  ASSERT_EQ(gathered.size(), 2u);
+  EXPECT_EQ(gathered[1], to_bytes("peer"));
+}
+
+// --- exception handling -------------------------------------------------------
+
+TEST(ExceptionHandling, TimeoutReportedWhenRetriesExhausted) {
+  cluster::ClusterConfig cfg = cluster::nynet_wan(2);
+  cfg.wan_backbone.loss_probability = 1.0;  // black hole
+  cfg.ncs.error = {.kind = ErrorControlKind::retransmit, .rto = 5_ms, .max_retries = 2};
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+
+  std::vector<std::pair<int, std::uint32_t>> timeouts;
+  c.node(0).set_exception_handler(
+      [&](Node::Exception kind, int peer, std::uint32_t seq) {
+        if (kind == Node::Exception::message_timeout) timeouts.emplace_back(peer, seq);
+      });
+
+  c.host(0).spawn([&c] {
+    c.node(0).send(0, 0, 1, Bytes(500, std::byte{1}));
+  }, {.name = "main"});
+  c.engine().run();
+
+  ASSERT_EQ(timeouts.size(), 1u);
+  EXPECT_EQ(timeouts[0].first, 1);   // the unreachable peer
+  EXPECT_EQ(timeouts[0].second, 0u); // first sequence number
+}
+
+TEST(ExceptionHandling, FrameErrorReportedOnGarbledDelivery) {
+  cluster::ClusterConfig cfg = cluster::nynet_wan(2);
+  cfg.wan_backbone.loss_probability = 0.35;  // lose chunks mid-message
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+
+  int frame_errors = 0;
+  c.node(1).set_exception_handler([&](Node::Exception kind, int peer, std::uint32_t) {
+    if (kind == Node::Exception::frame_error) {
+      EXPECT_EQ(peer, 0);
+      ++frame_errors;
+    }
+  });
+
+  c.host(0).spawn([&c] {
+    // Multi-chunk messages so a lost chunk garbles reassembly.
+    for (int i = 0; i < 10; ++i) c.node(0).send(0, 0, 1, Bytes(20'000, std::byte{1}));
+  }, {.name = "main"});
+  c.engine().run_until(TimePoint::origin() + 2_sec);
+  EXPECT_GT(frame_errors, 0);
+}
+
+// --- MPI filter ---------------------------------------------------------------
+
+TEST(MpiFilter, SendRecvWithTags) {
+  auto c = make_cluster(2);
+  Bytes got;
+  int src = -5, tag = -5;
+  run_threads(*c, [&](int rank) {
+    MpiFilter mpi(c->node(rank));
+    if (rank == 0) {
+      mpi.send(to_bytes("tagged payload"), 1, 42);
+    } else {
+      got = mpi.recv(MpiFilter::kAnySource, MpiFilter::kAnyTag, &src, &tag);
+    }
+  });
+  EXPECT_EQ(got, to_bytes("tagged payload"));
+  EXPECT_EQ(src, 0);
+  EXPECT_EQ(tag, 42);
+}
+
+TEST(MpiFilter, BcastReplacesEveryBuffer) {
+  auto c = make_cluster(3);
+  std::vector<Bytes> buffers(3);
+  run_threads(*c, [&](int rank) {
+    MpiFilter mpi(c->node(rank));
+    Bytes buf = rank == 1 ? to_bytes("the broadcast") : Bytes{};
+    mpi.bcast(buf, 1);
+    buffers[static_cast<std::size_t>(rank)] = std::move(buf);
+  });
+  for (int p = 0; p < 3; ++p)
+    EXPECT_EQ(buffers[static_cast<std::size_t>(p)], to_bytes("the broadcast"));
+}
+
+TEST(MpiFilter, GatherAndReduce) {
+  auto c = make_cluster(3);
+  std::vector<Bytes> gathered;
+  std::vector<double> reduced;
+  run_threads(*c, [&](int rank) {
+    MpiFilter mpi(c->node(rank));
+    auto g = mpi.gather(to_bytes(std::string(static_cast<std::size_t>(rank) + 1, 'x')), 0);
+    const std::vector<double> v{static_cast<double>(rank * rank)};
+    auto r = mpi.reduce_sum(v, 0);
+    mpi.barrier();
+    if (rank == 0) {
+      gathered = std::move(g);
+      reduced = std::move(r);
+    }
+  });
+  ASSERT_EQ(gathered.size(), 3u);
+  EXPECT_EQ(gathered[2].size(), 3u);
+  ASSERT_EQ(reduced.size(), 1u);
+  EXPECT_DOUBLE_EQ(reduced[0], 0 + 1 + 4);
+}
+
+}  // namespace
+}  // namespace ncs::mps

@@ -1,0 +1,238 @@
+// The p4 message-passing filter: p4-style programs running unchanged on
+// NCS (paper Figs 6/12).
+#include "core/mps/filters.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+
+namespace ncs::mps {
+namespace {
+
+using cluster::Cluster;
+
+std::unique_ptr<Cluster> hsm_cluster(int n_procs) {
+  auto c = std::make_unique<Cluster>(cluster::sun_atm_lan(n_procs));
+  c->init_ncs_hsm();
+  return c;
+}
+
+TEST(P4Filter, TypedSendRecvOverNcs) {
+  auto c = hsm_cluster(2);
+  Bytes got;
+  int got_type = -1, got_from = -1;
+  c->run([&](int rank) {
+    Node& node = c->node(rank);
+    const int t = node.t_create([&, rank] {
+      P4Filter p4(node);
+      if (rank == 0) {
+        p4.send(7, 1, to_bytes("through the filter"));
+      } else {
+        int type = 7, from = 0;
+        got = p4.recv(&type, &from);
+        got_type = type;
+        got_from = from;
+      }
+    });
+    node.host().join(node.user_thread(t));
+  });
+  EXPECT_EQ(got, to_bytes("through the filter"));
+  EXPECT_EQ(got_type, 7);
+  EXPECT_EQ(got_from, 0);
+}
+
+TEST(P4Filter, TypeSelectiveRecvReordersLikeP4) {
+  auto c = hsm_cluster(2);
+  std::vector<int> order;
+  c->run([&](int rank) {
+    Node& node = c->node(rank);
+    const int t = node.t_create([&, rank] {
+      P4Filter p4(node);
+      if (rank == 0) {
+        p4.send(1, 1, to_bytes("first"));
+        p4.send(2, 1, to_bytes("second"));
+      } else {
+        int type = 2, from = -1;
+        (void)p4.recv(&type, &from);  // take the second by type
+        order.push_back(type);
+        type = -1;
+        from = -1;
+        (void)p4.recv(&type, &from);  // then whatever is left
+        order.push_back(type);
+      }
+    });
+    node.host().join(node.user_thread(t));
+  });
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(P4Filter, WildcardRecvAndProbe) {
+  auto c = hsm_cluster(3);
+  int seen_froms = 0;
+  bool probe_before = true;
+  c->run([&](int rank) {
+    Node& node = c->node(rank);
+    const int t = node.t_create([&, rank] {
+      P4Filter p4(node);
+      if (rank == 0) {
+        int type = -1, from = -1;
+        probe_before = p4.messages_available(&type, &from);
+        for (int k = 0; k < 2; ++k) {
+          type = -1;
+          from = -1;
+          (void)p4.recv(&type, &from);
+          seen_froms += from;
+        }
+      } else {
+        p4.send(rank, 0, to_bytes("x"));
+      }
+    });
+    node.host().join(node.user_thread(t));
+  });
+  EXPECT_FALSE(probe_before);
+  EXPECT_EQ(seen_froms, 1 + 2);
+}
+
+TEST(P4Filter, BroadcastAndBarrier) {
+  auto c = hsm_cluster(3);
+  std::vector<int> got(3, 0);
+  std::vector<std::string> log;
+  c->run([&](int rank) {
+    Node& node = c->node(rank);
+    const int t = node.t_create([&, rank] {
+      P4Filter p4(node);
+      if (rank == 0) {
+        p4.broadcast(9, to_bytes("all hands"));
+      } else {
+        int type = 9, from = 0;
+        got[static_cast<std::size_t>(rank)] = static_cast<int>(p4.recv(&type, &from).size());
+      }
+      log.push_back("arrive");
+      p4.global_barrier();
+      log.push_back("pass");
+    });
+    node.host().join(node.user_thread(t));
+  });
+  EXPECT_EQ(got[1], 9);
+  EXPECT_EQ(got[2], 9);
+  ASSERT_EQ(log.size(), 6u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(log[static_cast<std::size_t>(i)], "arrive");
+  for (int i = 3; i < 6; ++i) EXPECT_EQ(log[static_cast<std::size_t>(i)], "pass");
+}
+
+
+TEST(PvmFilter, PackSendRecvUnpackRoundTrip) {
+  auto c = hsm_cluster(2);
+  std::vector<std::int32_t> ints_out(3);
+  std::vector<double> doubles_out(2);
+  Bytes bytes_out;
+  int from = -1, tag = -1;
+  c->run([&](int rank) {
+    Node& node = c->node(rank);
+    const int t = node.t_create([&, rank] {
+      PvmFilter pvm(node);
+      if (rank == 0) {
+        pvm.initsend();
+        const std::vector<std::int32_t> ints{10, -20, 30};
+        const std::vector<double> doubles{3.25, -1.5};
+        pvm.pkint(ints);
+        pvm.pkdouble(doubles);
+        pvm.pkbytes(to_bytes("trailing blob"));
+        pvm.send(1, 77);
+      } else {
+        from = pvm.recv(PvmFilter::kAnyTid, PvmFilter::kAnyTag, &tag);
+        pvm.upkint(ints_out);
+        pvm.upkdouble(doubles_out);
+        bytes_out = pvm.upkbytes();
+      }
+    });
+    node.host().join(node.user_thread(t));
+  });
+  EXPECT_EQ(from, 0);
+  EXPECT_EQ(tag, 77);
+  EXPECT_EQ(ints_out, (std::vector<std::int32_t>{10, -20, 30}));
+  EXPECT_DOUBLE_EQ(doubles_out[0], 3.25);
+  EXPECT_DOUBLE_EQ(doubles_out[1], -1.5);
+  EXPECT_EQ(bytes_out, to_bytes("trailing blob"));
+}
+
+TEST(PvmFilter, InitsendResetsTheBuffer) {
+  auto c = hsm_cluster(2);
+  std::vector<std::int32_t> got(1);
+  c->run([&](int rank) {
+    Node& node = c->node(rank);
+    const int t = node.t_create([&, rank] {
+      PvmFilter pvm(node);
+      if (rank == 0) {
+        pvm.initsend();
+        const std::vector<std::int32_t> junk{999};
+        pvm.pkint(junk);
+        pvm.initsend();  // discard
+        const std::vector<std::int32_t> real{7};
+        pvm.pkint(real);
+        pvm.send(1, 1);
+      } else {
+        (void)pvm.recv(0, 1);
+        pvm.upkint(got);
+      }
+    });
+    node.host().join(node.user_thread(t));
+  });
+  EXPECT_EQ(got[0], 7);
+}
+
+TEST(PvmFilter, TagSelectiveRecvAndProbe) {
+  auto c = hsm_cluster(2);
+  std::vector<int> tags;
+  bool probe_hit = false;
+  c->run([&](int rank) {
+    Node& node = c->node(rank);
+    const int t = node.t_create([&, rank] {
+      PvmFilter pvm(node);
+      if (rank == 0) {
+        for (int tag : {5, 6}) {
+          pvm.initsend();
+          const std::vector<std::int32_t> v{tag};
+          pvm.pkint(v);
+          pvm.send(1, tag);
+        }
+      } else {
+        int tag = 0;
+        (void)pvm.recv(0, 6, &tag);  // select the second by tag
+        tags.push_back(tag);
+        probe_hit = pvm.probe(0, 5);  // the first is still waiting
+        (void)pvm.recv(0, 5, &tag);
+        tags.push_back(tag);
+      }
+    });
+    node.host().join(node.user_thread(t));
+  });
+  EXPECT_EQ(tags, (std::vector<int>{6, 5}));
+  EXPECT_TRUE(probe_hit);
+}
+
+TEST(PvmFilterDeathTest, UnpackTypeMismatchAborts) {
+  auto c = hsm_cluster(2);
+  EXPECT_DEATH(
+      c->run([&](int rank) {
+        Node& node = c->node(rank);
+        const int t = node.t_create([&, rank] {
+          PvmFilter pvm(node);
+          if (rank == 0) {
+            pvm.initsend();
+            const std::vector<std::int32_t> v{1};
+            pvm.pkint(v);
+            pvm.send(1, 1);
+          } else {
+            (void)pvm.recv(0, 1);
+            std::vector<double> wrong(1);
+            pvm.upkdouble(wrong);  // packed as ints
+          }
+        });
+        node.host().join(node.user_thread(t));
+      }),
+      "type mismatch");
+}
+
+}  // namespace
+}  // namespace ncs::mps

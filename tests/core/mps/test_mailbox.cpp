@@ -1,0 +1,162 @@
+#include "core/mps/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ncs::mps {
+namespace {
+
+struct MailboxFixture : ::testing::Test {
+  MailboxFixture() : sched(engine, params()), mailbox(sched) {}
+
+  static mts::SchedulerParams params() {
+    mts::SchedulerParams p;
+    p.context_switch_cost = Duration::zero();
+    p.thread_create_cost = Duration::zero();
+    return p;
+  }
+
+  Message msg(int from_p, int from_t, int to_p, int to_t, const char* text = "m") {
+    Message m;
+    m.from_process = from_p;
+    m.from_thread = from_t;
+    m.to_process = to_p;
+    m.to_thread = to_t;
+    m.data = to_bytes(text);
+    return m;
+  }
+
+  sim::Engine engine;
+  mts::Scheduler sched;
+  Mailbox mailbox;
+};
+
+TEST_F(MailboxFixture, DeliverThenRecv) {
+  mailbox.deliver(msg(1, 0, 0, 0, "early"));
+  Bytes got;
+  sched.spawn([&] { got = mailbox.recv(Pattern{0, 1, 0, 0}).data; });
+  engine.run();
+  EXPECT_EQ(got, to_bytes("early"));
+}
+
+TEST_F(MailboxFixture, RecvBlocksUntilDelivery) {
+  std::vector<int> order;
+  sched.spawn([&] {
+    order.push_back(1);
+    (void)mailbox.recv(Pattern{kAnyThread, kAnyProcess, 0, 0});
+    order.push_back(3);
+  });
+  engine.schedule_after(Duration::microseconds(50), [&] {
+    order.push_back(2);
+    mailbox.deliver(msg(1, 0, 0, 0));
+  });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(MailboxFixture, WildcardSourceMatchesAny) {
+  mailbox.deliver(msg(3, 1, 0, 0, "from3"));
+  Message got;
+  sched.spawn([&] { got = mailbox.recv(Pattern{kAnyThread, kAnyProcess, 0, 0}); });
+  engine.run();
+  EXPECT_EQ(got.from_process, 3);
+  EXPECT_EQ(got.from_thread, 1);
+}
+
+TEST_F(MailboxFixture, ExactSourceSkipsNonMatching) {
+  mailbox.deliver(msg(1, 0, 0, 0, "wrong"));
+  mailbox.deliver(msg(2, 0, 0, 0, "right"));
+  Bytes got;
+  sched.spawn([&] { got = mailbox.recv(Pattern{0, 2, 0, 0}).data; });
+  engine.run();
+  EXPECT_EQ(got, to_bytes("right"));
+  EXPECT_EQ(mailbox.pending(), 1u);  // the non-matching one stays queued
+}
+
+TEST_F(MailboxFixture, ToThreadDemultiplexes) {
+  Bytes got0, got1;
+  sched.spawn([&] { got0 = mailbox.recv(Pattern{kAnyThread, kAnyProcess, 0, 0}).data; });
+  sched.spawn([&] { got1 = mailbox.recv(Pattern{kAnyThread, kAnyProcess, 1, 0}).data; });
+  engine.schedule_after(Duration::microseconds(10), [&] {
+    mailbox.deliver(msg(2, 0, 0, 1, "for-thread1"));
+    mailbox.deliver(msg(2, 0, 0, 0, "for-thread0"));
+  });
+  engine.run();
+  EXPECT_EQ(got0, to_bytes("for-thread0"));
+  EXPECT_EQ(got1, to_bytes("for-thread1"));
+}
+
+TEST_F(MailboxFixture, FifoAmongMatching) {
+  for (int i = 0; i < 3; ++i)
+    mailbox.deliver(msg(1, 0, 0, 0, ("m" + std::to_string(i)).c_str()));
+  std::vector<std::string> got;
+  sched.spawn([&] {
+    for (int i = 0; i < 3; ++i) {
+      const Bytes b = mailbox.recv(Pattern{kAnyThread, kAnyProcess, 0, 0}).data;
+      got.emplace_back(reinterpret_cast<const char*>(b.data()), b.size());
+    }
+  });
+  engine.run();
+  EXPECT_EQ(got, (std::vector<std::string>{"m0", "m1", "m2"}));
+}
+
+TEST_F(MailboxFixture, LongestWaiterWinsOnDelivery) {
+  std::vector<int> woke;
+  sched.spawn([&] {
+    (void)mailbox.recv(Pattern{kAnyThread, kAnyProcess, 0, 0});
+    woke.push_back(0);
+  });
+  sched.spawn([&] {
+    (void)mailbox.recv(Pattern{kAnyThread, kAnyProcess, 0, 0});
+    woke.push_back(1);
+  });
+  engine.schedule_after(Duration::microseconds(10), [&] {
+    mailbox.deliver(msg(1, 0, 0, 0));
+    mailbox.deliver(msg(1, 0, 0, 0));
+  });
+  engine.run();
+  EXPECT_EQ(woke, (std::vector<int>{0, 1}));
+}
+
+TEST_F(MailboxFixture, AvailableProbe) {
+  EXPECT_FALSE(mailbox.available(Pattern{kAnyThread, kAnyProcess, 0, 0}));
+  mailbox.deliver(msg(1, 2, 0, 0));
+  EXPECT_TRUE(mailbox.available(Pattern{kAnyThread, kAnyProcess, 0, 0}));
+  EXPECT_TRUE(mailbox.available(Pattern{2, 1, 0, 0}));
+  EXPECT_FALSE(mailbox.available(Pattern{3, 1, 0, 0}));
+  EXPECT_FALSE(mailbox.available(Pattern{kAnyThread, kAnyProcess, 1, 0}));
+}
+
+TEST_F(MailboxFixture, PatternMatchRules) {
+  const Message m = msg(5, 2, 0, 1);
+  EXPECT_TRUE((Pattern{2, 5, 1, 0}).matches(m));
+  EXPECT_TRUE((Pattern{kAnyThread, 5, 1, 0}).matches(m));
+  EXPECT_TRUE((Pattern{2, kAnyProcess, 1, 0}).matches(m));
+  EXPECT_FALSE((Pattern{3, 5, 1, 0}).matches(m));    // wrong from_thread
+  EXPECT_FALSE((Pattern{2, 4, 1, 0}).matches(m));    // wrong from_process
+  EXPECT_FALSE((Pattern{2, 5, 0, 0}).matches(m));    // wrong to_thread
+  EXPECT_FALSE((Pattern{2, 5, 1, 9}).matches(m));    // wrong to_process
+}
+
+TEST_F(MailboxFixture, MessageEncodeDecodeRoundTrip) {
+  Message m = msg(7, 3, 2, 1, "payload bytes");
+  m.seq = 0xDEADBEEF;
+  const Message d = decode(encode(m));
+  EXPECT_EQ(d.from_process, 7);
+  EXPECT_EQ(d.from_thread, 3);
+  EXPECT_EQ(d.to_process, 2);
+  EXPECT_EQ(d.to_thread, 1);
+  EXPECT_EQ(d.seq, 0xDEADBEEF);
+  EXPECT_EQ(d.data, to_bytes("payload bytes"));
+}
+
+TEST_F(MailboxFixture, EncodeHandlesNegativeSentinels) {
+  Message m = msg(0, kControlThread, 1, kControlThread);
+  const Message d = decode(encode(m));
+  EXPECT_EQ(d.from_thread, kControlThread);
+  EXPECT_EQ(d.to_thread, kControlThread);
+}
+
+}  // namespace
+}  // namespace ncs::mps

@@ -1,0 +1,268 @@
+#include "core/mts/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ncs::mts {
+namespace {
+
+using namespace ncs::literals;
+
+struct SyncFixture : ::testing::Test {
+  SyncFixture() : sched(engine, params()) {}
+
+  static SchedulerParams params() {
+    SchedulerParams p;
+    p.name = "h";
+    p.context_switch_cost = Duration::zero();
+    p.thread_create_cost = Duration::zero();
+    return p;
+  }
+
+  sim::Engine engine;
+  Scheduler sched;
+};
+
+TEST_F(SyncFixture, SemaphoreInitialValueAdmitsWithoutBlocking) {
+  Semaphore sem(sched, 2);
+  int admitted = 0;
+  for (int i = 0; i < 2; ++i)
+    sched.spawn([&] {
+      sem.wait();
+      ++admitted;
+    });
+  engine.run();
+  EXPECT_EQ(admitted, 2);
+  EXPECT_EQ(sem.value(), 0);
+}
+
+TEST_F(SyncFixture, SemaphoreBlocksAtZeroUntilSignal) {
+  Semaphore sem(sched, 0);
+  std::vector<int> log;
+  sched.spawn([&] {
+    sem.wait();
+    log.push_back(2);
+  });
+  sched.spawn([&] {
+    log.push_back(1);
+    sem.signal();
+  });
+  engine.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST_F(SyncFixture, SemaphoreFifoWakeups) {
+  Semaphore sem(sched, 0);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i)
+    sched.spawn([&, i] {
+      sem.wait();
+      order.push_back(i);
+    });
+  sched.spawn([&] {
+    for (int i = 0; i < 3; ++i) sem.signal();
+  });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(SyncFixture, SemaphoreSignalFromEngineContext) {
+  Semaphore sem(sched, 0);
+  bool done = false;
+  sched.spawn([&] {
+    sem.wait();
+    done = true;
+  });
+  engine.schedule_after(50_us, [&] { sem.signal(); });
+  engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_GE(engine.now(), TimePoint::origin() + 50_us);
+}
+
+TEST_F(SyncFixture, MutexProvidesExclusionAcrossBlockingPoints) {
+  Mutex m(sched);
+  std::vector<std::string> log;
+  for (const char* name : {"a", "b"}) {
+    sched.spawn([&, name] {
+      LockGuard g(m);
+      log.push_back(std::string(name) + ":in");
+      sched.sleep_for(10_us);  // blocking point inside the critical section
+      log.push_back(std::string(name) + ":out");
+    });
+  }
+  engine.run();
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[0], "a:in");
+  EXPECT_EQ(log[1], "a:out");  // b must not enter while a sleeps
+  EXPECT_EQ(log[2], "b:in");
+  EXPECT_EQ(log[3], "b:out");
+}
+
+TEST_F(SyncFixture, CondVarNotifyOneWakesInOrder) {
+  Mutex m(sched);
+  CondVar cv(sched);
+  std::vector<int> woke;
+  bool ready = false;
+  for (int i = 0; i < 2; ++i)
+    sched.spawn([&, i] {
+      LockGuard g(m);
+      while (!ready) cv.wait(m);
+      woke.push_back(i);
+    });
+  sched.spawn([&] {
+    LockGuard g(m);
+    ready = true;
+    cv.notify_all();
+  });
+  engine.run();
+  EXPECT_EQ(woke, (std::vector<int>{0, 1}));
+}
+
+TEST_F(SyncFixture, BarrierReleasesAllAtOnce) {
+  Barrier barrier(sched, 3);
+  std::vector<std::string> log;
+  for (int i = 0; i < 3; ++i)
+    sched.spawn([&, i] {
+      sched.charge(Duration::microseconds(10.0 * (i + 1)));
+      log.push_back("arrive" + std::to_string(i));
+      barrier.arrive_and_wait();
+      log.push_back("go" + std::to_string(i));
+    });
+  engine.run();
+  ASSERT_EQ(log.size(), 6u);
+  // All arrivals strictly precede all releases.
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(log[static_cast<std::size_t>(i)].substr(0, 6), "arrive");
+  for (int i = 3; i < 6; ++i) EXPECT_EQ(log[static_cast<std::size_t>(i)].substr(0, 2), "go");
+}
+
+TEST_F(SyncFixture, BarrierIsReusableAcrossPhases) {
+  Barrier barrier(sched, 2);
+  std::vector<int> phases;
+  for (int i = 0; i < 2; ++i)
+    sched.spawn([&, i] {
+      for (int phase = 0; phase < 3; ++phase) {
+        barrier.arrive_and_wait();
+        if (i == 0) phases.push_back(phase);
+      }
+    });
+  engine.run();
+  EXPECT_EQ(phases, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(barrier.generation(), 3);
+}
+
+TEST_F(SyncFixture, EventIsSticky) {
+  Event ev(sched);
+  std::vector<int> log;
+  sched.spawn([&] {
+    ev.wait();
+    log.push_back(1);
+  });
+  sched.spawn([&] { ev.set(); });
+  engine.run();
+  // A late waiter passes straight through.
+  sched.spawn([&] {
+    ev.wait();
+    log.push_back(2);
+  });
+  engine.run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+TEST_F(SyncFixture, ChannelDeliversInOrder) {
+  Channel<int> ch(sched);
+  std::vector<int> got;
+  sched.spawn([&] {
+    for (int i = 0; i < 5; ++i) got.push_back(ch.pop());
+  });
+  sched.spawn([&] {
+    for (int i = 0; i < 5; ++i) ch.push(i);
+  });
+  engine.run();
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(SyncFixture, ChannelPushFromEngineContext) {
+  Channel<int> ch(sched);
+  int got = -1;
+  sched.spawn([&] { got = ch.pop(); });
+  engine.schedule_after(10_us, [&] { ch.push(42); });
+  engine.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST_F(SyncFixture, ChannelTryPopNonBlocking) {
+  Channel<int> ch(sched);
+  std::vector<int> log;
+  sched.spawn([&] {
+    EXPECT_FALSE(ch.try_pop().has_value());
+    ch.push(7);
+    const auto v = ch.try_pop();
+    ASSERT_TRUE(v.has_value());
+    log.push_back(*v);
+  });
+  engine.run();
+  EXPECT_EQ(log, (std::vector<int>{7}));
+}
+
+TEST_F(SyncFixture, ChannelStealDoesNotLoseWakeup) {
+  // A try_pop stealing the item between push and the blocked popper's
+  // resume must leave the popper blocked (it re-checks), and a later push
+  // must still wake it.
+  Channel<int> ch(sched);
+  std::vector<int> got;
+  sched.spawn([&] { got.push_back(ch.pop()); }, {.name = "popper"});
+  sched.spawn([&] {
+    ch.push(1);
+    // Steal before popper resumes (it is runnable, not running).
+    const auto stolen = ch.try_pop();
+    ASSERT_TRUE(stolen.has_value());
+    EXPECT_EQ(*stolen, 1);
+  }, {.name = "thief", .priority = 0});
+  engine.run();
+  EXPECT_TRUE(got.empty());
+
+  ch.push(2);
+  engine.run();
+  EXPECT_EQ(got, (std::vector<int>{2}));
+}
+
+TEST_F(SyncFixture, ProducerConsumerPipelineUnderLoad) {
+  Channel<int> ch(sched);
+  long sum = 0;
+  const int n = 500;
+  sched.spawn([&] {
+    for (int i = 0; i < n; ++i) sum += ch.pop();
+  });
+  sched.spawn([&] {
+    for (int i = 0; i < n; ++i) {
+      ch.push(i);
+      if (i % 7 == 0) sched.yield();
+    }
+  });
+  engine.run();
+  EXPECT_EQ(sum, static_cast<long>(n) * (n - 1) / 2);
+}
+
+TEST_F(SyncFixture, MutexUnlockByNonOwnerAborts) {
+  Mutex m(sched);
+  sched.spawn([&] { m.lock(); });
+  engine.run();
+  EXPECT_DEATH(
+      {
+        sim::Engine e2;
+        Scheduler s2(e2, params());
+        Mutex m2(s2);
+        s2.spawn([&] {
+          m2.lock();
+          m2.unlock();
+          m2.unlock();
+        });
+        e2.run();
+      },
+      "");
+}
+
+}  // namespace
+}  // namespace ncs::mts

@@ -1,0 +1,124 @@
+#include "ether/bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ncs::ether {
+namespace {
+
+using namespace ncs::literals;
+
+struct Rx {
+  int to;
+  int from;
+  std::size_t size;
+  TimePoint at;
+};
+
+struct BusFixture : ::testing::Test {
+  void build(int hosts, bool contention) {
+    BusParams p;
+    p.model_contention = contention;
+    bus = std::make_unique<Bus>(engine, p, hosts);
+    for (int h = 0; h < hosts; ++h)
+      bus->set_rx_handler(h, [this, h](int src, Bytes data) {
+        rx.push_back({h, src, data.size(), engine.now()});
+      });
+  }
+
+  sim::Engine engine;
+  std::unique_ptr<Bus> bus;
+  std::vector<Rx> rx;
+};
+
+TEST_F(BusFixture, DeliversPayload) {
+  build(2, false);
+  bus->send(0, 1, Bytes(1000, std::byte{7}), nullptr);
+  engine.run();
+  ASSERT_EQ(rx.size(), 1u);
+  EXPECT_EQ(rx[0].from, 0);
+  EXPECT_EQ(rx[0].to, 1);
+  EXPECT_EQ(rx[0].size, 1000u);
+}
+
+TEST_F(BusFixture, TimingIsWireBytesAtTenMbps) {
+  build(2, false);
+  bus->send(0, 1, Bytes(1000, std::byte{7}), nullptr);
+  engine.run();
+  const Duration expected =
+      Duration::for_bytes(static_cast<std::int64_t>(wire_bytes_for_payload(1000)), 10e6) + 10_us;
+  EXPECT_EQ(rx[0].at, TimePoint::origin() + expected);
+}
+
+TEST_F(BusFixture, AllHostsShareOneMedium) {
+  // Two disjoint pairs: second transfer waits for the first — the defining
+  // contrast with the ATM LAN's dedicated links.
+  build(4, false);
+  bus->send(0, 1, Bytes(1000, std::byte{1}), nullptr);
+  bus->send(2, 3, Bytes(1000, std::byte{2}), nullptr);
+  engine.run();
+  ASSERT_EQ(rx.size(), 2u);
+  const Duration tx = Duration::for_bytes(static_cast<std::int64_t>(wire_bytes_for_payload(1000)), 10e6);
+  EXPECT_EQ(rx[0].at, TimePoint::origin() + tx + 10_us);
+  EXPECT_EQ(rx[1].at, TimePoint::origin() + tx + tx + 10_us);
+}
+
+TEST_F(BusFixture, OnSentFiresAtEndOfTransmit) {
+  build(2, false);
+  TimePoint sent;
+  bus->send(0, 1, Bytes(1000, std::byte{1}), [&] { sent = engine.now(); });
+  engine.run();
+  const Duration tx = Duration::for_bytes(static_cast<std::int64_t>(wire_bytes_for_payload(1000)), 10e6);
+  EXPECT_EQ(sent, TimePoint::origin() + tx);
+}
+
+TEST_F(BusFixture, ContentionAddsDelayDeterministically) {
+  build(4, true);
+  for (int i = 0; i < 8; ++i) bus->send(i % 4, (i + 1) % 4, Bytes(500, std::byte{1}), nullptr);
+  engine.run();
+  EXPECT_GT(bus->stats().contention_events, 0u);
+  EXPECT_GT(bus->stats().contention_delay.us(), 0.0);
+}
+
+TEST_F(BusFixture, ContentionDeterministicAcrossRuns) {
+  auto run_once = [] {
+    sim::Engine eng;
+    BusParams p;
+    p.model_contention = true;
+    Bus b(eng, p, 4);
+    std::vector<std::int64_t> times;
+    for (int h = 0; h < 4; ++h)
+      b.set_rx_handler(h, [&eng, &times](int, Bytes) { times.push_back(eng.now().ps()); });
+    for (int i = 0; i < 10; ++i) b.send(i % 4, (i + 1) % 4, Bytes(500, std::byte{1}), nullptr);
+    eng.run();
+    return times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST_F(BusFixture, SingleSenderNeverPaysContention) {
+  build(2, true);
+  for (int i = 0; i < 5; ++i) {
+    bus->send(0, 1, Bytes(500, std::byte{1}), nullptr);
+    engine.run();  // drain before next send: queue never exceeds 1
+  }
+  EXPECT_EQ(bus->stats().contention_events, 0u);
+}
+
+TEST_F(BusFixture, StatsCountFrames) {
+  build(2, false);
+  bus->send(0, 1, Bytes(100, std::byte{1}), nullptr);
+  bus->send(1, 0, Bytes(200, std::byte{2}), nullptr);
+  engine.run();
+  EXPECT_EQ(bus->stats().frames, 2u);
+  EXPECT_EQ(bus->stats().payload_bytes, 300u);
+}
+
+TEST_F(BusFixture, OversizedPayloadAborts) {
+  build(2, false);
+  EXPECT_DEATH(bus->send(0, 1, Bytes(kMaxPayload + 1, std::byte{1}), nullptr), "MTU");
+}
+
+}  // namespace
+}  // namespace ncs::ether

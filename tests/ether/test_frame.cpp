@@ -1,0 +1,80 @@
+#include "ether/frame.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ncs::ether {
+namespace {
+
+TEST(Frame, PackUnpackRoundTrip) {
+  Frame f;
+  f.dst = mac_of_host(1);
+  f.src = mac_of_host(0);
+  f.ethertype = 0x0800;
+  f.payload = to_bytes("hello ethernet world, this payload is long enough.");
+
+  const Bytes wire = f.pack();
+  const auto r = Frame::unpack(wire);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().dst, f.dst);
+  EXPECT_EQ(r.value().src, f.src);
+  EXPECT_EQ(r.value().ethertype, f.ethertype);
+  // Payload >= 46 bytes: no padding, exact round trip.
+  EXPECT_EQ(r.value().payload, f.payload);
+}
+
+TEST(Frame, ShortPayloadPaddedToMinimum) {
+  Frame f;
+  f.payload = to_bytes("hi");
+  const Bytes wire = f.pack();
+  EXPECT_EQ(wire.size(), kHeaderSize + kMinPayload + kFcsSize);
+  const auto r = Frame::unpack(wire);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value().payload.size(), kMinPayload);
+  EXPECT_EQ(r.value().payload[0], std::byte{'h'});
+  EXPECT_EQ(r.value().payload[2], std::byte{0});
+}
+
+TEST(Frame, FcsDetectsCorruption) {
+  Frame f;
+  f.payload = Bytes(100, std::byte{0x5A});
+  Bytes wire = f.pack();
+  wire[30] ^= std::byte{0x01};
+  const auto r = Frame::unpack(wire);
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::data_corruption);
+}
+
+TEST(Frame, RuntFrameRejected) {
+  const Bytes runt(10, std::byte{0});
+  EXPECT_FALSE(Frame::unpack(runt).is_ok());
+}
+
+TEST(Frame, WireSizeBounds) {
+  Frame small;
+  small.payload = to_bytes("x");
+  EXPECT_EQ(small.wire_size(), 64u);  // Ethernet minimum frame
+
+  Frame big;
+  big.payload = Bytes(kMaxPayload, std::byte{1});
+  EXPECT_EQ(big.wire_size(), 1518u);  // Ethernet maximum frame
+}
+
+TEST(Frame, OversizedPayloadAborts) {
+  Frame f;
+  f.payload = Bytes(kMaxPayload + 1, std::byte{0});
+  EXPECT_DEATH((void)f.pack(), "MTU");
+}
+
+TEST(Mac, DistinctPerHostAndLocallyAdministered) {
+  EXPECT_NE(mac_of_host(0), mac_of_host(1));
+  EXPECT_NE(mac_of_host(1), mac_of_host(256));
+  EXPECT_EQ(mac_of_host(3)[0] & 0x02, 0x02);
+}
+
+TEST(WireBytes, IncludesSilentOverhead) {
+  EXPECT_EQ(wire_bytes_for_payload(1500), 1518u + kSilentOverheadBytes);
+  EXPECT_EQ(wire_bytes_for_payload(1), 64u + kSilentOverheadBytes);
+}
+
+}  // namespace
+}  // namespace ncs::ether

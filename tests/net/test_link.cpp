@@ -1,0 +1,115 @@
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ncs::net {
+namespace {
+
+using namespace ncs::literals;
+
+LinkParams fast_link() {
+  LinkParams p;
+  p.bandwidth_bps = 100e6;  // 1 byte = 80 ns
+  p.propagation = 10_us;
+  p.per_frame_overhead = Duration::zero();
+  return p;
+}
+
+TEST(Link, TxTimeMatchesBandwidth) {
+  sim::Engine e;
+  Link link(e, fast_link());
+  EXPECT_EQ(link.tx_time(1000).ns(), 80000);  // 8000 bits / 100 Mbps = 80 us
+}
+
+TEST(Link, PerFrameOverheadAdds) {
+  sim::Engine e;
+  LinkParams p = fast_link();
+  p.per_frame_overhead = 5_us;
+  Link link(e, p);
+  EXPECT_EQ(link.tx_time(1000), 80_us + 5_us);
+}
+
+TEST(Link, SentThenDeliveredTiming) {
+  sim::Engine e;
+  Link link(e, fast_link());
+  TimePoint sent, delivered;
+  link.transmit(1000, [&] { sent = e.now(); }, [&] { delivered = e.now(); });
+  e.run();
+  EXPECT_EQ(sent, TimePoint::origin() + 80_us);
+  EXPECT_EQ(delivered, TimePoint::origin() + 80_us + 10_us);
+}
+
+TEST(Link, BackToBackFramesSerialize) {
+  sim::Engine e;
+  Link link(e, fast_link());
+  std::vector<TimePoint> deliveries;
+  link.transmit(1000, nullptr, [&] { deliveries.push_back(e.now()); });
+  link.transmit(1000, nullptr, [&] { deliveries.push_back(e.now()); });
+  e.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], TimePoint::origin() + 90_us);
+  EXPECT_EQ(deliveries[1], TimePoint::origin() + 170_us);  // waits for first
+}
+
+TEST(Link, LaterTransmitAfterIdleStartsImmediately) {
+  sim::Engine e;
+  Link link(e, fast_link());
+  link.transmit(1000, nullptr, nullptr);
+  e.run();  // wire idle again at t=80us
+  TimePoint delivered;
+  link.transmit(1000, nullptr, [&] { delivered = e.now(); });
+  e.run();
+  EXPECT_EQ(delivered, TimePoint::origin() + 80_us + 90_us);
+}
+
+TEST(Link, StatsCountFramesAndBytes) {
+  sim::Engine e;
+  Link link(e, fast_link());
+  link.transmit(100, nullptr, nullptr);
+  link.transmit(200, nullptr, nullptr);
+  e.run();
+  EXPECT_EQ(link.stats().frames, 2u);
+  EXPECT_EQ(link.stats().bytes, 300u);
+  EXPECT_EQ(link.stats().drops, 0u);
+}
+
+TEST(Link, LossDropsDeliveryButNotSent) {
+  sim::Engine e;
+  LinkParams p = fast_link();
+  p.loss_probability = 1.0;
+  Link link(e, p);
+  bool sent = false, delivered = false;
+  link.transmit(100, [&] { sent = true; }, [&] { delivered = true; });
+  e.run();
+  EXPECT_TRUE(sent);
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(link.stats().drops, 1u);
+}
+
+TEST(Link, LossRateApproximatelyRespected) {
+  sim::Engine e;
+  LinkParams p = fast_link();
+  p.loss_probability = 0.3;
+  Link link(e, p);
+  int delivered = 0;
+  for (int i = 0; i < 1000; ++i) link.transmit(10, nullptr, [&] { ++delivered; });
+  e.run();
+  EXPECT_NEAR(delivered, 700, 50);
+}
+
+TEST(DuplexLink, DirectionsAreIndependent) {
+  sim::Engine e;
+  DuplexLink duplex(e, fast_link());
+  TimePoint fwd, bwd;
+  duplex.forward().transmit(1000, nullptr, [&] { fwd = e.now(); });
+  duplex.backward().transmit(1000, nullptr, [&] { bwd = e.now(); });
+  e.run();
+  // No serialization between directions: both arrive at the same time.
+  EXPECT_EQ(fwd, bwd);
+  EXPECT_EQ(fwd, TimePoint::origin() + 90_us);
+}
+
+}  // namespace
+}  // namespace ncs::net

@@ -1,0 +1,270 @@
+#include "p4/p4.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ether/bus.hpp"
+#include "proto/segment_network.hpp"
+
+namespace ncs::p4 {
+namespace {
+
+using namespace ncs::literals;
+
+struct P4Fixture : ::testing::Test {
+  void build(int n_procs) {
+    ether::BusParams bp;
+    bp.model_contention = false;
+    bus = std::make_unique<ether::Bus>(engine, bp, n_procs);
+    net = std::make_unique<proto::EthernetSegmentNetwork>(*bus, n_procs);
+    for (int r = 0; r < n_procs; ++r) {
+      mts::SchedulerParams sp;
+      sp.name = "p" + std::to_string(r);
+      hosts.push_back(std::make_unique<mts::Scheduler>(engine, sp));
+    }
+    std::vector<mts::Scheduler*> ptrs;
+    for (auto& h : hosts) ptrs.push_back(h.get());
+    proto::TcpParams tcp;
+    tcp.nagle = false;
+    rt = std::make_unique<Runtime>(engine, ptrs, *net, tcp);
+  }
+
+  /// Runs `fn(rank)` as the main thread of every process.
+  void run(std::function<void(int)> fn) {
+    for (int r = 0; r < rt->n_procs(); ++r)
+      hosts[static_cast<std::size_t>(r)]->spawn([fn, r] { fn(r); }, {.name = "main"});
+    engine.run();
+  }
+
+  sim::Engine engine;
+  std::unique_ptr<ether::Bus> bus;
+  std::unique_ptr<proto::EthernetSegmentNetwork> net;
+  std::vector<std::unique_ptr<mts::Scheduler>> hosts;
+  std::unique_ptr<Runtime> rt;
+};
+
+TEST_F(P4Fixture, SendRecvRoundTrip) {
+  build(2);
+  Bytes got;
+  run([&](int rank) {
+    Process& p = rt->process(rank);
+    if (rank == 0) {
+      p.send(5, 1, to_bytes("hello p4"));
+    } else {
+      int type = 5, from = 0;
+      got = p.recv(&type, &from);
+      EXPECT_EQ(type, 5);
+      EXPECT_EQ(from, 0);
+    }
+  });
+  EXPECT_EQ(got, to_bytes("hello p4"));
+}
+
+TEST_F(P4Fixture, WildcardRecvMatchesAnything) {
+  build(3);
+  std::vector<int> senders;
+  run([&](int rank) {
+    Process& p = rt->process(rank);
+    if (rank == 0) {
+      for (int k = 0; k < 2; ++k) {
+        int type = kAnyType, from = kAnyProc;
+        (void)p.recv(&type, &from);
+        senders.push_back(from);
+      }
+    } else {
+      p.send(rank * 10, 0, to_bytes("x"));
+    }
+  });
+  ASSERT_EQ(senders.size(), 2u);
+  EXPECT_NE(senders[0], senders[1]);
+}
+
+TEST_F(P4Fixture, TypeSelectiveRecvSkipsOthers) {
+  build(2);
+  std::vector<int> order;
+  run([&](int rank) {
+    Process& p = rt->process(rank);
+    if (rank == 0) {
+      p.send(1, 1, to_bytes("first"));
+      p.send(2, 1, to_bytes("second"));
+    } else {
+      int type = 2, from = 0;
+      (void)p.recv(&type, &from);  // select the second message by type
+      order.push_back(2);
+      type = 1;
+      from = 0;
+      (void)p.recv(&type, &from);
+      order.push_back(1);
+    }
+  });
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST_F(P4Fixture, FifoPerTypeAndSender) {
+  build(2);
+  std::vector<std::string> got;
+  run([&](int rank) {
+    Process& p = rt->process(rank);
+    if (rank == 0) {
+      for (int i = 0; i < 5; ++i) p.send(7, 1, to_bytes("m" + std::to_string(i)));
+    } else {
+      for (int i = 0; i < 5; ++i) {
+        int type = 7, from = 0;
+        const Bytes b = p.recv(&type, &from);
+        got.emplace_back(reinterpret_cast<const char*>(b.data()), b.size());
+      }
+    }
+  });
+  EXPECT_EQ(got, (std::vector<std::string>{"m0", "m1", "m2", "m3", "m4"}));
+}
+
+TEST_F(P4Fixture, MessagesAvailableProbe) {
+  build(2);
+  bool before = true, after = false;
+  run([&](int rank) {
+    Process& p = rt->process(rank);
+    if (rank == 0) {
+      int type = kAnyType, from = kAnyProc;
+      before = p.messages_available(&type, &from);
+      // Wait for the peer's message to arrive, then probe again.
+      type = 9;
+      from = 1;
+      (void)p.recv(&type, &from);
+      p.send(10, 1, to_bytes("done"));
+    } else {
+      p.send(9, 0, to_bytes("ping"));
+      int type = 10, from = 0;
+      (void)p.recv(&type, &from);
+      p.send(11, 0, to_bytes("probe-me"));
+    }
+  });
+  // Re-run a fresh engine pass: rank 0 probes after rank 1's last send.
+  hosts[0]->spawn([&] {
+    Process& p = rt->process(0);
+    int type = kAnyType, from = kAnyProc;
+    // The message may still be in flight; wait for it.
+    type = 11;
+    from = 1;
+    (void)p.recv(&type, &from);
+    type = kAnyType;
+    from = kAnyProc;
+    after = p.messages_available(&type, &from);
+  });
+  engine.run();
+  EXPECT_FALSE(before);
+  EXPECT_FALSE(after);
+}
+
+TEST_F(P4Fixture, BroadcastReachesAllOthers) {
+  build(4);
+  std::vector<int> got(4, 0);
+  run([&](int rank) {
+    Process& p = rt->process(rank);
+    if (rank == 0) {
+      p.broadcast(3, to_bytes("fan-out"));
+    } else {
+      int type = 3, from = 0;
+      const Bytes b = p.recv(&type, &from);
+      got[static_cast<std::size_t>(rank)] = static_cast<int>(b.size());
+    }
+  });
+  for (int r = 1; r < 4; ++r) EXPECT_EQ(got[static_cast<std::size_t>(r)], 7);
+}
+
+TEST_F(P4Fixture, GlobalBarrierSynchronizes) {
+  build(3);
+  std::vector<std::string> log;
+  run([&](int rank) {
+    Process& p = rt->process(rank);
+    // Stagger arrivals with compute.
+    p.host().charge_cycles(1e6 * (rank + 1), sim::Activity::compute);
+    log.push_back("arrive" + std::to_string(rank));
+    p.global_barrier();
+    log.push_back("pass" + std::to_string(rank));
+  });
+  ASSERT_EQ(log.size(), 6u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(log[static_cast<std::size_t>(i)].substr(0, 6), "arrive");
+  for (int i = 3; i < 6; ++i) EXPECT_EQ(log[static_cast<std::size_t>(i)].substr(0, 4), "pass");
+}
+
+TEST_F(P4Fixture, RepeatedBarriers) {
+  build(2);
+  int phases_in_sync = 0;
+  int phase0 = 0, phase1 = 0;
+  run([&](int rank) {
+    Process& p = rt->process(rank);
+    for (int k = 0; k < 4; ++k) {
+      (rank == 0 ? phase0 : phase1) = k;
+      p.global_barrier();
+      if (rank == 0 && phase0 == phase1) ++phases_in_sync;
+      p.global_barrier();
+    }
+  });
+  EXPECT_EQ(phases_in_sync, 4);
+}
+
+TEST_F(P4Fixture, BlockingRecvBlocksOnlyCallingThread) {
+  // The property NCS builds on: another green thread of the same process
+  // keeps running while one is parked in recv.
+  build(2);
+  std::vector<std::string> log;
+  run([&](int rank) {
+    Process& p = rt->process(rank);
+    if (rank == 0) {
+      mts::Scheduler& host = p.host();
+      mts::Thread* worker = host.spawn([&] {
+        log.push_back("worker-ran");
+      }, {.name = "worker"});
+      int type = 1, from = 1;
+      (void)p.recv(&type, &from);  // parks main; worker must run meanwhile
+      log.push_back("recv-done");
+      host.join(worker);
+    } else {
+      p.host().charge_cycles(50e6, sim::Activity::compute);  // arrive late
+      p.send(1, 0, to_bytes("late"));
+    }
+  });
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "worker-ran");
+  EXPECT_EQ(log[1], "recv-done");
+}
+
+TEST_F(P4Fixture, SendChargesCpuTime) {
+  build(2);
+  Duration send_cost;
+  run([&](int rank) {
+    Process& p = rt->process(rank);
+    if (rank == 0) {
+      const TimePoint t0 = engine.now();
+      p.send(1, 1, Bytes(100'000, std::byte{1}));
+      send_cost = engine.now() - t0;
+    } else {
+      int type = 1, from = 0;
+      (void)p.recv(&type, &from);
+    }
+  });
+  // 100 KB through syscall + copies + segmentation: milliseconds of CPU.
+  EXPECT_GT(send_cost.ms(), 1.0);
+}
+
+TEST_F(P4Fixture, StatsCount) {
+  build(2);
+  run([&](int rank) {
+    Process& p = rt->process(rank);
+    if (rank == 0) {
+      p.send(1, 1, Bytes(10, std::byte{1}));
+    } else {
+      int type = 1, from = 0;
+      (void)p.recv(&type, &from);
+    }
+  });
+  EXPECT_EQ(rt->process(0).stats().sends, 1u);
+  EXPECT_EQ(rt->process(1).stats().recvs, 1u);
+  EXPECT_EQ(rt->process(1).stats().bytes_received, 10u);
+}
+
+}  // namespace
+}  // namespace ncs::p4

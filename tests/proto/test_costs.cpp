@@ -1,0 +1,53 @@
+#include "proto/costs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ncs::proto {
+namespace {
+
+TEST(CostModel, CopyCyclesScaleLinearly) {
+  CostModel m;
+  EXPECT_DOUBLE_EQ(m.copy_cycles(8000, 4.0), 2.0 * m.copy_cycles(4000, 4.0));
+  EXPECT_DOUBLE_EQ(m.copy_cycles(4000, 4.0), 2.0 * m.copy_cycles(4000, 2.0));
+}
+
+TEST(CostModel, NcsPathCheaperThanTcpPath) {
+  // Fig 3: the mmap'ed-buffer path touches each word half as often as the
+  // socket path (2 vs 4 protocol accesses), so for large transfers the NCS
+  // per-chunk cost must be well under the TCP per-message cost.
+  CostModel m;
+  const std::size_t bytes = 64 * 1024;
+  double ncs_total = 0;
+  for (std::size_t off = 0; off < bytes; off += 4096) ncs_total += m.ncs_chunk_cycles(4096);
+  EXPECT_LT(ncs_total, m.tcp_side_cycles(bytes, 1460));
+}
+
+TEST(CostModel, TcpSegmentCountRoundsUp) {
+  CostModel m;
+  const double one = m.tcp_side_cycles(1460, 1460);
+  const double two = m.tcp_side_cycles(1461, 1460);
+  EXPECT_NEAR(two - one, m.tcp_per_segment_cycles + m.copy_cycles(1, m.tcp_accesses_per_word),
+              1e-6);
+}
+
+TEST(CostModel, ZeroByteMessageStillPaysFixedCosts) {
+  CostModel m;
+  EXPECT_GE(m.tcp_side_cycles(0, 1460), m.syscall_cycles + m.tcp_per_segment_cycles);
+  EXPECT_GE(m.ncs_chunk_cycles(0), m.trap_cycles);
+}
+
+TEST(CostModel, TrapMuchCheaperThanSyscall) {
+  CostModel m;
+  EXPECT_LT(m.trap_cycles * 5, m.syscall_cycles);
+}
+
+TEST(CostModel, BusAccessRatioMatchesPaper) {
+  // 5 total accesses (TCP) vs 3 (NCS), of which 1 is the application's own
+  // write in both cases: the model charges 4 vs 2.
+  CostModel m;
+  EXPECT_DOUBLE_EQ(m.tcp_accesses_per_word + 1, 5.0);
+  EXPECT_DOUBLE_EQ(m.ncs_accesses_per_word + 1, 3.0);
+}
+
+}  // namespace
+}  // namespace ncs::proto

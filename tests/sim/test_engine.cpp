@@ -1,0 +1,142 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace ncs::sim {
+namespace {
+
+using namespace ncs::literals;
+
+TEST(Engine, StartsAtOriginEmpty) {
+  Engine e;
+  EXPECT_EQ(e.now(), TimePoint::origin());
+  EXPECT_TRUE(e.empty());
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_after(3_us, [&] { order.push_back(3); });
+  e.schedule_after(1_us, [&] { order.push_back(1); });
+  e.schedule_after(2_us, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), TimePoint::origin() + 3_us);
+}
+
+TEST(Engine, SameTimeEventsFireInInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) e.schedule_after(5_us, [&, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, PostRunsAfterQueuedNowEvents) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_after(0_us, [&] { order.push_back(1); });
+  e.post([&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine e;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) e.schedule_after(1_us, chain);
+  };
+  e.schedule_after(1_us, chain);
+  e.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(e.now(), TimePoint::origin() + 5_us);
+}
+
+TEST(Engine, CancelPreventsFiring) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.schedule_after(1_us, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelAfterFireReturnsFalse) {
+  Engine e;
+  const EventId id = e.schedule_after(1_us, [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST(Engine, CancelOneOfManyAtSameTime) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_after(1_us, [&] { order.push_back(1); });
+  const EventId id = e.schedule_after(1_us, [&] { order.push_back(2); });
+  e.schedule_after(1_us, [&] { order.push_back(3); });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Engine, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_after(1_us, [&] { order.push_back(1); });
+  e.schedule_after(10_us, [&] { order.push_back(10); });
+  e.run_until(TimePoint::origin() + 5_us);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(e.now(), TimePoint::origin() + 5_us);
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 10}));
+}
+
+TEST(Engine, RunUntilIncludesDeadlineEvents) {
+  Engine e;
+  bool fired = false;
+  e.schedule_after(5_us, [&] { fired = true; });
+  e.run_until(TimePoint::origin() + 5_us);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, ProcessedCountsFiredEvents) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) e.schedule_after(1_us, [] {});
+  const EventId id = e.schedule_after(2_us, [] {});
+  e.cancel(id);
+  e.run();
+  EXPECT_EQ(e.processed(), 7u);
+}
+
+TEST(EngineDeathTest, SchedulingInThePastAborts) {
+  Engine e;
+  e.schedule_after(2_us, [] {});
+  e.run();
+  EXPECT_DEATH(e.schedule_at(TimePoint::origin() + 1_us, [] {}), "past");
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine e;
+    std::vector<std::int64_t> trace;
+    for (int i = 0; i < 50; ++i) {
+      e.schedule_after(Duration::microseconds(i % 7), [&, i] {
+        trace.push_back(e.now().ps() * 100 + i);
+        if (i % 3 == 0) e.schedule_after(1_us, [&] { trace.push_back(e.now().ps()); });
+      });
+    }
+    e.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace ncs::sim

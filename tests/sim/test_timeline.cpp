@@ -1,0 +1,92 @@
+#include "sim/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ncs::sim {
+namespace {
+
+using namespace ncs::literals;
+
+TimePoint at(std::int64_t us) { return TimePoint::origin() + Duration::microseconds(static_cast<double>(us)); }
+
+TEST(Timeline, RecordsIntervalsBetweenTransitions) {
+  Timeline tl;
+  const int t = tl.add_track("host/t0");
+  tl.transition(t, at(0), Activity::idle);
+  tl.transition(t, at(10), Activity::compute);
+  tl.transition(t, at(30), Activity::communicate);
+  tl.finish(at(40));
+
+  const auto& ivs = tl.intervals(t);
+  ASSERT_EQ(ivs.size(), 3u);
+  EXPECT_EQ(ivs[0].activity, Activity::idle);
+  EXPECT_EQ((ivs[0].end - ivs[0].begin).us(), 10);
+  EXPECT_EQ(ivs[1].activity, Activity::compute);
+  EXPECT_EQ((ivs[1].end - ivs[1].begin).us(), 20);
+  EXPECT_EQ(ivs[2].activity, Activity::communicate);
+}
+
+TEST(Timeline, ZeroWidthTransitionsProduceNoIntervals) {
+  Timeline tl;
+  const int t = tl.add_track("x");
+  tl.transition(t, at(5), Activity::idle);
+  tl.transition(t, at(5), Activity::compute);
+  tl.transition(t, at(5), Activity::communicate);
+  tl.finish(at(9));
+  ASSERT_EQ(tl.intervals(t).size(), 1u);
+  EXPECT_EQ(tl.intervals(t)[0].activity, Activity::communicate);
+}
+
+TEST(Timeline, SummaryFractions) {
+  Timeline tl;
+  const int t = tl.add_track("x");
+  tl.transition(t, at(0), Activity::compute);
+  tl.transition(t, at(75), Activity::idle);
+  tl.finish(at(100));
+
+  const auto s = tl.summarize(t);
+  EXPECT_DOUBLE_EQ(s.fraction(Activity::compute), 0.75);
+  EXPECT_DOUBLE_EQ(s.fraction(Activity::idle), 0.25);
+  EXPECT_DOUBLE_EQ(s.fraction(Activity::communicate), 0.0);
+}
+
+TEST(Timeline, MultipleTracksIndependent) {
+  Timeline tl;
+  const int a = tl.add_track("a");
+  const int b = tl.add_track("b");
+  tl.transition(a, at(0), Activity::compute);
+  tl.transition(b, at(0), Activity::communicate);
+  tl.finish(at(10));
+  EXPECT_EQ(tl.intervals(a)[0].activity, Activity::compute);
+  EXPECT_EQ(tl.intervals(b)[0].activity, Activity::communicate);
+  EXPECT_EQ(tl.track_name(a), "a");
+  EXPECT_EQ(tl.track_name(b), "b");
+}
+
+TEST(Timeline, AsciiRenderShowsDominantActivity) {
+  Timeline tl;
+  const int t = tl.add_track("n0");
+  tl.transition(t, at(0), Activity::compute);
+  tl.transition(t, at(50), Activity::idle);
+  tl.finish(at(100));
+
+  const std::string art = tl.render_ascii(at(0), at(100), 10);
+  // First half compute glyphs, second half idle glyphs.
+  EXPECT_NE(art.find("#####....."), std::string::npos) << art;
+}
+
+TEST(Timeline, GlyphsAndNamesDistinct) {
+  EXPECT_NE(activity_glyph(Activity::compute), activity_glyph(Activity::idle));
+  EXPECT_NE(activity_glyph(Activity::communicate), activity_glyph(Activity::overhead));
+  EXPECT_STREQ(activity_name(Activity::compute), "compute");
+}
+
+TEST(TimelineDeathTest, BackwardsTransitionAborts) {
+  Timeline tl;
+  const int t = tl.add_track("x");
+  tl.transition(t, at(10), Activity::idle);
+  EXPECT_DEATH(tl.transition(t, at(5), Activity::compute), "backwards");
+}
+
+}  // namespace
+}  // namespace ncs::sim
