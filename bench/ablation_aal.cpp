@@ -7,12 +7,14 @@
 
 #include "atm/aal34.hpp"
 #include "atm/aal5.hpp"
+#include "cluster/bench_json.hpp"
 #include "cluster/drivers.hpp"
 
 using namespace ncs;
 using namespace ncs::cluster;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("ablation_aal");
   std::printf("Ablation: AAL5 vs AAL3/4\n\n");
   std::printf("wire efficiency (payload bytes / wire bytes):\n");
   std::printf("%10s %10s %10s\n", "payload", "AAL5", "AAL3/4");
@@ -22,6 +24,10 @@ int main() {
     const double e34 = static_cast<double>(n) /
                        (static_cast<double>(atm::aal34::cell_count(n)) * atm::Cell::kSize);
     std::printf("%10zu %9.1f%% %9.1f%%\n", n, e5 * 100, e34 * 100);
+    report.row();
+    report.set("payload_bytes", static_cast<std::int64_t>(n));
+    report.set("aal5_efficiency", e5);
+    report.set("aal34_efficiency", e34);
   }
 
   std::printf("\nend-to-end: 4-node JPEG pipeline on the ATM LAN (NCS/HSM):\n");
@@ -34,5 +40,9 @@ int main() {
   std::printf("  AAL3/4: %.3f s %s\n", r34.elapsed.sec(), r34.correct ? "" : "WRONG");
   std::printf("  AAL3/4 penalty: %.2f %%\n",
               (r34.elapsed - r5.elapsed).sec() / r5.elapsed.sec() * 100.0);
+  report.summary("aal5_jpeg_sec", r5.elapsed.sec());
+  report.summary("aal34_jpeg_sec", r34.elapsed.sec());
+  report.summary("all_correct", r5.correct && r34.correct);
+  if (std::string json_path; parse_json_flag(argc, argv, &json_path)) report.emit(json_path);
   return r5.correct && r34.correct && r34.elapsed >= r5.elapsed ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 #include "atm/cellmux.hpp"
 
 #include "atm/aal5.hpp"
+#include "cluster/bench_json.hpp"
 #include "common/units.hpp"
 
 using namespace ncs;
@@ -53,7 +54,8 @@ Measurement measure(bool interleave, std::size_t bulk_bytes, std::size_t frame_b
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ncs::cluster::BenchReport report("ablation_cellmux");
   std::printf("Ablation: cell interleaving on a shared 140 Mbps TAXI link.\n");
   std::printf("A 16 KB VOD frame queued right behind a bulk transfer:\n\n");
   std::printf("%12s  %16s %16s %12s\n", "bulk (KB)", "frame, FIFO (ms)",
@@ -64,6 +66,10 @@ int main() {
     const Measurement cells = measure(true, bulk_kb * 1024, 16 * 1024);
     std::printf("%12zu  %16.3f %16.3f %11.1fx\n", bulk_kb, fifo.frame_ms, cells.frame_ms,
                 fifo.frame_ms / cells.frame_ms);
+    report.row();
+    report.set("bulk_kb", static_cast<std::int64_t>(bulk_kb));
+    report.set("frame_fifo_ms", fifo.frame_ms);
+    report.set("frame_cells_ms", cells.frame_ms);
   }
 
   const Measurement fifo = measure(false, 1024 * 1024, 16 * 1024);
@@ -72,5 +78,9 @@ int main() {
               "interleaving trades nothing for the latency win — the property that\n"
               "made ATM the bet for mixed VOD + HPDC traffic (paper Section 1).\n",
               fifo.bulk_ms, cells.bulk_ms);
+  report.summary("bulk_fifo_ms", fifo.bulk_ms);
+  report.summary("bulk_cells_ms", cells.bulk_ms);
+  if (std::string json_path; ncs::cluster::parse_json_flag(argc, argv, &json_path))
+    report.emit(json_path);
   return cells.frame_ms < fifo.frame_ms ? 0 : 1;
 }

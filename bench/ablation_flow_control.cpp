@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "cluster/bench_json.hpp"
 #include "cluster/cluster.hpp"
 
 using namespace ncs;
@@ -130,7 +131,8 @@ LossResult lossy_wan(mps::ErrorControlKind kind) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("ablation_flow_control");
   std::printf("Ablation: NCS flow-control / error-control policies "
               "(NCS_init(flow, error) selection)\n\n");
 
@@ -140,6 +142,11 @@ int main() {
     std::printf("   flow=%-7s makespan %7.1f ms   sender window stalls %llu\n",
                 mps::to_string(kind), r.makespan.ms(),
                 static_cast<unsigned long long>(r.stalls));
+    report.row();
+    report.set("experiment", std::string("slow_consumer"));
+    report.set("flow", std::string(mps::to_string(kind)));
+    report.set("makespan_ms", r.makespan.ms());
+    report.set("window_stalls", r.stalls);
   }
   std::printf("   (same makespan — the consumer is the bottleneck — but the window\n"
               "   policy bounds the unacknowledged backlog instead of dumping the\n"
@@ -151,6 +158,11 @@ int main() {
     vod_stream(kind, &jitter, &gap);
     std::printf("   flow=%-7s mean inter-frame gap %6.2f ms   jitter (stddev) %6.3f ms\n",
                 mps::to_string(kind), gap, jitter);
+    report.row();
+    report.set("experiment", std::string("vod_stream"));
+    report.set("flow", std::string(mps::to_string(kind)));
+    report.set("mean_gap_ms", gap);
+    report.set("jitter_ms", jitter);
   }
   std::printf("   (rate pacing delivers frames on the stream's own cadence; greedy\n"
               "   injection burns the link in a burst and then goes idle.)\n\n");
@@ -161,8 +173,14 @@ int main() {
     std::printf("   error=%-10s delivered %2d/40   retransmissions %llu\n",
                 mps::to_string(kind), r.delivered,
                 static_cast<unsigned long long>(r.retransmits));
+    report.row();
+    report.set("experiment", std::string("lossy_wan"));
+    report.set("error", std::string(mps::to_string(kind)));
+    report.set("delivered", r.delivered);
+    report.set("retransmits", r.retransmits);
   }
   std::printf("   (raw AAL5 detects damage but cannot recover it; the NCS error-\n"
               "   control thread restores exactly-once delivery.)\n");
+  if (std::string json_path; parse_json_flag(argc, argv, &json_path)) report.emit(json_path);
   return 0;
 }

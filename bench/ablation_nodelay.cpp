@@ -6,6 +6,7 @@
 // small-message exchanges collapse.
 #include <cstdio>
 
+#include "cluster/bench_json.hpp"
 #include "cluster/drivers.hpp"
 
 using namespace ncs;
@@ -20,7 +21,16 @@ ClusterConfig with_nagle(ClusterConfig cfg, bool nagle) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("ablation_nodelay");
+  const auto record = [&report](const char* app, int nodes, const AppResult& fast,
+                                const AppResult& slow) {
+    report.row();
+    report.set("app", std::string(app));
+    report.set("nodes", nodes);
+    report.set("nodelay_sec", fast.elapsed.sec());
+    report.set("nagle_sec", slow.elapsed.sec());
+  };
   std::printf("Ablation: Nagle vs TCP_NODELAY on the p4 runtime (Ethernet)\n\n");
   std::printf("%-22s %14s %14s %10s\n", "workload", "NODELAY (s)", "Nagle (s)", "slowdown");
 
@@ -29,16 +39,19 @@ int main() {
     const auto slow = run_fft_p4(with_nagle(sun_ethernet(0), true), nodes);
     std::printf("fft, %d nodes%9s %14.3f %14.3f %9.2fx\n", nodes, "", fast.elapsed.sec(),
                 slow.elapsed.sec(), slow.elapsed.sec() / fast.elapsed.sec());
+    record("fft", nodes, fast, slow);
   }
   for (const int nodes : {2, 4}) {
     const auto fast = run_matmul_p4(with_nagle(sun_ethernet(0), false), nodes);
     const auto slow = run_matmul_p4(with_nagle(sun_ethernet(0), true), nodes);
     std::printf("matmul, %d nodes%6s %14.3f %14.3f %9.2fx\n", nodes, "", fast.elapsed.sec(),
                 slow.elapsed.sec(), slow.elapsed.sec() / fast.elapsed.sec());
+    record("matmul", nodes, fast, slow);
   }
 
   std::printf("\n(Small FFT exchange messages hit the classic Nagle/delayed-ack\n"
               "interaction — up to a 200 ms stall per message tail; bulk matmul\n"
               "transfers mostly stream at full MSS and barely notice.)\n");
+  if (std::string json_path; parse_json_flag(argc, argv, &json_path)) report.emit(json_path);
   return 0;
 }

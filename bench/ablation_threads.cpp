@@ -2,12 +2,14 @@
 // the scheduler's context-switch cost, for the matmul workload.
 #include <cstdio>
 
+#include "cluster/bench_json.hpp"
 #include "cluster/drivers.hpp"
 
 using namespace ncs;
 using namespace ncs::cluster;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("ablation_threads");
   std::printf("Ablation: threads per node process, 4-node matmul\n\n");
   std::printf("%-14s %12s %12s\n", "threads/node", "Ethernet (s)", "ATM LAN (s)");
   for (const int tpn : {1, 2, 4}) {
@@ -15,6 +17,12 @@ int main() {
     const auto atm = run_matmul_ncs(sun_atm_lan(0), 4, NcsTier::nsm_p4, tpn);
     std::printf("%-14d %12.3f %12.3f   %s\n", tpn, eth.elapsed.sec(), atm.elapsed.sec(),
                 eth.correct && atm.correct ? "" : "INCORRECT RESULT");
+    report.row();
+    report.set("experiment", std::string("threads_per_node"));
+    report.set("threads_per_node", tpn);
+    report.set("ethernet_sec", eth.elapsed.sec());
+    report.set("atm_sec", atm.elapsed.sec());
+    report.set("correct", eth.correct && atm.correct);
   }
   std::printf("\n(Each extra thread halves the chunk the node can start on, but\n"
               "adds per-message costs; two threads — the paper's choice — is near\n"
@@ -27,9 +35,15 @@ int main() {
     cfg.context_switch_cost = Duration::microseconds(us);
     const auto r = run_matmul_ncs(cfg, 4);
     std::printf("%-22.0f %12.3f\n", us, r.elapsed.sec());
+    report.row();
+    report.set("experiment", std::string("context_switch_cost"));
+    report.set("switch_cost_us", us);
+    report.set("ethernet_sec", r.elapsed.sec());
+    report.set("correct", r.correct);
   }
   std::printf("\n(The paper attributes NCS's small one-node deficit to thread\n"
               "maintenance; a QuickThreads-class switch is cheap enough that even\n"
               "a 25x slower one barely registers at this message granularity.)\n");
+  if (std::string json_path; parse_json_flag(argc, argv, &json_path)) report.emit(json_path);
   return 0;
 }

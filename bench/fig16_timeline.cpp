@@ -3,6 +3,7 @@
 // pipeline, single-threaded (pure message passing) vs two threads per
 // node, with busy-fraction summaries.
 #include <cstdio>
+#include <cstring>
 
 #include "apps/image.hpp"
 #include "apps/jpeg/codec.hpp"
@@ -34,13 +35,14 @@ std::pair<int, BytesView> split_offset(BytesView data) {
   return {row, r.bytes(r.remaining())};
 }
 
-Duration run_case(int tpn, std::string* out) {
+Duration run_case(int tpn, std::string* out, const std::string& trace_path) {
   const Calibration& cal = calibration();
   const int compressors = kNodes / 2;
   ClusterConfig cfg = sun_ethernet(0);
   cfg.n_procs = kNodes + 1;
   Cluster cluster(cfg);
   cluster.enable_timeline();
+  if (!trace_path.empty()) cluster.enable_trace();
   cluster.init_ncs_nsm();
 
   const Image original = make_test_image(cal.jpeg_width, cal.jpeg_height, 7);
@@ -117,18 +119,33 @@ Duration run_case(int tpn, std::string* out) {
     text += buf;
   }
   *out = text;
+  if (!trace_path.empty()) {
+    if (cluster.write_trace(trace_path)) {
+      std::printf("wrote Chrome/Perfetto trace (%d thread%s/node) to %s\n", tpn,
+                  tpn == 1 ? "" : "s", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: could not write trace to %s\n", trace_path.c_str());
+    }
+  }
   return elapsed;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace=PATH writes the two-threads-per-node run as a Chrome-trace JSON
+  // file (load in Perfetto / chrome://tracing).
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
+  }
+
   std::printf("Figure 16: computation/communication pattern of the JPEG pipeline,\n");
   std::printf("%d nodes on Ethernet, single-threaded vs two threads per processor.\n\n", kNodes);
 
   std::string single, threaded;
-  const Duration t1 = run_case(1, &single);
-  const Duration t2 = run_case(2, &threaded);
+  const Duration t1 = run_case(1, &single, "");
+  const Duration t2 = run_case(2, &threaded, trace_path);
 
   std::printf("--- single-threaded (pure message passing) --- total %.3f s\n%s\n", t1.sec(),
               single.c_str());

@@ -4,9 +4,10 @@
 #include <cstdio>
 
 #include "cluster/drivers.hpp"
+#include "cluster/bench_json.hpp"
 #include "cluster/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ncs::cluster;
 
   std::vector<TableRow> rows;
@@ -40,5 +41,7 @@ int main() {
                  .c_str(),
              stdout);
   std::printf("\nresult verification: %s\n", all_correct ? "all runs correct" : "FAILED");
+  if (std::string json_path; parse_json_flag(argc, argv, &json_path))
+    emit_json(table_json("table1_matmul", rows, all_correct), json_path);
   return all_correct ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 // behaviour the whole system is about: while one thread waits for a
 // message, its sibling keeps computing.
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "cluster/cluster.hpp"
@@ -15,7 +16,9 @@
 using namespace ncs;
 using namespace ncs::cluster;
 
-int main() {
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) json = json || std::strcmp(argv[i], "--json") == 0;
   // Two SPARCstation-class hosts on a FORE-style ATM switch.
   ClusterConfig config = sun_atm_lan(/*n_procs=*/2);
   Cluster cluster(config);
@@ -59,6 +62,11 @@ int main() {
   });
 
   std::printf("simulation finished at %s\n\n", cluster.engine().now().to_string().c_str());
-  std::fputs(ncs::cluster::report(cluster).c_str(), stdout);
+  if (json) {
+    std::fputs(ncs::cluster::report_json(cluster).c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    std::fputs(ncs::cluster::report(cluster).c_str(), stdout);
+  }
   return 0;
 }

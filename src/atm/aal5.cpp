@@ -13,7 +13,9 @@ Bytes build_cpcs_pdu(BytesView payload, std::uint8_t cpcs_uu) {
       (payload.size() + kTrailerSize + Cell::kPayloadSize - 1) / Cell::kPayloadSize *
       Cell::kPayloadSize;
   Bytes pdu(total, std::byte{0});
-  std::memcpy(pdu.data(), payload.data(), payload.size());
+  // An empty payload has a null data(); memcpy's pointers are declared
+  // nonnull even for n == 0.
+  if (!payload.empty()) std::memcpy(pdu.data(), payload.data(), payload.size());
 
   // Trailer: CPCS-UU, CPI, Length, CRC-32 — the CRC covers everything
   // before its own field.

@@ -14,29 +14,50 @@ void CellMux::submit(Burst burst) {
   ++stats_.bursts;
   if (!interleave_) {
     fifo_.push_back(std::move(burst));
+    fifo_enqueued_.push_back(engine_.now());
   } else {
     Flow& flow = flows_[burst.vc];
-    if (flow.bursts.empty() && flow.cells_left_in_head == 0) {
-      // First pending work on this VC: join the round-robin ring.
-      if (std::find(rr_order_.begin(), rr_order_.end(), burst.vc) == rr_order_.end())
-        rr_order_.push_back(burst.vc);
+    if (!flow.in_ring) {
+      flow.in_ring = true;
+      rr_order_.push_back(burst.vc);
     }
     if (flow.bursts.empty()) flow.cells_left_in_head = burst.n_cells;
+    flow.enqueued.push_back(engine_.now());
     flow.bursts.push_back(std::move(burst));
   }
   pump();
 }
 
 CellMux::Flow* CellMux::next_flow() {
-  for (std::size_t probe = 0; probe < rr_order_.size(); ++probe) {
-    const std::size_t idx = (rr_pos_ + probe) % rr_order_.size();
-    Flow& flow = flows_[rr_order_[idx]];
+  // Sweep from rr_pos_, dropping drained VCs as they are encountered. The
+  // ring (and the flow table) stay bounded by the set of *backlogged* VCs;
+  // SVC churn — many short-lived VCs over the mux's lifetime — would
+  // otherwise grow both without bound.
+  std::size_t probes = rr_order_.size();
+  while (probes-- > 0) {
+    if (rr_pos_ >= rr_order_.size()) rr_pos_ = 0;
+    auto it = flows_.find(rr_order_[rr_pos_]);
+    NCS_ASSERT(it != flows_.end());
+    Flow& flow = it->second;
     if (!flow.bursts.empty()) {
-      rr_pos_ = (idx + 1) % rr_order_.size();
+      rr_pos_ = (rr_pos_ + 1) % rr_order_.size();
       return &flow;
     }
+    // Drained: leave the ring and the table; a new burst on this VC
+    // re-registers it in submit(). rr_pos_ now indexes the next entry.
+    NCS_ASSERT(flow.cells_left_in_head == 0 && flow.enqueued.empty());
+    flows_.erase(it);
+    rr_order_.erase(rr_order_.begin() + static_cast<std::ptrdiff_t>(rr_pos_));
   }
   return nullptr;
+}
+
+void CellMux::trace_delivered(const Burst& burst, TimePoint submitted) {
+  if (trace_ == nullptr) return;
+  trace_->complete(trace_track_,
+                   "vc" + std::to_string(burst.vc.vpi) + "." + std::to_string(burst.vc.vci) +
+                       " x" + std::to_string(burst.n_cells),
+                   "atm", submitted, engine_.now() - submitted);
 }
 
 void CellMux::pump() {
@@ -46,9 +67,12 @@ void CellMux::pump() {
     if (fifo_.empty()) return;
     Burst burst = std::move(fifo_.front());
     fifo_.pop_front();
+    const TimePoint submitted = fifo_enqueued_.front();
+    fifo_enqueued_.pop_front();
     transmitting_ = true;
     stats_.cells_sent += burst.n_cells;
     ++stats_.turns;
+    trace_delivered(burst, submitted);
     link_.transmit(
         burst.wire_bytes(),
         [this] {
@@ -73,7 +97,10 @@ void CellMux::pump() {
   if (last_cell) {
     Burst finished = std::move(flow->bursts.front());
     flow->bursts.pop_front();
+    const TimePoint submitted = flow->enqueued.front();
+    flow->enqueued.pop_front();
     if (!flow->bursts.empty()) flow->cells_left_in_head = flow->bursts.front().n_cells;
+    trace_delivered(finished, submitted);
     on_delivered = [this, b = std::move(finished)]() mutable {
       peer_.accept(peer_port_, std::move(b));
     };
@@ -84,6 +111,12 @@ void CellMux::pump() {
                    pump();
                  },
                  std::move(on_delivered));
+}
+
+void CellMux::register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const {
+  reg.counter(prefix + "/bursts", &stats_.bursts);
+  reg.counter(prefix + "/cells_sent", &stats_.cells_sent);
+  reg.counter(prefix + "/turns", &stats_.turns);
 }
 
 }  // namespace ncs::atm

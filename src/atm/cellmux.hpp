@@ -19,6 +19,8 @@
 
 #include "atm/burst.hpp"
 #include "net/link.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
 namespace ncs::atm {
@@ -41,14 +43,32 @@ class CellMux {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Registers the mux's counters under `prefix` (e.g. "p0/cellmux").
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
+
+  /// Per-burst delivery spans (submit -> last cell out) go onto `track`.
+  void set_trace(obs::TraceLog* trace, int track) {
+    trace_ = trace;
+    trace_track_ = track;
+  }
+
+  /// Introspection for the SVC-churn regression tests: both must stay
+  /// bounded by the number of *currently backlogged* VCs, not by every VC
+  /// ever seen.
+  std::size_t rr_ring_size() const { return rr_order_.size(); }
+  std::size_t flow_count() const { return flows_.size(); }
+
  private:
   struct Flow {
     std::deque<Burst> bursts;
+    std::deque<TimePoint> enqueued;  // submit time of each queued burst
     std::uint32_t cells_left_in_head = 0;
+    bool in_ring = false;
   };
 
   void pump();
   Flow* next_flow();
+  void trace_delivered(const Burst& burst, TimePoint submitted);
 
   sim::Engine& engine_;
   net::Link& link_;
@@ -61,7 +81,10 @@ class CellMux {
   std::vector<VcId> rr_order_;
   std::size_t rr_pos_ = 0;
   std::deque<Burst> fifo_;  // non-interleaved mode
+  std::deque<TimePoint> fifo_enqueued_;
 
+  obs::TraceLog* trace_ = nullptr;
+  int trace_track_ = -1;
   Stats stats_;
 };
 

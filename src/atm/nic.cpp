@@ -92,6 +92,11 @@ void Nic::submit_tx(VcId vc, Bytes chunk, bool end_of_message) {
   const TimePoint dma_done = tx_dma_.occupy(engine_.now(), dma_time);
   const Duration sar_time = params_.sar_setup + params_.sar_per_cell * burst.n_cells;
   const TimePoint sar_done = sar_.occupy(dma_done, sar_time);
+  if (trace_ != nullptr)
+    trace_->complete(tx_track_,
+                     "tx " + std::to_string(chunk_bytes) + "B x" +
+                         std::to_string(burst.n_cells),
+                     "nic", engine_.now(), sar_done - engine_.now());
 
   engine_.schedule_at(sar_done, [this, b = std::move(burst)]() mutable {
     CellSink* peer = peer_;
@@ -119,6 +124,9 @@ void Nic::accept(int /*port*/, Burst burst) {
           ++stats_.rx_errors;
           NCS_WARN("atm.nic", "%s: reassembly error: %s", name_.c_str(),
                    out->status().to_string().c_str());
+          if (trace_ != nullptr)
+            trace_->instant(rx_track_, "rx-error " + out->status().to_string(), "nic",
+                            engine_.now());
           return false;
         }
         payload = std::move(out->value());
@@ -140,6 +148,9 @@ void Nic::accept(int /*port*/, Burst burst) {
       params_.dma_setup +
       Duration::for_bytes(static_cast<std::int64_t>(payload.size()), params_.dma_bandwidth_bps);
   const TimePoint done = rx_dma_.occupy(engine_.now(), dma_time);
+  if (trace_ != nullptr)
+    trace_->complete(rx_track_, "rx " + std::to_string(payload.size()) + "B", "nic",
+                     engine_.now(), done - engine_.now());
   engine_.schedule_at(done, [this, vc = burst.vc, p = std::move(payload),
                              eom = burst.end_of_message]() mutable {
     if (const auto it = vc_handlers_.find(vc); it != vc_handlers_.end()) {
@@ -148,6 +159,21 @@ void Nic::accept(int /*port*/, Burst burst) {
     }
     if (rx_handler_) rx_handler_(vc, std::move(p), eom);
   });
+}
+
+void Nic::register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const {
+  reg.counter(prefix + "/tx_chunks", &stats_.tx_chunks);
+  reg.counter(prefix + "/tx_cells", &stats_.tx_cells);
+  reg.counter(prefix + "/rx_chunks", &stats_.rx_chunks);
+  reg.counter(prefix + "/rx_cells", &stats_.rx_cells);
+  reg.counter(prefix + "/rx_errors", &stats_.rx_errors);
+}
+
+void Nic::set_trace(obs::TraceLog* trace, const std::string& prefix) {
+  trace_ = trace;
+  if (trace_ == nullptr) return;
+  tx_track_ = trace_->track(prefix + "/tx");
+  rx_track_ = trace_->track(prefix + "/rx");
 }
 
 }  // namespace ncs::atm

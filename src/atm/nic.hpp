@@ -27,6 +27,8 @@
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "net/link.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 
@@ -111,6 +113,13 @@ class Nic : public CellSink {
   const NicParams& params() const { return params_; }
   const std::string& name() const { return name_; }
 
+  /// Registers the adapter's counters under `prefix` (e.g. "p0/nic").
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
+
+  /// Creates "<prefix>/tx" and "<prefix>/rx" trace tracks: TX spans cover
+  /// DMA+SAR per chunk, RX spans the adapter->host DMA, plus error instants.
+  void set_trace(obs::TraceLog* trace, const std::string& prefix);
+
  private:
   void free_tx_buffer();
 
@@ -140,6 +149,9 @@ class Nic : public CellSink {
   Rng corrupt_rng_{0};
   RxHandler rx_handler_;
   std::map<VcId, RxHandler> vc_handlers_;
+  obs::TraceLog* trace_ = nullptr;
+  int tx_track_ = -1;
+  int rx_track_ = -1;
   Stats stats_;
 };
 

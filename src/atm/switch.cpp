@@ -59,11 +59,21 @@ void Switch::accept(int in_port, Burst burst) {
     ++stats_.unroutable;
     NCS_WARN("atm.switch", "%s: no route for port %d vpi %u vci %u", name_.c_str(), in_port,
              burst.vc.vpi, burst.vc.vci);
+    if (trace_ != nullptr)
+      trace_->instant(trace_track_,
+                      "unroutable vc" + std::to_string(burst.vc.vpi) + "." +
+                          std::to_string(burst.vc.vci),
+                      "atm", engine_.now());
     return;
   }
   const auto [out_port, out_vc] = it->second;
   ++stats_.bursts;
   stats_.cells += burst.n_cells;
+  if (trace_ != nullptr)
+    trace_->complete(trace_track_,
+                     "fwd p" + std::to_string(in_port) + "->p" + std::to_string(out_port) +
+                         " x" + std::to_string(burst.n_cells),
+                     "atm", engine_.now(), params_.forward_latency);
 
   // Label rewriting (and, in detailed mode, per-cell header rewrite).
   burst.vc = out_vc;
@@ -83,6 +93,12 @@ void Switch::accept(int in_port, Burst burst) {
                                  peer->accept(peer_port, std::move(b2));
                                });
                          });
+}
+
+void Switch::register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const {
+  reg.counter(prefix + "/bursts", &stats_.bursts);
+  reg.counter(prefix + "/cells", &stats_.cells);
+  reg.counter(prefix + "/unroutable", &stats_.unroutable);
 }
 
 }  // namespace ncs::atm

@@ -16,6 +16,8 @@
 #include "atm/burst.hpp"
 #include "common/time.hpp"
 #include "net/link.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
 namespace ncs::atm {
@@ -61,6 +63,15 @@ class Switch : public CellSink {
   const Stats& stats() const { return stats_; }
   const std::string& name() const { return name_; }
 
+  /// Registers the switch's counters under `prefix` (e.g. "switch").
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
+
+  /// Forwarding spans (cut-through latency per burst) go onto `track`.
+  void set_trace(obs::TraceLog* trace, int track) {
+    trace_ = trace;
+    trace_track_ = track;
+  }
+
  private:
   struct Port {
     net::Link* link;
@@ -74,6 +85,8 @@ class Switch : public CellSink {
   std::vector<Port> ports_;
   std::map<std::pair<int, VcId>, std::pair<int, VcId>> routes_;
   std::map<VcId, LocalHandler> local_;
+  obs::TraceLog* trace_ = nullptr;
+  int trace_track_ = -1;
   Stats stats_;
 };
 

@@ -1,0 +1,136 @@
+#include "cluster/bench_json.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace ncs::cluster {
+
+BenchReport::Field& BenchReport::add(const std::string& field) {
+  NCS_ASSERT_MSG(!rows_.empty(), "set() before row()");
+  rows_.back().push_back(Field{});
+  rows_.back().back().name = field;
+  return rows_.back().back();
+}
+
+BenchReport::Field& BenchReport::add_summary(const std::string& field) {
+  summary_.push_back(Field{});
+  summary_.back().name = field;
+  return summary_.back();
+}
+
+void BenchReport::set(const std::string& field, double v) {
+  Field& f = add(field);
+  f.kind = Field::Kind::number;
+  f.num = v;
+}
+
+void BenchReport::set(const std::string& field, std::int64_t v) {
+  Field& f = add(field);
+  f.kind = Field::Kind::integer;
+  f.i64 = v;
+}
+
+void BenchReport::set(const std::string& field, std::uint64_t v) {
+  Field& f = add(field);
+  f.kind = Field::Kind::unsigned_integer;
+  f.u64 = v;
+}
+
+void BenchReport::set(const std::string& field, const std::string& v) {
+  Field& f = add(field);
+  f.kind = Field::Kind::string;
+  f.str = v;
+}
+
+void BenchReport::set(const std::string& field, bool v) {
+  Field& f = add(field);
+  f.kind = Field::Kind::boolean;
+  f.b = v;
+}
+
+void BenchReport::summary(const std::string& field, double v) {
+  Field& f = add_summary(field);
+  f.kind = Field::Kind::number;
+  f.num = v;
+}
+
+void BenchReport::summary(const std::string& field, std::int64_t v) {
+  Field& f = add_summary(field);
+  f.kind = Field::Kind::integer;
+  f.i64 = v;
+}
+
+void BenchReport::summary(const std::string& field, const std::string& v) {
+  Field& f = add_summary(field);
+  f.kind = Field::Kind::string;
+  f.str = v;
+}
+
+void BenchReport::summary(const std::string& field, bool v) {
+  Field& f = add_summary(field);
+  f.kind = Field::Kind::boolean;
+  f.b = v;
+}
+
+void BenchReport::write_field(obs::JsonWriter& w, const Field& f) {
+  w.key(f.name);
+  switch (f.kind) {
+    case Field::Kind::number: w.value(f.num); break;
+    case Field::Kind::integer: w.value(f.i64); break;
+    case Field::Kind::unsigned_integer: w.value(f.u64); break;
+    case Field::Kind::string: w.value(std::string_view(f.str)); break;
+    case Field::Kind::boolean: w.value(f.b); break;
+  }
+}
+
+std::string BenchReport::to_json() const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(std::string_view("ncs-bench-v1"));
+  w.key("bench").value(std::string_view(bench_));
+  w.key("rows").begin_array();
+  for (const auto& row : rows_) {
+    w.begin_object();
+    for (const Field& f : row) write_field(w, f);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("summary").begin_object();
+  for (const Field& f : summary_) write_field(w, f);
+  w.end_object();
+  w.end_object();
+  return std::move(w).str();
+}
+
+void BenchReport::emit(const std::string& path) const { emit_json(to_json(), path); }
+
+void emit_json(const std::string& doc, const std::string& path) {
+  if (path.empty() || path == "-") {
+    std::fputs(doc.c_str(), stdout);
+    std::fputc('\n', stdout);
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  NCS_ASSERT_MSG(f != nullptr, "cannot open --json output file");
+  std::fputs(doc.c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+bool parse_json_flag(int argc, char** argv, std::string* path) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      path->clear();
+      return true;
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      *path = argv[i] + 7;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ncs::cluster

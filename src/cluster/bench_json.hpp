@@ -1,0 +1,77 @@
+// Machine-readable bench output.
+//
+// Every bench binary accepts `--json[=path]` and then emits its results
+// under the stable schema "ncs-bench-v1":
+//
+//   {"schema": "ncs-bench-v1",
+//    "bench": "<binary name>",
+//    "rows": [{"<field>": <value>, ...}, ...],
+//    "summary": {"<field>": <value>, ...}}
+//
+// Rows carry the bench's table (one object per configuration measured);
+// summary carries run-wide facts (e.g. "all_correct"). Fields are flat
+// name -> number/string/bool; a field name, once published, keeps its
+// meaning and units (suffix: _sec, _ms, _bytes, ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace ncs::cluster {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Starts a new row; subsequent set() calls fill it.
+  void row() { rows_.emplace_back(); }
+
+  void set(const std::string& field, double v);
+  void set(const std::string& field, std::int64_t v);
+  void set(const std::string& field, int v) { set(field, static_cast<std::int64_t>(v)); }
+  void set(const std::string& field, std::uint64_t v);
+  void set(const std::string& field, const std::string& v);
+  void set(const std::string& field, bool v);
+
+  /// Run-wide fields, emitted under "summary".
+  void summary(const std::string& field, double v);
+  void summary(const std::string& field, std::int64_t v);
+  void summary(const std::string& field, const std::string& v);
+  void summary(const std::string& field, bool v);
+
+  std::string to_json() const;
+
+  /// Writes to_json() to `path` ("" or "-" means stdout).
+  void emit(const std::string& path) const;
+
+ private:
+  struct Field {
+    enum class Kind { number, integer, unsigned_integer, string, boolean };
+    std::string name;
+    Kind kind;
+    double num = 0;
+    std::int64_t i64 = 0;
+    std::uint64_t u64 = 0;
+    std::string str;
+    bool b = false;
+  };
+
+  static void write_field(obs::JsonWriter& w, const Field& f);
+  Field& add(const std::string& field);
+  Field& add_summary(const std::string& field);
+
+  std::string bench_;
+  std::vector<std::vector<Field>> rows_;
+  std::vector<Field> summary_;
+};
+
+/// Scans argv for `--json` / `--json=PATH`. Returns true when present and
+/// stores the destination in `path` ("" = stdout).
+bool parse_json_flag(int argc, char** argv, std::string* path);
+
+/// Writes `doc` plus a trailing newline to `path` ("" or "-" = stdout).
+void emit_json(const std::string& doc, const std::string& path);
+
+}  // namespace ncs::cluster

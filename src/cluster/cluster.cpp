@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "atm/network.hpp"
 #include "common/assert.hpp"
 #include "core/mps/atm_transport.hpp"
 #include "core/mps/p4_transport.hpp"
@@ -65,6 +66,52 @@ void Cluster::enable_timeline() {
   for (auto& h : hosts_) h->set_timeline(&timeline_);
 }
 
+void Cluster::enable_trace() {
+  trace_enabled_ = true;
+  for (auto& h : hosts_) h->set_trace(&trace_);
+  if (fabric_ != nullptr) {
+    for (int r = 0; r < config_.n_procs; ++r)
+      fabric_->nic(r).set_trace(&trace_, "p" + std::to_string(r) + "/nic");
+    if (auto* lan = dynamic_cast<atm::AtmLan*>(fabric_.get()); lan != nullptr) {
+      lan->fabric().set_trace(&trace_, trace_.track("switch"));
+    } else if (auto* wan = dynamic_cast<atm::AtmWan*>(fabric_.get()); wan != nullptr) {
+      for (int s = 0; s < 2; ++s)
+        wan->site_switch(s).set_trace(&trace_, trace_.track("switch" + std::to_string(s)));
+    }
+  }
+  // Runtime modules created later (nodes, TCP mesh) attach in init_*.
+}
+
+bool Cluster::write_trace(const std::string& path) {
+  NCS_ASSERT_MSG(trace_enabled_, "write_trace without enable_trace");
+  if (timeline_enabled_) trace_.import_timeline(timeline_);
+  return trace_.write_file(path);
+}
+
+obs::MetricsRegistry& Cluster::metrics() {
+  if (metrics_ == nullptr) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    obs::MetricsRegistry& reg = *metrics_;
+    for (int r = 0; r < config_.n_procs; ++r)
+      host(r).register_metrics(reg, "p" + std::to_string(r) + "/mts");
+    for (const auto& node : nodes_)
+      node->register_metrics(reg, "p" + std::to_string(node->rank()) + "/mps");
+    if (bus_ != nullptr) bus_->register_metrics(reg, "ether");
+    if (fabric_ != nullptr) {
+      for (int r = 0; r < config_.n_procs; ++r)
+        fabric_->nic(r).register_metrics(reg, "p" + std::to_string(r) + "/nic");
+      if (auto* lan = dynamic_cast<atm::AtmLan*>(fabric_.get()); lan != nullptr) {
+        lan->fabric().register_metrics(reg, "switch");
+      } else if (auto* wan = dynamic_cast<atm::AtmWan*>(fabric_.get()); wan != nullptr) {
+        for (int s = 0; s < 2; ++s)
+          wan->site_switch(s).register_metrics(reg, "switch" + std::to_string(s));
+      }
+    }
+    if (p4_ != nullptr) p4_->mesh().register_metrics(reg, "tcp");
+  }
+  return *metrics_;
+}
+
 p4::Runtime& Cluster::init_p4() {
   NCS_ASSERT_MSG(p4_ == nullptr, "runtime already initialized");
   if (config_.network == NetworkKind::ethernet) {
@@ -75,6 +122,7 @@ p4::Runtime& Cluster::init_p4() {
   std::vector<mts::Scheduler*> scheds;
   for (auto& h : hosts_) scheds.push_back(h.get());
   p4_ = std::make_unique<p4::Runtime>(engine_, scheds, *segnet_, config_.tcp, config_.costs);
+  if (trace_enabled_) p4_->mesh().set_trace(&trace_, "tcp");
   return *p4_;
 }
 
@@ -84,6 +132,8 @@ void Cluster::init_ncs_nsm() {
     auto transport = std::make_unique<mps::P4Transport>(p4_->process(r));
     nodes_.push_back(std::make_unique<mps::Node>(host(r), r, config_.n_procs,
                                                  std::move(transport), config_.ncs));
+    if (trace_enabled_)
+      nodes_.back()->set_trace(&trace_, "p" + std::to_string(r) + "/mps");
     api::register_node(nodes_.back().get());
   }
 }
@@ -105,6 +155,8 @@ void Cluster::init_ncs_hsm() {
     auto transport = std::make_unique<mps::AtmTransport>(host(r), fabric_->nic(r), tp);
     nodes_.push_back(std::make_unique<mps::Node>(host(r), r, config_.n_procs,
                                                  std::move(transport), config_.ncs));
+    if (trace_enabled_)
+      nodes_.back()->set_trace(&trace_, "p" + std::to_string(r) + "/mps");
     api::register_node(nodes_.back().get());
   }
 }

@@ -11,6 +11,8 @@
 #include "cluster/config.hpp"
 #include "core/api.hpp"
 #include "core/mps/node.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "p4/p4.hpp"
 #include "proto/segment_network.hpp"
 #include "sim/timeline.hpp"
@@ -33,6 +35,25 @@ class Cluster {
   /// Call before init_*/run to record per-thread activity timelines.
   void enable_timeline();
   sim::Timeline& timeline() { return timeline_; }
+
+  /// Call before init_*/run to record a Chrome-trace event log: per-thread
+  /// scheduler spans, MPS transfer spans, NIC/switch pipeline spans, and
+  /// protocol instants (TCP retransmits, NCS flow-control stalls, ...).
+  void enable_trace();
+  obs::TraceLog* trace() { return trace_enabled_ ? &trace_ : nullptr; }
+
+  /// Writes the accumulated trace to `path` (Chrome Trace Event JSON —
+  /// loads in ui.perfetto.dev / chrome://tracing). When the timeline is
+  /// also enabled, its per-thread compute/communicate/idle activity spans
+  /// are merged in. Call after run(). Returns false if the file could not
+  /// be written.
+  bool write_trace(const std::string& path);
+
+  /// The run-wide metrics registry: every module's counters under
+  /// "p<r>/mts/...", "p<r>/mps/...", "p<r>/nic/...", "switch/...",
+  /// "tcp/...", "ether/...". Built lazily on first call — call after
+  /// init_* so runtime modules are included.
+  obs::MetricsRegistry& metrics();
 
   // --- runtime selection (exactly one per Cluster instance) ---
 
@@ -65,6 +86,9 @@ class Cluster {
   sim::Engine engine_;
   sim::Timeline timeline_;
   bool timeline_enabled_ = false;
+  obs::TraceLog trace_;
+  bool trace_enabled_ = false;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
 
   std::vector<std::unique_ptr<mts::Scheduler>> hosts_;
   std::unique_ptr<ether::Bus> bus_;

@@ -3,6 +3,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "obs/json.hpp"
+
 namespace ncs::cluster {
 
 namespace {
@@ -96,6 +98,30 @@ std::string report(Cluster& cluster) {
   }
 
   return out;
+}
+
+namespace {
+
+std::string report_json_impl(Cluster& cluster, const Duration* makespan) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "ncs-run-report-v1");
+  w.field("config", std::string_view(cluster.config().name));
+  w.field("n_procs", cluster.n_procs());
+  w.field("clock_sec", cluster.engine().now().sec());
+  w.field("engine_events", cluster.engine().processed());
+  if (makespan != nullptr) w.field("makespan_sec", makespan->sec());
+  cluster.metrics().write_json(w);
+  w.end_object();
+  return std::move(w).str();
+}
+
+}  // namespace
+
+std::string report_json(Cluster& cluster) { return report_json_impl(cluster, nullptr); }
+
+std::string report_json(Cluster& cluster, Duration makespan) {
+  return report_json_impl(cluster, &makespan);
 }
 
 }  // namespace ncs::cluster

@@ -15,4 +15,11 @@ namespace ncs::cluster {
 /// counters for whatever runtime(s) and substrate the cluster used.
 std::string report(Cluster& cluster);
 
+/// Machine-readable run report (schema "ncs-run-report-v1"): run metadata
+/// (config name, processes, final clock, engine event count) plus the full
+/// metrics registry keyed "host/module/name". Pass the Duration returned
+/// by run() as `makespan`; omit it for runs that never complete a phase.
+std::string report_json(Cluster& cluster);
+std::string report_json(Cluster& cluster, Duration makespan);
+
 }  // namespace ncs::cluster

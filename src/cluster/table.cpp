@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "cluster/bench_json.hpp"
+
 namespace ncs::cluster {
 
 double improvement_pct(Duration p4_time, Duration ncs_time) {
@@ -42,6 +44,27 @@ std::string format_table(const std::string& title, const std::string& left_testb
     out += line;
   }
   return out;
+}
+
+std::string table_json(const std::string& bench, const std::vector<TableRow>& rows,
+                       bool all_correct) {
+  BenchReport report(bench);
+  for (const TableRow& r : rows) {
+    report.row();
+    report.set("nodes", r.nodes);
+    if (r.has_ethernet) {
+      report.set("p4_ethernet_sec", r.p4_ethernet.sec());
+      report.set("ncs_ethernet_sec", r.ncs_ethernet.sec());
+      report.set("ethernet_improvement_pct", improvement_pct(r.p4_ethernet, r.ncs_ethernet));
+    }
+    if (r.has_atm) {
+      report.set("p4_atm_sec", r.p4_atm.sec());
+      report.set("ncs_atm_sec", r.ncs_atm.sec());
+      report.set("atm_improvement_pct", improvement_pct(r.p4_atm, r.ncs_atm));
+    }
+  }
+  report.summary("all_correct", all_correct);
+  return report.to_json();
 }
 
 }  // namespace ncs::cluster

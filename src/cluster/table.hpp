@@ -29,4 +29,9 @@ std::string format_table(const std::string& title, const std::string& left_testb
                          const std::string& right_testbed,
                          const std::vector<TableRow>& rows);
 
+/// The same rows as schema "ncs-bench-v1" JSON (see bench_json.hpp): one
+/// row object per node count with *_sec fields, "all_correct" in summary.
+std::string table_json(const std::string& bench, const std::vector<TableRow>& rows,
+                       bool all_correct);
+
 }  // namespace ncs::cluster

@@ -66,7 +66,9 @@ class ByteWriter {
  private:
   void raw(const void* p, std::size_t n) {
     NCS_ASSERT_MSG(n <= remaining(), "ByteWriter overflow");
-    std::memcpy(buf_.data() + pos_, p, n);
+    // An empty BytesView has a null data(); memcpy's pointers are declared
+    // nonnull even for n == 0.
+    if (n != 0) std::memcpy(buf_.data() + pos_, p, n);
     pos_ += n;
   }
 
@@ -116,7 +118,7 @@ class ByteReader {
  private:
   void raw(void* p, std::size_t n) {
     NCS_ASSERT_MSG(n <= remaining(), "ByteReader underflow");
-    std::memcpy(p, buf_.data() + pos_, n);
+    if (n != 0) std::memcpy(p, buf_.data() + pos_, n);
     pos_ += n;
   }
 

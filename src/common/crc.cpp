@@ -19,9 +19,8 @@ constexpr std::array<std::uint16_t, 256> make_crc10_table() {
   // Polynomial x^10 + x^9 + x^5 + x^4 + x + 1 -> 0x633 (non-reflected).
   std::array<std::uint16_t, 256> table{};
   for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint16_t c = static_cast<std::uint16_t>(i << 2);
-    for (int k = 0; k < 8; ++k)
-      c = static_cast<std::uint16_t>((c & 0x200u) ? ((c << 1) ^ 0x633u) : (c << 1));
+    std::uint32_t c = i << 2;
+    for (int k = 0; k < 8; ++k) c = (c & 0x200u) ? ((c << 1) ^ 0x633u) : (c << 1);
     table[i] = static_cast<std::uint16_t>(c & 0x3FFu);
   }
   return table;
@@ -31,10 +30,9 @@ constexpr std::array<std::uint8_t, 256> make_crc8_table() {
   // HEC polynomial x^8 + x^2 + x + 1 -> 0x07.
   std::array<std::uint8_t, 256> table{};
   for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint8_t c = static_cast<std::uint8_t>(i);
-    for (int k = 0; k < 8; ++k)
-      c = static_cast<std::uint8_t>((c & 0x80u) ? ((c << 1) ^ 0x07u) : (c << 1));
-    table[i] = c;
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 0x80u) ? ((c << 1) ^ 0x07u) : (c << 1);
+    table[i] = static_cast<std::uint8_t>(c & 0xFFu);
   }
   return table;
 }
@@ -61,8 +59,8 @@ std::uint32_t crc32_ieee(std::span<const std::byte> data) {
 std::uint16_t crc10_aal34(std::span<const std::byte> data) {
   std::uint16_t c = 0;
   for (std::byte b : data) {
-    const auto idx = static_cast<std::uint8_t>(((c >> 2) ^ static_cast<std::uint16_t>(b)) & 0xFFu);
-    c = static_cast<std::uint16_t>(((c << 8) ^ kCrc10Table[idx]) & 0x3FFu);
+    const std::uint32_t idx = ((static_cast<std::uint32_t>(c) >> 2) ^ std::to_integer<std::uint32_t>(b)) & 0xFFu;
+    c = static_cast<std::uint16_t>((static_cast<std::uint32_t>(c) << 8 ^ kCrc10Table[idx]) & 0x3FFu);
   }
   return c;
 }

@@ -44,11 +44,20 @@ void ErrorControl::arm_timer(const Key& key) {
       ++stats_.give_ups;
       NCS_WARN("ncs.ec", "giving up on msg seq %u to %d after %d attempts", key.seq, key.peer,
                it->second.attempts);
+      if (trace_ != nullptr)
+        trace_->instant(trace_track_,
+                        "give-up seq" + std::to_string(key.seq) + "->p" +
+                            std::to_string(key.peer),
+                        "mps", engine_.now());
       in_flight_.erase(it);
       if (give_up_handler_) give_up_handler_(key.peer, key.seq);
       return;
     }
     ++stats_.retransmits;
+    if (trace_ != nullptr)
+      trace_->instant(trace_track_,
+                      "retx seq" + std::to_string(key.seq) + "->p" + std::to_string(key.peer),
+                      "mps", engine_.now());
     retransmit_fn_(it->second.msg);
   });
 }
@@ -59,6 +68,12 @@ void ErrorControl::on_ack(int from_process, std::uint32_t seq) {
   if (it == in_flight_.end()) return;  // late ack for a retired message
   if (it->second.timer != 0) engine_.cancel(it->second.timer);
   in_flight_.erase(it);
+}
+
+void ErrorControl::register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const {
+  reg.counter(prefix + "/retransmits", &stats_.retransmits);
+  reg.counter(prefix + "/duplicates_dropped", &stats_.duplicates_dropped);
+  reg.counter(prefix + "/give_ups", &stats_.give_ups);
 }
 
 bool ErrorControl::accept(const Message& msg) {

@@ -20,6 +20,8 @@
 
 #include "core/mps/message.hpp"
 #include "core/mts/scheduler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
 namespace ncs::mps {
@@ -70,6 +72,15 @@ class ErrorControl {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Registers the policy's counters under `prefix` (e.g. "p0/mps/ec").
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
+
+  /// Retransmit / give-up instants are emitted onto `track`.
+  void set_trace(obs::TraceLog* trace, int track) {
+    trace_ = trace;
+    trace_track_ = track;
+  }
+
  private:
   struct Key {
     int peer;
@@ -86,6 +97,8 @@ class ErrorControl {
 
   sim::Engine& engine_;
   ErrorControlParams params_;
+  obs::TraceLog* trace_ = nullptr;
+  int trace_track_ = -1;
   std::function<void(Message)> retransmit_fn_;
   std::function<void(int, std::uint32_t)> give_up_handler_;
 

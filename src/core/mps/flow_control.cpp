@@ -14,7 +14,10 @@ const char* to_string(FlowControlKind k) {
 }
 
 FlowControl::FlowControl(mts::Scheduler& sched, FlowControlParams params, int n_procs)
-    : sched_(sched), params_(params), outstanding_(static_cast<std::size_t>(n_procs), 0) {
+    : sched_(sched),
+      params_(params),
+      outstanding_(static_cast<std::size_t>(n_procs), 0),
+      window_waiters_(static_cast<std::size_t>(n_procs)) {
   NCS_ASSERT(params_.window >= 1);
   NCS_ASSERT(params_.rate_bytes_per_sec > 0);
 }
@@ -25,14 +28,19 @@ void FlowControl::before_send(const Message& msg) {
       return;
 
     case FlowControlKind::window: {
-      auto& out = outstanding_[static_cast<std::size_t>(msg.to_process)];
+      const auto dst = static_cast<std::size_t>(msg.to_process);
+      auto& out = outstanding_[dst];
       const TimePoint started = sched_.engine().now();
       while (out >= params_.window) {
         ++stats_.window_stalls;
-        window_waiters_.push_back(sched_.current());
+        window_waiters_[dst].push_back(sched_.current());
         sched_.block(sim::Activity::communicate);
       }
-      stats_.time_blocked += sched_.engine().now() - started;
+      const Duration stalled = sched_.engine().now() - started;
+      stats_.time_blocked += stalled;
+      if (trace_ != nullptr && stalled > Duration::zero())
+        trace_->complete(trace_track_, "fc-stall->p" + std::to_string(msg.to_process), "mps",
+                         started, stalled);
       ++out;
       return;
     }
@@ -44,6 +52,9 @@ void FlowControl::before_send(const Message& msg) {
         const TimePoint started = now;
         sched_.sleep_until(next_free_);
         stats_.time_blocked += sched_.engine().now() - started;
+        if (trace_ != nullptr)
+          trace_->complete(trace_track_, "rate-pace", "mps", started,
+                           sched_.engine().now() - started);
       }
       const Duration occupancy =
           Duration::seconds(static_cast<double>(msg.data.size()) / params_.rate_bytes_per_sec);
@@ -55,15 +66,26 @@ void FlowControl::before_send(const Message& msg) {
 
 void FlowControl::on_ack(int from_process) {
   if (params_.kind != FlowControlKind::window) return;
-  auto& out = outstanding_[static_cast<std::size_t>(from_process)];
+  const auto src = static_cast<std::size_t>(from_process);
+  auto& out = outstanding_[src];
   // Clamp instead of asserting: with retransmitting error control over a
   // lossy link, duplicate deliveries produce duplicate acks.
   if (out > 0) --out;
-  if (!window_waiters_.empty()) {
-    mts::Thread* t = window_waiters_.front();
-    window_waiters_.pop_front();
+  // Wake only a thread stalled on *this* destination's window — credit for
+  // process B is useless to a thread waiting on process A (it would
+  // re-block, and B's waiter would sleep forever).
+  auto& waiters = window_waiters_[src];
+  if (!waiters.empty()) {
+    mts::Thread* t = waiters.front();
+    waiters.pop_front();
     sched_.unblock(t);
   }
+}
+
+void FlowControl::register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const {
+  reg.counter(prefix + "/window_stalls", &stats_.window_stalls);
+  reg.counter(prefix + "/rate_delays", &stats_.rate_delays);
+  reg.duration(prefix + "/time_blocked", &stats_.time_blocked);
 }
 
 }  // namespace ncs::mps

@@ -16,6 +16,8 @@
 
 #include "core/mps/message.hpp"
 #include "core/mts/sync.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ncs::mps {
 
@@ -51,13 +53,26 @@ class FlowControl {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Registers the policy's counters under `prefix` (e.g. "p0/mps/flow").
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
+
+  /// Stall spans are emitted onto `track` of `trace` (nullptr disables).
+  void set_trace(obs::TraceLog* trace, int track) {
+    trace_ = trace;
+    trace_track_ = track;
+  }
+
  private:
   mts::Scheduler& sched_;
   FlowControlParams params_;
+  obs::TraceLog* trace_ = nullptr;
+  int trace_track_ = -1;
 
-  // window state
+  // window state. Waiters are kept per destination: windows are
+  // per-destination, so an ack from B must never wake (only) a thread
+  // stalled on A while B's waiter sleeps on.
   std::vector<int> outstanding_;
-  std::deque<mts::Thread*> window_waiters_;
+  std::vector<std::deque<mts::Thread*>> window_waiters_;
 
   // rate state (token-bucket horizon)
   TimePoint next_free_;

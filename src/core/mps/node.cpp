@@ -213,6 +213,27 @@ std::vector<double> Node::reduce_sum(int root, std::span<const double> values) {
   return acc;
 }
 
+void Node::register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const {
+  reg.counter(prefix + "/sends", &stats_.sends);
+  reg.counter(prefix + "/recvs", &stats_.recvs);
+  reg.counter(prefix + "/bcasts", &stats_.bcasts);
+  reg.counter(prefix + "/bytes_sent", &stats_.bytes_sent);
+  reg.counter(prefix + "/bytes_received", &stats_.bytes_received);
+  reg.counter(prefix + "/acks_sent", &stats_.acks_sent);
+  reg.counter(prefix + "/local_deliveries", &stats_.local_deliveries);
+  fc_.register_metrics(reg, prefix + "/flow");
+  ec_.register_metrics(reg, prefix + "/ec");
+}
+
+void Node::set_trace(obs::TraceLog* trace, const std::string& prefix) {
+  trace_ = trace;
+  if (trace_ == nullptr) return;
+  send_track_ = trace_->track(prefix + "/send");
+  recv_track_ = trace_->track(prefix + "/recv");
+  fc_.set_trace(trace_, send_track_);
+  ec_.set_trace(trace_, send_track_);
+}
+
 void Node::submit_locked(const Message& msg) {
   mts::LockGuard guard(submit_mutex_);
   transport_->submit(msg);
@@ -221,6 +242,7 @@ void Node::submit_locked(const Message& msg) {
 void Node::send_thread_main() {
   for (;;) {
     SendRequest req = send_queue_.pop(sim::Activity::communicate);
+    const TimePoint began = host_.engine().now();
     if (req.msg.to_process == rank_) {
       // Intra-process delivery: shared address space, one memory copy.
       host_.charge_cycles(options_.local_send_fixed_cycles +
@@ -228,6 +250,9 @@ void Node::send_thread_main() {
                                   static_cast<double>(req.msg.data.size()),
                           sim::Activity::communicate);
       ++stats_.local_deliveries;
+      if (trace_ != nullptr)
+        trace_->complete(send_track_, "local " + std::to_string(req.msg.data.size()) + "B",
+                         "mps", began, host_.engine().now() - began);
       mailbox_.deliver(std::move(req.msg));
       if (req.done != nullptr) req.done->set();
       continue;
@@ -236,6 +261,11 @@ void Node::send_thread_main() {
     if (!is_control) fc_.before_send(req.msg);
     submit_locked(req.msg);
     if (!is_control) ec_.on_sent(req.msg);
+    if (trace_ != nullptr && !is_control)
+      trace_->complete(send_track_,
+                       "send->p" + std::to_string(req.msg.to_process) + " " +
+                           std::to_string(req.msg.data.size()) + "B",
+                       "mps", began, host_.engine().now() - began);
     if (req.done != nullptr) req.done->set();
   }
 }
@@ -255,6 +285,11 @@ void Node::recv_thread_main() {
       continue;
     }
     if (need_ack) send_ack_for(msg);
+    if (trace_ != nullptr)
+      trace_->instant(recv_track_,
+                      "deliver p" + std::to_string(msg.from_process) + " " +
+                          std::to_string(msg.data.size()) + "B",
+                      "mps", host_.engine().now());
     mailbox_.deliver(std::move(msg));
   }
 }

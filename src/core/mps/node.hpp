@@ -137,6 +137,15 @@ class Node {
   const FlowControl& flow_control() const { return fc_; }
   const ErrorControl& error_control() const { return ec_; }
 
+  /// Registers node + flow/error-control counters under `prefix`
+  /// (e.g. "p0/mps" yields "p0/mps/sends", "p0/mps/flow/window_stalls", ...).
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
+
+  /// Creates "<prefix>/send" and "<prefix>/recv" trace tracks: per-transfer
+  /// spans on the send track (flow-control stalls included), delivery
+  /// instants on the recv track, retransmit instants from error control.
+  void set_trace(obs::TraceLog* trace, const std::string& prefix);
+
  private:
   struct SendRequest {
     Message msg;
@@ -173,6 +182,10 @@ class Node {
 
   std::vector<std::uint32_t> next_seq_;  // per destination process
   std::vector<mts::Thread*> user_threads_;
+
+  obs::TraceLog* trace_ = nullptr;
+  int send_track_ = -1;
+  int recv_track_ = -1;
 
   Stats stats_;
 };

@@ -37,6 +37,7 @@ Thread* Scheduler::spawn(std::function<void()> body, ThreadOptions opts) {
     t->timeline_track_ = timeline_->add_track(params_.name + "/" + t->name_);
     timeline_->transition(t->timeline_track_, engine_.now(), sim::Activity::idle);
   }
+  if (trace_ != nullptr) t->trace_track_ = trace_->track(params_.name + "/" + t->name_);
 
   // Creation cost: charged inline when a thread of this host spawns,
   // otherwise (setup from engine context) pushed onto the CPU horizon.
@@ -141,6 +142,8 @@ void Scheduler::run_thread(Thread* t) {
   t->state_ = ThreadState::running;
   current_ = t;
   ++stats_.dispatches;
+  if (trace_ != nullptr && t->trace_track_ >= 0)
+    trace_->instant(t->trace_track_, "dispatch", "mts", engine_.now());
 
   Scheduler* prev_active = g_active;
   g_active = this;
@@ -175,11 +178,16 @@ void Scheduler::block(sim::Activity blocked_as) {
   NCS_ASSERT_MSG(t != nullptr && g_active == this, "block() outside a thread");
   t->state_ = ThreadState::blocked;
   t->blocked_as_ = blocked_as;
+  t->block_began_ = engine_.now();
   blocked_.push_back(*t);
   t->queue_ = &blocked_;
   mark(t, blocked_as);
   switch_to_scheduler();
   mark(t, sim::Activity::idle);
+  if (trace_ != nullptr && t->trace_track_ >= 0)
+    trace_->complete(t->trace_track_,
+                     std::string("block:") + sim::activity_name(blocked_as), "mts",
+                     t->block_began_, engine_.now() - t->block_began_);
 }
 
 void Scheduler::unblock(Thread* t) {
@@ -199,6 +207,9 @@ void Scheduler::charge(Duration d, sim::Activity a) {
   NCS_ASSERT_MSG(t != nullptr && g_active == this, "charge() outside a thread");
   if (d <= Duration::zero()) return;
 
+  if (trace_ != nullptr && t->trace_track_ >= 0)
+    trace_->complete(t->trace_track_, std::string("charge:") + sim::activity_name(a), "mts",
+                     engine_.now(), d);
   mark(t, a);
   stats_.cpu_busy += d;
   NCS_ASSERT(cpu_owner_ == nullptr);
@@ -245,8 +256,23 @@ void Scheduler::sleep_until(TimePoint when) {
   Thread* t = current_;
   NCS_ASSERT_MSG(t != nullptr && g_active == this, "sleep_until() outside a thread");
   if (when <= engine_.now()) return;
-  engine_.schedule_at(when, [this, t] { unblock(t); });
+  // The thread may be woken before `when` by another path (unblock from a
+  // sibling, NCS_unblock, ...). The timer must then do nothing: by the time
+  // it fires the thread could be running, or blocked on something else
+  // entirely. The token pins the timer to *this* sleep — it is bumped once
+  // when the sleep starts and once when the block returns, so a stale
+  // timer always sees a mismatch.
+  const std::uint64_t token = ++t->sleep_token_;
+  engine_.schedule_at(when, [this, t, token] {
+    if (t->sleep_token_ != token) return;  // woken early and ran on; stale
+    // Woken early but not yet re-dispatched: the token is unchanged while
+    // the thread sits runnable. Unblocking now would trip the blocked-queue
+    // invariant — the sleep is over either way.
+    if (t->state_ != ThreadState::blocked || t->queue_ != &blocked_) return;
+    unblock(t);
+  });
   block(sim::Activity::idle);
+  ++t->sleep_token_;
 }
 
 void Scheduler::join(Thread* t) {
@@ -274,6 +300,13 @@ void Scheduler::set_priority(Thread* t, int priority) {
     make_runnable(t, /*front=*/false);
     kick();
   }
+}
+
+void Scheduler::register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const {
+  reg.counter(prefix + "/dispatches", &stats_.dispatches);
+  reg.counter(prefix + "/spawns", &stats_.spawns);
+  reg.duration(prefix + "/cpu_busy", &stats_.cpu_busy);
+  reg.duration(prefix + "/overhead", &stats_.overhead);
 }
 
 bool Scheduler::quiescent() const {

@@ -29,6 +29,8 @@
 
 #include "common/time.hpp"
 #include "core/mts/thread.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/timeline.hpp"
 
@@ -137,6 +139,13 @@ class Scheduler {
   /// named "<host>/<thread>".
   void set_timeline(sim::Timeline* timeline) { timeline_ = timeline; }
 
+  /// Attach a span log; threads spawned afterwards emit dispatch instants
+  /// plus charge and block spans on tracks named "<host>/<thread>".
+  void set_trace(obs::TraceLog* trace) { trace_ = trace; }
+
+  /// Registers this host's counters under `prefix` (e.g. "p0/mts").
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
+
  private:
   friend class Thread;
 
@@ -154,6 +163,7 @@ class Scheduler {
   sim::Engine& engine_;
   SchedulerParams params_;
   sim::Timeline* timeline_ = nullptr;
+  obs::TraceLog* trace_ = nullptr;
 
   std::vector<std::unique_ptr<Thread>> threads_;
   Queue runnable_[kPriorityLevels];

@@ -85,7 +85,13 @@ class Thread {
   std::vector<Thread*> joiners_;
 
   int timeline_track_ = -1;
+  int trace_track_ = -1;
   sim::Activity blocked_as_ = sim::Activity::idle;
+  TimePoint block_began_;
+  /// Sleep generation: bumped when a sleep starts and when its block
+  /// returns, so a sleep_until() timer can detect it has gone stale
+  /// (the thread was woken early by another path).
+  std::uint64_t sleep_token_ = 0;
 };
 
 }  // namespace ncs::mts

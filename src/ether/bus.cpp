@@ -74,4 +74,11 @@ void Bus::start_transmit(Pending&& frame) {
   });
 }
 
+void Bus::register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const {
+  reg.counter(prefix + "/frames", &stats_.frames);
+  reg.counter(prefix + "/payload_bytes", &stats_.payload_bytes);
+  reg.counter(prefix + "/contention_events", &stats_.contention_events);
+  reg.duration(prefix + "/contention_delay", &stats_.contention_delay);
+}
+
 }  // namespace ncs::ether

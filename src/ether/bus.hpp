@@ -23,6 +23,7 @@
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "ether/frame.hpp"
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
 namespace ncs::ether {
@@ -63,6 +64,9 @@ class Bus {
     Duration contention_delay;
   };
   const Stats& stats() const { return stats_; }
+
+  /// Registers the segment's counters under `prefix` (e.g. "ether").
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
 
  private:
   struct Pending {

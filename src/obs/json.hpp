@@ -1,0 +1,58 @@
+// Minimal streaming JSON writer.
+//
+// The observability layer emits three kinds of machine-readable output —
+// metric snapshots, Chrome-trace event streams, and per-run bench reports —
+// and all three need exactly this: correct string escaping, stable number
+// formatting (round-trippable doubles, exact integers) and automatic comma
+// placement. No parsing, no DOM; writers append to one growing string.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ncs::obs {
+
+/// Escapes `s` per RFC 8259 (quotes, backslashes, control characters).
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by a value or container open.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  /// The finished document. Asserts all containers were closed.
+  std::string str() &&;
+  const std::string& str() const& { return out_; }
+
+ private:
+  void comma();
+
+  std::string out_;
+  /// One entry per open container: true once the first element was written.
+  std::vector<bool> nonempty_;
+  bool after_key_ = false;
+};
+
+}  // namespace ncs::obs

@@ -1,0 +1,117 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+#include "obs/json.hpp"
+
+namespace ncs::obs {
+
+namespace {
+/// Picoseconds -> the trace format's microsecond unit, kept fractional so
+/// sub-microsecond events (cell times, DMA setup) stay distinguishable.
+double to_us(std::int64_t ps) { return static_cast<double>(ps) * 1e-6; }
+}  // namespace
+
+int TraceLog::track(const std::string& name) {
+  for (int i = 0; i < track_count(); ++i)
+    if (tracks_[static_cast<std::size_t>(i)] == name) return i;
+  tracks_.push_back(name);
+  return track_count() - 1;
+}
+
+void TraceLog::complete(int track, std::string name, const char* category, TimePoint begin,
+                        Duration dur) {
+  NCS_ASSERT(track >= 0 && track < track_count());
+  events_.push_back(
+      {'X', track, std::move(name), category, begin.ps(), ncs::max(dur, Duration::zero()).ps(), 0.0});
+}
+
+void TraceLog::instant(int track, std::string name, const char* category, TimePoint t) {
+  NCS_ASSERT(track >= 0 && track < track_count());
+  events_.push_back({'i', track, std::move(name), category, t.ps(), 0, 0.0});
+}
+
+void TraceLog::counter(std::string name, TimePoint t, double value) {
+  events_.push_back({'C', -1, std::move(name), "counter", t.ps(), 0, value});
+}
+
+void TraceLog::import_timeline(const sim::Timeline& tl) {
+  for (int k = 0; k < tl.track_count(); ++k) {
+    const int tr = track(tl.track_name(k));
+    for (const auto& iv : tl.intervals(k))
+      complete(tr, sim::activity_name(iv.activity), "activity", iv.begin, iv.end - iv.begin);
+  }
+}
+
+std::string TraceLog::chrome_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+
+  // Process/thread naming metadata so Perfetto labels the tracks.
+  w.begin_object()
+      .field("ph", "M")
+      .field("pid", 1)
+      .field("tid", 0)
+      .field("name", "process_name")
+      .key("args")
+      .begin_object()
+      .field("name", "ncs simulation")
+      .end_object()
+      .end_object();
+  for (int t = 0; t < track_count(); ++t) {
+    w.begin_object()
+        .field("ph", "M")
+        .field("pid", 1)
+        .field("tid", t + 1)
+        .field("name", "thread_name")
+        .key("args")
+        .begin_object()
+        .field("name", track_name(t))
+        .end_object()
+        .end_object();
+    // sort_index keeps tracks in registration order (hosts, then modules).
+    w.begin_object()
+        .field("ph", "M")
+        .field("pid", 1)
+        .field("tid", t + 1)
+        .field("name", "thread_sort_index")
+        .key("args")
+        .begin_object()
+        .field("sort_index", t)
+        .end_object()
+        .end_object();
+  }
+
+  for (const Event& e : events_) {
+    w.begin_object();
+    w.field("ph", std::string_view(&e.phase, 1));
+    w.field("pid", 1);
+    w.field("tid", e.track + 1);
+    w.field("name", e.name);
+    w.field("cat", e.category);
+    w.field("ts", to_us(e.ts_ps));
+    if (e.phase == 'X') w.field("dur", to_us(e.dur_ps));
+    if (e.phase == 'i') w.field("s", "t");
+    if (e.phase == 'C') {
+      w.key("args").begin_object().field("value", e.value).end_object();
+    }
+    w.end_object();
+  }
+
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.end_object();
+  return std::move(w).str();
+}
+
+bool TraceLog::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = chrome_json();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace ncs::obs

@@ -67,6 +67,9 @@ void TcpConnection::pump() {
     // tail by up to the delayed-ack timer — deliberately modeled.
     if (params_.nagle && len < mss_ && snd_nxt_ > snd_una_) {
       ++stats_.nagle_holds;
+      if (trace_ != nullptr)
+        trace_->instant(trace_track_, "nagle-hold c" + std::to_string(conn_id_), "tcp",
+                        engine_.now());
       break;
     }
     transmit_range(snd_nxt_, snd_nxt_ + len);
@@ -106,6 +109,8 @@ void TcpConnection::on_rto() {
   if (snd_una_ == snd_nxt_) return;  // everything acked meanwhile
   NCS_DEBUG("tcp", "conn %u rto: go-back-n to %llu", conn_id_,
             static_cast<unsigned long long>(snd_una_));
+  if (trace_ != nullptr)
+    trace_->instant(trace_track_, "rto c" + std::to_string(conn_id_), "tcp", engine_.now());
   ++backoff_;
   snd_nxt_ = snd_una_;  // go-back-N
   pump();
@@ -150,6 +155,9 @@ void TcpConnection::on_data_segment(std::uint64_t seq, BytesView payload) {
     send_ack();
   } else {
     ++stats_.acks_delayed;
+    if (trace_ != nullptr)
+      trace_->instant(trace_track_, "delay-ack c" + std::to_string(conn_id_), "tcp",
+                      engine_.now());
     delayed_ack_event_ = engine_.schedule_after(params_.delayed_ack, [this] {
       delayed_ack_event_ = 0;
       send_ack();
@@ -197,6 +205,7 @@ TcpConnection& TcpMesh::connection(int src, int dst) {
       auto& fn = deliver_[static_cast<std::size_t>(dst)];
       if (fn) fn(src, data);
     });
+    conn->set_trace(trace_, trace_track_);
     it = connections_.emplace(key, std::move(conn)).first;
   }
   return *it->second;
@@ -233,6 +242,23 @@ TcpConnection::Stats TcpMesh::total_stats() const {
     total.out_of_order_drops += s.out_of_order_drops;
   }
   return total;
+}
+
+void TcpMesh::register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const {
+  reg.counter(prefix + "/data_segments", [this] { return total_stats().data_segments; });
+  reg.counter(prefix + "/acks_sent", [this] { return total_stats().acks_sent; });
+  reg.counter(prefix + "/acks_delayed", [this] { return total_stats().acks_delayed; });
+  reg.counter(prefix + "/retransmits", [this] { return total_stats().retransmits; });
+  reg.counter(prefix + "/nagle_holds", [this] { return total_stats().nagle_holds; });
+  reg.counter(prefix + "/bytes_delivered", [this] { return total_stats().bytes_delivered; });
+  reg.counter(prefix + "/out_of_order_drops",
+              [this] { return total_stats().out_of_order_drops; });
+}
+
+void TcpMesh::set_trace(obs::TraceLog* trace, const std::string& prefix) {
+  trace_ = trace;
+  trace_track_ = trace_ != nullptr ? trace_->track(prefix) : -1;
+  for (auto& [key, conn] : connections_) conn->set_trace(trace_, trace_track_);
 }
 
 }  // namespace ncs::proto

@@ -20,6 +20,8 @@
 
 #include "common/bytes.hpp"
 #include "common/time.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "proto/costs.hpp"
 #include "proto/segment_network.hpp"
 #include "sim/engine.hpp"
@@ -77,6 +79,13 @@ class TcpConnection {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Retransmit / nagle-hold / delayed-ack instants are emitted onto
+  /// `track` of `trace` (nullptr disables).
+  void set_trace(obs::TraceLog* trace, int track) {
+    trace_ = trace;
+    trace_track_ = track;
+  }
+
   // --- internal entry points used by TcpMesh demux ---
   void on_data_segment(std::uint64_t seq, BytesView payload);
   void on_ack(std::uint64_t ack);
@@ -112,6 +121,8 @@ class TcpConnection {
   sim::EventId delayed_ack_event_ = 0;
   DeliverFn on_deliver_;
 
+  obs::TraceLog* trace_ = nullptr;
+  int trace_track_ = -1;
   Stats stats_;
 };
 
@@ -133,6 +144,15 @@ class TcpMesh {
 
   TcpConnection::Stats total_stats() const;
 
+  /// Registers mesh-aggregate counters under `prefix` (e.g. "tcp"): sums
+  /// over every connection, sampled at snapshot time.
+  void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
+
+  /// One shared "<prefix>" track carries per-connection protocol instants
+  /// (retransmits, nagle holds, delayed acks). Applies to existing and
+  /// lazily created connections alike.
+  void set_trace(obs::TraceLog* trace, const std::string& prefix);
+
  private:
   TcpConnection& connection(int src, int dst);
 
@@ -141,6 +161,8 @@ class TcpMesh {
   TcpParams params_;
   std::map<std::pair<int, int>, std::unique_ptr<TcpConnection>> connections_;
   std::vector<std::function<void(int, BytesView)>> deliver_;
+  obs::TraceLog* trace_ = nullptr;
+  int trace_track_ = -1;
 };
 
 }  // namespace ncs::proto

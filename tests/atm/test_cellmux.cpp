@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "common/units.hpp"
@@ -118,6 +119,36 @@ TEST_F(MuxFixture, PerVcOrderPreservedAcrossBursts) {
   EXPECT_EQ(sink.arrivals[0].bytes, 1000u);
   EXPECT_EQ(sink.arrivals[1].bytes, 2000u);
   EXPECT_EQ(sink.arrivals[2].bytes, 3000u);
+}
+
+TEST_F(MuxFixture, DrainedFlowsLeaveTheRoundRobinRing) {
+  // Regression: flows used to stay in rr_order_ forever once seen, so an
+  // SVC-churn workload (every transfer on a fresh VC) grew the ring — and
+  // the O(n) membership scan on submit — without bound.
+  for (std::uint16_t vci = 100; vci < 200; ++vci) {
+    mux.submit(burst_of(vci, 2048));
+    engine.run();  // drain completely before the next "connection"
+  }
+  ASSERT_EQ(sink.arrivals.size(), 100u);
+  EXPECT_EQ(mux.flow_count(), 0u);
+  EXPECT_LE(mux.rr_ring_size(), 1u);  // at most the slot being swept
+}
+
+TEST_F(MuxFixture, ReusedVcAfterDrainStillRoundRobins) {
+  // A VC that drained out of the ring must re-enter it cleanly and still
+  // share the wire fairly with a concurrent flow.
+  mux.submit(burst_of(5, 4096));
+  engine.run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+
+  mux.submit(burst_of(5, 48 * 200));
+  mux.submit(burst_of(6, 48 * 200));
+  engine.run();
+  ASSERT_EQ(sink.arrivals.size(), 3u);
+  const double t1 = sink.arrivals[1].at.sec();
+  const double t2 = sink.arrivals[2].at.sec();
+  EXPECT_LT(std::abs(t2 - t1) / std::max(t1, t2), 0.02);
+  EXPECT_EQ(mux.flow_count(), 0u);
 }
 
 TEST_F(MuxFixture, ThreeWayFairness) {

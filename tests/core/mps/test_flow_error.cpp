@@ -91,6 +91,38 @@ TEST_F(FcFixture, WindowIsPerDestination) {
   EXPECT_EQ(log.back(), "to1-again");
 }
 
+TEST_F(FcFixture, AckWakesTheWaiterForItsOwnDestination) {
+  // Regression: window waiters used to sit in one global FIFO, so an ack
+  // from destination 2 woke whichever sender blocked first — here the one
+  // stuck on destination 1, which just re-blocked while destination 2's
+  // sender slept forever.
+  FlowControl fc(sched, {.kind = FlowControlKind::window, .window = 1}, 4);
+  std::vector<std::string> log;
+  sched.spawn([&] {
+    fc.before_send(to(1));
+    log.push_back("to1-first");
+    fc.before_send(to(1));  // blocks: window for 1 is full
+    log.push_back("to1-second");
+  });
+  sched.spawn([&] {
+    fc.before_send(to(2));
+    log.push_back("to2-first");
+    fc.before_send(to(2));  // blocks: window for 2 is full
+    log.push_back("to2-second");
+  });
+  engine.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"to1-first", "to2-first"}));
+
+  fc.on_ack(2);  // must wake the destination-2 waiter, not the first blocker
+  engine.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"to1-first", "to2-first", "to2-second"}));
+
+  fc.on_ack(1);
+  engine.run();
+  EXPECT_EQ(log.back(), "to1-second");
+  EXPECT_EQ(log.size(), 4u);
+}
+
 TEST_F(FcFixture, RatePolicyPacesInjection) {
   // 1 MB/s: three 100 KB messages must take ~0.2s of pacing after the first.
   FlowControl fc(sched, {.kind = FlowControlKind::rate, .rate_bytes_per_sec = 1e6}, 4);

@@ -127,6 +127,55 @@ TEST(Scheduler, SleepReleasesCpuToSiblings) {
   EXPECT_EQ(log[0].substr(0, 6), "worker");  // runs during the sleep
 }
 
+TEST(Scheduler, UnblockCutsASleepShort) {
+  // A sleeping thread is just a blocked thread; an explicit unblock must
+  // wake it before its deadline, not crash or double-wake it.
+  sim::Engine engine;
+  Scheduler sched(engine, zero_cost());
+  TimePoint woke;
+  Thread* sleeper = sched.spawn([&] {
+    sched.sleep_until(TimePoint::origin() + 1_ms);
+    woke = engine.now();
+  });
+  sched.spawn([&] {
+    sched.sleep_for(10_us);
+    sched.unblock(sleeper);
+  });
+  engine.run();
+  EXPECT_NEAR((woke - TimePoint::origin()).sec(), 10e-6, 1e-9);
+  EXPECT_TRUE(sched.quiescent());
+}
+
+TEST(Scheduler, StaleSleepTimerDoesNotWakeALaterBlock) {
+  // Regression: the sleep timer used to unblock its thread unconditionally.
+  // If the thread was woken early and had moved on to block on something
+  // else, the stale timer fired into that *new* wait and woke it spuriously.
+  sim::Engine engine;
+  Scheduler sched(engine, zero_cost());
+  std::vector<std::string> log;
+  Thread* sleeper = nullptr;
+  sleeper = sched.spawn([&] {
+    sched.sleep_until(TimePoint::origin() + 1_ms);
+    log.push_back("woke-early");
+    sched.block();  // a different wait; the 1 ms timer is now stale
+    log.push_back("woke-again");
+  });
+  sched.spawn([&] {
+    sched.sleep_for(10_us);
+    sched.unblock(sleeper);
+  });
+  engine.run();
+  // The stale timer fired at 1 ms and must have been a no-op: the sleeper
+  // is still sitting in its second block.
+  EXPECT_EQ(log, (std::vector<std::string>{"woke-early"}));
+  EXPECT_GE((engine.now() - TimePoint::origin()).sec(), 1e-3);
+
+  sched.unblock(sleeper);
+  engine.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"woke-early", "woke-again"}));
+  EXPECT_TRUE(sched.quiescent());
+}
+
 TEST(Scheduler, PriorityOrdering) {
   sim::Engine engine;
   Scheduler sched(engine, zero_cost());

@@ -1,0 +1,198 @@
+// Observability layer: the JSON writer, the metrics registry, the trace
+// log — and the invariant the registry design rests on: registry totals
+// equal the legacy per-module stats structs, because the registry *reads*
+// those structs rather than counting separately.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "atm/network.hpp"
+#include "cluster/cluster.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ncs::obs {
+namespace {
+
+using namespace ncs::literals;
+
+// --- JsonWriter -------------------------------------------------------------
+
+TEST(JsonWriter, NestedContainersAndCommas) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("a", 1);
+  w.key("b").begin_array().value(1).value(2).end_array();
+  w.key("c").begin_object().field("d", true).end_object();
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(), R"({"a":1,"b":[1,2],"c":{"d":true}})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape(std::string("nul\0byte", 8)), "nul\\u0000byte");
+
+  JsonWriter w;
+  w.begin_object().field("k\n", "v\"").end_object();
+  EXPECT_EQ(std::move(w).str(), "{\"k\\n\":\"v\\\"\"}");
+}
+
+TEST(JsonWriter, NumberFormats) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::int64_t{-7});
+  w.value(std::uint64_t{18446744073709551615ull});
+  w.value(0.5);
+  w.value(false);
+  w.end_array();
+  EXPECT_EQ(std::move(w).str(), "[-7,18446744073709551615,0.5,false]");
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+TEST(MetricsRegistry, ReadsLiveFieldsAtSnapshotTime) {
+  std::uint64_t count = 3;
+  Duration busy = 250_ms;
+  MetricsRegistry reg;
+  reg.counter("p0/x/count", &count);
+  reg.duration("p0/x/busy", &busy);
+  reg.gauge("p0/x/depth", [] { return 1.5; });
+
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_TRUE(reg.contains("p0/x/count"));
+  EXPECT_FALSE(reg.contains("p0/x/missing"));
+  EXPECT_EQ(reg.counter_value("p0/x/count"), 3u);
+  EXPECT_DOUBLE_EQ(reg.value("p0/x/busy"), 0.25);
+  EXPECT_DOUBLE_EQ(reg.value("p0/x/depth"), 1.5);
+
+  count = 10;  // pull model: the registry sees the module's later updates
+  busy = busy + 750_ms;
+  EXPECT_EQ(reg.counter_value("p0/x/count"), 10u);
+  EXPECT_DOUBLE_EQ(reg.value("p0/x/busy"), 1.0);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedByKey) {
+  MetricsRegistry reg;
+  reg.counter("b", [] { return std::uint64_t{2}; });
+  reg.counter("a", [] { return std::uint64_t{1}; });
+  reg.counter("c", [] { return std::uint64_t{3}; });
+  const auto samples = reg.snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].key, "a");
+  EXPECT_EQ(samples[1].key, "b");
+  EXPECT_EQ(samples[2].key, "c");
+  EXPECT_EQ(samples[1].kind, MetricKind::counter);
+  EXPECT_DOUBLE_EQ(samples[2].value, 3.0);
+}
+
+TEST(MetricsRegistry, JsonEmbedsUnderMetricsKey) {
+  MetricsRegistry reg;
+  std::uint64_t n = 42;
+  reg.counter("p0/mod/n", &n);
+  const std::string doc = reg.to_json();
+  EXPECT_NE(doc.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(doc.find("\"p0/mod/n\":42"), std::string::npos);
+}
+
+// --- TraceLog ---------------------------------------------------------------
+
+TEST(TraceLog, TracksDedupeByName) {
+  TraceLog log;
+  const int a = log.track("p0/send");
+  const int b = log.track("p0/recv");
+  const int a2 = log.track("p0/send");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(log.track_count(), 2);
+  EXPECT_EQ(log.track_name(a), "p0/send");
+}
+
+TEST(TraceLog, ChromeJsonCarriesEventsAndTrackNames) {
+  TraceLog log;
+  const int t = log.track("p0/nic");
+  log.complete(t, "tx 4000B", "nic", TimePoint::origin() + 1_us, 3_us);
+  log.instant(t, "rx-error", "nic", TimePoint::origin() + 5_us);
+  log.counter("backlog", TimePoint::origin() + 6_us, 2.0);
+  EXPECT_EQ(log.event_count(), 3u);
+
+  const std::string doc = log.chrome_json();
+  EXPECT_EQ(doc.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(doc.find("\"thread_name\""), std::string::npos);  // track metadata
+  EXPECT_NE(doc.find("\"p0/nic\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(doc.find("\"tx 4000B\""), std::string::npos);
+  // Timestamps are microseconds: the span starts at 1us and lasts 3us.
+  EXPECT_NE(doc.find("\"ts\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"dur\":3"), std::string::npos);
+}
+
+TEST(TraceLog, ImportsTimelineIntervalsAsSpans) {
+  sim::Timeline tl;
+  const int track = tl.add_track("h0/t0");
+  tl.transition(track, TimePoint::origin(), sim::Activity::compute);
+  tl.transition(track, TimePoint::origin() + 10_us, sim::Activity::idle);
+  tl.finish(TimePoint::origin() + 15_us);
+
+  TraceLog log;
+  log.import_timeline(tl);
+  EXPECT_GE(log.event_count(), 2u);
+  const std::string doc = log.chrome_json();
+  EXPECT_NE(doc.find("\"compute\""), std::string::npos);
+  EXPECT_NE(doc.find("\"h0/t0\""), std::string::npos);
+}
+
+// --- Registry vs legacy stats on a real run ---------------------------------
+
+TEST(ClusterMetrics, RegistryTotalsEqualLegacyStats) {
+  using cluster::Cluster;
+  cluster::ClusterConfig cfg = cluster::sun_atm_lan(2);
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+
+  constexpr int kMessages = 8;
+  c.run([&](int rank) {
+    mps::Node& node = c.node(rank);
+    const int t = node.t_create([&, rank] {
+      if (rank == 0) {
+        for (int i = 0; i < kMessages; ++i)
+          node.send(0, 0, 1, Bytes(4000, std::byte{1}));
+      } else {
+        for (int i = 0; i < kMessages; ++i) (void)node.recv(mps::kAnyThread, mps::kAnyProcess, 0);
+      }
+    });
+    node.host().join(node.user_thread(t));
+  });
+
+  MetricsRegistry& reg = c.metrics();
+  for (int r = 0; r < 2; ++r) {
+    const std::string p = "p" + std::to_string(r);
+    const mps::Node::Stats& ns = c.node(r).stats();
+    EXPECT_EQ(reg.counter_value(p + "/mps/sends"), ns.sends);
+    EXPECT_EQ(reg.counter_value(p + "/mps/recvs"), ns.recvs);
+    EXPECT_EQ(reg.counter_value(p + "/mps/bytes_sent"), ns.bytes_sent);
+    EXPECT_EQ(reg.counter_value(p + "/mps/bytes_received"), ns.bytes_received);
+    EXPECT_EQ(reg.counter_value(p + "/mps/flow/window_stalls"),
+              c.node(r).flow_control().stats().window_stalls);
+    EXPECT_EQ(reg.counter_value(p + "/mps/ec/retransmits"),
+              c.node(r).error_control().stats().retransmits);
+    EXPECT_EQ(reg.counter_value(p + "/mts/dispatches"), c.host(r).stats().dispatches);
+    EXPECT_EQ(reg.counter_value(p + "/nic/tx_cells"), c.atm_fabric()->nic(r).stats().tx_cells);
+  }
+  EXPECT_EQ(reg.counter_value("p0/mps/sends"), static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(reg.counter_value("p1/mps/recvs"), static_cast<std::uint64_t>(kMessages));
+
+  // The snapshot is one coherent document: every key valued, JSON embeds.
+  const auto samples = reg.snapshot();
+  EXPECT_EQ(samples.size(), reg.size());
+  const std::string doc = reg.to_json();
+  EXPECT_NE(doc.find("\"p0/mps/sends\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ncs::obs

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Tier-1 test driver: the default (RelWithDebInfo) build's full ctest suite,
+# then the same suite again in a Debug build with AddressSanitizer +
+# UndefinedBehaviorSanitizer (which forces the ucontext fiber backend — see
+# NCS_SANITIZE in the top-level CMakeLists).
+#
+# Usage: tests/run_tier1.sh [build-dir-prefix]   (default: build)
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+prefix=${1:-build}
+
+run_suite() {
+  dir=$1
+  shift
+  cmake -S "$root" -B "$dir" "$@"
+  cmake --build "$dir" -j "$(nproc)"
+  ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+}
+
+echo "=== tier 1: default build ==="
+run_suite "$root/$prefix"
+
+echo "=== tier 1: sanitized build (Debug, address,undefined) ==="
+run_suite "$root/${prefix}-asan" \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DNCS_SANITIZE=address,undefined
+
+echo "=== tier 1: all suites passed ==="
