@@ -1,0 +1,158 @@
+// Chaos/soak harness: scripted fault scenarios against the three paper
+// applications on the lossy NYNET WAN (NCS/HSM tier).
+//
+// Per application, four runs:
+//   baseline   EC=retransmit, fault-free — the reference result digest.
+//   chaos      EC=retransmit under a WAN link flap + Gilbert-Elliott burst
+//              loss + switch port failure + host pause + cell corruption.
+//              Must finish with a bit-identical result digest (error
+//              control recovers every loss) and retransmits > 0.
+//   repeat     the chaos run again — byte-identical makespan and digest
+//              (determinism: faults are ordinary simulation events).
+//   blackout   EC=none under a hard 30 s backbone outage. Messages sent
+//              meanwhile are gone for good; the run must *terminate* with
+//              typed NCS exceptions (recv timeouts), never hang.
+//
+// `--json[=path]` emits ncs-bench-v1; `--trace` additionally writes
+// chaos_<app>_trace.json Chrome traces with fault instants on the "fault"
+// track next to the traffic they perturb.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "cluster/bench_json.hpp"
+#include "cluster/drivers.hpp"
+#include "common/assert.hpp"
+#include "fault/plan.hpp"
+
+using namespace ncs;
+using namespace ncs::cluster;
+
+namespace {
+
+constexpr const char* kChaosPlan = R"(
+# WAN link flap, burst loss, switch port failure, host pause, cell rot —
+# all inside the apps' first second of traffic.
+seed 51966
+at 150ms link sonet down for 40ms
+at 300ms link sonet burst for 300ms p_gb=0.02 p_bg=0.4 loss_good=0 loss_bad=0.7
+at 500ms switch wan-switch1 port 0 down for 30ms
+at 650ms host p1 pause for 20ms
+at 700ms nic nic1 corrupt for 50ms p=0.002
+# A long mid-run burst overlapping the jpeg pipeline and fft exchange
+# phases, and a late hard flap across matmul's result return (~5.3s).
+at 800ms link sonet burst for 2s p_gb=0.05 p_bg=0.3 loss_good=0 loss_bad=0.8
+at 5250ms link sonet down for 150ms
+)";
+
+constexpr const char* kBlackoutPlan = R"(
+# Hard backbone outage; with EC=none every message sent meanwhile is lost
+# for good and receivers must time out.
+at 200ms link sonet down for 30s
+)";
+
+enum class App { matmul, jpeg, fft };
+constexpr App kApps[] = {App::matmul, App::jpeg, App::fft};
+
+const char* app_name(App a) {
+  switch (a) {
+    case App::matmul: return "matmul";
+    case App::jpeg: return "jpeg";
+    case App::fft: return "fft";
+  }
+  return "?";
+}
+
+AppResult run_app(App app, ClusterConfig cfg) {
+  constexpr int kNodes = 4;
+  switch (app) {
+    case App::matmul: return run_matmul_ncs(std::move(cfg), kNodes, NcsTier::hsm_atm);
+    case App::jpeg: return run_jpeg_ncs(std::move(cfg), kNodes, NcsTier::hsm_atm);
+    case App::fft: return run_fft_ncs(std::move(cfg), kNodes, NcsTier::hsm_atm);
+  }
+  NCS_UNREACHABLE("bad app");
+}
+
+fault::FaultPlan parse_plan(const char* text) {
+  auto plan = fault::FaultPlan::parse(text);
+  NCS_ASSERT_MSG(plan.is_ok(), "chaos_soak plan failed to parse");
+  return plan.value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchReport report("chaos_soak");
+  bool want_trace = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--trace") == 0) want_trace = true;
+
+  const fault::FaultPlan chaos = parse_plan(kChaosPlan);
+  const fault::FaultPlan blackout = parse_plan(kBlackoutPlan);
+
+  std::printf("Chaos/soak: scripted WAN faults vs the paper apps (NCS/HSM)\n\n");
+  std::printf("%8s %10s %12s %12s %8s %6s %6s\n", "app", "scenario", "time", "digest",
+              "retx", "exc", "ok");
+
+  bool all_ok = true;
+  for (const App app : kApps) {
+    ClusterConfig recover = nynet_wan(0);
+    recover.ncs.error.kind = mps::ErrorControlKind::retransmit;
+    // Above the fault-free WAN round trip (large transfers serialize for
+    // tens of ms on the DS-3 hop), so retransmits mean real loss.
+    recover.ncs.error.rto = Duration::milliseconds(200);
+
+    ClusterConfig faulty = recover;
+    faulty.faults = chaos;
+    if (want_trace)
+      faulty.trace_path = std::string("chaos_") + app_name(app) + "_trace.json";
+
+    ClusterConfig doomed = nynet_wan(0);  // EC=none: loss is unrecoverable
+    doomed.ncs.recv_timeout = Duration::seconds(2);
+    doomed.faults = blackout;
+
+    const AppResult base = run_app(app, recover);
+    const AppResult under = run_app(app, faulty);
+    faulty.trace_path.clear();
+    const AppResult again = run_app(app, faulty);
+    const AppResult dead = run_app(app, doomed);
+
+    const bool recovered = base.correct && under.correct &&
+                           under.result_hash == base.result_hash && under.retransmits > 0;
+    const bool deterministic =
+        again.elapsed == under.elapsed && again.result_hash == under.result_hash &&
+        again.retransmits == under.retransmits;
+    const bool surfaced = dead.exceptions > 0 && !dead.correct;
+    all_ok = all_ok && recovered && deterministic && surfaced;
+
+    const struct {
+      const char* scenario;
+      const AppResult& r;
+      bool ok;
+    } lines[] = {{"baseline", base, base.correct},
+                 {"chaos", under, recovered},
+                 {"repeat", again, deterministic},
+                 {"blackout", dead, surfaced}};
+    for (const auto& l : lines) {
+      std::printf("%8s %10s %10.3f s %012llx %8llu %6llu %6s\n", app_name(app), l.scenario,
+                  l.r.elapsed.sec(), static_cast<unsigned long long>(l.r.result_hash),
+                  static_cast<unsigned long long>(l.r.retransmits),
+                  static_cast<unsigned long long>(l.r.exceptions), l.ok ? "yes" : "NO");
+      report.row();
+      report.set("app", std::string(app_name(app)));
+      report.set("scenario", std::string(l.scenario));
+      report.set("elapsed_sec", l.r.elapsed.sec());
+      report.set("correct", l.r.correct);
+      report.set("result_hash", l.r.result_hash);
+      report.set("retransmits", l.r.retransmits);
+      report.set("exceptions", l.r.exceptions);
+      report.set("ok", l.ok);
+    }
+  }
+
+  std::printf("\n%s\n", all_ok ? "chaos soak: all scenarios behaved"
+                               : "chaos soak: FAILURES above");
+  report.summary("all_ok", all_ok);
+  if (std::string json_path; parse_json_flag(argc, argv, &json_path)) report.emit(json_path);
+  return all_ok ? 0 : 1;
+}

@@ -27,6 +27,10 @@ struct Burst {
   bool end_of_message = true;
   Bytes payload;            // burst mode: the user chunk
   std::vector<Cell> cells;  // detailed mode: real cells (payload empty)
+  /// Burst-mode stand-in for a corrupted cell: the receiving NIC's CRC
+  /// check fails and the PDU is dropped (detailed mode flips a real payload
+  /// bit instead and lets the AAL reassembler catch it).
+  bool damaged = false;
 
   bool detailed() const { return !cells.empty(); }
   std::size_t wire_bytes() const { return static_cast<std::size_t>(n_cells) * Cell::kSize; }

@@ -39,6 +39,11 @@ class AtmFabric {
   virtual ~AtmFabric() = default;
   virtual int n_hosts() const = 0;
   virtual Nic& nic(int host) = 0;
+
+  /// Enumeration over the fabric's physical elements — how a FaultInjector
+  /// reaches every link direction and switch without knowing the topology.
+  virtual void for_each_link(const std::function<void(net::Link&)>& fn) = 0;
+  virtual void for_each_switch(const std::function<void(Switch&)>& fn) = 0;
 };
 
 struct LanConfig {
@@ -59,6 +64,14 @@ class AtmLan final : public AtmFabric {
   int n_hosts() const override { return static_cast<int>(nics_.size()); }
   Nic& nic(int host) override { return *nics_[static_cast<std::size_t>(host)]; }
   Switch& fabric() { return *switch_; }
+
+  void for_each_link(const std::function<void(net::Link&)>& fn) override {
+    for (auto& l : links_) {
+      fn(l->forward());
+      fn(l->backward());
+    }
+  }
+  void for_each_switch(const std::function<void(Switch&)>& fn) override { fn(*switch_); }
 
  private:
   std::vector<std::unique_ptr<net::DuplexLink>> links_;
@@ -94,6 +107,16 @@ class AtmWan final : public AtmFabric {
   int local_port(int host) const { return local_port_[static_cast<std::size_t>(host)]; }
   /// Port index of the inter-site link on `site`'s switch.
   int backbone_port(int site) const { return backbone_port_[site]; }
+
+  void for_each_link(const std::function<void(net::Link&)>& fn) override {
+    for (auto& l : links_) {
+      fn(l->forward());
+      fn(l->backward());
+    }
+  }
+  void for_each_switch(const std::function<void(Switch&)>& fn) override {
+    for (auto& s : switches_) fn(*s);
+  }
 
  private:
   int site0_hosts_ = 0;

@@ -8,12 +8,12 @@
 namespace ncs::atm {
 
 Nic::Nic(sim::Engine& engine, NicParams params, std::string name)
-    : engine_(engine), params_(params), name_(std::move(name)),
-      corrupt_rng_(params.corrupt_seed) {
+    : engine_(engine), params_(params), name_(std::move(name)) {
   NCS_ASSERT(params_.tx_buffers >= 1);
   NCS_ASSERT(params_.io_buffer_size >= 1);
-  NCS_ASSERT_MSG(params_.cell_corrupt_probability == 0.0 || params_.detailed_cells,
-                 "cell corruption injection needs detailed_cells");
+  // The legacy knob becomes the uniform component of the fault state, on
+  // the same seed and draw order as before fault/ existed.
+  fault_.configure_uniform(params_.cell_corrupt_probability, params_.corrupt_seed);
 }
 
 void Nic::attach(net::Link& tx_link, CellSink& peer, int peer_port) {
@@ -68,18 +68,31 @@ void Nic::submit_tx(VcId vc, Bytes chunk, bool end_of_message) {
                       ? aal5::segment(vc, chunk)
                       : aal34::segment(vc, chunk, /*mid=*/0, next_btag_++);
     burst.n_cells = static_cast<std::uint32_t>(burst.cells.size());
-    if (params_.cell_corrupt_probability > 0.0) {
-      // Transit fault injection: flip one payload bit in afflicted cells.
+    if (fault_.corrupting()) {
+      // Transit fault injection: flip one payload bit in afflicted cells;
+      // the receiving adapter's AAL CRC catches it.
       for (Cell& c : burst.cells) {
-        if (corrupt_rng_.next_bool(params_.cell_corrupt_probability)) {
-          const auto at = corrupt_rng_.next_below(Cell::kPayloadSize);
-          c.payload[at] ^= static_cast<std::byte>(1u << corrupt_rng_.next_below(8));
+        if (fault_.draw_corrupt()) {
+          ++fault_.stats().corrupted_cells;
+          const auto at = fault_.draw_below(Cell::kPayloadSize);
+          c.payload[at] ^= static_cast<std::byte>(1u << fault_.draw_below(8));
         }
       }
     }
   } else {
     burst.n_cells = static_cast<std::uint32_t>(cells_for(chunk.size()));
     burst.payload = std::move(chunk);
+    if (fault_.corrupting()) {
+      // Burst mode has no materialized cells to flip bits in; a corrupt
+      // draw marks the PDU damaged and the receiver drops it at its CRC
+      // check — the same per-cell Bernoulli process, same observable.
+      for (std::uint32_t i = 0; i < burst.n_cells; ++i) {
+        if (fault_.draw_corrupt()) {
+          ++fault_.stats().corrupted_cells;
+          burst.damaged = true;
+        }
+      }
+    }
   }
   ++stats_.tx_chunks;
   stats_.tx_cells += burst.n_cells;
@@ -140,6 +153,14 @@ void Nic::accept(int /*port*/, Burst burst) {
                         : push_all(rx_reassembly34_[burst.vc]);
     if (!ok) return;
   } else {
+    if (burst.damaged) {
+      // Burst-mode stand-in for a CRC failure during reassembly.
+      ++stats_.rx_errors;
+      NCS_WARN("atm.nic", "%s: dropping damaged PDU (injected corruption)", name_.c_str());
+      if (trace_ != nullptr)
+        trace_->instant(rx_track_, "rx-error injected corruption", "nic", engine_.now());
+      return;
+    }
     payload = std::move(burst.payload);
   }
 

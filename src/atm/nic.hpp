@@ -24,8 +24,8 @@
 #include "atm/aal34.hpp"
 #include "atm/aal5.hpp"
 #include "atm/burst.hpp"
-#include "common/rng.hpp"
 #include "common/time.hpp"
+#include "fault/faults.hpp"
 #include "net/link.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -56,9 +56,13 @@ struct NicParams {
   /// Materialize and check real cells (HEC + AAL5 CRC) instead of only
   /// charging their time. Identical timing; used by validation tests.
   bool detailed_cells = false;
-  /// Fault injection (detailed mode only): per-cell probability of a
-  /// payload bit flip in transit — caught by the AAL5 CRC-32 at the
-  /// receiving adapter, exactly like real fiber errors were.
+  /// Fault injection: per-cell probability of a payload bit flip in
+  /// transit — caught by the AAL5 CRC-32 at the receiving adapter, exactly
+  /// like real fiber errors were. In detailed mode the bit really flips;
+  /// in burst mode the afflicted PDU is marked damaged and the receiver
+  /// counts an rx_error and drops it (same observable behaviour). Sugar
+  /// for a trivial FaultPlan; scripted corruption windows layer on top via
+  /// FaultInjector::attach_nic.
   double cell_corrupt_probability = 0.0;
   std::uint64_t corrupt_seed = 0xC0FFEE;
 };
@@ -113,6 +117,9 @@ class Nic : public CellSink {
   const NicParams& params() const { return params_; }
   const std::string& name() const { return name_; }
 
+  /// Corruption fault state (the legacy knob is its uniform component).
+  fault::NicFault& fault() { return fault_; }
+
   /// Registers the adapter's counters under `prefix` (e.g. "p0/nic").
   void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
 
@@ -146,7 +153,7 @@ class Nic : public CellSink {
   std::map<VcId, aal5::Reassembler> rx_reassembly_;       // detailed AAL5
   std::map<VcId, aal34::Reassembler> rx_reassembly34_;    // detailed AAL3/4
   std::uint8_t next_btag_ = 0;
-  Rng corrupt_rng_{0};
+  fault::NicFault fault_;
   RxHandler rx_handler_;
   std::map<VcId, RxHandler> vc_handlers_;
   obs::TraceLog* trace_ = nullptr;

@@ -141,6 +141,9 @@ void SignalingAgent::on_signaling_pdu(BytesView wire) {
           break;
         }
       }
+      // Let the data plane invalidate any circuit cache keyed on either
+      // label (the caller's tx label rides in assigned_vc).
+      if (release_handler_) release_handler_(msg.assigned_vc, msg.peer_vc);
       return;
   }
 }
@@ -154,7 +157,52 @@ CallController::CallController(sim::Engine& engine, AtmLan& lan) : engine_(engin
     }
     on_signaling(in_port, decoded.value());
   });
+  // Signaling always tracks the fabric's health: a dead port releases the
+  // circuits through it so callers can re-establish after recovery.
+  lan_.fabric().fault().subscribe([this](int port, bool down) {
+    if (down) {
+      fail_port(port);
+    } else {
+      restore_port(port);
+    }
+  });
 }
+
+void CallController::release_call_faulted(const Call& call) {
+  remove_call_routes(call);
+  by_vc_.erase(call.caller_vc);
+  by_vc_.erase(call.callee_vc);
+  ++stats_.faulted_releases;
+  if (call.connected) --stats_.active_calls;
+  SignalingMessage note;
+  note.type = SignalingMessageType::release_complete;
+  note.call_ref = call.call_ref;
+  note.calling_party = call.caller;
+  note.called_party = call.callee;
+  note.assigned_vc = call.caller_vc;
+  note.peer_vc = call.callee_vc;
+  // Both parties are told; the one on the dead port won't hear it (the
+  // switch eats the PDU), matching reality.
+  forward_to_host(call.caller, note);
+  forward_to_host(call.callee, note);
+}
+
+void CallController::fail_port(int port) {
+  if (!failed_ports_.insert(port).second) return;
+  NCS_INFO("atm.sig", "call controller: port %d failed, releasing its calls", port);
+  // Host index == port index on the LAN star.
+  for (auto it = calls_.begin(); it != calls_.end();) {
+    const Call call = it->second;
+    if (call.caller == port || call.callee == port) {
+      it = calls_.erase(it);
+      release_call_faulted(call);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CallController::restore_port(int port) { failed_ports_.erase(port); }
 
 SignalingAgent& CallController::agent(int host) {
   auto it = agents_.find(host);
@@ -197,7 +245,11 @@ void CallController::on_signaling(int in_port, const SignalingMessage& msg) {
   switch (msg.type) {
     case SignalingMessageType::setup: {
       ++stats_.setups;
-      if (msg.called_party < 0 || msg.called_party >= lan_.n_hosts()) {
+      if (msg.called_party < 0 || msg.called_party >= lan_.n_hosts() ||
+          failed_ports_.contains(msg.called_party)) {
+        // Unknown party — or a known one behind a failed port, where the
+        // offer could never be delivered: reject instead of letting the
+        // caller hang on a SETUP with no answer.
         SignalingMessage reject = msg;
         reject.type = SignalingMessageType::reject;
         forward_to_host(msg.calling_party, reject);
@@ -279,7 +331,60 @@ WanCallController::WanCallController(sim::Engine& engine, AtmWan& wan)
           }
           on_signaling(site, in_port, decoded.value());
         });
+    wan_.site_switch(site).fault().subscribe([this, site](int port, bool down) {
+      if (down) {
+        fail_port(site, port);
+      } else {
+        restore_port(site, port);
+      }
+    });
   }
+}
+
+bool WanCallController::touches_port(const Call& call, int site, int port) const {
+  if (port == wan_.backbone_port(site))
+    return wan_.site_of(call.caller) != wan_.site_of(call.callee);
+  for (const int party : {call.caller, call.callee})
+    if (wan_.site_of(party) == site && wan_.local_port(party) == port) return true;
+  return false;
+}
+
+void WanCallController::release_call_faulted(const Call& call) {
+  remove_call_routes(call);
+  by_vc_.erase(call.caller_vc);
+  by_vc_.erase(call.callee_vc);
+  ++stats_.faulted_releases;
+  --stats_.active_calls;
+  for (const int party : {call.caller, call.callee}) {
+    SignalingMessage note;
+    note.type = SignalingMessageType::release_complete;
+    note.call_ref = call.call_ref;
+    note.calling_party = call.caller;
+    note.called_party = party;  // explicit destination for transit hops
+    note.assigned_vc = call.caller_vc;
+    note.peer_vc = call.callee_vc;
+    route_to_host(wan_.site_of(party), party, note);
+  }
+}
+
+void WanCallController::fail_port(int site, int port) {
+  if (!failed_ports_.insert({site, port}).second) return;
+  NCS_INFO("atm.sig", "wan call controller: site %d port %d failed", site, port);
+  // Connected calls only (by_vc_): half-open calls resolve when the
+  // CONNECT/REJECT PDU is eaten by the dead port and the caller retries.
+  for (auto it = calls_.begin(); it != calls_.end();) {
+    const Call call = it->second;
+    if (by_vc_.contains(call.caller_vc) && touches_port(call, site, port)) {
+      it = calls_.erase(it);
+      release_call_faulted(call);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void WanCallController::restore_port(int site, int port) {
+  failed_ports_.erase({site, port});
 }
 
 SignalingAgent& WanCallController::agent(int host) {
@@ -366,7 +471,19 @@ void WanCallController::on_signaling(int site, int in_port, const SignalingMessa
         return;
       }
       ++stats_.setups;
-      if (msg.called_party < 0 || msg.called_party >= wan_.n_hosts()) {
+      bool unreachable = msg.called_party < 0 || msg.called_party >= wan_.n_hosts();
+      if (!unreachable) {
+        const int target_site = wan_.site_of(msg.called_party);
+        unreachable =
+            failed_ports_.contains({target_site, wan_.local_port(msg.called_party)});
+        // A cross-site offer also needs the backbone alive on both ends.
+        if (target_site != site)
+          unreachable = unreachable ||
+                        failed_ports_.contains({site, wan_.backbone_port(site)}) ||
+                        failed_ports_.contains(
+                            {target_site, wan_.backbone_port(target_site)});
+      }
+      if (unreachable) {
         SignalingMessage reject = msg;
         reject.type = SignalingMessageType::reject;
         route_to_host(site, msg.calling_party, reject);

@@ -23,6 +23,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <set>
 
 #include "atm/network.hpp"
 #include "common/result.hpp"
@@ -66,6 +67,10 @@ class SignalingAgent {
   using ConnectHandler = std::function<void(Result<VcId>)>;
   /// Return true to accept the call (the default handler accepts).
   using IncomingFilter = std::function<bool(int calling_party)>;
+  /// Invoked when the network (or the peer) releases an established call:
+  /// (caller's tx label, callee's tx label). Data-plane users invalidate
+  /// cached circuits here so the next send re-signals.
+  using ReleaseHandler = std::function<void(VcId, VcId)>;
 
   SignalingAgent(sim::Engine& engine, Nic& nic, int host_index);
 
@@ -77,6 +82,7 @@ class SignalingAgent {
   void release_call(VcId data_vc);
 
   void set_incoming_filter(IncomingFilter filter) { incoming_filter_ = std::move(filter); }
+  void set_release_handler(ReleaseHandler handler) { release_handler_ = std::move(handler); }
 
   /// Data VC to send on for calls accepted as the callee, keyed by caller.
   std::optional<VcId> accepted_vc_from(int calling_party) const;
@@ -100,6 +106,7 @@ class SignalingAgent {
   int host_;
   std::uint32_t next_call_ref_ = 1;
   IncomingFilter incoming_filter_;
+  ReleaseHandler release_handler_;
   std::map<std::uint32_t, ConnectHandler> pending_;          // my outgoing calls
   std::map<int, VcId> accepted_;                             // caller -> data vc
   Stats stats_;
@@ -115,12 +122,20 @@ class CallController {
   /// Returns the agent for `host` (created lazily on first use).
   SignalingAgent& agent(int host);
 
+  /// Port-failure handling (driven by the switch's SwitchFault, to which
+  /// the controller subscribes at construction; tests may call directly).
+  /// fail_port releases every call whose party sits on `port` and rejects
+  /// new SETUPs towards it until restore_port.
+  void fail_port(int port);
+  void restore_port(int port);
+
   struct Stats {
     std::uint64_t setups = 0;
     std::uint64_t connects = 0;
     std::uint64_t rejects = 0;
     std::uint64_t releases = 0;
     std::uint64_t active_calls = 0;
+    std::uint64_t faulted_releases = 0;  // calls torn down by port failure
   };
   const Stats& stats() const { return stats_; }
 
@@ -143,11 +158,14 @@ class CallController {
   void install_call_routes(const Call& call);
   void remove_call_routes(const Call& call);
 
+  void release_call_faulted(const Call& call);
+
   sim::Engine& engine_;
   AtmLan& lan_;
   std::map<int, std::unique_ptr<SignalingAgent>> agents_;
   std::map<std::pair<int, std::uint32_t>, Call> calls_;  // (caller, ref)
   std::map<VcId, std::pair<int, std::uint32_t>> by_vc_;  // either data vc -> call key
+  std::set<int> failed_ports_;
   std::uint16_t next_vci_ = kDynamicVciBase;
   Stats stats_;
 };
@@ -162,6 +180,12 @@ class WanCallController {
 
   SignalingAgent& agent(int host);
 
+  /// Port-failure handling on `site`'s switch (subscribed to both site
+  /// switches' SwitchFault at construction). A failed backbone port
+  /// releases every cross-site call.
+  void fail_port(int site, int port);
+  void restore_port(int site, int port);
+
   struct Stats {
     std::uint64_t setups = 0;
     std::uint64_t connects = 0;
@@ -169,6 +193,7 @@ class WanCallController {
     std::uint64_t releases = 0;
     std::uint64_t active_calls = 0;
     std::uint64_t backbone_hops = 0;  // signaling messages that crossed sites
+    std::uint64_t faulted_releases = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -190,11 +215,15 @@ class WanCallController {
   void install_call_routes(const Call& call);
   void remove_call_routes(const Call& call);
 
+  void release_call_faulted(const Call& call);
+  bool touches_port(const Call& call, int site, int port) const;
+
   sim::Engine& engine_;
   AtmWan& wan_;
   std::map<int, std::unique_ptr<SignalingAgent>> agents_;
   std::map<std::pair<int, std::uint32_t>, Call> calls_;
   std::map<VcId, std::pair<int, std::uint32_t>> by_vc_;
+  std::set<std::pair<int, int>> failed_ports_;  // (site, port)
   std::uint16_t next_vci_ = kDynamicVciBase;
   Stats stats_;
 };

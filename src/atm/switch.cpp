@@ -34,6 +34,11 @@ void Switch::add_local_endpoint(VcId vc, LocalHandler handler) {
 
 void Switch::send_local(int out_port, Burst burst) {
   NCS_ASSERT(out_port >= 0 && static_cast<std::size_t>(out_port) < ports_.size());
+  if (fault_.port_down(out_port)) {
+    ++fault_.stats().port_drops;
+    ++stats_.port_drops;
+    return;
+  }
   Port& port = ports_[static_cast<std::size_t>(out_port)];
   engine_.schedule_after(params_.forward_latency,
                          [&port, b = std::move(burst)]() mutable {
@@ -48,6 +53,15 @@ void Switch::send_local(int out_port, Burst burst) {
 }
 
 void Switch::accept(int in_port, Burst burst) {
+  if (fault_.port_down(in_port)) {
+    // Dead ingress: the port's receiver is dark; nothing gets in.
+    ++fault_.stats().port_drops;
+    ++stats_.port_drops;
+    if (trace_ != nullptr)
+      trace_->instant(trace_track_, "port-drop in p" + std::to_string(in_port), "atm",
+                      engine_.now());
+    return;
+  }
   if (const auto lit = local_.find(burst.vc); lit != local_.end()) {
     ++stats_.bursts;
     stats_.cells += burst.n_cells;
@@ -67,6 +81,16 @@ void Switch::accept(int in_port, Burst burst) {
     return;
   }
   const auto [out_port, out_vc] = it->second;
+  if (fault_.port_down(out_port)) {
+    // Dead egress: drop at the output buffer, as a real failed line card
+    // would. Upstream recovery is error control's job.
+    ++fault_.stats().port_drops;
+    ++stats_.port_drops;
+    if (trace_ != nullptr)
+      trace_->instant(trace_track_, "port-drop out p" + std::to_string(out_port), "atm",
+                      engine_.now());
+    return;
+  }
   ++stats_.bursts;
   stats_.cells += burst.n_cells;
   if (trace_ != nullptr)
@@ -99,6 +123,7 @@ void Switch::register_metrics(obs::MetricsRegistry& reg, const std::string& pref
   reg.counter(prefix + "/bursts", &stats_.bursts);
   reg.counter(prefix + "/cells", &stats_.cells);
   reg.counter(prefix + "/unroutable", &stats_.unroutable);
+  reg.counter(prefix + "/port_drops", &stats_.port_drops);
 }
 
 }  // namespace ncs::atm

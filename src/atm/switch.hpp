@@ -15,6 +15,7 @@
 
 #include "atm/burst.hpp"
 #include "common/time.hpp"
+#include "fault/faults.hpp"
 #include "net/link.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -59,9 +60,15 @@ class Switch : public CellSink {
     std::uint64_t bursts = 0;
     std::uint64_t cells = 0;
     std::uint64_t unroutable = 0;
+    std::uint64_t port_drops = 0;  // bursts eaten by a failed port
   };
   const Stats& stats() const { return stats_; }
   const std::string& name() const { return name_; }
+
+  /// Per-port failure state. Bursts entering or leaving a downed port are
+  /// dropped (and counted); the SVC call controllers subscribe here to
+  /// release circuits through dead ports.
+  fault::SwitchFault& fault() { return fault_; }
 
   /// Registers the switch's counters under `prefix` (e.g. "switch").
   void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
@@ -85,6 +92,7 @@ class Switch : public CellSink {
   std::vector<Port> ports_;
   std::map<std::pair<int, VcId>, std::pair<int, VcId>> routes_;
   std::map<VcId, LocalHandler> local_;
+  fault::SwitchFault fault_;
   obs::TraceLog* trace_ = nullptr;
   int trace_track_ = -1;
   Stats stats_;

@@ -4,6 +4,7 @@
 
 #include "atm/network.hpp"
 #include "common/assert.hpp"
+#include "common/log.hpp"
 #include "core/mps/atm_transport.hpp"
 #include "core/mps/p4_transport.hpp"
 
@@ -55,6 +56,40 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
       break;
     }
   }
+
+  // Fault injector, pre-wired to every physical element. A host pause is
+  // realised as a top-priority thread that owns the CPU until resume time:
+  // nothing else dispatches, but the network (and NIC DMA) keeps moving —
+  // exactly what a stalled workstation looks like from the wire.
+  injector_ = std::make_unique<fault::FaultInjector>(engine_);
+  if (bus_ != nullptr) injector_->attach_link("ether", &bus_->fault());
+  if (fabric_ != nullptr) {
+    fabric_->for_each_link(
+        [this](net::Link& l) { injector_->attach_link(l.name(), &l.fault()); });
+    fabric_->for_each_switch(
+        [this](atm::Switch& s) { injector_->attach_switch(s.name(), &s.fault()); });
+    for (int r = 0; r < config_.n_procs; ++r)
+      injector_->attach_nic("nic" + std::to_string(r), &fabric_->nic(r).fault());
+  }
+  for (int r = 0; r < config_.n_procs; ++r) {
+    host_faults_.push_back(std::make_unique<fault::HostFault>());
+    fault::HostFault* hf = host_faults_.back().get();
+    mts::Scheduler* sched = hosts_[static_cast<std::size_t>(r)].get();
+    hf->set_pause_handler([sched](TimePoint resume_at) {
+      sched->spawn(
+          [sched, resume_at] {
+            const TimePoint now = sched->engine().now();
+            if (resume_at > now)
+              sched->charge(resume_at - now, sim::Activity::overhead);
+          },
+          {.name = "fault-pause",
+           .priority = mts::kHighestPriority,
+           .cls = mts::ThreadClass::system});
+    });
+    injector_->attach_host("p" + std::to_string(r), hf);
+  }
+
+  if (!config_.trace_path.empty()) enable_trace();
 }
 
 Cluster::~Cluster() {
@@ -79,6 +114,7 @@ void Cluster::enable_trace() {
         wan->site_switch(s).set_trace(&trace_, trace_.track("switch" + std::to_string(s)));
     }
   }
+  injector_->set_trace(&trace_);
   // Runtime modules created later (nodes, TCP mesh) attach in init_*.
 }
 
@@ -108,8 +144,15 @@ obs::MetricsRegistry& Cluster::metrics() {
       }
     }
     if (p4_ != nullptr) p4_->mesh().register_metrics(reg, "tcp");
+    injector_->register_metrics(reg, "fault");
   }
   return *metrics_;
+}
+
+std::uint64_t Cluster::ncs_exception_count() const {
+  std::uint64_t total = 0;
+  for (const auto& node : nodes_) total += node->stats().exceptions;
+  return total;
 }
 
 p4::Runtime& Cluster::init_p4() {
@@ -166,10 +209,18 @@ Duration Cluster::run(std::function<void(int)> main_fn) {
   TimePoint last_finish = t0;
   int remaining = config_.n_procs;
 
+  if (!config_.faults.empty()) injector_->schedule(config_.faults);
+
   for (int r = 0; r < config_.n_procs; ++r) {
     host(r).spawn(
         [this, r, main_fn, &last_finish, &remaining] {
-          main_fn(r);
+          // An NcsException reaching main is a failed-but-clean process
+          // exit (the exception service's whole point: no hung runs).
+          try {
+            main_fn(r);
+          } catch (const mps::NcsException& e) {
+            NCS_WARN("cluster", "p%d main aborted by %s", r, e.what());
+          }
           last_finish = ncs::max(last_finish, engine_.now());
           --remaining;
         },
@@ -179,6 +230,7 @@ Duration Cluster::run(std::function<void(int)> main_fn) {
   NCS_ASSERT_MSG(remaining == 0,
                  "a main thread never finished (deadlocked waiting on a message?)");
   if (timeline_enabled_) timeline_.finish(engine_.now());
+  if (!config_.trace_path.empty()) write_trace(config_.trace_path);
   return last_finish - t0;
 }
 

@@ -11,6 +11,7 @@
 #include "cluster/config.hpp"
 #include "core/api.hpp"
 #include "core/mps/node.hpp"
+#include "fault/injector.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "p4/p4.hpp"
@@ -77,6 +78,16 @@ class Cluster {
   ether::Bus* ethernet() { return bus_.get(); }
   atm::AtmFabric* atm_fabric() { return fabric_.get(); }
 
+  /// The fault injector, pre-wired to every physical element of this
+  /// cluster's topology (links by name, switches, NICs, hosts as "p<r>").
+  /// `config.faults` is armed on it at run(); additional plans can be
+  /// scheduled directly at any time.
+  fault::FaultInjector& fault_injector() { return *injector_; }
+
+  /// Total NcsExceptions raised into application threads across all nodes
+  /// (0 on a fault-free or fully-recovered run). Call after run().
+  std::uint64_t ncs_exception_count() const;
+
   /// Runs main_fn(rank) as a thread on every host; returns the simulated
   /// time from launch until the last main finishes.
   Duration run(std::function<void(int)> main_fn);
@@ -91,6 +102,8 @@ class Cluster {
   std::unique_ptr<obs::MetricsRegistry> metrics_;
 
   std::vector<std::unique_ptr<mts::Scheduler>> hosts_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::vector<std::unique_ptr<fault::HostFault>> host_faults_;
   std::unique_ptr<ether::Bus> bus_;
   std::unique_ptr<atm::AtmFabric> fabric_;
   std::unique_ptr<atm::CallController> call_controller_;  // SVC mode only

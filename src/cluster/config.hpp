@@ -18,6 +18,7 @@
 #include "core/mps/node.hpp"
 #include "core/mts/scheduler.hpp"
 #include "ether/bus.hpp"
+#include "fault/plan.hpp"
 #include "proto/costs.hpp"
 #include "proto/tcp.hpp"
 
@@ -61,6 +62,16 @@ struct ClusterConfig {
   /// testbed configuration) or on-demand SVCs via the signaling channel
   /// (ATM LAN only; first contact with a peer pays the call setup).
   bool hsm_use_svc = false;
+
+  /// Scripted fault scenario armed on the cluster's FaultInjector at run()
+  /// (empty = fault-free). Targets: "ether", link names ("taxi0", "sonet"),
+  /// switch names ("lan-switch", "wan-switch0"), NIC names ("nic0"), hosts
+  /// ("p0"). See fault/plan.hpp for the event vocabulary and text syntax.
+  fault::FaultPlan faults;
+
+  /// When nonempty, the cluster enables Chrome tracing at construction and
+  /// writes the event log (fault instants included) here after run().
+  std::string trace_path;
 };
 
 /// The paper's "SUN/Ethernet" testbed with `n_procs` workstations.

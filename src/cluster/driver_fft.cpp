@@ -116,6 +116,9 @@ AppResult run_fft_single(ClusterConfig base, int threads) {
 
   AppResult result{elapsed, false};
   result.correct = verify_sets(results, m, cal.fft_sample_sets);
+  for (const auto& set : results)
+    result.result_hash = fnv1a(set.data(), set.size() * sizeof(Complex), result.result_hash);
+  fill_runtime_stats(cluster, result);
   return result;
 }
 
@@ -182,6 +185,9 @@ AppResult run_fft_p4(ClusterConfig base, int nodes) {
 
   AppResult result{elapsed, false};
   result.correct = verify_sets(results, m, cal.fft_sample_sets);
+  for (const auto& set : results)
+    result.result_hash = fnv1a(set.data(), set.size() * sizeof(Complex), result.result_hash);
+  fill_runtime_stats(cluster, result);
   return result;
 }
 
@@ -258,6 +264,9 @@ AppResult run_fft_ncs(ClusterConfig base, int nodes, NcsTier tier) {
 
   AppResult result{elapsed, false};
   result.correct = verify_sets(results, m, cal.fft_sample_sets);
+  for (const auto& set : results)
+    result.result_hash = fnv1a(set.data(), set.size() * sizeof(Complex), result.result_hash);
+  fill_runtime_stats(cluster, result);
   return result;
 }
 

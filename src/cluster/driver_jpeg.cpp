@@ -115,6 +115,9 @@ AppResult run_jpeg_p4(ClusterConfig base, int nodes) {
 
   AppResult result{elapsed, false};
   result.correct = psnr(original, reconstructed) > 30.0;
+  result.result_hash = fnv1a(reconstructed.pixels.data(),
+                             reconstructed.pixels.size() * sizeof(reconstructed.pixels[0]));
+  fill_runtime_stats(cluster, result);
   return result;
 }
 
@@ -202,6 +205,9 @@ AppResult run_jpeg_ncs(ClusterConfig base, int nodes, NcsTier tier) {
 
   AppResult result{elapsed, false};
   result.correct = psnr(original, reconstructed) > 30.0;
+  result.result_hash = fnv1a(reconstructed.pixels.data(),
+                             reconstructed.pixels.size() * sizeof(reconstructed.pixels[0]));
+  fill_runtime_stats(cluster, result);
   return result;
 }
 

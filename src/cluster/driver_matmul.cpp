@@ -69,6 +69,8 @@ AppResult run_matmul_single(ClusterConfig base, int threads) {
 
   AppResult result{elapsed, false};
   result.correct = apps::matmul::approx_equal(c, multiply(a, b, n), 1e-9);
+  result.result_hash = fnv1a(c.data(), c.size() * sizeof(double));
+  fill_runtime_stats(cluster, result);
   return result;
 }
 
@@ -122,6 +124,8 @@ AppResult run_matmul_p4(ClusterConfig base, int nodes) {
 
   AppResult result{elapsed, false};
   result.correct = apps::matmul::approx_equal(c, multiply(a, b, n), 1e-9);
+  result.result_hash = fnv1a(c.data(), c.size() * sizeof(double));
+  fill_runtime_stats(cluster, result);
   return result;
 }
 
@@ -200,6 +204,8 @@ AppResult run_matmul_ncs(ClusterConfig base, int nodes, NcsTier tier, int thread
 
   AppResult result{elapsed, false};
   result.correct = apps::matmul::approx_equal(c, multiply(a, b, n), 1e-9);
+  result.result_hash = fnv1a(c.data(), c.size() * sizeof(double));
+  fill_runtime_stats(cluster, result);
   return result;
 }
 

@@ -22,7 +22,35 @@ namespace ncs::cluster {
 struct AppResult {
   Duration elapsed;
   bool correct = false;
+  /// FNV-1a digest of the application's distributed output — equal digests
+  /// mean bit-identical results (chaos runs vs fault-free, repeat vs
+  /// repeat).
+  std::uint64_t result_hash = 0;
+  /// NcsExceptions raised into application threads (0 = clean run or every
+  /// fault fully recovered by error control).
+  std::uint64_t exceptions = 0;
+  /// Error-control retransmissions summed over all nodes.
+  std::uint64_t retransmits = 0;
 };
+
+/// FNV-1a over raw bytes; pass a previous digest as `h` to chain buffers.
+inline std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                           std::uint64_t h = 0xCBF29CE484222325ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+/// Copies the run's fault-facing counters out of the cluster.
+inline void fill_runtime_stats(Cluster& c, AppResult& r) {
+  if (!c.has_ncs()) return;
+  r.exceptions = c.ncs_exception_count();
+  for (int i = 0; i < c.n_procs(); ++i)
+    r.retransmits += c.node(i).error_control().stats().retransmits;
+}
 
 /// Which NCS tier the *_ncs drivers bind (the paper evaluates NSM).
 enum class NcsTier { nsm_p4, hsm_atm };

@@ -15,6 +15,21 @@ AtmTransport::AtmTransport(mts::Scheduler& host, atm::Nic& nic, Params params)
   nic_.set_rx_handler([this](atm::VcId vc, Bytes data, bool eom) {
     rx_.push(RxChunk{vc, std::move(data), eom});
   });
+  if (params_.signaling != nullptr) {
+    // A network-side RELEASE (peer teardown or port failure) retires the
+    // cached circuit; the next send to that peer re-signals.
+    params_.signaling->set_release_handler([this](atm::VcId a, atm::VcId b) {
+      for (auto it = svc_to_.begin(); it != svc_to_.end();) {
+        if (it->second == a || it->second == b) {
+          ++stats_.svc_invalidations;
+          NCS_INFO("ncs.hsm", "SVC to p%d released, will re-signal", it->first);
+          it = svc_to_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    });
+  }
 }
 
 void AtmTransport::wait_for_tx_buffer() {
@@ -34,18 +49,27 @@ atm::VcId AtmTransport::vc_towards(int to_process) {
 
   // First traffic for this peer: set up a switched circuit. The signaling
   // handshake is asynchronous; park the calling (send) thread until the
-  // CONNECT arrives.
-  mts::Thread* self = host_.current();
-  std::optional<Result<atm::VcId>> outcome;
-  params_.signaling->open_call(to_process, [this, self, &outcome](Result<atm::VcId> vc) {
-    outcome = std::move(vc);
-    host_.unblock(self);
-  });
-  ++stats_.svc_calls_opened;
-  while (!outcome.has_value()) host_.block(sim::Activity::communicate);
-  NCS_ASSERT_MSG(outcome->is_ok(), "SVC call setup rejected");
-  svc_to_.emplace(to_process, outcome->value());
-  return outcome->value();
+  // CONNECT arrives. Rejections (e.g. the peer's port is down) back off
+  // and retry — a transient failure heals, a permanent one aborts.
+  for (int attempt = 0;; ++attempt) {
+    mts::Thread* self = host_.current();
+    std::optional<Result<atm::VcId>> outcome;
+    params_.signaling->open_call(to_process, [this, self, &outcome](Result<atm::VcId> vc) {
+      outcome = std::move(vc);
+      host_.unblock(self);
+    });
+    ++stats_.svc_calls_opened;
+    while (!outcome.has_value()) host_.block(sim::Activity::communicate);
+    if (outcome->is_ok()) {
+      svc_to_.emplace(to_process, outcome->value());
+      return outcome->value();
+    }
+    NCS_ASSERT_MSG(attempt < params_.svc_retry_limit,
+                   "SVC call setup rejected past the retry limit");
+    ++stats_.svc_retries;
+    NCS_WARN("ncs.hsm", "SVC setup to p%d rejected, retrying (%d)", to_process, attempt + 1);
+    host_.sleep_for(params_.svc_retry_backoff);
+  }
 }
 
 void AtmTransport::submit(const Message& msg) {

@@ -32,8 +32,14 @@ class AtmTransport final : public Transport {
     /// When set, destinations are reached over switched virtual circuits
     /// opened on demand through this signaling agent (first send to a peer
     /// blocks for the call setup handshake) instead of the static PVC
-    /// mesh. The agent must belong to the same host's NIC.
+    /// mesh. The agent must belong to the same host's NIC. Network-side
+    /// releases (port failures) invalidate the cached circuit; the next
+    /// send re-signals.
     atm::SignalingAgent* signaling = nullptr;
+    /// Rejected call setups are retried after a backoff (a transiently
+    /// failed port heals); past the limit the transport aborts the run.
+    int svc_retry_limit = 8;
+    Duration svc_retry_backoff = Duration::milliseconds(10);
   };
 
   AtmTransport(mts::Scheduler& host, atm::Nic& nic, Params params);
@@ -51,6 +57,8 @@ class AtmTransport final : public Transport {
     std::uint64_t tx_buffer_stalls = 0;
     std::uint64_t rx_frame_errors = 0;  // garbled reassemblies (loss, no EC)
     std::uint64_t svc_calls_opened = 0;
+    std::uint64_t svc_invalidations = 0;  // cached circuits lost to releases
+    std::uint64_t svc_retries = 0;        // setups retried after rejection
   };
   const Stats& stats() const { return stats_; }
 

@@ -74,22 +74,30 @@ void ErrorControl::register_metrics(obs::MetricsRegistry& reg, const std::string
   reg.counter(prefix + "/retransmits", &stats_.retransmits);
   reg.counter(prefix + "/duplicates_dropped", &stats_.duplicates_dropped);
   reg.counter(prefix + "/give_ups", &stats_.give_ups);
+  reg.counter(prefix + "/reorders", &stats_.reorders);
 }
 
-bool ErrorControl::accept(const Message& msg) {
-  if (params_.kind != ErrorControlKind::retransmit) return true;
-  SeenState& st = seen_[msg.from_process];
-  if (msg.seq < st.low || st.sparse.contains(msg.seq)) {
-    ++stats_.duplicates_dropped;
-    return false;
+std::vector<Message> ErrorControl::accept(Message msg) {
+  std::vector<Message> ready;
+  if (params_.kind != ErrorControlKind::retransmit) {
+    ready.push_back(std::move(msg));
+    return ready;
   }
-  st.sparse.insert(msg.seq);
-  // Advance the contiguous low watermark and forget what it covers.
-  while (!st.sparse.empty() && *st.sparse.begin() == st.low) {
-    st.sparse.erase(st.sparse.begin());
+  SeenState& st = seen_[msg.from_process];
+  if (msg.seq < st.low || st.held.contains(msg.seq)) {
+    ++stats_.duplicates_dropped;
+    return ready;
+  }
+  if (msg.seq != st.low) ++stats_.reorders;
+  st.held.emplace(msg.seq, std::move(msg));
+  // Release the contiguous run. A gap (a loss awaiting retransmission)
+  // holds back its successors so applications never observe reordering.
+  while (!st.held.empty() && st.held.begin()->first == st.low) {
+    ready.push_back(std::move(st.held.begin()->second));
+    st.held.erase(st.held.begin());
     ++st.low;
   }
-  return true;
+  return ready;
 }
 
 }  // namespace ncs::mps

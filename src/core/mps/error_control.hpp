@@ -16,7 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <set>
+#include <vector>
 
 #include "core/mps/message.hpp"
 #include "core/mts/scheduler.hpp"
@@ -51,10 +51,13 @@ class ErrorControl {
   /// Sender: ack received for (peer, seq); stops retransmission.
   void on_ack(int from_process, std::uint32_t seq);
 
-  /// Receiver: admission check. Returns false for duplicates (which must
-  /// still be acked — the original ack may have been lost — but not
-  /// delivered to the mailbox).
-  bool accept(const Message& msg);
+  /// Receiver: admission. Returns the messages now deliverable, in
+  /// sequence order. Duplicates (which must still be acked — the original
+  /// ack may have been lost) yield nothing; so do out-of-order arrivals,
+  /// which are held until the gap before them fills — NCS guarantees
+  /// per-source FIFO delivery even when a retransmission overtakes later
+  /// traffic. The none policy passes everything straight through.
+  std::vector<Message> accept(Message msg);
 
   /// All sent messages acknowledged (or policy is none).
   bool idle() const { return in_flight_.empty(); }
@@ -69,6 +72,8 @@ class ErrorControl {
     std::uint64_t retransmits = 0;
     std::uint64_t duplicates_dropped = 0;
     std::uint64_t give_ups = 0;
+    /// Arrivals held back because an earlier sequence was still missing.
+    std::uint64_t reorders = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -102,11 +107,12 @@ class ErrorControl {
   std::function<void(Message)> retransmit_fn_;
   std::function<void(int, std::uint32_t)> give_up_handler_;
 
-  /// Receiver-side dedup state per source: sequences below `low` have all
-  /// been delivered; `sparse` holds delivered sequences above any gap.
+  /// Receiver-side state per source: sequences below `low` have all been
+  /// delivered; `held` buffers arrivals above a gap until it fills (FIFO
+  /// reorder buffer, doubling as the dedup record for those sequences).
   struct SeenState {
     std::uint32_t low = 0;
-    std::set<std::uint32_t> sparse;
+    std::map<std::uint32_t, Message> held;
   };
 
   std::map<Key, InFlight> in_flight_;

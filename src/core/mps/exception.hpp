@@ -1,0 +1,51 @@
+// Typed NCS exceptions — the paper's fourth service class (Section 3.1)
+// made concrete: when the runtime declares a delivery failure, blocked NCS
+// calls raise a typed exception into the application thread instead of
+// hanging it. Handlers registered with Node::set_exception_handler still
+// see every event; the thrown exception is what lets a thread (and so a
+// whole run) terminate cleanly under unrecoverable faults.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ncs::mps {
+
+enum class NcsExceptionKind : std::uint8_t {
+  message_timeout,  // sender side: error control exhausted its retries
+  frame_error,      // transport delivered a garbled frame (loss, no EC)
+  recv_timeout,     // receiver side: no matching message within the deadline
+};
+
+inline const char* to_string(NcsExceptionKind k) {
+  switch (k) {
+    case NcsExceptionKind::message_timeout: return "message_timeout";
+    case NcsExceptionKind::frame_error: return "frame_error";
+    case NcsExceptionKind::recv_timeout: return "recv_timeout";
+  }
+  return "?";
+}
+
+class NcsException : public std::runtime_error {
+ public:
+  NcsException(NcsExceptionKind kind, int peer, std::uint32_t seq)
+      : std::runtime_error(std::string("NCS exception: ") + to_string(kind) +
+                           " (peer " + std::to_string(peer) + ", seq " +
+                           std::to_string(seq) + ")"),
+        kind_(kind),
+        peer_(peer),
+        seq_(seq) {}
+
+  NcsExceptionKind kind() const { return kind_; }
+  /// Peer process index, or a wildcard (< 0) when unknown.
+  int peer() const { return peer_; }
+  std::uint32_t seq() const { return seq_; }
+
+ private:
+  NcsExceptionKind kind_;
+  int peer_;
+  std::uint32_t seq_;
+};
+
+}  // namespace ncs::mps

@@ -18,7 +18,7 @@ void Mailbox::deliver(Message msg) {
   pending_.push_back(std::move(msg));
 }
 
-Message Mailbox::recv(Pattern pattern) {
+Message Mailbox::recv(Pattern pattern, Duration timeout) {
   NCS_ASSERT_MSG(mts::Scheduler::active() == &sched_, "recv from a foreign thread");
   for (auto it = pending_.begin(); it != pending_.end(); ++it) {
     if (pattern.matches(*it)) {
@@ -29,7 +29,21 @@ Message Mailbox::recv(Pattern pattern) {
   }
   Waiter w{pattern, sched_.current()};
   waiters_.push_back(&w);
-  while (!w.filled) sched_.block(sim::Activity::communicate);
+  sim::EventId timer = 0;
+  if (!timeout.is_zero()) {
+    timer = sched_.engine().schedule_after(timeout, [this, &w] {
+      // The waiter is on this thread's stack and is only withdrawn here or
+      // on delivery, so the pointer is valid whenever the timer fires.
+      if (w.filled) return;
+      w.timed_out = true;
+      waiters_.remove(&w);
+      sched_.unblock(w.thread);
+    });
+  }
+  while (!w.filled && !w.timed_out) sched_.block(sim::Activity::communicate);
+  if (w.timed_out)
+    throw NcsException(NcsExceptionKind::recv_timeout, pattern.from_process, 0);
+  if (timer != 0) sched_.engine().cancel(timer);
   return std::move(w.msg);
 }
 

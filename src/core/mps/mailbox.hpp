@@ -7,6 +7,7 @@
 
 #include <list>
 
+#include "core/mps/exception.hpp"
 #include "core/mps/message.hpp"
 #include "core/mts/scheduler.hpp"
 
@@ -20,8 +21,12 @@ class Mailbox {
   /// it. Callable from any context.
   void deliver(Message msg);
 
-  /// Blocks the calling thread until a matching message arrives.
-  Message recv(Pattern pattern);
+  /// Blocks the calling thread until a matching message arrives. A nonzero
+  /// `timeout` bounds the wait: if nothing matches in time, the waiter is
+  /// withdrawn and NcsException(recv_timeout) is thrown into the caller —
+  /// the exception-handling service's guarantee that threads observe
+  /// failure instead of hanging.
+  Message recv(Pattern pattern, Duration timeout = Duration::zero());
 
   /// Non-blocking probe.
   bool available(const Pattern& pattern) const;
@@ -33,6 +38,7 @@ class Mailbox {
     Pattern pattern;
     mts::Thread* thread;
     bool filled = false;
+    bool timed_out = false;
     Message msg;
   };
 

@@ -46,8 +46,12 @@ Node::Node(mts::Scheduler& host, int rank, int n_procs, std::unique_ptr<Transpor
   }
 
   // Exception-handling service: surface unrecoverable delivery failures to
-  // the application's registered handler (paper Section 3.1).
+  // the application's registered handler (paper Section 3.1). Abandoning a
+  // message must also return its flow-control window credit — the ack that
+  // would have released it is never coming, and a leaked credit leaves the
+  // send thread stalled forever once the window fills with dead messages.
   ec_.set_give_up_handler([this](int peer, std::uint32_t seq) {
+    fc_.on_ack(peer);
     if (exception_handler_) exception_handler_(Exception::message_timeout, peer, seq);
   });
   transport_->set_frame_error_handler([this](int peer) {
@@ -58,7 +62,18 @@ Node::Node(mts::Scheduler& host, int rank, int n_procs, std::unique_ptr<Transpor
 int Node::t_create(std::function<void()> body, int priority, std::string name) {
   const int tid = static_cast<int>(user_threads_.size());
   if (name.empty()) name = "thread" + std::to_string(tid);
-  user_threads_.push_back(host_.spawn(std::move(body),
+  // An NcsException escaping the thread body is a clean (if failed) exit:
+  // the thread terminates and the run can finish, instead of the exception
+  // unwinding into the fiber trampoline and aborting the process.
+  auto wrapped = [this, body = std::move(body)] {
+    try {
+      body();
+    } catch (const NcsException& e) {
+      ++stats_.threads_aborted;
+      NCS_WARN("ncs", "node %d thread aborted by %s", rank_, e.what());
+    }
+  };
+  user_threads_.push_back(host_.spawn(std::move(wrapped),
                                       {.name = std::move(name),
                                        .priority = priority,
                                        .cls = mts::ThreadClass::user}));
@@ -89,10 +104,21 @@ void Node::send(int from_thread, int to_thread, int to_process, BytesView data) 
   done.wait();
 }
 
+Message Node::recv_matching(const Pattern& pattern) {
+  try {
+    return mailbox_.recv(pattern, options_.recv_timeout);
+  } catch (const NcsException& e) {
+    ++stats_.exceptions;
+    NCS_WARN("ncs", "node %d recv raised %s", rank_, e.what());
+    if (exception_handler_) exception_handler_(e.kind(), e.peer(), e.seq());
+    throw;
+  }
+}
+
 Bytes Node::recv(int from_thread, int from_process, int to_thread, int* src_thread,
                  int* src_process) {
   NCS_ASSERT_MSG(mts::Scheduler::active() == &host_, "NCS_recv from a foreign thread");
-  Message msg = mailbox_.recv(Pattern{from_thread, from_process, to_thread, rank_});
+  Message msg = recv_matching(Pattern{from_thread, from_process, to_thread, rank_});
   ++stats_.recvs;
   stats_.bytes_received += msg.data.size();
   if (src_thread != nullptr) *src_thread = msg.from_thread;
@@ -150,7 +176,7 @@ void Node::collective_send(int to_process, BytesView data) {
 
 Bytes Node::collective_recv(int from_process) {
   Message msg =
-      mailbox_.recv(Pattern{kCollectiveThread, from_process, kCollectiveThread, rank_});
+      recv_matching(Pattern{kCollectiveThread, from_process, kCollectiveThread, rank_});
   stats_.bytes_received += msg.data.size();
   return std::move(msg.data);
 }
@@ -221,6 +247,8 @@ void Node::register_metrics(obs::MetricsRegistry& reg, const std::string& prefix
   reg.counter(prefix + "/bytes_received", &stats_.bytes_received);
   reg.counter(prefix + "/acks_sent", &stats_.acks_sent);
   reg.counter(prefix + "/local_deliveries", &stats_.local_deliveries);
+  reg.counter(prefix + "/exceptions", &stats_.exceptions);
+  reg.counter(prefix + "/threads_aborted", &stats_.threads_aborted);
   fc_.register_metrics(reg, prefix + "/flow");
   ec_.register_metrics(reg, prefix + "/ec");
 }
@@ -278,19 +306,20 @@ void Node::recv_thread_main() {
       handle_control(msg);
       continue;
     }
+    // Every arrival is acked (duplicates too — the original ack may have
+    // been lost; held out-of-order messages are received, just not yet
+    // deliverable), then the error-control policy decides what the
+    // application may see and in what order.
     const bool need_ack = fc_.wants_acks() || ec_.wants_acks();
-    if (!ec_.accept(msg)) {
-      // Duplicate: the original ack was probably lost; ack again, drop.
-      if (need_ack) send_ack_for(msg);
-      continue;
-    }
     if (need_ack) send_ack_for(msg);
-    if (trace_ != nullptr)
-      trace_->instant(recv_track_,
-                      "deliver p" + std::to_string(msg.from_process) + " " +
-                          std::to_string(msg.data.size()) + "B",
-                      "mps", host_.engine().now());
-    mailbox_.deliver(std::move(msg));
+    for (Message& m : ec_.accept(std::move(msg))) {
+      if (trace_ != nullptr)
+        trace_->instant(recv_track_,
+                        "deliver p" + std::to_string(m.from_process) + " " +
+                            std::to_string(m.data.size()) + "B",
+                        "mps", host_.engine().now());
+      mailbox_.deliver(std::move(m));
+    }
   }
 }
 

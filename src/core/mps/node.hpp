@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/mps/error_control.hpp"
+#include "core/mps/exception.hpp"
 #include "core/mps/flow_control.hpp"
 #include "core/mps/mailbox.hpp"
 #include "core/mps/transport.hpp"
@@ -43,6 +44,11 @@ class Node {
     /// memory copy is charged.
     double local_copy_cycles_per_byte = 0.75;
     double local_send_fixed_cycles = 200;
+    /// Bound on every blocking receive (zero = wait forever, the paper's
+    /// default). With error control `none` over a faulty network this is
+    /// what turns a lost message into NcsException(recv_timeout) instead
+    /// of a deadlocked run.
+    Duration recv_timeout = Duration::zero();
   };
 
   /// NCS_init: binds a transport and spawns the system threads.
@@ -112,10 +118,9 @@ class Node {
 
   // --- exception handling (paper Section 3.1, fourth service class) ---
 
-  enum class Exception {
-    message_timeout,  // error control exhausted its retries
-    frame_error,      // transport delivered a garbled frame (loss, no EC)
-  };
+  /// Failure kinds surfaced by the runtime (see exception.hpp; blocking
+  /// calls additionally *throw* NcsException so threads never hang).
+  using Exception = NcsExceptionKind;
 
   /// Handler invoked from system context (must not block) when the runtime
   /// detects a delivery failure: (kind, peer process, sequence or 0).
@@ -132,6 +137,10 @@ class Node {
     std::uint64_t bytes_received = 0;
     std::uint64_t acks_sent = 0;
     std::uint64_t local_deliveries = 0;
+    /// NcsExceptions thrown into application threads (recv timeouts).
+    std::uint64_t exceptions = 0;
+    /// User threads that terminated by NcsException instead of returning.
+    std::uint64_t threads_aborted = 0;
   };
   const Stats& stats() const { return stats_; }
   const FlowControl& flow_control() const { return fc_; }
@@ -155,6 +164,9 @@ class Node {
   void send_thread_main();
   void recv_thread_main();
   void ec_thread_main();
+  /// Mailbox receive under the configured timeout; counts and reports the
+  /// exception before rethrowing it into the calling thread.
+  Message recv_matching(const Pattern& pattern);
   void submit_locked(const Message& msg);
   void send_ack_for(const Message& msg);
   void handle_control(const Message& msg);

@@ -64,11 +64,17 @@ void Bus::start_transmit(Pending&& frame) {
 
   engine_.schedule_after(tx, [this, f = std::move(frame)]() mutable {
     if (f.on_sent) f.on_sent();
-    engine_.schedule_after(params_.propagation,
-                           [this, dst = f.dst, src = f.src, p = std::move(f.payload)]() mutable {
-                             auto& h = handlers_[static_cast<std::size_t>(dst)];
-                             if (h) h(src, std::move(p));
-                           });
+    // Fault verdict after the wire time is paid: a downed or bursty
+    // segment eats the frame, the transmitter none the wiser.
+    if (fault_.should_drop()) {
+      ++stats_.drops;
+    } else {
+      engine_.schedule_after(params_.propagation,
+                             [this, dst = f.dst, src = f.src, p = std::move(f.payload)]() mutable {
+                               auto& h = handlers_[static_cast<std::size_t>(dst)];
+                               if (h) h(src, std::move(p));
+                             });
+    }
     medium_busy_ = false;
     pump();
   });
@@ -77,6 +83,7 @@ void Bus::start_transmit(Pending&& frame) {
 void Bus::register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const {
   reg.counter(prefix + "/frames", &stats_.frames);
   reg.counter(prefix + "/payload_bytes", &stats_.payload_bytes);
+  reg.counter(prefix + "/drops", &stats_.drops);
   reg.counter(prefix + "/contention_events", &stats_.contention_events);
   reg.duration(prefix + "/contention_delay", &stats_.contention_delay);
 }

@@ -23,6 +23,7 @@
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "ether/frame.hpp"
+#include "fault/faults.hpp"
 #include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 
@@ -57,9 +58,15 @@ class Bus {
   /// buffer reusable); the destination handler fires one propagation later.
   void send(int src, int dst, Bytes payload, sim::EventFn on_sent);
 
+  /// Fault state of the shared medium (FaultPlan target name: "ether").
+  /// Down-windows and burst loss drop frames after they occupy the wire —
+  /// the transmitter still pays the serialization time.
+  fault::LinkFault& fault() { return fault_; }
+
   struct Stats {
     std::uint64_t frames = 0;
     std::uint64_t payload_bytes = 0;
+    std::uint64_t drops = 0;  // fault-injected losses
     std::uint64_t contention_events = 0;
     Duration contention_delay;
   };
@@ -83,6 +90,7 @@ class Bus {
   sim::Engine& engine_;
   BusParams params_;
   Rng rng_;
+  fault::LinkFault fault_;
   std::vector<RxHandler> handlers_;
   std::deque<Pending> queue_;
   bool medium_busy_ = false;

@@ -1,0 +1,108 @@
+#include "fault/faults.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace ncs::fault {
+
+void LinkFault::configure_uniform(double probability, std::uint64_t seed) {
+  NCS_ASSERT(probability >= 0.0 && probability <= 1.0);
+  uniform_p_ = probability;
+  if (probability > 0.0) uniform_rng_.emplace(seed);
+}
+
+void LinkFault::set_down(bool down) {
+  if (down) {
+    ++down_depth_;
+  } else {
+    NCS_ASSERT_MSG(down_depth_ > 0, "link up without a matching down");
+    --down_depth_;
+  }
+}
+
+void LinkFault::begin_burst(const GilbertElliottParams& params, std::uint64_t seed) {
+  // Overlapping windows: the newest chain wins (a fresh burst process
+  // replaces the running one — simple and deterministic).
+  burst_.emplace(params, seed);
+}
+
+void LinkFault::end_burst() { burst_.reset(); }
+
+bool LinkFault::should_drop() {
+  if (down_depth_ > 0) {
+    ++stats_.down_drops;
+    return true;
+  }
+  if (burst_.has_value() && burst_->advance()) {
+    ++stats_.burst_drops;
+    return true;
+  }
+  if (uniform_p_ > 0.0 && uniform_rng_->next_bool(uniform_p_)) {
+    ++stats_.uniform_drops;
+    return true;
+  }
+  return false;
+}
+
+void NicFault::configure_uniform(double probability, std::uint64_t seed) {
+  NCS_ASSERT(probability >= 0.0 && probability <= 1.0);
+  uniform_p_ = probability;
+  rng_.emplace(seed);
+}
+
+void NicFault::begin_window(double probability) {
+  NCS_ASSERT(probability >= 0.0 && probability <= 1.0);
+  windows_.push_back(probability);
+}
+
+void NicFault::end_window() {
+  NCS_ASSERT_MSG(!windows_.empty(), "corrupt window end without a begin");
+  windows_.pop_back();
+}
+
+double NicFault::effective_p() const {
+  double p = uniform_p_;
+  for (const double w : windows_) p += w;
+  return std::min(p, 1.0);
+}
+
+bool NicFault::draw_corrupt() {
+  NCS_ASSERT_MSG(rng_.has_value(), "NicFault draws before configure_uniform");
+  return rng_->next_bool(effective_p());
+}
+
+std::uint64_t NicFault::draw_below(std::uint64_t bound) {
+  return rng_->next_below(bound);
+}
+
+bool SwitchFault::port_down(int port) const {
+  const auto it = down_depth_.find(port);
+  return it != down_depth_.end() && it->second > 0;
+}
+
+void SwitchFault::set_port_down(int port, bool down) {
+  int& depth = down_depth_[port];
+  const bool was_down = depth > 0;
+  if (down) {
+    ++depth;
+  } else {
+    NCS_ASSERT_MSG(depth > 0, "port up without a matching down");
+    --depth;
+  }
+  const bool is_down = depth > 0;
+  if (was_down == is_down) return;
+  for (const PortObserver& fn : observers_) fn(port, is_down);
+}
+
+void HostFault::pause_until(TimePoint resume_at) {
+  ++stats_.pauses;
+  if (handler_) {
+    handler_(resume_at);
+  } else {
+    NCS_WARN("fault", "host pause scheduled but no pause handler installed");
+  }
+}
+
+}  // namespace ncs::fault

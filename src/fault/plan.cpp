@@ -1,0 +1,174 @@
+#include "fault/plan.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+#include <utility>
+
+namespace ncs::fault {
+
+FaultPlan& FaultPlan::link_down(std::string link, TimePoint begin, Duration duration) {
+  events.push_back(FaultEvent{FaultEvent::Kind::link_down, begin, duration,
+                              std::move(link), -1, 0.0, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_burst(std::string link, TimePoint begin, Duration duration,
+                                 GilbertElliottParams ge) {
+  events.push_back(FaultEvent{FaultEvent::Kind::link_burst, begin, duration,
+                              std::move(link), -1, 0.0, ge});
+  return *this;
+}
+
+FaultPlan& FaultPlan::nic_corrupt(std::string nic, TimePoint begin, Duration duration,
+                                  double probability) {
+  events.push_back(FaultEvent{FaultEvent::Kind::nic_corrupt, begin, duration,
+                              std::move(nic), -1, probability, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::port_down(std::string sw, int port, TimePoint begin,
+                                Duration duration) {
+  events.push_back(FaultEvent{FaultEvent::Kind::port_down, begin, duration, std::move(sw),
+                              port, 0.0, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::host_pause(std::string host, TimePoint begin, Duration duration) {
+  events.push_back(FaultEvent{FaultEvent::Kind::host_pause, begin, duration,
+                              std::move(host), -1, 0.0, {}});
+  return *this;
+}
+
+namespace {
+
+Status parse_error(int line_no, const std::string& what) {
+  return Status(ErrorCode::invalid_argument,
+                "fault plan line " + std::to_string(line_no) + ": " + what);
+}
+
+bool parse_double(const std::string& tok, double* out) {
+  const char* end = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(tok.data(), end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+/// "200ms" / "1.5s" / "40us" / "300ns" -> Duration.
+bool parse_duration(const std::string& tok, Duration* out) {
+  std::size_t unit = tok.size();
+  while (unit > 0 && (std::isalpha(static_cast<unsigned char>(tok[unit - 1])) != 0)) --unit;
+  if (unit == 0 || unit == tok.size()) return false;
+  double value = 0.0;
+  if (!parse_double(tok.substr(0, unit), &value) || value < 0.0) return false;
+  const std::string suffix = tok.substr(unit);
+  if (suffix == "ns") {
+    *out = Duration::nanoseconds(value);
+  } else if (suffix == "us") {
+    *out = Duration::microseconds(value);
+  } else if (suffix == "ms") {
+    *out = Duration::milliseconds(value);
+  } else if (suffix == "s") {
+    *out = Duration::seconds(value);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// "key=value" trailing options (burst parameters, corruption probability).
+bool parse_option(const std::string& tok, std::string* key, double* value) {
+  const std::size_t eq = tok.find('=');
+  if (eq == std::string::npos) return false;
+  *key = tok.substr(0, eq);
+  return parse_double(tok.substr(eq + 1), value);
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream lines(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    std::istringstream words(line);
+    std::vector<std::string> tok;
+    for (std::string w; words >> w;) tok.push_back(std::move(w));
+    if (tok.empty()) continue;
+
+    if (tok[0] == "seed") {
+      if (tok.size() != 2) return parse_error(line_no, "expected: seed <u64>");
+      std::uint64_t seed = 0;
+      const auto [ptr, ec] =
+          std::from_chars(tok[1].data(), tok[1].data() + tok[1].size(), seed);
+      if (ec != std::errc() || ptr != tok[1].data() + tok[1].size())
+        return parse_error(line_no, "bad seed value '" + tok[1] + "'");
+      plan.seed = seed;
+      continue;
+    }
+
+    // Every event line: at <time> <kind ...> for <duration> [options].
+    Duration at;
+    if (tok.size() < 2 || tok[0] != "at" || !parse_duration(tok[1], &at))
+      return parse_error(line_no, "expected: at <time> ...");
+    const TimePoint begin = TimePoint::origin() + at;
+
+    // Locate "for <duration>"; options follow it.
+    std::size_t for_at = 0;
+    for (std::size_t i = 2; i < tok.size(); ++i)
+      if (tok[i] == "for") for_at = i;
+    Duration duration;
+    if (for_at == 0 || for_at + 1 >= tok.size() ||
+        !parse_duration(tok[for_at + 1], &duration))
+      return parse_error(line_no, "expected: ... for <duration>");
+
+    std::vector<std::pair<std::string, double>> options;
+    for (std::size_t i = for_at + 2; i < tok.size(); ++i) {
+      std::string key;
+      double value = 0.0;
+      if (!parse_option(tok[i], &key, &value))
+        return parse_error(line_no, "bad option '" + tok[i] + "'");
+      options.emplace_back(std::move(key), value);
+    }
+    const auto option = [&](const std::string& key, double* out) {
+      for (const auto& [k, v] : options)
+        if (k == key) *out = v;
+    };
+
+    const std::vector<std::string> body(tok.begin() + 2, tok.begin() + static_cast<std::ptrdiff_t>(for_at));
+    if (body.size() == 3 && body[0] == "link" && body[2] == "down") {
+      plan.link_down(body[1], begin, duration);
+    } else if (body.size() == 3 && body[0] == "link" && body[2] == "burst") {
+      GilbertElliottParams ge;
+      option("p_gb", &ge.p_good_to_bad);
+      option("p_bg", &ge.p_bad_to_good);
+      option("loss_good", &ge.loss_good);
+      option("loss_bad", &ge.loss_bad);
+      plan.link_burst(body[1], begin, duration, ge);
+    } else if (body.size() == 3 && body[0] == "nic" && body[2] == "corrupt") {
+      double p = 0.0;
+      option("p", &p);
+      if (p <= 0.0 || p > 1.0)
+        return parse_error(line_no, "nic corrupt needs p=<probability in (0,1]>");
+      plan.nic_corrupt(body[1], begin, duration, p);
+    } else if (body.size() == 5 && body[0] == "switch" && body[2] == "port" &&
+               body[4] == "down") {
+      int port = 0;
+      const auto [ptr, ec] =
+          std::from_chars(body[3].data(), body[3].data() + body[3].size(), port);
+      if (ec != std::errc() || ptr != body[3].data() + body[3].size() || port < 0)
+        return parse_error(line_no, "bad port '" + body[3] + "'");
+      plan.port_down(body[1], port, begin, duration);
+    } else if (body.size() == 3 && body[0] == "host" && body[2] == "pause") {
+      plan.host_pause(body[1], begin, duration);
+    } else {
+      return parse_error(line_no, "unrecognized event");
+    }
+  }
+  return plan;
+}
+
+}  // namespace ncs::fault

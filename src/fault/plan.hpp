@@ -1,0 +1,72 @@
+// Scripted fault schedules.
+//
+// A FaultPlan is a time-ordered list of fault events against named
+// components — links by name ("sonet" matches both directions of the
+// duplex pair, "ether" the shared segment), NICs by name ("nic2"),
+// switches by (name, port), hosts by scheduler name ("p1"). The plan is a
+// plain value: build it programmatically or parse the one-line-per-event
+// text form (see `FaultPlan::parse`), then hand it to a FaultInjector (or
+// `ClusterConfig::faults`) to arm it against a built topology.
+//
+// Text form, one event per line ('#' comments, blank lines ignored):
+//
+//   seed 48879
+//   at 1s     link sonet down for 200ms
+//   at 500ms  link sonet burst for 2s p_gb=0.05 p_bg=0.3 loss_good=0 loss_bad=0.9
+//   at 2s     nic nic0 corrupt for 100ms p=0.01
+//   at 1s     switch wan-switch0 port 2 down for 100ms
+//   at 1.5s   host p1 pause for 50ms
+//
+// Durations accept ns/us/ms/s suffixes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/time.hpp"
+#include "fault/faults.hpp"
+
+namespace ncs::fault {
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    link_down,    // target: link name
+    link_burst,   // target: link name; `ge` parameterizes the chain
+    nic_corrupt,  // target: NIC name; `probability` per cell
+    port_down,    // target: switch name; `port`
+    host_pause,   // target: host (scheduler) name
+  };
+
+  Kind kind = Kind::link_down;
+  TimePoint begin;
+  Duration duration;
+  std::string target;
+  int port = -1;             // port_down only
+  double probability = 0.0;  // nic_corrupt only
+  GilbertElliottParams ge;   // link_burst only
+};
+
+struct FaultPlan {
+  /// Master seed for the plan's stochastic elements (each burst chain is
+  /// seeded from this mixed with its event index).
+  std::uint64_t seed = 0xFA517;
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  // --- builder sugar ---
+  FaultPlan& link_down(std::string link, TimePoint begin, Duration duration);
+  FaultPlan& link_burst(std::string link, TimePoint begin, Duration duration,
+                        GilbertElliottParams ge = {});
+  FaultPlan& nic_corrupt(std::string nic, TimePoint begin, Duration duration,
+                         double probability);
+  FaultPlan& port_down(std::string sw, int port, TimePoint begin, Duration duration);
+  FaultPlan& host_pause(std::string host, TimePoint begin, Duration duration);
+
+  /// Parses the text form described in the header comment.
+  static Result<FaultPlan> parse(const std::string& text);
+};
+
+}  // namespace ncs::fault

@@ -7,9 +7,12 @@
 namespace ncs::net {
 
 Link::Link(sim::Engine& engine, LinkParams params, std::string name)
-    : engine_(engine), params_(params), name_(std::move(name)), loss_rng_(params.loss_seed) {
+    : engine_(engine), params_(params), name_(std::move(name)) {
   NCS_ASSERT(params_.bandwidth_bps > 0);
   NCS_ASSERT(params_.loss_probability >= 0.0 && params_.loss_probability <= 1.0);
+  // The legacy loss knob is sugar for a uniform fault-state component with
+  // the link's own seed — same stream and draw order as before fault/.
+  fault_.configure_uniform(params_.loss_probability, params_.loss_seed);
 }
 
 void Link::transmit(std::size_t wire_bytes, sim::EventFn on_sent, sim::EventFn on_delivered) {
@@ -21,9 +24,10 @@ void Link::transmit(std::size_t wire_bytes, sim::EventFn on_sent, sim::EventFn o
 
   if (on_sent) engine_.schedule_at(sent, std::move(on_sent));
 
-  const bool lost =
-      params_.loss_probability > 0.0 && loss_rng_.next_bool(params_.loss_probability);
-  if (lost) {
+  // One verdict per frame: down-window, burst chain, then the uniform
+  // draw. The frame still occupies the wire (a downed link's sender only
+  // learns from the missing ack, exactly like a real cut fiber).
+  if (fault_.should_drop()) {
     ++stats_.drops;
     return;
   }

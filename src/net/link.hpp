@@ -12,8 +12,8 @@
 #include <functional>
 #include <string>
 
-#include "common/rng.hpp"
 #include "common/time.hpp"
+#include "fault/faults.hpp"
 #include "sim/engine.hpp"
 
 namespace ncs::net {
@@ -52,6 +52,11 @@ class Link {
   const LinkParams& params() const { return params_; }
   const std::string& name() const { return name_; }
 
+  /// Fault state consulted once per frame. `loss_probability` is carried
+  /// here as the uniform component; the FaultInjector layers down-windows
+  /// and burst loss on top (register via FaultInjector::attach_link).
+  fault::LinkFault& fault() { return fault_; }
+
   struct Stats {
     std::uint64_t frames = 0;
     std::uint64_t bytes = 0;
@@ -64,7 +69,7 @@ class Link {
   LinkParams params_;
   std::string name_;
   TimePoint busy_until_;
-  Rng loss_rng_;
+  fault::LinkFault fault_;
   Stats stats_;
 };
 

@@ -206,10 +206,18 @@ TEST_F(NicFixture, PartialCorruptionLosesSomeChunks) {
   for (const auto& r : rx) EXPECT_EQ(r.data, payload(4000));
 }
 
-TEST_F(NicFixture, CorruptionWithoutDetailedModeAborts) {
+TEST_F(NicFixture, CorruptionWorksInBurstModeToo) {
+  // Burst mode has no per-cell wire representation, so a corrupted cell is
+  // modelled as a damaged burst: the receiver's AAL5 CRC check rejects the
+  // whole chunk, exactly as in detailed mode.
   NicParams p;
-  p.cell_corrupt_probability = 0.5;
-  EXPECT_DEATH(reset(p), "detailed_cells");
+  p.cell_corrupt_probability = 1.0;
+  reset(p);
+  nic->submit_tx(VcId{0, 70}, payload(1000), true);
+  engine.run();
+  EXPECT_TRUE(rx.empty());
+  EXPECT_EQ(nic->stats().rx_errors, 1u);
+  EXPECT_GT(nic->fault().stats().corrupted_cells, 0u);
 }
 
 

@@ -5,6 +5,8 @@
 namespace ncs::atm {
 namespace {
 
+using namespace ncs::literals;
+
 struct SignalingFixture : ::testing::Test {
   SignalingFixture() {
     LanConfig lc;
@@ -171,6 +173,92 @@ TEST_F(SignalingFixture, SignalingCoexistsWithPvcMesh) {
 }
 
 
+// --- failure paths (scripted via the switches' SwitchFault) ----------------
+
+TEST_F(SignalingFixture, ReleaseMidTransferDropsTheTailWithoutCrashing) {
+  std::optional<VcId> vc;
+  controller->agent(1);
+  controller->agent(0).open_call(1, [&](Result<VcId> r) { vc = r.value(); });
+  engine.run();
+  ASSERT_TRUE(vc.has_value());
+
+  int delivered = 0;
+  lan->nic(1).set_rx_handler([&](VcId, Bytes, bool) { ++delivered; });
+  // Stream 8 bursts through the NIC's two tx buffers via backpressure.
+  int submitted = 0;
+  std::function<void()> pump = [&] {
+    while (submitted < 8 && lan->nic(0).tx_buffer_available()) {
+      lan->nic(0).submit_tx(*vc, Bytes(4000, std::byte{1}), true);
+      ++submitted;
+    }
+    if (submitted < 8) lan->nic(0).notify_tx_buffer(pump);
+  };
+  pump();
+  // The callee hangs up while the burst train is still on the wire: its
+  // RELEASE overtakes the queued data, so the tail goes unroutable.
+  const VcId callee_vc = *controller->agent(1).accepted_vc_from(0);
+  engine.schedule_after(700_us, [&, callee_vc] {
+    controller->agent(1).release_call(callee_vc);
+  });
+  engine.run();
+  EXPECT_GT(delivered, 0);
+  EXPECT_LT(delivered, 8);
+  EXPECT_EQ(controller->stats().active_calls, 0u);
+  EXPECT_GT(lan->fabric().stats().unroutable, 0u);
+}
+
+TEST_F(SignalingFixture, SetupTowardFailedPortIsRejectedNotHung) {
+  lan->fabric().fault().set_port_down(2, true);
+  controller->agent(2);
+  bool answered = false;
+  Status status;
+  controller->agent(0).open_call(2, [&](Result<VcId> r) {
+    answered = true;
+    status = r.status();
+  });
+  engine.run();
+  EXPECT_TRUE(answered);  // rejected immediately, not a hung SETUP
+  EXPECT_EQ(status.code(), ErrorCode::failed_precondition);
+  EXPECT_EQ(controller->stats().rejects, 1u);
+  EXPECT_EQ(controller->stats().active_calls, 0u);
+}
+
+TEST_F(SignalingFixture, PortFailureReleasesCallsAndRecoveredPortCarriesNewSvc) {
+  std::optional<VcId> first;
+  controller->agent(1);
+  controller->agent(0).open_call(1, [&](Result<VcId> r) { first = r.value(); });
+  engine.run();
+  ASSERT_TRUE(first.has_value());
+
+  lan->fabric().fault().set_port_down(1, true);
+  engine.run();
+  EXPECT_EQ(controller->stats().faulted_releases, 1u);
+  EXPECT_EQ(controller->stats().active_calls, 0u);
+
+  // After recovery a fresh SETUP succeeds with a new label, and the
+  // re-established circuit carries data end to end.
+  lan->fabric().fault().set_port_down(1, false);
+  std::optional<VcId> second;
+  controller->agent(0).open_call(1, [&](Result<VcId> r) { second = r.value(); });
+  engine.run();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(*second, *first);
+
+  Bytes got;
+  lan->nic(1).set_rx_handler([&](VcId dvc, Bytes d, bool) {
+    if (dvc == *second) got = std::move(d);
+  });
+  lan->nic(0).submit_tx(*second, to_bytes("after recovery"), true);
+  engine.run();
+  EXPECT_EQ(got, to_bytes("after recovery"));
+
+  // The failed-over label stayed dead.
+  const auto unroutable_before = lan->fabric().stats().unroutable;
+  lan->nic(0).submit_tx(*first, to_bytes("stale"), true);
+  engine.run();
+  EXPECT_EQ(lan->fabric().stats().unroutable, unroutable_before + 1);
+}
+
 // --- WAN (two-site) signaling --------------------------------------------------
 
 struct WanSignalingFixture : ::testing::Test {
@@ -269,6 +357,41 @@ TEST_F(WanSignalingFixture, CrossSiteRejectPropagates) {
   engine.run();
   EXPECT_EQ(status.code(), ErrorCode::failed_precondition);
   EXPECT_EQ(controller->stats().active_calls, 0u);
+}
+
+TEST_F(WanSignalingFixture, BackbonePortFailureReleasesAndCallReestablishes) {
+  std::optional<VcId> vc;
+  controller->agent(3);
+  controller->agent(0).open_call(3, [&](Result<VcId> r) { vc = r.value(); });
+  engine.run();
+  ASSERT_TRUE(vc.has_value());
+
+  wan->site_switch(1).fault().set_port_down(wan->backbone_port(1), true);
+  engine.run();
+  EXPECT_GE(controller->stats().faulted_releases, 1u);
+  EXPECT_EQ(controller->stats().active_calls, 0u);
+
+  // While the backbone is dead, a new cross-site SETUP is rejected
+  // immediately instead of hanging on an undeliverable offer.
+  Status status;
+  controller->agent(0).open_call(3, [&](Result<VcId> r) { status = r.status(); });
+  engine.run();
+  EXPECT_EQ(status.code(), ErrorCode::failed_precondition);
+
+  // After recovery the call comes back up and carries data again.
+  wan->site_switch(1).fault().set_port_down(wan->backbone_port(1), false);
+  std::optional<VcId> vc2;
+  controller->agent(0).open_call(3, [&](Result<VcId> r) { vc2 = r.value(); });
+  engine.run();
+  ASSERT_TRUE(vc2.has_value());
+
+  Bytes got;
+  wan->nic(3).set_rx_handler([&](VcId dvc, Bytes d, bool) {
+    if (dvc == *vc2) got = std::move(d);
+  });
+  wan->nic(0).submit_tx(*vc2, to_bytes("reestablished"), true);
+  engine.run();
+  EXPECT_EQ(got, to_bytes("reestablished"));
 }
 
 }  // namespace

@@ -163,6 +163,13 @@ struct EcFixture : ::testing::Test {
     return m;
   }
 
+  /// Sequence numbers accept() released, in delivery order.
+  static std::vector<std::uint32_t> seqs(std::vector<Message> ready) {
+    std::vector<std::uint32_t> out;
+    for (const Message& m : ready) out.push_back(m.seq);
+    return out;
+  }
+
   sim::Engine engine;
   std::vector<std::uint32_t> retransmitted;
   ErrorControl* ec_ptr = nullptr;
@@ -171,8 +178,8 @@ struct EcFixture : ::testing::Test {
 TEST_F(EcFixture, NonePolicyAcceptsEverythingTwice) {
   ErrorControl ec(engine, {.kind = ErrorControlKind::none}, nullptr);
   EXPECT_FALSE(ec.wants_acks());
-  EXPECT_TRUE(ec.accept(msg(0, 1)));
-  EXPECT_TRUE(ec.accept(msg(0, 1)));  // no dedup when off
+  EXPECT_EQ(seqs(ec.accept(msg(0, 1))), (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(seqs(ec.accept(msg(0, 1))), (std::vector<std::uint32_t>{1}));  // no dedup when off
 }
 
 TEST_F(EcFixture, RetransmitsAfterRto) {
@@ -212,28 +219,33 @@ TEST_F(EcFixture, GivesUpAfterMaxRetries) {
 
 TEST_F(EcFixture, ReceiverDeduplicates) {
   ErrorControl ec(engine, {.kind = ErrorControlKind::retransmit}, [](Message) {});
-  EXPECT_TRUE(ec.accept(msg(0, 0, 2)));
-  EXPECT_TRUE(ec.accept(msg(0, 1, 2)));
-  EXPECT_FALSE(ec.accept(msg(0, 0, 2)));  // duplicate
-  EXPECT_FALSE(ec.accept(msg(0, 1, 2)));
-  EXPECT_TRUE(ec.accept(msg(0, 2, 2)));
+  EXPECT_EQ(ec.accept(msg(0, 0, 2)).size(), 1u);
+  EXPECT_EQ(ec.accept(msg(0, 1, 2)).size(), 1u);
+  EXPECT_TRUE(ec.accept(msg(0, 0, 2)).empty());  // duplicate
+  EXPECT_TRUE(ec.accept(msg(0, 1, 2)).empty());
+  EXPECT_EQ(ec.accept(msg(0, 2, 2)).size(), 1u);
   EXPECT_EQ(ec.stats().duplicates_dropped, 2u);
 }
 
 TEST_F(EcFixture, DedupTracksSourcesIndependently) {
   ErrorControl ec(engine, {.kind = ErrorControlKind::retransmit}, [](Message) {});
-  EXPECT_TRUE(ec.accept(msg(0, 0, 1)));
-  EXPECT_TRUE(ec.accept(msg(0, 0, 2)));  // same seq, different source
+  EXPECT_EQ(ec.accept(msg(0, 0, 1)).size(), 1u);
+  EXPECT_EQ(ec.accept(msg(0, 0, 2)).size(), 1u);  // same seq, different source
 }
 
-TEST_F(EcFixture, OutOfOrderArrivalsDedupAcrossGaps) {
+TEST_F(EcFixture, OutOfOrderArrivalsAreHeldForFifoDelivery) {
+  // Regression: a retransmission overtaken by later traffic used to be
+  // delivered out of order, breaking the per-source FIFO that message
+  // order-sensitive applications (fft's A-then-B handshake) rely on.
   ErrorControl ec(engine, {.kind = ErrorControlKind::retransmit}, [](Message) {});
-  EXPECT_TRUE(ec.accept(msg(0, 3, 1)));
-  EXPECT_TRUE(ec.accept(msg(0, 0, 1)));
-  EXPECT_TRUE(ec.accept(msg(0, 1, 1)));
-  EXPECT_FALSE(ec.accept(msg(0, 3, 1)));
-  EXPECT_TRUE(ec.accept(msg(0, 2, 1)));
-  EXPECT_FALSE(ec.accept(msg(0, 0, 1)));  // below the advanced watermark
+  EXPECT_TRUE(ec.accept(msg(0, 3, 1)).empty());  // gap: held, not delivered
+  EXPECT_EQ(seqs(ec.accept(msg(0, 0, 1))), (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(seqs(ec.accept(msg(0, 1, 1))), (std::vector<std::uint32_t>{1}));
+  EXPECT_TRUE(ec.accept(msg(0, 3, 1)).empty());  // duplicate of the held one
+  EXPECT_EQ(seqs(ec.accept(msg(0, 2, 1))), (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_TRUE(ec.accept(msg(0, 0, 1)).empty());  // below the advanced watermark
+  EXPECT_EQ(ec.stats().duplicates_dropped, 2u);
+  EXPECT_EQ(ec.stats().reorders, 1u);
 }
 
 // --- End-to-end: retransmission over a lossy WAN ---------------------------
@@ -294,6 +306,42 @@ TEST(ErrorControlEndToEnd, LossWithoutErrorControlLosesMessages) {
   EXPECT_GT(received, 0);
 }
 
+
+TEST(ErrorControlEndToEnd, GiveUpReleasesWindowCreditAndRaisesException) {
+  // Regression: when error control exhausted max_retries the in-flight
+  // record was erased but the flow-control window credit was never
+  // returned, so a window-limited sender wedged forever on its next send
+  // (and nothing told the application its message was gone). The give-up
+  // path must now release the credit and surface a typed NCS exception.
+  ClusterConfig cfg = cluster::nynet_wan(2);
+  cfg.wan_backbone.loss_probability = 1.0;  // backbone black hole
+  cfg.ncs.flow = {.kind = FlowControlKind::window, .window = 1};
+  cfg.ncs.error = {.kind = ErrorControlKind::retransmit, .rto = 5_ms, .max_retries = 2};
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+
+  int sent = 0;
+  std::vector<std::uint32_t> lost_seqs;
+  c.node(0).set_exception_handler([&](Node::Exception kind, int peer, std::uint32_t seq) {
+    EXPECT_EQ(kind, Node::Exception::message_timeout);
+    EXPECT_EQ(peer, 1);
+    lost_seqs.push_back(seq);
+  });
+  c.host(0).spawn([&] {
+    Node& node = c.node(0);
+    for (int i = 0; i < 3; ++i) {
+      node.send(0, 0, 1, Bytes(2000, std::byte{1}));
+      ++sent;  // with the credit leak, send #2 blocked here forever
+    }
+  }, {.name = "main"});
+  c.engine().run_until(TimePoint::origin() + 2_sec);
+
+  EXPECT_EQ(sent, 3);
+  EXPECT_EQ(lost_seqs, (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(c.node(0).error_control().stats().give_ups, 3u);
+  EXPECT_TRUE(c.node(0).error_control().idle());
+  EXPECT_GE(c.node(0).flow_control().stats().window_stalls, 1u);
+}
 
 TEST(ErrorControlEndToEnd, RetransmitRecoversCellCorruption) {
   // Fault injection at the lowest layer: damaged cells are rejected by the

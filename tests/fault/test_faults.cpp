@@ -1,0 +1,145 @@
+// Per-component fault state: down windows, burst chains, corruption
+// windows, port flags, pause handlers — and the legacy-knob RNG stream
+// equivalence the migration depends on.
+#include "fault/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ncs::fault {
+namespace {
+
+TEST(GilbertElliottTest, SameSeedSameTrajectory) {
+  const GilbertElliottParams p{.p_good_to_bad = 0.1, .p_bad_to_good = 0.3,
+                               .loss_good = 0.01, .loss_bad = 0.9};
+  GilbertElliott a(p, 42), b(p, 42);
+  for (int i = 0; i < 2000; ++i) ASSERT_EQ(a.advance(), b.advance()) << "draw " << i;
+}
+
+TEST(GilbertElliottTest, BadStateLosesMoreThanGoodState) {
+  // loss_good=0, loss_bad=1: every loss is attributable to the bad state,
+  // and with these transition rates the chain must visit both states.
+  GilbertElliott ge({.p_good_to_bad = 0.2, .p_bad_to_good = 0.2,
+                     .loss_good = 0.0, .loss_bad = 1.0}, 7);
+  int losses = 0, bad_frames = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (ge.advance()) ++losses;
+    if (ge.in_bad()) ++bad_frames;
+  }
+  EXPECT_GT(losses, 0);
+  EXPECT_GT(bad_frames, 1000);
+  EXPECT_LT(bad_frames, 4000);  // it also returns to the good state
+}
+
+TEST(LinkFaultTest, DownWindowsAreDepthCounted) {
+  LinkFault f;
+  EXPECT_FALSE(f.down());
+  f.set_down(true);
+  f.set_down(true);  // overlapping window
+  f.set_down(false);
+  EXPECT_TRUE(f.down());  // the inner window is still open
+  f.set_down(false);
+  EXPECT_FALSE(f.down());
+}
+
+TEST(LinkFaultTest, DropCausesAreChargedByPriority) {
+  LinkFault f;
+  f.configure_uniform(1.0, 1);  // would drop everything on its own
+  f.set_down(true);
+  EXPECT_TRUE(f.should_drop());
+  EXPECT_EQ(f.stats().down_drops, 1u);      // down wins over uniform
+  EXPECT_EQ(f.stats().uniform_drops, 0u);
+  f.set_down(false);
+  EXPECT_TRUE(f.should_drop());
+  EXPECT_EQ(f.stats().uniform_drops, 1u);
+}
+
+TEST(LinkFaultTest, UniformLossMatchesTheLegacyRngStream) {
+  // The `LinkParams::loss_probability` migration contract: with only the
+  // uniform knob configured, should_drop() consumes exactly the draws the
+  // pre-subsystem Link consumed — Rng(seed).next_bool(p) per frame.
+  const std::uint64_t seed = 0xD1CEull;
+  const double p = 0.3;
+  LinkFault f;
+  f.configure_uniform(p, seed);
+  Rng reference(seed);
+  for (int i = 0; i < 2000; ++i)
+    ASSERT_EQ(f.should_drop(), reference.next_bool(p)) << "frame " << i;
+}
+
+TEST(LinkFaultTest, BurstChainDropsOnlyWhileActive) {
+  LinkFault f;
+  f.begin_burst({.p_good_to_bad = 1.0, .p_bad_to_good = 0.0,
+                 .loss_good = 0.0, .loss_bad = 1.0}, 3);
+  EXPECT_TRUE(f.bursting());
+  int drops = 0;
+  for (int i = 0; i < 100; ++i)
+    if (f.should_drop()) ++drops;
+  EXPECT_GE(drops, 99);  // first frame may still be in the good state
+  EXPECT_EQ(f.stats().burst_drops, static_cast<std::uint64_t>(drops));
+  f.end_burst();
+  EXPECT_FALSE(f.bursting());
+  EXPECT_FALSE(f.should_drop());
+}
+
+TEST(NicFaultTest, WindowsStackOnTopOfTheUniformKnob) {
+  NicFault f;
+  f.configure_uniform(0.0, 9);  // the NIC always seeds the draw stream
+  EXPECT_FALSE(f.corrupting());
+  f.begin_window(1.0);
+  EXPECT_TRUE(f.corrupting());
+  EXPECT_TRUE(f.draw_corrupt());
+  f.begin_window(1.0);  // overlapping window
+  f.end_window();
+  EXPECT_TRUE(f.corrupting());
+  f.end_window();
+  EXPECT_FALSE(f.corrupting());
+}
+
+TEST(NicFaultTest, UniformCorruptionMatchesTheLegacyRngStream) {
+  const std::uint64_t seed = 0xBEEF;
+  const double p = 0.01;
+  NicFault f;
+  f.configure_uniform(p, seed);
+  Rng reference(seed);
+  for (int i = 0; i < 2000; ++i)
+    ASSERT_EQ(f.draw_corrupt(), reference.next_bool(p)) << "cell " << i;
+}
+
+TEST(SwitchFaultTest, PortFlagsAreIndependentAndDepthCounted) {
+  SwitchFault f;
+  f.set_port_down(2, true);
+  EXPECT_TRUE(f.port_down(2));
+  EXPECT_FALSE(f.port_down(1));
+  f.set_port_down(2, true);
+  f.set_port_down(2, false);
+  EXPECT_TRUE(f.port_down(2));
+  f.set_port_down(2, false);
+  EXPECT_FALSE(f.port_down(2));
+}
+
+TEST(SwitchFaultTest, ObserversSeeEveryTransition) {
+  SwitchFault f;
+  std::vector<std::pair<int, bool>> seen;
+  f.subscribe([&](int port, bool down) { seen.emplace_back(port, down); });
+  f.set_port_down(0, true);
+  f.set_port_down(0, false);
+  f.set_port_down(3, true);
+  EXPECT_EQ(seen, (std::vector<std::pair<int, bool>>{{0, true}, {0, false}, {3, true}}));
+}
+
+TEST(HostFaultTest, PauseDelegatesToTheInstalledHandler) {
+  HostFault f;
+  std::vector<TimePoint> resumes;
+  f.set_pause_handler([&](TimePoint at) { resumes.push_back(at); });
+  const TimePoint t = TimePoint::origin() + Duration::milliseconds(5);
+  f.pause_until(t);
+  EXPECT_EQ(resumes, (std::vector<TimePoint>{t}));
+  EXPECT_EQ(f.stats().pauses, 1u);
+}
+
+}  // namespace
+}  // namespace ncs::fault

@@ -1,0 +1,180 @@
+// FaultPlan text-form parser and the FaultInjector's engine wiring.
+#include "fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/plan.hpp"
+#include "sim/engine.hpp"
+
+namespace ncs::fault {
+namespace {
+
+using namespace ncs::literals;
+
+TEST(FaultPlanParse, FullGrammarRoundTrips) {
+  const auto result = FaultPlan::parse(R"(
+# exercise every event kind
+seed 48879
+at 1s     link sonet down for 200ms
+at 500ms  link sonet burst for 2s p_gb=0.05 p_bg=0.3 loss_good=0 loss_bad=0.9
+at 2s     nic nic0 corrupt for 100ms p=0.01
+at 1s     switch wan-switch0 port 2 down for 100ms
+at 1.5s   host p1 pause for 50ms   # trailing comment
+)");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const FaultPlan& plan = result.value();
+  EXPECT_EQ(plan.seed, 48879u);
+  ASSERT_EQ(plan.events.size(), 5u);
+
+  EXPECT_EQ(plan.events[0].kind, FaultEvent::Kind::link_down);
+  EXPECT_EQ(plan.events[0].target, "sonet");
+  EXPECT_EQ(plan.events[0].begin, TimePoint::origin() + 1_sec);
+  EXPECT_EQ(plan.events[0].duration, 200_ms);
+
+  EXPECT_EQ(plan.events[1].kind, FaultEvent::Kind::link_burst);
+  EXPECT_DOUBLE_EQ(plan.events[1].ge.p_good_to_bad, 0.05);
+  EXPECT_DOUBLE_EQ(plan.events[1].ge.p_bad_to_good, 0.3);
+  EXPECT_DOUBLE_EQ(plan.events[1].ge.loss_good, 0.0);
+  EXPECT_DOUBLE_EQ(plan.events[1].ge.loss_bad, 0.9);
+
+  EXPECT_EQ(plan.events[2].kind, FaultEvent::Kind::nic_corrupt);
+  EXPECT_DOUBLE_EQ(plan.events[2].probability, 0.01);
+
+  EXPECT_EQ(plan.events[3].kind, FaultEvent::Kind::port_down);
+  EXPECT_EQ(plan.events[3].target, "wan-switch0");
+  EXPECT_EQ(plan.events[3].port, 2);
+
+  EXPECT_EQ(plan.events[4].kind, FaultEvent::Kind::host_pause);
+  EXPECT_EQ(plan.events[4].target, "p1");
+}
+
+TEST(FaultPlanParse, MatchesTheBuilderSugar) {
+  const auto parsed = FaultPlan::parse("at 10ms link wan down for 5ms\n");
+  ASSERT_TRUE(parsed.is_ok());
+  FaultPlan built;
+  built.link_down("wan", TimePoint::origin() + 10_ms, 5_ms);
+  ASSERT_EQ(parsed.value().events.size(), 1u);
+  EXPECT_EQ(parsed.value().events[0].kind, built.events[0].kind);
+  EXPECT_EQ(parsed.value().events[0].target, built.events[0].target);
+  EXPECT_EQ(parsed.value().events[0].begin, built.events[0].begin);
+  EXPECT_EQ(parsed.value().events[0].duration, built.events[0].duration);
+}
+
+TEST(FaultPlanParse, RejectsMalformedLines) {
+  const char* bad[] = {
+      "at link sonet down for 1ms",            // missing time
+      "at 1s link sonet down",                 // missing "for <duration>"
+      "at 1s link sonet down for 1parsec",     // bad duration unit
+      "at 1s frobnicate sonet for 1ms",        // unknown event
+      "at 1s nic nic0 corrupt for 1ms",        // corruption needs p=
+      "at 1s nic nic0 corrupt for 1ms p=2",    // probability out of range
+      "at 1s switch sw port -1 down for 1ms",  // bad port
+      "seed banana",                           // bad seed
+  };
+  for (const char* text : bad) {
+    const auto result = FaultPlan::parse(text);
+    EXPECT_FALSE(result.is_ok()) << "accepted: " << text;
+    EXPECT_EQ(result.status().code(), ErrorCode::invalid_argument);
+  }
+}
+
+TEST(FaultInjector, LinkDownWindowFlipsBothDuplexDirections) {
+  sim::Engine engine;
+  LinkFault fwd, bwd;
+  FaultInjector inj(engine);
+  inj.attach_link("wan>", &fwd);
+  inj.attach_link("wan<", &bwd);
+
+  FaultPlan plan;
+  plan.link_down("wan", TimePoint::origin() + 10_ms, 5_ms);
+  inj.schedule(plan);
+  EXPECT_EQ(inj.stats().events_scheduled, 1u);
+
+  engine.run_until(TimePoint::origin() + 12_ms);
+  EXPECT_TRUE(fwd.down());
+  EXPECT_TRUE(bwd.down());
+  engine.run();
+  EXPECT_FALSE(fwd.down());
+  EXPECT_FALSE(bwd.down());
+  EXPECT_EQ(inj.stats().transitions_fired, 2u);  // down + up
+}
+
+TEST(FaultInjector, BurstWindowsGetDistinctSeedsPerDirection) {
+  sim::Engine engine;
+  LinkFault fwd, bwd;
+  FaultInjector inj(engine);
+  inj.attach_link("wan>", &fwd);
+  inj.attach_link("wan<", &bwd);
+
+  FaultPlan plan;
+  plan.link_burst("wan", TimePoint::origin() + 1_ms, 10_ms,
+                  {.p_good_to_bad = 0.5, .p_bad_to_good = 0.5,
+                   .loss_good = 0.0, .loss_bad = 1.0});
+  inj.schedule(plan);
+  engine.run_until(TimePoint::origin() + 2_ms);
+  ASSERT_TRUE(fwd.bursting());
+  ASSERT_TRUE(bwd.bursting());
+  std::vector<bool> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(fwd.should_drop());
+    b.push_back(bwd.should_drop());
+  }
+  EXPECT_NE(a, b);  // independent chains
+  engine.run();
+  EXPECT_FALSE(fwd.bursting());
+  EXPECT_FALSE(bwd.bursting());
+}
+
+TEST(FaultInjector, SchedulingIsDeterministicAcrossRuns) {
+  // Same plan, two fresh engines: identical drop sequences frame-by-frame.
+  std::vector<bool> runs[2];
+  for (std::vector<bool>& drops : runs) {
+    sim::Engine engine;
+    LinkFault f;
+    FaultInjector inj(engine);
+    inj.attach_link("wan", &f);
+    FaultPlan plan;
+    plan.seed = 7;
+    plan.link_burst("wan", TimePoint::origin(), 1_ms,
+                    {.p_good_to_bad = 0.3, .p_bad_to_good = 0.3,
+                     .loss_good = 0.05, .loss_bad = 0.95});
+    inj.schedule(plan);
+    engine.run_until(TimePoint::origin() + 500_us);
+    for (int i = 0; i < 500; ++i) drops.push_back(f.should_drop());
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+}
+
+TEST(FaultInjector, UnmatchedTargetsWarnAndCount) {
+  sim::Engine engine;
+  FaultInjector inj(engine);
+  FaultPlan plan;
+  plan.link_down("nosuch", TimePoint::origin(), 1_ms);
+  plan.nic_corrupt("ghost", TimePoint::origin(), 1_ms, 0.5);
+  inj.schedule(plan);
+  engine.run();
+  EXPECT_EQ(inj.stats().events_scheduled, 0u);
+  EXPECT_EQ(inj.stats().unmatched_targets, 2u);
+  EXPECT_EQ(inj.stats().transitions_fired, 0u);
+}
+
+TEST(FaultInjector, PlansAccumulateAcrossScheduleCalls) {
+  sim::Engine engine;
+  SwitchFault sw;
+  FaultInjector inj(engine);
+  inj.attach_switch("sw", &sw);
+  FaultPlan first, second;
+  first.port_down("sw", 0, TimePoint::origin() + 1_ms, 1_ms);
+  second.port_down("sw", 1, TimePoint::origin() + 1_ms, 1_ms);
+  inj.schedule(first);
+  inj.schedule(second);
+  engine.run_until(TimePoint::origin() + 1500_us);
+  EXPECT_TRUE(sw.port_down(0));
+  EXPECT_TRUE(sw.port_down(1));
+  engine.run();
+  EXPECT_EQ(inj.stats().events_scheduled, 2u);
+  EXPECT_EQ(inj.stats().transitions_fired, 4u);
+}
+
+}  // namespace
+}  // namespace ncs::fault
