@@ -17,10 +17,10 @@
 // chaos_<app>_trace.json Chrome traces with fault instants on the "fault"
 // track next to the traffic they perturb.
 #include <cstdio>
-#include <cstring>
 #include <string>
 
 #include "cluster/bench_json.hpp"
+#include "cluster/bench_opts.hpp"
 #include "cluster/drivers.hpp"
 #include "common/assert.hpp"
 #include "fault/plan.hpp"
@@ -83,9 +83,7 @@ fault::FaultPlan parse_plan(const char* text) {
 
 int main(int argc, char** argv) {
   BenchReport report("chaos_soak");
-  bool want_trace = false;
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--trace") == 0) want_trace = true;
+  const BenchOptions opts = parse_bench_options(argc, argv);
 
   const fault::FaultPlan chaos = parse_plan(kChaosPlan);
   const fault::FaultPlan blackout = parse_plan(kBlackoutPlan);
@@ -104,8 +102,8 @@ int main(int argc, char** argv) {
 
     ClusterConfig faulty = recover;
     faulty.faults = chaos;
-    if (want_trace)
-      faulty.trace_path = std::string("chaos_") + app_name(app) + "_trace.json";
+    if (opts.trace || opts.prof)
+      opts.apply(&faulty, std::string("chaos_") + app_name(app));
 
     ClusterConfig doomed = nynet_wan(0);  // EC=none: loss is unrecoverable
     doomed.ncs.recv_timeout = Duration::seconds(2);
@@ -114,6 +112,8 @@ int main(int argc, char** argv) {
     const AppResult base = run_app(app, recover);
     const AppResult under = run_app(app, faulty);
     faulty.trace_path.clear();
+    faulty.profile = false;
+    faulty.report_path.clear();
     const AppResult again = run_app(app, faulty);
     const AppResult dead = run_app(app, doomed);
 
@@ -124,6 +124,7 @@ int main(int argc, char** argv) {
         again.retransmits == under.retransmits;
     const bool surfaced = dead.exceptions > 0 && !dead.correct;
     all_ok = all_ok && recovered && deterministic && surfaced;
+    if (!under.bottleneck.empty()) std::printf("%s", under.bottleneck.c_str());
 
     const struct {
       const char* scenario;
@@ -153,6 +154,6 @@ int main(int argc, char** argv) {
   std::printf("\n%s\n", all_ok ? "chaos soak: all scenarios behaved"
                                : "chaos soak: FAILURES above");
   report.summary("all_ok", all_ok);
-  if (std::string json_path; parse_json_flag(argc, argv, &json_path)) report.emit(json_path);
+  if (opts.json) report.emit(opts.json_path);
   return all_ok ? 0 : 1;
 }

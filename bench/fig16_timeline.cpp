@@ -3,10 +3,10 @@
 // pipeline, single-threaded (pure message passing) vs two threads per
 // node, with busy-fraction summaries.
 #include <cstdio>
-#include <cstring>
 
 #include "apps/image.hpp"
 #include "apps/jpeg/codec.hpp"
+#include "cluster/bench_opts.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/compute.hpp"
 
@@ -133,12 +133,12 @@ Duration run_case(int tpn, std::string* out, const std::string& trace_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --trace=PATH writes the two-threads-per-node run as a Chrome-trace JSON
-  // file (load in Perfetto / chrome://tracing).
+  // --trace[=PATH] writes the two-threads-per-node run as a Chrome-trace
+  // JSON file (load in Perfetto / chrome://tracing).
+  const BenchOptions opts = parse_bench_options(argc, argv);
   std::string trace_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
-  }
+  if (opts.trace)
+    trace_path = opts.trace_path.empty() ? "fig16_timeline_trace.json" : opts.trace_path;
 
   std::printf("Figure 16: computation/communication pattern of the JPEG pipeline,\n");
   std::printf("%d nodes on Ethernet, single-threaded vs two threads per processor.\n\n", kNodes);

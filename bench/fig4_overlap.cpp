@@ -7,8 +7,11 @@
 #include <cstring>
 
 #include "apps/matmul.hpp"
+#include "cluster/bench_json.hpp"
+#include "cluster/bench_opts.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/compute.hpp"
+#include "obs/prof.hpp"
 
 using namespace ncs;
 using namespace ncs::cluster;
@@ -22,7 +25,7 @@ namespace {
 
 constexpr int kNodes = 2;
 
-Duration run_case(bool threaded, std::string* gantt) {
+Duration run_case(bool threaded, std::string* gantt, std::vector<ncs::obs::HostUsage>* hosts) {
   const int n = calibration().matmul_n;
   // Ethernet: the slower wire makes the overlapped window visible.
   ClusterConfig cfg = sun_ethernet(0);
@@ -93,18 +96,22 @@ Duration run_case(bool threaded, std::string* gantt) {
     }
     *gantt = filtered;
   }
+  // run() already finished the timeline; fold the per-host overlap sweep.
+  if (hosts != nullptr) *hosts = ncs::obs::fold_hosts(cluster.timeline());
   return elapsed;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
   std::printf("Figure 4: overlap of computation and communication — 128x128 matrix\n");
   std::printf("multiplication on 2 node processes (Ethernet testbed, NCS_MTS/p4).\n\n");
 
   std::string gantt1, gantt2;
-  const Duration without = run_case(false, &gantt1);
-  const Duration with = run_case(true, &gantt2);
+  std::vector<ncs::obs::HostUsage> hosts1, hosts2;
+  const Duration without = run_case(false, &gantt1, &hosts1);
+  const Duration with = run_case(true, &gantt2, &hosts2);
 
   std::printf("--- one thread per process (no overlap) --- total %.3f s\n%s\n", without.sec(),
               gantt1.c_str());
@@ -114,6 +121,40 @@ int main() {
   std::printf("execution time without threads: %.3f s\n", without.sec());
   std::printf("reduction from overlap:         %.2f %%\n",
               (without - with).sec() / without.sec() * 100.0);
+  std::printf("\n%-5s %18s %18s\n", "host", "overlap (1 thread)", "overlap (2 threads)");
+  for (const auto& u2 : hosts2) {
+    const auto* u1p = [&]() -> const ncs::obs::HostUsage* {
+      for (const auto& u : hosts1)
+        if (u.host == u2.host) return &u;
+      return nullptr;
+    }();
+    std::printf("%-5s %17.0f%% %17.0f%%\n", u2.host.c_str(),
+                u1p != nullptr ? u1p->overlap_ratio() * 100.0 : 0.0,
+                u2.overlap_ratio() * 100.0);
+  }
+
+  if (opts.json) {
+    BenchReport report("fig4_overlap");
+    const struct {
+      const char* variant;
+      const std::vector<ncs::obs::HostUsage>& hosts;
+    } cases[] = {{"single_thread", hosts1}, {"two_threads", hosts2}};
+    for (const auto& c : cases) {
+      for (const auto& u : c.hosts) {
+        report.row();
+        report.set("variant", std::string(c.variant));
+        report.set("host", u.host);
+        report.set("compute_sec", u.compute.sec());
+        report.set("communicate_sec", u.communicate.sec());
+        report.set("overlapped_sec", u.overlapped.sec());
+        report.set("overlap_ratio", u.overlap_ratio());
+      }
+    }
+    report.summary("elapsed_without_sec", without.sec());
+    report.summary("elapsed_with_sec", with.sec());
+    report.summary("reduction_pct", (without - with).sec() / without.sec() * 100.0);
+    report.emit(opts.json_path);
+  }
   // The overlap gain for this algorithm is bounded by the B broadcast that
   // precedes all computation (see EXPERIMENTS.md); require only that
   // threading does not lose.

@@ -1,14 +1,21 @@
 // Reproduces Table 1: "Execution times of Matrix Multiplication (seconds)"
 // — p4 vs NCS_MTS/p4 on the SUN/Ethernet and ATM (NYNET) testbeds for
 // 1/2/4/8 nodes (the paper reports no 8-node ATM row; neither do we).
+//
+// `--prof` additionally runs a profiled 4-node ATM NCS matmul: prints the
+// bottleneck attribution table and writes table1_matmul_report.json
+// (ncs-run-report-v2) plus table1_matmul_trace.json (flow events stitch
+// each send span to its recv span across host tracks in Perfetto).
 #include <cstdio>
 
 #include "cluster/drivers.hpp"
 #include "cluster/bench_json.hpp"
+#include "cluster/bench_opts.hpp"
 #include "cluster/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace ncs::cluster;
+  const BenchOptions opts = parse_bench_options(argc, argv);
 
   std::vector<TableRow> rows;
   bool all_correct = true;
@@ -41,7 +48,17 @@ int main(int argc, char** argv) {
                  .c_str(),
              stdout);
   std::printf("\nresult verification: %s\n", all_correct ? "all runs correct" : "FAILED");
-  if (std::string json_path; parse_json_flag(argc, argv, &json_path))
-    emit_json(table_json("table1_matmul", rows, all_correct), json_path);
+
+  if (opts.prof) {
+    ClusterConfig cfg = sun_atm_lan(0);
+    opts.apply(&cfg, "table1_matmul");
+    const AppResult profiled = run_matmul_ncs(std::move(cfg), 4);
+    all_correct = all_correct && profiled.correct;
+    std::printf("\n%s", profiled.bottleneck.c_str());
+    std::printf("profiled run artifacts: %s + matching _trace.json\n",
+                opts.report_path("table1_matmul").c_str());
+  }
+
+  if (opts.json) emit_json(table_json("table1_matmul", rows, all_correct), opts.json_path);
   return all_correct ? 0 : 1;
 }

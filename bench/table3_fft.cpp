@@ -5,10 +5,12 @@
 
 #include "cluster/drivers.hpp"
 #include "cluster/bench_json.hpp"
+#include "cluster/bench_opts.hpp"
 #include "cluster/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace ncs::cluster;
+  const BenchOptions opts = parse_bench_options(argc, argv);
 
   std::vector<TableRow> rows;
   bool all_correct = true;
@@ -41,7 +43,15 @@ int main(int argc, char** argv) {
              stdout);
   std::printf("\nresult verification (vs whole-array FFT + reference DFT): %s\n",
               all_correct ? "all runs correct" : "FAILED");
-  if (std::string json_path; parse_json_flag(argc, argv, &json_path))
-    emit_json(table_json("table3_fft", rows, all_correct), json_path);
+
+  if (opts.prof) {
+    ClusterConfig cfg = sun_atm_lan(0);
+    opts.apply(&cfg, "table3_fft");
+    const AppResult profiled = run_fft_ncs(std::move(cfg), 4);
+    all_correct = all_correct && profiled.correct;
+    std::printf("\n%s", profiled.bottleneck.c_str());
+  }
+
+  if (opts.json) emit_json(table_json("table3_fft", rows, all_correct), opts.json_path);
   return all_correct ? 0 : 1;
 }

@@ -52,7 +52,8 @@ CellMux::Flow* CellMux::next_flow() {
   return nullptr;
 }
 
-void CellMux::trace_delivered(const Burst& burst, TimePoint submitted) {
+void CellMux::note_delivered(const Burst& burst, TimePoint submitted) {
+  if (prof_ != nullptr) prof_->record(obs::Layer::mux_queue, engine_.now() - submitted);
   if (trace_ == nullptr) return;
   trace_->complete(trace_track_,
                    "vc" + std::to_string(burst.vc.vpi) + "." + std::to_string(burst.vc.vci) +
@@ -72,7 +73,7 @@ void CellMux::pump() {
     transmitting_ = true;
     stats_.cells_sent += burst.n_cells;
     ++stats_.turns;
-    trace_delivered(burst, submitted);
+    note_delivered(burst, submitted);
     link_.transmit(
         burst.wire_bytes(),
         [this] {
@@ -100,7 +101,7 @@ void CellMux::pump() {
     const TimePoint submitted = flow->enqueued.front();
     flow->enqueued.pop_front();
     if (!flow->bursts.empty()) flow->cells_left_in_head = flow->bursts.front().n_cells;
-    trace_delivered(finished, submitted);
+    note_delivered(finished, submitted);
     on_delivered = [this, b = std::move(finished)]() mutable {
       peer_.accept(peer_port_, std::move(b));
     };

@@ -20,6 +20,7 @@
 #include "atm/burst.hpp"
 #include "net/link.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
@@ -52,6 +53,11 @@ class CellMux {
     trace_track_ = track;
   }
 
+  /// Per-burst queueing+serialization delay (submit -> last cell out)
+  /// feeds Layer::mux_queue — the contended-link wait the interleaving
+  /// ablation studies.
+  void set_profiler(obs::Profiler* prof) { prof_ = prof; }
+
   /// Introspection for the SVC-churn regression tests: both must stay
   /// bounded by the number of *currently backlogged* VCs, not by every VC
   /// ever seen.
@@ -68,7 +74,8 @@ class CellMux {
 
   void pump();
   Flow* next_flow();
-  void trace_delivered(const Burst& burst, TimePoint submitted);
+  /// Burst leaves the mux: trace span + profiler sample over its wait.
+  void note_delivered(const Burst& burst, TimePoint submitted);
 
   sim::Engine& engine_;
   net::Link& link_;
@@ -85,6 +92,7 @@ class CellMux {
 
   obs::TraceLog* trace_ = nullptr;
   int trace_track_ = -1;
+  obs::Profiler* prof_ = nullptr;
   Stats stats_;
 };
 

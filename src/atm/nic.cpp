@@ -105,6 +105,11 @@ void Nic::submit_tx(VcId vc, Bytes chunk, bool end_of_message) {
   const TimePoint dma_done = tx_dma_.occupy(engine_.now(), dma_time);
   const Duration sar_time = params_.sar_setup + params_.sar_per_cell * burst.n_cells;
   const TimePoint sar_done = sar_.occupy(dma_done, sar_time);
+  if (prof_ != nullptr) {
+    prof_->record(obs::Layer::nic_dma, dma_time);
+    prof_->record(obs::Layer::nic_sar, sar_time);
+    prof_->record(obs::Layer::wire, tx_link_->tx_time(burst.wire_bytes()));
+  }
   if (trace_ != nullptr)
     trace_->complete(tx_track_,
                      "tx " + std::to_string(chunk_bytes) + "B x" +

@@ -28,6 +28,7 @@
 #include "fault/faults.hpp"
 #include "net/link.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
@@ -127,6 +128,11 @@ class Nic : public CellSink {
   /// DMA+SAR per chunk, RX spans the adapter->host DMA, plus error instants.
   void set_trace(obs::TraceLog* trace, const std::string& prefix);
 
+  /// Per-burst pipeline stage durations (host DMA, i960 SAR, link
+  /// serialization) feed Layer::nic_dma / nic_sar / wire — the Table 4
+  /// adapter-side breakdown.
+  void set_profiler(obs::Profiler* prof) { prof_ = prof; }
+
  private:
   void free_tx_buffer();
 
@@ -159,6 +165,7 @@ class Nic : public CellSink {
   obs::TraceLog* trace_ = nullptr;
   int tx_track_ = -1;
   int rx_track_ = -1;
+  obs::Profiler* prof_ = nullptr;
   Stats stats_;
 };
 

@@ -1,8 +1,8 @@
 #include "cluster/bench_json.hpp"
 
 #include <cstdio>
-#include <cstring>
 
+#include "cluster/bench_opts.hpp"
 #include "common/assert.hpp"
 
 namespace ncs::cluster {
@@ -120,17 +120,9 @@ void emit_json(const std::string& doc, const std::string& path) {
 }
 
 bool parse_json_flag(int argc, char** argv, std::string* path) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      path->clear();
-      return true;
-    }
-    if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      *path = argv[i] + 7;
-      return true;
-    }
-  }
-  return false;
+  const BenchOptions opts = parse_bench_options(argc, argv);
+  if (opts.json) *path = opts.json_path;
+  return opts.json;
 }
 
 }  // namespace ncs::cluster

@@ -1,0 +1,50 @@
+#include "cluster/bench_opts.hpp"
+
+#include <cstring>
+
+namespace ncs::cluster {
+
+BenchOptions parse_bench_options(int argc, char** argv) {
+  BenchOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--json") == 0) {
+      o.json = true;
+      o.json_path.clear();
+    } else if (std::strncmp(a, "--json=", 7) == 0) {
+      o.json = true;
+      o.json_path = a + 7;
+    } else if (std::strcmp(a, "--trace") == 0) {
+      o.trace = true;
+      o.trace_path.clear();
+    } else if (std::strncmp(a, "--trace=", 8) == 0) {
+      o.trace = true;
+      o.trace_path = a + 8;
+    } else if (std::strcmp(a, "--prof") == 0) {
+      o.prof = true;
+      o.prof_prefix.clear();
+    } else if (std::strncmp(a, "--prof=", 7) == 0) {
+      o.prof = true;
+      o.prof_prefix = a + 7;
+    }
+  }
+  return o;
+}
+
+std::string BenchOptions::report_path(const std::string& tag) const {
+  if (!prof) return "";
+  return (prof_prefix.empty() ? tag : prof_prefix) + "_report.json";
+}
+
+void BenchOptions::apply(ClusterConfig* config, const std::string& tag) const {
+  if (trace)
+    config->trace_path = trace_path.empty() ? tag + "_trace.json" : trace_path;
+  if (prof) {
+    const std::string prefix = prof_prefix.empty() ? tag : prof_prefix;
+    config->profile = true;
+    config->report_path = prefix + "_report.json";
+    if (config->trace_path.empty()) config->trace_path = prefix + "_trace.json";
+  }
+}
+
+}  // namespace ncs::cluster

@@ -1,0 +1,44 @@
+// Shared command-line options for the bench/ binaries.
+//
+// Every bench accepts the same three flags, parsed here once instead of
+// per-binary:
+//
+//   --json[=PATH]    emit the ncs-bench-v1 report ("" or "-" = stdout)
+//   --trace[=PATH]   write a Chrome trace (default "<tag>_trace.json")
+//   --prof[=PREFIX]  enable the message-lifecycle / overlap profiler for
+//                    the bench's profiled run: writes
+//                    "<PREFIX>_report.json" (ncs-run-report-v2, per-layer
+//                    histograms + overlap ratios) and
+//                    "<PREFIX>_trace.json" (flow events included), and the
+//                    bench prints the bottleneck table. PREFIX defaults to
+//                    the bench tag.
+#pragma once
+
+#include <string>
+
+#include "cluster/config.hpp"
+
+namespace ncs::cluster {
+
+struct BenchOptions {
+  bool json = false;
+  std::string json_path;  // "" = stdout
+  bool trace = false;
+  std::string trace_path;  // "" = default "<tag>_trace.json"
+  bool prof = false;
+  std::string prof_prefix;  // "" = default "<tag>"
+
+  /// Applies the trace/profiling flags to one run's config; `tag` names
+  /// the run in default output paths. --prof implies a trace (that's where
+  /// the flow events live) unless --trace picked an explicit path.
+  void apply(ClusterConfig* config, const std::string& tag) const;
+
+  /// The profiled run's report destination ("" when --prof is absent).
+  std::string report_path(const std::string& tag) const;
+};
+
+/// Scans argv for the shared flags; unknown arguments are ignored (benches
+/// with extra flags keep parsing those themselves).
+BenchOptions parse_bench_options(int argc, char** argv);
+
+}  // namespace ncs::cluster

@@ -1,8 +1,10 @@
 #include "cluster/cluster.hpp"
 
+#include <fstream>
 #include <utility>
 
 #include "atm/network.hpp"
+#include "cluster/report.hpp"
 #include "common/assert.hpp"
 #include "common/log.hpp"
 #include "core/mps/atm_transport.hpp"
@@ -90,6 +92,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
   }
 
   if (!config_.trace_path.empty()) enable_trace();
+  if (config_.profile) enable_profiling();
 }
 
 Cluster::~Cluster() {
@@ -116,6 +119,21 @@ void Cluster::enable_trace() {
   }
   injector_->set_trace(&trace_);
   // Runtime modules created later (nodes, TCP mesh) attach in init_*.
+}
+
+void Cluster::enable_profiling() {
+  if (profiler_ != nullptr) return;
+  profiler_ = std::make_unique<obs::Profiler>();
+  // The overlap fold needs activity intervals; one shared profiler is safe
+  // because every host runs on the same deterministic engine clock.
+  enable_timeline();
+  for (auto& h : hosts_) h->set_profiler(profiler_.get());
+  if (fabric_ != nullptr) {
+    for (int r = 0; r < config_.n_procs; ++r)
+      fabric_->nic(r).set_profiler(profiler_.get());
+  }
+  // Runtime modules created later (nodes) attach in init_*.
+  for (auto& n : nodes_) n->set_profiler(profiler_.get());
 }
 
 bool Cluster::write_trace(const std::string& path) {
@@ -177,6 +195,7 @@ void Cluster::init_ncs_nsm() {
                                                  std::move(transport), config_.ncs));
     if (trace_enabled_)
       nodes_.back()->set_trace(&trace_, "p" + std::to_string(r) + "/mps");
+    if (profiler_ != nullptr) nodes_.back()->set_profiler(profiler_.get());
     api::register_node(nodes_.back().get());
   }
 }
@@ -200,6 +219,7 @@ void Cluster::init_ncs_hsm() {
                                                  std::move(transport), config_.ncs));
     if (trace_enabled_)
       nodes_.back()->set_trace(&trace_, "p" + std::to_string(r) + "/mps");
+    if (profiler_ != nullptr) nodes_.back()->set_profiler(profiler_.get());
     api::register_node(nodes_.back().get());
   }
 }
@@ -231,6 +251,14 @@ Duration Cluster::run(std::function<void(int)> main_fn) {
                  "a main thread never finished (deadlocked waiting on a message?)");
   if (timeline_enabled_) timeline_.finish(engine_.now());
   if (!config_.trace_path.empty()) write_trace(config_.trace_path);
+  if (!config_.report_path.empty()) {
+    std::ofstream f(config_.report_path);
+    if (f.is_open()) {
+      f << report_json(*this, last_finish - t0) << '\n';
+    } else {
+      NCS_WARN("cluster", "cannot write report to %s", config_.report_path.c_str());
+    }
+  }
   return last_finish - t0;
 }
 

@@ -13,6 +13,7 @@
 #include "core/mps/node.hpp"
 #include "fault/injector.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 #include "p4/p4.hpp"
 #include "proto/segment_network.hpp"
@@ -49,6 +50,14 @@ class Cluster {
   /// are merged in. Call after run(). Returns false if the file could not
   /// be written.
   bool write_trace(const std::string& path);
+
+  /// Call before init_*/run to attribute where message time goes: one
+  /// cluster-wide Profiler collects per-layer latency histograms (message
+  /// lifecycle legs, NIC DMA/SAR/wire, flow-control stalls, ...) from every
+  /// host, node and NIC. Implies enable_timeline() so per-host
+  /// compute/communicate overlap can be folded from activity intervals.
+  void enable_profiling();
+  obs::Profiler* profiler() { return profiler_.get(); }
 
   /// The run-wide metrics registry: every module's counters under
   /// "p<r>/mts/...", "p<r>/mps/...", "p<r>/nic/...", "switch/...",
@@ -99,6 +108,7 @@ class Cluster {
   bool timeline_enabled_ = false;
   obs::TraceLog trace_;
   bool trace_enabled_ = false;
+  std::unique_ptr<obs::Profiler> profiler_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
 
   std::vector<std::unique_ptr<mts::Scheduler>> hosts_;

@@ -72,6 +72,16 @@ struct ClusterConfig {
   /// When nonempty, the cluster enables Chrome tracing at construction and
   /// writes the event log (fault instants included) here after run().
   std::string trace_path;
+
+  /// Enables the message-lifecycle / overlap profiler at construction
+  /// (implies the activity timeline). run() then folds per-layer latency
+  /// histograms and per-host overlap ratios; report_json() switches to the
+  /// "ncs-run-report-v2" schema with a "profile" section.
+  bool profile = false;
+
+  /// When nonempty, the cluster writes report_json() here after run()
+  /// (pairs with `profile` for the --prof bench flag, but works without).
+  std::string report_path;
 };
 
 /// The paper's "SUN/Ethernet" testbed with `n_procs` workstations.

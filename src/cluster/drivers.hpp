@@ -16,6 +16,7 @@
 #pragma once
 
 #include "cluster/cluster.hpp"
+#include "cluster/report.hpp"
 
 namespace ncs::cluster {
 
@@ -31,6 +32,10 @@ struct AppResult {
   std::uint64_t exceptions = 0;
   /// Error-control retransmissions summed over all nodes.
   std::uint64_t retransmits = 0;
+  /// bottleneck_report() of a profiled run (ClusterConfig::profile set);
+  /// empty otherwise. The cluster dies with the driver, so the rendered
+  /// table is the profile's survivor.
+  std::string bottleneck;
 };
 
 /// FNV-1a over raw bytes; pass a previous digest as `h` to chain buffers.
@@ -46,6 +51,7 @@ inline std::uint64_t fnv1a(const void* data, std::size_t bytes,
 
 /// Copies the run's fault-facing counters out of the cluster.
 inline void fill_runtime_stats(Cluster& c, AppResult& r) {
+  if (c.profiler() != nullptr) r.bottleneck = bottleneck_report(c);
   if (!c.has_ncs()) return;
   r.exceptions = c.ncs_exception_count();
   for (int i = 0; i < c.n_procs(); ++i)

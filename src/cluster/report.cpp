@@ -1,9 +1,11 @@
 #include "cluster/report.hpp"
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 
 #include "obs/json.hpp"
+#include "obs/prof.hpp"
 
 namespace ncs::cluster {
 
@@ -102,15 +104,55 @@ std::string report(Cluster& cluster) {
 
 namespace {
 
+void write_profile_section(Cluster& cluster, obs::JsonWriter& w) {
+  const obs::Profiler& prof = *cluster.profiler();
+  w.key("profile").begin_object();
+  prof.write_json(w);
+  w.field("bottleneck", std::string_view(prof.bottleneck_summary()));
+
+  w.key("threads").begin_array();
+  for (const obs::ThreadUsage& u : obs::fold_threads(cluster.timeline())) {
+    w.begin_object();
+    w.field("track", std::string_view(u.track));
+    w.field("compute_sec", u.activity(sim::Activity::compute).sec());
+    w.field("communicate_sec", u.activity(sim::Activity::communicate).sec());
+    w.field("overhead_sec", u.activity(sim::Activity::overhead).sec());
+    w.field("idle_sec", u.activity(sim::Activity::idle).sec());
+    w.field("span_sec", u.span.sec());
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("hosts").begin_array();
+  for (const obs::HostUsage& u : obs::fold_hosts(cluster.timeline())) {
+    w.begin_object();
+    w.field("host", std::string_view(u.host));
+    w.field("compute_sec", u.compute.sec());
+    w.field("communicate_sec", u.communicate.sec());
+    w.field("overhead_sec", u.overhead.sec());
+    w.field("overlapped_sec", u.overlapped.sec());
+    w.field("idle_sec", u.idle.sec());
+    w.field("span_sec", u.span.sec());
+    w.field("overlap_ratio", u.overlap_ratio());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 std::string report_json_impl(Cluster& cluster, const Duration* makespan) {
+  const bool profiled = cluster.profiler() != nullptr;
   obs::JsonWriter w;
   w.begin_object();
-  w.field("schema", "ncs-run-report-v1");
+  // v2 = v1 + the "profile" section; consumers of v1 keep working either
+  // way, but the schema string lets them know the section is present.
+  w.field("schema", profiled ? "ncs-run-report-v2" : "ncs-run-report-v1");
   w.field("config", std::string_view(cluster.config().name));
   w.field("n_procs", cluster.n_procs());
   w.field("clock_sec", cluster.engine().now().sec());
   w.field("engine_events", cluster.engine().processed());
   if (makespan != nullptr) w.field("makespan_sec", makespan->sec());
+  if (profiled) write_profile_section(cluster, w);
   cluster.metrics().write_json(w);
   w.end_object();
   return std::move(w).str();
@@ -122,6 +164,43 @@ std::string report_json(Cluster& cluster) { return report_json_impl(cluster, nul
 
 std::string report_json(Cluster& cluster, Duration makespan) {
   return report_json_impl(cluster, &makespan);
+}
+
+std::string bottleneck_report(Cluster& cluster) {
+  const obs::Profiler* prof = cluster.profiler();
+  if (prof == nullptr) return "bottleneck report: run was not profiled (--prof)\n";
+
+  std::string out;
+  line(out, "=== bottleneck report: %s ===", cluster.config().name.c_str());
+  line(out, "%s", prof->bottleneck_summary().c_str());
+
+  const auto us = [](std::int64_t ps) { return static_cast<double>(ps) * 1e-6; };
+  const double e2e_sum = static_cast<double>(prof->hist(obs::Layer::end_to_end).sum());
+  line(out, "%-16s %8s %10s %10s %10s %7s", "layer", "count", "p50-us", "p99-us",
+       "max-us", "share");
+  for (int i = 0; i < obs::kLayerCount; ++i) {
+    const auto layer = static_cast<obs::Layer>(i);
+    const obs::Histogram& h = prof->hist(layer);
+    if (h.count() == 0) continue;
+    // Share of end-to-end is meaningful only for the lifecycle legs, which
+    // partition it; auxiliary layers overlap the legs and get a dash.
+    char share[16] = "-";
+    if (i <= static_cast<int>(obs::Layer::end_to_end) && e2e_sum > 0.0)
+      std::snprintf(share, sizeof share, "%.0f%%",
+                    static_cast<double>(h.sum()) / e2e_sum * 100.0);
+    line(out, "%-16s %8llu %10.1f %10.1f %10.1f %7s", obs::to_string(layer),
+         static_cast<unsigned long long>(h.count()), us(h.quantile(0.5)),
+         us(h.quantile(0.99)), us(h.max()), share);
+  }
+
+  line(out, "%-5s %10s %12s %11s %9s %8s", "host", "compute", "communicate",
+       "overlapped", "idle", "overlap");
+  for (const obs::HostUsage& u : obs::fold_hosts(cluster.timeline())) {
+    line(out, "%-5s %9.3fs %11.3fs %10.3fs %8.3fs %7.0f%%", u.host.c_str(),
+         u.compute.sec(), u.communicate.sec(), u.overlapped.sec(), u.idle.sec(),
+         u.overlap_ratio() * 100.0);
+  }
+  return out;
 }
 
 }  // namespace ncs::cluster

@@ -15,11 +15,23 @@ namespace ncs::cluster {
 /// counters for whatever runtime(s) and substrate the cluster used.
 std::string report(Cluster& cluster);
 
-/// Machine-readable run report (schema "ncs-run-report-v1"): run metadata
-/// (config name, processes, final clock, engine event count) plus the full
-/// metrics registry keyed "host/module/name". Pass the Duration returned
-/// by run() as `makespan`; omit it for runs that never complete a phase.
+/// Machine-readable run report: run metadata (config name, processes,
+/// final clock, engine event count) plus the full metrics registry keyed
+/// "host/module/name". Schema "ncs-run-report-v1" normally; when the
+/// cluster has a profiler attached (ClusterConfig::profile /
+/// enable_profiling()) the schema is "ncs-run-report-v2" and a "profile"
+/// section is added: per-layer latency histograms (p50/p90/p99), message
+/// completion counts, per-thread activity totals, and per-host
+/// compute/communicate/overlap ratios (the paper's Fig 4 quantity). Pass
+/// the Duration returned by run() as `makespan`; omit it for runs that
+/// never complete a phase.
 std::string report_json(Cluster& cluster);
 std::string report_json(Cluster& cluster, Duration makespan);
+
+/// Human-readable bottleneck attribution for a profiled run: per-layer
+/// latency table (count, p50, p99, max, share of end-to-end), the one-line
+/// p99 attribution summary, and per-host overlap ratios. Returns a note
+/// string when the cluster was not profiled.
+std::string bottleneck_report(Cluster& cluster);
 
 }  // namespace ncs::cluster

@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "obs/prof.hpp"
 
 namespace ncs::mps {
 
@@ -33,11 +34,16 @@ AtmTransport::AtmTransport(mts::Scheduler& host, atm::Nic& nic, Params params)
 }
 
 void AtmTransport::wait_for_tx_buffer() {
+  const TimePoint started = host_.engine().now();
   while (!nic_.tx_buffer_available()) {
     ++stats_.tx_buffer_stalls;
     mts::Thread* self = host_.current();
     nic_.notify_tx_buffer([this, self] { host_.unblock(self); });
     host_.block(sim::Activity::communicate);
+  }
+  if (prof_ != nullptr) {
+    const Duration stalled = host_.engine().now() - started;
+    if (stalled > Duration::zero()) prof_->record(obs::Layer::tx_buffer_stall, stalled);
   }
 }
 

@@ -50,6 +50,8 @@ class AtmTransport final : public Transport {
   void set_frame_error_handler(std::function<void(int)> handler) override {
     frame_error_handler_ = std::move(handler);
   }
+  /// Records NIC I/O-buffer backpressure stalls into Layer::tx_buffer_stall.
+  void set_profiler(obs::Profiler* prof) override { prof_ = prof; }
 
   struct Stats {
     std::uint64_t tx_chunks = 0;
@@ -81,6 +83,7 @@ class AtmTransport final : public Transport {
   std::map<atm::VcId, Bytes> partial_;  // per-circuit reassembly
   std::map<int, atm::VcId> svc_to_;     // destination -> established SVC
   std::function<void(int)> frame_error_handler_;
+  obs::Profiler* prof_ = nullptr;
 
   Stats stats_;
 };

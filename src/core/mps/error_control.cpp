@@ -26,7 +26,7 @@ void ErrorControl::on_sent(const Message& msg) {
   const Key key{msg.to_process, msg.seq};
   auto it = in_flight_.find(key);
   if (it == in_flight_.end()) {
-    it = in_flight_.emplace(key, InFlight{msg, 0, 0}).first;
+    it = in_flight_.emplace(key, InFlight{msg, 0, 0, engine_.now()}).first;
   } else {
     ++it->second.attempts;  // this was a retransmission completing
   }
@@ -58,6 +58,8 @@ void ErrorControl::arm_timer(const Key& key) {
       trace_->instant(trace_track_,
                       "retx seq" + std::to_string(key.seq) + "->p" + std::to_string(key.peer),
                       "mps", engine_.now());
+    if (prof_ != nullptr)
+      prof_->record(obs::Layer::retx_delay, engine_.now() - it->second.first_sent);
     retransmit_fn_(it->second.msg);
   });
 }

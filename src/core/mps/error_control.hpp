@@ -21,6 +21,7 @@
 #include "core/mps/message.hpp"
 #include "core/mts/scheduler.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
@@ -86,6 +87,9 @@ class ErrorControl {
     trace_track_ = track;
   }
 
+  /// First-transmission -> retransmission delays feed Layer::retx_delay.
+  void set_profiler(obs::Profiler* prof) { prof_ = prof; }
+
  private:
   struct Key {
     int peer;
@@ -96,6 +100,7 @@ class ErrorControl {
     Message msg;
     sim::EventId timer = 0;
     int attempts = 0;
+    TimePoint first_sent;
   };
 
   void arm_timer(const Key& key);
@@ -104,6 +109,7 @@ class ErrorControl {
   ErrorControlParams params_;
   obs::TraceLog* trace_ = nullptr;
   int trace_track_ = -1;
+  obs::Profiler* prof_ = nullptr;
   std::function<void(Message)> retransmit_fn_;
   std::function<void(int, std::uint32_t)> give_up_handler_;
 

@@ -41,6 +41,8 @@ void FlowControl::before_send(const Message& msg) {
       if (trace_ != nullptr && stalled > Duration::zero())
         trace_->complete(trace_track_, "fc-stall->p" + std::to_string(msg.to_process), "mps",
                          started, stalled);
+      if (prof_ != nullptr && stalled > Duration::zero())
+        prof_->record(obs::Layer::fc_stall, stalled);
       ++out;
       return;
     }
@@ -55,6 +57,7 @@ void FlowControl::before_send(const Message& msg) {
         if (trace_ != nullptr)
           trace_->complete(trace_track_, "rate-pace", "mps", started,
                            sched_.engine().now() - started);
+        if (prof_ != nullptr) prof_->record(obs::Layer::fc_stall, sched_.engine().now() - started);
       }
       const Duration occupancy =
           Duration::seconds(static_cast<double>(msg.data.size()) / params_.rate_bytes_per_sec);

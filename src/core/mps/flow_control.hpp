@@ -17,6 +17,7 @@
 #include "core/mps/message.hpp"
 #include "core/mts/sync.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 
 namespace ncs::mps {
@@ -62,11 +63,15 @@ class FlowControl {
     trace_track_ = track;
   }
 
+  /// Blocked spans (window stalls, rate pacing) feed Layer::fc_stall.
+  void set_profiler(obs::Profiler* prof) { prof_ = prof; }
+
  private:
   mts::Scheduler& sched_;
   FlowControlParams params_;
   obs::TraceLog* trace_ = nullptr;
   int trace_track_ = -1;
+  obs::Profiler* prof_ = nullptr;
 
   // window state. Waiters are kept per destination: windows are
   // per-destination, so an ack from B must never wake (only) a thread

@@ -13,6 +13,19 @@ constexpr std::uint8_t kCtlBarrierArrive = 2;
 constexpr std::uint8_t kCtlBarrierRelease = 3;
 
 Bytes control_payload(std::uint8_t kind) { return Bytes(1, static_cast<std::byte>(kind)); }
+
+/// Profiler key for a data message — the same (from, to, seq) triple error
+/// control dedups by, so it is unique per payload message. Control traffic
+/// reuses seq 0 and must never be keyed this way.
+obs::Profiler::MsgKey key_of(const Message& m) {
+  return {m.from_process, m.to_process, m.seq};
+}
+
+/// A point strictly inside [begin, end) when the span is non-empty — where
+/// flow events must land so Perfetto binds the arrow to the enclosing span.
+TimePoint midpoint(TimePoint begin, TimePoint end) {
+  return begin + Duration::picoseconds((end.ps() - begin.ps()) / 2);
+}
 }  // namespace
 
 Node::Node(mts::Scheduler& host, int rank, int n_procs, std::unique_ptr<Transport> transport,
@@ -96,6 +109,7 @@ void Node::send(int from_thread, int to_thread, int to_process, BytesView data) 
               next_seq_[static_cast<std::size_t>(to_process)]++, to_bytes(data)};
   ++stats_.sends;
   stats_.bytes_sent += data.size();
+  if (prof_ != nullptr) prof_->on_enqueue(key_of(msg), host_.engine().now());
 
   // Wake the send thread and block until it completes the hand-off —
   // the paper's NCS_send semantics.
@@ -118,12 +132,27 @@ Message Node::recv_matching(const Pattern& pattern) {
 Bytes Node::recv(int from_thread, int from_process, int to_thread, int* src_thread,
                  int* src_process) {
   NCS_ASSERT_MSG(mts::Scheduler::active() == &host_, "NCS_recv from a foreign thread");
+  const TimePoint wait_began = host_.engine().now();
   Message msg = recv_matching(Pattern{from_thread, from_process, to_thread, rank_});
   ++stats_.recvs;
   stats_.bytes_received += msg.data.size();
   if (src_thread != nullptr) *src_thread = msg.from_thread;
   if (src_process != nullptr) *src_process = msg.from_process;
+  note_received(msg, wait_began);
   return std::move(msg.data);
+}
+
+void Node::note_received(const Message& msg, TimePoint wait_began) {
+  const TimePoint now = host_.engine().now();
+  if (trace_ != nullptr) {
+    trace_->complete(recv_track_,
+                     "recv p" + std::to_string(msg.from_process) + " " +
+                         std::to_string(msg.data.size()) + "B",
+                     "mps", wait_began, now - wait_began);
+    trace_->flow_end(recv_track_, "msg", "flow", midpoint(wait_began, now),
+                     obs::msg_flow_id(msg.from_process, msg.to_process, msg.seq));
+  }
+  if (prof_ != nullptr) prof_->on_wakeup(key_of(msg), now);
 }
 
 void Node::bcast(int from_thread, std::span<const Endpoint> destinations, BytesView data) {
@@ -138,6 +167,7 @@ void Node::bcast(int from_thread, std::span<const Endpoint> destinations, BytesV
     Message msg{rank_, from_thread, ep.process, ep.thread,
                 next_seq_[static_cast<std::size_t>(ep.process)]++, to_bytes(data)};
     stats_.bytes_sent += data.size();
+    if (prof_ != nullptr) prof_->on_enqueue(key_of(msg), host_.engine().now());
     send_queue_.push(
         SendRequest{std::move(msg), i + 1 == destinations.size() ? &done : nullptr});
   }
@@ -169,15 +199,18 @@ void Node::collective_send(int to_process, BytesView data) {
   Message msg{rank_, kCollectiveThread, to_process, kCollectiveThread,
               next_seq_[static_cast<std::size_t>(to_process)]++, to_bytes(data)};
   stats_.bytes_sent += data.size();
+  if (prof_ != nullptr) prof_->on_enqueue(key_of(msg), host_.engine().now());
   mts::Event done(host_);
   send_queue_.push(SendRequest{std::move(msg), &done});
   done.wait();
 }
 
 Bytes Node::collective_recv(int from_process) {
+  const TimePoint wait_began = host_.engine().now();
   Message msg =
       recv_matching(Pattern{kCollectiveThread, from_process, kCollectiveThread, rank_});
   stats_.bytes_received += msg.data.size();
+  note_received(msg, wait_began);
   return std::move(msg.data);
 }
 
@@ -262,6 +295,13 @@ void Node::set_trace(obs::TraceLog* trace, const std::string& prefix) {
   ec_.set_trace(trace_, send_track_);
 }
 
+void Node::set_profiler(obs::Profiler* prof) {
+  prof_ = prof;
+  fc_.set_profiler(prof);
+  ec_.set_profiler(prof);
+  transport_->set_profiler(prof);
+}
+
 void Node::submit_locked(const Message& msg) {
   mts::LockGuard guard(submit_mutex_);
   transport_->submit(msg);
@@ -278,22 +318,48 @@ void Node::send_thread_main() {
                                   static_cast<double>(req.msg.data.size()),
                           sim::Activity::communicate);
       ++stats_.local_deliveries;
-      if (trace_ != nullptr)
+      const TimePoint delivered = host_.engine().now();
+      if (prof_ != nullptr) {
+        // No flow control or network leg locally: the copy is the whole
+        // transport stage, and delivery coincides with the hand-off.
+        const obs::Profiler::MsgKey k = key_of(req.msg);
+        prof_->on_dequeue(k, began);
+        prof_->on_admit(k, began);
+        prof_->on_handoff(k, delivered);
+        prof_->on_deliver(k, delivered);
+      }
+      if (trace_ != nullptr) {
         trace_->complete(send_track_, "local " + std::to_string(req.msg.data.size()) + "B",
-                         "mps", began, host_.engine().now() - began);
+                         "mps", began, delivered - began);
+        trace_->flow_start(send_track_, "msg", "flow", midpoint(began, delivered),
+                           obs::msg_flow_id(req.msg.from_process, req.msg.to_process,
+                                            req.msg.seq));
+      }
       mailbox_.deliver(std::move(req.msg));
       if (req.done != nullptr) req.done->set();
       continue;
     }
     const bool is_control = req.msg.to_thread == kControlThread;
-    if (!is_control) fc_.before_send(req.msg);
+    if (prof_ != nullptr && !is_control) prof_->on_dequeue(key_of(req.msg), began);
+    if (!is_control) {
+      fc_.before_send(req.msg);
+      if (prof_ != nullptr) prof_->on_admit(key_of(req.msg), host_.engine().now());
+    }
     submit_locked(req.msg);
     if (!is_control) ec_.on_sent(req.msg);
-    if (trace_ != nullptr && !is_control)
-      trace_->complete(send_track_,
-                       "send->p" + std::to_string(req.msg.to_process) + " " +
-                           std::to_string(req.msg.data.size()) + "B",
-                       "mps", began, host_.engine().now() - began);
+    if (!is_control) {
+      const TimePoint ended = host_.engine().now();
+      if (prof_ != nullptr) prof_->on_handoff(key_of(req.msg), ended);
+      if (trace_ != nullptr) {
+        trace_->complete(send_track_,
+                         "send->p" + std::to_string(req.msg.to_process) + " " +
+                             std::to_string(req.msg.data.size()) + "B",
+                         "mps", began, ended - began);
+        trace_->flow_start(send_track_, "msg", "flow", midpoint(began, ended),
+                           obs::msg_flow_id(req.msg.from_process, req.msg.to_process,
+                                            req.msg.seq));
+      }
+    }
     if (req.done != nullptr) req.done->set();
   }
 }
@@ -318,6 +384,7 @@ void Node::recv_thread_main() {
                         "deliver p" + std::to_string(m.from_process) + " " +
                             std::to_string(m.data.size()) + "B",
                         "mps", host_.engine().now());
+      if (prof_ != nullptr) prof_->on_deliver(key_of(m), host_.engine().now());
       mailbox_.deliver(std::move(m));
     }
   }

@@ -153,7 +153,16 @@ class Node {
   /// Creates "<prefix>/send" and "<prefix>/recv" trace tracks: per-transfer
   /// spans on the send track (flow-control stalls included), delivery
   /// instants on the recv track, retransmit instants from error control.
+  /// When tracing is on, each data message additionally carries a Chrome
+  /// flow event pair (id = msg_flow_id) so Perfetto draws an arrow from the
+  /// send span on this host to the recv span on the destination host.
   void set_trace(obs::TraceLog* trace, const std::string& prefix);
+
+  /// Stamps every data message's lifecycle (enqueue/dequeue/admit/handoff/
+  /// deliver/wakeup) into `prof` and forwards it to the flow/error-control
+  /// policies and the transport. Control traffic (acks, barrier tokens,
+  /// which reuse seq 0) is not profiled.
+  void set_profiler(obs::Profiler* prof);
 
  private:
   struct SendRequest {
@@ -195,9 +204,15 @@ class Node {
   std::vector<std::uint32_t> next_seq_;  // per destination process
   std::vector<mts::Thread*> user_threads_;
 
+  /// Recv-side trace span + flow end + profiler wakeup stamp for a message
+  /// just returned to the application; `wait_began` is when the receive
+  /// call started blocking.
+  void note_received(const Message& msg, TimePoint wait_began);
+
   obs::TraceLog* trace_ = nullptr;
   int send_track_ = -1;
   int recv_track_ = -1;
+  obs::Profiler* prof_ = nullptr;
 
   Stats stats_;
 };

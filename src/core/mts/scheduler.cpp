@@ -58,6 +58,7 @@ Thread* Scheduler::spawn(std::function<void()> body, ThreadOptions opts) {
 
 void Scheduler::make_runnable(Thread* t, bool front) {
   NCS_ASSERT(t->queue_ == nullptr);
+  t->runnable_since_ = engine_.now();
   Queue& q = runnable_[static_cast<std::size_t>(t->priority_)];
   if (front) {
     q.push_front(*t);
@@ -72,6 +73,8 @@ Thread* Scheduler::pop_runnable() {
     if (!q.empty()) {
       Thread& t = q.pop_front();
       t.queue_ = nullptr;
+      if (prof_ != nullptr)
+        prof_->record(obs::Layer::sched_dispatch, engine_.now() - t.runnable_since_);
       return &t;
     }
   }

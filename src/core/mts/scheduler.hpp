@@ -30,6 +30,7 @@
 #include "common/time.hpp"
 #include "core/mts/thread.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/timeline.hpp"
@@ -143,6 +144,11 @@ class Scheduler {
   /// plus charge and block spans on tracks named "<host>/<thread>".
   void set_trace(obs::TraceLog* trace) { trace_ = trace; }
 
+  /// Per-dispatch runnable->running latency feeds Layer::sched_dispatch —
+  /// the time work sits queued behind the non-preemptive CPU, i.e. the
+  /// scheduling share of the paper's "overhead of maintaining threads".
+  void set_profiler(obs::Profiler* prof) { prof_ = prof; }
+
   /// Registers this host's counters under `prefix` (e.g. "p0/mts").
   void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
 
@@ -164,6 +170,7 @@ class Scheduler {
   SchedulerParams params_;
   sim::Timeline* timeline_ = nullptr;
   obs::TraceLog* trace_ = nullptr;
+  obs::Profiler* prof_ = nullptr;
 
   std::vector<std::unique_ptr<Thread>> threads_;
   Queue runnable_[kPriorityLevels];

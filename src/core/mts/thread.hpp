@@ -88,6 +88,9 @@ class Thread {
   int trace_track_ = -1;
   sim::Activity blocked_as_ = sim::Activity::idle;
   TimePoint block_began_;
+  /// When the thread last entered a runnable queue; pop_runnable() turns
+  /// it into a dispatch-latency sample when profiling is on.
+  TimePoint runnable_since_;
   /// Sleep generation: bumped when a sleep starts and when its block
   /// returns, so a sleep_until() timer can detect it has gone stale
   /// (the thread was woken early by another path).

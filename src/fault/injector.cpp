@@ -150,6 +150,11 @@ void FaultInjector::schedule(const FaultPlan& plan) {
           f->pause_until(end);
           fire("pause " + t);
         });
+        // The pause itself needs no end-of-window action (threads check the
+        // deadline themselves), but the timeline does: without a resume
+        // instant a chaos trace shows when a host froze and never when it
+        // thawed.
+        engine_.schedule_at(end, [this, t = ev.target] { fire("resume " + t); });
         stats_.events_scheduled += 1;
         break;
       }

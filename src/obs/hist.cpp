@@ -1,0 +1,74 @@
+#include "obs/hist.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "obs/json.hpp"
+
+namespace ncs::obs {
+
+int Histogram::bucket_of(std::int64_t v) {
+  if (v < kSub) return static_cast<int>(v);
+  const auto u = static_cast<std::uint64_t>(v);
+  const int msb = 63 - std::countl_zero(u);
+  const int shift = msb - kSubBits;
+  const auto sub = static_cast<int>((u >> shift) - kSub);
+  return (shift + 1) * kSub + sub;
+}
+
+std::int64_t Histogram::bucket_top(int b) {
+  NCS_ASSERT(b >= 0 && b < kBuckets);
+  if (b < kSub) return b;
+  const int shift = b / kSub - 1;
+  const auto top = (static_cast<std::uint64_t>(kSub + b % kSub + 1) << shift) - 1;
+  return static_cast<std::int64_t>(top);
+}
+
+void Histogram::record(std::int64_t v) {
+  if (v < 0) v = 0;
+  ++counts_[static_cast<std::size_t>(bucket_of(v))];
+  if (count_ == 0 || v < min_) min_ = v;
+  if (v > max_) max_ = v;
+  sum_ += v;
+  ++count_;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  auto rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += counts_[static_cast<std::size_t>(b)];
+    if (seen >= rank) {
+      std::int64_t v = bucket_top(b);
+      if (v < min_) v = min_;
+      if (v > max_) v = max_;
+      return v;
+    }
+  }
+  return max_;  // unreachable: seen reaches count_ by the last bucket
+}
+
+void Histogram::write_json(JsonWriter& w) const {
+  constexpr double kPsToUs = 1e-6;
+  constexpr double kPsToSec = 1e-12;
+  w.field("count", count_);
+  w.field("min_us", static_cast<double>(min()) * kPsToUs);
+  w.field("mean_us", mean() * kPsToUs);
+  w.field("p50_us", static_cast<double>(quantile(0.50)) * kPsToUs);
+  w.field("p90_us", static_cast<double>(quantile(0.90)) * kPsToUs);
+  w.field("p99_us", static_cast<double>(quantile(0.99)) * kPsToUs);
+  w.field("max_us", static_cast<double>(max()) * kPsToUs);
+  w.field("total_sec", static_cast<double>(sum()) * kPsToSec);
+}
+
+}  // namespace ncs::obs

@@ -1,0 +1,65 @@
+// Fixed-memory log-bucketed latency histogram (HDR-style).
+//
+// Values land in power-of-two octaves subdivided into 16 linear
+// sub-buckets, so any recorded value is off by at most 1/16 (~6%) of its
+// magnitude while the whole structure stays a flat ~8 KB array — no
+// allocation on the record path, safe to feed from per-message hooks at
+// simulation rates. Quantiles come from a cumulative walk and are clamped
+// to the exact observed [min, max], so p0/p100 are always exact.
+//
+// The profiler records simulated durations in picoseconds; write_json()
+// reports them in the microsecond/second units the rest of the report
+// schema uses.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+
+namespace ncs::obs {
+
+class JsonWriter;
+
+class Histogram {
+ public:
+  /// Records one value. Negative values clamp to zero (a latency measured
+  /// as negative is a caller bug, but must not corrupt the buckets).
+  void record(std::int64_t v);
+  void record(Duration d) { record(d.ps()); }
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::int64_t max() const { return max_; }
+  std::int64_t sum() const { return sum_; }
+  double mean() const;
+
+  /// Value at quantile q in [0, 1]: the upper bound of the bucket holding
+  /// the ceil(q * count)-th smallest sample, clamped to [min, max].
+  /// Returns 0 on an empty histogram.
+  std::int64_t quantile(double q) const;
+
+  /// Emits count/min/mean/p50/p90/p99/max (microseconds) and total
+  /// (seconds) as fields of the currently open JSON object. Assumes the
+  /// recorded values are picoseconds.
+  void write_json(JsonWriter& w) const;
+
+  static constexpr int kSubBits = 4;  // 16 linear sub-buckets per octave
+  static constexpr int kSub = 1 << kSubBits;
+  // Octave 0 holds values < kSub exactly; octaves for msb = kSubBits..62
+  // hold kSub sub-buckets each.
+  static constexpr int kBuckets = kSub + (63 - kSubBits) * kSub;
+
+  /// Bucket index for a (non-negative, clamped) value. Exposed for tests.
+  static int bucket_of(std::int64_t v);
+  /// Largest value mapping to bucket `b` (the quantile representative).
+  static std::int64_t bucket_top(int b);
+
+ private:
+  std::uint64_t counts_[static_cast<std::size_t>(kBuckets)] = {};
+  std::uint64_t count_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  std::int64_t sum_ = 0;
+};
+
+}  // namespace ncs::obs

@@ -36,6 +36,18 @@ void TraceLog::counter(std::string name, TimePoint t, double value) {
   events_.push_back({'C', -1, std::move(name), "counter", t.ps(), 0, value});
 }
 
+void TraceLog::flow_start(int track, std::string name, const char* category, TimePoint t,
+                          std::uint64_t id) {
+  NCS_ASSERT(track >= 0 && track < track_count());
+  events_.push_back({'s', track, std::move(name), category, t.ps(), 0, 0.0, id});
+}
+
+void TraceLog::flow_end(int track, std::string name, const char* category, TimePoint t,
+                        std::uint64_t id) {
+  NCS_ASSERT(track >= 0 && track < track_count());
+  events_.push_back({'f', track, std::move(name), category, t.ps(), 0, 0.0, id});
+}
+
 void TraceLog::import_timeline(const sim::Timeline& tl) {
   for (int k = 0; k < tl.track_count(); ++k) {
     const int tr = track(tl.track_name(k));
@@ -94,6 +106,14 @@ std::string TraceLog::chrome_json() const {
     w.field("ts", to_us(e.ts_ps));
     if (e.phase == 'X') w.field("dur", to_us(e.dur_ps));
     if (e.phase == 'i') w.field("s", "t");
+    if (e.phase == 's' || e.phase == 'f') {
+      // As a hex string: ids pack (from, to, seq) into 64 bits, which JSON
+      // consumers parsing numbers as doubles would silently round.
+      char id[19];
+      std::snprintf(id, sizeof id, "0x%llx", static_cast<unsigned long long>(e.id));
+      w.field("id", id);
+      if (e.phase == 'f') w.field("bp", "e");  // bind to the enclosing slice
+    }
     if (e.phase == 'C') {
       w.key("args").begin_object().field("value", e.value).end_object();
     }

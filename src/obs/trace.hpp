@@ -47,6 +47,16 @@ class TraceLog {
   /// Counter sample ("C" phase): plots `value` over time under `name`.
   void counter(std::string name, TimePoint t, double value);
 
+  /// Flow events ("s" / "f" phases): Perfetto draws an arrow from the slice
+  /// enclosing the start event to the slice enclosing the end event, even
+  /// across tracks — this is what stitches a send span on one host to the
+  /// matching recv span on another. Events pair by id (see msg_flow_id);
+  /// `t` must fall strictly inside the span the arrow should attach to.
+  void flow_start(int track, std::string name, const char* category, TimePoint t,
+                  std::uint64_t id);
+  void flow_end(int track, std::string name, const char* category, TimePoint t,
+                std::uint64_t id);
+
   /// Imports a per-thread activity timeline: one track per timeline track
   /// (same name), one span per interval, named after the activity
   /// (compute / communicate / overhead / idle). Call after
@@ -63,13 +73,14 @@ class TraceLog {
 
  private:
   struct Event {
-    char phase;  // 'X', 'i', 'C'
+    char phase;  // 'X', 'i', 'C', 's', 'f'
     int track;
     std::string name;
     const char* category;
     std::int64_t ts_ps;
-    std::int64_t dur_ps;  // X only
-    double value;         // C only
+    std::int64_t dur_ps;   // X only
+    double value;          // C only
+    std::uint64_t id = 0;  // s/f only
   };
 
   std::vector<std::string> tracks_;

@@ -158,6 +158,28 @@ TEST(FaultInjector, UnmatchedTargetsWarnAndCount) {
   EXPECT_EQ(inj.stats().transitions_fired, 0u);
 }
 
+TEST(FaultInjector, HostPauseFiresBothPauseAndResumeTransitions) {
+  sim::Engine engine;
+  HostFault host;
+  TimePoint paused_until;
+  host.set_pause_handler([&](TimePoint resume_at) { paused_until = resume_at; });
+  FaultInjector inj(engine);
+  inj.attach_host("p1", &host);
+
+  FaultPlan plan;
+  plan.host_pause("p1", TimePoint::origin() + 10_ms, 20_ms);
+  inj.schedule(plan);
+  EXPECT_EQ(inj.stats().events_scheduled, 1u);
+
+  engine.run_until(TimePoint::origin() + 15_ms);
+  EXPECT_EQ(paused_until, TimePoint::origin() + 30_ms);
+  EXPECT_EQ(inj.stats().transitions_fired, 1u);  // pause
+  // The end of the window fires a second transition (the "resume" instant
+  // that marks the thaw on a chaos trace's fault track).
+  engine.run();
+  EXPECT_EQ(inj.stats().transitions_fired, 2u);  // pause + resume
+}
+
 TEST(FaultInjector, PlansAccumulateAcrossScheduleCalls) {
   sim::Engine engine;
   SwitchFault sw;

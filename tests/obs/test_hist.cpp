@@ -1,0 +1,137 @@
+// Histogram: bucket mapping, bounded relative error, exact scalar stats,
+// quantile clamping, JSON emission.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/hist.hpp"
+#include "obs/json.hpp"
+
+namespace ncs::obs {
+namespace {
+
+using namespace ncs::literals;
+
+TEST(Histogram, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0);
+  EXPECT_EQ(h.quantile(0.99), 0);
+}
+
+TEST(Histogram, ExactScalarStats) {
+  Histogram h;
+  for (const std::int64_t v : {5, 1000, 77, 123456789, 5}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.min(), 5);
+  EXPECT_EQ(h.max(), 123456789);
+  EXPECT_EQ(h.sum(), 5 + 1000 + 77 + 123456789 + 5);
+  EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(h.sum()) / 5.0);
+}
+
+TEST(Histogram, NegativeValuesClampToZero) {
+  Histogram h;
+  h.record(std::int64_t{-42});
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.sum(), 0);
+}
+
+TEST(Histogram, BucketMappingIsMonotoneAndConsistent) {
+  // Small values are exact (one bucket per value).
+  for (std::int64_t v = 0; v < Histogram::kSub; ++v) {
+    EXPECT_EQ(Histogram::bucket_of(v), static_cast<int>(v));
+    EXPECT_EQ(Histogram::bucket_top(static_cast<int>(v)), v);
+  }
+  // Every bucket top maps back to its own bucket, and tops are strictly
+  // increasing — together these pin down the bucket boundaries.
+  std::int64_t prev_top = -1;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    const std::int64_t top = Histogram::bucket_top(b);
+    EXPECT_GT(top, prev_top);
+    EXPECT_EQ(Histogram::bucket_of(top), b);
+    prev_top = top;
+  }
+  // Values one past a bucket top land in the next bucket.
+  for (int b = 0; b < 200; ++b)
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_top(b) + 1), b + 1);
+}
+
+TEST(Histogram, QuantileRelativeErrorBounded) {
+  // A geometric sweep across many octaves: each single-value histogram's
+  // p50 must be within 1/16 of the true value (and never below it, since
+  // quantiles report bucket upper bounds clamped to max).
+  for (std::int64_t v = 1; v < (std::int64_t{1} << 40); v = v * 7 + 3) {
+    Histogram h;
+    h.record(v);
+    const std::int64_t q = h.quantile(0.5);
+    EXPECT_EQ(q, v);  // single sample: clamped to exact [min, max]
+  }
+  // Multi-sample: the p50 representative stays within one sub-bucket.
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(std::int64_t{1000000} + i);
+  const double err =
+      static_cast<double>(h.quantile(0.5) - 1000000) / 1000000.0;
+  EXPECT_GE(err, 0.0 - 1.0 / Histogram::kSub);
+  EXPECT_LE(err, 1.0 / Histogram::kSub);
+}
+
+TEST(Histogram, QuantilesOrderedAndClamped) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(std::int64_t{i} * 1000);
+  // q=0 is the lowest sample's bucket top (>= min, within one sub-bucket);
+  // q=1 clamps to the exact max.
+  EXPECT_GE(h.quantile(0.0), h.min());
+  EXPECT_LE(static_cast<double>(h.quantile(0.0)),
+            static_cast<double>(h.min()) * (1.0 + 1.0 / Histogram::kSub));
+  EXPECT_EQ(h.quantile(1.0), h.max());
+  std::int64_t prev = 0;
+  for (const double q : {0.1, 0.25, 0.5, 0.9, 0.99}) {
+    const std::int64_t v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    EXPECT_GE(v, h.min());
+    EXPECT_LE(v, h.max());
+    prev = v;
+  }
+  // The median of 1000..100000 should be near 50000 (within a sub-bucket).
+  EXPECT_NEAR(static_cast<double>(h.quantile(0.5)), 50000.0,
+              50000.0 / Histogram::kSub + 1000.0);
+}
+
+TEST(Histogram, RecordsDurations) {
+  Histogram h;
+  h.record(3_us);
+  h.record(5_ms);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), (3_us).ps());
+  EXPECT_EQ(h.max(), (5_ms).ps());
+}
+
+TEST(Histogram, WriteJsonEmitsMicrosecondFields) {
+  Histogram h;
+  h.record(10_us);
+  h.record(20_us);
+  JsonWriter w;
+  w.begin_object();
+  h.write_json(w);
+  w.end_object();
+  const std::string doc = std::move(w).str();
+  EXPECT_NE(doc.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(doc.find("\"min_us\":10"), std::string::npos);
+  EXPECT_NE(doc.find("\"max_us\":20"), std::string::npos);
+  EXPECT_NE(doc.find("\"p50_us\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"p90_us\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"p99_us\":"), std::string::npos);
+  EXPECT_NE(doc.find("\"mean_us\":15"), std::string::npos);
+  EXPECT_NE(doc.find("\"total_sec\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ncs::obs

@@ -1,0 +1,77 @@
+// JsonWriter: container nesting, comma placement, escaping, number
+// formats. (Moved out of test_metrics.cpp when the obs tests were split
+// per module.)
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace ncs::obs {
+namespace {
+
+TEST(JsonWriter, NestedContainersAndCommas) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("a", 1);
+  w.key("b").begin_array().value(1).value(2).end_array();
+  w.key("c").begin_object().field("d", true).end_object();
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(), R"({"a":1,"b":[1,2],"c":{"d":true}})");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape(std::string("nul\0byte", 8)), "nul\\u0000byte");
+
+  JsonWriter w;
+  w.begin_object().field("k\n", "v\"").end_object();
+  EXPECT_EQ(std::move(w).str(), "{\"k\\n\":\"v\\\"\"}");
+}
+
+TEST(JsonWriter, NumberFormats) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(std::int64_t{-7});
+  w.value(std::uint64_t{18446744073709551615ull});
+  w.value(0.5);
+  w.value(false);
+  w.end_array();
+  EXPECT_EQ(std::move(w).str(), "[-7,18446744073709551615,0.5,false]");
+}
+
+TEST(JsonWriter, DoublesRoundTrip) {
+  JsonWriter w;
+  w.begin_array().value(0.1).value(1e-9).value(12345678.75).end_array();
+  const std::string doc = std::move(w).str();
+  // Shortest-round-trip formatting: parsing the text back yields the bits.
+  double a = 0, b = 0, c = 0;
+  ASSERT_EQ(std::sscanf(doc.c_str(), "[%lf,%lf,%lf]", &a, &b, &c), 3);
+  EXPECT_EQ(a, 0.1);
+  EXPECT_EQ(b, 1e-9);
+  EXPECT_EQ(c, 12345678.75);
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("arr").begin_array().end_array();
+  w.key("obj").begin_object().end_object();
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(), R"({"arr":[],"obj":{}})");
+}
+
+TEST(JsonWriter, LvalueStrPeeksWithoutFinishing) {
+  JsonWriter w;
+  w.begin_array().value(1);
+  EXPECT_EQ(w.str(), "[1");  // in-progress view
+  w.end_array();
+  EXPECT_EQ(std::move(w).str(), "[1]");
+}
+
+}  // namespace
+}  // namespace ncs::obs

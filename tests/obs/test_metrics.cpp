@@ -1,7 +1,8 @@
-// Observability layer: the JSON writer, the metrics registry, the trace
-// log — and the invariant the registry design rests on: registry totals
-// equal the legacy per-module stats structs, because the registry *reads*
-// those structs rather than counting separately.
+// Observability layer: the metrics registry — and the invariant the
+// registry design rests on: registry totals equal the legacy per-module
+// stats structs, because the registry *reads* those structs rather than
+// counting separately. (The JSON writer and trace log have their own
+// suites in test_json.cpp / test_trace.cpp.)
 #include <gtest/gtest.h>
 
 #include <string>
@@ -11,46 +12,11 @@
 #include "cluster/cluster.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
-#include "obs/trace.hpp"
 
 namespace ncs::obs {
 namespace {
 
 using namespace ncs::literals;
-
-// --- JsonWriter -------------------------------------------------------------
-
-TEST(JsonWriter, NestedContainersAndCommas) {
-  JsonWriter w;
-  w.begin_object();
-  w.field("a", 1);
-  w.key("b").begin_array().value(1).value(2).end_array();
-  w.key("c").begin_object().field("d", true).end_object();
-  w.end_object();
-  EXPECT_EQ(std::move(w).str(), R"({"a":1,"b":[1,2],"c":{"d":true}})");
-}
-
-TEST(JsonWriter, EscapesStrings) {
-  EXPECT_EQ(json_escape("plain"), "plain");
-  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
-  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
-  EXPECT_EQ(json_escape(std::string("nul\0byte", 8)), "nul\\u0000byte");
-
-  JsonWriter w;
-  w.begin_object().field("k\n", "v\"").end_object();
-  EXPECT_EQ(std::move(w).str(), "{\"k\\n\":\"v\\\"\"}");
-}
-
-TEST(JsonWriter, NumberFormats) {
-  JsonWriter w;
-  w.begin_array();
-  w.value(std::int64_t{-7});
-  w.value(std::uint64_t{18446744073709551615ull});
-  w.value(0.5);
-  w.value(false);
-  w.end_array();
-  EXPECT_EQ(std::move(w).str(), "[-7,18446744073709551615,0.5,false]");
-}
 
 // --- MetricsRegistry --------------------------------------------------------
 
@@ -96,55 +62,6 @@ TEST(MetricsRegistry, JsonEmbedsUnderMetricsKey) {
   const std::string doc = reg.to_json();
   EXPECT_NE(doc.find("\"metrics\""), std::string::npos);
   EXPECT_NE(doc.find("\"p0/mod/n\":42"), std::string::npos);
-}
-
-// --- TraceLog ---------------------------------------------------------------
-
-TEST(TraceLog, TracksDedupeByName) {
-  TraceLog log;
-  const int a = log.track("p0/send");
-  const int b = log.track("p0/recv");
-  const int a2 = log.track("p0/send");
-  EXPECT_EQ(a, a2);
-  EXPECT_NE(a, b);
-  EXPECT_EQ(log.track_count(), 2);
-  EXPECT_EQ(log.track_name(a), "p0/send");
-}
-
-TEST(TraceLog, ChromeJsonCarriesEventsAndTrackNames) {
-  TraceLog log;
-  const int t = log.track("p0/nic");
-  log.complete(t, "tx 4000B", "nic", TimePoint::origin() + 1_us, 3_us);
-  log.instant(t, "rx-error", "nic", TimePoint::origin() + 5_us);
-  log.counter("backlog", TimePoint::origin() + 6_us, 2.0);
-  EXPECT_EQ(log.event_count(), 3u);
-
-  const std::string doc = log.chrome_json();
-  EXPECT_EQ(doc.find("{\"traceEvents\":["), 0u);
-  EXPECT_NE(doc.find("\"thread_name\""), std::string::npos);  // track metadata
-  EXPECT_NE(doc.find("\"p0/nic\""), std::string::npos);
-  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
-  EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);
-  EXPECT_NE(doc.find("\"ph\":\"C\""), std::string::npos);
-  EXPECT_NE(doc.find("\"tx 4000B\""), std::string::npos);
-  // Timestamps are microseconds: the span starts at 1us and lasts 3us.
-  EXPECT_NE(doc.find("\"ts\":1"), std::string::npos);
-  EXPECT_NE(doc.find("\"dur\":3"), std::string::npos);
-}
-
-TEST(TraceLog, ImportsTimelineIntervalsAsSpans) {
-  sim::Timeline tl;
-  const int track = tl.add_track("h0/t0");
-  tl.transition(track, TimePoint::origin(), sim::Activity::compute);
-  tl.transition(track, TimePoint::origin() + 10_us, sim::Activity::idle);
-  tl.finish(TimePoint::origin() + 15_us);
-
-  TraceLog log;
-  log.import_timeline(tl);
-  EXPECT_GE(log.event_count(), 2u);
-  const std::string doc = log.chrome_json();
-  EXPECT_NE(doc.find("\"compute\""), std::string::npos);
-  EXPECT_NE(doc.find("\"h0/t0\""), std::string::npos);
 }
 
 // --- Registry vs legacy stats on a real run ---------------------------------

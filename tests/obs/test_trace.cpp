@@ -1,0 +1,114 @@
+// TraceLog: track dedup, Chrome JSON emission, flow events, timeline
+// import, file output. (Span/instant/counter cases moved out of
+// test_metrics.cpp when the obs tests were split per module.)
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/prof.hpp"
+#include "obs/trace.hpp"
+
+namespace ncs::obs {
+namespace {
+
+using namespace ncs::literals;
+
+TEST(TraceLog, TracksDedupeByName) {
+  TraceLog log;
+  const int a = log.track("p0/send");
+  const int b = log.track("p0/recv");
+  const int a2 = log.track("p0/send");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(log.track_count(), 2);
+  EXPECT_EQ(log.track_name(a), "p0/send");
+}
+
+TEST(TraceLog, ChromeJsonCarriesEventsAndTrackNames) {
+  TraceLog log;
+  const int t = log.track("p0/nic");
+  log.complete(t, "tx 4000B", "nic", TimePoint::origin() + 1_us, 3_us);
+  log.instant(t, "rx-error", "nic", TimePoint::origin() + 5_us);
+  log.counter("backlog", TimePoint::origin() + 6_us, 2.0);
+  EXPECT_EQ(log.event_count(), 3u);
+
+  const std::string doc = log.chrome_json();
+  EXPECT_EQ(doc.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(doc.find("\"thread_name\""), std::string::npos);  // track metadata
+  EXPECT_NE(doc.find("\"p0/nic\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(doc.find("\"tx 4000B\""), std::string::npos);
+  // Timestamps are microseconds: the span starts at 1us and lasts 3us.
+  EXPECT_NE(doc.find("\"ts\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"dur\":3"), std::string::npos);
+}
+
+TEST(TraceLog, FlowEventsPairByIdAcrossTracks) {
+  TraceLog log;
+  const int send = log.track("p0/mps");
+  const int recv = log.track("p1/mps");
+  const std::uint64_t id = msg_flow_id(0, 1, 7);
+  log.complete(send, "send->p1", "mps", TimePoint::origin() + 1_us, 2_us);
+  log.flow_start(send, "msg", "flow", TimePoint::origin() + 2_us, id);
+  log.complete(recv, "recv p0", "mps", TimePoint::origin() + 4_us, 2_us);
+  log.flow_end(recv, "msg", "flow", TimePoint::origin() + 5_us, id);
+
+  const std::string doc = log.chrome_json();
+  EXPECT_NE(doc.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"f\""), std::string::npos);
+  // Binding point "e" attaches the arrow end to the enclosing slice.
+  EXPECT_NE(doc.find("\"bp\":\"e\""), std::string::npos);
+  // Ids are emitted as hex strings so 64-bit values survive JS doubles;
+  // both halves of the pair carry the same id.
+  char hex[32];
+  std::snprintf(hex, sizeof hex, "\"id\":\"0x%llx\"",
+                static_cast<unsigned long long>(id));
+  const auto first = doc.find(hex);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(doc.find(hex, first + 1), std::string::npos);
+}
+
+TEST(TraceLog, MsgFlowIdIsStableAndDistinct) {
+  EXPECT_EQ(msg_flow_id(1, 2, 3), msg_flow_id(1, 2, 3));
+  EXPECT_NE(msg_flow_id(1, 2, 3), msg_flow_id(2, 1, 3));
+  EXPECT_NE(msg_flow_id(1, 2, 3), msg_flow_id(1, 2, 4));
+  EXPECT_NE(msg_flow_id(0, 1, 0), msg_flow_id(0, 2, 0));
+}
+
+TEST(TraceLog, ImportsTimelineIntervalsAsSpans) {
+  sim::Timeline tl;
+  const int track = tl.add_track("h0/t0");
+  tl.transition(track, TimePoint::origin(), sim::Activity::compute);
+  tl.transition(track, TimePoint::origin() + 10_us, sim::Activity::idle);
+  tl.finish(TimePoint::origin() + 15_us);
+
+  TraceLog log;
+  log.import_timeline(tl);
+  EXPECT_GE(log.event_count(), 2u);
+  const std::string doc = log.chrome_json();
+  EXPECT_NE(doc.find("\"compute\""), std::string::npos);
+  EXPECT_NE(doc.find("\"h0/t0\""), std::string::npos);
+}
+
+TEST(TraceLog, WriteFileRoundTripsDocument) {
+  TraceLog log;
+  log.instant(log.track("t"), "mark", "test", TimePoint::origin() + 1_us);
+  const std::string path = ::testing::TempDir() + "ncs_test_trace.json";
+  ASSERT_TRUE(log.write_file(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), log.chrome_json());
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(log.write_file("/nonexistent-dir/x/y.json"));
+}
+
+}  // namespace
+}  // namespace ncs::obs

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Diff an ncs-bench-v1 report against a recorded ncs-bench-baseline-v1.
+
+The simulator is deterministic, so on identical code the numbers match to
+the last digit; a tolerance (default 2%) absorbs intentional model tweaks
+while still catching perf regressions and accidental behaviour changes.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CURRENT.json [--bench NAME] [--tol 0.02]
+
+BASELINE.json is either an ncs-bench-baseline-v1 document (its `benches`
+map is searched for the bench named in CURRENT.json, or for --bench) or a
+bare ncs-bench-v1 document. Exit status: 0 = within tolerance, 1 = drift,
+2 = usage/schema error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"bench_diff: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def pick_baseline(doc, bench_name):
+    """Resolve a baseline document to the single-bench report to compare."""
+    schema = doc.get("schema", "")
+    if schema == "ncs-bench-baseline-v1":
+        benches = doc.get("benches", {})
+        if bench_name not in benches:
+            fail(f"baseline has no bench {bench_name!r} "
+                 f"(has: {', '.join(sorted(benches))})")
+        return benches[bench_name]
+    if schema == "ncs-bench-v1":
+        return doc
+    fail(f"unrecognised baseline schema {schema!r}")
+
+
+def diff(path, base, cur, tol, drifts):
+    """Structural diff: exact for strings/bools/shape, relative for numbers."""
+    if isinstance(base, dict) and isinstance(cur, dict):
+        for k in sorted(set(base) | set(cur)):
+            if k not in cur:
+                drifts.append(f"{path}.{k}: missing from current")
+            elif k not in base:
+                drifts.append(f"{path}.{k}: not in baseline (new field)")
+            else:
+                diff(f"{path}.{k}", base[k], cur[k], tol, drifts)
+    elif isinstance(base, list) and isinstance(cur, list):
+        if len(base) != len(cur):
+            drifts.append(f"{path}: length {len(base)} -> {len(cur)}")
+        for i, (b, c) in enumerate(zip(base, cur)):
+            diff(f"{path}[{i}]", b, c, tol, drifts)
+    elif isinstance(base, bool) or isinstance(cur, bool):
+        if base is not cur:
+            drifts.append(f"{path}: {base} -> {cur}")
+    elif isinstance(base, (int, float)) and isinstance(cur, (int, float)):
+        scale = max(abs(base), abs(cur))
+        if scale > 0 and abs(cur - base) / scale > tol:
+            pct = (cur - base) / scale * 100.0
+            drifts.append(f"{path}: {base:g} -> {cur:g} ({pct:+.2f}%)")
+    elif base != cur:
+        drifts.append(f"{path}: {base!r} -> {cur!r}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--bench", help="bench name to pull from a baseline map "
+                                    "(default: the current report's name)")
+    ap.add_argument("--tol", type=float, default=0.02,
+                    help="relative tolerance for numeric fields (default 0.02)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            base_doc = json.load(f)
+        with open(args.current) as f:
+            cur = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(str(e))
+
+    if cur.get("schema") != "ncs-bench-v1":
+        fail(f"current report schema is {cur.get('schema')!r}, "
+             "expected ncs-bench-v1")
+    bench_name = args.bench or cur.get("bench")
+    if not bench_name:
+        fail("current report has no bench name; pass --bench")
+    base = pick_baseline(base_doc, bench_name)
+
+    drifts = []
+    diff(bench_name, base, cur, args.tol, drifts)
+    if drifts:
+        print(f"bench_diff: {bench_name}: {len(drifts)} field(s) drifted "
+              f"beyond {args.tol:.0%}:")
+        for d in drifts:
+            print(f"  {d}")
+        sys.exit(1)
+    print(f"bench_diff: {bench_name}: within {args.tol:.0%} of baseline")
+
+
+if __name__ == "__main__":
+    main()
