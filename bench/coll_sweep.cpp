@@ -1,0 +1,205 @@
+// Collective-algorithm sweep: payload size x process count x algorithm on
+// the ATM LAN tier, for the two ops where the algorithm choice matters
+// most (bcast: flat vs binomial tree fan-out; allreduce: flat convergecast
+// vs recursive doubling vs chunk-pipelined ring). Every case forces one
+// algorithm through ClusterConfig::ncs.coll and times `iters` back-to-back
+// collectives in simulated time; a '*' (and "selected" in the JSON) marks
+// the algorithm coll::select would pick on its own at that point, so the
+// printed table shows directly whether the selection table's crossovers
+// sit where the measured ones do.
+//
+// The sweep ends with the collective-API application drivers
+// (matmul/jpeg/fft _coll at 4 nodes) so their end-to-end times ride the
+// same bench-diff gate as the algorithm grid.
+//
+//   --fast   CI-sized grid (P in {4,8}, two payload sizes)
+//   --json   ncs-bench-v1 rows: op/algorithm/n_procs/payload_bytes/
+//            per_op_us/selected, summary crossover speedups
+//   --prof   profiled ring-allreduce run (P=8, 256 KiB): prints the
+//            bottleneck table with the per-algorithm collectives section
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/bench_json.hpp"
+#include "cluster/bench_opts.hpp"
+#include "cluster/drivers.hpp"
+#include "coll/select.hpp"
+
+namespace {
+
+using namespace ncs;
+using namespace ncs::cluster;
+
+struct CaseResult {
+  double per_op_us = 0.0;
+  bool correct = false;
+};
+
+std::byte pattern_at(std::size_t i) {
+  return static_cast<std::byte>((i * 31 + 7) & 0xFF);
+}
+
+void run_collectives(mps::Node& node, coll::Op op, int procs, std::size_t bytes, int iters,
+                     bool* ok) {
+  if (op == coll::Op::bcast) {
+    Bytes payload;
+    if (node.rank() == 0) {
+      payload.resize(bytes);
+      for (std::size_t i = 0; i < bytes; ++i) payload[i] = pattern_at(i);
+    }
+    for (int it = 0; it < iters; ++it) {
+      const Bytes out = node.bcast(0, payload);
+      if (out.size() != bytes) *ok = false;
+      for (std::size_t i = 0; i < out.size(); i += 97)
+        if (out[i] != pattern_at(i)) *ok = false;
+    }
+  } else {
+    const std::size_t n = bytes / sizeof(double);
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+      v[i] = static_cast<double>(node.rank() + 1) * static_cast<double>(i % 17 + 1);
+    // Small-integer contributions: the rank sums are exact in FP, so the
+    // check is equality — which doubles as a determinism check on the
+    // fixed accumulation order.
+    const double ranks = static_cast<double>(procs) * static_cast<double>(procs + 1) / 2.0;
+    for (int it = 0; it < iters; ++it) {
+      const auto r = node.allreduce_sum(v);
+      if (r.size() != n) *ok = false;
+      for (std::size_t i = 0; i < r.size(); i += 61)
+        if (r[i] != ranks * static_cast<double>(i % 17 + 1)) *ok = false;
+    }
+  }
+}
+
+CaseResult run_case(coll::Op op, coll::Algorithm algo, int procs, std::size_t bytes,
+                    int iters) {
+  ClusterConfig cfg = sun_atm_lan(procs);
+  cfg.ncs.coll.set_force(op, algo);
+  Cluster cluster(std::move(cfg));
+  cluster.init_ncs_hsm();
+
+  bool ok = true;
+  const Duration elapsed = cluster.run([&](int rank) {
+    run_collectives(cluster.node(rank), op, procs, bytes, iters, &ok);
+  });
+  return {elapsed.sec() * 1e6 / iters, ok};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
+  bool fast = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+
+  const std::vector<int> procs = fast ? std::vector<int>{4, 8} : std::vector<int>{2, 4, 8, 16};
+  const std::vector<std::size_t> sizes =
+      fast ? std::vector<std::size_t>{8192, 262144}
+           : std::vector<std::size_t>{1024, 16384, 262144};
+  constexpr int kIters = 2;
+
+  struct Sweep {
+    coll::Op op;
+    std::vector<coll::Algorithm> algos;
+  };
+  const std::vector<Sweep> sweeps = {
+      {coll::Op::bcast, {coll::Algorithm::flat, coll::Algorithm::binomial_tree}},
+      {coll::Op::allreduce,
+       {coll::Algorithm::flat, coll::Algorithm::recursive_doubling, coll::Algorithm::ring}},
+  };
+
+  BenchReport report("coll_sweep");
+  bool all_correct = true;
+  std::map<std::string, double> us;
+  const auto key = [](coll::Op op, coll::Algorithm a, int p, std::size_t b) {
+    return std::string(coll::to_string(op)) + "/" + coll::to_string(a) + "/" +
+           std::to_string(p) + "/" + std::to_string(b);
+  };
+
+  std::printf("collective sweep, ATM LAN (HSM), %d iterations per case; "
+              "'*' = coll::select's own pick\n",
+              kIters);
+  for (const Sweep& s : sweeps) {
+    for (const int p : procs) {
+      for (const std::size_t bytes : sizes) {
+        std::printf("%-9s P=%-2d %7zu B:", coll::to_string(s.op), p, bytes);
+        for (const coll::Algorithm algo : s.algos) {
+          const CaseResult r = run_case(s.op, algo, p, bytes, kIters);
+          all_correct = all_correct && r.correct;
+          const bool selected = coll::select(s.op, p, bytes, coll::Params{}) == algo;
+          us[key(s.op, algo, p, bytes)] = r.per_op_us;
+
+          report.row();
+          report.set("op", std::string(coll::to_string(s.op)));
+          report.set("algorithm", std::string(coll::to_string(algo)));
+          report.set("n_procs", p);
+          report.set("payload_bytes", static_cast<std::int64_t>(bytes));
+          report.set("per_op_us", r.per_op_us);
+          report.set("selected", selected);
+          std::printf("  %-18s %9.1f us%s", coll::to_string(algo), r.per_op_us,
+                      selected ? "*" : " ");
+        }
+        std::printf("\n");
+      }
+    }
+  }
+
+  // The crossover claims the selection table encodes, measured at the
+  // sweep's largest group and payload: the tree and the ring must beat
+  // flat there or the sweep fails.
+  const int big_p = procs.back();
+  const std::size_t big = sizes.back();
+  const double tree_speedup = us[key(coll::Op::bcast, coll::Algorithm::flat, big_p, big)] /
+                              us[key(coll::Op::bcast, coll::Algorithm::binomial_tree, big_p, big)];
+  const double ring_speedup =
+      us[key(coll::Op::allreduce, coll::Algorithm::flat, big_p, big)] /
+      us[key(coll::Op::allreduce, coll::Algorithm::ring, big_p, big)];
+  std::printf("at P=%d, %zu B: binomial bcast %.2fx vs flat, ring allreduce %.2fx vs flat\n",
+              big_p, big, tree_speedup, ring_speedup);
+  report.summary("bcast_tree_speedup", tree_speedup);
+  report.summary("allreduce_ring_speedup", ring_speedup);
+  all_correct = all_correct && tree_speedup > 1.0 && ring_speedup > 1.0;
+
+  // End-to-end collective-API drivers (autoselected algorithms).
+  const struct {
+    const char* name;
+    AppResult (*run)(ClusterConfig, int, NcsTier);
+  } apps[] = {{"matmul_coll", run_matmul_coll},
+              {"jpeg_coll", run_jpeg_coll},
+              {"fft_coll", run_fft_coll}};
+  for (const auto& app : apps) {
+    const AppResult r = app.run(sun_atm_lan(0), 4, NcsTier::hsm_atm);
+    all_correct = all_correct && r.correct;
+    report.row();
+    report.set("op", std::string(app.name));
+    report.set("n_procs", 4);
+    report.set("elapsed_sec", r.elapsed.sec());
+    std::printf("%-12s 4 nodes: %.3fs (%s)\n", app.name, r.elapsed.sec(),
+                r.correct ? "correct" : "WRONG");
+  }
+
+  std::printf("result verification: %s\n", all_correct ? "all cases correct" : "FAILED");
+
+  if (opts.prof) {
+    ClusterConfig cfg = sun_atm_lan(8);
+    cfg.ncs.coll.set_force(coll::Op::allreduce, coll::Algorithm::ring);
+    opts.apply(&cfg, "coll_sweep");
+    Cluster cluster(std::move(cfg));
+    cluster.init_ncs_hsm();
+    bool ok = true;
+    cluster.run([&](int rank) {
+      run_collectives(cluster.node(rank), coll::Op::allreduce, 8, 262144, kIters, &ok);
+    });
+    all_correct = all_correct && ok;
+    std::printf("\n%s", bottleneck_report(cluster).c_str());
+    std::printf("profiled run artifacts: %s + matching _trace.json\n",
+                opts.report_path("coll_sweep").c_str());
+  }
+
+  if (opts.json) report.emit(opts.json_path);
+  return all_correct ? 0 : 1;
+}

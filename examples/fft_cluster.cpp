@@ -32,6 +32,10 @@ int main() {
                 (p4_run.elapsed - ncs_run.elapsed).sec() / p4_run.elapsed.sec() * 100.0,
                 p4_run.correct && ncs_run.correct ? "" : "WRONG RESULT");
   }
+
+  const AppResult coll_run = run_fft_coll(sun_atm_lan(0), 4);
+  std::printf("\ncollective API, 4 nodes on the ATM LAN (scatter + gather): %.3f s %s\n",
+              coll_run.elapsed.sec(), coll_run.correct ? "" : "WRONG RESULT");
   std::printf("\nEach thread owns M/(2T) butterfly rows (paper Fig 21): log2(T)\n"
               "exchange stages, then an independent local sub-FFT; the final\n"
               "exchange between the two threads of a node never touches the wire.\n");

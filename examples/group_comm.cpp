@@ -1,0 +1,70 @@
+// Group communication on the collective API: NCS_bcast / NCS_allreduce /
+// NCS_allgather / NCS_reduce_scatter over an 8-workstation ATM LAN.
+//
+// The program never names an algorithm — coll::select picks one per call
+// from the group size and payload size (binomial tree for the bcast,
+// recursive doubling for the small allreduce, chunk-pipelined ring for the
+// large one), and the printout asks the engine which it chose. Compare
+// bench/coll_sweep, which forces each algorithm in turn and times them
+// against each other.
+#include <cstdio>
+
+#include "cluster/cluster.hpp"
+#include "coll/engine.hpp"
+#include "core/api.hpp"
+
+using namespace ncs;
+using namespace ncs::cluster;
+
+int main() {
+  constexpr int kProcs = 8;
+  ClusterConfig config = sun_atm_lan(kProcs);
+  Cluster cluster(config);
+  cluster.init_ncs_hsm();
+
+  cluster.run([&](int rank) {
+    mps::Node& node = cluster.node(rank);
+    const int t = node.t_create([&, rank] {
+      // 1-to-many: rank 0's model parameters reach everyone.
+      Bytes params;
+      if (rank == 0) params = to_bytes("model parameters, epoch 0");
+      const Bytes model = api::NCS_bcast(0, params);
+
+      // many-to-many, small: one scalar per rank (a global error term).
+      const std::vector<double> err{static_cast<double>(rank) * 0.125};
+      const auto total_err = api::NCS_allreduce(err);
+
+      // many-to-many, large: 64 K doubles of "gradients" per rank.
+      std::vector<double> grad(64 * 1024);
+      for (std::size_t i = 0; i < grad.size(); ++i)
+        grad[i] = static_cast<double>(rank + 1) / static_cast<double>(i + 1);
+      const auto summed = api::NCS_allreduce(grad);
+
+      // Everyone reports; rank 0 prints once, with the engine's choices.
+      const auto views = api::NCS_allgather(to_bytes("done p" + std::to_string(rank)));
+      if (rank == 0) {
+        coll::Engine& eng = node.coll();
+        std::printf("group of %d on the ATM LAN, HSM tier:\n", kProcs);
+        std::printf("  bcast %zu B            -> %s\n", model.size(),
+                    coll::to_string(eng.algorithm_for(coll::Op::bcast, model.size())));
+        std::printf("  allreduce %zu B           -> %s (sum of errors: %.3f)\n",
+                    err.size() * sizeof(double),
+                    coll::to_string(
+                        eng.algorithm_for(coll::Op::allreduce, err.size() * sizeof(double))),
+                    total_err[0]);
+        std::printf("  allreduce %zu B      -> %s (first gradient: %.3f)\n",
+                    grad.size() * sizeof(double),
+                    coll::to_string(
+                        eng.algorithm_for(coll::Op::allreduce, grad.size() * sizeof(double))),
+                    summed[0]);
+        std::printf("  allgather: %zu reports, last = \"%.*s\"\n", views.size(),
+                    static_cast<int>(views.back().size()),
+                    reinterpret_cast<const char*>(views.back().data()));
+        std::printf("finished at %s simulated\n",
+                    cluster.engine().now().to_string().c_str());
+      }
+    });
+    node.host().join(node.user_thread(t));
+  });
+  return 0;
+}

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   const AppResult p4_run = run_jpeg_p4(sun_ethernet(0), nodes);
   const AppResult ncs_run = run_jpeg_ncs(sun_ethernet(0), nodes);
   const AppResult hsm_run = run_jpeg_ncs(sun_atm_lan(0), nodes, NcsTier::hsm_atm);
+  const AppResult coll_run = run_jpeg_coll(sun_atm_lan(0), nodes);
 
   std::printf("pipeline, single-threaded p4 (Ethernet):   %7.3f s %s\n", p4_run.elapsed.sec(),
               p4_run.correct ? "" : "WRONG RESULT");
@@ -38,6 +39,8 @@ int main(int argc, char** argv) {
               ncs_run.correct ? "" : "WRONG RESULT");
   std::printf("pipeline, NCS/HSM on the ATM LAN:          %7.3f s %s\n", hsm_run.elapsed.sec(),
               hsm_run.correct ? "" : "WRONG RESULT");
+  std::printf("collective API (scatter/gather/allreduce): %7.3f s %s\n", coll_run.elapsed.sec(),
+              coll_run.correct ? "" : "WRONG RESULT");
   std::printf("\nthreading hides %.1f %% of the p4 pipeline's stalls; the ATM API\n"
               "tier removes most of the remaining protocol cost.\n",
               (p4_run.elapsed - ncs_run.elapsed).sec() / p4_run.elapsed.sec() * 100.0);

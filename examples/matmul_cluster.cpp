@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
       {"p4 on the ATM LAN", run_matmul_p4(sun_atm_lan(0), nodes)},
       {"NCS_MTS/p4 on the ATM LAN", run_matmul_ncs(sun_atm_lan(0), nodes)},
       {"NCS/HSM straight on the ATM API", run_matmul_ncs(sun_atm_lan(0), nodes, NcsTier::hsm_atm)},
+      {"collective API (bcast/scatter/gather)", run_matmul_coll(sun_atm_lan(0), nodes)},
   };
 
   for (const Case& c : cases)
@@ -35,5 +36,8 @@ int main(int argc, char** argv) {
               improvement_pct(cases[2].result.elapsed, cases[3].result.elapsed));
   std::printf("HSM over NSM on ATM:                  %5.2f %%\n",
               improvement_pct(cases[3].result.elapsed, cases[4].result.elapsed));
+  std::printf("\nThe last row replaces the hand-rolled host/node message loops with\n"
+              "NCS_bcast / NCS_scatter / NCS_gather; coll::select picks flat, tree,\n"
+              "or ring per call from the group and payload size (see bench/coll_sweep).\n");
   return 0;
 }

@@ -270,4 +270,69 @@ AppResult run_fft_ncs(ClusterConfig base, int nodes, NcsTier tier) {
   return result;
 }
 
+AppResult run_fft_coll(ClusterConfig base, int nodes, NcsTier tier) {
+  const Calibration& cal = calibration();
+  const std::size_t m = cal.fft_m;
+  const auto n_threads = static_cast<std::size_t>(nodes);  // one global thread per process
+  NCS_ASSERT(nodes >= 2 && (nodes & (nodes - 1)) == 0 && m % (2 * n_threads) == 0);
+  base.n_procs = nodes;
+  Cluster cluster(std::move(base));
+  if (tier == NcsTier::nsm_p4) {
+    cluster.init_ncs_nsm();
+  } else {
+    cluster.init_ncs_hsm();
+  }
+
+  const std::size_t r = m / (2 * n_threads);
+  std::vector<std::vector<Complex>> results(static_cast<std::size_t>(cal.fft_sample_sets));
+
+  const Duration elapsed = cluster.run([&](int rank) {
+    mps::Node& node = cluster.node(rank);
+
+    for (int set = 0; set < cal.fft_sample_sets; ++set) {
+      // Rank 0 owns the samples; the two input halves reach their threads
+      // as scatters. The butterfly exchanges stay point-to-point (they are
+      // pairwise, not group traffic), and the spectrum converges by gather.
+      std::vector<Bytes> a_slices, b_slices;
+      if (rank == 0) {
+        const auto samples = make_samples(m, static_cast<std::uint64_t>(set));
+        for (std::size_t g = 0; g < n_threads; ++g) {
+          a_slices.push_back(pack({samples.data() + g * r, r}));
+          b_slices.push_back(pack({samples.data() + g * r + m / 2, r}));
+        }
+      }
+      auto a = unpack(node.scatter(0, a_slices));
+      auto b = unpack(node.scatter(0, b_slices));
+
+      auto local = fft_thread_body(
+          std::move(a), std::move(b), rank, m, n_threads,
+          [&](int partner, Bytes out) {
+            node.send(0, 0, partner, out);
+            return unpack(node.recv(0, partner, 0));
+          },
+          [&](std::size_t butterflies) {
+            charge_compute(node.host(), stage_cycles(butterflies));
+          });
+
+      const auto gathered = node.gather(0, pack(local));
+      if (rank == 0) {
+        std::vector<Complex> concatenated(m);
+        for (std::size_t g = 0; g < n_threads; ++g) {
+          const auto block = unpack(gathered[g]);
+          std::copy(block.begin(), block.end(),
+                    concatenated.begin() + static_cast<std::ptrdiff_t>(g * 2 * r));
+        }
+        results[static_cast<std::size_t>(set)] = assemble(concatenated);
+      }
+    }
+  });
+
+  AppResult result{elapsed, false};
+  result.correct = verify_sets(results, m, cal.fft_sample_sets);
+  for (const auto& set : results)
+    result.result_hash = fnv1a(set.data(), set.size() * sizeof(Complex), result.result_hash);
+  fill_runtime_stats(cluster, result);
+  return result;
+}
+
 }  // namespace ncs::cluster

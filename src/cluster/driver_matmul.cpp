@@ -209,4 +209,57 @@ AppResult run_matmul_ncs(ClusterConfig base, int nodes, NcsTier tier, int thread
   return result;
 }
 
+AppResult run_matmul_coll(ClusterConfig base, int nodes, NcsTier tier) {
+  const Calibration& cal = calibration();
+  const int n = cal.matmul_n;
+  NCS_ASSERT(nodes >= 1 && n % nodes == 0);
+  base.n_procs = nodes;
+  Cluster cluster(std::move(base));
+  init_ncs(cluster, tier);
+
+  const Matrix a = make_matrix(n, 1);
+  const Matrix b = make_matrix(n, 2);
+  Matrix c(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
+  const int rows = n / nodes;
+
+  const Duration elapsed = cluster.run([&](int rank) {
+    mps::Node& node = cluster.node(rank);
+
+    // B to everyone (tree fan-out at scale), then each rank's row block of
+    // A in one scatter — the Fig 13/14 traffic as two collectives.
+    Bytes b_blob;
+    if (rank == 0) b_blob = pack_rows(b.data(), n, n);
+    const auto b_local = unpack_rows(node.bcast(0, b_blob));
+
+    std::vector<Bytes> a_slices;
+    if (rank == 0) {
+      a_slices.reserve(static_cast<std::size_t>(nodes));
+      for (int i = 0; i < nodes; ++i)
+        a_slices.push_back(
+            pack_rows(a.data() + static_cast<std::ptrdiff_t>(i) * rows * n, rows, n));
+    }
+    const auto a_rows = unpack_rows(node.scatter(0, a_slices));
+
+    std::vector<double> c_rows(static_cast<std::size_t>(rows) * static_cast<std::size_t>(n));
+    charge_compute(node.host(), op_count(rows, n) * cal.matmul_cycles_per_op);
+    multiply_rows(a_rows.data(), b_local.data(), c_rows.data(), n, 0, rows);
+
+    const auto gathered = node.gather(0, pack_rows(c_rows.data(), rows, n));
+    if (rank == 0) {
+      for (int i = 0; i < nodes; ++i) {
+        const auto block = unpack_rows(gathered[static_cast<std::size_t>(i)]);
+        std::memcpy(c.data() + static_cast<std::ptrdiff_t>(i) * rows * n, block.data(),
+                    block.size() * sizeof(double));
+      }
+    }
+    node.barrier();
+  });
+
+  AppResult result{elapsed, false};
+  result.correct = apps::matmul::approx_equal(c, multiply(a, b, n), 1e-9);
+  result.result_hash = fnv1a(c.data(), c.size() * sizeof(double));
+  fill_runtime_stats(cluster, result);
+  return result;
+}
+
 }  // namespace ncs::cluster

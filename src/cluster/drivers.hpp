@@ -76,4 +76,19 @@ AppResult run_jpeg_ncs(ClusterConfig base, int nodes, NcsTier tier = NcsTier::ns
 AppResult run_fft_p4(ClusterConfig base, int nodes);
 AppResult run_fft_ncs(ClusterConfig base, int nodes, NcsTier tier = NcsTier::nsm_p4);
 
+// --- Collective-API variants (src/coll) ---
+// SPMD over `nodes` processes — no separate host rank: rank 0 owns the
+// input and result, distribution is scatter/bcast, collection is gather,
+// and the algorithm behind each call (flat, binomial tree, dissemination,
+// recursive doubling, pipelined ring) is autoselected per call by
+// coll::select from the group and payload size (ClusterConfig::ncs.coll
+// overrides). Default tier is HSM/ATM — the group plane the collectives
+// target. `nodes` may be 1 (every collective degenerates to the identity).
+AppResult run_matmul_coll(ClusterConfig base, int nodes, NcsTier tier = NcsTier::hsm_atm);
+// jpeg_coll additionally allreduces the per-strip round-trip squared error
+// so every rank holds the global PSNR (many-to-many reduction in anger).
+AppResult run_jpeg_coll(ClusterConfig base, int nodes, NcsTier tier = NcsTier::hsm_atm);
+// fft_coll needs power-of-two `nodes` (one global FFT thread per process).
+AppResult run_fft_coll(ClusterConfig base, int nodes, NcsTier tier = NcsTier::hsm_atm);
+
 }  // namespace ncs::cluster

@@ -193,6 +193,18 @@ std::string bottleneck_report(Cluster& cluster) {
          us(h.quantile(0.99)), us(h.max()), share);
   }
 
+  if (!prof->coll_hists().empty()) {
+    // Per-algorithm collective latency: where the group-communication time
+    // went, keyed "op/algorithm" by the coll::Engine.
+    line(out, "%-28s %8s %10s %10s %10s", "collective", "count", "p50-us", "p99-us",
+         "max-us");
+    for (const auto& [key, h] : prof->coll_hists()) {
+      line(out, "%-28s %8llu %10.1f %10.1f %10.1f", key.c_str(),
+           static_cast<unsigned long long>(h.count()), us(h.quantile(0.5)),
+           us(h.quantile(0.99)), us(h.max()));
+    }
+  }
+
   line(out, "%-5s %10s %12s %11s %9s %8s", "host", "compute", "communicate",
        "overlapped", "idle", "overlap");
   for (const obs::HostUsage& u : obs::fold_hosts(cluster.timeline())) {

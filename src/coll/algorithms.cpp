@@ -1,0 +1,469 @@
+#include "coll/algorithms.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace ncs::coll {
+
+namespace {
+
+int mod(int a, int p) { return ((a % p) + p) % p; }
+
+BytesView doubles_view(const double* p, std::size_t count) {
+  return BytesView(reinterpret_cast<const std::byte*>(p), count * sizeof(double));
+}
+
+/// Chunk granularity in doubles (whole elements only; 0 = one message).
+std::size_t chunk_elems(std::size_t chunk_bytes, std::size_t total) {
+  if (chunk_bytes < sizeof(double)) return std::max<std::size_t>(total, 1);
+  return chunk_bytes / sizeof(double);
+}
+
+/// Ships `count` doubles starting at `p` as back-to-back chunk messages;
+/// blocks on the final hand-off iff `wait_last`.
+void send_chunked(Fabric& f, int to, const double* p, std::size_t count,
+                  std::size_t chunk, bool wait_last) {
+  std::size_t off = 0;
+  while (off < count) {
+    const std::size_t n = std::min(chunk, count - off);
+    const bool last = off + n == count;
+    f.send(to, doubles_view(p + off, n), wait_last && last);
+    off += n;
+  }
+}
+
+/// Receives the chunk sequence for `count` doubles into `p`; `add`
+/// accumulates instead of overwriting. The chunk schedule is recomputed
+/// from (count, chunk), so both sides agree without any framing.
+void recv_chunked(Fabric& f, int from, double* p, std::size_t count, std::size_t chunk,
+                  bool add) {
+  std::size_t off = 0;
+  while (off < count) {
+    const std::size_t n = std::min(chunk, count - off);
+    const Bytes raw = f.recv(from);
+    NCS_ASSERT_MSG(raw.size() == n * sizeof(double), "collective chunk size mismatch");
+    for (std::size_t i = 0; i < n; ++i) {
+      double v;
+      std::memcpy(&v, raw.data() + i * sizeof(double), sizeof(double));
+      if (add) {
+        p[off + i] += v;
+      } else {
+        p[off + i] = v;
+      }
+    }
+    off += n;
+  }
+}
+
+// Gather/scatter tree payloads travel as framed entry blobs:
+// u32 count, then per entry u32 id (rank or vrank), u32 len, len bytes.
+Bytes pack_entries(const std::vector<std::pair<int, Bytes>>& entries) {
+  std::size_t size = 4;
+  for (const auto& [id, payload] : entries) size += 8 + payload.size();
+  Bytes out(size);
+  ByteWriter w(out);
+  w.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [id, payload] : entries) {
+    w.u32(static_cast<std::uint32_t>(id));
+    w.u32(static_cast<std::uint32_t>(payload.size()));
+    w.bytes(payload);
+  }
+  return out;
+}
+
+void unpack_entries_into(BytesView blob, std::vector<std::pair<int, Bytes>>& entries) {
+  ByteReader r(blob);
+  const std::uint32_t count = r.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const int id = static_cast<int>(r.u32());
+    const std::uint32_t len = r.u32();
+    entries.emplace_back(id, to_bytes(r.bytes(len)));
+  }
+}
+
+}  // namespace
+
+void accumulate_doubles(std::vector<double>& acc, BytesView raw) {
+  NCS_ASSERT_MSG(raw.size() == acc.size() * sizeof(double),
+                 "reduction contributions must have equal lengths");
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    double v;
+    std::memcpy(&v, raw.data() + i * sizeof(double), sizeof(double));
+    acc[i] += v;
+  }
+}
+
+Bytes pack_doubles(std::span<const double> values) {
+  return to_bytes(doubles_view(values.data(), values.size()));
+}
+
+std::vector<double> unpack_doubles(BytesView raw) {
+  NCS_ASSERT(raw.size() % sizeof(double) == 0);
+  std::vector<double> out(raw.size() / sizeof(double));
+  for (std::size_t i = 0; i < out.size(); ++i)
+    std::memcpy(&out[i], raw.data() + i * sizeof(double), sizeof(double));
+  return out;
+}
+
+Segment segment_of(std::size_t n, int n_procs, int s) {
+  const auto p = static_cast<std::size_t>(n_procs);
+  const auto i = static_cast<std::size_t>(s);
+  const std::size_t base = n / p;
+  const std::size_t extra = n % p;
+  Segment seg;
+  seg.begin = i * base + std::min(i, extra);
+  seg.len = base + (i < extra ? 1 : 0);
+  return seg;
+}
+
+// --- bcast ---
+
+Bytes bcast_flat(Fabric& f, int root, BytesView payload) {
+  const int p = f.n_procs();
+  if (f.rank() != root) return f.recv(root);
+  for (int step = 1; step < p; ++step)
+    f.send(mod(root + step, p), payload, step + 1 == p);
+  return to_bytes(payload);
+}
+
+Bytes bcast_binomial(Fabric& f, int root, BytesView payload) {
+  const int p = f.n_procs();
+  const int vr = mod(f.rank() - root, p);
+  Bytes data;
+  int mask = 1;
+  while (mask < p) {
+    if ((vr & mask) != 0) {
+      data = f.recv(mod(vr - mask + root, p));
+      break;
+    }
+    mask <<= 1;
+  }
+  if (vr == 0) data = to_bytes(payload);
+  // Children sit at vrank + m for each mask m below the one we received
+  // on; farthest (largest subtree) first so its transfer starts earliest.
+  std::vector<int> children;
+  for (int m = mask >> 1; m > 0; m >>= 1)
+    if (vr + m < p) children.push_back(mod(vr + m + root, p));
+  for (std::size_t i = 0; i < children.size(); ++i)
+    f.send(children[i], data, i + 1 == children.size());
+  return data;
+}
+
+// --- gather ---
+
+std::vector<Bytes> gather_flat(Fabric& f, int root, BytesView contribution) {
+  const int p = f.n_procs();
+  if (f.rank() != root) {
+    f.send(root, contribution, true);
+    return {};
+  }
+  std::vector<Bytes> out(static_cast<std::size_t>(p));
+  out[static_cast<std::size_t>(root)] = to_bytes(contribution);
+  for (int r = 0; r < p; ++r)
+    if (r != root) out[static_cast<std::size_t>(r)] = f.recv(r);
+  return out;
+}
+
+std::vector<Bytes> gather_binomial(Fabric& f, int root, BytesView contribution) {
+  const int p = f.n_procs();
+  const int me = f.rank();
+  const int vr = mod(me - root, p);
+  std::vector<std::pair<int, Bytes>> entries;
+  entries.emplace_back(me, to_bytes(contribution));
+  // Absorb each child subtree, then (non-root) forward the merged blob to
+  // the parent at vrank minus our lowest set bit.
+  int mask = 1;
+  while (mask < p && (vr & mask) == 0) {
+    if (vr + mask < p) unpack_entries_into(f.recv(mod(vr + mask + root, p)), entries);
+    mask <<= 1;
+  }
+  if (vr != 0) {
+    f.send(mod(vr - mask + root, p), pack_entries(entries), true);
+    return {};
+  }
+  std::vector<Bytes> out(static_cast<std::size_t>(p));
+  NCS_ASSERT(entries.size() == static_cast<std::size_t>(p));
+  for (auto& [rank, payload] : entries)
+    out[static_cast<std::size_t>(rank)] = std::move(payload);
+  return out;
+}
+
+// --- scatter ---
+
+Bytes scatter_flat(Fabric& f, int root, std::span<const Bytes> payloads) {
+  const int p = f.n_procs();
+  if (f.rank() != root) return f.recv(root);
+  NCS_ASSERT_MSG(payloads.size() == static_cast<std::size_t>(p),
+                 "scatter needs one payload per rank");
+  for (int step = 1; step < p; ++step) {
+    const int dst = mod(root + step, p);
+    f.send(dst, payloads[static_cast<std::size_t>(dst)], step + 1 == p);
+  }
+  return payloads[static_cast<std::size_t>(root)];
+}
+
+Bytes scatter_binomial(Fabric& f, int root, std::span<const Bytes> payloads) {
+  const int p = f.n_procs();
+  const int me = f.rank();
+  const int vr = mod(me - root, p);
+  // sub[v] is vrank v's payload; we only ever fill our own subtree
+  // [vr, vr + m0) where m0 is our lowest set bit (the whole range at the
+  // root, whose m0 is the smallest power of two >= P).
+  std::vector<Bytes> sub(static_cast<std::size_t>(p));
+  int m0 = 1;
+  if (vr == 0) {
+    NCS_ASSERT_MSG(payloads.size() == static_cast<std::size_t>(p),
+                   "scatter needs one payload per rank");
+    while (m0 < p) m0 <<= 1;
+    for (int v = 0; v < p; ++v)
+      sub[static_cast<std::size_t>(v)] = payloads[static_cast<std::size_t>(mod(v + root, p))];
+  } else {
+    m0 = vr & -vr;
+    std::vector<std::pair<int, Bytes>> entries;
+    unpack_entries_into(f.recv(mod(vr - m0 + root, p)), entries);
+    for (auto& [v, payload] : entries) sub[static_cast<std::size_t>(v)] = std::move(payload);
+  }
+  // Child at vrank vr + m owns [vr + m, vr + 2m); farthest first.
+  std::vector<std::pair<int, int>> children;  // (child vrank, subtree span m)
+  for (int m = m0 >> 1; m > 0; m >>= 1)
+    if (vr + m < p) children.emplace_back(vr + m, m);
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    const auto [cv, m] = children[i];
+    std::vector<std::pair<int, Bytes>> entries;
+    for (int v = cv; v < std::min(cv + m, p); ++v)
+      entries.emplace_back(v, std::move(sub[static_cast<std::size_t>(v)]));
+    f.send(mod(cv + root, p), pack_entries(entries), i + 1 == children.size());
+  }
+  return std::move(sub[static_cast<std::size_t>(vr)]);
+}
+
+// --- barrier ---
+
+namespace {
+const Bytes kToken(1, std::byte{0xB7});
+}  // namespace
+
+void barrier_flat(Fabric& f) {
+  const int p = f.n_procs();
+  if (f.rank() == 0) {
+    for (int r = 1; r < p; ++r) (void)f.recv(r);
+    for (int r = 1; r < p; ++r) f.send(r, kToken, r + 1 == p);
+  } else {
+    f.send(0, kToken, false);
+    (void)f.recv(0);
+  }
+}
+
+void barrier_dissemination(Fabric& f) {
+  const int p = f.n_procs();
+  const int me = f.rank();
+  // Round k: notify (me + 2^k), wait on (me - 2^k). After ceil(log2 P)
+  // rounds every rank transitively heard from every other.
+  for (int k = 1; k < p; k <<= 1) {
+    f.send(mod(me + k, p), kToken, false);
+    (void)f.recv(mod(me - k, p));
+  }
+}
+
+// --- reduce ---
+
+std::vector<double> reduce_flat(Fabric& f, int root, std::span<const double> values) {
+  const int p = f.n_procs();
+  if (f.rank() != root) {
+    f.send(root, doubles_view(values.data(), values.size()), true);
+    return {};
+  }
+  std::vector<double> acc(values.begin(), values.end());
+  for (int r = 0; r < p; ++r) {
+    if (r == root) continue;
+    accumulate_doubles(acc, f.recv(r));
+  }
+  return acc;
+}
+
+std::vector<double> reduce_binomial(Fabric& f, int root, std::span<const double> values) {
+  const int p = f.n_procs();
+  const int vr = mod(f.rank() - root, p);
+  std::vector<double> acc(values.begin(), values.end());
+  // Mirror of the bcast tree: absorb children (low mask first), then hand
+  // the partial sum to the parent. Accumulation order is fixed by vrank
+  // arithmetic, so results are bit-stable run to run.
+  int mask = 1;
+  while (mask < p) {
+    if ((vr & mask) != 0) {
+      f.send(mod(vr - mask + root, p), doubles_view(acc.data(), acc.size()), true);
+      return {};
+    }
+    if (vr + mask < p) accumulate_doubles(acc, f.recv(mod(vr + mask + root, p)));
+    mask <<= 1;
+  }
+  return acc;
+}
+
+// --- allreduce ---
+
+std::vector<double> allreduce_flat(Fabric& f, std::span<const double> values) {
+  std::vector<double> acc = reduce_flat(f, 0, values);
+  const Bytes raw = f.rank() == 0 ? pack_doubles(acc) : Bytes{};
+  return unpack_doubles(bcast_flat(f, 0, raw));
+}
+
+std::vector<double> allreduce_recursive_doubling(Fabric& f, std::span<const double> values) {
+  const int p = f.n_procs();
+  const int me = f.rank();
+  std::vector<double> acc(values.begin(), values.end());
+  if (p == 1) return acc;
+
+  // Fold the non-power-of-two remainder in: the first 2*rem ranks pair up,
+  // evens push their vector to the odd neighbour and sit out the doubling.
+  int pof2 = 1;
+  while (pof2 * 2 <= p) pof2 *= 2;
+  const int rem = p - pof2;
+  int newrank;
+  if (me < 2 * rem) {
+    if (me % 2 == 0) {
+      f.send(me + 1, doubles_view(acc.data(), acc.size()), true);
+      newrank = -1;
+    } else {
+      accumulate_doubles(acc, f.recv(me - 1));
+      newrank = me / 2;
+    }
+  } else {
+    newrank = me - rem;
+  }
+
+  if (newrank != -1) {
+    for (int mask = 1; mask < pof2; mask <<= 1) {
+      const int partner_new = newrank ^ mask;
+      const int partner = partner_new < rem ? partner_new * 2 + 1 : partner_new + rem;
+      // Queue our half of the exchange, then block on the partner's; the
+      // payload is copied at enqueue so accumulating into acc is safe.
+      f.send(partner, doubles_view(acc.data(), acc.size()), false);
+      accumulate_doubles(acc, f.recv(partner));
+    }
+  }
+
+  // Sat-out evens get the finished vector back from their partner.
+  if (me < 2 * rem) {
+    if (me % 2 != 0) {
+      f.send(me - 1, doubles_view(acc.data(), acc.size()), true);
+    } else {
+      acc = unpack_doubles(f.recv(me + 1));
+    }
+  }
+  return acc;
+}
+
+namespace {
+
+/// Ring reduce-scatter over acc in place: P-1 steps around the ring, each
+/// rank pushing the segment it just finished accumulating to its right
+/// neighbour. Afterwards rank r's segment_of(n, P, r) slice is the full
+/// element-wise sum (other slices hold partials).
+void ring_reduce_scatter(Fabric& f, std::vector<double>& acc, std::size_t chunk,
+                         bool wait_last) {
+  const int p = f.n_procs();
+  const int me = f.rank();
+  const int left = mod(me - 1, p);
+  const int right = mod(me + 1, p);
+  for (int t = 0; t < p - 1; ++t) {
+    const Segment out = segment_of(acc.size(), p, mod(me - t - 1, p));
+    const Segment in = segment_of(acc.size(), p, mod(me - t - 2, p));
+    send_chunked(f, right, acc.data() + out.begin, out.len, chunk,
+                 wait_last && t + 1 == p - 1);
+    recv_chunked(f, left, acc.data() + in.begin, in.len, chunk, /*add=*/true);
+  }
+}
+
+}  // namespace
+
+std::vector<double> allreduce_ring(Fabric& f, std::span<const double> values,
+                                   std::size_t chunk_bytes) {
+  const int p = f.n_procs();
+  const int me = f.rank();
+  std::vector<double> acc(values.begin(), values.end());
+  if (p == 1) return acc;
+  const std::size_t chunk = chunk_elems(chunk_bytes, acc.size());
+  ring_reduce_scatter(f, acc, chunk, /*wait_last=*/false);
+  // Allgather phase: circulate the finished segments the same way.
+  const int left = mod(me - 1, p);
+  const int right = mod(me + 1, p);
+  for (int t = 0; t < p - 1; ++t) {
+    const Segment out = segment_of(acc.size(), p, mod(me - t, p));
+    const Segment in = segment_of(acc.size(), p, mod(me - t - 1, p));
+    send_chunked(f, right, acc.data() + out.begin, out.len, chunk, t + 1 == p - 1);
+    recv_chunked(f, left, acc.data() + in.begin, in.len, chunk, /*add=*/false);
+  }
+  return acc;
+}
+
+// --- allgather ---
+
+std::vector<Bytes> allgather_flat(Fabric& f, BytesView contribution) {
+  const int p = f.n_procs();
+  const int me = f.rank();
+  // Ring-ordered fan-out (avoids hammering one destination first), queued
+  // with a single wait on the final hand-off.
+  for (int step = 1; step < p; ++step)
+    f.send(mod(me + step, p), contribution, step + 1 == p);
+  std::vector<Bytes> out(static_cast<std::size_t>(p));
+  out[static_cast<std::size_t>(me)] = to_bytes(contribution);
+  for (int r = 0; r < p; ++r)
+    if (r != me) out[static_cast<std::size_t>(r)] = f.recv(r);
+  return out;
+}
+
+std::vector<Bytes> allgather_ring(Fabric& f, BytesView contribution) {
+  const int p = f.n_procs();
+  const int me = f.rank();
+  std::vector<Bytes> out(static_cast<std::size_t>(p));
+  out[static_cast<std::size_t>(me)] = to_bytes(contribution);
+  const int left = mod(me - 1, p);
+  const int right = mod(me + 1, p);
+  // Step t forwards the payload received at step t-1; position in the
+  // stream identifies the origin rank, so sizes may vary freely.
+  for (int t = 0; t < p - 1; ++t) {
+    f.send(right, out[static_cast<std::size_t>(mod(me - t, p))], t + 1 == p - 1);
+    out[static_cast<std::size_t>(mod(me - t - 1, p))] = f.recv(left);
+  }
+  return out;
+}
+
+// --- reduce_scatter ---
+
+std::vector<double> reduce_scatter_flat(Fabric& f, std::span<const double> values) {
+  const int p = f.n_procs();
+  const int me = f.rank();
+  const Segment mine = segment_of(values.size(), p, me);
+  // Direct pairwise: queue every peer's slice of our vector, then sum the
+  // P-1 contributions for ours.
+  for (int step = 1; step < p; ++step) {
+    const int dst = mod(me + step, p);
+    const Segment s = segment_of(values.size(), p, dst);
+    f.send(dst, doubles_view(values.data() + s.begin, s.len), step + 1 == p);
+  }
+  std::vector<double> acc(values.begin() + static_cast<std::ptrdiff_t>(mine.begin),
+                          values.begin() + static_cast<std::ptrdiff_t>(mine.begin + mine.len));
+  for (int r = 0; r < p; ++r) {
+    if (r == me) continue;
+    accumulate_doubles(acc, f.recv(r));
+  }
+  return acc;
+}
+
+std::vector<double> reduce_scatter_ring(Fabric& f, std::span<const double> values,
+                                        std::size_t chunk_bytes) {
+  const int p = f.n_procs();
+  std::vector<double> acc(values.begin(), values.end());
+  const Segment mine = segment_of(acc.size(), p, f.rank());
+  if (p > 1) {
+    ring_reduce_scatter(f, acc, chunk_elems(chunk_bytes, acc.size()), /*wait_last=*/true);
+  }
+  return {acc.begin() + static_cast<std::ptrdiff_t>(mine.begin),
+          acc.begin() + static_cast<std::ptrdiff_t>(mine.begin + mine.len)};
+}
+
+}  // namespace ncs::coll

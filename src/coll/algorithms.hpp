@@ -1,0 +1,97 @@
+// The collective algorithms, as free functions over a Fabric.
+//
+// Every process of the group calls the same function in the same order
+// (SPMD); each call is one collective. Two families:
+//
+//   flat            root-centric linear fan-out/fan-in. The baseline the
+//                   paper implies for NCS group ops — kept both as the
+//                   small-group fast path and as the comparison arm of
+//                   bench/coll_sweep. Fan-outs queue every transfer and
+//                   wait once on the final hand-off, so even flat roots
+//                   pipeline their sends.
+//   binomial_tree   bcast/gather/scatter/reduce over the classic vrank
+//                   tree: rank r maps to vrank (r - root + P) % P, vrank v
+//                   parents to v minus its lowest set bit. log2(P) depth.
+//   dissemination   barrier in ceil(log2 P) rounds: round k sends a token
+//                   to (rank + 2^k) % P and waits on one from
+//                   (rank - 2^k + P) % P.
+//   recursive_doubling
+//                   allreduce in log2 P pairwise exchange rounds, with the
+//                   MPICH-style fold-in of the non-power-of-two remainder.
+//   ring            bandwidth-optimal allreduce (reduce-scatter then
+//                   allgather, 2(P-1)/P of the payload per link) and the
+//                   corresponding standalone allgather / reduce_scatter.
+//                   Segment transfers are chunk-pipelined: a segment is
+//                   sent as ceil(len/chunk) back-to-back messages so its
+//                   tail is still being copied while its head serializes.
+//
+// Reductions are element-wise sums of equal-length double vectors. All
+// double (de)serialization goes through std::memcpy — Bytes buffers carry
+// no alignment guarantee, so reinterpret_cast loads would be UB.
+//
+// Determinism: each algorithm fixes its accumulation order by rank
+// arithmetic, never by arrival time (per-source FIFO receives are
+// source-addressed). Repeated runs — including runs where error control
+// retransmits lost messages — produce bit-identical results.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "coll/fabric.hpp"
+
+namespace ncs::coll {
+
+// --- payload helpers (exposed for tests) ---
+
+/// acc[i] += i-th double of `raw` (memcpy per element; no alignment
+/// assumption). raw must hold exactly acc.size() doubles.
+void accumulate_doubles(std::vector<double>& acc, BytesView raw);
+
+Bytes pack_doubles(std::span<const double> values);
+std::vector<double> unpack_doubles(BytesView raw);
+
+/// Balanced ring partition of `n` elements over `n_procs` segments:
+/// segment s gets n/n_procs elements plus one of the n%n_procs extras.
+struct Segment {
+  std::size_t begin = 0;
+  std::size_t len = 0;
+};
+Segment segment_of(std::size_t n, int n_procs, int s);
+
+// --- broadcast: root's payload lands on every rank (root included) ---
+Bytes bcast_flat(Fabric& f, int root, BytesView payload);
+Bytes bcast_binomial(Fabric& f, int root, BytesView payload);
+
+// --- gather: root returns one payload per rank; non-roots return {} ---
+std::vector<Bytes> gather_flat(Fabric& f, int root, BytesView contribution);
+std::vector<Bytes> gather_binomial(Fabric& f, int root, BytesView contribution);
+
+// --- scatter: root supplies n_procs payloads; everyone returns its own ---
+Bytes scatter_flat(Fabric& f, int root, std::span<const Bytes> payloads);
+Bytes scatter_binomial(Fabric& f, int root, std::span<const Bytes> payloads);
+
+// --- barrier ---
+void barrier_flat(Fabric& f);
+void barrier_dissemination(Fabric& f);
+
+// --- reduce: element-wise sum at root; non-roots return {} ---
+std::vector<double> reduce_flat(Fabric& f, int root, std::span<const double> values);
+std::vector<double> reduce_binomial(Fabric& f, int root, std::span<const double> values);
+
+// --- allreduce: element-wise sum on every rank ---
+std::vector<double> allreduce_flat(Fabric& f, std::span<const double> values);
+std::vector<double> allreduce_recursive_doubling(Fabric& f, std::span<const double> values);
+std::vector<double> allreduce_ring(Fabric& f, std::span<const double> values,
+                                   std::size_t chunk_bytes);
+
+// --- allgather: every rank returns all contributions indexed by rank ---
+std::vector<Bytes> allgather_flat(Fabric& f, BytesView contribution);
+std::vector<Bytes> allgather_ring(Fabric& f, BytesView contribution);
+
+// --- reduce_scatter: rank r returns segment_of(n, P, r) of the sum ---
+std::vector<double> reduce_scatter_flat(Fabric& f, std::span<const double> values);
+std::vector<double> reduce_scatter_ring(Fabric& f, std::span<const double> values,
+                                        std::size_t chunk_bytes);
+
+}  // namespace ncs::coll

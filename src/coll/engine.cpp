@@ -1,0 +1,114 @@
+#include "coll/engine.hpp"
+
+#include <string>
+
+#include "coll/algorithms.hpp"
+#include "common/assert.hpp"
+#include "obs/prof.hpp"
+
+namespace ncs::coll {
+
+class Engine::Timed {
+ public:
+  Timed(Engine& engine, Op op, Algorithm algorithm)
+      : engine_(engine), op_(op), algorithm_(algorithm), began_(engine.fabric_.now()) {}
+
+  ~Timed() {
+    obs::Profiler* prof = engine_.prof_;
+    if (prof == nullptr) return;
+    const Duration elapsed = engine_.fabric_.now() - began_;
+    prof->record(obs::Layer::coll, elapsed);
+    prof->record_coll(std::string(to_string(op_)) + "/" + to_string(algorithm_), elapsed);
+  }
+
+ private:
+  Engine& engine_;
+  Op op_;
+  Algorithm algorithm_;
+  TimePoint began_;
+};
+
+Bytes Engine::bcast(int root, BytesView payload) {
+  NCS_ASSERT(root >= 0 && root < fabric_.n_procs());
+  if (fabric_.n_procs() == 1) return to_bytes(payload);
+  const Algorithm a = algorithm_for(Op::bcast, payload.size());
+  Timed timed(*this, Op::bcast, a);
+  return a == Algorithm::binomial_tree ? bcast_binomial(fabric_, root, payload)
+                                       : bcast_flat(fabric_, root, payload);
+}
+
+std::vector<Bytes> Engine::gather(int root, BytesView contribution) {
+  NCS_ASSERT(root >= 0 && root < fabric_.n_procs());
+  if (fabric_.n_procs() == 1) return {to_bytes(contribution)};
+  const Algorithm a = algorithm_for(Op::gather, contribution.size());
+  Timed timed(*this, Op::gather, a);
+  return a == Algorithm::binomial_tree ? gather_binomial(fabric_, root, contribution)
+                                       : gather_flat(fabric_, root, contribution);
+}
+
+Bytes Engine::scatter(int root, std::span<const Bytes> payloads) {
+  NCS_ASSERT(root >= 0 && root < fabric_.n_procs());
+  if (fabric_.n_procs() == 1) {
+    NCS_ASSERT_MSG(payloads.size() == 1, "scatter needs one payload per rank");
+    return payloads.front();
+  }
+  const std::size_t bytes =
+      fabric_.rank() == root && !payloads.empty() ? payloads.front().size() : 0;
+  const Algorithm a = algorithm_for(Op::scatter, bytes);
+  Timed timed(*this, Op::scatter, a);
+  return a == Algorithm::binomial_tree ? scatter_binomial(fabric_, root, payloads)
+                                       : scatter_flat(fabric_, root, payloads);
+}
+
+void Engine::barrier() {
+  if (fabric_.n_procs() == 1) return;
+  const Algorithm a = algorithm_for(Op::barrier, 0);
+  Timed timed(*this, Op::barrier, a);
+  if (a == Algorithm::dissemination) {
+    barrier_dissemination(fabric_);
+  } else {
+    barrier_flat(fabric_);
+  }
+}
+
+std::vector<double> Engine::reduce_sum(int root, std::span<const double> values) {
+  NCS_ASSERT(root >= 0 && root < fabric_.n_procs());
+  if (fabric_.n_procs() == 1) return {values.begin(), values.end()};
+  const Algorithm a = algorithm_for(Op::reduce, values.size_bytes());
+  Timed timed(*this, Op::reduce, a);
+  return a == Algorithm::binomial_tree ? reduce_binomial(fabric_, root, values)
+                                       : reduce_flat(fabric_, root, values);
+}
+
+std::vector<double> Engine::allreduce_sum(std::span<const double> values) {
+  if (fabric_.n_procs() == 1) return {values.begin(), values.end()};
+  const Algorithm a = algorithm_for(Op::allreduce, values.size_bytes());
+  Timed timed(*this, Op::allreduce, a);
+  switch (a) {
+    case Algorithm::recursive_doubling:
+      return allreduce_recursive_doubling(fabric_, values);
+    case Algorithm::ring:
+      return allreduce_ring(fabric_, values, params_.ring_chunk_bytes);
+    default:
+      return allreduce_flat(fabric_, values);
+  }
+}
+
+std::vector<Bytes> Engine::allgather(BytesView contribution) {
+  if (fabric_.n_procs() == 1) return {to_bytes(contribution)};
+  const Algorithm a = algorithm_for(Op::allgather, contribution.size());
+  Timed timed(*this, Op::allgather, a);
+  return a == Algorithm::ring ? allgather_ring(fabric_, contribution)
+                              : allgather_flat(fabric_, contribution);
+}
+
+std::vector<double> Engine::reduce_scatter_sum(std::span<const double> values) {
+  if (fabric_.n_procs() == 1) return {values.begin(), values.end()};
+  const Algorithm a = algorithm_for(Op::reduce_scatter, values.size_bytes());
+  Timed timed(*this, Op::reduce_scatter, a);
+  return a == Algorithm::ring
+             ? reduce_scatter_ring(fabric_, values, params_.ring_chunk_bytes)
+             : reduce_scatter_flat(fabric_, values);
+}
+
+}  // namespace ncs::coll

@@ -1,0 +1,75 @@
+// The collective engine: op entry points + autoselection + profiling.
+//
+// One Engine per process, bound to that process's Fabric (for mps::Node,
+// the collective plane). Each op consults select() — honoring any per-op
+// forced algorithm in Params — runs the chosen algorithm, and samples the
+// op's wall (simulated) time into the obs Profiler twice: once into the
+// aggregate Layer::coll histogram, once into a per-"op/algorithm" keyed
+// histogram, so the bottleneck report can attribute collective time to
+// the algorithm that spent it.
+//
+// Single-process groups short-circuit to the identity result without
+// touching the fabric (and without profiling — there is nothing to
+// attribute).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "coll/fabric.hpp"
+#include "coll/select.hpp"
+
+namespace ncs::obs {
+class Profiler;
+}
+
+namespace ncs::coll {
+
+class Engine {
+ public:
+  Engine(Fabric& fabric, Params params) : fabric_(fabric), params_(params) {}
+
+  const Params& params() const { return params_; }
+
+  /// What select() picks for this group at this payload size.
+  Algorithm algorithm_for(Op op, std::size_t bytes) const {
+    return select(op, fabric_.n_procs(), bytes, params_);
+  }
+
+  /// Samples land in Layer::coll plus a per-"op/algorithm" histogram.
+  void set_profiler(obs::Profiler* prof) { prof_ = prof; }
+
+  /// Root's payload lands on every rank (root included).
+  Bytes bcast(int root, BytesView payload);
+
+  /// Root returns one payload per rank; non-roots return {}.
+  std::vector<Bytes> gather(int root, BytesView contribution);
+
+  /// Root supplies n_procs payloads; everyone returns its own slice.
+  Bytes scatter(int root, std::span<const Bytes> payloads);
+
+  void barrier();
+
+  /// Element-wise sum at the root; non-roots return {}.
+  std::vector<double> reduce_sum(int root, std::span<const double> values);
+
+  /// Element-wise sum on every rank.
+  std::vector<double> allreduce_sum(std::span<const double> values);
+
+  /// Every rank returns all contributions indexed by source rank.
+  std::vector<Bytes> allgather(BytesView contribution);
+
+  /// Rank r returns segment_of(n, n_procs, r) of the element-wise sum.
+  std::vector<double> reduce_scatter_sum(std::span<const double> values);
+
+ private:
+  /// Scope guard sampling one op's latency at destruction.
+  class Timed;
+
+  Fabric& fabric_;
+  Params params_;
+  obs::Profiler* prof_ = nullptr;
+};
+
+}  // namespace ncs::coll

@@ -1,0 +1,40 @@
+// The transport surface collective algorithms run on.
+//
+// A Fabric is the minimal point-to-point substrate a collective needs:
+// ranked peers, a queueing send, a blocking source-addressed receive, and
+// the simulation clock (for the engine's per-algorithm latency samples).
+// mps::Node adapts itself to this interface (the collective plane:
+// endpoint kCollectiveThread, per-source FIFO delivery), and tests can
+// substitute their own.
+//
+// Send contract: the payload is copied before send() returns, so callers
+// may reuse or mutate the buffer immediately — pipelined algorithms rely
+// on this. `wait=false` only queues the transfer (the node's send system
+// thread drains it in FIFO order per destination); `wait=true`
+// additionally blocks the caller until the transport hand-off completes,
+// the paper's NCS_send semantics. Per-(source,destination) ordering is
+// preserved either way, which is what lets algorithms match messages
+// positionally instead of tagging rounds.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/time.hpp"
+
+namespace ncs::coll {
+
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  virtual int rank() const = 0;
+  virtual int n_procs() const = 0;
+  virtual TimePoint now() const = 0;
+
+  /// Queues `data` for `to`; blocks until transport hand-off iff `wait`.
+  virtual void send(int to, BytesView data, bool wait) = 0;
+
+  /// Blocks until the next collective message from `from` arrives.
+  virtual Bytes recv(int from) = 0;
+};
+
+}  // namespace ncs::coll

@@ -1,0 +1,80 @@
+#include "coll/select.hpp"
+
+namespace ncs::coll {
+
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::bcast: return "bcast";
+    case Op::gather: return "gather";
+    case Op::scatter: return "scatter";
+    case Op::barrier: return "barrier";
+    case Op::reduce: return "reduce";
+    case Op::allreduce: return "allreduce";
+    case Op::allgather: return "allgather";
+    case Op::reduce_scatter: return "reduce_scatter";
+  }
+  return "?";
+}
+
+const char* to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::automatic: return "automatic";
+    case Algorithm::flat: return "flat";
+    case Algorithm::binomial_tree: return "binomial_tree";
+    case Algorithm::dissemination: return "dissemination";
+    case Algorithm::recursive_doubling: return "recursive_doubling";
+    case Algorithm::ring: return "ring";
+  }
+  return "?";
+}
+
+bool implements(Op op, Algorithm a) {
+  if (a == Algorithm::flat) return true;
+  switch (op) {
+    case Op::bcast:
+    case Op::gather:
+    case Op::scatter:
+    case Op::reduce:
+      return a == Algorithm::binomial_tree;
+    case Op::barrier:
+      return a == Algorithm::dissemination;
+    case Op::allreduce:
+      return a == Algorithm::recursive_doubling || a == Algorithm::ring;
+    case Op::allgather:
+    case Op::reduce_scatter:
+      return a == Algorithm::ring;
+  }
+  return false;
+}
+
+namespace {
+
+Algorithm table(Op op, int n_procs, std::size_t bytes, const Params& p) {
+  if (n_procs < p.tree_min_procs) return Algorithm::flat;
+  switch (op) {
+    case Op::bcast:
+    case Op::gather:
+    case Op::scatter:
+    case Op::reduce:
+      return Algorithm::binomial_tree;
+    case Op::barrier:
+      return Algorithm::dissemination;
+    case Op::allreduce:
+      return bytes <= p.allreduce_ring_min_bytes ? Algorithm::recursive_doubling
+                                                 : Algorithm::ring;
+    case Op::allgather:
+    case Op::reduce_scatter:
+      return Algorithm::ring;
+  }
+  return Algorithm::flat;
+}
+
+}  // namespace
+
+Algorithm select(Op op, int n_procs, std::size_t bytes, const Params& params) {
+  const Algorithm forced = params.forced(op);
+  if (forced != Algorithm::automatic && implements(op, forced)) return forced;
+  return table(op, n_procs, bytes, params);
+}
+
+}  // namespace ncs::coll

@@ -1,0 +1,86 @@
+// Algorithm autoselection: the size x nprocs decision table.
+//
+// Every collective op has a naive flat algorithm (root-centric linear
+// fan-out/fan-in, correct at any scale and cheapest for tiny groups) and
+// at least one scalable algorithm. select() picks per call from the
+// message size and group size; Params makes the thresholds and per-op
+// forced overrides part of mps::Node::Options, so cluster configs (and
+// the coll_sweep bench) can pin any op to any algorithm.
+//
+// The default table:
+//
+//   op             P < tree_min_procs   P >= tree_min_procs
+//   -------------  ------------------   -------------------------------
+//   bcast          flat                 binomial_tree
+//   gather         flat                 binomial_tree
+//   scatter        flat                 binomial_tree
+//   reduce         flat                 binomial_tree
+//   barrier        flat                 dissemination
+//   allgather      flat                 ring
+//   reduce_scatter flat                 ring
+//   allreduce      flat                 recursive_doubling (payload <=
+//                                       allreduce_ring_min_bytes), else
+//                                       ring (chunk-pipelined)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ncs::coll {
+
+enum class Op : std::uint8_t {
+  bcast,
+  gather,
+  scatter,
+  barrier,
+  reduce,
+  allreduce,
+  allgather,
+  reduce_scatter,
+};
+inline constexpr int kOpCount = static_cast<int>(Op::reduce_scatter) + 1;
+
+enum class Algorithm : std::uint8_t {
+  automatic,  // Params value only: defer to the decision table
+  flat,
+  binomial_tree,
+  dissemination,
+  recursive_doubling,
+  ring,
+};
+
+const char* to_string(Op op);
+const char* to_string(Algorithm a);
+
+struct Params {
+  /// Groups smaller than this use the flat algorithms everywhere: a tree
+  /// over 2-3 ranks is all constant factors and no fan-out to amortize.
+  int tree_min_procs = 4;
+
+  /// Allreduce payloads at or below this stay on recursive doubling
+  /// (log2 P latency-bound rounds); above it the ring's bandwidth-optimal
+  /// 2(P-1)/P transfer volume wins.
+  std::size_t allreduce_ring_min_bytes = 16 * 1024;
+
+  /// Ring segment transfers are split into chunks of at most this many
+  /// bytes so a segment's tail serializes while its head is already on
+  /// the wire (rounded to whole doubles; 0 = no chunking).
+  std::size_t ring_chunk_bytes = 8 * 1024;
+
+  /// Per-op forced algorithm; `automatic` defers to the table above.
+  /// An op forced to an algorithm that cannot implement it falls back to
+  /// the table (e.g. `ring` bcast).
+  Algorithm force[kOpCount] = {};
+
+  Algorithm forced(Op op) const { return force[static_cast<int>(op)]; }
+  void set_force(Op op, Algorithm a) { force[static_cast<int>(op)] = a; }
+};
+
+/// True when `a` is one of the algorithms implementing `op`.
+bool implements(Op op, Algorithm a);
+
+/// The decision table: total payload `bytes` moved per rank, group of
+/// `n_procs`. Never returns `automatic`.
+Algorithm select(Op op, int n_procs, std::size_t bytes, const Params& params);
+
+}  // namespace ncs::coll

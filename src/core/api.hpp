@@ -51,4 +51,35 @@ inline void NCS_barrier() { self().barrier(); }
 inline void NCS_block() { self().block(); }
 inline void NCS_unblock(int tid) { self().unblock(tid); }
 
+// --- collective group operations (coll::Engine behind mps::Node; the
+//     algorithm — flat, binomial tree, dissemination, recursive doubling,
+//     chunk-pipelined ring — is autoselected per call from the payload
+//     size and group size, overridable via ClusterConfig::ncs.coll) ---
+
+/// Collective broadcast: the root's payload lands on every process.
+inline Bytes NCS_bcast(int root, BytesView data) { return self().bcast(root, data); }
+
+/// Element-wise sum of equal-length double vectors, result on every rank.
+inline std::vector<double> NCS_allreduce(std::span<const double> values) {
+  return self().allreduce_sum(values);
+}
+
+/// Every rank returns all contributions indexed by source rank.
+inline std::vector<Bytes> NCS_allgather(BytesView contribution) {
+  return self().allgather(contribution);
+}
+
+/// Rank r returns its balanced segment of the element-wise sum.
+inline std::vector<double> NCS_reduce_scatter(std::span<const double> values) {
+  return self().reduce_scatter_sum(values);
+}
+
+inline std::vector<Bytes> NCS_gather(int root, BytesView contribution) {
+  return self().gather(root, contribution);
+}
+
+inline Bytes NCS_scatter(int root, std::span<const Bytes> payloads) {
+  return self().scatter(root, payloads);
+}
+
 }  // namespace ncs::api

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "coll/engine.hpp"
 #include "common/assert.hpp"
 #include "common/log.hpp"
 
@@ -9,8 +10,6 @@ namespace ncs::mps {
 
 namespace {
 constexpr std::uint8_t kCtlAck = 1;
-constexpr std::uint8_t kCtlBarrierArrive = 2;
-constexpr std::uint8_t kCtlBarrierRelease = 3;
 
 Bytes control_payload(std::uint8_t kind) { return Bytes(1, static_cast<std::byte>(kind)); }
 
@@ -28,6 +27,22 @@ TimePoint midpoint(TimePoint begin, TimePoint end) {
 }
 }  // namespace
 
+/// The coll::Engine's view of this node: the collective plane (reserved
+/// endpoint kCollectiveThread, per-source FIFO delivery).
+struct Node::CollFabric final : coll::Fabric {
+  explicit CollFabric(Node& n) : node(n) {}
+  int rank() const override { return node.rank_; }
+  int n_procs() const override { return node.n_procs_; }
+  TimePoint now() const override { return node.host_.engine().now(); }
+  void send(int to, BytesView data, bool wait) override {
+    node.collective_send(to, data, wait);
+  }
+  Bytes recv(int from) override { return node.collective_recv(from); }
+  Node& node;
+};
+
+Node::~Node() = default;
+
 Node::Node(mts::Scheduler& host, int rank, int n_procs, std::unique_ptr<Transport> transport,
            Options options)
     : host_(host),
@@ -41,11 +56,12 @@ Node::Node(mts::Scheduler& host, int rank, int n_procs, std::unique_ptr<Transpor
       retx_queue_(host),
       fc_(host, options.flow, n_procs),
       ec_(host.engine(), options.error, [this](Message m) { retx_queue_.push(std::move(m)); }),
-      barrier_arrivals_(host, 0),
-      barrier_release_(host, 0),
       next_seq_(static_cast<std::size_t>(n_procs), 0) {
   NCS_ASSERT(transport_ != nullptr);
   NCS_ASSERT(rank >= 0 && rank < n_procs);
+
+  coll_fabric_ = std::make_unique<CollFabric>(*this);
+  coll_ = std::make_unique<coll::Engine>(*coll_fabric_, options_.coll);
 
   // System threads (paper Fig 8). High priority so protocol processing
   // preempts queued compute work at dispatch points.
@@ -178,28 +194,28 @@ bool Node::available(int from_thread, int from_process, int to_thread) const {
   return mailbox_.available(Pattern{from_thread, from_process, to_thread, rank_});
 }
 
-void Node::barrier() {
-  NCS_ASSERT_MSG(mts::Scheduler::active() == &host_, "barrier from a foreign thread");
-  const auto send_control = [this](std::uint8_t kind, int dst) {
-    Message msg{rank_, kControlThread, dst, kControlThread, 0, control_payload(kind)};
-    mts::Event done(host_);
-    send_queue_.push(SendRequest{std::move(msg), &done});
-    done.wait();
-  };
-  if (rank_ == 0) {
-    for (int i = 1; i < n_procs_; ++i) barrier_arrivals_.wait();
-    for (int dst = 1; dst < n_procs_; ++dst) send_control(kCtlBarrierRelease, dst);
-  } else {
-    send_control(kCtlBarrierArrive, 0);
-    barrier_release_.wait();
-  }
+void Node::enter_collective() {
+  NCS_ASSERT_MSG(mts::Scheduler::active() == &host_, "collective from a foreign thread");
+  ++stats_.collectives;
 }
 
-void Node::collective_send(int to_process, BytesView data) {
+void Node::barrier() {
+  enter_collective();
+  coll_->barrier();
+}
+
+void Node::collective_send(int to_process, BytesView data, bool wait) {
+  NCS_ASSERT(to_process >= 0 && to_process < n_procs_);
   Message msg{rank_, kCollectiveThread, to_process, kCollectiveThread,
               next_seq_[static_cast<std::size_t>(to_process)]++, to_bytes(data)};
   stats_.bytes_sent += data.size();
   if (prof_ != nullptr) prof_->on_enqueue(key_of(msg), host_.engine().now());
+  if (!wait) {
+    // Queued fan-out: the send system thread drains the batch while the
+    // algorithm moves on (a later hand-off or receive provides the sync).
+    send_queue_.push(SendRequest{std::move(msg), nullptr});
+    return;
+  }
   mts::Event done(host_);
   send_queue_.push(SendRequest{std::move(msg), &done});
   done.wait();
@@ -215,67 +231,47 @@ Bytes Node::collective_recv(int from_process) {
 }
 
 std::vector<Bytes> Node::gather(int root, BytesView contribution) {
-  NCS_ASSERT_MSG(mts::Scheduler::active() == &host_, "collective from a foreign thread");
-  NCS_ASSERT(root >= 0 && root < n_procs_);
-  if (rank_ != root) {
-    collective_send(root, contribution);
-    return {};
-  }
-  std::vector<Bytes> out(static_cast<std::size_t>(n_procs_));
-  out[static_cast<std::size_t>(rank_)] = to_bytes(contribution);
-  for (int p = 0; p < n_procs_; ++p)
-    if (p != rank_) out[static_cast<std::size_t>(p)] = collective_recv(p);
-  return out;
+  enter_collective();
+  return coll_->gather(root, contribution);
 }
 
 Bytes Node::scatter(int root, std::span<const Bytes> payloads) {
-  NCS_ASSERT_MSG(mts::Scheduler::active() == &host_, "collective from a foreign thread");
-  NCS_ASSERT(root >= 0 && root < n_procs_);
-  if (rank_ != root) return collective_recv(root);
-  NCS_ASSERT_MSG(payloads.size() == static_cast<std::size_t>(n_procs_),
-                 "scatter needs one payload per rank");
-  for (int p = 0; p < n_procs_; ++p)
-    if (p != rank_) collective_send(p, payloads[static_cast<std::size_t>(p)]);
-  return payloads[static_cast<std::size_t>(rank_)];
+  enter_collective();
+  return coll_->scatter(root, payloads);
 }
 
-std::vector<Bytes> Node::all_to_all(BytesView contribution) {
-  NCS_ASSERT_MSG(mts::Scheduler::active() == &host_, "collective from a foreign thread");
-  // Everyone sends to everyone (ring order to avoid hammering one
-  // destination first), then collects.
-  for (int step = 1; step < n_procs_; ++step)
-    collective_send((rank_ + step) % n_procs_, contribution);
-  std::vector<Bytes> out(static_cast<std::size_t>(n_procs_));
-  out[static_cast<std::size_t>(rank_)] = to_bytes(contribution);
-  for (int p = 0; p < n_procs_; ++p)
-    if (p != rank_) out[static_cast<std::size_t>(p)] = collective_recv(p);
-  return out;
+Bytes Node::bcast(int root, BytesView payload) {
+  enter_collective();
+  return coll_->bcast(root, payload);
+}
+
+std::vector<Bytes> Node::all_to_all(BytesView contribution) { return allgather(contribution); }
+
+std::vector<Bytes> Node::allgather(BytesView contribution) {
+  enter_collective();
+  return coll_->allgather(contribution);
 }
 
 std::vector<double> Node::reduce_sum(int root, std::span<const double> values) {
-  NCS_ASSERT_MSG(mts::Scheduler::active() == &host_, "collective from a foreign thread");
-  const BytesView raw(reinterpret_cast<const std::byte*>(values.data()),
-                      values.size() * sizeof(double));
-  if (rank_ != root) {
-    collective_send(root, raw);
-    return {};
-  }
-  std::vector<double> acc(values.begin(), values.end());
-  for (int p = 0; p < n_procs_; ++p) {
-    if (p == rank_) continue;
-    const Bytes data = collective_recv(p);
-    NCS_ASSERT_MSG(data.size() == values.size() * sizeof(double),
-                   "reduce_sum contributions must have equal lengths");
-    const auto* remote = reinterpret_cast<const double*>(data.data());
-    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += remote[i];
-  }
-  return acc;
+  enter_collective();
+  return coll_->reduce_sum(root, values);
+}
+
+std::vector<double> Node::allreduce_sum(std::span<const double> values) {
+  enter_collective();
+  return coll_->allreduce_sum(values);
+}
+
+std::vector<double> Node::reduce_scatter_sum(std::span<const double> values) {
+  enter_collective();
+  return coll_->reduce_scatter_sum(values);
 }
 
 void Node::register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const {
   reg.counter(prefix + "/sends", &stats_.sends);
   reg.counter(prefix + "/recvs", &stats_.recvs);
   reg.counter(prefix + "/bcasts", &stats_.bcasts);
+  reg.counter(prefix + "/collectives", &stats_.collectives);
   reg.counter(prefix + "/bytes_sent", &stats_.bytes_sent);
   reg.counter(prefix + "/bytes_received", &stats_.bytes_received);
   reg.counter(prefix + "/acks_sent", &stats_.acks_sent);
@@ -300,6 +296,7 @@ void Node::set_profiler(obs::Profiler* prof) {
   fc_.set_profiler(prof);
   ec_.set_profiler(prof);
   transport_->set_profiler(prof);
+  coll_->set_profiler(prof);
 }
 
 void Node::submit_locked(const Message& msg) {
@@ -415,13 +412,6 @@ void Node::handle_control(const Message& msg) {
     case kCtlAck:
       fc_.on_ack(msg.from_process);
       ec_.on_ack(msg.from_process, msg.seq);
-      break;
-    case kCtlBarrierArrive:
-      NCS_ASSERT_MSG(rank_ == 0, "barrier arrival at non-root");
-      barrier_arrivals_.signal();
-      break;
-    case kCtlBarrierRelease:
-      barrier_release_.signal();
       break;
     default:
       NCS_UNREACHABLE("unknown NCS control message kind");

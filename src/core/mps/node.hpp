@@ -24,12 +24,17 @@
 #include <span>
 #include <vector>
 
+#include "coll/select.hpp"
 #include "core/mps/error_control.hpp"
 #include "core/mps/exception.hpp"
 #include "core/mps/flow_control.hpp"
 #include "core/mps/mailbox.hpp"
 #include "core/mps/transport.hpp"
 #include "core/mts/sync.hpp"
+
+namespace ncs::coll {
+class Engine;
+}
 
 namespace ncs::mps {
 
@@ -49,6 +54,9 @@ class Node {
     /// what turns a lost message into NcsException(recv_timeout) instead
     /// of a deadlocked run.
     Duration recv_timeout = Duration::zero();
+    /// Collective-algorithm selection thresholds and per-op overrides
+    /// (cluster configs reach this through ClusterConfig::ncs).
+    coll::Params coll;
   };
 
   /// NCS_init: binds a transport and spawns the system threads.
@@ -56,6 +64,7 @@ class Node {
        Options options);
   Node(mts::Scheduler& host, int rank, int n_procs, std::unique_ptr<Transport> transport)
       : Node(host, rank, n_procs, std::move(transport), Options()) {}
+  ~Node();
 
   int rank() const { return rank_; }
   int n_procs() const { return n_procs_; }
@@ -93,12 +102,15 @@ class Node {
   bool available(int from_thread, int from_process, int to_thread) const;
 
   /// Cross-process barrier; every process must call it once per phase
-  /// (from any one of its threads).
+  /// (from any one of its threads). Dissemination algorithm at scale,
+  /// flat rank-0 convergecast for small groups (coll::select).
   void barrier();
 
   // --- group communication (paper Section 3.1: 1-to-many, many-to-1,
   //     many-to-many). Collectives: every process calls the same operation
-  //     in the same order, each from one thread. ---
+  //     in the same order, each from one thread. All of them delegate to
+  //     the coll::Engine, which picks flat/tree/ring per call from the
+  //     payload size and group size (Options::coll overrides). ---
 
   /// many-to-1: every process contributes; the root receives all
   /// contributions indexed by rank (its own included). Non-roots get {}.
@@ -108,13 +120,34 @@ class Node {
   /// every process returns its own slice. Non-roots pass {}.
   Bytes scatter(int root, std::span<const Bytes> payloads);
 
+  /// 1-to-many collective broadcast: the root's payload lands on every
+  /// rank (the endpoint-list bcast above is the paper's thread-addressed
+  /// primitive; this is the group-plane collective).
+  Bytes bcast(int root, BytesView payload);
+
   /// many-to-many: everyone exchanges with everyone; returns the payloads
   /// indexed by source rank (own contribution included).
   std::vector<Bytes> all_to_all(BytesView contribution);
 
+  /// many-to-many: every rank returns all contributions indexed by source
+  /// rank (ring or flat per coll::select).
+  std::vector<Bytes> allgather(BytesView contribution);
+
   /// many-to-1 reduction: element-wise sum of equal-length double vectors
   /// at the root (empty elsewhere).
   std::vector<double> reduce_sum(int root, std::span<const double> values);
+
+  /// many-to-many reduction: every rank gets the element-wise sum
+  /// (recursive doubling for small payloads, chunk-pipelined ring for
+  /// large ones).
+  std::vector<double> allreduce_sum(std::span<const double> values);
+
+  /// Rank r returns coll::segment_of(n, n_procs, r) of the element-wise
+  /// sum — the ring allreduce's first half as a standalone op.
+  std::vector<double> reduce_scatter_sum(std::span<const double> values);
+
+  /// The collective engine (algorithm_for introspection, Params).
+  coll::Engine& coll() { return *coll_; }
 
   // --- exception handling (paper Section 3.1, fourth service class) ---
 
@@ -133,6 +166,8 @@ class Node {
     std::uint64_t sends = 0;
     std::uint64_t recvs = 0;
     std::uint64_t bcasts = 0;
+    /// Collective operations entered (gather/scatter/bcast/barrier/...).
+    std::uint64_t collectives = 0;
     std::uint64_t bytes_sent = 0;
     std::uint64_t bytes_received = 0;
     std::uint64_t acks_sent = 0;
@@ -193,13 +228,22 @@ class Node {
   FlowControl fc_;
   ErrorControl ec_;
 
-  mts::Semaphore barrier_arrivals_;
-  mts::Semaphore barrier_release_;
   ExceptionHandler exception_handler_;
 
-  /// Collective-plane send/recv (endpoint kCollectiveThread).
-  void collective_send(int to_process, BytesView data);
+  /// Collective-plane send/recv (endpoint kCollectiveThread). `wait=false`
+  /// only queues the transfer so fan-outs pipeline; `wait=true` blocks
+  /// until the transport hand-off (NCS_send semantics).
+  void collective_send(int to_process, BytesView data, bool wait);
   Bytes collective_recv(int from_process);
+
+  /// Adapts this node's collective plane to coll::Fabric.
+  struct CollFabric;
+  std::unique_ptr<CollFabric> coll_fabric_;
+  std::unique_ptr<coll::Engine> coll_;
+
+  /// Guards every public collective entry point: thread-context check and
+  /// the collectives stat.
+  void enter_collective();
 
   std::vector<std::uint32_t> next_seq_;  // per destination process
   std::vector<mts::Thread*> user_threads_;

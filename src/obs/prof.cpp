@@ -24,6 +24,7 @@ const char* to_string(Layer l) {
     case Layer::wire: return "wire";
     case Layer::mux_queue: return "mux_queue";
     case Layer::sched_dispatch: return "sched_dispatch";
+    case Layer::coll: return "coll";
   }
   return "?";
 }
@@ -109,6 +110,15 @@ void Profiler::write_json(JsonWriter& w) const {
     w.end_object();
   }
   w.end_object();
+  if (!coll_.empty()) {
+    w.key("coll").begin_object();
+    for (const auto& [key, hist] : coll_) {
+      w.key(key).begin_object();
+      hist.write_json(w);
+      w.end_object();
+    }
+    w.end_object();
+  }
   w.key("messages")
       .begin_object()
       .field("completed", completed_)

@@ -63,8 +63,9 @@ enum class Layer : std::uint8_t {
   wire,             // per-burst link serialization time
   mux_queue,        // cell-mux queueing delay (ablation_cellmux datapath)
   sched_dispatch,   // thread runnable -> dispatched (scheduler queue wait)
+  coll,             // whole-collective latency (entry -> result, per op)
 };
-inline constexpr int kLayerCount = static_cast<int>(Layer::sched_dispatch) + 1;
+inline constexpr int kLayerCount = static_cast<int>(Layer::coll) + 1;
 
 const char* to_string(Layer l);
 
@@ -106,6 +107,14 @@ class Profiler {
 
   const Histogram& hist(Layer l) const { return hist_[static_cast<int>(l)]; }
 
+  /// Per-collective-algorithm sample, keyed "op/algorithm" (e.g.
+  /// "allreduce/ring"). Each key gets its own histogram, emitted as the
+  /// profile's "coll" section; the coll::Engine also folds the same
+  /// sample into Layer::coll as the aggregate.
+  void record_coll(const std::string& key, Duration d) { coll_[key].record(d); }
+
+  const std::map<std::string, Histogram>& coll_hists() const { return coll_; }
+
   /// Messages whose full lifecycle was folded.
   std::uint64_t completed() const { return completed_; }
   /// Messages with at least one stamp but no wakeup yet (lost to a link
@@ -129,6 +138,7 @@ class Profiler {
 
   std::map<MsgKey, Live> live_;
   Histogram hist_[kLayerCount];
+  std::map<std::string, Histogram> coll_;
   std::uint64_t completed_ = 0;
 };
 

@@ -1,0 +1,286 @@
+// Forced-algorithm correctness of every collective on a live cluster:
+// each test pins one algorithm through Node::Options::coll and checks the
+// collective's contract at group sizes the algorithm finds awkward
+// (non-power-of-two P, payloads shorter than the group, empty payloads).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "cluster/cluster.hpp"
+#include "coll/algorithms.hpp"
+#include "coll/engine.hpp"
+#include "core/api.hpp"
+#include "core/mps/node.hpp"
+
+namespace ncs::coll {
+namespace {
+
+using cluster::Cluster;
+using mps::Node;
+
+std::unique_ptr<Cluster> make_cluster(int n_procs, const Params& params = {}) {
+  cluster::ClusterConfig cfg = cluster::sun_atm_lan(n_procs);
+  cfg.ncs.coll = params;
+  auto c = std::make_unique<Cluster>(std::move(cfg));
+  c->init_ncs_hsm();
+  return c;
+}
+
+/// Runs `body(rank)` as one user thread per process.
+void run_threads(Cluster& c, std::function<void(int)> body) {
+  c.run([&c, body](int rank) {
+    Node& node = c.node(rank);
+    const int t = node.t_create([body, rank] { body(rank); });
+    node.host().join(node.user_thread(t));
+  });
+}
+
+Params force(Op op, Algorithm a) {
+  Params p;
+  p.set_force(op, a);
+  return p;
+}
+
+TEST(Algorithms, BinomialBcastNonPowerOfTwoAnyRoot) {
+  auto c = make_cluster(5, force(Op::bcast, Algorithm::binomial_tree));
+  const Bytes payload = to_bytes("tree broadcast payload");
+  std::vector<Bytes> got(5);
+  run_threads(*c, [&](int rank) {
+    got[static_cast<std::size_t>(rank)] =
+        c->node(rank).bcast(3, rank == 3 ? BytesView(payload) : BytesView{});
+  });
+  for (const Bytes& b : got) EXPECT_EQ(b, payload);
+  for (int r = 0; r < 5; ++r)
+    EXPECT_EQ(c->node(r).coll().algorithm_for(Op::bcast, payload.size()),
+              Algorithm::binomial_tree);
+}
+
+TEST(Algorithms, BinomialGatherNonPowerOfTwoAnyRoot) {
+  auto c = make_cluster(5, force(Op::gather, Algorithm::binomial_tree));
+  std::vector<Bytes> at_root;
+  run_threads(*c, [&](int rank) {
+    // Contribution lengths differ by rank, so misrouted blob merges would
+    // show up as size mismatches, not just reordered bytes.
+    auto out = c->node(rank).gather(
+        2, to_bytes(std::string(static_cast<std::size_t>(rank) + 1, static_cast<char>('a' + rank))));
+    if (rank == 2) at_root = std::move(out);
+    else EXPECT_TRUE(out.empty());
+  });
+  ASSERT_EQ(at_root.size(), 5u);
+  for (int p = 0; p < 5; ++p)
+    EXPECT_EQ(at_root[static_cast<std::size_t>(p)],
+              to_bytes(std::string(static_cast<std::size_t>(p) + 1, static_cast<char>('a' + p))));
+}
+
+TEST(Algorithms, BinomialScatterNonPowerOfTwoAnyRoot) {
+  auto c = make_cluster(5, force(Op::scatter, Algorithm::binomial_tree));
+  std::vector<Bytes> mine(5);
+  run_threads(*c, [&](int rank) {
+    std::vector<Bytes> payloads;
+    if (rank == 4)
+      for (int p = 0; p < 5; ++p)
+        payloads.push_back(to_bytes(std::string(static_cast<std::size_t>(5 - p), static_cast<char>('A' + p))));
+    mine[static_cast<std::size_t>(rank)] = c->node(rank).scatter(4, payloads);
+  });
+  for (int p = 0; p < 5; ++p)
+    EXPECT_EQ(mine[static_cast<std::size_t>(p)],
+              to_bytes(std::string(static_cast<std::size_t>(5 - p), static_cast<char>('A' + p))));
+}
+
+TEST(Algorithms, BinomialReduceNonPowerOfTwo) {
+  auto c = make_cluster(5, force(Op::reduce, Algorithm::binomial_tree));
+  std::vector<double> at_root;
+  run_threads(*c, [&](int rank) {
+    const std::vector<double> mine{static_cast<double>(rank), 1.0, static_cast<double>(rank * rank)};
+    auto out = c->node(rank).reduce_sum(1, mine);
+    if (rank == 1) at_root = std::move(out);
+    else EXPECT_TRUE(out.empty());
+  });
+  ASSERT_EQ(at_root.size(), 3u);
+  EXPECT_DOUBLE_EQ(at_root[0], 0 + 1 + 2 + 3 + 4);
+  EXPECT_DOUBLE_EQ(at_root[1], 5.0);
+  EXPECT_DOUBLE_EQ(at_root[2], 0 + 1 + 4 + 9 + 16);
+}
+
+TEST(Algorithms, DisseminationBarrierSeparatesPhases) {
+  constexpr int kProcs = 5, kPhases = 4;
+  auto c = make_cluster(kProcs, force(Op::barrier, Algorithm::dissemination));
+  std::vector<int> log;  // phase number per arrival, in simulated-time order
+  run_threads(*c, [&](int rank) {
+    Node& node = c->node(rank);
+    for (int phase = 0; phase < kPhases; ++phase) {
+      log.push_back(phase);
+      node.barrier();
+    }
+  });
+  // Every process logs phase k before any process may log phase k+1.
+  ASSERT_EQ(log.size(), static_cast<std::size_t>(kProcs * kPhases));
+  for (int phase = 0; phase < kPhases; ++phase)
+    for (int p = 0; p < kProcs; ++p)
+      EXPECT_EQ(log[static_cast<std::size_t>(phase * kProcs + p)], phase);
+}
+
+TEST(Algorithms, RecursiveDoublingNonPowerOfTwoIdenticalEverywhere) {
+  for (const int procs : {3, 5}) {
+    auto c = make_cluster(procs, force(Op::allreduce, Algorithm::recursive_doubling));
+    std::vector<std::vector<double>> results(static_cast<std::size_t>(procs));
+    run_threads(*c, [&](int rank) {
+      std::vector<double> mine(7);
+      for (std::size_t i = 0; i < mine.size(); ++i)
+        mine[i] = static_cast<double>(rank + 1) * static_cast<double>(i + 1);
+      results[static_cast<std::size_t>(rank)] = c->node(rank).allreduce_sum(mine);
+    });
+    const double ranks = static_cast<double>(procs) * static_cast<double>(procs + 1) / 2.0;
+    for (int p = 0; p < procs; ++p) {
+      ASSERT_EQ(results[static_cast<std::size_t>(p)].size(), 7u) << "P=" << procs;
+      for (std::size_t i = 0; i < 7; ++i)
+        EXPECT_EQ(results[static_cast<std::size_t>(p)][i], ranks * static_cast<double>(i + 1))
+            << "P=" << procs << " rank " << p;
+    }
+  }
+}
+
+TEST(Algorithms, RingAllreduceUnevenAndShortVectors) {
+  Params p = force(Op::allreduce, Algorithm::ring);
+  p.ring_chunk_bytes = 16;  // force multi-chunk segments even at this size
+  // n = 10 (not divisible by P) and n = 2 (< P: some segments are empty).
+  for (const std::size_t n : {std::size_t{10}, std::size_t{2}}) {
+    auto c = make_cluster(4, p);
+    std::vector<std::vector<double>> results(4);
+    run_threads(*c, [&](int rank) {
+      std::vector<double> mine(n);
+      for (std::size_t i = 0; i < n; ++i)
+        mine[i] = static_cast<double>(rank) + static_cast<double>(i) * 0.25;
+      results[static_cast<std::size_t>(rank)] = c->node(rank).allreduce_sum(mine);
+    });
+    for (int r = 0; r < 4; ++r) {
+      ASSERT_EQ(results[static_cast<std::size_t>(r)].size(), n) << "n=" << n;
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(results[static_cast<std::size_t>(r)][i], 6.0 + 4.0 * static_cast<double>(i) * 0.25)
+            << "n=" << n << " rank " << r;
+    }
+  }
+}
+
+TEST(Algorithms, RingAllgatherKeepsRankOrderWithVaryingSizes) {
+  auto c = make_cluster(5, force(Op::allgather, Algorithm::ring));
+  std::vector<std::vector<Bytes>> views(5);
+  run_threads(*c, [&](int rank) {
+    views[static_cast<std::size_t>(rank)] = c->node(rank).allgather(
+        to_bytes(std::string(static_cast<std::size_t>(rank) + 1, static_cast<char>('p' + rank))));
+  });
+  for (int me = 0; me < 5; ++me) {
+    ASSERT_EQ(views[static_cast<std::size_t>(me)].size(), 5u);
+    for (int p = 0; p < 5; ++p)
+      EXPECT_EQ(views[static_cast<std::size_t>(me)][static_cast<std::size_t>(p)],
+                to_bytes(std::string(static_cast<std::size_t>(p) + 1, static_cast<char>('p' + p))));
+  }
+}
+
+TEST(Algorithms, RingReduceScatterMatchesSegmentPartition) {
+  auto c = make_cluster(4, force(Op::reduce_scatter, Algorithm::ring));
+  constexpr std::size_t kN = 10;
+  std::vector<std::vector<double>> results(4);
+  run_threads(*c, [&](int rank) {
+    std::vector<double> mine(kN);
+    for (std::size_t i = 0; i < kN; ++i)
+      mine[i] = static_cast<double>(rank + 1) * static_cast<double>(i);
+    results[static_cast<std::size_t>(rank)] = c->node(rank).reduce_scatter_sum(mine);
+  });
+  for (int r = 0; r < 4; ++r) {
+    const Segment seg = segment_of(kN, 4, r);
+    ASSERT_EQ(results[static_cast<std::size_t>(r)].size(), seg.len);
+    for (std::size_t i = 0; i < seg.len; ++i)
+      EXPECT_EQ(results[static_cast<std::size_t>(r)][i],
+                10.0 * static_cast<double>(seg.begin + i));
+  }
+}
+
+TEST(Algorithms, EmptyPayloadsFlowThroughScalableAlgorithms) {
+  auto c = make_cluster(4);  // P = 4: tree/ring/dissemination by default
+  std::vector<Bytes> bcast_got(4);
+  std::vector<Bytes> gathered;
+  std::vector<std::vector<Bytes>> allgathered(4);
+  std::vector<double> reduced{-1.0};
+  run_threads(*c, [&](int rank) {
+    Node& node = c->node(rank);
+    bcast_got[static_cast<std::size_t>(rank)] = node.bcast(0, {});
+    auto g = node.gather(0, {});
+    if (rank == 0) gathered = std::move(g);
+    allgathered[static_cast<std::size_t>(rank)] = node.allgather({});
+    auto r = node.allreduce_sum({});
+    if (rank == 0) reduced = std::move(r);
+    node.barrier();
+  });
+  for (const Bytes& b : bcast_got) EXPECT_TRUE(b.empty());
+  ASSERT_EQ(gathered.size(), 4u);
+  for (const Bytes& b : gathered) EXPECT_TRUE(b.empty());
+  for (const auto& view : allgathered) {
+    ASSERT_EQ(view.size(), 4u);
+    for (const Bytes& b : view) EXPECT_TRUE(b.empty());
+  }
+  EXPECT_TRUE(reduced.empty());
+}
+
+TEST(Algorithms, SingleProcessCollectivesAreIdentities) {
+  auto c = make_cluster(1);
+  run_threads(*c, [&](int rank) {
+    Node& node = c->node(rank);
+    EXPECT_EQ(node.bcast(0, to_bytes("solo")), to_bytes("solo"));
+    const auto gathered = node.gather(0, to_bytes("me"));
+    ASSERT_EQ(gathered.size(), 1u);
+    EXPECT_EQ(gathered[0], to_bytes("me"));
+    const std::vector<Bytes> one{to_bytes("slice")};
+    EXPECT_EQ(node.scatter(0, one), to_bytes("slice"));
+    const std::vector<double> v{1.5, -2.0};
+    EXPECT_EQ(node.allreduce_sum(v), v);
+    EXPECT_EQ(node.reduce_scatter_sum(v), v);
+    const auto view = node.allgather(to_bytes("x"));
+    ASSERT_EQ(view.size(), 1u);
+    node.barrier();
+  });
+  EXPECT_EQ(c->node(0).stats().collectives, 7u);
+}
+
+TEST(Algorithms, MixedOpsBackToBackStayInPhase) {
+  auto c = make_cluster(4);
+  bool ok = true;
+  run_threads(*c, [&](int rank) {
+    Node& node = c->node(rank);
+    for (int round = 0; round < 3; ++round) {
+      const Bytes b = node.bcast(round % 4, to_bytes("r" + std::to_string(round)));
+      if (b != to_bytes("r" + std::to_string(round))) ok = false;
+      const std::vector<double> v{static_cast<double>(rank + round)};
+      const auto sum = node.allreduce_sum(v);
+      if (sum.size() != 1 || sum[0] != static_cast<double>(6 + 4 * round)) ok = false;
+      node.barrier();
+      const auto view = node.allgather(to_bytes(std::to_string(rank)));
+      if (view.size() != 4 || view[3] != to_bytes("3")) ok = false;
+    }
+  });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(c->node(2).stats().collectives, 12u);
+}
+
+TEST(Algorithms, ApiWrappersReachTheEngine) {
+  auto c = make_cluster(4);
+  std::vector<double> reduced;
+  run_threads(*c, [&](int rank) {
+    const Bytes b = api::NCS_bcast(1, rank == 1 ? BytesView(to_bytes("via api")) : BytesView{});
+    EXPECT_EQ(b, to_bytes("via api"));
+    const std::vector<double> v{static_cast<double>(rank)};
+    auto r = api::NCS_allreduce(v);
+    if (rank == 0) reduced = std::move(r);
+    const auto view = api::NCS_allgather(to_bytes("g" + std::to_string(rank)));
+    EXPECT_EQ(view.size(), 4u);
+    const auto mine = api::NCS_reduce_scatter(std::vector<double>{1.0, 2.0, 3.0, 4.0});
+    ASSERT_EQ(mine.size(), 1u);
+    EXPECT_EQ(mine[0], static_cast<double>((rank + 1) * 4));
+  });
+  ASSERT_EQ(reduced.size(), 1u);
+  EXPECT_DOUBLE_EQ(reduced[0], 0 + 1 + 2 + 3);
+}
+
+}  // namespace
+}  // namespace ncs::coll

@@ -1,0 +1,80 @@
+// Collectives under injected faults: the ring allreduce's accumulation
+// order is fixed by rank arithmetic, so a run where error control has to
+// retransmit lost segments must produce a bit-identical result to the
+// fault-free run — only later.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/cluster.hpp"
+#include "cluster/drivers.hpp"
+#include "coll/select.hpp"
+#include "core/mps/node.hpp"
+
+namespace ncs::coll {
+namespace {
+
+using namespace ncs::literals;
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using mps::Node;
+
+struct Outcome {
+  std::uint64_t hash = 0;  // FNV-1a over every rank's result, in rank order
+  std::uint64_t retransmits = 0;
+  Duration elapsed;
+};
+
+Outcome run_ring_allreduce(ClusterConfig cfg, int procs, std::size_t n) {
+  cfg.ncs.coll.set_force(Op::allreduce, Algorithm::ring);
+  Cluster c(std::move(cfg));
+  c.init_ncs_hsm();
+
+  std::vector<std::vector<double>> results(static_cast<std::size_t>(procs));
+  const Duration elapsed = c.run([&](int rank) {
+    Node& node = c.node(rank);
+    const int t = node.t_create([&, rank] {
+      // Irrational contributions: any change to the accumulation order
+      // (e.g. a duplicate or dropped segment slipping through recovery)
+      // changes the bits, not just the last ulp of a round number.
+      std::vector<double> mine(n);
+      for (std::size_t i = 0; i < n; ++i)
+        mine[i] = std::sin(static_cast<double>(rank + 1) * (static_cast<double>(i) + 0.5));
+      results[static_cast<std::size_t>(rank)] = node.allreduce_sum(mine);
+    });
+    node.host().join(node.user_thread(t));
+  });
+
+  Outcome out;
+  out.elapsed = elapsed;
+  out.hash = 0xCBF29CE484222325ull;
+  for (const auto& r : results)
+    out.hash = cluster::fnv1a(r.data(), r.size() * sizeof(double), out.hash);
+  for (int i = 0; i < procs; ++i)
+    out.retransmits += c.node(i).error_control().stats().retransmits;
+  return out;
+}
+
+TEST(CollChaos, RingAllreduceBitIdenticalUnderBackboneLoss) {
+  constexpr int kProcs = 4;
+  constexpr std::size_t kN = 4096;  // 32 KiB: multi-chunk ring segments
+
+  ClusterConfig clean = cluster::nynet_wan(kProcs);
+  clean.ncs.error = {.kind = mps::ErrorControlKind::retransmit, .rto = 50_ms};
+  const Outcome baseline = run_ring_allreduce(clean, kProcs, kN);
+  EXPECT_EQ(baseline.retransmits, 0u);
+
+  ClusterConfig faulty = cluster::nynet_wan(kProcs);
+  faulty.ncs.error = {.kind = mps::ErrorControlKind::retransmit, .rto = 50_ms};
+  // Take the WAN backbone down mid-collective: segments crossing the SONET
+  // hop are lost and must be retransmitted once the link returns.
+  faulty.faults.link_down("sonet", TimePoint::origin() + 1_ms, 40_ms);
+  const Outcome faulted = run_ring_allreduce(faulty, kProcs, kN);
+
+  EXPECT_GT(faulted.retransmits, 0u);
+  EXPECT_EQ(faulted.hash, baseline.hash);  // bit-identical, only later
+  EXPECT_LT(baseline.elapsed, faulted.elapsed);
+}
+
+}  // namespace
+}  // namespace ncs::coll

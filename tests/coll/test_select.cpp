@@ -1,0 +1,95 @@
+// The coll::select decision table: thresholds, forced overrides, and the
+// segment partition helper the ring algorithms schedule by.
+#include <gtest/gtest.h>
+
+#include "coll/algorithms.hpp"
+#include "coll/select.hpp"
+
+namespace ncs::coll {
+namespace {
+
+TEST(Select, SmallGroupsStayFlat) {
+  const Params p;
+  for (const int np : {1, 2, 3})
+    for (int op = 0; op < kOpCount; ++op)
+      EXPECT_EQ(select(static_cast<Op>(op), np, 1 << 20, p), Algorithm::flat)
+          << to_string(static_cast<Op>(op)) << " at P=" << np;
+}
+
+TEST(Select, ScalableAlgorithmsFromTreeThresholdUp) {
+  const Params p;
+  for (const int np : {p.tree_min_procs, 16}) {
+    EXPECT_EQ(select(Op::bcast, np, 0, p), Algorithm::binomial_tree);
+    EXPECT_EQ(select(Op::gather, np, 0, p), Algorithm::binomial_tree);
+    EXPECT_EQ(select(Op::scatter, np, 0, p), Algorithm::binomial_tree);
+    EXPECT_EQ(select(Op::reduce, np, 0, p), Algorithm::binomial_tree);
+    EXPECT_EQ(select(Op::barrier, np, 0, p), Algorithm::dissemination);
+    EXPECT_EQ(select(Op::allgather, np, 0, p), Algorithm::ring);
+    EXPECT_EQ(select(Op::reduce_scatter, np, 0, p), Algorithm::ring);
+  }
+}
+
+TEST(Select, AllreduceSizeCrossoverIsInclusive) {
+  const Params p;
+  EXPECT_EQ(select(Op::allreduce, 8, p.allreduce_ring_min_bytes, p),
+            Algorithm::recursive_doubling);
+  EXPECT_EQ(select(Op::allreduce, 8, p.allreduce_ring_min_bytes + 1, p), Algorithm::ring);
+}
+
+TEST(Select, ThresholdsComeFromParams) {
+  Params p;
+  p.tree_min_procs = 9;
+  EXPECT_EQ(select(Op::bcast, 8, 0, p), Algorithm::flat);
+  EXPECT_EQ(select(Op::bcast, 9, 0, p), Algorithm::binomial_tree);
+  p.tree_min_procs = 4;
+  p.allreduce_ring_min_bytes = 0;
+  EXPECT_EQ(select(Op::allreduce, 8, 1, p), Algorithm::ring);
+}
+
+TEST(Select, ForcedAlgorithmWinsWhenItImplementsTheOp) {
+  Params p;
+  p.set_force(Op::bcast, Algorithm::flat);
+  EXPECT_EQ(select(Op::bcast, 16, 1 << 20, p), Algorithm::flat);
+  p.set_force(Op::allreduce, Algorithm::recursive_doubling);
+  EXPECT_EQ(select(Op::allreduce, 16, 1 << 20, p), Algorithm::recursive_doubling);
+}
+
+TEST(Select, UnimplementableForceFallsBackToTable) {
+  Params p;
+  p.set_force(Op::bcast, Algorithm::ring);  // no ring bcast exists
+  EXPECT_EQ(select(Op::bcast, 16, 0, p), Algorithm::binomial_tree);
+}
+
+TEST(Select, ImplementsMatrix) {
+  for (int op = 0; op < kOpCount; ++op)
+    EXPECT_TRUE(implements(static_cast<Op>(op), Algorithm::flat));
+  EXPECT_TRUE(implements(Op::allreduce, Algorithm::ring));
+  EXPECT_TRUE(implements(Op::allgather, Algorithm::ring));
+  EXPECT_TRUE(implements(Op::barrier, Algorithm::dissemination));
+  EXPECT_FALSE(implements(Op::barrier, Algorithm::recursive_doubling));
+  EXPECT_FALSE(implements(Op::gather, Algorithm::ring));
+  EXPECT_FALSE(implements(Op::allreduce, Algorithm::binomial_tree));
+}
+
+TEST(Select, SegmentsPartitionTheVector) {
+  // n = 10 over P = 4: lengths 3,3,2,2 — contiguous and covering.
+  std::size_t next = 0;
+  for (int s = 0; s < 4; ++s) {
+    const Segment seg = segment_of(10, 4, s);
+    EXPECT_EQ(seg.begin, next);
+    EXPECT_EQ(seg.len, s < 2 ? 3u : 2u);
+    next = seg.begin + seg.len;
+  }
+  EXPECT_EQ(next, 10u);
+}
+
+TEST(Select, SegmentsWithFewerElementsThanRanks) {
+  // n = 2 over P = 4: the tail ranks own empty segments.
+  EXPECT_EQ(segment_of(2, 4, 0).len, 1u);
+  EXPECT_EQ(segment_of(2, 4, 1).len, 1u);
+  EXPECT_EQ(segment_of(2, 4, 2).len, 0u);
+  EXPECT_EQ(segment_of(2, 4, 3).len, 0u);
+}
+
+}  // namespace
+}  // namespace ncs::coll

@@ -115,6 +115,56 @@ TEST(Collectives, RepeatedCollectivesStayInPhase) {
     EXPECT_DOUBLE_EQ(sums[static_cast<std::size_t>(round)], 3.0 * round + 3);
 }
 
+TEST(Collectives, CollectiveBcastLandsOnEveryRank) {
+  auto c = make_cluster(3);
+  std::vector<Bytes> got(3);
+  run_threads(*c, [&](int rank) {
+    got[static_cast<std::size_t>(rank)] =
+        c->node(rank).bcast(1, rank == 1 ? BytesView(to_bytes("group bcast")) : BytesView{});
+  });
+  for (const Bytes& b : got) EXPECT_EQ(b, to_bytes("group bcast"));
+}
+
+TEST(Collectives, AllreduceSumEveryRankGetsTheTotal) {
+  auto c = make_cluster(3);
+  std::vector<std::vector<double>> results(3);
+  run_threads(*c, [&](int rank) {
+    const std::vector<double> mine{static_cast<double>(rank), 2.0};
+    results[static_cast<std::size_t>(rank)] = c->node(rank).allreduce_sum(mine);
+  });
+  for (int p = 0; p < 3; ++p) {
+    ASSERT_EQ(results[static_cast<std::size_t>(p)].size(), 2u);
+    EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(p)][0], 0 + 1 + 2);
+    EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(p)][1], 6.0);
+  }
+}
+
+TEST(Collectives, ReduceScatterHandsEachRankItsSegment) {
+  auto c = make_cluster(3);
+  std::vector<std::vector<double>> results(3);
+  run_threads(*c, [&](int rank) {
+    // All ranks contribute {1,2,3}; segments of the x3 sum land by rank.
+    results[static_cast<std::size_t>(rank)] =
+        c->node(rank).reduce_scatter_sum(std::vector<double>{1.0, 2.0, 3.0});
+  });
+  ASSERT_EQ(results[0].size(), 1u);
+  EXPECT_DOUBLE_EQ(results[0][0], 3.0);
+  EXPECT_DOUBLE_EQ(results[1][0], 6.0);
+  EXPECT_DOUBLE_EQ(results[2][0], 9.0);
+}
+
+TEST(Collectives, CountedInNodeStats) {
+  auto c = make_cluster(2);
+  run_threads(*c, [&](int rank) {
+    Node& node = c->node(rank);
+    (void)node.gather(0, to_bytes("x"));
+    node.barrier();
+    (void)node.allgather(to_bytes("y"));
+  });
+  EXPECT_EQ(c->node(0).stats().collectives, 3u);
+  EXPECT_EQ(c->node(1).stats().collectives, 3u);
+}
+
 TEST(Collectives, DoNotCollideWithWildcardRecv) {
   // A wildcard user receive posted during a collective must not swallow
   // collective traffic (reserved endpoint).

@@ -88,6 +88,25 @@ TEST(Profiler, RecordsAuxiliaryLayersDirectly) {
   EXPECT_EQ(p.hist(Layer::nic_sar).max(), (7_us).ps());
 }
 
+TEST(Profiler, RecordCollKeysPerAlgorithmHistograms) {
+  Profiler p;
+  p.record_coll("allreduce/ring", 40_us);
+  p.record_coll("allreduce/ring", 60_us);
+  p.record_coll("bcast/binomial_tree", 5_us);
+  ASSERT_EQ(p.coll_hists().size(), 2u);
+  EXPECT_EQ(p.coll_hists().at("allreduce/ring").count(), 2u);
+  EXPECT_EQ(p.coll_hists().at("allreduce/ring").max(), (60_us).ps());
+  EXPECT_EQ(p.coll_hists().at("bcast/binomial_tree").count(), 1u);
+
+  JsonWriter w;
+  w.begin_object();
+  p.write_json(w);
+  w.end_object();
+  const std::string doc = std::move(w).str();
+  EXPECT_NE(doc.find("\"coll\""), std::string::npos);
+  EXPECT_NE(doc.find("\"allreduce/ring\""), std::string::npos);
+}
+
 TEST(Profiler, WriteJsonEmitsPopulatedLayersAndMessageCounts) {
   Profiler p;
   const Profiler::MsgKey k{0, 1, 2};
