@@ -1,0 +1,302 @@
+// Point-to-point protocol sweep: the eager/rendezvous engine (mps/proto)
+// against the legacy one-submit-per-message path.
+//
+// Three experiments:
+//
+//   rate     small-message throughput race at P=8 on the NYNET WAN with
+//            window flow control and several sender threads per node —
+//            the configuration where per-frame cost and the ack round
+//            trip dominate, i.e. exactly what eager coalescing amortises.
+//            Claim (gates the exit code): eager moves >= 2x the messages
+//            per second of the legacy path at <= 256 B payloads.
+//   sweep    payload size x protocol mode on the ATM LAN (HSM): per-
+//            message latency for off/eager/rendezvous/adaptive; '*' marks
+//            the path the adaptive crossover would take on its own.
+//            Claim: rendezvous beats eager beyond the crossover.
+//   chaos    adaptive protocol over a lossy WAN with retransmit error
+//            control: every payload (coalesced eager records and
+//            reassembled rendezvous transfers alike) must arrive with a
+//            bit-identical CRC32, in per-source FIFO order.
+//
+//   --fast   CI-sized run (fewer messages, three sweep sizes)
+//   --json   ncs-bench-v1 rows: experiment/mode/payload_bytes/...,
+//            summary eager_small_msg_speedup / rndv_large_speedup /
+//            all_correct
+//   --prof   profiled eager rate run: bottleneck table with the proto
+//            section (batch occupancy, RTS->CTS delay)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cluster/bench_json.hpp"
+#include "cluster/bench_opts.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/config.hpp"
+#include "cluster/report.hpp"
+#include "common/crc.hpp"
+
+namespace {
+
+using namespace ncs;
+using namespace ncs::cluster;
+using mps::ProtoMode;
+
+Bytes patterned(std::size_t n, std::uint32_t salt) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b[i] = static_cast<std::byte>((i * 131 + salt * 29) & 0xFF);
+  return b;
+}
+
+// --- rate: P=8 WAN ring, several sender threads per node ---
+
+struct RateResult {
+  double msgs_per_sec = 0.0;
+  std::uint64_t frames = 0;  // transport frames for the measured messages
+  bool correct = true;
+};
+
+RateResult run_rate(ProtoMode mode, std::size_t payload, int senders, int per_sender,
+                    const BenchOptions* prof_opts) {
+  constexpr int kProcs = 8;
+  ClusterConfig cfg = nynet_wan(kProcs);
+  cfg.ncs.flow = {.kind = mps::FlowControlKind::window, .window = 8};
+  cfg.ncs.proto.mode = mode;
+  if (prof_opts != nullptr) prof_opts->apply(&cfg, "proto_sweep");
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+
+  const int expect = senders * per_sender;
+  RateResult r;
+  const Duration elapsed = c.run([&](int rank) {
+    mps::Node& node = c.node(rank);
+    const int dst = (rank + 1) % kProcs;
+    std::vector<int> tids;
+    for (int s = 0; s < senders; ++s) {
+      tids.push_back(node.t_create([&node, s, dst, per_sender, payload] {
+        for (int i = 0; i < per_sender; ++i)
+          node.send(s, 0, dst, patterned(payload, static_cast<std::uint32_t>(i)));
+      }));
+    }
+    tids.push_back(node.t_create([&node, expect, payload, &r] {
+      for (int i = 0; i < expect; ++i)
+        if (node.recv(mps::kAnyThread, mps::kAnyProcess, 0).size() != payload)
+          r.correct = false;
+    }));
+    for (const int t : tids) node.host().join(node.user_thread(t));
+  });
+
+  r.msgs_per_sec = static_cast<double>(kProcs) * expect / elapsed.sec();
+  for (int p = 0; p < kProcs; ++p) {
+    const mps::ProtoEngine::Stats& st = c.node(p).proto().stats();
+    r.frames += mode == ProtoMode::off
+                    ? static_cast<std::uint64_t>(expect)  // one submit per message
+                    : st.eager_frames + st.rndv_chunks;
+  }
+  if (prof_opts != nullptr) std::printf("\n%s", bottleneck_report(c).c_str());
+  return r;
+}
+
+// --- sweep: payload size x mode, P=2 ATM LAN ---
+
+struct SweepResult {
+  double per_msg_us = 0.0;
+  bool correct = true;
+  /// What the sender-side engine actually did (for the adaptive '*').
+  std::uint64_t eager_msgs = 0;
+  std::uint64_t rndv_transfers = 0;
+};
+
+SweepResult run_sweep(ProtoMode mode, std::size_t payload, int iters) {
+  ClusterConfig cfg = sun_atm_lan(2);
+  cfg.ncs.proto.mode = mode;
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+
+  SweepResult r;
+  const Duration elapsed = c.run([&](int rank) {
+    mps::Node& node = c.node(rank);
+    const int t = node.t_create([&node, rank, payload, iters, &r] {
+      if (rank == 0) {
+        for (int i = 0; i < iters; ++i)
+          node.send(0, 0, 1, patterned(payload, static_cast<std::uint32_t>(i)));
+      } else {
+        for (int i = 0; i < iters; ++i) {
+          const Bytes got = node.recv(mps::kAnyThread, mps::kAnyProcess, 0);
+          if (crc32_ieee(got) !=
+              crc32_ieee(patterned(payload, static_cast<std::uint32_t>(i))))
+            r.correct = false;
+        }
+      }
+    });
+    node.host().join(node.user_thread(t));
+  });
+  r.per_msg_us = elapsed.sec() * 1e6 / iters;
+  r.eager_msgs = c.node(0).proto().stats().eager_msgs;
+  r.rndv_transfers = c.node(0).proto().stats().rndv_transfers;
+  return r;
+}
+
+// --- chaos: lossy WAN, adaptive protocol, CRC32 per payload ---
+
+bool run_chaos(int msgs) {
+  constexpr int kProcs = 4;
+  ClusterConfig cfg = nynet_wan(kProcs);
+  cfg.wan_backbone.loss_probability = 0.08;
+  cfg.ncs.error = {.kind = mps::ErrorControlKind::retransmit,
+                   .rto = Duration::milliseconds(15),
+                   .max_retries = 60};
+  cfg.ncs.proto.mode = ProtoMode::adaptive;
+  cfg.ncs.proto.eager_max_bytes = 2048;
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+
+  // Ring traffic, sizes straddling the pinned crossover; the i-th payload
+  // from rank r is patterned(n, r*1000+i), so the receiver can recompute
+  // the expected digest without any side channel.
+  const auto size_of = [](int i) -> std::size_t {
+    return i % 3 == 2 ? 24 * 1024 : (i % 3 == 1 ? 700 : 128);
+  };
+  bool ok = true;
+  c.run([&](int rank) {
+    mps::Node& node = c.node(rank);
+    const int dst = (rank + 1) % kProcs;
+    const int src = (rank + kProcs - 1) % kProcs;
+    std::vector<int> tids;
+    tids.push_back(node.t_create([&node, rank, dst, msgs, size_of] {
+      for (int i = 0; i < msgs; ++i)
+        node.send(0, 0, dst,
+                  patterned(size_of(i), static_cast<std::uint32_t>(rank * 1000 + i)));
+    }));
+    tids.push_back(node.t_create([&node, src, msgs, size_of, &ok] {
+      for (int i = 0; i < msgs; ++i) {
+        const Bytes got = node.recv(mps::kAnyThread, mps::kAnyProcess, 0);
+        const Bytes want =
+            patterned(size_of(i), static_cast<std::uint32_t>(src * 1000 + i));
+        if (got.size() != want.size() || crc32_ieee(got) != crc32_ieee(want))
+          ok = false;  // order, size, or content diverged
+      }
+    }));
+    for (const int t : tids) node.host().join(node.user_thread(t));
+  });
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
+  bool fast = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+
+  BenchReport report("proto_sweep");
+  bool all_correct = true;
+
+  // --- rate race ---
+  // Enough messages per sender that the window-limited steady state (where
+  // coalescing pays) dominates the startup and pipe-drain phases.
+  const int senders = 8;
+  const int per_sender = fast ? 25 : 60;
+  std::printf("small-message rate, NYNET WAN P=8, window=8, %d sender threads/node:\n",
+              senders);
+  double eager_speedup = 0.0;
+  for (const std::size_t payload : {std::size_t{64}, std::size_t{256}}) {
+    const RateResult off = run_rate(ProtoMode::off, payload, senders, per_sender, nullptr);
+    const RateResult eager =
+        run_rate(ProtoMode::eager, payload, senders, per_sender, nullptr);
+    all_correct = all_correct && off.correct && eager.correct;
+    const double speedup = eager.msgs_per_sec / off.msgs_per_sec;
+    if (payload <= 256) eager_speedup = std::max(eager_speedup, speedup);
+    std::printf("  %4zu B: off %9.0f msg/s (%5llu frames)  eager %9.0f msg/s "
+                "(%5llu frames)  %.2fx\n",
+                payload, off.msgs_per_sec, static_cast<unsigned long long>(off.frames),
+                eager.msgs_per_sec, static_cast<unsigned long long>(eager.frames),
+                speedup);
+    for (const auto* r : {&off, &eager}) {
+      report.row();
+      report.set("experiment", std::string("rate"));
+      report.set("mode", std::string(r == &off ? "off" : "eager"));
+      report.set("payload_bytes", static_cast<std::int64_t>(payload));
+      report.set("msgs_per_sec", r->msgs_per_sec);
+      report.set("frames", r->frames);
+    }
+  }
+
+  // --- size sweep ---
+  const std::vector<std::size_t> sizes =
+      fast ? std::vector<std::size_t>{256, 8192, 262144}
+           : std::vector<std::size_t>{64, 256, 1024, 4096, 16384, 65536, 262144};
+  const int iters = fast ? 4 : 8;
+  const struct {
+    ProtoMode mode;
+    const char* name;
+  } modes[] = {{ProtoMode::off, "off"},
+               {ProtoMode::eager, "eager"},
+               {ProtoMode::rendezvous, "rendezvous"},
+               {ProtoMode::adaptive, "adaptive"}};
+
+  std::printf("\nper-message latency, ATM LAN (HSM) P=2; '*' = the path the adaptive\n"
+              "mode mostly took at that size (its crossover starts at the cost-hint\n"
+              "estimate and converges via measured RTS->CTS delays)\n");
+  double eager_big_us = 0.0, rndv_big_us = 0.0;
+  for (const std::size_t payload : sizes) {
+    std::printf("  %7zu B:", payload);
+    SweepResult results[4];
+    for (int mi = 0; mi < 4; ++mi) {
+      results[mi] = run_sweep(modes[mi].mode, payload, iters);
+      all_correct = all_correct && results[mi].correct;
+    }
+    // The adaptive run reports which path it actually used message by
+    // message; the '*' goes to the majority path.
+    const SweepResult& ad = results[3];
+    const bool picked_rndv = ad.rndv_transfers > ad.eager_msgs;
+    for (int mi = 0; mi < 4; ++mi) {
+      const SweepResult& r = results[mi];
+      const bool star = (modes[mi].mode == ProtoMode::eager && !picked_rndv) ||
+                        (modes[mi].mode == ProtoMode::rendezvous && picked_rndv);
+      if (payload == sizes.back()) {
+        if (modes[mi].mode == ProtoMode::eager) eager_big_us = r.per_msg_us;
+        if (modes[mi].mode == ProtoMode::rendezvous) rndv_big_us = r.per_msg_us;
+      }
+      report.row();
+      report.set("experiment", std::string("sweep"));
+      report.set("mode", std::string(modes[mi].name));
+      report.set("payload_bytes", static_cast<std::int64_t>(payload));
+      report.set("per_msg_us", r.per_msg_us);
+      report.set("adaptive_pick", star);
+      std::printf("  %-10s %9.1f us%s", modes[mi].name, r.per_msg_us, star ? "*" : " ");
+    }
+    std::printf("\n");
+  }
+  const double rndv_speedup = eager_big_us / rndv_big_us;
+  std::printf("at %zu B: rendezvous %.2fx vs eager\n", sizes.back(), rndv_speedup);
+
+  // --- chaos digests ---
+  const bool chaos_ok = run_chaos(fast ? 12 : 30);
+  std::printf("\nchaos (8%% WAN loss, retransmit, adaptive): %s\n",
+              chaos_ok ? "all payload digests bit-identical"
+                       : "DIGEST MISMATCH OR REORDER");
+  all_correct = all_correct && chaos_ok;
+
+  report.summary("eager_small_msg_speedup", eager_speedup);
+  report.summary("rndv_large_speedup", rndv_speedup);
+  report.summary("chaos_digests_ok", chaos_ok);
+
+  const bool claims_hold = eager_speedup >= 2.0 && rndv_speedup > 1.0;
+  std::printf("claims: eager small-message speedup %.2fx (need >= 2), "
+              "rendezvous large-payload speedup %.2fx (need > 1): %s\n",
+              eager_speedup, rndv_speedup, claims_hold ? "hold" : "FAILED");
+  report.summary("all_correct", all_correct && claims_hold);
+
+  if (opts.prof) {
+    const RateResult r = run_rate(ProtoMode::eager, 256, senders, per_sender, &opts);
+    all_correct = all_correct && r.correct;
+    std::printf("profiled run artifacts: %s + matching _trace.json\n",
+                opts.report_path("proto_sweep").c_str());
+  }
+
+  if (opts.json) report.emit(opts.json_path);
+  return all_correct && claims_hold ? 0 : 1;
+}

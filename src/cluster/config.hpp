@@ -55,7 +55,8 @@ struct ClusterConfig {
   // Ethernet segment.
   ether::BusParams bus;
 
-  // NCS runtime options.
+  // NCS runtime options (flow/error control, collectives, and the
+  // point-to-point protocol engine via `ncs.proto` — off by default).
   mps::Node::Options ncs;
   std::size_t hsm_chunk = 4096;
   /// HSM tier circuit provisioning: static full-mesh PVCs (default, the

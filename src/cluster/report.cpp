@@ -205,6 +205,23 @@ std::string bottleneck_report(Cluster& cluster) {
     }
   }
 
+  if (!prof->proto_time_hists().empty() || !prof->proto_count_hists().empty()) {
+    // Protocol-engine internals: handshake latency in microseconds, batch
+    // occupancy (and other counts) as raw values.
+    line(out, "%-28s %8s %10s %10s %10s", "proto", "count", "p50", "p99", "max");
+    for (const auto& [key, h] : prof->proto_time_hists()) {
+      line(out, "%-28s %8llu %8.1fus %8.1fus %8.1fus", key.c_str(),
+           static_cast<unsigned long long>(h.count()), us(h.quantile(0.5)),
+           us(h.quantile(0.99)), us(h.max()));
+    }
+    for (const auto& [key, h] : prof->proto_count_hists()) {
+      line(out, "%-28s %8llu %10.1f %10.1f %10.1f", key.c_str(),
+           static_cast<unsigned long long>(h.count()),
+           static_cast<double>(h.quantile(0.5)), static_cast<double>(h.quantile(0.99)),
+           static_cast<double>(h.max()));
+    }
+  }
+
   line(out, "%-5s %10s %12s %11s %9s %8s", "host", "compute", "communicate",
        "overlapped", "idle", "overlap");
   for (const obs::HostUsage& u : obs::fold_hosts(cluster.timeline())) {

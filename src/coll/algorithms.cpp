@@ -12,14 +12,22 @@ namespace {
 
 int mod(int a, int p) { return ((a % p) + p) % p; }
 
-BytesView doubles_view(const double* p, std::size_t count) {
-  return BytesView(reinterpret_cast<const std::byte*>(p), count * sizeof(double));
+}  // namespace
+
+// Chunk granularity in doubles (whole elements only). chunk_bytes == 0
+// means "no chunking" — the whole payload in one message; any nonzero
+// request clamps to at least one element, so a sub-8-byte chunk size
+// still pipelines per element instead of silently collapsing to one
+// whole-payload chunk (which defeated the ring's pipelining).
+std::size_t chunk_elems(std::size_t chunk_bytes, std::size_t total) {
+  if (chunk_bytes == 0) return std::max<std::size_t>(total, 1);
+  return std::max<std::size_t>(chunk_bytes / sizeof(double), 1);
 }
 
-/// Chunk granularity in doubles (whole elements only; 0 = one message).
-std::size_t chunk_elems(std::size_t chunk_bytes, std::size_t total) {
-  if (chunk_bytes < sizeof(double)) return std::max<std::size_t>(total, 1);
-  return chunk_bytes / sizeof(double);
+namespace {
+
+BytesView doubles_view(const double* p, std::size_t count) {
+  return BytesView(reinterpret_cast<const std::byte*>(p), count * sizeof(double));
 }
 
 /// Ships `count` doubles starting at `p` as back-to-back chunk messages;

@@ -59,6 +59,13 @@ struct Segment {
 };
 Segment segment_of(std::size_t n, int n_procs, int s);
 
+/// Ring-pipeline chunk granularity in doubles (whole elements only).
+/// chunk_bytes == 0 means "no chunking" — the entire payload travels as
+/// one message; any nonzero request clamps to at least one element so a
+/// sub-8-byte chunk size still pipelines per element instead of silently
+/// collapsing into a single whole-payload chunk.
+std::size_t chunk_elems(std::size_t chunk_bytes, std::size_t total);
+
 // --- broadcast: root's payload lands on every rank (root included) ---
 Bytes bcast_flat(Fabric& f, int root, BytesView payload);
 Bytes bcast_binomial(Fabric& f, int root, BytesView payload);

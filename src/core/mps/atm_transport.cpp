@@ -78,25 +78,43 @@ atm::VcId AtmTransport::vc_towards(int to_process) {
   }
 }
 
-void AtmTransport::submit(const Message& msg) {
+void AtmTransport::submit(const Message& msg) { submit_bulk(msg, params_.chunk_size); }
+
+void AtmTransport::submit_bulk(const Message& msg, std::size_t chunk_hint) {
   NCS_ASSERT_MSG(mts::Scheduler::active() == &host_, "submit from a foreign thread");
+  const std::size_t chunk =
+      std::clamp(chunk_hint, params_.chunk_size, nic_.params().io_buffer_size);
   const atm::VcId vc = vc_towards(msg.to_process);
   const Bytes wire = encode(msg);
 
   std::size_t off = 0;
   do {
-    const std::size_t len = std::min(params_.chunk_size, wire.size() - off);
+    const std::size_t len = std::min(chunk, wire.size() - off);
     // Backpressure first: copying into a buffer requires owning one.
     wait_for_tx_buffer();
     // Trap + copy into the mapped kernel buffer (Fig 3b: 2 accesses/word).
     host_.charge_cycles(params_.costs.ncs_chunk_cycles(len), sim::Activity::communicate);
-    Bytes chunk(wire.begin() + static_cast<std::ptrdiff_t>(off),
-                wire.begin() + static_cast<std::ptrdiff_t>(off + len));
+    Bytes staged(wire.begin() + static_cast<std::ptrdiff_t>(off),
+                 wire.begin() + static_cast<std::ptrdiff_t>(off + len));
     const bool last = off + len == wire.size();
-    nic_.submit_tx(vc, std::move(chunk), last);
+    nic_.submit_tx(vc, std::move(staged), last);
     ++stats_.tx_chunks;
     off += len;
   } while (off < wire.size());
+}
+
+Transport::CostHints AtmTransport::cost_hints() const {
+  CostHints h;
+  // Fixed per-chunk host cost: the trap plus the NCS buffer bookkeeping
+  // (the copy itself is the size-proportional part, reported as bandwidth).
+  h.per_message =
+      host_.cycles(params_.costs.trap_cycles + params_.costs.ncs_per_chunk_cycles);
+  const double cycles_per_byte = params_.costs.ncs_accesses_per_word /
+                                 params_.costs.word_bytes *
+                                 params_.costs.cycles_per_bus_access;
+  h.bytes_per_sec = host_.params().cpu_mhz * 1e6 / cycles_per_byte;
+  h.dma_window = nic_.params().io_buffer_size;
+  return h;
 }
 
 Message AtmTransport::recv_next() {

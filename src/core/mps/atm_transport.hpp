@@ -45,7 +45,14 @@ class AtmTransport final : public Transport {
   AtmTransport(mts::Scheduler& host, atm::Nic& nic, Params params);
 
   void submit(const Message& msg) override;
+  /// Rendezvous bulk path: copies up to a whole I/O buffer per trap
+  /// (clamped to [chunk_size, io_buffer_size]) so a large transfer pays
+  /// the trap + bookkeeping cost once per buffer instead of once per
+  /// small-message chunk, and each copy fills the buffer the adapter is
+  /// about to DMA — the Fig 2 multi-buffer overlap at full granularity.
+  void submit_bulk(const Message& msg, std::size_t chunk_hint) override;
   Message recv_next() override;
+  CostHints cost_hints() const override;
   const char* name() const override { return "HSM/ATM"; }
   void set_frame_error_handler(std::function<void(int)> handler) override {
     frame_error_handler_ = std::move(handler);

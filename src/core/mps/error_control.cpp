@@ -49,8 +49,9 @@ void ErrorControl::arm_timer(const Key& key) {
                         "give-up seq" + std::to_string(key.seq) + "->p" +
                             std::to_string(key.peer),
                         "mps", engine_.now());
+      Message failed = std::move(it->second.msg);
       in_flight_.erase(it);
-      if (give_up_handler_) give_up_handler_(key.peer, key.seq);
+      if (give_up_handler_) give_up_handler_(failed);
       return;
     }
     ++stats_.retransmits;

@@ -64,8 +64,11 @@ class ErrorControl {
   bool idle() const { return in_flight_.empty(); }
 
   /// Optional: invoked when a message exhausts its retries (engine
-  /// context; must not block): (peer process, sequence).
-  void set_give_up_handler(std::function<void(int, std::uint32_t)> handler) {
+  /// context; must not block), with the abandoned message itself — the
+  /// handler needs more than (peer, seq) now that protocol frames carry
+  /// differing flow-control credit (proto.hpp: only credit-bearing frames
+  /// return a window slot on failure).
+  void set_give_up_handler(std::function<void(const Message&)> handler) {
     give_up_handler_ = std::move(handler);
   }
 
@@ -111,7 +114,7 @@ class ErrorControl {
   int trace_track_ = -1;
   obs::Profiler* prof_ = nullptr;
   std::function<void(Message)> retransmit_fn_;
-  std::function<void(int, std::uint32_t)> give_up_handler_;
+  std::function<void(const Message&)> give_up_handler_;
 
   /// Receiver-side state per source: sequences below `low` have all been
   /// delivered; `held` buffers arrivals above a gap until it fills (FIFO

@@ -30,11 +30,25 @@ void FlowControl::before_send(const Message& msg) {
     case FlowControlKind::window: {
       const auto dst = static_cast<std::size_t>(msg.to_process);
       auto& out = outstanding_[dst];
+      auto& waiters = window_waiters_[dst];
       const TimePoint started = sched_.engine().now();
-      while (out >= params_.window) {
+      // A sender queues when the window is full — or when earlier senders
+      // are already queued: admitting a newcomer past the queue would let
+      // it steal the credit an ack just granted to the front waiter, which
+      // would then re-queue at the back and starve (FIFO inversion).
+      if (out >= params_.window || !waiters.empty()) {
         ++stats_.window_stalls;
-        window_waiters_[dst].push_back(sched_.current());
-        sched_.block(sim::Activity::communicate);
+        waiters.push_back(WindowWaiter{sched_.current(), false});
+        auto me = std::prev(waiters.end());
+        for (;;) {
+          sched_.block(sim::Activity::communicate);
+          // An ack marked this entry and freed a credit, so the re-check
+          // normally passes; it is kept so an unexpected wakeup cannot
+          // overfill the window — re-arm and keep the queue seat.
+          if (me->signaled && out < params_.window) break;
+          me->signaled = false;
+        }
+        waiters.erase(me);
       }
       const Duration stalled = sched_.engine().now() - started;
       stats_.time_blocked += stalled;
@@ -48,20 +62,27 @@ void FlowControl::before_send(const Message& msg) {
     }
 
     case FlowControlKind::rate: {
-      const TimePoint now = sched_.engine().now();
+      TimePoint now = sched_.engine().now();
       if (next_free_ > now) {
         ++stats_.rate_delays;
         const TimePoint started = now;
-        sched_.sleep_until(next_free_);
-        stats_.time_blocked += sched_.engine().now() - started;
+        // Loop until admitted: N senders sleeping toward the same horizon
+        // all wake together, and only the first to dispatch may claim it —
+        // it advances next_free_ below, so the re-check sends the others
+        // back to sleep instead of letting the whole cohort inject a burst
+        // above rate_bytes_per_sec.
+        do {
+          sched_.sleep_until(next_free_);
+          now = sched_.engine().now();
+        } while (next_free_ > now);
+        stats_.time_blocked += now - started;
         if (trace_ != nullptr)
-          trace_->complete(trace_track_, "rate-pace", "mps", started,
-                           sched_.engine().now() - started);
-        if (prof_ != nullptr) prof_->record(obs::Layer::fc_stall, sched_.engine().now() - started);
+          trace_->complete(trace_track_, "rate-pace", "mps", started, now - started);
+        if (prof_ != nullptr) prof_->record(obs::Layer::fc_stall, now - started);
       }
       const Duration occupancy =
           Duration::seconds(static_cast<double>(msg.data.size()) / params_.rate_bytes_per_sec);
-      next_free_ = ncs::max(sched_.engine().now(), next_free_) + occupancy;
+      next_free_ = ncs::max(now, next_free_) + occupancy;
       return;
     }
   }
@@ -76,12 +97,20 @@ void FlowControl::on_ack(int from_process) {
   if (out > 0) --out;
   // Wake only a thread stalled on *this* destination's window — credit for
   // process B is useless to a thread waiting on process A (it would
-  // re-block, and B's waiter would sleep forever).
+  // re-block, and B's waiter would sleep forever). The wakeup budget is
+  // window - outstanding - already-signaled: a duplicate ack (clamped
+  // above) frees no credit and must not wake a second waiter onto the one
+  // credit, which would admit both and overfill the window.
   auto& waiters = window_waiters_[src];
-  if (!waiters.empty()) {
-    mts::Thread* t = waiters.front();
-    waiters.pop_front();
-    sched_.unblock(t);
+  int signaled = 0;
+  for (const WindowWaiter& w : waiters)
+    if (w.signaled) ++signaled;
+  if (out + signaled >= params_.window) return;
+  for (WindowWaiter& w : waiters) {
+    if (w.signaled) continue;
+    w.signaled = true;
+    sched_.unblock(w.thread);
+    return;
   }
 }
 

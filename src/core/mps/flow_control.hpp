@@ -11,7 +11,7 @@
 // return via control acknowledgements handled by the receive thread.
 #pragma once
 
-#include <deque>
+#include <list>
 #include <vector>
 
 #include "core/mps/message.hpp"
@@ -54,6 +54,14 @@ class FlowControl {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Unacknowledged in-window messages towards `dst` (0 unless the window
+  /// policy is active). Exposed for tests and the bottleneck report.
+  int outstanding(int dst) const {
+    return dst < static_cast<int>(outstanding_.size())
+               ? outstanding_[static_cast<std::size_t>(dst)]
+               : 0;
+  }
+
   /// Registers the policy's counters under `prefix` (e.g. "p0/mps/flow").
   void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
 
@@ -76,8 +84,20 @@ class FlowControl {
   // window state. Waiters are kept per destination: windows are
   // per-destination, so an ack from B must never wake (only) a thread
   // stalled on A while B's waiter sleeps on.
+  //
+  // Each stalled sender enqueues exactly ONE entry for the whole stall and
+  // erases it itself on admission (std::list: stable references, O(1)
+  // self-erase). `signaled` marks the entry whose wakeup an ack already
+  // paid for; on_ack never hands two wakeups to one credit and never pops
+  // an entry on the waiter's behalf — the old pop-on-ack scheme combined
+  // with re-pushing every loop iteration let a later (duplicate) ack wake
+  // a thread whose admission had already happened.
+  struct WindowWaiter {
+    mts::Thread* thread;
+    bool signaled = false;
+  };
   std::vector<int> outstanding_;
-  std::vector<std::deque<mts::Thread*>> window_waiters_;
+  std::vector<std::list<WindowWaiter>> window_waiters_;
 
   // rate state (token-bucket horizon)
   TimePoint next_free_;

@@ -20,6 +20,13 @@ inline constexpr int kControlThread = -2;
 /// scatter / all-to-all / reduce); keeps collective traffic from ever
 /// matching an application wildcard receive.
 inline constexpr int kCollectiveThread = -3;
+/// to_thread value marking a protocol-engine frame (an eager batch of
+/// coalesced small messages, or one rendezvous chunk). Frames carry their
+/// own per-destination sequence space — they are the unit of flow-control
+/// credits and of error-control ack/dedup/reorder — and are unpacked back
+/// into ordinary messages by the receiving node's ProtoEngine before any
+/// mailbox pattern ever sees them.
+inline constexpr int kProtoThread = -4;
 
 struct Endpoint {
   int process = 0;

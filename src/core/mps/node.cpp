@@ -9,9 +9,15 @@
 namespace ncs::mps {
 
 namespace {
-constexpr std::uint8_t kCtlAck = 1;
-
-Bytes control_payload(std::uint8_t kind) { return Bytes(1, static_cast<std::byte>(kind)); }
+/// Ack payload: [kCtlAck][credit flag]. Credit-bearing acks release a
+/// flow-control window slot; acks for middle rendezvous chunks carry 0 —
+/// the whole transfer holds one credit, returned by the final chunk's ack.
+Bytes ack_payload(bool credit) {
+  Bytes b(2);
+  b[0] = static_cast<std::byte>(kCtlAck);
+  b[1] = static_cast<std::byte>(credit ? 1 : 0);
+  return b;
+}
 
 /// Profiler key for a data message — the same (from, to, seq) triple error
 /// control dedups by, so it is unique per payload message. Control traffic
@@ -63,6 +69,25 @@ Node::Node(mts::Scheduler& host, int rank, int n_procs, std::unique_ptr<Transpor
   coll_fabric_ = std::make_unique<CollFabric>(*this);
   coll_ = std::make_unique<coll::Engine>(*coll_fabric_, options_.coll);
 
+  proto_ = std::make_unique<ProtoEngine>(
+      host_, *transport_, fc_, ec_, options_.proto, rank_, n_procs,
+      options_.local_copy_cycles_per_byte, options_.local_send_fixed_cycles,
+      ProtoEngine::Hooks{
+          .submit = [this](const Message& m) { submit_locked(m); },
+          .submit_bulk =
+              [this](const Message& m, std::size_t hint) {
+                mts::LockGuard guard(submit_mutex_);
+                transport_->submit_bulk(m, hint);
+              },
+          .deliver = [this](Message m) { deliver_from_network(std::move(m)); },
+          .request_flush =
+              [this](int dst) { send_queue_.push(SendRequest{Message{}, nullptr, dst}); },
+          .exception =
+              [this](Exception kind, int peer, std::uint32_t seq) {
+                if (exception_handler_) exception_handler_(kind, peer, seq);
+              },
+      });
+
   // System threads (paper Fig 8). High priority so protocol processing
   // preempts queued compute work at dispatch points.
   host_.spawn([this] { send_thread_main(); },
@@ -79,9 +104,14 @@ Node::Node(mts::Scheduler& host, int rank, int n_procs, std::unique_ptr<Transpor
   // message must also return its flow-control window credit — the ack that
   // would have released it is never coming, and a leaked credit leaves the
   // send thread stalled forever once the window fills with dead messages.
-  ec_.set_give_up_handler([this](int peer, std::uint32_t seq) {
-    fc_.on_ack(peer);
-    if (exception_handler_) exception_handler_(Exception::message_timeout, peer, seq);
+  // Protocol frames complicate the credit question: only eager frames and
+  // final rendezvous chunks hold a window credit, so only those may return
+  // one on abandonment (a middle chunk's credit belongs to its transfer).
+  ec_.set_give_up_handler([this](const Message& m) {
+    if (!ProtoEngine::is_frame(m) || ProtoEngine::frame_takes_credit(m))
+      fc_.on_ack(m.to_process);
+    if (exception_handler_)
+      exception_handler_(Exception::message_timeout, m.to_process, m.seq);
   });
   transport_->set_frame_error_handler([this](int peer) {
     if (exception_handler_) exception_handler_(Exception::frame_error, peer, 0);
@@ -280,6 +310,7 @@ void Node::register_metrics(obs::MetricsRegistry& reg, const std::string& prefix
   reg.counter(prefix + "/threads_aborted", &stats_.threads_aborted);
   fc_.register_metrics(reg, prefix + "/flow");
   ec_.register_metrics(reg, prefix + "/ec");
+  if (proto_->enabled()) proto_->register_metrics(reg, prefix + "/proto");
 }
 
 void Node::set_trace(obs::TraceLog* trace, const std::string& prefix) {
@@ -289,6 +320,7 @@ void Node::set_trace(obs::TraceLog* trace, const std::string& prefix) {
   recv_track_ = trace_->track(prefix + "/recv");
   fc_.set_trace(trace_, send_track_);
   ec_.set_trace(trace_, send_track_);
+  proto_->set_trace(trace_, send_track_, recv_track_);
 }
 
 void Node::set_profiler(obs::Profiler* prof) {
@@ -297,6 +329,7 @@ void Node::set_profiler(obs::Profiler* prof) {
   ec_.set_profiler(prof);
   transport_->set_profiler(prof);
   coll_->set_profiler(prof);
+  proto_->set_profiler(prof);
 }
 
 void Node::submit_locked(const Message& msg) {
@@ -308,6 +341,13 @@ void Node::send_thread_main() {
   for (;;) {
     SendRequest req = send_queue_.pop(sim::Activity::communicate);
     const TimePoint began = host_.engine().now();
+    if (req.flush_dst >= 0) {
+      // Flush-timeout marker parked by the protocol engine's timer: the
+      // flush itself must run here, where blocking on flow control is
+      // allowed.
+      proto_->flush(req.flush_dst, ProtoEngine::FlushReason::timeout);
+      continue;
+    }
     if (req.msg.to_process == rank_) {
       // Intra-process delivery: shared address space, one memory copy.
       host_.charge_cycles(options_.local_send_fixed_cycles +
@@ -338,6 +378,22 @@ void Node::send_thread_main() {
     }
     const bool is_control = req.msg.to_thread == kControlThread;
     if (prof_ != nullptr && !is_control) prof_->on_dequeue(key_of(req.msg), began);
+    if (!is_control && proto_->enabled()) {
+      if (proto_->use_rendezvous(req.msg.data.size())) {
+        proto_->rendezvous(req.msg);
+      } else {
+        proto_->eager_enqueue(std::move(req.msg));
+      }
+      // Eager completion is buffered-send: the caller resumes as soon as
+      // its payload is in the batch. Rendezvous kept it blocked through
+      // the whole transfer (NCS_send semantics for bulk data).
+      if (req.done != nullptr) req.done->set();
+      // No more sends queued behind this one: flush the half-full batches
+      // rather than sit on them until the timeout.
+      if (send_queue_.empty() && proto_->params().flush_on_idle && proto_->has_pending())
+        proto_->flush_all(ProtoEngine::FlushReason::idle);
+      continue;
+    }
     if (!is_control) {
       fc_.before_send(req.msg);
       if (prof_ != nullptr) prof_->on_admit(key_of(req.msg), host_.engine().now());
@@ -374,17 +430,26 @@ void Node::recv_thread_main() {
     // deliverable), then the error-control policy decides what the
     // application may see and in what order.
     const bool need_ack = fc_.wants_acks() || ec_.wants_acks();
-    if (need_ack) send_ack_for(msg);
-    for (Message& m : ec_.accept(std::move(msg))) {
-      if (trace_ != nullptr)
-        trace_->instant(recv_track_,
-                        "deliver p" + std::to_string(m.from_process) + " " +
-                            std::to_string(m.data.size()) + "B",
-                        "mps", host_.engine().now());
-      if (prof_ != nullptr) prof_->on_deliver(key_of(m), host_.engine().now());
-      mailbox_.deliver(std::move(m));
+    if (ProtoEngine::is_frame(msg)) {
+      // Frames are the ack/dedup/reorder unit; the engine unpacks the
+      // in-order survivors back into application messages.
+      if (need_ack) send_ack_for(msg, ProtoEngine::frame_takes_credit(msg));
+      for (Message& f : ec_.accept(std::move(msg))) proto_->rx_frame(std::move(f));
+      continue;
     }
+    if (need_ack) send_ack_for(msg, true);
+    for (Message& m : ec_.accept(std::move(msg))) deliver_from_network(std::move(m));
   }
+}
+
+void Node::deliver_from_network(Message msg) {
+  if (trace_ != nullptr)
+    trace_->instant(recv_track_,
+                    "deliver p" + std::to_string(msg.from_process) + " " +
+                        std::to_string(msg.data.size()) + "B",
+                    "mps", host_.engine().now());
+  if (prof_ != nullptr) prof_->on_deliver(key_of(msg), host_.engine().now());
+  mailbox_.deliver(std::move(msg));
 }
 
 void Node::ec_thread_main() {
@@ -396,9 +461,9 @@ void Node::ec_thread_main() {
   }
 }
 
-void Node::send_ack_for(const Message& msg) {
+void Node::send_ack_for(const Message& msg, bool credit) {
   Message ack{rank_, kControlThread, msg.from_process, kControlThread, msg.seq,
-              control_payload(kCtlAck)};
+              ack_payload(credit)};
   ++stats_.acks_sent;
   // Sent directly from the receive thread: routing acks through the send
   // queue would deadlock when the send thread itself is blocked waiting
@@ -409,10 +474,16 @@ void Node::send_ack_for(const Message& msg) {
 void Node::handle_control(const Message& msg) {
   NCS_ASSERT(!msg.data.empty());
   switch (static_cast<std::uint8_t>(msg.data[0])) {
-    case kCtlAck:
-      fc_.on_ack(msg.from_process);
+    case kCtlAck: {
+      // Legacy single-byte acks (no flag) always carried a credit.
+      const bool credit =
+          msg.data.size() < 2 || static_cast<std::uint8_t>(msg.data[1]) != 0;
+      if (credit) fc_.on_ack(msg.from_process);
       ec_.on_ack(msg.from_process, msg.seq);
       break;
+    }
+    case kCtlRts: proto_->on_rts(msg); break;
+    case kCtlCts: proto_->on_cts(msg); break;
     default:
       NCS_UNREACHABLE("unknown NCS control message kind");
   }

@@ -29,6 +29,7 @@
 #include "core/mps/exception.hpp"
 #include "core/mps/flow_control.hpp"
 #include "core/mps/mailbox.hpp"
+#include "core/mps/proto.hpp"
 #include "core/mps/transport.hpp"
 #include "core/mts/sync.hpp"
 
@@ -57,6 +58,10 @@ class Node {
     /// Collective-algorithm selection thresholds and per-op overrides
     /// (cluster configs reach this through ClusterConfig::ncs).
     coll::Params coll;
+    /// Point-to-point protocol engine (eager coalescing / rendezvous);
+    /// mode `off` (the default) keeps the legacy one-submit-per-message
+    /// path bit-identical. See mps/proto.hpp.
+    ProtoParams proto;
   };
 
   /// NCS_init: binds a transport and spawns the system threads.
@@ -180,6 +185,7 @@ class Node {
   const Stats& stats() const { return stats_; }
   const FlowControl& flow_control() const { return fc_; }
   const ErrorControl& error_control() const { return ec_; }
+  const ProtoEngine& proto() const { return *proto_; }
 
   /// Registers node + flow/error-control counters under `prefix`
   /// (e.g. "p0/mps" yields "p0/mps/sends", "p0/mps/flow/window_stalls", ...).
@@ -202,7 +208,8 @@ class Node {
  private:
   struct SendRequest {
     Message msg;
-    mts::Event* done;  // null for fire-and-forget (bcast fan-out tail)
+    mts::Event* done;    // null for fire-and-forget (bcast fan-out tail)
+    int flush_dst = -1;  // >= 0: flush-timeout marker, msg is empty
   };
 
   void send_thread_main();
@@ -212,8 +219,11 @@ class Node {
   /// exception before rethrowing it into the calling thread.
   Message recv_matching(const Pattern& pattern);
   void submit_locked(const Message& msg);
-  void send_ack_for(const Message& msg);
+  void send_ack_for(const Message& msg, bool credit);
   void handle_control(const Message& msg);
+  /// Receive-side hand-off to the mailbox (trace instant + profiler
+  /// deliver stamp) — shared by the legacy path and the protocol engine.
+  void deliver_from_network(Message msg);
 
   mts::Scheduler& host_;
   int rank_;
@@ -227,6 +237,7 @@ class Node {
   mts::Channel<Message> retx_queue_;
   FlowControl fc_;
   ErrorControl ec_;
+  std::unique_ptr<ProtoEngine> proto_;
 
   ExceptionHandler exception_handler_;
 

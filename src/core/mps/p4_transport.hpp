@@ -34,6 +34,24 @@ class P4Transport final : public Transport {
 
   const char* name() const override { return "NSM/p4"; }
 
+  CostHints cost_hints() const override {
+    // The p4 path's cost shape from the standard model (p4 does not expose
+    // its runtime's calibrated instance; the presets use the defaults, and
+    // the protocol engine only needs the order of magnitude to seed its
+    // crossover before measurements refine it). Per message: syscall entry,
+    // p4 bookkeeping, one TCP segment. Per byte: the 4-accesses/word socket
+    // copy plus p4's XDR conversion.
+    const proto::CostModel costs;
+    CostHints h;
+    h.per_message = proc_.host().cycles(costs.syscall_cycles + costs.p4_per_message_cycles +
+                                        costs.tcp_per_segment_cycles);
+    const double cycles_per_byte = costs.tcp_accesses_per_word / costs.word_bytes *
+                                       costs.cycles_per_bus_access +
+                                   costs.p4_per_byte_cycles;
+    h.bytes_per_sec = proc_.host().params().cpu_mhz * 1e6 / cycles_per_byte;
+    return h;  // dma_window 0: no NIC staging structure on the socket path
+  }
+
  private:
   p4::Process& proc_;
 };

@@ -71,4 +71,15 @@ void Histogram::write_json(JsonWriter& w) const {
   w.field("total_sec", static_cast<double>(sum()) * kPsToSec);
 }
 
+void Histogram::write_json_raw(JsonWriter& w) const {
+  w.field("count", count_);
+  w.field("min", min());
+  w.field("mean", mean());
+  w.field("p50", quantile(0.50));
+  w.field("p90", quantile(0.90));
+  w.field("p99", quantile(0.99));
+  w.field("max", max());
+  w.field("total", sum());
+}
+
 }  // namespace ncs::obs

@@ -43,6 +43,10 @@ class Histogram {
   /// recorded values are picoseconds.
   void write_json(JsonWriter& w) const;
 
+  /// Unit-less variant for histograms of counts (e.g. eager batch
+  /// occupancy): emits count/min/mean/p50/p90/p99/max/total verbatim.
+  void write_json_raw(JsonWriter& w) const;
+
   static constexpr int kSubBits = 4;  // 16 linear sub-buckets per octave
   static constexpr int kSub = 1 << kSubBits;
   // Octave 0 holds values < kSub exactly; octaves for msb = kSubBits..62

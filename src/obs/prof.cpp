@@ -25,6 +25,7 @@ const char* to_string(Layer l) {
     case Layer::mux_queue: return "mux_queue";
     case Layer::sched_dispatch: return "sched_dispatch";
     case Layer::coll: return "coll";
+    case Layer::proto: return "proto";
   }
   return "?";
 }
@@ -115,6 +116,21 @@ void Profiler::write_json(JsonWriter& w) const {
     for (const auto& [key, hist] : coll_) {
       w.key(key).begin_object();
       hist.write_json(w);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  if (!proto_time_.empty() || !proto_count_.empty()) {
+    w.key("proto").begin_object();
+    for (const auto& [key, hist] : proto_time_) {
+      w.key(key).begin_object();
+      hist.write_json(w);
+      w.end_object();
+    }
+    // Count-valued histograms (batch occupancy) have no time unit.
+    for (const auto& [key, hist] : proto_count_) {
+      w.key(key).begin_object();
+      hist.write_json_raw(w);
       w.end_object();
     }
     w.end_object();

@@ -64,8 +64,10 @@ enum class Layer : std::uint8_t {
   mux_queue,        // cell-mux queueing delay (ablation_cellmux datapath)
   sched_dispatch,   // thread runnable -> dispatched (scheduler queue wait)
   coll,             // whole-collective latency (entry -> result, per op)
+  proto,            // protocol-engine delays: eager batch residency and
+                    // rendezvous RTS->CTS handshake waits (mps/proto.hpp)
 };
-inline constexpr int kLayerCount = static_cast<int>(Layer::coll) + 1;
+inline constexpr int kLayerCount = static_cast<int>(Layer::proto) + 1;
 
 const char* to_string(Layer l);
 
@@ -115,6 +117,19 @@ class Profiler {
 
   const std::map<std::string, Histogram>& coll_hists() const { return coll_; }
 
+  /// Named protocol-engine duration sample (e.g. "rts_cts_delay"),
+  /// emitted as the profile's "proto" section alongside Layer::proto.
+  void record_proto(const std::string& key, Duration d) { proto_time_[key].record(d); }
+
+  /// Named protocol-engine count sample (e.g. "eager_batch_occupancy" —
+  /// messages per flushed frame); unit-less, so it is reported raw.
+  void record_proto_count(const std::string& key, std::int64_t v) {
+    proto_count_[key].record(v);
+  }
+
+  const std::map<std::string, Histogram>& proto_time_hists() const { return proto_time_; }
+  const std::map<std::string, Histogram>& proto_count_hists() const { return proto_count_; }
+
   /// Messages whose full lifecycle was folded.
   std::uint64_t completed() const { return completed_; }
   /// Messages with at least one stamp but no wakeup yet (lost to a link
@@ -139,6 +154,8 @@ class Profiler {
   std::map<MsgKey, Live> live_;
   Histogram hist_[kLayerCount];
   std::map<std::string, Histogram> coll_;
+  std::map<std::string, Histogram> proto_time_;
+  std::map<std::string, Histogram> proto_count_;
   std::uint64_t completed_ = 0;
 };
 

@@ -163,6 +163,45 @@ TEST(Algorithms, RingAllreduceUnevenAndShortVectors) {
   }
 }
 
+TEST(Algorithms, ChunkElemsClampsToWholeElements) {
+  // Regression: a chunk_bytes below sizeof(double) used to truncate to 0
+  // elements, silently degrading the ring pipeline to one whole-payload
+  // chunk. Any nonzero request now yields at least one element per chunk.
+  for (std::size_t b = 1; b < sizeof(double); ++b)
+    EXPECT_EQ(chunk_elems(b, 1000), 1u) << "chunk_bytes=" << b;
+  EXPECT_EQ(chunk_elems(sizeof(double), 1000), 1u);
+  EXPECT_EQ(chunk_elems(4 * sizeof(double), 1000), 4u);
+  // Fractional element counts round down to whole elements.
+  EXPECT_EQ(chunk_elems(3 * sizeof(double) + 5, 1000), 3u);
+  // chunk_bytes == 0 disables chunking: one chunk covers the payload,
+  // and an empty payload still produces a nonzero granularity.
+  EXPECT_EQ(chunk_elems(0, 1000), 1000u);
+  EXPECT_EQ(chunk_elems(0, 0), 1u);
+}
+
+TEST(Algorithms, RingAllreduceCorrectWithSubElementChunkBytes) {
+  // End-to-end guard for the clamp: chunk_bytes = 1 must still produce a
+  // correct allreduce (per-element pipelining, not a degenerate chunk).
+  Params p = force(Op::allreduce, Algorithm::ring);
+  p.ring_chunk_bytes = 1;
+  auto c = make_cluster(4, p);
+  constexpr std::size_t kN = 6;
+  std::vector<std::vector<double>> results(4);
+  run_threads(*c, [&](int rank) {
+    std::vector<double> mine(kN);
+    for (std::size_t i = 0; i < kN; ++i)
+      mine[i] = static_cast<double>(rank + 1) * static_cast<double>(i);
+    results[static_cast<std::size_t>(rank)] = c->node(rank).allreduce_sum(mine);
+  });
+  for (int r = 0; r < 4; ++r) {
+    ASSERT_EQ(results[static_cast<std::size_t>(r)].size(), kN);
+    for (std::size_t i = 0; i < kN; ++i)
+      EXPECT_EQ(results[static_cast<std::size_t>(r)][i],
+                10.0 * static_cast<double>(i))
+          << "rank " << r;
+  }
+}
+
 TEST(Algorithms, RingAllgatherKeepsRankOrderWithVaryingSizes) {
   auto c = make_cluster(5, force(Op::allgather, Algorithm::ring));
   std::vector<std::vector<Bytes>> views(5);

@@ -123,6 +123,87 @@ TEST_F(FcFixture, AckWakesTheWaiterForItsOwnDestination) {
   EXPECT_EQ(log.size(), 4u);
 }
 
+TEST_F(FcFixture, WindowWaitersKeepFifoSeniorityOverNewcomers) {
+  // Regression: a sender dispatched between an ack and the woken waiter's
+  // resumption used to see outstanding < window and barge past the queue,
+  // stealing the credit; the waiter then re-queued at the BACK and lost
+  // its seniority. Admission must follow arrival order per destination.
+  FlowControl fc(sched, {.kind = FlowControlKind::window, .window = 1}, 4);
+  std::vector<std::string> log;
+  sched.spawn([&] {
+    fc.before_send(to(1));
+    log.push_back("a1");
+    fc.before_send(to(1));  // blocks: window full
+    log.push_back("a2");
+  });
+  sched.spawn([&] {
+    fc.before_send(to(1));  // blocks behind the first waiter
+    log.push_back("b");
+  });
+  engine.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"a1"}));
+
+  // The ack frees one credit for the queue front; the newcomer (spawned at
+  // higher priority, so dispatched before the woken waiter) must line up
+  // behind the existing waiters, not steal that credit.
+  fc.on_ack(1);
+  sched.spawn(
+      [&] {
+        fc.before_send(to(1));
+        log.push_back("c");
+      },
+      {.priority = 1});
+  engine.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"a1", "a2"}));  // pre-fix: "c" barged here
+
+  fc.on_ack(1);
+  engine.run();
+  fc.on_ack(1);
+  engine.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"a1", "a2", "b", "c"}));
+}
+
+TEST_F(FcFixture, DuplicateAcksDoNotSignalExtraWaiters) {
+  // Regression: on_ack used to pop + wake one waiter per ack regardless of
+  // how many credits were actually free, so duplicate acks handed several
+  // wakeups to a single credit; the losers re-queued (recounting their
+  // stall and losing their seat's seniority). A waiter now queues exactly
+  // once per stall and only credit-backed acks signal.
+  FlowControl fc(sched, {.kind = FlowControlKind::window, .window = 1}, 4);
+  std::vector<std::string> log;
+  sched.spawn([&] {
+    fc.before_send(to(1));
+    log.push_back("first");
+  });
+  engine.run();
+  sched.spawn([&] {
+    fc.before_send(to(1));
+    log.push_back("a");
+  });
+  sched.spawn([&] {
+    fc.before_send(to(1));
+    log.push_back("b");
+  });
+  engine.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"first"}));
+  EXPECT_EQ(fc.stats().window_stalls, 2u);
+
+  // One credit comes back but the ack is tripled (lost-ack retransmission
+  // aftermath): only one waiter may be admitted.
+  fc.on_ack(1);
+  fc.on_ack(1);
+  fc.on_ack(1);
+  engine.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"first", "a"}));
+  // Exactly one queue entry per stall: the pre-fix loop re-queued the
+  // spuriously woken second waiter and counted a third stall.
+  EXPECT_EQ(fc.stats().window_stalls, 2u);
+
+  fc.on_ack(1);
+  engine.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"first", "a", "b"}));
+}
+
 TEST_F(FcFixture, RatePolicyPacesInjection) {
   // 1 MB/s: three 100 KB messages must take ~0.2s of pacing after the first.
   FlowControl fc(sched, {.kind = FlowControlKind::rate, .rate_bytes_per_sec = 1e6}, 4);
@@ -135,6 +216,28 @@ TEST_F(FcFixture, RatePolicyPacesInjection) {
   engine.run();
   EXPECT_NEAR(last.sec(), 0.2, 0.01);
   EXPECT_EQ(fc.stats().rate_delays, 2u);
+}
+
+TEST_F(FcFixture, RatePolicyDoesNotBurstWhenManySendersWakeTogether) {
+  // Regression: before_send slept until the injection horizon ONCE and
+  // then injected unconditionally. N senders sleeping toward the same
+  // horizon all woke at it and burst their messages back to back — the
+  // paced rate was exceeded by a factor of N right after every stall.
+  // Each sender must re-check the horizon after waking.
+  FlowControl fc(sched, {.kind = FlowControlKind::rate, .rate_bytes_per_sec = 1e6}, 4);
+  std::vector<double> admitted;  // seconds, one per sender
+  for (int i = 0; i < 4; ++i) {
+    sched.spawn([&] {
+      fc.before_send(to(1, 100'000));  // 0.1 s of rate occupancy each
+      admitted.push_back(engine.now().sec());
+    });
+  }
+  engine.run();
+  ASSERT_EQ(admitted.size(), 4u);
+  // 1 MB/s admits one 100 KB message every 0.1 s; pre-fix the last three
+  // all landed at 0.1 s.
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(admitted[static_cast<std::size_t>(i)], 0.1 * i, 0.01);
+  EXPECT_EQ(fc.stats().rate_delays, 3u);
 }
 
 TEST_F(FcFixture, DuplicateAcksClampAtZero) {
@@ -341,6 +444,59 @@ TEST(ErrorControlEndToEnd, GiveUpReleasesWindowCreditAndRaisesException) {
   EXPECT_EQ(c.node(0).error_control().stats().give_ups, 3u);
   EXPECT_TRUE(c.node(0).error_control().idle());
   EXPECT_GE(c.node(0).flow_control().stats().window_stalls, 1u);
+}
+
+TEST(ErrorControlEndToEnd, WildcardReceiveStaysPerSourceFifoUnderRetransmission) {
+  // Satellite regression: wildcard Pattern matching x the per-source FIFO
+  // reorder buffer. Two senders stream counted payloads over a lossy WAN;
+  // retransmissions overtake later traffic on the wire, yet a wildcard
+  // receiver must still observe each source's counters strictly in order
+  // (sources may interleave freely).
+  ClusterConfig cfg = cluster::nynet_wan(3);
+  cfg.wan_backbone.loss_probability = 0.15;
+  cfg.ncs.error = {.kind = ErrorControlKind::retransmit, .rto = 15_ms, .max_retries = 40};
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+
+  constexpr int kPerSender = 25;
+  std::vector<std::vector<std::uint32_t>> seen(3);
+  c.run([&](int rank) {
+    Node& node = c.node(rank);
+    const int t = node.t_create([&, rank] {
+      if (rank == 0) {
+        for (int i = 0; i < 2 * kPerSender; ++i) {
+          int src = -1;
+          const Bytes payload = node.recv(kAnyThread, kAnyProcess, 0, nullptr, &src);
+          ASSERT_EQ(payload.size(), 260u);
+          std::uint32_t counter = 0;
+          for (std::size_t b = 0; b < 4; ++b)
+            counter = counter << 8 | static_cast<std::uint32_t>(payload[b]);
+          ASSERT_TRUE(src == 1 || src == 2);
+          seen[static_cast<std::size_t>(src)].push_back(counter);
+        }
+      } else {
+        for (std::uint32_t i = 0; i < kPerSender; ++i) {
+          Bytes payload(260, std::byte{static_cast<unsigned char>(rank)});
+          for (int b = 0; b < 4; ++b)
+            payload[static_cast<std::size_t>(b)] =
+                static_cast<std::byte>(i >> (24 - 8 * b) & 0xFF);
+          node.send(0, 0, 0, payload);
+        }
+      }
+    });
+    node.host().join(node.user_thread(t));
+  });
+
+  for (int src = 1; src <= 2; ++src) {
+    ASSERT_EQ(seen[static_cast<std::size_t>(src)].size(),
+              static_cast<std::size_t>(kPerSender));
+    for (std::uint32_t i = 0; i < kPerSender; ++i)
+      EXPECT_EQ(seen[static_cast<std::size_t>(src)][i], i)
+          << "source p" << src << " delivered out of order at index " << i;
+  }
+  EXPECT_GT(c.node(1).error_control().stats().retransmits +
+                c.node(2).error_control().stats().retransmits,
+            0u);
 }
 
 TEST(ErrorControlEndToEnd, RetransmitRecoversCellCorruption) {

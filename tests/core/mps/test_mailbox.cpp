@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
+
+#include "core/mps/error_control.hpp"
 
 namespace ncs::mps {
 namespace {
@@ -117,6 +120,53 @@ TEST_F(MailboxFixture, LongestWaiterWinsOnDelivery) {
   });
   engine.run();
   EXPECT_EQ(woke, (std::vector<int>{0, 1}));
+}
+
+TEST_F(MailboxFixture, WildcardRecvSeesPerSourceFifoThroughReorderBuffer) {
+  // The wildcard-receive × error-control seam: arrivals pass through
+  // ErrorControl::accept before the mailbox, so a wildcard waiter must see
+  // each source's messages in sequence order even when a retransmission
+  // makes a later sequence arrive first, and duplicates must vanish.
+  ErrorControl ec(engine, {.kind = ErrorControlKind::retransmit},
+                  [](Message) {});
+  auto admit = [&](Message m) {
+    for (Message& out : ec.accept(std::move(m))) mailbox.deliver(std::move(out));
+  };
+  auto seq_msg = [&](int from_p, std::uint32_t seq, const char* text) {
+    Message m = msg(from_p, 0, 0, 0, text);
+    m.seq = seq;
+    return m;
+  };
+
+  std::vector<std::pair<int, Bytes>> got;
+  sched.spawn([&] {
+    for (int i = 0; i < 4; ++i) {
+      Message m = mailbox.recv(Pattern{kAnyThread, kAnyProcess, 0, 0});
+      got.emplace_back(m.from_process, m.data);
+    }
+  });
+  engine.run();  // park the wildcard waiter
+
+  admit(seq_msg(1, 1, "p1-b"));      // overtook seq 0: held, not delivered
+  admit(seq_msg(2, 0, "p2-a"));      // other source unaffected by p1's gap
+  engine.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], (std::pair<int, Bytes>{2, to_bytes("p2-a")}));
+
+  admit(seq_msg(1, 0, "p1-a"));      // gap fills: releases p1-a then p1-b
+  admit(seq_msg(1, 1, "p1-b-dup"));  // retransmitted duplicate: dropped
+  admit(seq_msg(2, 1, "p2-b"));
+  engine.run();
+
+  const std::vector<std::pair<int, Bytes>> want{
+      {2, to_bytes("p2-a")},
+      {1, to_bytes("p1-a")},
+      {1, to_bytes("p1-b")},
+      {2, to_bytes("p2-b")},
+  };
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(ec.stats().reorders, 1u);
+  EXPECT_EQ(ec.stats().duplicates_dropped, 1u);
 }
 
 TEST_F(MailboxFixture, AvailableProbe) {

@@ -26,14 +26,28 @@ def fail(msg):
 
 def pick_baseline(doc, bench_name):
     """Resolve a baseline document to the single-bench report to compare."""
+    if not isinstance(doc, dict):
+        fail(f"baseline is not a JSON object (got {type(doc).__name__})")
     schema = doc.get("schema", "")
     if schema == "ncs-bench-baseline-v1":
-        benches = doc.get("benches", {})
+        benches = doc.get("benches")
+        if not isinstance(benches, dict):
+            fail("baseline has no 'benches' map (malformed "
+                 "ncs-bench-baseline-v1 document)")
         if bench_name not in benches:
             fail(f"baseline has no bench {bench_name!r} "
-                 f"(has: {', '.join(sorted(benches))})")
-        return benches[bench_name]
+                 f"(has: {', '.join(sorted(benches)) or 'none'})")
+        entry = benches[bench_name]
+        if not isinstance(entry, dict):
+            fail(f"baseline entry for {bench_name!r} is not a bench report "
+                 f"(got {type(entry).__name__})")
+        return entry
     if schema == "ncs-bench-v1":
+        recorded = doc.get("bench")
+        if recorded != bench_name:
+            fail(f"baseline is a bare report for bench {recorded!r}, but the "
+                 f"current report is {bench_name!r} — wrong baseline file, "
+                 "or pass --bench to override")
         return doc
     fail(f"unrecognised baseline schema {schema!r}")
 
@@ -83,6 +97,8 @@ def main():
     except (OSError, json.JSONDecodeError) as e:
         fail(str(e))
 
+    if not isinstance(cur, dict):
+        fail(f"current report is not a JSON object (got {type(cur).__name__})")
     if cur.get("schema") != "ncs-bench-v1":
         fail(f"current report schema is {cur.get('schema')!r}, "
              "expected ncs-bench-v1")
