@@ -1,6 +1,8 @@
 #include "atm/network.hpp"
 
+#include <algorithm>
 #include <string>
+#include <utility>
 
 #include "common/assert.hpp"
 
@@ -84,6 +86,120 @@ AtmWan::AtmWan(sim::Engine& engine, WanConfig config) {
       }
     }
   }
+}
+
+AtmMultiWan::AtmMultiWan(sim::Engine& engine, MultiWanConfig config) {
+  NCS_ASSERT(config.n_hosts >= 1);
+  NCS_ASSERT(config.n_sites >= 1 && config.n_sites <= config.n_hosts);
+  const int n_sites = config.n_sites;
+
+  // Contiguous near-equal host blocks: the first (n_hosts % n_sites) sites
+  // take one extra host.
+  const int base = config.n_hosts / n_sites;
+  const int extra = config.n_hosts % n_sites;
+  std::vector<int> n_local(static_cast<std::size_t>(n_sites));
+  for (int s = 0; s < n_sites; ++s)
+    n_local[static_cast<std::size_t>(s)] = base + (s < extra ? 1 : 0);
+
+  for (int s = 0; s < n_sites; ++s)
+    switches_.push_back(
+        std::make_unique<Switch>(engine, config.sw, "wan-switch" + std::to_string(s)));
+  left_port_.assign(static_cast<std::size_t>(n_sites), -1);
+  right_port_.assign(static_cast<std::size_t>(n_sites), -1);
+  next_label_right_.assign(static_cast<std::size_t>(n_sites - 1), 1);
+  next_label_left_.assign(static_cast<std::size_t>(n_sites - 1), 1);
+
+  // Host ports first, so every site's hop ports start at n_local(site).
+  int site = 0, filled = 0;
+  for (int i = 0; i < config.n_hosts; ++i) {
+    if (filled == n_local[static_cast<std::size_t>(site)]) {
+      ++site;
+      filled = 0;
+    }
+    site_of_.push_back(site);
+    local_port_.push_back(filled++);
+    const auto ui = static_cast<std::size_t>(i);
+    links_.push_back(std::make_unique<net::DuplexLink>(engine, config.host_link,
+                                                       "taxi" + std::to_string(i)));
+    nics_.push_back(std::make_unique<Nic>(engine, config.nic, "nic" + std::to_string(i)));
+    Switch& sw = *switches_[static_cast<std::size_t>(site)];
+    const int port = sw.add_port(links_[ui]->backward(), *nics_[ui], 0);
+    NCS_ASSERT(port == local_port_[ui]);
+    nics_[ui]->attach(links_[ui]->forward(), sw, port);
+  }
+
+  // Chain hops, left to right. Processing in order guarantees site s's left
+  // port (added by hop s-1) exists before its right port, so port indices
+  // are n_local(s) for the left hop and n_local(s)+1 for the right.
+  for (int h = 0; h + 1 < n_sites; ++h) {
+    const auto uh = static_cast<std::size_t>(h);
+    links_.push_back(
+        std::make_unique<net::DuplexLink>(engine, config.backbone, "sonet" + std::to_string(h)));
+    net::DuplexLink& bb = *links_.back();
+    Switch& left = *switches_[uh];
+    Switch& right = *switches_[uh + 1];
+    // The right switch's left port index is known before add_port: host
+    // ports only, since its own right port (hop h+1) is not added yet.
+    const int right_in = n_local[uh + 1];
+    right_port_[uh] = left.add_port(bb.forward(), right, right_in);
+    left_port_[uh + 1] = right.add_port(bb.backward(), left, right_port_[uh]);
+    NCS_ASSERT(left_port_[uh + 1] == right_in);
+  }
+
+  if (config.provision.empty()) {
+    for (int i = 0; i < config.n_hosts; ++i)
+      for (int j = 0; j < config.n_hosts; ++j)
+        if (i != j) provision_pair(i, j);
+  } else {
+    std::sort(config.provision.begin(), config.provision.end());
+    config.provision.erase(
+        std::unique(config.provision.begin(), config.provision.end()),
+        config.provision.end());
+    for (const auto& [i, j] : config.provision) {
+      NCS_ASSERT(i >= 0 && i < config.n_hosts && j >= 0 && j < config.n_hosts);
+      if (i != j) provision_pair(i, j);
+    }
+  }
+}
+
+void AtmMultiWan::provision_pair(int src, int dst) {
+  const int si = site_of(src);
+  const int sj = site_of(dst);
+  const int pi = local_port_[static_cast<std::size_t>(src)];
+  const int pj = local_port_[static_cast<std::size_t>(dst)];
+  Switch& in_sw = *switches_[static_cast<std::size_t>(si)];
+  Switch& out_sw = *switches_[static_cast<std::size_t>(sj)];
+  if (si == sj) {
+    in_sw.add_route(pi, vc_to(dst), pj, vc_to(src));
+    return;
+  }
+
+  // One fresh VPI-1 label per directed hop the path crosses; each switch
+  // along the way rewrites the previous hop's label into the next one.
+  const int step = si < sj ? 1 : -1;
+  VcId prev = vc_to(dst);
+  int prev_in_port = pi;
+  for (int s = si; s != sj; s += step) {
+    const auto hop = static_cast<std::size_t>(step > 0 ? s : s - 1);
+    std::uint32_t& next = step > 0 ? next_label_right_[hop] : next_label_left_[hop];
+    NCS_ASSERT_MSG(next <= 0xFFFF,
+                   "backbone hop out of VPI-1 labels; provision fewer pairs");
+    const VcId lab{1, static_cast<std::uint16_t>(next++)};
+    const int out_port =
+        step > 0 ? right_port_[static_cast<std::size_t>(s)] : left_port_[static_cast<std::size_t>(s)];
+    switches_[static_cast<std::size_t>(s)]->add_route(prev_in_port, prev, out_port, lab);
+    prev = lab;
+    prev_in_port = step > 0 ? left_port_[static_cast<std::size_t>(s + 1)]
+                            : right_port_[static_cast<std::size_t>(s - 1)];
+  }
+  out_sw.add_route(prev_in_port, prev, pj, vc_to(src));
+}
+
+int AtmMultiWan::labels_used(int site, bool rightward) const {
+  const auto hop = static_cast<std::size_t>(site);
+  const std::uint32_t next =
+      rightward ? next_label_right_[hop] : next_label_left_[hop];
+  return static_cast<int>(next - 1);
 }
 
 }  // namespace ncs::atm

@@ -8,6 +8,14 @@
 // upstate-downstate hop) with millisecond propagation delay — the term the
 // paper's overlap argument targets.
 //
+// AtmMultiWan — the NYNET shape extrapolated: a chain of `n_sites` LAN
+// stars whose switches are joined by per-hop SONET links. Cross-site PVCs
+// are label-switched hop by hop through the VPI-1 backbone space, so the
+// label a path consumes is per-hop, not global — but the 16-bit VCI space
+// still bounds the paths crossing any one hop, which is why provisioning
+// is sparse (only the pairs the workload names) once host counts reach the
+// hundreds.
+//
 // VC numbering: a host sends to destination j on VCI kVciBase+j and
 // receives from source i on VCI kVciBase+i; the switches rewrite between
 // the two (cross-site hops use a VPI-1 backbone label space).
@@ -92,6 +100,69 @@ struct WanConfig {
       .propagation = Duration::milliseconds(2.5),  // ~500 km of fiber
   };
   SwitchParams sw;
+};
+
+struct MultiWanConfig {
+  int n_hosts = 8;
+  /// Sites in the chain; hosts are split into contiguous, near-equal
+  /// blocks (site 0 gets the remainder first).
+  int n_sites = 4;
+  NicParams nic;
+  net::LinkParams host_link{
+      .bandwidth_bps = bw::taxi_140,
+      .propagation = Duration::microseconds(2),
+  };
+  /// Per-hop inter-site SONET link.
+  net::LinkParams backbone{
+      .bandwidth_bps = bw::ds3,
+      .propagation = Duration::milliseconds(2.5),
+  };
+  SwitchParams sw;
+  /// Directed (src, dst) host pairs to provision PVCs for; duplicates are
+  /// ignored. Empty = full mesh, which is only viable while every backbone
+  /// hop carries fewer than 2^16 paths — large topologies must name the
+  /// traffic matrix.
+  std::vector<std::pair<int, int>> provision;
+};
+
+class AtmMultiWan final : public AtmFabric {
+ public:
+  AtmMultiWan(sim::Engine& engine, MultiWanConfig config);
+
+  int n_hosts() const override { return static_cast<int>(nics_.size()); }
+  Nic& nic(int host) override { return *nics_[static_cast<std::size_t>(host)]; }
+  int n_sites() const { return static_cast<int>(switches_.size()); }
+  int site_of(int host) const { return site_of_[static_cast<std::size_t>(host)]; }
+  Switch& site_switch(int site) { return *switches_[static_cast<std::size_t>(site)]; }
+
+  /// Backbone labels consumed on the directed hop `site` -> `site+1`
+  /// (or the reverse) — provisioning headroom introspection.
+  int labels_used(int site, bool rightward) const;
+
+  void for_each_link(const std::function<void(net::Link&)>& fn) override {
+    for (auto& l : links_) {
+      fn(l->forward());
+      fn(l->backward());
+    }
+  }
+  void for_each_switch(const std::function<void(Switch&)>& fn) override {
+    for (auto& s : switches_) fn(*s);
+  }
+
+ private:
+  void provision_pair(int src, int dst);
+
+  std::vector<int> site_of_;     // per host
+  std::vector<int> local_port_;  // per host, port index on its site switch
+  std::vector<int> left_port_;   // per site, port toward site-1 (-1 = none)
+  std::vector<int> right_port_;  // per site, port toward site+1 (-1 = none)
+  /// Next free VPI-1 VCI per directed hop; index h = hop between sites h
+  /// and h+1.
+  std::vector<std::uint32_t> next_label_right_;
+  std::vector<std::uint32_t> next_label_left_;
+  std::vector<std::unique_ptr<net::DuplexLink>> links_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::vector<std::unique_ptr<Switch>> switches_;
 };
 
 class AtmWan final : public AtmFabric {

@@ -1,5 +1,6 @@
 #include "cluster/cluster.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <utility>
 
@@ -12,7 +13,8 @@
 
 namespace ncs::cluster {
 
-Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+Cluster::Cluster(ClusterConfig config)
+    : config_(std::move(config)), engine_(config_.queue) {
   NCS_ASSERT(config_.n_procs >= 1);
 
   for (int r = 0; r < config_.n_procs; ++r) {
@@ -55,6 +57,18 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
       } else {
         fabric_ = std::make_unique<atm::AtmWan>(engine_, wc);
       }
+      break;
+    }
+    case NetworkKind::atm_wan_multi: {
+      atm::MultiWanConfig mc;
+      mc.n_hosts = config_.n_procs;
+      mc.n_sites = std::min(config_.wan_sites, config_.n_procs);
+      mc.nic = config_.nic;
+      mc.host_link = config_.host_link;
+      mc.backbone = config_.wan_backbone;
+      mc.sw = config_.sw;
+      mc.provision = config_.wan_provision;
+      fabric_ = std::make_unique<atm::AtmMultiWan>(engine_, mc);
       break;
     }
   }
@@ -115,6 +129,9 @@ void Cluster::enable_trace() {
     } else if (auto* wan = dynamic_cast<atm::AtmWan*>(fabric_.get()); wan != nullptr) {
       for (int s = 0; s < 2; ++s)
         wan->site_switch(s).set_trace(&trace_, trace_.track("switch" + std::to_string(s)));
+    } else if (auto* mwan = dynamic_cast<atm::AtmMultiWan*>(fabric_.get()); mwan != nullptr) {
+      for (int s = 0; s < mwan->n_sites(); ++s)
+        mwan->site_switch(s).set_trace(&trace_, trace_.track("switch" + std::to_string(s)));
     }
   }
   injector_->set_trace(&trace_);
@@ -159,6 +176,10 @@ obs::MetricsRegistry& Cluster::metrics() {
       } else if (auto* wan = dynamic_cast<atm::AtmWan*>(fabric_.get()); wan != nullptr) {
         for (int s = 0; s < 2; ++s)
           wan->site_switch(s).register_metrics(reg, "switch" + std::to_string(s));
+      } else if (auto* mwan = dynamic_cast<atm::AtmMultiWan*>(fabric_.get());
+                 mwan != nullptr) {
+        for (int s = 0; s < mwan->n_sites(); ++s)
+          mwan->site_switch(s).register_metrics(reg, "switch" + std::to_string(s));
       }
     }
     if (p4_ != nullptr) p4_->mesh().register_metrics(reg, "tcp");

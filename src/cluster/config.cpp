@@ -7,6 +7,7 @@ const char* to_string(NetworkKind k) {
     case NetworkKind::ethernet: return "Ethernet";
     case NetworkKind::atm_lan: return "ATM LAN";
     case NetworkKind::atm_wan: return "NYNET WAN";
+    case NetworkKind::atm_wan_multi: return "NYNET multi-site WAN";
   }
   return "?";
 }
@@ -34,6 +35,16 @@ ClusterConfig nynet_wan(int n_procs) {
   c.name = "NYNET WAN";
   c.n_procs = n_procs;
   c.network = NetworkKind::atm_wan;
+  c.cpu_mhz = 40.0;
+  return c;
+}
+
+ClusterConfig nynet_wan_multi(int n_procs, int n_sites) {
+  ClusterConfig c;
+  c.name = "NYNET multi-site WAN";
+  c.n_procs = n_procs;
+  c.network = NetworkKind::atm_wan_multi;
+  c.wan_sites = n_sites;
   c.cpu_mhz = 40.0;
   return c;
 }

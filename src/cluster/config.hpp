@@ -21,10 +21,11 @@
 #include "fault/plan.hpp"
 #include "proto/costs.hpp"
 #include "proto/tcp.hpp"
+#include "sim/engine.hpp"
 
 namespace ncs::cluster {
 
-enum class NetworkKind { ethernet, atm_lan, atm_wan };
+enum class NetworkKind { ethernet, atm_lan, atm_wan, atm_wan_multi };
 
 const char* to_string(NetworkKind k);
 
@@ -32,6 +33,12 @@ struct ClusterConfig {
   std::string name = "cluster";
   int n_procs = 4;  // workstations; one process per workstation
   NetworkKind network = NetworkKind::ethernet;
+
+  /// Event-queue backend for the simulation engine. Both backends honour
+  /// the same (time, insertion-seq) contract; legacy_map keeps the seed
+  /// std::map ordering around for determinism diffing
+  /// (tests/fault/test_determinism_digest.cpp).
+  sim::Engine::QueueKind queue = sim::Engine::kDefaultQueue;
 
   // Host CPU (SPARCstation ELC ~33 MHz / IPX ~40 MHz).
   double cpu_mhz = 33.0;
@@ -51,6 +58,12 @@ struct ClusterConfig {
   net::LinkParams wan_backbone{.bandwidth_bps = bw::ds3,
                                .propagation = Duration::milliseconds(2.5)};
   atm::SwitchParams sw;
+
+  // Multi-stage WAN (NetworkKind::atm_wan_multi): chain length and the
+  // provisioned traffic matrix (empty = full PVC mesh; large clusters must
+  // name their pairs — see atm::MultiWanConfig::provision).
+  int wan_sites = 4;
+  std::vector<std::pair<int, int>> wan_provision;
 
   // Ethernet segment.
   ether::BusParams bus;
@@ -93,6 +106,10 @@ ClusterConfig sun_atm_lan(int n_procs);
 
 /// The NYNET WAN testbed (two sites, DS-3 hop).
 ClusterConfig nynet_wan(int n_procs);
+
+/// The NYNET WAN extrapolated to a chain of `n_sites` sites (scale
+/// studies; set ClusterConfig::wan_provision for large n_procs).
+ClusterConfig nynet_wan_multi(int n_procs, int n_sites);
 
 /// Per-application calibration constants (see header comment).
 struct Calibration {

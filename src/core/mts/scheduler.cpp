@@ -22,7 +22,12 @@ Scheduler::Scheduler(sim::Engine& engine, SchedulerParams params)
 }
 
 Scheduler::~Scheduler() {
-  // Unlink every thread before the Thread objects (and their hooks) die.
+  // Unlink every thread before the Thread objects (and their hooks) die,
+  // and retire any pending sleep timers so no queued event is left holding
+  // a pointer into the threads we are about to destroy.
+  for (auto& t : threads_) {
+    if (t->sleep_timer_ != 0) engine_.cancel(t->sleep_timer_);
+  }
   for (auto& q : runnable_) q.clear();
   blocked_.clear();
 }
@@ -260,22 +265,26 @@ void Scheduler::sleep_until(TimePoint when) {
   NCS_ASSERT_MSG(t != nullptr && g_active == this, "sleep_until() outside a thread");
   if (when <= engine_.now()) return;
   // The thread may be woken before `when` by another path (unblock from a
-  // sibling, NCS_unblock, ...). The timer must then do nothing: by the time
-  // it fires the thread could be running, or blocked on something else
-  // entirely. The token pins the timer to *this* sleep — it is bumped once
-  // when the sleep starts and once when the block returns, so a stale
-  // timer always sees a mismatch.
+  // sibling, NCS_unblock, ...). When the block returns we cancel the timer,
+  // so it neither fires stale for a later sleep nor sits dead in the event
+  // queue until `when`. The token + state checks stay as defense in depth
+  // for the one window cancellation cannot close: the thread was woken
+  // early but not yet re-dispatched (e.g. a fault pause is monopolising the
+  // CPU) when the deadline arrives — the timer still fires there and must
+  // not unblock a thread that is already runnable.
   const std::uint64_t token = ++t->sleep_token_;
-  engine_.schedule_at(when, [this, t, token] {
-    if (t->sleep_token_ != token) return;  // woken early and ran on; stale
-    // Woken early but not yet re-dispatched: the token is unchanged while
-    // the thread sits runnable. Unblocking now would trip the blocked-queue
-    // invariant — the sleep is over either way.
+  t->sleep_timer_ = engine_.schedule_at(when, [this, t, token] {
+    t->sleep_timer_ = 0;  // firing retires the id; nothing left to cancel
+    if (t->sleep_token_ != token) return;  // a later sleep owns this thread
     if (t->state_ != ThreadState::blocked || t->queue_ != &blocked_) return;
     unblock(t);
   });
   block(sim::Activity::idle);
   ++t->sleep_token_;
+  if (t->sleep_timer_ != 0) {
+    engine_.cancel(t->sleep_timer_);
+    t->sleep_timer_ = 0;
+  }
 }
 
 void Scheduler::join(Thread* t) {

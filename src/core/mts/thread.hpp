@@ -16,6 +16,7 @@
 #include "common/time.hpp"
 #include "qt/context.hpp"
 #include "qt/stack.hpp"
+#include "sim/engine.hpp"
 #include "sim/timeline.hpp"
 
 namespace ncs::mts {
@@ -95,6 +96,10 @@ class Thread {
   /// returns, so a sleep_until() timer can detect it has gone stale
   /// (the thread was woken early by another path).
   std::uint64_t sleep_token_ = 0;
+  /// The pending sleep_until() timer event, cancelled when the thread is
+  /// woken early so a dead timer neither fires stale nor sits in the event
+  /// queue until its deadline. 0 = no timer pending.
+  sim::EventId sleep_timer_ = 0;
 };
 
 }  // namespace ncs::mts

@@ -1,0 +1,135 @@
+// Small-buffer-optimized event callback.
+//
+// Every event in the simulator carries a callable. std::function heap-
+// allocates for any capture beyond ~2 words, which put one malloc/free pair
+// on the fire path of nearly every event (the obs profiler showed the
+// common captures are [this] at 8-16 bytes and the burst-delivery closures
+// at ~80 bytes — see EXPERIMENTS.md "Event-path allocation census"). EventFn
+// stores captures up to kInlineSize bytes inline, so an Event node in the
+// engine's arena holds the whole closure and the hot path allocates
+// nothing. Larger captures (rare: fault-injector closures carrying
+// std::string targets) fall back to the heap, and a census counter records
+// every fallback so a regressing capture is visible in bench reports.
+//
+// Move-only on purpose: events fire once, and copyability is what forces
+// std::function to heap-allocate non-copyable captures (e.g. moved-in
+// Bursts would need a copy constructor they don't want to pay for).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ncs::sim {
+
+class EventFn {
+ public:
+  /// Inline capture budget. 88 bytes covers the largest hot capture in the
+  /// tree ([this + atm::Burst] burst-delivery closures, 80 bytes) with a
+  /// little headroom; together with the two dispatch pointers an EventFn is
+  /// 104 bytes and an engine Event node 144.
+  static constexpr std::size_t kInlineSize = 88;
+
+  struct Census {
+    std::uint64_t inline_constructions = 0;
+    std::uint64_t heap_constructions = 0;
+  };
+  /// Global construction census (the simulation is single-threaded).
+  static const Census& census() { return census_; }
+  static void reset_census() { census_ = Census{}; }
+
+  EventFn() noexcept = default;
+  EventFn(std::nullptr_t) noexcept {}
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): function-like
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize && alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      call_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+      manage_ = [](Op op, void* p, void* dst) {
+        switch (op) {
+          case Op::destroy: static_cast<Fn*>(p)->~Fn(); break;
+          case Op::relocate:
+            ::new (dst) Fn(std::move(*static_cast<Fn*>(p)));
+            static_cast<Fn*>(p)->~Fn();
+            break;
+        }
+      };
+      ++census_.inline_constructions;
+    } else {
+      auto* heap = new Fn(std::forward<F>(f));
+      ::new (static_cast<void*>(buf_)) Fn*(heap);
+      call_ = [](void* p) { (**static_cast<Fn**>(p))(); };
+      manage_ = [](Op op, void* p, void* dst) {
+        switch (op) {
+          case Op::destroy: delete *static_cast<Fn**>(p); break;
+          case Op::relocate:
+            ::new (dst) Fn*(*static_cast<Fn**>(p));
+            break;
+        }
+      };
+      ++census_.heap_constructions;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  EventFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void operator()() { call_(buf_); }
+
+  explicit operator bool() const noexcept { return call_ != nullptr; }
+  friend bool operator==(const EventFn& f, std::nullptr_t) noexcept { return !f; }
+  friend bool operator!=(const EventFn& f, std::nullptr_t) noexcept {
+    return static_cast<bool>(f);
+  }
+
+ private:
+  enum class Op { destroy, relocate };
+
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(Op::destroy, buf_, nullptr);
+    call_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  void move_from(EventFn& other) noexcept {
+    if (other.manage_ != nullptr) other.manage_(Op::relocate, other.buf_, buf_);
+    call_ = other.call_;
+    manage_ = other.manage_;
+    other.call_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void (*call_)(void*) = nullptr;
+  void (*manage_)(Op, void*, void*) = nullptr;
+  alignas(std::max_align_t) std::byte buf_[kInlineSize];
+
+  static Census census_;
+};
+
+inline EventFn::Census EventFn::census_{};
+
+}  // namespace ncs::sim

@@ -67,7 +67,11 @@ Timeline::Summary Timeline::summarize(int track) const {
 }
 
 std::string Timeline::render_ascii(TimePoint t0, TimePoint t1, int width) const {
-  NCS_ASSERT(width > 0 && t1 > t0);
+  // Degenerate requests happen in practice (a bench whose run finished at
+  // t=0 renders [0, 0]; a narrow terminal yields width 0): clamp rather
+  // than crash or hand std::string a negative length.
+  if (width < 1) width = 1;
+  if (t1 < t0) t1 = t0;
   const double span = (t1 - t0).sec();
 
   std::size_t name_w = 0;

@@ -160,6 +160,102 @@ TEST(AtmWan, AllPairsDeliverExactlyOnce) {
   for (const auto& [k, v] : seen) EXPECT_EQ(v, 1) << k.first << "->" << k.second;
 }
 
+TEST(AtmMultiWan, AllPairsDeliverExactlyOnceAcrossTheChain) {
+  sim::Engine engine;
+  MultiWanConfig cfg;
+  cfg.n_hosts = 9;  // 3 hosts per site, 3 sites, full PVC mesh
+  cfg.n_sites = 3;
+  cfg.nic.tx_buffers = 16;  // room for the 8 back-to-back submits per host
+  AtmMultiWan wan(engine, cfg);
+  std::vector<Delivery> rx;
+  wire_up(engine, wan, &rx);
+
+  int sent = 0;
+  for (int i = 0; i < 9; ++i)
+    for (int j = 0; j < 9; ++j)
+      if (i != j) {
+        wan.nic(i).submit_tx(vc_to(j), tagged_payload(i * 9 + j), true);
+        ++sent;
+      }
+  engine.run();
+
+  ASSERT_EQ(rx.size(), static_cast<std::size_t>(sent));
+  std::map<std::pair<int, int>, int> seen;
+  for (const auto& d : rx) {
+    ++seen[{d.from, d.to}];
+    EXPECT_EQ(d.data, tagged_payload(d.from * 9 + d.to));
+  }
+  for (const auto& [k, v] : seen) EXPECT_EQ(v, 1) << k.first << "->" << k.second;
+}
+
+TEST(AtmMultiWan, HostsSplitIntoContiguousNearEqualSites) {
+  sim::Engine engine;
+  MultiWanConfig cfg;
+  cfg.n_hosts = 7;
+  cfg.n_sites = 3;
+  cfg.provision = {{0, 1}};  // keep construction cheap
+  AtmMultiWan wan(engine, cfg);
+  // 7 hosts over 3 sites: 3 + 2 + 2.
+  EXPECT_EQ(wan.site_of(0), 0);
+  EXPECT_EQ(wan.site_of(2), 0);
+  EXPECT_EQ(wan.site_of(3), 1);
+  EXPECT_EQ(wan.site_of(4), 1);
+  EXPECT_EQ(wan.site_of(5), 2);
+  EXPECT_EQ(wan.site_of(6), 2);
+}
+
+TEST(AtmMultiWan, EachHopAddsBackbonePropagation) {
+  sim::Engine engine;
+  MultiWanConfig cfg;
+  cfg.n_hosts = 4;  // one host per site
+  cfg.n_sites = 4;
+  cfg.provision = {{0, 1}, {0, 3}};
+  AtmMultiWan wan(engine, cfg);
+  std::vector<Delivery> rx;
+  wire_up(engine, wan, &rx);
+
+  wan.nic(0).submit_tx(vc_to(1), tagged_payload(1), true);  // 1 hop
+  wan.nic(0).submit_tx(vc_to(3), tagged_payload(3), true);  // 3 hops
+  engine.run();
+
+  ASSERT_EQ(rx.size(), 2u);
+  TimePoint near, far;
+  for (const auto& d : rx) (d.to == 1 ? near : far) = d.at;
+  // Two extra hops: at least 2x extra backbone propagation.
+  EXPECT_GT((far - near).ms(), cfg.backbone.propagation.ms() * 1.9);
+}
+
+TEST(AtmMultiWan, SparseProvisioningBoundsTheLabelSpace) {
+  sim::Engine engine;
+  MultiWanConfig cfg;
+  cfg.n_hosts = 64;
+  cfg.n_sites = 4;  // 16 hosts per site
+  // Ring traffic matrix: i -> (i+1) % n, both directions of each hop pair.
+  for (int i = 0; i < cfg.n_hosts; ++i) {
+    cfg.provision.emplace_back(i, (i + 1) % cfg.n_hosts);
+    cfg.provision.emplace_back((i + 1) % cfg.n_hosts, i);
+  }
+  cfg.provision.emplace_back(0, 1);  // duplicates are tolerated
+  AtmMultiWan wan(engine, cfg);
+
+  // Only the ring crossings consume hop labels: of 128 directed pairs, the
+  // vast majority are intra-site. Hop 0 carries 15->16 rightward, 16->15
+  // leftward, plus the 63->0 wraparound transit (leftward through every
+  // hop) and 0->63 (rightward through every hop).
+  for (int h = 0; h < 3; ++h) {
+    EXPECT_LE(wan.labels_used(h, /*rightward=*/true), 2) << "hop " << h;
+    EXPECT_LE(wan.labels_used(h, /*rightward=*/false), 2) << "hop " << h;
+  }
+
+  std::vector<Delivery> rx;
+  wire_up(engine, wan, &rx);
+  wan.nic(63).submit_tx(vc_to(0), tagged_payload(63), true);  // full transit
+  wan.nic(15).submit_tx(vc_to(16), tagged_payload(15), true);  // hop 0 only
+  engine.run();
+  ASSERT_EQ(rx.size(), 2u);
+  for (const auto& d : rx) EXPECT_EQ(d.data, tagged_payload(d.from));
+}
+
 TEST(AtmLan, DetailedModeDeliversIdenticalData) {
   sim::Engine engine;
   LanConfig cfg;

@@ -21,6 +21,7 @@ ClusterConfig preset(NetworkKind net) {
     case NetworkKind::ethernet: return sun_ethernet(0);
     case NetworkKind::atm_lan: return sun_atm_lan(0);
     case NetworkKind::atm_wan: return nynet_wan(0);
+    case NetworkKind::atm_wan_multi: return nynet_wan_multi(0, 4);
   }
   return sun_ethernet(0);
 }

@@ -1,0 +1,121 @@
+// Determinism digest suite: the calendar-queue scheduler must reproduce
+// the seed std::map scheduler's results *bit-identically*.
+//
+// Every scenario here runs twice — once per Engine::QueueKind — and
+// compares full outcome digests: FNV-1a result hashes, exact simulated
+// elapsed times (picosecond Duration equality), delivery orders and
+// retransmit counts. Any divergence in event ordering anywhere in the
+// stack shows up as a digest mismatch. These are the in-process halves of
+// the chaos_soak / proto_sweep bench comparison the CI gate runs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/drivers.hpp"
+#include "fault/plan.hpp"
+
+namespace ncs::cluster {
+namespace {
+
+using namespace ncs::literals;
+using mps::Node;
+using mps::kAnyProcess;
+using mps::kAnyThread;
+
+struct StreamDigest {
+  std::vector<int> order;
+  Duration elapsed;
+  std::uint64_t retransmits = 0;
+
+  bool operator==(const StreamDigest&) const = default;
+};
+
+StreamDigest run_stream(ClusterConfig cfg, int count) {
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+  StreamDigest out;
+  c.run([&](int rank) {
+    Node& node = c.node(rank);
+    const int t = node.t_create([&, rank] {
+      if (rank == 0) {
+        for (int i = 0; i < count; ++i) {
+          Bytes b(1500, std::byte{0});
+          b[0] = static_cast<std::byte>(i);
+          node.send(0, 0, 1, b);
+        }
+      } else {
+        for (int i = 0; i < count; ++i) {
+          const Bytes m = node.recv(kAnyThread, kAnyProcess, 0);
+          out.order.push_back(static_cast<int>(m[0]));
+        }
+      }
+    });
+    node.host().join(node.user_thread(t));
+  });
+  out.elapsed = c.engine().now() - TimePoint::origin();
+  out.retransmits = c.node(0).error_control().stats().retransmits;
+  return out;
+}
+
+/// The chaos_soak "chaos" scenario in miniature: WAN stream through a
+/// bursty backbone with retransmit error control.
+ClusterConfig chaos_config(sim::Engine::QueueKind queue) {
+  ClusterConfig cfg = nynet_wan(2);
+  cfg.queue = queue;
+  cfg.ncs.error = {.kind = mps::ErrorControlKind::retransmit, .rto = 100_ms};
+  cfg.faults.seed = 99;
+  cfg.faults.link_burst("sonet", TimePoint::origin() + 1_ms, 80_ms,
+                        {.p_good_to_bad = 0.2, .p_bad_to_good = 0.2,
+                         .loss_good = 0.0, .loss_bad = 0.9});
+  return cfg;
+}
+
+TEST(DeterminismDigest, ChaosStreamMatchesLegacyMapBitIdentically) {
+  const StreamDigest calendar =
+      run_stream(chaos_config(sim::Engine::QueueKind::calendar), 10);
+  const StreamDigest legacy =
+      run_stream(chaos_config(sim::Engine::QueueKind::legacy_map), 10);
+  EXPECT_EQ(calendar, legacy);
+  EXPECT_GT(calendar.retransmits, 0u);  // the scenario actually exercised loss
+}
+
+TEST(DeterminismDigest, HostPauseTimingMatchesLegacyMapBitIdentically) {
+  // Pauses stress the timer/cancel machinery: the paused host's sleep and
+  // RTO timers expire while a top-priority thread owns the CPU.
+  auto paused = [](sim::Engine::QueueKind queue) {
+    ClusterConfig cfg = nynet_wan(2);
+    cfg.queue = queue;
+    cfg.ncs.error = {.kind = mps::ErrorControlKind::retransmit, .rto = 100_ms};
+    cfg.faults.host_pause("p0", TimePoint::origin() + 2_ms, 50_ms);
+    return run_stream(cfg, 5);
+  };
+  EXPECT_EQ(paused(sim::Engine::QueueKind::calendar),
+            paused(sim::Engine::QueueKind::legacy_map));
+}
+
+TEST(DeterminismDigest, MatmulResultHashMatchesLegacyMap) {
+  // App-level digest (the proto_sweep-style check): distributed matmul over
+  // the ATM LAN, FNV-1a over the result matrix plus exact elapsed time.
+  auto digest = [](sim::Engine::QueueKind queue) {
+    ClusterConfig cfg = sun_atm_lan(3);
+    cfg.queue = queue;
+    return run_matmul_ncs(cfg, 2, NcsTier::hsm_atm);
+  };
+  const AppResult calendar = digest(sim::Engine::QueueKind::calendar);
+  const AppResult legacy = digest(sim::Engine::QueueKind::legacy_map);
+  EXPECT_TRUE(calendar.correct);
+  EXPECT_EQ(calendar.result_hash, legacy.result_hash);
+  EXPECT_EQ(calendar.elapsed, legacy.elapsed);
+  EXPECT_EQ(calendar.retransmits, legacy.retransmits);
+}
+
+TEST(DeterminismDigest, RepeatRunsStayBitIdenticalOnTheCalendarQueue) {
+  // Repeat-stability on the new backend itself (chaos_soak's repeat leg).
+  const StreamDigest a = run_stream(chaos_config(sim::Engine::QueueKind::calendar), 10);
+  const StreamDigest b = run_stream(chaos_config(sim::Engine::QueueKind::calendar), 10);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ncs::cluster

@@ -1,0 +1,161 @@
+// Regression tests for the sleep_until() timer machinery under fault
+// pauses and early wakes.
+//
+// The hazards pinned here, in the order the bugs would bite:
+//  - a sleep timer expiring while a HostFault pause monopolises the CPU
+//    finds its thread already runnable when the pause ends — it must wake
+//    the thread exactly once (a second unblock trips the blocked-queue
+//    invariant and aborts);
+//  - an early wake (NCS_unblock-style) must retire the pending timer via
+//    Engine::cancel so the dead timer neither fires stale against a later
+//    sleep nor sits in the event queue until its deadline;
+//  - a wake landing at the exact deadline instant must not race the timer
+//    into a double wake.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "core/mts/scheduler.hpp"
+#include "fault/faults.hpp"
+#include "sim/engine.hpp"
+
+namespace ncs {
+namespace {
+
+using namespace ncs::literals;
+
+mts::SchedulerParams exact_params() {
+  // Zero dispatch/creation costs so wake instants are exact.
+  return {.name = "p0",
+          .cpu_mhz = 40.0,
+          .context_switch_cost = Duration::zero(),
+          .thread_create_cost = Duration::zero()};
+}
+
+// Installs the cluster's pause realisation: a top-priority thread that owns
+// the CPU until resume time, so nothing else dispatches while the network
+// (engine events) keeps moving.
+void install_pause_handler(fault::HostFault& hf, mts::Scheduler& sched) {
+  hf.set_pause_handler([&sched](TimePoint resume_at) {
+    sched.spawn(
+        [&sched, resume_at] {
+          const TimePoint now = sched.engine().now();
+          if (resume_at > now) sched.charge(resume_at - now, sim::Activity::overhead);
+        },
+        {.name = "fault-pause",
+         .priority = mts::kHighestPriority,
+         .cls = mts::ThreadClass::system});
+  });
+}
+
+TEST(SleepTimer, TimerExpiringDuringHostPauseWakesExactlyOnce) {
+  sim::Engine e;
+  mts::Scheduler sched(e, exact_params());
+  fault::HostFault hf;
+  install_pause_handler(hf, sched);
+
+  std::vector<TimePoint> wakes;
+  sched.spawn([&] {
+    sched.sleep_for(10_us);  // deadline lands mid-pause
+    wakes.push_back(e.now());
+    sched.sleep_for(10_us);  // a fresh sleep must still work afterwards
+    wakes.push_back(e.now());
+  });
+  e.schedule_at(TimePoint::origin() + 5_us,
+                [&] { hf.pause_until(TimePoint::origin() + 15_us); });
+  e.run();
+
+  // The 10us deadline passed during the pause; the thread may only resume
+  // when the pause ends, and exactly once (a double unblock would abort).
+  ASSERT_EQ(wakes.size(), 2u);
+  EXPECT_EQ(wakes[0], TimePoint::origin() + 15_us);
+  EXPECT_EQ(wakes[1], TimePoint::origin() + 25_us);
+  EXPECT_TRUE(sched.quiescent());
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(SleepTimer, EarlyWakeCancelsThePendingTimer) {
+  sim::Engine e;
+  mts::Scheduler sched(e, exact_params());
+
+  std::vector<TimePoint> wakes;
+  mts::Thread* sleeper = sched.spawn([&] {
+    sched.sleep_until(TimePoint::origin() + 10_us);
+    wakes.push_back(e.now());
+    sched.sleep_until(TimePoint::origin() + 10_us);  // same deadline again
+    wakes.push_back(e.now());
+  });
+  e.schedule_at(TimePoint::origin() + 3_us, [&] { sched.unblock(sleeper); });
+
+  std::size_t pending_between = 0;
+  e.schedule_at(TimePoint::origin() + 5_us, [&] { pending_between = e.pending(); });
+
+  const std::uint64_t cancelled_before = e.stats().cancelled;
+  e.run();
+
+  ASSERT_EQ(wakes.size(), 2u);
+  EXPECT_EQ(wakes[0], TimePoint::origin() + 3_us);   // the early wake
+  EXPECT_EQ(wakes[1], TimePoint::origin() + 10_us);  // the re-armed sleep
+  // The early wake retired the first timer: between the wake and the
+  // deadline only the re-armed timer is queued, not a dead one too.
+  EXPECT_EQ(pending_between, 1u);
+  EXPECT_EQ(e.stats().cancelled, cancelled_before + 1);
+}
+
+TEST(SleepTimer, WakeAtTheExactDeadlineInstantDoesNotDoubleWake) {
+  sim::Engine e;
+  mts::Scheduler sched(e, exact_params());
+
+  // The racing wake is scheduled *before* the sleeper exists, so at the
+  // deadline instant it fires ahead of the sleep timer (lower sequence
+  // number): the timer then finds the thread already runnable and must
+  // stand down.
+  mts::Thread* sleeper = nullptr;
+  int wakes = 0;
+  e.schedule_at(TimePoint::origin() + 10_us, [&] {
+    if (sleeper != nullptr && sleeper->state() == mts::ThreadState::blocked)
+      sched.unblock(sleeper);
+  });
+  sleeper = sched.spawn([&] {
+    sched.sleep_until(TimePoint::origin() + 10_us);
+    ++wakes;
+  });
+  e.run();
+
+  EXPECT_EQ(wakes, 1);
+  EXPECT_TRUE(sched.quiescent());
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(SleepTimer, RepeatedEarlyWakesNeverLeakTimers) {
+  sim::Engine e;
+  mts::Scheduler sched(e, exact_params());
+
+  // An RTO-style loop: every sleep is cut short by a wake. Dead timers
+  // used to pile up in the queue until their deadlines; now each early
+  // wake cancels one.
+  int wakes = 0;
+  mts::Thread* sleeper = sched.spawn([&] {
+    for (int i = 0; i < 50; ++i) {
+      sched.sleep_for(1_ms);
+      ++wakes;
+    }
+  });
+  for (int i = 1; i <= 50; ++i) {
+    e.schedule_at(TimePoint::origin() + Duration::microseconds(i), [&] {
+      if (sleeper->state() == mts::ThreadState::blocked) sched.unblock(sleeper);
+    });
+  }
+  e.run();
+
+  EXPECT_EQ(wakes, 50);
+  EXPECT_GE(e.stats().cancelled, 49u);  // every cut-short sleep retired its timer
+  // The run ends when the last wake happens (~50us), not at the last
+  // timer deadline (~50ms): the queue drained because nothing dead lingered.
+  EXPECT_LT(e.now(), TimePoint::origin() + 1_ms);
+  EXPECT_TRUE(e.empty());
+}
+
+}  // namespace
+}  // namespace ncs

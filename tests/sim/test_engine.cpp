@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/time.hpp"
 
 namespace ncs::sim {
@@ -11,15 +15,28 @@ namespace {
 
 using namespace ncs::literals;
 
-TEST(Engine, StartsAtOriginEmpty) {
-  Engine e;
+// Every behavioural test runs against both queue backends: the calendar
+// queue must be observationally identical to the legacy std::map ordering.
+class EngineTest : public ::testing::TestWithParam<Engine::QueueKind> {
+ protected:
+  Engine e{GetParam()};
+};
+
+INSTANTIATE_TEST_SUITE_P(Backends, EngineTest,
+                         ::testing::Values(Engine::QueueKind::calendar,
+                                           Engine::QueueKind::legacy_map),
+                         [](const auto& pinfo) {
+                           return pinfo.param == Engine::QueueKind::calendar ? "calendar"
+                                                                             : "legacy_map";
+                         });
+
+TEST_P(EngineTest, StartsAtOriginEmpty) {
   EXPECT_EQ(e.now(), TimePoint::origin());
   EXPECT_TRUE(e.empty());
   EXPECT_FALSE(e.step());
 }
 
-TEST(Engine, EventsFireInTimeOrder) {
-  Engine e;
+TEST_P(EngineTest, EventsFireInTimeOrder) {
   std::vector<int> order;
   e.schedule_after(3_us, [&] { order.push_back(3); });
   e.schedule_after(1_us, [&] { order.push_back(1); });
@@ -29,16 +46,14 @@ TEST(Engine, EventsFireInTimeOrder) {
   EXPECT_EQ(e.now(), TimePoint::origin() + 3_us);
 }
 
-TEST(Engine, SameTimeEventsFireInInsertionOrder) {
-  Engine e;
+TEST_P(EngineTest, SameTimeEventsFireInInsertionOrder) {
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) e.schedule_after(5_us, [&, i] { order.push_back(i); });
   e.run();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
-TEST(Engine, PostRunsAfterQueuedNowEvents) {
-  Engine e;
+TEST_P(EngineTest, PostRunsAfterQueuedNowEvents) {
   std::vector<int> order;
   e.schedule_after(0_us, [&] { order.push_back(1); });
   e.post([&] { order.push_back(2); });
@@ -46,8 +61,7 @@ TEST(Engine, PostRunsAfterQueuedNowEvents) {
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
-TEST(Engine, EventsCanScheduleMoreEvents) {
-  Engine e;
+TEST_P(EngineTest, EventsCanScheduleMoreEvents) {
   int fired = 0;
   std::function<void()> chain = [&] {
     ++fired;
@@ -59,8 +73,7 @@ TEST(Engine, EventsCanScheduleMoreEvents) {
   EXPECT_EQ(e.now(), TimePoint::origin() + 5_us);
 }
 
-TEST(Engine, CancelPreventsFiring) {
-  Engine e;
+TEST_P(EngineTest, CancelPreventsFiring) {
   bool fired = false;
   const EventId id = e.schedule_after(1_us, [&] { fired = true; });
   EXPECT_TRUE(e.cancel(id));
@@ -68,15 +81,20 @@ TEST(Engine, CancelPreventsFiring) {
   EXPECT_FALSE(fired);
 }
 
-TEST(Engine, CancelAfterFireReturnsFalse) {
-  Engine e;
+TEST_P(EngineTest, CancelAfterFireReturnsFalse) {
   const EventId id = e.schedule_after(1_us, [] {});
   e.run();
   EXPECT_FALSE(e.cancel(id));
 }
 
-TEST(Engine, CancelOneOfManyAtSameTime) {
-  Engine e;
+TEST_P(EngineTest, DoubleCancelReturnsFalse) {
+  const EventId id = e.schedule_after(1_us, [] {});
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));
+  e.run();
+}
+
+TEST_P(EngineTest, CancelOneOfManyAtSameTime) {
   std::vector<int> order;
   e.schedule_after(1_us, [&] { order.push_back(1); });
   const EventId id = e.schedule_after(1_us, [&] { order.push_back(2); });
@@ -86,8 +104,73 @@ TEST(Engine, CancelOneOfManyAtSameTime) {
   EXPECT_EQ(order, (std::vector<int>{1, 3}));
 }
 
-TEST(Engine, RunUntilStopsAtDeadlineAndAdvancesClock) {
-  Engine e;
+// --- cancel-from-inside-a-callback audit (pinned before the calendar port:
+// --- the id→slot mapping retires *before* the callback runs) ---
+
+TEST_P(EngineTest, SelfCancelFromOwnCallbackReturnsFalse) {
+  EventId id = 0;
+  bool self_cancel_result = true;
+  id = e.schedule_after(1_us, [&] { self_cancel_result = e.cancel(id); });
+  e.run();
+  EXPECT_FALSE(self_cancel_result);  // the firing event is no longer pending
+  EXPECT_FALSE(e.cancel(id));
+}
+
+TEST_P(EngineTest, CancelSameTimeSiblingFromCallback) {
+  std::vector<int> order;
+  EventId sibling = 0;
+  e.schedule_after(1_us, [&] {
+    order.push_back(1);
+    EXPECT_TRUE(e.cancel(sibling));   // still pending at the same timestamp
+    EXPECT_FALSE(e.cancel(sibling));  // and exactly once
+  });
+  sibling = e.schedule_after(1_us, [&] { order.push_back(2); });
+  e.schedule_after(1_us, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  EXPECT_TRUE(e.empty());
+}
+
+TEST_P(EngineTest, CancelLaterSiblingThenRescheduleFromCallback) {
+  std::vector<std::string> log;
+  EventId later = e.schedule_after(2_us, [&] { log.push_back("victim"); });
+  e.schedule_after(1_us, [&] {
+    EXPECT_TRUE(e.cancel(later));
+    e.schedule_after(2_us, [&] { log.push_back("replacement"); });
+  });
+  e.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"replacement"}));
+}
+
+// A stale id whose storage slot has been reused by a *new* event must not
+// cancel the new event — the subtle part of an id→slot scheme.
+TEST_P(EngineTest, StaleIdDoesNotCancelSlotReuser) {
+  bool first_fired = false;
+  bool second_fired = false;
+  const EventId first = e.schedule_after(1_us, [&] { first_fired = true; });
+  e.run();
+  EXPECT_TRUE(first_fired);
+  // With a freelist this new event reuses `first`'s slot immediately.
+  e.schedule_after(1_us, [&] { second_fired = true; });
+  EXPECT_FALSE(e.cancel(first));
+  e.run();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST_P(EngineTest, StaleIdFromInsideCallbackDoesNotCancelSlotReuser) {
+  EventId original = 0;
+  bool replacement_fired = false;
+  original = e.schedule_after(1_us, [&] {
+    // Scheduling first makes slot reuse most likely; the stale cancel of
+    // our own id must then hit the generation guard, not the new event.
+    e.schedule_after(1_us, [&] { replacement_fired = true; });
+    EXPECT_FALSE(e.cancel(original));
+  });
+  e.run();
+  EXPECT_TRUE(replacement_fired);
+}
+
+TEST_P(EngineTest, RunUntilStopsAtDeadlineAndAdvancesClock) {
   std::vector<int> order;
   e.schedule_after(1_us, [&] { order.push_back(1); });
   e.schedule_after(10_us, [&] { order.push_back(10); });
@@ -98,21 +181,78 @@ TEST(Engine, RunUntilStopsAtDeadlineAndAdvancesClock) {
   EXPECT_EQ(order, (std::vector<int>{1, 10}));
 }
 
-TEST(Engine, RunUntilIncludesDeadlineEvents) {
-  Engine e;
+TEST_P(EngineTest, RunUntilIncludesDeadlineEvents) {
   bool fired = false;
   e.schedule_after(5_us, [&] { fired = true; });
   e.run_until(TimePoint::origin() + 5_us);
   EXPECT_TRUE(fired);
 }
 
-TEST(Engine, ProcessedCountsFiredEvents) {
-  Engine e;
+TEST_P(EngineTest, ProcessedCountsFiredEvents) {
   for (int i = 0; i < 7; ++i) e.schedule_after(1_us, [] {});
   const EventId id = e.schedule_after(2_us, [] {});
   e.cancel(id);
   e.run();
   EXPECT_EQ(e.processed(), 7u);
+}
+
+TEST_P(EngineTest, PendingTracksQueueDepth) {
+  EXPECT_EQ(e.pending(), 0u);
+  const EventId a = e.schedule_after(1_us, [] {});
+  e.schedule_after(2_us, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST_P(EngineTest, CancelledEventCaptureIsDestroyed) {
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  const EventId id = e.schedule_after(1_us, [t = std::move(token)] { (void)*t; });
+  EXPECT_FALSE(watch.expired());
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_TRUE(watch.expired());  // cancel releases the capture immediately
+}
+
+TEST_P(EngineTest, DeterministicAcrossRuns) {
+  auto run_once = [this] {
+    Engine eng{GetParam()};
+    std::vector<std::int64_t> trace;
+    for (int i = 0; i < 50; ++i) {
+      eng.schedule_after(Duration::microseconds(i % 7), [&, i] {
+        trace.push_back(eng.now().ps() * 100 + i);
+        if (i % 3 == 0) eng.schedule_after(1_us, [&] { trace.push_back(eng.now().ps()); });
+      });
+    }
+    eng.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// Wide-timescale churn: microsecond traffic mixed with far-out timers that
+// are almost always cancelled (the RTO pattern), across enough events to
+// force several bucket-array resizes in both directions.
+TEST_P(EngineTest, TimerChurnAcrossResizes) {
+  std::uint64_t fired = 0;
+  std::uint64_t timers_fired = 0;
+  EventId timer = 0;
+  std::function<void(int)> tick = [&](int i) {
+    ++fired;
+    if (timer != 0) e.cancel(timer);
+    timer = e.schedule_after(200_ms, [&] { ++timers_fired; });
+    if (i > 0) {
+      e.schedule_after(Duration::microseconds((i * 7) % 13 + 1), [&, i] { tick(i - 1); });
+      for (int j = 0; j < (i % 4); ++j) e.schedule_after(2_us, [&] { ++fired; });
+    }
+  };
+  e.schedule_after(1_us, [&] { tick(400); });
+  e.run();
+  EXPECT_EQ(fired, 401u + 600u);  // 401 ticks + sum over i=1..400 of (i % 4)
+  EXPECT_EQ(timers_fired, 1u);    // only the last RTO survives
+  EXPECT_TRUE(e.empty());
 }
 
 TEST(EngineDeathTest, SchedulingInThePastAborts) {
@@ -122,20 +262,52 @@ TEST(EngineDeathTest, SchedulingInThePastAborts) {
   EXPECT_DEATH(e.schedule_at(TimePoint::origin() + 1_us, [] {}), "past");
 }
 
-TEST(Engine, DeterministicAcrossRuns) {
-  auto run_once = [] {
-    Engine e;
-    std::vector<std::int64_t> trace;
-    for (int i = 0; i < 50; ++i) {
-      e.schedule_after(Duration::microseconds(i % 7), [&, i] {
-        trace.push_back(e.now().ps() * 100 + i);
-        if (i % 3 == 0) e.schedule_after(1_us, [&] { trace.push_back(e.now().ps()); });
-      });
+// --- cross-backend equivalence: the determinism contract itself ---
+
+// Randomized schedule/cancel/run_until workloads must produce byte-identical
+// firing traces on both backends. This is the engine-level half of the
+// digest suite (tests/fault/test_determinism_digest.cpp runs the app-level
+// half over chaos scenarios).
+std::vector<std::string> record_trace(Engine::QueueKind kind, std::uint64_t seed) {
+  Engine eng{kind};
+  std::vector<std::string> trace;
+  Rng rng{seed};
+  std::vector<EventId> cancellable;
+  std::function<void(int)> spawn = [&](int depth) {
+    trace.push_back("fire@" + std::to_string(eng.now().ps()) + "#" +
+                    std::to_string(trace.size()));
+    if (depth <= 0) return;
+    const int n = 1 + static_cast<int>(rng.next_below(4));
+    for (int k = 0; k < n; ++k) {
+      const auto gap = Duration::picoseconds(static_cast<std::int64_t>(rng.next_below(5'000'000)));
+      const EventId id = eng.schedule_after(gap, [&, depth] { spawn(depth - 1); });
+      if (rng.next_below(8) == 0) cancellable.push_back(id);
     }
-    e.run();
-    return trace;
+    if (!cancellable.empty() && rng.next_below(3) == 0) {
+      const std::size_t pick = rng.next_below(cancellable.size());
+      const bool ok = eng.cancel(cancellable[pick]);
+      trace.push_back(std::string("cancel:") + (ok ? "hit" : "stale"));
+      cancellable.erase(cancellable.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
   };
-  EXPECT_EQ(run_once(), run_once());
+  for (int i = 0; i < 24; ++i)
+    eng.schedule_after(Duration::microseconds(static_cast<double>(rng.next_below(40))),
+                       [&] { spawn(4); });
+  eng.run_until(eng.now() + 30_us);
+  trace.push_back("pending@deadline=" + std::to_string(eng.pending()));
+  eng.run();
+  trace.push_back("end@" + std::to_string(eng.now().ps()) + " processed=" +
+                  std::to_string(eng.processed()));
+  return trace;
+}
+
+TEST(EngineEquivalence, CalendarMatchesLegacyMapOrderingExactly) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull, 1995ull, 0xCAFEull}) {
+    const auto calendar = record_trace(Engine::QueueKind::calendar, seed);
+    const auto legacy = record_trace(Engine::QueueKind::legacy_map, seed);
+    ASSERT_EQ(calendar, legacy) << "seed " << seed;
+    ASSERT_GT(calendar.size(), 100u) << "workload degenerated; seed " << seed;
+  }
 }
 
 }  // namespace

@@ -75,6 +75,35 @@ TEST(Timeline, AsciiRenderShowsDominantActivity) {
   EXPECT_NE(art.find("#####....."), std::string::npos) << art;
 }
 
+// Regression: degenerate render ranges used to abort (NCS_ASSERT) — and
+// without the assert, width <= 0 handed std::string a negative length and
+// t1 < t0 produced a garbage negative span. A bench whose run drains at
+// t=0 renders exactly this.
+TEST(Timeline, AsciiRenderDegenerateRangeIsSafe) {
+  Timeline tl;
+  const int t = tl.add_track("n0");
+  tl.transition(t, at(0), Activity::compute);
+  tl.finish(at(10));
+
+  // Empty span: one blank column per track plus the legend, no crash.
+  // (Only inspect the track row — the legend line always contains '#'.)
+  const std::string empty_span = tl.render_ascii(at(5), at(5), 10);
+  EXPECT_NE(empty_span.find("n0"), std::string::npos);
+  EXPECT_NE(empty_span.find("span"), std::string::npos);
+  EXPECT_EQ(empty_span.substr(0, empty_span.find('\n')).find('#'), std::string::npos)
+      << empty_span;
+
+  // Inverted span behaves like the empty one.
+  const std::string inverted = tl.render_ascii(at(8), at(2), 10);
+  EXPECT_EQ(inverted, empty_span);
+
+  // Non-positive width clamps to one column instead of a negative length.
+  const std::string narrow = tl.render_ascii(at(0), at(10), 0);
+  EXPECT_NE(narrow.find("|#|"), std::string::npos) << narrow;
+  const std::string negative = tl.render_ascii(at(0), at(10), -3);
+  EXPECT_EQ(negative, narrow);
+}
+
 TEST(Timeline, GlyphsAndNamesDistinct) {
   EXPECT_NE(activity_glyph(Activity::compute), activity_glyph(Activity::idle));
   EXPECT_NE(activity_glyph(Activity::communicate), activity_glyph(Activity::overhead));

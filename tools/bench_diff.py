@@ -5,8 +5,16 @@ The simulator is deterministic, so on identical code the numbers match to
 the last digit; a tolerance (default 2%) absorbs intentional model tweaks
 while still catching perf regressions and accidental behaviour changes.
 
+Throughput fields (name ending in `_per_sec`, or containing `speedup`) are
+wall-clock rates where higher is better: improvements never count as
+drift, and regressions are judged against the looser --rate-tol (default
+0.6, i.e. fail only when the current rate drops below 40% of baseline) so
+hardware variance between the recording machine and CI does not trip the
+gate, while an algorithmic regression in the event core still does.
+
 Usage:
-    tools/bench_diff.py BASELINE.json CURRENT.json [--bench NAME] [--tol 0.02]
+    tools/bench_diff.py BASELINE.json CURRENT.json [--bench NAME]
+                        [--tol 0.02] [--rate-tol 0.6]
 
 BASELINE.json is either an ncs-bench-baseline-v1 document (its `benches`
 map is searched for the bench named in CURRENT.json, or for --bench) or a
@@ -16,7 +24,12 @@ bare ncs-bench-v1 document. Exit status: 0 = within tolerance, 1 = drift,
 
 import argparse
 import json
+import re
 import sys
+
+# Higher-is-better wall-clock rates: events_per_sec, msgs_per_sec,
+# speedup_vs_legacy, ...
+RATE_FIELD = re.compile(r"(_per_sec$|speedup)")
 
 
 def fail(msg):
@@ -52,8 +65,12 @@ def pick_baseline(doc, bench_name):
     fail(f"unrecognised baseline schema {schema!r}")
 
 
-def diff(path, base, cur, tol, drifts):
-    """Structural diff: exact for strings/bools/shape, relative for numbers."""
+def diff(path, base, cur, tol, rate_tol, drifts, key=None):
+    """Structural diff: exact for strings/bools/shape, relative for numbers.
+
+    `key` is the nearest enclosing dict key — what classifies a numeric
+    leaf as a symmetric deterministic quantity or a higher-is-better rate.
+    """
     if isinstance(base, dict) and isinstance(cur, dict):
         for k in sorted(set(base) | set(cur)):
             if k not in cur:
@@ -61,16 +78,22 @@ def diff(path, base, cur, tol, drifts):
             elif k not in base:
                 drifts.append(f"{path}.{k}: not in baseline (new field)")
             else:
-                diff(f"{path}.{k}", base[k], cur[k], tol, drifts)
+                diff(f"{path}.{k}", base[k], cur[k], tol, rate_tol, drifts, key=k)
     elif isinstance(base, list) and isinstance(cur, list):
         if len(base) != len(cur):
             drifts.append(f"{path}: length {len(base)} -> {len(cur)}")
         for i, (b, c) in enumerate(zip(base, cur)):
-            diff(f"{path}[{i}]", b, c, tol, drifts)
+            diff(f"{path}[{i}]", b, c, tol, rate_tol, drifts, key=key)
     elif isinstance(base, bool) or isinstance(cur, bool):
         if base is not cur:
             drifts.append(f"{path}: {base} -> {cur}")
     elif isinstance(base, (int, float)) and isinstance(cur, (int, float)):
+        if key is not None and RATE_FIELD.search(key):
+            # Higher is better: only a regression beyond rate_tol drifts.
+            if base > 0 and (base - cur) / base > rate_tol:
+                pct = (cur - base) / base * 100.0
+                drifts.append(f"{path}: rate {base:g} -> {cur:g} ({pct:+.2f}%)")
+            return
         scale = max(abs(base), abs(cur))
         if scale > 0 and abs(cur - base) / scale > tol:
             pct = (cur - base) / scale * 100.0
@@ -87,6 +110,10 @@ def main():
                                     "(default: the current report's name)")
     ap.add_argument("--tol", type=float, default=0.02,
                     help="relative tolerance for numeric fields (default 0.02)")
+    ap.add_argument("--rate-tol", type=float, default=0.6,
+                    help="allowed relative drop for higher-is-better rate "
+                         "fields (*_per_sec, speedup); improvements always "
+                         "pass (default 0.6)")
     args = ap.parse_args()
 
     try:
@@ -108,7 +135,7 @@ def main():
     base = pick_baseline(base_doc, bench_name)
 
     drifts = []
-    diff(bench_name, base, cur, args.tol, drifts)
+    diff(bench_name, base, cur, args.tol, args.rate_tol, drifts)
     if drifts:
         print(f"bench_diff: {bench_name}: {len(drifts)} field(s) drifted "
               f"beyond {args.tol:.0%}:")
