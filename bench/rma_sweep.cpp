@@ -1,0 +1,365 @@
+// One-sided RMA sweep: NCS_put/NCS_get against the two-sided paths.
+//
+// Four experiments:
+//
+//   latency   ping-pong one-way latency at P=2 on the ATM LAN (HSM):
+//             one-sided put-with-notify against legacy send/recv and the
+//             eager proto engine, across payload sizes; plus the get
+//             round trip. A put costs one descriptor post at the
+//             initiator and pure firmware time at the target — no recv
+//             matching, no thread wake — so it must win at small sizes.
+//             Claim (gates the exit code): put one-way latency beats
+//             send/recv at every size <= 1 KiB.
+//   rate      streaming small-message rate at P=2: back-to-back puts
+//             under the credit window vs back-to-back sends (window flow
+//             control). Keys are *_per_sec (rate class in bench_diff).
+//   counter   a single distributed NCS_fetch_add counter hammered by all
+//             ranks of a multi-site SONET WAN chain, P in {8, 64}, only
+//             the (i, 0) spoke pairs provisioned. The sum must be exactly
+//             P * iters (gates the exit code) — remote atomics serialize
+//             at the target adapter, not in any lock.
+//   chaos     the counter under a Gilbert-Elliott burst on the WAN
+//             backbone with retransmission: exact sum, retransmits > 0,
+//             and a bit-identical completion digest across two repeats
+//             (gates the exit code).
+//
+//   --fast    CI-sized run (fewer iterations, fewer sizes, P=8 only)
+//   --json    ncs-bench-v1 rows; summary put_small_latency_ok /
+//             counter_exact / chaos_identical / all_ok
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cluster/bench_json.hpp"
+#include "cluster/bench_opts.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/config.hpp"
+#include "core/mps/node.hpp"
+#include "rma/engine.hpp"
+
+namespace {
+
+using namespace ncs;
+using namespace ncs::cluster;
+
+Bytes patterned(std::size_t n, std::uint32_t salt) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b[i] = static_cast<std::byte>((i * 131 + salt * 29) & 0xFF);
+  return b;
+}
+
+// --- latency: P=2 LAN ping-pong, one-way = elapsed / (2 * iters) ---
+
+double pingpong_put_us(std::size_t payload, int iters) {
+  ClusterConfig cfg = sun_atm_lan(2);
+  cfg.rma_enabled = true;
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+  const Bytes ball = patterned(payload, 7);
+  const Duration elapsed = c.run([&](int rank) {
+    rma::Engine& rma = c.rma(rank);
+    rma.create_window(0, std::max<std::size_t>(payload, 64));
+    c.node(rank).barrier();
+    for (int i = 0; i < iters; ++i) {
+      if (rank == 0) {
+        rma.put(1, 0, 0, ball, /*notify=*/true);
+        while (rma.cq().wait().kind != rma::OpKind::remote_put) {
+        }
+      } else {
+        while (rma.cq().wait().kind != rma::OpKind::remote_put) {
+        }
+        rma.put(0, 0, 0, ball, /*notify=*/true);
+      }
+    }
+    if (rank == 1) rma.fence();
+    c.node(rank).barrier();
+  });
+  return elapsed.sec() * 1e6 / (2.0 * iters);
+}
+
+double pingpong_get_us(std::size_t payload, int iters) {
+  // One get is already a full round trip: request out, data back.
+  ClusterConfig cfg = sun_atm_lan(2);
+  cfg.rma_enabled = true;
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+  const Duration elapsed = c.run([&](int rank) {
+    rma::Engine& rma = c.rma(rank);
+    rma.create_window(0, std::max<std::size_t>(payload, 64));
+    c.node(rank).barrier();
+    if (rank == 0) {
+      for (int i = 0; i < iters; ++i) {
+        rma.get(1, 0, 0, 0, 0, static_cast<std::uint32_t>(payload));
+        rma.cq().wait();
+      }
+    }
+    c.node(rank).barrier();
+  });
+  return elapsed.sec() * 1e6 / (2.0 * iters);
+}
+
+double pingpong_sendrecv_us(std::size_t payload, int iters, mps::ProtoMode mode) {
+  ClusterConfig cfg = sun_atm_lan(2);
+  cfg.ncs.proto.mode = mode;
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+  const Bytes ball = patterned(payload, 7);
+  const Duration elapsed = c.run([&](int rank) {
+    mps::Node& node = c.node(rank);
+    const int t = node.t_create([&node, rank, &ball, iters] {
+      for (int i = 0; i < iters; ++i) {
+        if (rank == 0) {
+          node.send(0, 0, 1, ball);
+          (void)node.recv(mps::kAnyThread, mps::kAnyProcess, 0);
+        } else {
+          (void)node.recv(mps::kAnyThread, mps::kAnyProcess, 0);
+          node.send(0, 0, 0, ball);
+        }
+      }
+    });
+    node.host().join(node.user_thread(t));
+  });
+  return elapsed.sec() * 1e6 / (2.0 * iters);
+}
+
+// --- rate: streaming small messages, P=2 LAN ---
+
+double stream_puts_per_sec(std::size_t payload, int count) {
+  ClusterConfig cfg = sun_atm_lan(2);
+  cfg.rma_enabled = true;
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+  const Bytes msg = patterned(payload, 3);
+  const Duration elapsed = c.run([&](int rank) {
+    rma::Engine& rma = c.rma(rank);
+    rma.create_window(0, 4096);
+    c.node(rank).barrier();
+    if (rank == 0) {
+      for (int i = 0; i < count; ++i)
+        rma.put(1, 0, (static_cast<std::uint64_t>(i) % 8) * 512, msg);
+      rma.fence();
+    }
+    c.node(rank).barrier();
+  });
+  return count / elapsed.sec();
+}
+
+double stream_sends_per_sec(std::size_t payload, int count, mps::ProtoMode mode) {
+  ClusterConfig cfg = sun_atm_lan(2);
+  cfg.ncs.flow = {.kind = mps::FlowControlKind::window, .window = 8};
+  cfg.ncs.proto.mode = mode;
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+  const Bytes msg = patterned(payload, 3);
+  const Duration elapsed = c.run([&](int rank) {
+    mps::Node& node = c.node(rank);
+    const int t = node.t_create([&node, rank, &msg, count] {
+      if (rank == 0) {
+        for (int i = 0; i < count; ++i) node.send(0, 0, 1, msg);
+      } else {
+        for (int i = 0; i < count; ++i)
+          (void)node.recv(mps::kAnyThread, mps::kAnyProcess, 0);
+      }
+    });
+    node.host().join(node.user_thread(t));
+  });
+  return count / elapsed.sec();
+}
+
+// --- counter: distributed fetch_add on the multi-site WAN chain ---
+
+struct CounterResult {
+  bool exact = false;
+  double ops_per_sec = 0.0;  // simulated atomic throughput at the hot window
+  double sim_elapsed_sec = 0.0;
+};
+
+CounterResult run_counter(int n_procs, int iters) {
+  ClusterConfig cfg = nynet_wan_multi(n_procs, std::min(8, std::max(1, n_procs / 8)));
+  // Spoke provisioning only: every rank talks to the counter's home.
+  for (int i = 1; i < n_procs; ++i) {
+    cfg.wan_provision.emplace_back(i, 0);
+    cfg.wan_provision.emplace_back(0, i);
+  }
+  cfg.rma_enabled = true;
+  // The chain RTT at P=64 (7 SONET hops each way) plus target queueing can
+  // exceed the LAN-sized default response timeout; spurious retransmits
+  // are harmless (idempotent) but slow the sweep down.
+  cfg.rma.response_timeout = Duration::milliseconds(200);
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+
+  const Duration elapsed = c.run([&](int rank) {
+    rma::Engine& rma = c.rma(rank);
+    rma.create_window(0, 64);
+    // No barrier: sparse spokes don't carry collective traffic. Requests
+    // racing ahead of rank 0's registration are simply retried.
+    for (int i = 0; i < iters; ++i) rma.fetch_add(0, 0, 0, 1);
+    rma.fence();
+  });
+
+  CounterResult r;
+  const std::uint64_t want = static_cast<std::uint64_t>(n_procs) * static_cast<std::uint64_t>(iters);
+  r.exact = c.rma(0).window(0)->load_u64(0) == want;
+  r.sim_elapsed_sec = elapsed.sec();
+  r.ops_per_sec = static_cast<double>(want) / elapsed.sec();
+  return r;
+}
+
+// --- chaos: the counter under a bursty backbone, twice ---
+
+struct ChaosResult {
+  bool exact = false;
+  std::uint64_t retransmits = 0;
+  std::uint64_t digest = 0;
+};
+
+ChaosResult run_chaos(int iters) {
+  constexpr int kProcs = 4;
+  ClusterConfig cfg = nynet_wan(kProcs);
+  cfg.rma_enabled = true;
+  // The retry budget must outlast the 400 ms burst window or increments
+  // are (correctly) failed back to the initiator instead of recovered.
+  cfg.rma.retry_limit = 40;
+  cfg.ncs.error = {.kind = mps::ErrorControlKind::retransmit,
+                   .rto = Duration::milliseconds(100)};
+  cfg.faults.seed = 1234;
+  cfg.faults.link_burst("sonet", TimePoint::origin() + Duration::milliseconds(1),
+                        Duration::milliseconds(400),
+                        {.p_good_to_bad = 0.3, .p_bad_to_good = 0.3, .loss_bad = 0.8});
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+
+  c.run([&](int rank) {
+    rma::Engine& rma = c.rma(rank);
+    rma.create_window(0, 64);
+    c.node(rank).barrier();
+    for (int i = 0; i < iters; ++i) rma.fetch_add(0, 0, 0, 1);
+    rma.fence();
+    c.node(rank).barrier();
+  });
+
+  ChaosResult r;
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a over completion streams
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (int p = 0; p < kProcs; ++p) {
+    while (auto done = c.rma(p).cq().poll()) {
+      mix(done->op_id);
+      mix(done->value);
+      mix(static_cast<std::uint64_t>(done->at.ps()));
+    }
+    r.retransmits += c.rma(p).stats().retransmits;
+  }
+  r.exact =
+      c.rma(0).window(0)->load_u64(0) == static_cast<std::uint64_t>(kProcs) * static_cast<std::uint64_t>(iters);
+  mix(static_cast<std::uint64_t>((c.engine().now() - TimePoint::origin()).ps()));
+  r.digest = h;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
+  bool fast = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+
+  BenchReport report("rma_sweep");
+  bool all_ok = true;
+
+  // --- latency ---
+  const std::vector<std::size_t> sizes =
+      fast ? std::vector<std::size_t>{16, 256, 1024}
+           : std::vector<std::size_t>{16, 64, 256, 1024, 4096, 16384};
+  const int iters = fast ? 8 : 16;
+  std::printf("one-way latency, ATM LAN (HSM) P=2, %d ping-pongs:\n", iters);
+  std::printf("  %7s %12s %12s %12s %12s\n", "bytes", "put us", "send/recv us",
+              "eager us", "get-rt us");
+  bool put_small_ok = true;
+  for (const std::size_t payload : sizes) {
+    const double put_us = pingpong_put_us(payload, iters);
+    const double sr_us = pingpong_sendrecv_us(payload, iters, mps::ProtoMode::off);
+    const double eager_us = pingpong_sendrecv_us(payload, iters, mps::ProtoMode::eager);
+    const double get_us = pingpong_get_us(payload, iters) * 2.0;  // full RT
+    if (payload <= 1024 && put_us >= sr_us) put_small_ok = false;
+    std::printf("  %7zu %12.1f %12.1f %12.1f %12.1f\n", payload, put_us, sr_us,
+                eager_us, get_us);
+    report.row();
+    report.set("experiment", std::string("latency"));
+    report.set("payload_bytes", static_cast<std::int64_t>(payload));
+    report.set("put_us", put_us);
+    report.set("sendrecv_us", sr_us);
+    report.set("eager_us", eager_us);
+    report.set("get_rt_us", get_us);
+  }
+  std::printf("put beats send/recv at <= 1 KiB: %s\n", put_small_ok ? "yes" : "NO");
+  all_ok = all_ok && put_small_ok;
+
+  // --- rate ---
+  const int count = fast ? 200 : 800;
+  std::printf("\nstreaming rate, 64 B messages, P=2 LAN (%d messages):\n", count);
+  const double puts_rate = stream_puts_per_sec(64, count);
+  const double sends_rate = stream_sends_per_sec(64, count, mps::ProtoMode::off);
+  const double eager_rate = stream_sends_per_sec(64, count, mps::ProtoMode::eager);
+  std::printf("  put %9.0f msg/s   send %9.0f msg/s   eager-send %9.0f msg/s\n",
+              puts_rate, sends_rate, eager_rate);
+  report.row();
+  report.set("experiment", std::string("rate"));
+  report.set("payload_bytes", std::int64_t{64});
+  report.set("puts_per_sec", puts_rate);
+  report.set("sends_per_sec", sends_rate);
+  report.set("eager_sends_per_sec", eager_rate);
+
+  // --- counter ---
+  const std::vector<int> counter_procs = fast ? std::vector<int>{8} : std::vector<int>{8, 64};
+  bool counter_exact = true;
+  std::printf("\ndistributed counter, multi-site WAN chain, spoke PVCs only:\n");
+  for (const int p : counter_procs) {
+    const int it = fast ? 16 : 32;
+    const CounterResult r = run_counter(p, it);
+    counter_exact = counter_exact && r.exact;
+    std::printf("  P=%-3d iters=%-3d sum %s  %10.0f atomics/s (simulated), %.1f ms\n", p,
+                it, r.exact ? "exact" : "WRONG", r.ops_per_sec,
+                r.sim_elapsed_sec * 1e3);
+    report.row();
+    report.set("experiment", std::string("counter"));
+    report.set("procs", p);
+    report.set("iters", it);
+    report.set("exact", r.exact);
+    report.set("sim_elapsed_sec", r.sim_elapsed_sec);
+    report.set("atomics_per_sec", r.ops_per_sec);
+  }
+  all_ok = all_ok && counter_exact;
+
+  // --- chaos ---
+  const int chaos_iters = fast ? 12 : 24;
+  const ChaosResult a = run_chaos(chaos_iters);
+  const ChaosResult b = run_chaos(chaos_iters);
+  const bool chaos_identical = a.digest == b.digest && a.retransmits == b.retransmits;
+  const bool chaos_ok = a.exact && b.exact && a.retransmits > 0 && chaos_identical;
+  std::printf("\nchaos (bursty SONET, retransmit): sum %s, %llu retransmits, "
+              "repeat digest %s\n",
+              a.exact && b.exact ? "exact" : "WRONG",
+              static_cast<unsigned long long>(a.retransmits),
+              chaos_identical ? "bit-identical" : "DIVERGED");
+  all_ok = all_ok && chaos_ok;
+
+  report.summary("put_small_latency_ok", put_small_ok);
+  report.summary("counter_exact", counter_exact);
+  report.summary("chaos_retransmits", static_cast<std::int64_t>(a.retransmits));
+  report.summary("chaos_identical", chaos_identical);
+  report.summary("all_ok", all_ok);
+
+  std::printf("\nclaims: one-sided beats send/recv small-message latency, counter sums "
+              "exact, chaos bit-identical: %s\n",
+              all_ok ? "hold" : "FAILED");
+  if (opts.json) report.emit(opts.json_path);
+  return all_ok ? 0 : 1;
+}

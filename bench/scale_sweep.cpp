@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "atm/cell_arena.hpp"
 #include "cluster/bench_json.hpp"
 #include "cluster/bench_opts.hpp"
 #include "cluster/cluster.hpp"
@@ -158,6 +159,37 @@ RingPoint ring_throughput(int n_procs, int msgs_per_host) {
   return p;
 }
 
+/// Detailed-cells LAN traffic with the CellArena pool warmed by one run;
+/// the measured run must serve every SAR segmentation from the pool.
+struct ArenaPoint {
+  std::uint64_t acquires = 0;
+  std::uint64_t heap_allocs = 0;
+};
+
+ArenaPoint arena_census(int msgs) {
+  const auto traffic = [msgs] {
+    ClusterConfig cfg = sun_atm_lan(4);
+    cfg.nic.detailed_cells = true;
+    Cluster c(cfg);
+    c.init_ncs_hsm();
+    const Bytes payload(4096, std::byte{0x5A});
+    c.run([&](int rank) {
+      mps::Node& node = c.node(rank);
+      const int t = node.t_create([&node, rank, &payload, msgs] {
+        const int dst = (rank + 1) % 4;
+        for (int m = 0; m < msgs; ++m) node.send(0, 0, dst, payload);
+        for (int m = 0; m < msgs; ++m)
+          (void)node.recv(mps::kAnyThread, mps::kAnyProcess, 0);
+      });
+      node.host().join(node.user_thread(t));
+    });
+  };
+  traffic();  // warm: the pool learns the train sizes this workload needs
+  atm::CellArena::reset_census();
+  traffic();  // measured: steady state must not touch the heap
+  return {atm::CellArena::census().acquires, atm::CellArena::census().heap_allocs};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -223,12 +255,22 @@ int main(int argc, char** argv) {
     report.set("events_per_sec", r.wall_events_per_sec);
   }
 
-  const bool all_ok = speedup_ok && inline_only;
+  // The SAR data-path analogue of the EventFn census: with the pool warm,
+  // steady-state detailed-cells traffic must be allocation-free.
+  const ArenaPoint arena = arena_census(fast ? 8 : 24);
+  const bool arena_ok = arena.heap_allocs == 0 && arena.acquires > 0;
+
+  const bool all_ok = speedup_ok && inline_only && arena_ok;
   std::printf("\ncalendar >= %.0fx std::map at P >= 256: %s\n", gate, speedup_ok ? "yes" : "NO");
   std::printf("event closures all inline (no heap): %s\n", inline_only ? "yes" : "NO");
+  std::printf("cell trains pooled (warm run: %llu acquires, %llu heap allocs): %s\n",
+              static_cast<unsigned long long>(arena.acquires),
+              static_cast<unsigned long long>(arena.heap_allocs), arena_ok ? "yes" : "NO");
   report.summary("speedup_ok", speedup_ok);
   report.summary("event_fn_heap_constructions",
                  static_cast<std::int64_t>(census.heap_constructions));
+  report.summary("cell_arena_acquires", static_cast<std::int64_t>(arena.acquires));
+  report.summary("cell_arena_heap_allocs", static_cast<std::int64_t>(arena.heap_allocs));
   report.summary("all_ok", all_ok);
   if (opts.json) report.emit(opts.json_path);
   return all_ok ? 0 : 1;

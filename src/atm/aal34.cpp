@@ -42,7 +42,7 @@ std::size_t cell_count(std::size_t payload_bytes) {
   return (cpcs_size(payload_bytes) + kSarPayloadSize - 1) / kSarPayloadSize;
 }
 
-std::vector<Cell> segment(VcId vc, BytesView payload, std::uint16_t mid, std::uint8_t btag) {
+CellBuffer segment(VcId vc, BytesView payload, std::uint16_t mid, std::uint8_t btag) {
   NCS_ASSERT_MSG(payload.size() <= 65535 - 8, "AAL3/4 payload too large");
 
   // CPCS encapsulation.
@@ -63,7 +63,8 @@ std::vector<Cell> segment(VcId vc, BytesView payload, std::uint16_t mid, std::ui
 
   // SAR segmentation into 44-byte chunks.
   const std::size_t n = (cpcs.size() + kSarPayloadSize - 1) / kSarPayloadSize;
-  std::vector<Cell> cells(n);
+  CellBuffer cells;
+  cells.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t off = i * kSarPayloadSize;
     const std::size_t len = std::min(kSarPayloadSize, cpcs.size() - off);

@@ -12,9 +12,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <vector>
 
 #include "atm/cell.hpp"
+#include "atm/cell_arena.hpp"
 #include "common/bytes.hpp"
 #include "common/result.hpp"
 
@@ -37,8 +37,8 @@ std::size_t cell_count(std::size_t payload_bytes);
 /// Segments one CPCS-PDU into SAR cells on `vc`. `mid` is the multiplexing
 /// id shared by all cells of the message; `btag` disambiguates back-to-back
 /// messages. payload.size() must be <= 65535 - 8.
-std::vector<Cell> segment(VcId vc, BytesView payload, std::uint16_t mid = 0,
-                          std::uint8_t btag = 0);
+CellBuffer segment(VcId vc, BytesView payload, std::uint16_t mid = 0,
+                   std::uint8_t btag = 0);
 
 /// Reassembler for a single MID stream.
 class Reassembler {

@@ -28,12 +28,13 @@ Bytes build_cpcs_pdu(BytesView payload, std::uint8_t cpcs_uu) {
   return pdu;
 }
 
-std::vector<Cell> segment(VcId vc, BytesView payload, std::uint8_t cpcs_uu) {
+CellBuffer segment(VcId vc, BytesView payload, std::uint8_t cpcs_uu) {
   const Bytes pdu = build_cpcs_pdu(payload, cpcs_uu);
   NCS_ASSERT(pdu.size() % Cell::kPayloadSize == 0);
   const std::size_t n = pdu.size() / Cell::kPayloadSize;
 
-  std::vector<Cell> cells(n);
+  CellBuffer cells;
+  cells.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     Cell& c = cells[i];
     c.header.vpi = vc.vpi;

@@ -10,9 +10,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <vector>
 
 #include "atm/cell.hpp"
+#include "atm/cell_arena.hpp"
 #include "common/bytes.hpp"
 #include "common/result.hpp"
 
@@ -36,7 +36,7 @@ Bytes build_cpcs_pdu(BytesView payload, std::uint8_t cpcs_uu = 0);
 
 /// Segments `payload` into cells on `vc`. The last cell carries the
 /// end-of-PDU mark. payload.size() must be <= kMaxPayload.
-std::vector<Cell> segment(VcId vc, BytesView payload, std::uint8_t cpcs_uu = 0);
+CellBuffer segment(VcId vc, BytesView payload, std::uint8_t cpcs_uu = 0);
 
 /// Per-VC reassembler: feed cells in order; returns the recovered payload
 /// when an end-of-PDU cell completes a valid CPCS-PDU.

@@ -12,9 +12,9 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "atm/cell.hpp"
+#include "atm/cell_arena.hpp"
 #include "common/bytes.hpp"
 
 namespace ncs::atm {
@@ -25,8 +25,8 @@ struct Burst {
   /// True on the burst that completes an API-level write (message framing
   /// above AAL5; carried opaquely by the network).
   bool end_of_message = true;
-  Bytes payload;            // burst mode: the user chunk
-  std::vector<Cell> cells;  // detailed mode: real cells (payload empty)
+  Bytes payload;     // burst mode: the user chunk
+  CellBuffer cells;  // detailed mode: real cells (payload empty), pooled
   /// Burst-mode stand-in for a corrupted cell: the receiving NIC's CRC
   /// check fails and the PDU is dropped (detailed mode flips a real payload
   /// bit instead and lets the AAL reassembler catch it).

@@ -1,0 +1,55 @@
+#include "atm/cell_arena.hpp"
+
+#include <utility>
+
+namespace ncs::atm {
+
+CellArena::Census CellArena::census_;
+
+CellArena& CellArena::instance() {
+  static CellArena arena;
+  return arena;
+}
+
+std::vector<Cell> CellArena::acquire(std::size_t n) {
+  ++census_.acquires;
+  // First fit from the back (most recently released first — LIFO keeps the
+  // hot buffer hot and makes a repeating workload hit the same storage).
+  for (std::size_t i = pool_.size(); i-- > 0;) {
+    if (pool_[i].capacity() >= n) {
+      std::vector<Cell> out = std::move(pool_[i]);
+      pool_[i] = std::move(pool_.back());
+      pool_.pop_back();
+      out.clear();
+      ++census_.pool_hits;
+      return out;
+    }
+  }
+  return {};
+}
+
+void CellArena::release(std::vector<Cell>&& v) {
+  if (v.capacity() == 0 || pool_.size() >= kMaxPooled) return;
+  v.clear();
+  pool_.push_back(std::move(v));
+  ++census_.releases;
+}
+
+void CellArena::trim() { pool_.clear(); }
+
+void CellBuffer::grow_to(std::size_t n) {
+  if (v_.capacity() >= n) return;
+  if (v_.capacity() == 0) {
+    std::vector<Cell> pooled = CellArena::instance().acquire(n);
+    if (pooled.capacity() >= n) {
+      v_ = std::move(pooled);
+      return;
+    }
+    // Pool miss: fall through and size the fresh buffer ourselves (the
+    // zero-capacity vector acquire() returned needs no release).
+  }
+  CellArena::note_heap_alloc();
+  v_.reserve(n);
+}
+
+}  // namespace ncs::atm

@@ -1,0 +1,128 @@
+// Pooled storage for materialized cell trains (detailed-cells mode).
+//
+// The event path stopped allocating in the calendar-queue rework; the SAR
+// data path still built a fresh std::vector<Cell> per segmented PDU. At
+// simulated line rate that is one heap round-trip per chunk per hop —
+// exactly the churn the event-node arena eliminated. CellArena recycles
+// the vectors' capacity: a released train keeps its buffer and the next
+// segmentation of a same-sized PDU reuses it, so steady-state traffic
+// performs zero cell-storage allocations (asserted by bench/scale_sweep's
+// census, mirroring the EventFn check).
+//
+// CellBuffer is the user-facing handle: a vector<Cell> facade that
+// acquires pooled storage lazily on first growth and returns it to the
+// arena on destruction. The simulation is single-threaded, so one
+// process-wide arena needs no locking; pooling only changes where the
+// bytes live, never simulated behaviour.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "atm/cell.hpp"
+
+namespace ncs::atm {
+
+class CellArena {
+ public:
+  static CellArena& instance();
+
+  /// Pooled storage with capacity >= `n` if available (first fit), else an
+  /// empty fresh vector. Returned cleared.
+  std::vector<Cell> acquire(std::size_t n);
+
+  /// Returns a buffer's storage to the pool (contents discarded, capacity
+  /// kept). Zero-capacity and beyond-bound buffers are simply dropped.
+  void release(std::vector<Cell>&& v);
+
+  /// Drops all pooled storage (tests; steady state never calls this).
+  void trim();
+
+  std::size_t pooled() const { return pool_.size(); }
+
+  struct Census {
+    std::uint64_t acquires = 0;    // total acquire() calls
+    std::uint64_t pool_hits = 0;   // served from the pool with enough capacity
+    std::uint64_t heap_allocs = 0; // vector buffer allocations (fresh or grow)
+    std::uint64_t releases = 0;    // buffers returned to the pool
+  };
+  static const Census& census() { return census_; }
+  static void reset_census() { census_ = Census{}; }
+  /// CellBuffer reports its growth reallocations here.
+  static void note_heap_alloc() { ++census_.heap_allocs; }
+
+ private:
+  static constexpr std::size_t kMaxPooled = 4096;
+  std::vector<std::vector<Cell>> pool_;
+  static Census census_;
+};
+
+/// A cell train backed by arena-recycled storage. Supports the slice of
+/// the std::vector API the SAR/switch/test code uses; copying deep-copies
+/// into freshly acquired storage (bursts are occasionally copied in
+/// tests and fan-out paths).
+class CellBuffer {
+ public:
+  CellBuffer() = default;
+  ~CellBuffer() { release_storage(); }
+
+  CellBuffer(CellBuffer&& o) noexcept : v_(std::move(o.v_)) { o.v_ = {}; }
+  CellBuffer& operator=(CellBuffer&& o) noexcept {
+    if (this != &o) {
+      release_storage();
+      v_ = std::move(o.v_);
+      o.v_ = {};
+    }
+    return *this;
+  }
+
+  CellBuffer(const CellBuffer& o) { assign(o); }
+  CellBuffer& operator=(const CellBuffer& o) {
+    if (this != &o) {
+      v_.clear();
+      assign(o);
+    }
+    return *this;
+  }
+
+  void reserve(std::size_t n) { grow_to(n); }
+  void resize(std::size_t n) {
+    grow_to(n);
+    v_.resize(n);
+  }
+  void push_back(const Cell& c) {
+    if (v_.size() == v_.capacity()) grow_to(next_capacity());
+    v_.push_back(c);
+  }
+  void clear() { v_.clear(); }  // keeps storage
+
+  std::size_t size() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+  Cell& operator[](std::size_t i) { return v_[i]; }
+  const Cell& operator[](std::size_t i) const { return v_[i]; }
+  Cell* begin() { return v_.data(); }
+  Cell* end() { return v_.data() + v_.size(); }
+  const Cell* begin() const { return v_.data(); }
+  const Cell* end() const { return v_.data() + v_.size(); }
+  Cell& front() { return v_.front(); }
+  Cell& back() { return v_.back(); }
+
+ private:
+  void grow_to(std::size_t n);
+  std::size_t next_capacity() const {
+    const std::size_t cap = v_.capacity();
+    return cap == 0 ? 8 : cap * 2;
+  }
+  void assign(const CellBuffer& o) {
+    grow_to(o.size());
+    v_.assign(o.begin(), o.end());
+  }
+  void release_storage() {
+    if (v_.capacity() > 0) CellArena::instance().release(std::move(v_));
+  }
+
+  std::vector<Cell> v_;
+};
+
+}  // namespace ncs::atm

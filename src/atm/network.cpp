@@ -28,6 +28,10 @@ AtmLan::AtmLan(sim::Engine& engine, LanConfig config) {
   for (int i = 0; i < config.n_hosts; ++i)
     for (int j = 0; j < config.n_hosts; ++j)
       switch_->add_route(i, vc_to(j), j, vc_to(i));
+  // RMA plane: the same mesh shifted into the kRmaVciBase label range.
+  for (int i = 0; i < config.n_hosts; ++i)
+    for (int j = 0; j < config.n_hosts; ++j)
+      switch_->add_route(i, rma_vc_to(j), j, rma_vc_to(i));
 }
 
 AtmWan::AtmWan(sim::Engine& engine, WanConfig config) {
@@ -76,13 +80,20 @@ AtmWan::AtmWan(sim::Engine& engine, WanConfig config) {
       const int pj = local_port[static_cast<std::size_t>(j)];
       if (si == sj) {
         switches_[static_cast<std::size_t>(si)]->add_route(pi, vc_to(j), pj, vc_to(i));
+        switches_[static_cast<std::size_t>(si)]->add_route(pi, rma_vc_to(j), pj, rma_vc_to(i));
       } else {
         // Ingress switch: host uplink -> backbone, with a per-pair backbone
         // label in VPI 1 space. Egress switch: backbone -> host downlink.
+        // The RMA plane crosses on its own per-pair labels in VPI 2.
         const VcId bb_vc{1, static_cast<std::uint16_t>(i * 256 + j)};
         switches_[static_cast<std::size_t>(si)]->add_route(
             pi, vc_to(j), /*out_port=*/bb_in_port[si], bb_vc);
         switches_[static_cast<std::size_t>(sj)]->add_route(bb_in_port[sj], bb_vc, pj, vc_to(i));
+        const VcId bb_rma{2, static_cast<std::uint16_t>(i * 256 + j)};
+        switches_[static_cast<std::size_t>(si)]->add_route(
+            pi, rma_vc_to(j), /*out_port=*/bb_in_port[si], bb_rma);
+        switches_[static_cast<std::size_t>(sj)]->add_route(bb_in_port[sj], bb_rma, pj,
+                                                           rma_vc_to(i));
       }
     }
   }
@@ -146,10 +157,11 @@ AtmMultiWan::AtmMultiWan(sim::Engine& engine, MultiWanConfig config) {
     NCS_ASSERT(left_port_[uh + 1] == right_in);
   }
 
+  std::vector<std::pair<int, int>> pairs;
   if (config.provision.empty()) {
     for (int i = 0; i < config.n_hosts; ++i)
       for (int j = 0; j < config.n_hosts; ++j)
-        if (i != j) provision_pair(i, j);
+        if (i != j) pairs.emplace_back(i, j);
   } else {
     std::sort(config.provision.begin(), config.provision.end());
     config.provision.erase(
@@ -157,27 +169,34 @@ AtmMultiWan::AtmMultiWan(sim::Engine& engine, MultiWanConfig config) {
         config.provision.end());
     for (const auto& [i, j] : config.provision) {
       NCS_ASSERT(i >= 0 && i < config.n_hosts && j >= 0 && j < config.n_hosts);
-      if (i != j) provision_pair(i, j);
+      if (i != j) pairs.emplace_back(i, j);
     }
   }
+  // Data plane first, then the RMA plane as a second pass, so the data
+  // path's backbone label assignment is byte-identical with or without the
+  // one-sided subsystem in play (chaos digests must not move).
+  for (const auto& [i, j] : pairs) provision_pair(i, j, /*rma=*/false);
+  for (const auto& [i, j] : pairs) provision_pair(i, j, /*rma=*/true);
 }
 
-void AtmMultiWan::provision_pair(int src, int dst) {
+void AtmMultiWan::provision_pair(int src, int dst, bool rma) {
   const int si = site_of(src);
   const int sj = site_of(dst);
   const int pi = local_port_[static_cast<std::size_t>(src)];
   const int pj = local_port_[static_cast<std::size_t>(dst)];
   Switch& in_sw = *switches_[static_cast<std::size_t>(si)];
   Switch& out_sw = *switches_[static_cast<std::size_t>(sj)];
+  const VcId dst_vc = rma ? rma_vc_to(dst) : vc_to(dst);
+  const VcId src_vc = rma ? rma_vc_to(src) : vc_to(src);
   if (si == sj) {
-    in_sw.add_route(pi, vc_to(dst), pj, vc_to(src));
+    in_sw.add_route(pi, dst_vc, pj, src_vc);
     return;
   }
 
   // One fresh VPI-1 label per directed hop the path crosses; each switch
   // along the way rewrites the previous hop's label into the next one.
   const int step = si < sj ? 1 : -1;
-  VcId prev = vc_to(dst);
+  VcId prev = dst_vc;
   int prev_in_port = pi;
   for (int s = si; s != sj; s += step) {
     const auto hop = static_cast<std::size_t>(step > 0 ? s : s - 1);
@@ -192,7 +211,7 @@ void AtmMultiWan::provision_pair(int src, int dst) {
     prev_in_port = step > 0 ? left_port_[static_cast<std::size_t>(s + 1)]
                             : right_port_[static_cast<std::size_t>(s - 1)];
   }
-  out_sw.add_route(prev_in_port, prev, pj, vc_to(src));
+  out_sw.add_route(prev_in_port, prev, pj, src_vc);
 }
 
 int AtmMultiWan::labels_used(int site, bool rightward) const {

@@ -40,6 +40,26 @@ inline VcId vc_to(int dst) { return VcId{0, static_cast<std::uint16_t>(kVciBase 
 /// Source host of a received chunk, from the delivered VC label.
 inline int src_of(VcId vc) { return static_cast<int>(vc.vci) - static_cast<int>(kVciBase); }
 
+/// One-sided RMA plane: a second PVC mesh, provisioned alongside the data
+/// mesh with the same src/dst numbering shifted into a high VCI range
+/// (clear of data VCs and of the signaling channel's dynamic labels, which
+/// start at kDynamicVciBase = 1024). The rma::Engine terminates these VCs
+/// with Nic::set_vc_handler, the way the signaling agent terminates
+/// VPI 0 / VCI 5 — so one-sided traffic never touches the receive thread.
+inline constexpr std::uint16_t kRmaVciBase = 40000;
+
+/// VC a host uses for one-sided operations targeting host `dst`; also the
+/// label one-sided traffic *from* `dst` arrives on (switches rewrite
+/// between the two, mirroring the data plane).
+inline VcId rma_vc_to(int dst) {
+  return VcId{0, static_cast<std::uint16_t>(kRmaVciBase + dst)};
+}
+
+/// Source host of a received one-sided chunk.
+inline int rma_src_of(VcId vc) {
+  return static_cast<int>(vc.vci) - static_cast<int>(kRmaVciBase);
+}
+
 /// Abstract N-host ATM fabric; LAN and WAN expose the same host-side API
 /// so the protocol stacks are topology-agnostic.
 class AtmFabric {
@@ -150,7 +170,7 @@ class AtmMultiWan final : public AtmFabric {
   }
 
  private:
-  void provision_pair(int src, int dst);
+  void provision_pair(int src, int dst, bool rma);
 
   std::vector<int> site_of_;     // per host
   std::vector<int> local_port_;  // per host, port index on its site switch

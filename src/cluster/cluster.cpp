@@ -182,6 +182,8 @@ obs::MetricsRegistry& Cluster::metrics() {
           mwan->site_switch(s).register_metrics(reg, "switch" + std::to_string(s));
       }
     }
+    for (auto& e : rma_engines_)
+      e->register_metrics(reg, "p" + std::to_string(e->rank()) + "/rma");
     if (p4_ != nullptr) p4_->mesh().register_metrics(reg, "tcp");
     injector_->register_metrics(reg, "fault");
   }
@@ -242,6 +244,14 @@ void Cluster::init_ncs_hsm() {
       nodes_.back()->set_trace(&trace_, "p" + std::to_string(r) + "/mps");
     if (profiler_ != nullptr) nodes_.back()->set_profiler(profiler_.get());
     api::register_node(nodes_.back().get());
+    if (config_.rma_enabled) {
+      rma_engines_.push_back(std::make_unique<rma::Engine>(
+          host(r), fabric_->nic(r), r, config_.n_procs, config_.rma));
+      if (trace_enabled_)
+        rma_engines_.back()->set_trace(&trace_, "p" + std::to_string(r) + "/rma");
+      if (profiler_ != nullptr) rma_engines_.back()->set_profiler(profiler_.get());
+      nodes_.back()->set_rma(rma_engines_.back().get());
+    }
   }
 }
 

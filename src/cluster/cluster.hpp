@@ -82,6 +82,10 @@ class Cluster {
   mps::Node& node(int rank) { return *nodes_[static_cast<std::size_t>(rank)]; }
   bool has_ncs() const { return !nodes_.empty(); }
 
+  /// The one-sided engine of `rank` (config.rma_enabled HSM runs only).
+  rma::Engine& rma(int rank) { return *rma_engines_[static_cast<std::size_t>(rank)]; }
+  bool has_rma() const { return !rma_engines_.empty(); }
+
   /// The physical substrate, for statistics reporting (null when the other
   /// network kind is configured).
   ether::Bus* ethernet() { return bus_.get(); }
@@ -120,6 +124,7 @@ class Cluster {
   std::unique_ptr<proto::SegmentNetwork> segnet_;
   std::unique_ptr<p4::Runtime> p4_;
   std::vector<std::unique_ptr<mps::Node>> nodes_;
+  std::vector<std::unique_ptr<rma::Engine>> rma_engines_;
 };
 
 }  // namespace ncs::cluster

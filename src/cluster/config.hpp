@@ -21,6 +21,7 @@
 #include "fault/plan.hpp"
 #include "proto/costs.hpp"
 #include "proto/tcp.hpp"
+#include "rma/engine.hpp"
 #include "sim/engine.hpp"
 
 namespace ncs::cluster {
@@ -72,6 +73,12 @@ struct ClusterConfig {
   // point-to-point protocol engine via `ncs.proto` — off by default).
   mps::Node::Options ncs;
   std::size_t hsm_chunk = 4096;
+  /// One-sided plane (src/rma): when enabled, init_ncs_hsm() attaches an
+  /// rma::Engine per rank (the topologies always provision the RMA-plane
+  /// PVC mesh alongside the data mesh, so enabling this costs no labels
+  /// beyond what the constructor already installed).
+  bool rma_enabled = false;
+  rma::Params rma;
   /// HSM tier circuit provisioning: static full-mesh PVCs (default, the
   /// testbed configuration) or on-demand SVCs via the signaling channel
   /// (ATM LAN only; first contact with a peer pays the call setup).

@@ -222,6 +222,17 @@ std::string bottleneck_report(Cluster& cluster) {
     }
   }
 
+  if (!prof->rma_hists().empty()) {
+    // One-sided latency by operation kind (post -> completion).
+    line(out, "%-28s %8s %10s %10s %10s", "rma", "count", "p50-us", "p99-us",
+         "max-us");
+    for (const auto& [key, h] : prof->rma_hists()) {
+      line(out, "%-28s %8llu %10.1f %10.1f %10.1f", key.c_str(),
+           static_cast<unsigned long long>(h.count()), us(h.quantile(0.5)),
+           us(h.quantile(0.99)), us(h.max()));
+    }
+  }
+
   line(out, "%-5s %10s %12s %11s %9s %8s", "host", "compute", "communicate",
        "overlapped", "idle", "overlap");
   for (const obs::HostUsage& u : obs::fold_hosts(cluster.timeline())) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "core/mps/node.hpp"
+#include "rma/engine.hpp"
 
 namespace ncs::api {
 
@@ -81,5 +82,58 @@ inline std::vector<Bytes> NCS_gather(int root, BytesView contribution) {
 inline Bytes NCS_scatter(int root, std::span<const Bytes> payloads) {
   return self().scatter(root, payloads);
 }
+
+// --- one-sided operations (rma::Engine behind mps::Node; enable with
+//     ClusterConfig::rma_enabled). Ops return an op id immediately; their
+//     fate arrives on the endpoint's completion queue — NCS_rma_poll /
+//     NCS_rma_wait drain it, NCS_rma_fence waits for everything posted. ---
+
+inline rma::Engine& NCS_rma() { return self().rma(); }
+
+/// Registers `bytes` of zeroed process memory as one-sided window `id`
+/// (call on every rank with the same id/size before targeting it).
+inline rma::Window& NCS_win_create(int id, std::size_t bytes) {
+  return self().rma().create_window(id, bytes);
+}
+
+/// One-sided write of `data` into (peer, window, offset); with `notify`,
+/// the target's queue receives a remote_put completion when the data lands.
+inline std::uint32_t NCS_put(int peer, int window, std::uint64_t offset, BytesView data,
+                             bool notify = false, std::uint64_t cookie = 0) {
+  return self().rma().put(peer, window, offset, data, notify, cookie);
+}
+
+/// One-sided read of `len` bytes from (peer, rwindow, roffset) into the
+/// local (lwindow, loffset).
+inline std::uint32_t NCS_get(int peer, int rwindow, std::uint64_t roffset, int lwindow,
+                             std::uint64_t loffset, std::uint32_t len,
+                             std::uint64_t cookie = 0) {
+  return self().rma().get(peer, rwindow, roffset, lwindow, loffset, len, cookie);
+}
+
+/// Remote atomic add on the u64 at (peer, window, offset); the completion
+/// carries the pre-update value.
+inline std::uint32_t NCS_fetch_add(int peer, int window, std::uint64_t offset,
+                                   std::uint64_t delta, std::uint64_t cookie = 0) {
+  return self().rma().fetch_add(peer, window, offset, delta, cookie);
+}
+
+/// Remote atomic compare-and-swap on the u64 at (peer, window, offset);
+/// the swap happened iff the completion's value equals `expected`.
+inline std::uint32_t NCS_compare_swap(int peer, int window, std::uint64_t offset,
+                                      std::uint64_t expected, std::uint64_t desired,
+                                      std::uint64_t cookie = 0) {
+  return self().rma().compare_swap(peer, window, offset, expected, desired, cookie);
+}
+
+/// Non-blocking completion probe.
+inline std::optional<rma::Completion> NCS_rma_poll() { return self().rma().cq().poll(); }
+
+/// Blocks the calling thread until a completion is available.
+inline rma::Completion NCS_rma_wait() { return self().rma().cq().wait(); }
+
+/// Blocks until every posted one-sided op has completed (ok or error);
+/// completions stay on the queue for the caller to drain.
+inline void NCS_rma_fence() { self().rma().fence(); }
 
 }  // namespace ncs::api

@@ -4,6 +4,7 @@
 
 #include "coll/engine.hpp"
 #include "common/assert.hpp"
+#include "rma/engine.hpp"
 #include "common/log.hpp"
 
 namespace ncs::mps {
@@ -48,6 +49,23 @@ struct Node::CollFabric final : coll::Fabric {
 };
 
 Node::~Node() = default;
+
+void Node::set_rma(rma::Engine* engine) {
+  rma_ = engine;
+  if (rma_ != nullptr) {
+    // Failed one-sided completions surface through the same handler as
+    // two-sided delivery failures (Section 3.1's exception service).
+    rma_->set_exception_hook([this](const NcsException& e) {
+      ++stats_.exceptions;
+      if (exception_handler_) exception_handler_(e.kind(), e.peer(), e.seq());
+    });
+  }
+}
+
+rma::Engine& Node::rma() {
+  NCS_ASSERT_MSG(rma_ != nullptr, "one-sided plane not attached (enable rma in the config)");
+  return *rma_;
+}
 
 Node::Node(mts::Scheduler& host, int rank, int n_procs, std::unique_ptr<Transport> transport,
            Options options)

@@ -37,6 +37,10 @@ namespace ncs::coll {
 class Engine;
 }
 
+namespace ncs::rma {
+class Engine;
+}
+
 namespace ncs::mps {
 
 class Node {
@@ -154,6 +158,16 @@ class Node {
   /// The collective engine (algorithm_for introspection, Params).
   coll::Engine& coll() { return *coll_; }
 
+  // --- one-sided plane (src/rma; optional, attached by the harness) ---
+
+  /// Attaches the one-sided engine; also routes its failed completions
+  /// into this node's exception handler.
+  void set_rma(rma::Engine* engine);
+  bool has_rma() const { return rma_ != nullptr; }
+  /// The one-sided engine; asserts one is attached (cluster configs enable
+  /// it with `rma_enabled`).
+  rma::Engine& rma();
+
   // --- exception handling (paper Section 3.1, fourth service class) ---
 
   /// Failure kinds surfaced by the runtime (see exception.hpp; blocking
@@ -251,6 +265,7 @@ class Node {
   struct CollFabric;
   std::unique_ptr<CollFabric> coll_fabric_;
   std::unique_ptr<coll::Engine> coll_;
+  rma::Engine* rma_ = nullptr;  // not owned (lives beside the node)
 
   /// Guards every public collective entry point: thread-context check and
   /// the collectives stat.

@@ -26,6 +26,7 @@ const char* to_string(Layer l) {
     case Layer::sched_dispatch: return "sched_dispatch";
     case Layer::coll: return "coll";
     case Layer::proto: return "proto";
+    case Layer::rma: return "rma";
   }
   return "?";
 }
@@ -131,6 +132,15 @@ void Profiler::write_json(JsonWriter& w) const {
     for (const auto& [key, hist] : proto_count_) {
       w.key(key).begin_object();
       hist.write_json_raw(w);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  if (!rma_.empty()) {
+    w.key("rma").begin_object();
+    for (const auto& [key, hist] : rma_) {
+      w.key(key).begin_object();
+      hist.write_json(w);
       w.end_object();
     }
     w.end_object();

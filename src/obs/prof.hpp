@@ -66,8 +66,10 @@ enum class Layer : std::uint8_t {
   coll,             // whole-collective latency (entry -> result, per op)
   proto,            // protocol-engine delays: eager batch residency and
                     // rendezvous RTS->CTS handshake waits (mps/proto.hpp)
+  rma,              // one-sided operation latency (post -> completion, all
+                    // kinds; per-kind split lives in the "rma" section)
 };
-inline constexpr int kLayerCount = static_cast<int>(Layer::proto) + 1;
+inline constexpr int kLayerCount = static_cast<int>(Layer::rma) + 1;
 
 const char* to_string(Layer l);
 
@@ -130,6 +132,13 @@ class Profiler {
   const std::map<std::string, Histogram>& proto_time_hists() const { return proto_time_; }
   const std::map<std::string, Histogram>& proto_count_hists() const { return proto_count_; }
 
+  /// Per-kind one-sided latency sample ("put", "get", "fetch_add",
+  /// "compare_swap"), emitted as the profile's "rma" section; the
+  /// rma::Engine also folds the same sample into Layer::rma.
+  void record_rma(const std::string& key, Duration d) { rma_[key].record(d); }
+
+  const std::map<std::string, Histogram>& rma_hists() const { return rma_; }
+
   /// Messages whose full lifecycle was folded.
   std::uint64_t completed() const { return completed_; }
   /// Messages with at least one stamp but no wakeup yet (lost to a link
@@ -156,6 +165,7 @@ class Profiler {
   std::map<std::string, Histogram> coll_;
   std::map<std::string, Histogram> proto_time_;
   std::map<std::string, Histogram> proto_count_;
+  std::map<std::string, Histogram> rma_;
   std::uint64_t completed_ = 0;
 };
 

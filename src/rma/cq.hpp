@@ -1,0 +1,116 @@
+// Per-endpoint completion queue for one-sided operations.
+//
+// One-sided calls return immediately with an op id; the adapter reports
+// each operation's fate — success or a typed failure — by depositing a
+// Completion here. The queue is the only rendezvous between the RMA plane
+// and application threads: poll() is the cheap non-blocking probe, wait()
+// parks the calling thread until the adapter pushes (the same
+// block/unblock discipline as mts::Channel, so wakeup order is FIFO and
+// deterministic under the simulator's (time, seq) contract).
+//
+// Completions for operations on the same peer are pushed in posting
+// order (the engine's per-peer op stream is FIFO: one VC, one timeout
+// discipline); across peers the order is whatever the simulated network
+// produced — stable for a fixed seed, but not an ordering guarantee.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/time.hpp"
+#include "core/mps/exception.hpp"
+#include "core/mts/scheduler.hpp"
+
+namespace ncs::rma {
+
+enum class OpKind : std::uint8_t {
+  put,
+  get,
+  fetch_add,
+  compare_swap,
+  remote_put,  // target-side notification of a peer's NCS_put (notify flag)
+};
+
+inline const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::put: return "put";
+    case OpKind::get: return "get";
+    case OpKind::fetch_add: return "fetch_add";
+    case OpKind::compare_swap: return "compare_swap";
+    case OpKind::remote_put: return "remote_put";
+  }
+  return "?";
+}
+
+struct Completion {
+  OpKind kind = OpKind::put;
+  bool ok = true;
+  /// Valid when !ok — the failure class a blocked raise_if_error() throws.
+  mps::NcsExceptionKind error = mps::NcsExceptionKind::message_timeout;
+  int peer = -1;       // target rank (initiator rank for remote_put)
+  int window = 0;      // remote window id (local window for remote_put)
+  std::uint32_t op_id = 0;
+  std::uint64_t offset = 0;
+  std::uint32_t bytes = 0;
+  /// fetch_add / compare_swap: the value read at the target before the
+  /// update (compare_swap succeeded iff value == expected).
+  std::uint64_t value = 0;
+  std::uint64_t cookie = 0;  // caller-chosen tag, returned verbatim
+  TimePoint at;              // completion timestamp (engine clock)
+
+  /// Converts a failed completion into the typed exception the rest of the
+  /// runtime speaks (Section 3.1's fourth service class).
+  void raise_if_error() const {
+    if (!ok) throw mps::NcsException(error, peer, op_id);
+  }
+};
+
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(mts::Scheduler& sched) : sched_(sched) {}
+
+  /// Engine or thread context: deposits a completion, waking the
+  /// longest-blocked waiter.
+  void push(Completion c) {
+    items_.push_back(c);
+    ++pushed_;
+    if (!waiters_.empty()) {
+      mts::Thread* t = waiters_.front();
+      waiters_.pop_front();
+      sched_.unblock(t);
+    }
+  }
+
+  /// Non-blocking probe; any context.
+  std::optional<Completion> poll() {
+    if (items_.empty()) return std::nullopt;
+    Completion c = items_.front();
+    items_.pop_front();
+    return c;
+  }
+
+  /// Thread context only: blocks until a completion is available.
+  /// Re-checks on wakeup (a completion can be stolen by poll() between
+  /// push and resume, same as mts::Channel).
+  Completion wait() {
+    while (items_.empty()) {
+      waiters_.push_back(sched_.current());
+      sched_.block(sim::Activity::communicate);
+    }
+    Completion c = items_.front();
+    items_.pop_front();
+    return c;
+  }
+
+  std::size_t depth() const { return items_.size(); }
+  std::uint64_t pushed() const { return pushed_; }
+
+ private:
+  mts::Scheduler& sched_;
+  std::deque<mts::Thread*> waiters_;
+  std::deque<Completion> items_;
+  std::uint64_t pushed_ = 0;
+};
+
+}  // namespace ncs::rma

@@ -1,0 +1,73 @@
+// Memory registration for one-sided operations.
+//
+// A Window is the unit of remote accessibility: a pinned, contiguous byte
+// range a process exposes under a small integer id. Registration is what
+// lets the adapter firmware DMA directly between the wire and user memory
+// with no receive-thread involvement — the target side of NCS_put/NCS_get
+// resolves (window, offset) straight to a host address, exactly the way
+// the SBA-200's i960 resolved an I/O buffer slot.
+//
+// Windows are symmetric by convention (every rank creates window k with
+// the same size before using it), matching the collectives' SPMD model;
+// the engine validates every remote (window, offset, len) against the
+// local registration table and drops out-of-range requests on the floor
+// (the initiator's timeout machinery reports the failure).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "atm/cell.hpp"
+#include "common/bytes.hpp"
+
+namespace ncs::rma {
+
+/// What a registered (rank, window, offset, len) coordinate resolves to on
+/// the adapter: the RMA-plane VC toward the target plus the target-side
+/// window coordinates the firmware will DMA against.
+struct DmaDescriptor {
+  atm::VcId vc;          // RMA-plane PVC toward the target rank
+  int window = 0;        // target window id
+  std::uint64_t offset = 0;
+  std::uint32_t len = 0;
+};
+
+class Window {
+ public:
+  /// Registers `bytes` of window-owned, zero-initialized storage.
+  Window(int id, std::size_t bytes) : id_(id), owned_(bytes), mem_(owned_) {}
+
+  /// Registers caller-owned memory (must outlive the window).
+  Window(int id, std::span<std::byte> user) : id_(id), mem_(user) {}
+
+  Window(const Window&) = delete;
+  Window& operator=(const Window&) = delete;
+
+  int id() const { return id_; }
+  std::size_t size() const { return mem_.size(); }
+  std::span<std::byte> span() { return mem_; }
+  std::span<const std::byte> span() const { return mem_; }
+
+  bool in_range(std::uint64_t offset, std::uint64_t len) const {
+    return offset <= mem_.size() && len <= mem_.size() - offset;
+  }
+  std::byte* at(std::uint64_t offset) { return mem_.data() + offset; }
+  const std::byte* at(std::uint64_t offset) const { return mem_.data() + offset; }
+
+  /// Host-endian 8-byte loads/stores — the unit remote atomics operate on.
+  std::uint64_t load_u64(std::uint64_t offset) const {
+    std::uint64_t v;
+    std::memcpy(&v, at(offset), sizeof v);
+    return v;
+  }
+  void store_u64(std::uint64_t offset, std::uint64_t v) {
+    std::memcpy(at(offset), &v, sizeof v);
+  }
+
+ private:
+  int id_;
+  Bytes owned_;  // empty when registering user memory
+  std::span<std::byte> mem_;
+};
+
+}  // namespace ncs::rma

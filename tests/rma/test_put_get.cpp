@@ -1,0 +1,224 @@
+// One-sided put/get over the HSM ATM fabric: data lands with no receiver
+// thread involved, multi-chunk transfers reassemble exactly, completions
+// are FIFO per peer, loopback ops work, and runs are deterministic.
+#include "rma/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/config.hpp"
+#include "common/crc.hpp"
+#include "core/mps/node.hpp"
+
+namespace ncs::rma {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using namespace ncs::literals;
+
+Bytes patterned(std::size_t n, std::uint32_t salt) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b[i] = static_cast<std::byte>((i * 131 + salt * 29) & 0xFF);
+  return b;
+}
+
+TEST(RmaPutGet, PutLandsWithoutReceiverThreads) {
+  ClusterConfig cfg = cluster::sun_atm_lan(2);
+  cfg.rma_enabled = true;
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+
+  const Bytes data = patterned(512, 3);
+  Bytes seen;
+  std::uint64_t target_recvs = 0;
+  c.run([&](int rank) {
+    Engine& rma = c.rma(rank);
+    rma.create_window(0, 4096);
+    c.node(rank).barrier();  // both windows exist
+    const std::uint64_t recvs_before = c.node(rank).stats().recvs;
+    if (rank == 0) {
+      const std::uint32_t id = rma.put(1, 0, 64, data, /*notify=*/true, 99);
+      Completion done = rma.cq().wait();
+      EXPECT_TRUE(done.ok);
+      EXPECT_EQ(done.kind, OpKind::put);
+      EXPECT_EQ(done.op_id, id);
+      EXPECT_EQ(done.peer, 1);
+      EXPECT_EQ(done.bytes, 512u);
+      EXPECT_EQ(done.cookie, 99u);
+    } else {
+      // The target only waits on its CQ — no recv() anywhere.
+      Completion note = rma.cq().wait();
+      EXPECT_EQ(note.kind, OpKind::remote_put);
+      EXPECT_EQ(note.peer, 0);
+      EXPECT_EQ(note.offset, 64u);
+      EXPECT_EQ(note.bytes, 512u);
+      auto span = rma.window(0)->span().subspan(64, 512);
+      seen.assign(span.begin(), span.end());
+      target_recvs = c.node(1).stats().recvs - recvs_before;
+    }
+  });
+  EXPECT_EQ(seen, data);
+  EXPECT_EQ(target_recvs, 0u);
+  EXPECT_EQ(c.rma(1).stats().rx_requests, 1u);
+}
+
+TEST(RmaPutGet, MultiChunkPutReassemblesExactly) {
+  // 64 KiB spans many NIC I/O buffers; the TX pump chunks the frame and
+  // the target's reassembly must splice it back byte-exact.
+  ClusterConfig cfg = cluster::sun_atm_lan(2);
+  cfg.rma_enabled = true;
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+
+  const Bytes data = patterned(64 * 1024, 11);
+  const std::uint32_t want_crc = crc32_ieee(data);
+  std::uint32_t got_crc = 0;
+  c.run([&](int rank) {
+    Engine& rma = c.rma(rank);
+    rma.create_window(0, 128 * 1024);
+    c.node(rank).barrier();
+    if (rank == 0) {
+      rma.put(1, 0, 0, data, /*notify=*/true);
+      rma.fence();
+      EXPECT_TRUE(rma.cq().poll()->ok);
+    } else {
+      Completion note = rma.cq().wait();
+      EXPECT_EQ(note.bytes, data.size());
+      auto span = rma.window(0)->span().subspan(0, data.size());
+      got_crc = crc32_ieee(span);
+    }
+  });
+  EXPECT_EQ(got_crc, want_crc);
+  EXPECT_GT(c.rma(0).stats().tx_chunks, 4u);
+}
+
+TEST(RmaPutGet, GetReadsRemoteMemory) {
+  ClusterConfig cfg = cluster::sun_atm_lan(2);
+  cfg.rma_enabled = true;
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+
+  const Bytes data = patterned(2048, 5);
+  Bytes fetched;
+  c.run([&](int rank) {
+    Engine& rma = c.rma(rank);
+    Window& w = rma.create_window(0, 4096);
+    if (rank == 1) std::copy(data.begin(), data.end(), w.span().begin());
+    c.node(rank).barrier();
+    if (rank == 0) {
+      rma.get(1, 0, 0, /*lwindow=*/0, /*loffset=*/1024, 2048);
+      Completion done = rma.cq().wait();
+      EXPECT_TRUE(done.ok);
+      EXPECT_EQ(done.kind, OpKind::get);
+      auto span = w.span().subspan(1024, 2048);
+      fetched.assign(span.begin(), span.end());
+    }
+    c.node(rank).barrier();  // target stays alive until the get lands
+  });
+  EXPECT_EQ(fetched, data);
+  EXPECT_EQ(c.rma(0).stats().bytes_got, 2048u);
+}
+
+TEST(RmaPutGet, CompletionsArePostOrderPerPeer) {
+  ClusterConfig cfg = cluster::sun_atm_lan(2);
+  cfg.rma_enabled = true;
+  cfg.rma.op_credits = 2;  // force deferrals past the credit window
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+
+  constexpr int kOps = 8;
+  std::vector<std::uint32_t> order;
+  c.run([&](int rank) {
+    Engine& rma = c.rma(rank);
+    rma.create_window(0, 4096);
+    c.node(rank).barrier();
+    if (rank == 0) {
+      std::vector<std::uint32_t> ids;
+      for (int i = 0; i < kOps; ++i)
+        ids.push_back(rma.put(1, 0, static_cast<std::uint64_t>(i) * 64,
+                              patterned(64, static_cast<std::uint32_t>(i))));
+      rma.fence();
+      while (auto done = rma.cq().poll()) order.push_back(done->op_id);
+      EXPECT_EQ(order, ids);
+    }
+    c.node(rank).barrier();
+  });
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kOps));
+  EXPECT_GT(c.rma(0).stats().deferred, 0u);
+}
+
+TEST(RmaPutGet, LoopbackOpsCompleteLocally) {
+  ClusterConfig cfg = cluster::sun_atm_lan(2);
+  cfg.rma_enabled = true;
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+
+  c.run([&](int rank) {
+    Engine& rma = c.rma(rank);
+    Window& w = rma.create_window(0, 1024);
+    if (rank == 0) {
+      const Bytes data = patterned(256, 1);
+      rma.put(0, 0, 0, data, /*notify=*/true);
+      // Notify lands on our own CQ alongside the op completion.
+      Completion first = rma.cq().wait();
+      Completion second = rma.cq().wait();
+      EXPECT_EQ(first.kind, OpKind::remote_put);
+      EXPECT_EQ(second.kind, OpKind::put);
+      auto span = w.span().subspan(0, 256);
+      EXPECT_EQ(Bytes(span.begin(), span.end()), data);
+
+      rma.fetch_add(0, 0, 512, 41);
+      EXPECT_EQ(rma.cq().wait().value, 0u);
+      EXPECT_EQ(w.load_u64(512), 41u);
+    }
+  });
+}
+
+TEST(RmaPutGet, DeterministicCompletionStream) {
+  auto digest = [] {
+    ClusterConfig cfg = cluster::sun_atm_lan(4);
+    cfg.rma_enabled = true;
+    Cluster c(cfg);
+    c.init_ncs_hsm();
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    c.run([&](int rank) {
+      Engine& rma = c.rma(rank);
+      rma.create_window(0, 8192);
+      c.node(rank).barrier();
+      for (int i = 0; i < 6; ++i) {
+        const int peer = (rank + 1 + i) % c.n_procs();
+        rma.put(peer, 0, static_cast<std::uint64_t>(rank) * 128,
+                patterned(128, static_cast<std::uint32_t>(rank * 17 + i)));
+      }
+      rma.fence();
+      c.node(rank).barrier();
+      if (rank == 0) {
+        for (int r = 0; r < c.n_procs(); ++r) {
+          while (auto done = c.rma(r).cq().poll()) {
+            mix(done->op_id);
+            mix(static_cast<std::uint64_t>(done->peer));
+            mix(static_cast<std::uint64_t>(done->at.ps()));
+          }
+        }
+      }
+    });
+    mix(static_cast<std::uint64_t>((c.engine().now() - TimePoint::origin()).ps()));
+    return h;
+  };
+  const std::uint64_t a = digest();
+  const std::uint64_t b = digest();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ncs::rma

@@ -1,0 +1,126 @@
+// Fault coverage for the one-sided plane: when the WAN backbone goes down
+// mid-stream, pending RMA ops must complete *with error* on the CQ (typed
+// message_timeout), their credits must be released so the endpoint is
+// usable after the heal, the node's exception handler must hear about
+// every failure, and the whole recovery must be bit-identical across runs.
+#include "rma/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/config.hpp"
+#include "core/mps/node.hpp"
+
+namespace ncs::rma {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using namespace ncs::literals;
+
+struct OutageResult {
+  std::uint64_t digest = 0;
+  std::uint64_t error_completions = 0;
+  std::uint64_t handler_errors = 0;  // seen by the node exception handler
+  std::uint64_t exceptions = 0;      // cluster-wide NcsException count
+  bool healed_put_ok = false;
+  bool notify_landed = false;
+};
+
+OutageResult run_outage_scenario() {
+  ClusterConfig cfg = cluster::nynet_wan(2);
+  cfg.rma_enabled = true;
+  // Fail fast: 2 retries x 20ms response timeout, well inside the outage.
+  cfg.rma.response_timeout = 20_ms;
+  cfg.rma.retry_limit = 2;
+  cfg.rma.op_credits = 2;  // the failing ops must cycle through deferral
+  // Barriers cross the same backbone; they ride out the outage on the
+  // data plane's own retransmission.
+  cfg.ncs.error = {.kind = mps::ErrorControlKind::retransmit, .rto = 100_ms};
+  cfg.faults.link_down("sonet", TimePoint::origin() + 20_ms, 300_ms);
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+
+  OutageResult r;
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  c.run([&](int rank) {
+    c.node(rank).set_exception_handler([&r](mps::NcsExceptionKind kind, int, std::uint32_t) {
+      if (kind == mps::NcsExceptionKind::message_timeout) ++r.handler_errors;
+    });
+    Engine& rma = c.rma(rank);
+    rma.create_window(0, 4096);
+    c.node(rank).barrier();
+    c.host(rank).sleep_until(TimePoint::origin() + 30_ms);  // mid-outage
+    if (rank == 0) {
+      const Bytes data(64, std::byte{0x5A});
+      for (int i = 0; i < 4; ++i)
+        rma.put(1, 0, static_cast<std::uint64_t>(i) * 64, data);
+      rma.fetch_add(1, 0, 1024, 7);
+      rma.fence();  // every op resolves — with error — even on a dead circuit
+      while (auto done = rma.cq().poll()) {
+        EXPECT_FALSE(done->ok);
+        ++r.error_completions;
+        try {
+          done->raise_if_error();
+        } catch (const mps::NcsException& e) {
+          EXPECT_EQ(e.kind(), mps::NcsExceptionKind::message_timeout);
+          EXPECT_EQ(e.peer(), 1);
+        }
+        mix(done->op_id);
+        mix(static_cast<std::uint64_t>(done->at.ps()));
+      }
+      // Credits were released with the failures: after the heal, a full
+      // credit window of fresh ops must sail through.
+      c.host(rank).sleep_until(TimePoint::origin() + 400_ms);
+      rma.put(1, 0, 0, data, /*notify=*/true);
+      rma.put(1, 0, 64, data);
+      rma.fence();
+      bool all_ok = true;
+      int completed = 0;
+      while (auto done = rma.cq().poll()) {
+        all_ok &= done->ok;
+        ++completed;
+        mix(done->op_id);
+        mix(static_cast<std::uint64_t>(done->at.ps()));
+      }
+      r.healed_put_ok = all_ok && completed == 2;
+    } else {
+      // The target's CQ hears exactly one notify — the post-heal one.
+      Completion note = rma.cq().wait();
+      r.notify_landed = note.kind == OpKind::remote_put && note.offset == 0;
+    }
+    c.node(rank).barrier();
+  });
+  r.exceptions = c.ncs_exception_count();
+  mix(r.error_completions);
+  mix(c.rma(0).stats().retransmits);
+  mix(static_cast<std::uint64_t>((c.engine().now() - TimePoint::origin()).ps()));
+  r.digest = h;
+  return r;
+}
+
+TEST(RmaFault, BackboneOutageFailsPendingOpsThenHeals) {
+  const OutageResult r = run_outage_scenario();
+  EXPECT_EQ(r.error_completions, 5u);
+  EXPECT_EQ(r.handler_errors, 5u);
+  EXPECT_GE(r.exceptions, 5u);
+  EXPECT_TRUE(r.healed_put_ok);
+  EXPECT_TRUE(r.notify_landed);
+}
+
+TEST(RmaFault, RecoveryIsBitIdenticalAcrossRepeats) {
+  const OutageResult a = run_outage_scenario();
+  const OutageResult b = run_outage_scenario();
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.error_completions, b.error_completions);
+}
+
+}  // namespace
+}  // namespace ncs::rma
