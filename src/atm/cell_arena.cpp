@@ -18,7 +18,7 @@ std::vector<Cell> CellArena::acquire(std::size_t n) {
   for (std::size_t i = pool_.size(); i-- > 0;) {
     if (pool_[i].capacity() >= n) {
       std::vector<Cell> out = std::move(pool_[i]);
-      pool_[i] = std::move(pool_.back());
+      if (i != pool_.size() - 1) pool_[i] = std::move(pool_.back());
       pool_.pop_back();
       out.clear();
       ++census_.pool_hits;

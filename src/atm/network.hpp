@@ -43,7 +43,8 @@ inline int src_of(VcId vc) { return static_cast<int>(vc.vci) - static_cast<int>(
 /// One-sided RMA plane: a second PVC mesh, provisioned alongside the data
 /// mesh with the same src/dst numbering shifted into a high VCI range
 /// (clear of data VCs and of the signaling channel's dynamic labels, which
-/// start at kDynamicVciBase = 1024). The rma::Engine terminates these VCs
+/// start at kDynamicVciBase = 1024 and assert-stop short of this base
+/// rather than wrapping into it). The rma::Engine terminates these VCs
 /// with Nic::set_vc_handler, the way the signaling agent terminates
 /// VPI 0 / VCI 5 — so one-sided traffic never touches the receive thread.
 inline constexpr std::uint16_t kRmaVciBase = 40000;

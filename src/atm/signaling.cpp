@@ -216,7 +216,9 @@ SignalingAgent& CallController::agent(int host) {
 }
 
 VcId CallController::allocate_vc() {
-  NCS_ASSERT_MSG(next_vci_ != 0, "dynamic VCI space exhausted");
+  // Dynamic labels must stay below the RMA PVC plane: colliding with
+  // kRmaVciBase would silently splice SVC traffic into one-sided VCs.
+  NCS_ASSERT_MSG(next_vci_ < kRmaVciBase, "dynamic VCI space exhausted");
   return VcId{0, next_vci_++};
 }
 
@@ -399,7 +401,9 @@ SignalingAgent& WanCallController::agent(int host) {
 }
 
 VcId WanCallController::allocate_vc() {
-  NCS_ASSERT_MSG(next_vci_ != 0, "dynamic VCI space exhausted");
+  // Same bound as the LAN controller: dynamic labels stop short of the
+  // RMA PVC plane instead of wrapping into it.
+  NCS_ASSERT_MSG(next_vci_ < kRmaVciBase, "dynamic VCI space exhausted");
   return VcId{0, next_vci_++};
 }
 

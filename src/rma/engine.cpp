@@ -523,17 +523,13 @@ void Engine::handle_frame(int p, Bytes frame) {
     return;
   }
 
-  // The watermark proves every op id below `sync` completed at the
-  // initiator, so the idempotency state for them can never be needed again.
-  PeerState& ps = peer(p);
-  ps.atomic_cache.erase(ps.atomic_cache.begin(), ps.atomic_cache.lower_bound(sync));
-  ps.notified.erase(ps.notified.begin(), ps.notified.lower_bound(sync));
   RxRequest q;
   q.p = p;
   q.kind = kind;
   q.notify = (flags & 1) != 0;
   q.window = window_id;
   q.op_id = op_id;
+  q.sync = sync;
   q.offset = offset;
   q.len = len;
   q.aux = aux;
@@ -548,6 +544,16 @@ void Engine::handle_frame(int p, Bytes frame) {
 
 void Engine::execute_request(RxRequest q) {
   PeerState& ps = peer(q.p);
+  // The watermark proves every op id below `sync` completed at the
+  // initiator, so the idempotency state for them can never be needed again.
+  // Pruning happens here, not at frame arrival: requests park in rx_exec_
+  // for target_exec, and a successor frame's watermark arriving in that
+  // window must not evict the cache entry a parked duplicate still needs.
+  // FIFO execution plus the frame's sync clamp (sync <= its own op_id)
+  // guarantee the duplicate is answered from cache before any prune that
+  // could cover its id.
+  ps.atomic_cache.erase(ps.atomic_cache.begin(), ps.atomic_cache.lower_bound(q.sync));
+  ps.notified.erase(ps.notified.begin(), ps.notified.lower_bound(q.sync));
   Window* w = window(q.window);
   const std::uint64_t need = (q.kind == kPut || q.kind == kGet)
                                  ? std::uint64_t{q.len}

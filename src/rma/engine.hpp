@@ -187,6 +187,7 @@ class Engine {
     bool notify = false;
     int window = 0;
     std::uint32_t op_id = 0;
+    std::uint32_t sync = 0;  // initiator watermark, applied at execution time
     std::uint64_t offset = 0;
     std::uint32_t len = 0;
     std::uint64_t aux = 0;

@@ -177,6 +177,47 @@ TEST(RmaAtomics, SequentialAtomicsUnderLossNeverReExecute) {
   EXPECT_GT(retx, 0u);
 }
 
+TEST(RmaAtomics, ParkedDuplicateSurvivesSuccessorWatermark) {
+  // A response that barely loses the race with the initiator's timer makes
+  // a spurious retransmission: the duplicate lands at the target just
+  // before the *next* op's frame, whose sync watermark already covers the
+  // duplicate's id (the original completed at the initiator in between).
+  // The duplicate parks in rx_exec_ for target_exec; the successor frame's
+  // arrival in that window must not prune the cache entry that makes the
+  // duplicate a replay, or the fetch_add double-applies. A slow-firmware
+  // target (large target_exec, the park window) plus a timeout sweep
+  // through the response RTT guarantees some runs land the successor frame
+  // inside the duplicate's park window.
+  constexpr int kIters = 8;
+  for (double us = 40.0; us <= 220.0; us += 1.0) {
+    ClusterConfig cfg = cluster::sun_atm_lan(2);
+    cfg.rma_enabled = true;
+    cfg.rma.response_timeout = Duration::microseconds(us);
+    cfg.rma.retry_limit = 64;  // aggressive timers must never exhaust
+    cfg.rma.target_exec = Duration::microseconds(25);
+    Cluster c(cfg);
+    c.init_ncs_hsm();
+    std::uint64_t final_value = 0;
+    std::uint64_t retx = 0;
+    c.run([&](int rank) {
+      Engine& rma = c.rma(rank);
+      rma.create_window(0, 64);
+      c.node(rank).barrier();
+      if (rank == 0) {
+        for (int i = 0; i < kIters; ++i) {
+          rma.fetch_add(1, 0, 0, 1);
+          ASSERT_TRUE(rma.cq().wait().ok);  // complete before the next post
+        }
+      }
+      c.node(rank).barrier();
+      if (rank == 1) final_value = rma.window(0)->load_u64(0);
+    });
+    EXPECT_EQ(final_value, kIters) << "response_timeout = " << us << " us";
+    retx = c.rma(0).stats().retransmits;
+    if (retx == 0) break;  // timer now loses every race; sweep is done
+  }
+}
+
 TEST(RmaAtomics, ExactUnderLinkLossAndDeterministic) {
   // 5% uniform frame loss on every link: the idempotent-retransmission
   // protocol must still deliver the exact sum (cached atomic replies are
