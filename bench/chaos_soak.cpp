@@ -16,7 +16,16 @@
 // `--json[=path]` emits ncs-bench-v1; `--trace` additionally writes
 // chaos_<app>_trace.json Chrome traces with fault instants on the "fault"
 // track next to the traffic they perturb.
+//
+// `--telemetry` runs chaos and blackout with the live plane on: the chaos
+// rows gain windowed e2e p99 / p99.9 and must finish with zero hard SLO
+// breaches; the blackout arms the flight recorder, and the run must
+// auto-dump exactly one ncs-flight-recorder-v1 snapshot whose fabric ring
+// still holds the "link-down sonet" instant that caused the timeouts
+// (both gate the exit code).
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "cluster/bench_json.hpp"
@@ -93,6 +102,8 @@ int main(int argc, char** argv) {
               "retx", "exc", "ok");
 
   bool all_ok = true;
+  bool telemetry_all_ok = true;
+  bool recorder_all_ok = true;
   for (const App app : kApps) {
     ClusterConfig recover = nynet_wan(0);
     recover.ncs.error.kind = mps::ErrorControlKind::retransmit;
@@ -108,12 +119,21 @@ int main(int argc, char** argv) {
     ClusterConfig doomed = nynet_wan(0);  // EC=none: loss is unrecoverable
     doomed.ncs.recv_timeout = Duration::seconds(2);
     doomed.faults = blackout;
+    const std::string black_box =
+        std::string("chaos_") + app_name(app) + "_blackout_recorder.json";
+    if (opts.telemetry) {
+      doomed.telemetry = true;
+      doomed.recorder_path = black_box;
+    }
 
     const AppResult base = run_app(app, recover);
     const AppResult under = run_app(app, faulty);
     faulty.trace_path.clear();
     faulty.profile = false;
     faulty.report_path.clear();
+    // The repeat keeps telemetry (its sampler events are part of the event
+    // stream being compared) but must not clobber the first run's dump.
+    faulty.recorder_path.clear();
     const AppResult again = run_app(app, faulty);
     const AppResult dead = run_app(app, doomed);
 
@@ -123,7 +143,35 @@ int main(int argc, char** argv) {
         again.elapsed == under.elapsed && again.result_hash == under.result_hash &&
         again.retransmits == under.retransmits;
     const bool surfaced = dead.exceptions > 0 && !dead.correct;
-    all_ok = all_ok && recovered && deterministic && surfaced;
+
+    bool telemetry_ok = true;
+    bool recorder_ok = true;
+    if (opts.telemetry) {
+      // Chaos with retransmit EC recovers every loss: the live plane must
+      // have ticked, measured real tails, and graded no hard breach.
+      telemetry_ok = under.telemetry && under.telemetry_ticks > 0 &&
+                     under.e2e_p999_us > 0.0 && under.slo_hard_breaches == 0;
+      // The blackout's first failure must have dumped the black box —
+      // exactly once — and the fabric ring must still hold the outage.
+      std::string dump;
+      if (std::ifstream in(black_box); in) {
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        dump = ss.str();
+      }
+      const bool instant_captured = dump.find("link-down sonet") != std::string::npos;
+      recorder_ok = dead.telemetry && dead.recorder_triggers > 0 &&
+                    dead.recorder_dumps == 1 &&
+                    dump.find("ncs-flight-recorder-v1") != std::string::npos &&
+                    instant_captured;
+      std::printf("%8s  black box: %llu trigger(s), %llu dump(s), fault instant %s\n",
+                  app_name(app), static_cast<unsigned long long>(dead.recorder_triggers),
+                  static_cast<unsigned long long>(dead.recorder_dumps),
+                  instant_captured ? "captured" : "MISSING");
+    }
+    telemetry_all_ok = telemetry_all_ok && telemetry_ok;
+    recorder_all_ok = recorder_all_ok && recorder_ok;
+    all_ok = all_ok && recovered && deterministic && surfaced && telemetry_ok && recorder_ok;
     if (!under.bottleneck.empty()) std::printf("%s", under.bottleneck.c_str());
 
     const struct {
@@ -148,11 +196,24 @@ int main(int argc, char** argv) {
       report.set("retransmits", l.r.retransmits);
       report.set("exceptions", l.r.exceptions);
       report.set("ok", l.ok);
+      if (l.r.telemetry) {
+        report.set("telemetry_ticks", static_cast<std::int64_t>(l.r.telemetry_ticks));
+        report.set("e2e_p99_us", l.r.e2e_p99_us);
+        report.set("e2e_p999_us", l.r.e2e_p999_us);
+        report.set("slo_min_compliance", l.r.slo_min_compliance);
+        report.set("slo_max_burn", l.r.slo_max_burn);
+        report.set("recorder_triggers", l.r.recorder_triggers);
+        report.set("recorder_dumps", l.r.recorder_dumps);
+      }
     }
   }
 
   std::printf("\n%s\n", all_ok ? "chaos soak: all scenarios behaved"
                                : "chaos soak: FAILURES above");
+  if (opts.telemetry) {
+    report.summary("telemetry_ok", telemetry_all_ok);
+    report.summary("recorder_ok", recorder_all_ok);
+  }
   report.summary("all_ok", all_ok);
   if (opts.json) report.emit(opts.json_path);
   return all_ok ? 0 : 1;

@@ -58,12 +58,23 @@ struct RateResult {
 };
 
 RateResult run_rate(ProtoMode mode, std::size_t payload, int senders, int per_sender,
-                    const BenchOptions* prof_opts) {
+                    const BenchOptions* prof_opts, BenchTelemetry* telem = nullptr) {
   constexpr int kProcs = 8;
   ClusterConfig cfg = nynet_wan(kProcs);
   cfg.ncs.flow = {.kind = mps::FlowControlKind::window, .window = 8};
   cfg.ncs.proto.mode = mode;
   if (prof_opts != nullptr) prof_opts->apply(&cfg, "proto_sweep");
+  if (telem != nullptr) {
+    cfg.telemetry = true;
+    // Fault-free WAN traffic: the generous objective must hold every window.
+    obs::SloSpec slo;
+    slo.name = "e2e_p99_under_200ms";
+    slo.kind = obs::SloKind::latency;
+    slo.sketch = "mps/e2e";
+    slo.threshold = Duration::milliseconds(200);
+    slo.target = 0.99;
+    cfg.slos.push_back(slo);
+  }
   Cluster c(cfg);
   c.init_ncs_hsm();
 
@@ -94,6 +105,7 @@ RateResult run_rate(ProtoMode mode, std::size_t payload, int senders, int per_se
                     ? static_cast<std::uint64_t>(expect)  // one submit per message
                     : st.eager_frames + st.rndv_chunks;
   }
+  if (telem != nullptr) *telem = fold_telemetry(c);
   if (prof_opts != nullptr) std::printf("\n%s", bottleneck_report(c).c_str());
   return r;
 }
@@ -290,7 +302,41 @@ int main(int argc, char** argv) {
               eager_speedup, rndv_speedup, claims_hold ? "hold" : "FAILED");
   report.summary("all_correct", all_correct && claims_hold);
 
-  if (opts.prof) {
+  if (opts.telemetry) {
+    // Telemetry stage: the eager and legacy rate runs again with the live
+    // plane on — windowed tail series in the report, counter tracks in the
+    // trace, and latency-class row fields for the tail-latency diff gate.
+    std::printf("\ntelemetry rate runs (windowed p99/p99.9 + SLO grades):\n");
+    bool telemetry_ok = true;
+    for (const auto& [mode, name] :
+         {std::pair{ProtoMode::off, "off"}, std::pair{ProtoMode::eager, "eager"}}) {
+      BenchTelemetry t;
+      BenchOptions mode_opts = opts;
+      if (mode_opts.telemetry_prefix.empty())
+        mode_opts.telemetry_prefix = std::string("proto_sweep_") + name;
+      if (mode_opts.prof_prefix.empty())
+        mode_opts.prof_prefix = mode_opts.telemetry_prefix;
+      const RateResult r = run_rate(mode, 256, senders, per_sender, &mode_opts, &t);
+      all_correct = all_correct && r.correct;
+      if (t.ticks == 0 || t.slo_compliance < 1.0) telemetry_ok = false;
+      std::printf("  %-6s %9.0f msg/s  ticks %5llu  e2e p99 %9.1f us  "
+                  "p99.9 %9.1f us  compliance %.4f\n",
+                  name, r.msgs_per_sec, static_cast<unsigned long long>(t.ticks),
+                  t.e2e_p99_us, t.e2e_p999_us, t.slo_compliance);
+      report.row();
+      report.set("experiment", std::string("telemetry"));
+      report.set("mode", std::string(name));
+      report.set("payload_bytes", static_cast<std::int64_t>(256));
+      report.set("msgs_per_sec", r.msgs_per_sec);
+      report.set("telemetry_ticks", t.ticks);
+      report.set("e2e_p99_us", t.e2e_p99_us);
+      report.set("e2e_p999_us", t.e2e_p999_us);
+      report.set("slo_compliance", t.slo_compliance);
+      report.set("slo_max_burn", t.slo_max_burn);
+    }
+    report.summary("telemetry_ok", telemetry_ok);
+    all_correct = all_correct && telemetry_ok;
+  } else if (opts.prof) {
     const RateResult r = run_rate(ProtoMode::eager, 256, senders, per_sender, &opts);
     all_correct = all_correct && r.correct;
     std::printf("profiled run artifacts: %s + matching _trace.json\n",

@@ -26,6 +26,9 @@
 //   --fast    CI-sized run (fewer iterations, fewer sizes, P=8 only)
 //   --json    ncs-bench-v1 rows; summary put_small_latency_ok /
 //             counter_exact / chaos_identical / all_ok
+//   --telemetry  adds a 64 B put-stream run with the live plane on:
+//             windowed rma/op p99 / p99.9 rows and a latency SLO that
+//             must hold in every window (gates the exit code)
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -263,6 +266,49 @@ ChaosResult run_chaos(int iters) {
   return r;
 }
 
+// --- telemetry: the P=2 put stream with the live plane on ---
+
+struct TelemetryRun {
+  BenchTelemetry t;
+  double puts_per_sec = 0.0;
+};
+
+TelemetryRun run_telemetry(std::size_t payload, int count, const BenchOptions& opts) {
+  ClusterConfig cfg = sun_atm_lan(2);
+  cfg.rma_enabled = true;
+  opts.apply(&cfg, "rma_sweep");
+  cfg.telemetry = true;
+  // Fault-free LAN puts complete in tens of microseconds; the objective
+  // must hold every window.
+  obs::SloSpec slo;
+  slo.name = "rma_p99_under_10ms";
+  slo.kind = obs::SloKind::latency;
+  slo.sketch = "rma/op";
+  slo.threshold = Duration::milliseconds(10);
+  slo.target = 0.99;
+  cfg.slos.push_back(slo);
+
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+  const Bytes msg = patterned(payload, 3);
+  const Duration elapsed = c.run([&](int rank) {
+    rma::Engine& rma = c.rma(rank);
+    rma.create_window(0, 4096);
+    c.node(rank).barrier();
+    if (rank == 0) {
+      for (int i = 0; i < count; ++i)
+        rma.put(1, 0, (static_cast<std::uint64_t>(i) % 8) * 512, msg);
+      rma.fence();
+    }
+    c.node(rank).barrier();
+  });
+
+  TelemetryRun r;
+  r.puts_per_sec = count / elapsed.sec();
+  r.t = fold_telemetry(c);
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -351,10 +397,36 @@ int main(int argc, char** argv) {
               chaos_identical ? "bit-identical" : "DIVERGED");
   all_ok = all_ok && chaos_ok;
 
+  // --- telemetry ---
+  bool telemetry_ok = true;
+  if (opts.telemetry) {
+    const int t_count = fast ? 200 : 800;
+    const TelemetryRun tr = run_telemetry(64, t_count, opts);
+    telemetry_ok = tr.t.ticks > 0 && tr.t.slo_compliance == 1.0 &&
+                   tr.t.slo_hard_breaches == 0;
+    std::printf("\ntelemetry (64 B put stream, live plane on): %llu ticks, "
+                "rma p99 %.1f us, p99.9 %.1f us, SLO compliance %.3f: %s\n",
+                static_cast<unsigned long long>(tr.t.ticks), tr.t.rma_p99_us,
+                tr.t.rma_p999_us, tr.t.slo_compliance,
+                telemetry_ok ? "ok" : "FAILED");
+    report.row();
+    report.set("experiment", std::string("telemetry"));
+    report.set("payload_bytes", std::int64_t{64});
+    report.set("msgs", t_count);
+    report.set("puts_per_sec", tr.puts_per_sec);
+    report.set("telemetry_ticks", static_cast<std::int64_t>(tr.t.ticks));
+    report.set("rma_p99_us", tr.t.rma_p99_us);
+    report.set("rma_p999_us", tr.t.rma_p999_us);
+    report.set("slo_compliance", tr.t.slo_compliance);
+    report.set("slo_max_burn", tr.t.slo_max_burn);
+    all_ok = all_ok && telemetry_ok;
+  }
+
   report.summary("put_small_latency_ok", put_small_ok);
   report.summary("counter_exact", counter_exact);
   report.summary("chaos_retransmits", static_cast<std::int64_t>(a.retransmits));
   report.summary("chaos_identical", chaos_identical);
+  if (opts.telemetry) report.summary("telemetry_ok", telemetry_ok);
   report.summary("all_ok", all_ok);
 
   std::printf("\nclaims: one-sided beats send/recv small-message latency, counter sums "

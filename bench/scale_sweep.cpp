@@ -159,6 +159,51 @@ RingPoint ring_throughput(int n_procs, int msgs_per_host) {
   return p;
 }
 
+struct TelemetryPoint {
+  BenchTelemetry t;
+  double sim_elapsed_sec = 0;
+};
+
+/// The ring workload again, with the live telemetry plane on: windowed
+/// e2e sketches sampled every period, a generous latency SLO (the ring is
+/// fault-free; its compliance must be 1.0), counter tracks when tracing.
+TelemetryPoint telemetry_ring(int n_procs, int msgs_per_host,
+                              const BenchOptions& opts) {
+  ClusterConfig cfg = nynet_wan_multi(n_procs, std::min(8, std::max(1, n_procs / 2)));
+  for (int i = 0; i < n_procs; ++i) {
+    cfg.wan_provision.emplace_back(i, (i + 1) % n_procs);
+    cfg.wan_provision.emplace_back((i + 1) % n_procs, i);
+  }
+  opts.apply(&cfg, "scale_sweep_p" + std::to_string(n_procs));
+  cfg.telemetry = true;
+  obs::SloSpec slo;
+  slo.name = "e2e_p99_under_200ms";
+  slo.kind = obs::SloKind::latency;
+  slo.sketch = "mps/e2e";
+  slo.threshold = Duration::milliseconds(200);
+  slo.target = 0.99;
+  cfg.slos.push_back(slo);
+
+  Cluster c(cfg);
+  c.init_ncs_hsm();
+  const Bytes payload(1024, std::byte{0x5A});
+  c.run([&](int rank) {
+    mps::Node& node = c.node(rank);
+    const int t = node.t_create([&, rank] {
+      const int dst = (rank + 1) % n_procs;
+      for (int m = 0; m < msgs_per_host; ++m) node.send(0, 0, dst, payload);
+      for (int m = 0; m < msgs_per_host; ++m)
+        (void)node.recv(mps::kAnyThread, mps::kAnyProcess, 0);
+    });
+    node.host().join(node.user_thread(t));
+  });
+
+  TelemetryPoint tp;
+  tp.sim_elapsed_sec = (c.engine().now() - TimePoint::origin()).sec();
+  tp.t = fold_telemetry(c);
+  return tp;
+}
+
 /// Detailed-cells LAN traffic with the CellArena pool warmed by one run;
 /// the measured run must serve every SAR segmentation from the pool.
 struct ArenaPoint {
@@ -255,12 +300,41 @@ int main(int argc, char** argv) {
     report.set("events_per_sec", r.wall_events_per_sec);
   }
 
+  // Telemetry stage (--telemetry): tail-latency series + SLO grades over
+  // the same ring workload, at CI-sized P. Fault-free, so the generous
+  // latency objective must hold every window.
+  bool telemetry_ok = true;
+  if (opts.telemetry) {
+    std::printf("\ntelemetry: windowed p99/p99.9 + SLO grades on the WAN ring\n");
+    std::printf("%6s %6s %10s %12s %12s %11s %9s\n", "P", "msgs", "ticks",
+                "e2e p99-us", "e2e p99.9-us", "compliance", "max-burn");
+    for (const int p : {4, 16}) {
+      const int msgs = std::max(2, (fast ? 2048 : 16384) / p);
+      const TelemetryPoint tp = telemetry_ring(p, msgs, opts);
+      if (tp.t.ticks == 0 || tp.t.slo_compliance < 1.0) telemetry_ok = false;
+      std::printf("%6d %6d %10llu %12.1f %12.1f %11.4f %9.2f\n", p, msgs,
+                  static_cast<unsigned long long>(tp.t.ticks), tp.t.e2e_p99_us,
+                  tp.t.e2e_p999_us, tp.t.slo_compliance, tp.t.slo_max_burn);
+      report.row();
+      report.set("stage", std::string("telemetry"));
+      report.set("procs", p);
+      report.set("msgs_per_host", msgs);
+      report.set("telemetry_ticks", tp.t.ticks);
+      report.set("sim_elapsed_sec", tp.sim_elapsed_sec);
+      report.set("e2e_p99_us", tp.t.e2e_p99_us);
+      report.set("e2e_p999_us", tp.t.e2e_p999_us);
+      report.set("slo_compliance", tp.t.slo_compliance);
+      report.set("slo_max_burn", tp.t.slo_max_burn);
+    }
+    std::printf("fault-free SLO held every window: %s\n", telemetry_ok ? "yes" : "NO");
+  }
+
   // The SAR data-path analogue of the EventFn census: with the pool warm,
   // steady-state detailed-cells traffic must be allocation-free.
   const ArenaPoint arena = arena_census(fast ? 8 : 24);
   const bool arena_ok = arena.heap_allocs == 0 && arena.acquires > 0;
 
-  const bool all_ok = speedup_ok && inline_only && arena_ok;
+  const bool all_ok = speedup_ok && inline_only && arena_ok && telemetry_ok;
   std::printf("\ncalendar >= %.0fx std::map at P >= 256: %s\n", gate, speedup_ok ? "yes" : "NO");
   std::printf("event closures all inline (no heap): %s\n", inline_only ? "yes" : "NO");
   std::printf("cell trains pooled (warm run: %llu acquires, %llu heap allocs): %s\n",
@@ -271,6 +345,7 @@ int main(int argc, char** argv) {
                  static_cast<std::int64_t>(census.heap_constructions));
   report.summary("cell_arena_acquires", static_cast<std::int64_t>(arena.acquires));
   report.summary("cell_arena_heap_allocs", static_cast<std::int64_t>(arena.heap_allocs));
+  if (opts.telemetry) report.summary("telemetry_ok", telemetry_ok);
   report.summary("all_ok", all_ok);
   if (opts.json) report.emit(opts.json_path);
   return all_ok ? 0 : 1;

@@ -4,7 +4,7 @@
 //
 // `--prof` additionally runs a profiled 4-node ATM NCS matmul: prints the
 // bottleneck attribution table and writes table1_matmul_report.json
-// (ncs-run-report-v2) plus table1_matmul_trace.json (flow events stitch
+// (ncs-run-report-v3) plus table1_matmul_trace.json (flow events stitch
 // each send span to its recv span across host tracks in Perfetto).
 #include <cstdio>
 

@@ -64,6 +64,14 @@ class CellMux {
   std::size_t rr_ring_size() const { return rr_order_.size(); }
   std::size_t flow_count() const { return flows_.size(); }
 
+  /// Bursts queued and not yet fully serialized, across every VC (plus the
+  /// FIFO in non-interleaved mode) — the telemetry VC-backlog probe.
+  std::size_t backlog() const {
+    std::size_t n = fifo_.size();
+    for (const auto& kv : flows_) n += kv.second.bursts.size();
+    return n;
+  }
+
  private:
   struct Flow {
     std::deque<Burst> bursts;

@@ -90,6 +90,8 @@ class Nic : public CellSink {
 
   // --- TX (driver interface) ---
   bool tx_buffer_available() const { return tx_buffers_in_use_ < params_.tx_buffers; }
+  /// Occupied I/O buffers right now — the telemetry backpressure probe.
+  int tx_buffers_in_use() const { return tx_buffers_in_use_; }
 
   /// One-shot: `cb` fires when a TX buffer frees (immediately via the event
   /// queue if one is already free).

@@ -1,8 +1,44 @@
 #include "cluster/bench_opts.hpp"
 
+#include <algorithm>
 #include <cstring>
 
+#include "cluster/cluster.hpp"
+
 namespace ncs::cluster {
+
+BenchTelemetry fold_telemetry(Cluster& cluster) {
+  BenchTelemetry t;
+  const obs::TelemetrySampler* ts = cluster.telemetry();
+  if (ts == nullptr) return t;
+  t.enabled = true;
+  t.ticks = ts->ticks();
+  const auto us = [](std::int64_t ps) { return static_cast<double>(ps) * 1e-6; };
+  if (const obs::WindowedSketch* s = ts->find_sketch("mps/e2e");
+      s != nullptr && s->total().count() > 0) {
+    t.e2e_p99_us = us(s->total().quantile(0.99));
+    t.e2e_p999_us = us(s->total().quantile(0.999));
+  }
+  if (const obs::WindowedSketch* s = ts->find_sketch("rma/op");
+      s != nullptr && s->total().count() > 0) {
+    t.rma_p99_us = us(s->total().quantile(0.99));
+    t.rma_p999_us = us(s->total().quantile(0.999));
+  }
+  for (const obs::SloEngine::State& s : ts->slo().states()) {
+    const double compliance =
+        s.windows == 0 ? 1.0
+                       : static_cast<double>(s.compliant_windows) /
+                             static_cast<double>(s.windows);
+    t.slo_compliance = std::min(t.slo_compliance, compliance);
+    t.slo_max_burn = std::max(t.slo_max_burn, s.max_burn);
+    t.slo_hard_breaches += s.hard_breaches;
+  }
+  if (const obs::FlightRecorder* fr = cluster.recorder(); fr != nullptr) {
+    t.recorder_triggers = fr->triggers();
+    t.recorder_dumps = fr->dumps();
+  }
+  return t;
+}
 
 BenchOptions parse_bench_options(int argc, char** argv) {
   BenchOptions o;
@@ -26,7 +62,17 @@ BenchOptions parse_bench_options(int argc, char** argv) {
     } else if (std::strncmp(a, "--prof=", 7) == 0) {
       o.prof = true;
       o.prof_prefix = a + 7;
+    } else if (std::strcmp(a, "--telemetry") == 0) {
+      o.telemetry = true;
+      o.telemetry_prefix.clear();
+    } else if (std::strncmp(a, "--telemetry=", 12) == 0) {
+      o.telemetry = true;
+      o.telemetry_prefix = a + 12;
     }
+  }
+  if (o.telemetry && !o.prof) {
+    o.prof = true;
+    o.prof_prefix = o.telemetry_prefix;
   }
   return o;
 }
@@ -34,6 +80,14 @@ BenchOptions parse_bench_options(int argc, char** argv) {
 std::string BenchOptions::report_path(const std::string& tag) const {
   if (!prof) return "";
   return (prof_prefix.empty() ? tag : prof_prefix) + "_report.json";
+}
+
+std::string BenchOptions::recorder_path(const std::string& tag) const {
+  if (!telemetry) return "";
+  const std::string prefix =
+      !telemetry_prefix.empty() ? telemetry_prefix
+                                : (prof_prefix.empty() ? tag : prof_prefix);
+  return prefix + "_recorder.json";
 }
 
 void BenchOptions::apply(ClusterConfig* config, const std::string& tag) const {
@@ -44,6 +98,10 @@ void BenchOptions::apply(ClusterConfig* config, const std::string& tag) const {
     config->profile = true;
     config->report_path = prefix + "_report.json";
     if (config->trace_path.empty()) config->trace_path = prefix + "_trace.json";
+  }
+  if (telemetry) {
+    config->telemetry = true;
+    config->recorder_path = recorder_path(tag);
   }
 }
 

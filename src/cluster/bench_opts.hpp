@@ -3,15 +3,20 @@
 // Every bench accepts the same three flags, parsed here once instead of
 // per-binary:
 //
-//   --json[=PATH]    emit the ncs-bench-v1 report ("" or "-" = stdout)
-//   --trace[=PATH]   write a Chrome trace (default "<tag>_trace.json")
-//   --prof[=PREFIX]  enable the message-lifecycle / overlap profiler for
-//                    the bench's profiled run: writes
-//                    "<PREFIX>_report.json" (ncs-run-report-v2, per-layer
-//                    histograms + overlap ratios) and
-//                    "<PREFIX>_trace.json" (flow events included), and the
-//                    bench prints the bottleneck table. PREFIX defaults to
-//                    the bench tag.
+//   --json[=PATH]      emit the ncs-bench-v1 report ("" or "-" = stdout)
+//   --trace[=PATH]     write a Chrome trace (default "<tag>_trace.json")
+//   --prof[=PREFIX]    enable the message-lifecycle / overlap profiler for
+//                      the bench's profiled run: writes
+//                      "<PREFIX>_report.json" (ncs-run-report-v3, per-layer
+//                      histograms + overlap ratios) and
+//                      "<PREFIX>_trace.json" (flow events included), and the
+//                      bench prints the bottleneck table. PREFIX defaults to
+//                      the bench tag.
+//   --telemetry[=PREFIX] enable the live telemetry plane (implies --prof):
+//                      the report gains the "telemetry" section (windowed
+//                      p50/p99/p99.9 series, gauges, SLO grades), the trace
+//                      gains one counter track per sampled value, and the
+//                      flight recorder arms at "<PREFIX>_recorder.json".
 #pragma once
 
 #include <string>
@@ -27,18 +32,45 @@ struct BenchOptions {
   std::string trace_path;  // "" = default "<tag>_trace.json"
   bool prof = false;
   std::string prof_prefix;  // "" = default "<tag>"
+  bool telemetry = false;
+  std::string telemetry_prefix;  // "" = default prof prefix / tag
 
-  /// Applies the trace/profiling flags to one run's config; `tag` names
-  /// the run in default output paths. --prof implies a trace (that's where
-  /// the flow events live) unless --trace picked an explicit path.
+  /// Applies the trace/profiling/telemetry flags to one run's config; `tag`
+  /// names the run in default output paths. --prof implies a trace (that's
+  /// where the flow events live) unless --trace picked an explicit path;
+  /// --telemetry implies --prof.
   void apply(ClusterConfig* config, const std::string& tag) const;
 
   /// The profiled run's report destination ("" when --prof is absent).
   std::string report_path(const std::string& tag) const;
+
+  /// The armed flight-recorder dump path ("" when --telemetry is absent).
+  std::string recorder_path(const std::string& tag) const;
 };
 
 /// Scans argv for the shared flags; unknown arguments are ignored (benches
 /// with extra flags keep parsing those themselves).
 BenchOptions parse_bench_options(int argc, char** argv);
+
+class Cluster;
+
+/// Run-level telemetry summary a bench can report rows from and gate on.
+/// Extract before the cluster is torn down; zeros when telemetry was off.
+struct BenchTelemetry {
+  bool enabled = false;
+  std::uint64_t ticks = 0;
+  // Quantiles over the run-total sketches (simulated time, deterministic).
+  double e2e_p99_us = 0.0;
+  double e2e_p999_us = 0.0;
+  double rma_p99_us = 0.0;
+  double rma_p999_us = 0.0;
+  /// Worst run-level compliance across every objective (1.0 = all held).
+  double slo_compliance = 1.0;
+  double slo_max_burn = 0.0;
+  std::uint64_t slo_hard_breaches = 0;
+  std::uint64_t recorder_triggers = 0;
+  std::uint64_t recorder_dumps = 0;
+};
+BenchTelemetry fold_telemetry(Cluster& cluster);
 
 }  // namespace ncs::cluster

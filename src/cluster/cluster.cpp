@@ -107,6 +107,7 @@ Cluster::Cluster(ClusterConfig config)
 
   if (!config_.trace_path.empty()) enable_trace();
   if (config_.profile) enable_profiling();
+  if (config_.telemetry || !config_.recorder_path.empty()) enable_telemetry();
 }
 
 Cluster::~Cluster() {
@@ -151,6 +152,29 @@ void Cluster::enable_profiling() {
   }
   // Runtime modules created later (nodes) attach in init_*.
   for (auto& n : nodes_) n->set_profiler(profiler_.get());
+}
+
+void Cluster::enable_telemetry() {
+  if (telemetry_ != nullptr) return;
+  config_.telemetry = true;
+  enable_profiling();
+  telemetry_ = std::make_unique<obs::TelemetrySampler>(engine_, config_.telemetry_cfg);
+  recorder_ =
+      std::make_unique<obs::FlightRecorder>(config_.telemetry_cfg.recorder_capacity);
+  if (!config_.recorder_path.empty()) recorder_->arm(config_.recorder_path);
+  if (trace_enabled_) {
+    telemetry_->set_trace(&trace_);
+    recorder_->set_trace(&trace_);
+  }
+  // Every rank's end-to-end fold lands in one cluster-wide sketch (the
+  // profiler is cluster-wide already); RMA completions likewise.
+  profiler_->set_latency_sketch(&telemetry_->sketch("mps/e2e"));
+  profiler_->set_recorder(recorder_.get());
+  injector_->set_recorder(recorder_.get());
+  // Runtime modules created later attach in init_*.
+  for (auto& n : nodes_) n->set_recorder(recorder_.get());
+  for (auto& e : rma_engines_)
+    e->set_latency_sketch(&telemetry_->sketch("rma/op"));
 }
 
 bool Cluster::write_trace(const std::string& path) {
@@ -219,6 +243,7 @@ void Cluster::init_ncs_nsm() {
     if (trace_enabled_)
       nodes_.back()->set_trace(&trace_, "p" + std::to_string(r) + "/mps");
     if (profiler_ != nullptr) nodes_.back()->set_profiler(profiler_.get());
+    if (recorder_ != nullptr) nodes_.back()->set_recorder(recorder_.get());
     api::register_node(nodes_.back().get());
   }
 }
@@ -243,6 +268,7 @@ void Cluster::init_ncs_hsm() {
     if (trace_enabled_)
       nodes_.back()->set_trace(&trace_, "p" + std::to_string(r) + "/mps");
     if (profiler_ != nullptr) nodes_.back()->set_profiler(profiler_.get());
+    if (recorder_ != nullptr) nodes_.back()->set_recorder(recorder_.get());
     api::register_node(nodes_.back().get());
     if (config_.rma_enabled) {
       rma_engines_.push_back(std::make_unique<rma::Engine>(
@@ -250,21 +276,128 @@ void Cluster::init_ncs_hsm() {
       if (trace_enabled_)
         rma_engines_.back()->set_trace(&trace_, "p" + std::to_string(r) + "/rma");
       if (profiler_ != nullptr) rma_engines_.back()->set_profiler(profiler_.get());
+      if (telemetry_ != nullptr)
+        rma_engines_.back()->set_latency_sketch(&telemetry_->sketch("rma/op"));
       nodes_.back()->set_rma(rma_engines_.back().get());
     }
   }
 }
 
+void Cluster::bind_telemetry() {
+  obs::TelemetrySampler& ts = *telemetry_;
+
+  // Gauge probes over live module state (cheap reads, one sample per tick).
+  for (int r = 0; r < config_.n_procs; ++r) {
+    mts::Scheduler* sched = hosts_[static_cast<std::size_t>(r)].get();
+    ts.probe("p" + std::to_string(r) + "/mts/runnable",
+             [sched] { return static_cast<double>(sched->runnable_count()); });
+  }
+  for (auto& node : nodes_) {
+    const mps::Node* n = node.get();
+    ts.probe("p" + std::to_string(n->rank()) + "/mps/fc_outstanding",
+             [n] { return static_cast<double>(n->flow_control().total_outstanding()); });
+  }
+  for (auto& eng : rma_engines_) {
+    const rma::Engine* e = eng.get();
+    const std::string p = "p" + std::to_string(e->rank());
+    ts.probe(p + "/rma/credits_used",
+             [e] { return static_cast<double>(e->credits_in_use()); });
+    ts.probe(p + "/rma/pending", [e] { return static_cast<double>(e->pending()); });
+  }
+  if (fabric_ != nullptr) {
+    for (int r = 0; r < config_.n_procs; ++r) {
+      const atm::Nic* nic = &fabric_->nic(r);
+      ts.probe("p" + std::to_string(r) + "/nic/tx_buffers_in_use",
+               [nic] { return static_cast<double>(nic->tx_buffers_in_use()); });
+    }
+  }
+  ts.probe("engine/pending_events",
+           [this] { return static_cast<double>(engine_.pending()); });
+
+  // Configured SLOs; latency specs name their sketch ("mps/e2e", "rma/op").
+  for (const obs::SloSpec& spec : config_.slos) {
+    if (spec.kind == obs::SloKind::latency) {
+      ts.slo().add_latency(spec, &ts.sketch(spec.sketch));
+    } else if (!nodes_.empty()) {
+      // A bare delivery spec grades the NCS plane: sends that completed
+      // vs. exceptions raised.
+      ts.slo().add_delivery(
+          spec,
+          [this] {
+            std::uint64_t n = 0;
+            for (const auto& node : nodes_) n += node->stats().sends;
+            return n;
+          },
+          [this] {
+            std::uint64_t n = 0;
+            for (const auto& node : nodes_) n += node->stats().exceptions;
+            return n;
+          });
+    }
+  }
+  // The NCS plane always carries a delivery objective when telemetry is
+  // on: exceptions are the violations the paper's service class surfaces.
+  if (!nodes_.empty()) {
+    obs::SloSpec d;
+    d.name = "mps/delivery";
+    d.kind = obs::SloKind::delivery;
+    d.target = 0.99;
+    ts.slo().add_delivery(
+        d,
+        [this] {
+          std::uint64_t n = 0;
+          for (const auto& node : nodes_) n += node->stats().sends;
+          return n;
+        },
+        [this] {
+          std::uint64_t n = 0;
+          for (const auto& node : nodes_) n += node->stats().exceptions;
+          return n;
+        });
+  }
+  if (!rma_engines_.empty()) {
+    obs::SloSpec d;
+    d.name = "rma/delivery";
+    d.kind = obs::SloKind::delivery;
+    d.target = 0.99;
+    ts.slo().add_delivery(
+        d,
+        [this] {
+          std::uint64_t n = 0;
+          for (const auto& e : rma_engines_) n += e->stats().completions;
+          return n;
+        },
+        [this] {
+          std::uint64_t n = 0;
+          for (const auto& e : rma_engines_) n += e->stats().error_completions;
+          return n;
+        });
+  }
+
+  // SLO hard breaches are failures: they trigger the flight recorder like
+  // any exception upcall would.
+  ts.slo().set_hard_breach_hook(
+      [this](const obs::SloSpec& spec, double burn, TimePoint t) {
+        recorder_->trigger(-1, obs::FlightRecorder::EntryKind::slo_breach, t,
+                           "slo " + spec.name, -1,
+                           static_cast<std::int64_t>(burn * 1000.0));
+      });
+
+  ts.arm(engine_.now() + config_.telemetry_cfg.period,
+         [this] { return mains_remaining_ > 0; });
+}
+
 Duration Cluster::run(std::function<void(int)> main_fn) {
   const TimePoint t0 = engine_.now();
   TimePoint last_finish = t0;
-  int remaining = config_.n_procs;
+  mains_remaining_ = config_.n_procs;
 
   if (!config_.faults.empty()) injector_->schedule(config_.faults);
+  if (telemetry_ != nullptr) bind_telemetry();
 
   for (int r = 0; r < config_.n_procs; ++r) {
     host(r).spawn(
-        [this, r, main_fn, &last_finish, &remaining] {
+        [this, r, main_fn, &last_finish] {
           // An NcsException reaching main is a failed-but-clean process
           // exit (the exception service's whole point: no hung runs).
           try {
@@ -273,12 +406,12 @@ Duration Cluster::run(std::function<void(int)> main_fn) {
             NCS_WARN("cluster", "p%d main aborted by %s", r, e.what());
           }
           last_finish = ncs::max(last_finish, engine_.now());
-          --remaining;
+          --mains_remaining_;
         },
         {.name = "main", .priority = mts::kDefaultPriority});
   }
   engine_.run();
-  NCS_ASSERT_MSG(remaining == 0,
+  NCS_ASSERT_MSG(mains_remaining_ == 0,
                  "a main thread never finished (deadlocked waiting on a message?)");
   if (timeline_enabled_) timeline_.finish(engine_.now());
   if (!config_.trace_path.empty()) write_trace(config_.trace_path);

@@ -59,6 +59,17 @@ class Cluster {
   void enable_profiling();
   obs::Profiler* profiler() { return profiler_.get(); }
 
+  /// Call before init_*/run to turn on the live telemetry plane (implies
+  /// enable_profiling()): a TelemetrySampler ticks every
+  /// config.telemetry_cfg.period, snapshotting windowed latency sketches,
+  /// queue/credit gauges and SLO grades; a FlightRecorder collects recent
+  /// moments per host and dumps on the first failure when
+  /// config.recorder_path is set. Construction-time config.telemetry calls
+  /// this automatically.
+  void enable_telemetry();
+  obs::TelemetrySampler* telemetry() { return telemetry_.get(); }
+  obs::FlightRecorder* recorder() { return recorder_.get(); }
+
   /// The run-wide metrics registry: every module's counters under
   /// "p<r>/mts/...", "p<r>/mps/...", "p<r>/nic/...", "switch/...",
   /// "tcp/...", "ether/...". Built lazily on first call — call after
@@ -106,6 +117,11 @@ class Cluster {
   Duration run(std::function<void(int)> main_fn);
 
  private:
+  /// Registers the gauge probes, binds the configured SLOs, installs the
+  /// hard-breach -> recorder hook and arms the sampler. Called from run()
+  /// so every runtime module (nodes, RMA engines, fabric) exists.
+  void bind_telemetry();
+
   ClusterConfig config_;
   sim::Engine engine_;
   sim::Timeline timeline_;
@@ -113,7 +129,13 @@ class Cluster {
   obs::TraceLog trace_;
   bool trace_enabled_ = false;
   std::unique_ptr<obs::Profiler> profiler_;
+  std::unique_ptr<obs::TelemetrySampler> telemetry_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
+  /// Mains still running; run() counts it down and the telemetry sampler's
+  /// keep_going predicate reads it (a member so the periodic event can
+  /// never dangle).
+  int mains_remaining_ = 0;
 
   std::vector<std::unique_ptr<mts::Scheduler>> hosts_;
   std::unique_ptr<fault::FaultInjector> injector_;

@@ -19,6 +19,8 @@
 #include "core/mts/scheduler.hpp"
 #include "ether/bus.hpp"
 #include "fault/plan.hpp"
+#include "obs/slo.hpp"
+#include "obs/telemetry.hpp"
 #include "proto/costs.hpp"
 #include "proto/tcp.hpp"
 #include "rma/engine.hpp"
@@ -97,12 +99,32 @@ struct ClusterConfig {
   /// Enables the message-lifecycle / overlap profiler at construction
   /// (implies the activity timeline). run() then folds per-layer latency
   /// histograms and per-host overlap ratios; report_json() switches to the
-  /// "ncs-run-report-v2" schema with a "profile" section.
+  /// "ncs-run-report-v3" schema with a "profile" section.
   bool profile = false;
 
   /// When nonempty, the cluster writes report_json() here after run()
   /// (pairs with `profile` for the --prof bench flag, but works without).
   std::string report_path;
+
+  /// Enables the live telemetry plane at construction (implies `profile`):
+  /// a periodic sampler snapshots windowed latency sketches (mps/e2e,
+  /// rma/op), queue-depth/credit gauges and SLO grades every
+  /// telemetry_cfg.period of simulated time. report_json() gains a
+  /// "telemetry" section ("ncs-run-report-v3"); with tracing on, every
+  /// sampled value is also a Perfetto counter track.
+  bool telemetry = false;
+  obs::TelemetryConfig telemetry_cfg;
+
+  /// Latency SLOs bound at init_* time (spec.sketch names the telemetry
+  /// sketch: "mps/e2e", "rma/op"). A delivery SLO over NCS exceptions is
+  /// always added when telemetry is on. Hard breaches trigger the flight
+  /// recorder.
+  std::vector<obs::SloSpec> slos;
+
+  /// When nonempty, arms the flight recorder: the first failure trigger
+  /// (NcsException upcall, EC give-up, SLO hard breach) dumps the merged
+  /// per-host rings here as ncs-flight-recorder-v1 JSON.
+  std::string recorder_path;
 };
 
 /// The paper's "SUN/Ethernet" testbed with `n_procs` workstations.

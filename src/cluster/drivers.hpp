@@ -36,6 +36,24 @@ struct AppResult {
   /// empty otherwise. The cluster dies with the driver, so the rendered
   /// table is the profile's survivor.
   std::string bottleneck;
+
+  // Telemetry summary (ClusterConfig::telemetry runs; zero otherwise).
+  // Quantiles are over the run-total end-to-end / RMA sketches — like the
+  // bottleneck table, these survive the cluster so benches can report and
+  // gate on tail latency.
+  bool telemetry = false;
+  std::uint64_t telemetry_ticks = 0;
+  double e2e_p99_us = 0.0;
+  double e2e_p999_us = 0.0;
+  double rma_p99_us = 0.0;
+  double rma_p999_us = 0.0;
+  /// Worst (minimum) run-level SLO compliance across all objectives, 1.0
+  /// when every window complied; worst burn rate seen in any window.
+  double slo_min_compliance = 1.0;
+  double slo_max_burn = 0.0;
+  std::uint64_t slo_hard_breaches = 0;
+  std::uint64_t recorder_triggers = 0;
+  std::uint64_t recorder_dumps = 0;
 };
 
 /// FNV-1a over raw bytes; pass a previous digest as `h` to chain buffers.
@@ -52,6 +70,34 @@ inline std::uint64_t fnv1a(const void* data, std::size_t bytes,
 /// Copies the run's fault-facing counters out of the cluster.
 inline void fill_runtime_stats(Cluster& c, AppResult& r) {
   if (c.profiler() != nullptr) r.bottleneck = bottleneck_report(c);
+  if (obs::TelemetrySampler* ts = c.telemetry(); ts != nullptr) {
+    r.telemetry = true;
+    r.telemetry_ticks = ts->ticks();
+    const auto us = [](std::int64_t ps) { return static_cast<double>(ps) * 1e-6; };
+    if (const obs::WindowedSketch* s = ts->find_sketch("mps/e2e");
+        s != nullptr && s->total().count() > 0) {
+      r.e2e_p99_us = us(s->total().quantile(0.99));
+      r.e2e_p999_us = us(s->total().quantile(0.999));
+    }
+    if (const obs::WindowedSketch* s = ts->find_sketch("rma/op");
+        s != nullptr && s->total().count() > 0) {
+      r.rma_p99_us = us(s->total().quantile(0.99));
+      r.rma_p999_us = us(s->total().quantile(0.999));
+    }
+    for (const obs::SloEngine::State& s : ts->slo().states()) {
+      const double compliance =
+          s.windows == 0 ? 1.0
+                         : static_cast<double>(s.compliant_windows) /
+                               static_cast<double>(s.windows);
+      if (compliance < r.slo_min_compliance) r.slo_min_compliance = compliance;
+      if (s.max_burn > r.slo_max_burn) r.slo_max_burn = s.max_burn;
+      r.slo_hard_breaches += s.hard_breaches;
+    }
+  }
+  if (obs::FlightRecorder* fr = c.recorder(); fr != nullptr) {
+    r.recorder_triggers = fr->triggers();
+    r.recorder_dumps = fr->dumps();
+  }
   if (!c.has_ncs()) return;
   r.exceptions = c.ncs_exception_count();
   for (int i = 0; i < c.n_procs(); ++i)

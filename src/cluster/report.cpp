@@ -144,15 +144,30 @@ std::string report_json_impl(Cluster& cluster, const Duration* makespan) {
   const bool profiled = cluster.profiler() != nullptr;
   obs::JsonWriter w;
   w.begin_object();
-  // v2 = v1 + the "profile" section; consumers of v1 keep working either
-  // way, but the schema string lets them know the section is present.
-  w.field("schema", profiled ? "ncs-run-report-v2" : "ncs-run-report-v1");
+  // v2 = v1 + the "profile" section; v3 = profile histograms carry p999_us
+  // and telemetry runs add the "telemetry" section (windowed quantile
+  // series, gauges, SLO grades). Consumers of v1 keep working either way;
+  // the schema string says which sections are present.
+  w.field("schema", profiled ? "ncs-run-report-v3" : "ncs-run-report-v1");
   w.field("config", std::string_view(cluster.config().name));
   w.field("n_procs", cluster.n_procs());
   w.field("clock_sec", cluster.engine().now().sec());
   w.field("engine_events", cluster.engine().processed());
   if (makespan != nullptr) w.field("makespan_sec", makespan->sec());
   if (profiled) write_profile_section(cluster, w);
+  if (cluster.telemetry() != nullptr) {
+    w.key("telemetry").begin_object();
+    cluster.telemetry()->write_json(w);
+    w.end_object();
+  }
+  if (cluster.recorder() != nullptr) {
+    const obs::FlightRecorder& fr = *cluster.recorder();
+    w.key("flight_recorder").begin_object();
+    w.field("entries_recorded", fr.entries_recorded());
+    w.field("triggers", fr.triggers());
+    w.field("dumps", fr.dumps());
+    w.end_object();
+  }
   cluster.metrics().write_json(w);
   w.end_object();
   return std::move(w).str();
@@ -176,8 +191,8 @@ std::string bottleneck_report(Cluster& cluster) {
 
   const auto us = [](std::int64_t ps) { return static_cast<double>(ps) * 1e-6; };
   const double e2e_sum = static_cast<double>(prof->hist(obs::Layer::end_to_end).sum());
-  line(out, "%-16s %8s %10s %10s %10s %7s", "layer", "count", "p50-us", "p99-us",
-       "max-us", "share");
+  line(out, "%-16s %8s %10s %10s %10s %10s %7s", "layer", "count", "p50-us",
+       "p99-us", "p99.9-us", "max-us", "share");
   for (int i = 0; i < obs::kLayerCount; ++i) {
     const auto layer = static_cast<obs::Layer>(i);
     const obs::Histogram& h = prof->hist(layer);
@@ -188,9 +203,9 @@ std::string bottleneck_report(Cluster& cluster) {
     if (i <= static_cast<int>(obs::Layer::end_to_end) && e2e_sum > 0.0)
       std::snprintf(share, sizeof share, "%.0f%%",
                     static_cast<double>(h.sum()) / e2e_sum * 100.0);
-    line(out, "%-16s %8llu %10.1f %10.1f %10.1f %7s", obs::to_string(layer),
+    line(out, "%-16s %8llu %10.1f %10.1f %10.1f %10.1f %7s", obs::to_string(layer),
          static_cast<unsigned long long>(h.count()), us(h.quantile(0.5)),
-         us(h.quantile(0.99)), us(h.max()), share);
+         us(h.quantile(0.99)), us(h.quantile(0.999)), us(h.max()), share);
   }
 
   if (!prof->coll_hists().empty()) {

@@ -19,10 +19,13 @@ std::string report(Cluster& cluster);
 /// final clock, engine event count) plus the full metrics registry keyed
 /// "host/module/name". Schema "ncs-run-report-v1" normally; when the
 /// cluster has a profiler attached (ClusterConfig::profile /
-/// enable_profiling()) the schema is "ncs-run-report-v2" and a "profile"
-/// section is added: per-layer latency histograms (p50/p90/p99), message
-/// completion counts, per-thread activity totals, and per-host
-/// compute/communicate/overlap ratios (the paper's Fig 4 quantity). Pass
+/// enable_profiling()) the schema is "ncs-run-report-v3" and a "profile"
+/// section is added: per-layer latency histograms (p50/p90/p99/p99.9),
+/// message completion counts, per-thread activity totals, and per-host
+/// compute/communicate/overlap ratios (the paper's Fig 4 quantity). With
+/// the telemetry plane on (ClusterConfig::telemetry) a "telemetry"
+/// section (windowed timeseries + SLO grades) and a "flight_recorder"
+/// summary are added too. Pass
 /// the Duration returned by run() as `makespan`; omit it for runs that
 /// never complete a phase.
 std::string report_json(Cluster& cluster);

@@ -62,6 +62,14 @@ class FlowControl {
                : 0;
   }
 
+  /// Window occupancy summed over every destination — the telemetry
+  /// queue-depth probe for this node's flow-control plane.
+  int total_outstanding() const {
+    int n = 0;
+    for (int o : outstanding_) n += o;
+    return n;
+  }
+
   /// Registers the policy's counters under `prefix` (e.g. "p0/mps/flow").
   void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
 

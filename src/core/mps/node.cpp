@@ -57,6 +57,10 @@ void Node::set_rma(rma::Engine* engine) {
     // two-sided delivery failures (Section 3.1's exception service).
     rma_->set_exception_hook([this](const NcsException& e) {
       ++stats_.exceptions;
+      if (recorder_ != nullptr)
+        recorder_->trigger(rank_, obs::FlightRecorder::EntryKind::exception,
+                           host_.engine().now(), to_string(e.kind()), e.peer(),
+                           e.seq());
       if (exception_handler_) exception_handler_(e.kind(), e.peer(), e.seq());
     });
   }
@@ -102,6 +106,9 @@ Node::Node(mts::Scheduler& host, int rank, int n_procs, std::unique_ptr<Transpor
               [this](int dst) { send_queue_.push(SendRequest{Message{}, nullptr, dst}); },
           .exception =
               [this](Exception kind, int peer, std::uint32_t seq) {
+                if (recorder_ != nullptr)
+                  recorder_->trigger(rank_, obs::FlightRecorder::EntryKind::exception,
+                                     host_.engine().now(), to_string(kind), peer, seq);
                 if (exception_handler_) exception_handler_(kind, peer, seq);
               },
       });
@@ -128,10 +135,17 @@ Node::Node(mts::Scheduler& host, int rank, int n_procs, std::unique_ptr<Transpor
   ec_.set_give_up_handler([this](const Message& m) {
     if (!ProtoEngine::is_frame(m) || ProtoEngine::frame_takes_credit(m))
       fc_.on_ack(m.to_process);
+    if (recorder_ != nullptr)
+      recorder_->trigger(rank_, obs::FlightRecorder::EntryKind::give_up,
+                         host_.engine().now(), "ec_give_up", m.to_process, m.seq);
     if (exception_handler_)
       exception_handler_(Exception::message_timeout, m.to_process, m.seq);
   });
   transport_->set_frame_error_handler([this](int peer) {
+    if (recorder_ != nullptr)
+      recorder_->trigger(rank_, obs::FlightRecorder::EntryKind::exception,
+                         host_.engine().now(), to_string(Exception::frame_error), peer,
+                         0);
     if (exception_handler_) exception_handler_(Exception::frame_error, peer, 0);
   });
 }
@@ -188,6 +202,9 @@ Message Node::recv_matching(const Pattern& pattern) {
   } catch (const NcsException& e) {
     ++stats_.exceptions;
     NCS_WARN("ncs", "node %d recv raised %s", rank_, e.what());
+    if (recorder_ != nullptr)
+      recorder_->trigger(rank_, obs::FlightRecorder::EntryKind::exception,
+                         host_.engine().now(), to_string(e.kind()), e.peer(), e.seq());
     if (exception_handler_) exception_handler_(e.kind(), e.peer(), e.seq());
     throw;
   }

@@ -219,6 +219,13 @@ class Node {
   /// which reuse seq 0) is not profiled.
   void set_profiler(obs::Profiler* prof);
 
+  /// Flight-recorder hookup: every typed NcsException upcall (recv
+  /// timeout, frame error, one-sided failure) and every error-control
+  /// give-up on this node *triggers* the recorder — the first such failure
+  /// in the run dumps the snapshot. Does not disturb the application's
+  /// exception handler.
+  void set_recorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+
  private:
   struct SendRequest {
     Message msg;
@@ -283,6 +290,7 @@ class Node {
   int send_track_ = -1;
   int recv_track_ = -1;
   obs::Profiler* prof_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
 
   Stats stats_;
 };

@@ -51,6 +51,11 @@ void FaultInjector::fire(const std::string& label) {
   ++stats_.transitions_fired;
   NCS_INFO("fault", "%s", label.c_str());
   if (trace_ != nullptr) trace_->instant(trace_track_, label, "fault", engine_.now());
+  // Fault transitions live on the recorder's fabric ring (host -1), which
+  // per-message stamp traffic never evicts — so a dump triggered seconds
+  // after a blackout still contains the instant that caused it.
+  if (recorder_ != nullptr)
+    recorder_->note(-1, obs::FlightRecorder::EntryKind::fault, engine_.now(), label);
 }
 
 void FaultInjector::schedule(const FaultPlan& plan) {

@@ -16,6 +16,7 @@
 #include "fault/faults.hpp"
 #include "fault/plan.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
@@ -40,6 +41,11 @@ class FaultInjector {
   /// Fault transitions are emitted as instants onto a dedicated track.
   void set_trace(obs::TraceLog* trace);
 
+  /// Fault transitions additionally land on the flight recorder's fabric
+  /// ring, so a triggered dump shows the injected fault next to the
+  /// failures it caused.
+  void set_recorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+
   struct Stats {
     std::uint64_t events_scheduled = 0;
     std::uint64_t transitions_fired = 0;
@@ -59,6 +65,7 @@ class FaultInjector {
   std::map<std::string, HostFault*> host_;
   obs::TraceLog* trace_ = nullptr;
   int trace_track_ = -1;
+  obs::FlightRecorder* recorder_ = nullptr;
   std::uint64_t scheduled_total_ = 0;  // burst-seed mixing across plans
   Stats stats_;
 };

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <cstring>
 
 #include "common/assert.hpp"
 #include "obs/json.hpp"
@@ -32,6 +33,33 @@ void Histogram::record(std::int64_t v) {
   if (v > max_) max_ = v;
   sum_ += v;
   ++count_;
+}
+
+void Histogram::clear() {
+  std::memset(counts_, 0, sizeof counts_);
+  count_ = 0;
+  min_ = 0;
+  max_ = 0;
+  sum_ = 0;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (int b = 0; b < kBuckets; ++b)
+    counts_[static_cast<std::size_t>(b)] += other.counts_[static_cast<std::size_t>(b)];
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+std::uint64_t Histogram::count_le(std::int64_t v) const {
+  if (count_ == 0 || v < 0) return 0;
+  if (v >= max_) return count_;
+  std::uint64_t n = 0;
+  for (int b = 0; b < kBuckets && bucket_top(b) <= v; ++b)
+    n += counts_[static_cast<std::size_t>(b)];
+  return n;
 }
 
 double Histogram::mean() const {
@@ -67,6 +95,7 @@ void Histogram::write_json(JsonWriter& w) const {
   w.field("p50_us", static_cast<double>(quantile(0.50)) * kPsToUs);
   w.field("p90_us", static_cast<double>(quantile(0.90)) * kPsToUs);
   w.field("p99_us", static_cast<double>(quantile(0.99)) * kPsToUs);
+  w.field("p999_us", static_cast<double>(quantile(0.999)) * kPsToUs);
   w.field("max_us", static_cast<double>(max()) * kPsToUs);
   w.field("total_sec", static_cast<double>(sum()) * kPsToSec);
 }
@@ -78,6 +107,7 @@ void Histogram::write_json_raw(JsonWriter& w) const {
   w.field("p50", quantile(0.50));
   w.field("p90", quantile(0.90));
   w.field("p99", quantile(0.99));
+  w.field("p999", quantile(0.999));
   w.field("max", max());
   w.field("total", sum());
 }

@@ -27,6 +27,20 @@ class Histogram {
   void record(std::int64_t v);
   void record(Duration d) { record(d.ps()); }
 
+  /// Resets to the empty state without releasing storage (the counts array
+  /// is flat, so this is one memset — the WindowedSketch rotation path).
+  void clear();
+
+  /// Adds every sample of `other` into this histogram, bucket-for-bucket.
+  /// Exact for counts/sum/min/max; quantiles of the merge equal quantiles
+  /// of recording both sample streams into one histogram.
+  void merge(const Histogram& other);
+
+  /// Samples known to be <= v: the count of every bucket whose upper bound
+  /// is <= v. Conservative (a bucket straddling v is excluded), so
+  /// SLO compliance computed from it never over-reports. O(buckets).
+  std::uint64_t count_le(std::int64_t v) const;
+
   std::uint64_t count() const { return count_; }
   std::int64_t min() const { return count_ == 0 ? 0 : min_; }
   std::int64_t max() const { return max_; }
@@ -38,13 +52,13 @@ class Histogram {
   /// Returns 0 on an empty histogram.
   std::int64_t quantile(double q) const;
 
-  /// Emits count/min/mean/p50/p90/p99/max (microseconds) and total
+  /// Emits count/min/mean/p50/p90/p99/p999/max (microseconds) and total
   /// (seconds) as fields of the currently open JSON object. Assumes the
   /// recorded values are picoseconds.
   void write_json(JsonWriter& w) const;
 
   /// Unit-less variant for histograms of counts (e.g. eager batch
-  /// occupancy): emits count/min/mean/p50/p90/p99/max/total verbatim.
+  /// occupancy): emits count/min/mean/p50/p90/p99/p999/max/total verbatim.
   void write_json_raw(JsonWriter& w) const;
 
   static constexpr int kSubBits = 4;  // 16 linear sub-buckets per octave

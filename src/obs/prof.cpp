@@ -97,8 +97,13 @@ void Profiler::on_wakeup(const MsgKey& k, TimePoint wakeup) {
   if ((live.have & (1u << kDeliver)) != 0)
     record(Layer::mailbox, wakeup - live.t[kDeliver]);
   if ((live.have & (1u << kEnqueue)) != 0) {
-    record(Layer::end_to_end, wakeup - live.t[kEnqueue]);
+    const Duration e2e = wakeup - live.t[kEnqueue];
+    record(Layer::end_to_end, e2e);
     ++completed_;
+    if (e2e_sketch_ != nullptr) e2e_sketch_->record(wakeup, e2e);
+    if (recorder_ != nullptr)
+      recorder_->note(k.to, FlightRecorder::EntryKind::stamp, wakeup, "e2e", k.from,
+                      e2e.ps());
   }
   live_.erase(it);
 }

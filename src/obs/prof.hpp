@@ -39,6 +39,8 @@
 
 #include "common/time.hpp"
 #include "obs/hist.hpp"
+#include "obs/recorder.hpp"
+#include "obs/sketch.hpp"
 #include "sim/timeline.hpp"
 
 namespace ncs::obs {
@@ -80,6 +82,19 @@ inline std::uint64_t msg_flow_id(int from, int to, std::uint32_t seq) {
   return (static_cast<std::uint64_t>(static_cast<std::uint16_t>(from)) << 48) |
          (static_cast<std::uint64_t>(static_cast<std::uint16_t>(to)) << 32) |
          seq;
+}
+
+/// Flow ids for the one-sided plane: (initiator, target, op_id) plus a
+/// leg bit — 0 for the request arrow (post span -> target execution), 1
+/// for the response arrow (target execution -> completion). Bit 63 keeps
+/// the RMA id space disjoint from msg_flow_id (ranks are 16-bit, so the
+/// two-sided ids never set it).
+inline std::uint64_t rma_flow_id(int initiator, int target, std::uint32_t op_id,
+                                 int leg) {
+  return (1ull << 63) | (static_cast<std::uint64_t>(leg & 1) << 62) |
+         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(initiator)) << 46) |
+         (static_cast<std::uint64_t>(static_cast<std::uint16_t>(target)) << 30) |
+         op_id;
 }
 
 class Profiler {
@@ -139,6 +154,16 @@ class Profiler {
 
   const std::map<std::string, Histogram>& rma_hists() const { return rma_; }
 
+  /// Telemetry sink for completed end-to-end latencies: every on_wakeup
+  /// fold additionally records (wakeup time, e2e) into the sketch, so the
+  /// sampler sees tail latency as it happens. Pointer-guarded like the
+  /// other hooks.
+  void set_latency_sketch(WindowedSketch* sketch) { e2e_sketch_ = sketch; }
+
+  /// Flight-recorder sink: every fold leaves an EntryKind::stamp on the
+  /// destination host's ring (what = "e2e", peer = source, value = e2e ps).
+  void set_recorder(FlightRecorder* recorder) { recorder_ = recorder; }
+
   /// Messages whose full lifecycle was folded.
   std::uint64_t completed() const { return completed_; }
   /// Messages with at least one stamp but no wakeup yet (lost to a link
@@ -167,6 +192,8 @@ class Profiler {
   std::map<std::string, Histogram> proto_count_;
   std::map<std::string, Histogram> rma_;
   std::uint64_t completed_ = 0;
+  WindowedSketch* e2e_sketch_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
 };
 
 /// Per-thread activity totals folded from a finished Timeline track.

@@ -1,0 +1,54 @@
+#include "obs/sketch.hpp"
+
+#include "common/assert.hpp"
+
+namespace ncs::obs {
+
+WindowedSketch::WindowedSketch(Duration window, int subwindows)
+    : sub_(static_cast<std::size_t>(subwindows)),
+      sub_ps_(window.ps() / (subwindows > 0 ? subwindows : 1)) {
+  NCS_ASSERT_MSG(subwindows >= 1, "sketch needs at least one sub-window");
+  NCS_ASSERT_MSG(sub_ps_ > 0, "sketch window too small for its sub-window count");
+  NCS_ASSERT_MSG(window.ps() % subwindows == 0,
+                 "sketch window must divide evenly into sub-windows");
+}
+
+void WindowedSketch::advance_to(TimePoint t) {
+  // Align boundaries to absolute time so the rotation schedule is a pure
+  // function of timestamps, not of when the first sample happened to land.
+  const std::int64_t slot_start = (t.ps() / sub_ps_) * sub_ps_;
+  if (!started_) {
+    started_ = true;
+    cur_start_ps_ = slot_start;
+    return;
+  }
+  if (slot_start <= cur_start_ps_) return;
+  const std::int64_t gap = (slot_start - cur_start_ps_) / sub_ps_;
+  const auto n = static_cast<std::int64_t>(sub_.size());
+  if (gap >= n) {
+    // Idle longer than the whole window: every slot expired.
+    for (Histogram& h : sub_) h.clear();
+    cur_ = 0;
+  } else {
+    for (std::int64_t i = 0; i < gap; ++i) {
+      cur_ = (cur_ + 1) % static_cast<int>(n);
+      sub_[static_cast<std::size_t>(cur_)].clear();
+    }
+  }
+  rotations_ += static_cast<std::uint64_t>(gap);
+  cur_start_ps_ = slot_start;
+}
+
+void WindowedSketch::record(TimePoint t, std::int64_t v) {
+  advance_to(t);
+  sub_[static_cast<std::size_t>(cur_)].record(v);
+  total_.record(v);
+}
+
+Histogram WindowedSketch::window_hist() const {
+  Histogram merged;
+  for (const Histogram& h : sub_) merged.merge(h);
+  return merged;
+}
+
+}  // namespace ncs::obs

@@ -1,0 +1,122 @@
+#include "obs/slo.hpp"
+
+#include "common/assert.hpp"
+#include "obs/json.hpp"
+
+namespace ncs::obs {
+
+const char* to_string(SloKind k) {
+  switch (k) {
+    case SloKind::latency: return "latency";
+    case SloKind::delivery: return "delivery";
+  }
+  return "?";
+}
+
+void SloEngine::add_latency(SloSpec spec, const WindowedSketch* sketch) {
+  NCS_ASSERT(spec.kind == SloKind::latency);
+  NCS_ASSERT(sketch != nullptr);
+  NCS_ASSERT_MSG(spec.target >= 0.0 && spec.target < 1.0,
+                 "SLO target must be in [0, 1)");
+  State s;
+  s.spec = std::move(spec);
+  s.sketch = sketch;
+  states_.push_back(std::move(s));
+}
+
+void SloEngine::add_delivery(SloSpec spec, std::function<std::uint64_t()> attempts,
+                             std::function<std::uint64_t()> violations) {
+  NCS_ASSERT(spec.kind == SloKind::delivery);
+  NCS_ASSERT(attempts != nullptr && violations != nullptr);
+  NCS_ASSERT_MSG(spec.target >= 0.0 && spec.target < 1.0,
+                 "SLO target must be in [0, 1)");
+  State s;
+  s.spec = std::move(spec);
+  s.attempts = std::move(attempts);
+  s.violations = std::move(violations);
+  states_.push_back(std::move(s));
+}
+
+void SloEngine::grade(State& s, double compliance, bool had_samples, TimePoint now) {
+  s.last_compliance = compliance;
+  const double budget = 1.0 - s.spec.target;
+  s.last_burn = budget > 0.0 ? (1.0 - compliance) / budget : 0.0;
+  if (!had_samples) return;  // empty windows neither spend nor earn budget
+  ++s.windows;
+  if (compliance < s.min_compliance) s.min_compliance = compliance;
+  if (s.last_burn > s.max_burn) s.max_burn = s.last_burn;
+  if (compliance >= s.spec.target) {
+    ++s.compliant_windows;
+  } else {
+    ++s.breaches;
+  }
+  if (s.last_burn >= s.spec.hard_burn) {
+    ++s.hard_breaches;
+    if (hard_breach_hook_) hard_breach_hook_(s.spec, s.last_burn, now);
+  }
+}
+
+void SloEngine::evaluate(TimePoint now) {
+  for (State& s : states_) {
+    if (s.spec.kind == SloKind::latency) {
+      const Histogram window = s.sketch->window_hist();
+      const std::uint64_t total = window.count();
+      const double compliance =
+          total == 0
+              ? 1.0
+              : static_cast<double>(window.count_le(s.spec.threshold.ps())) /
+                    static_cast<double>(total);
+      grade(s, compliance, total != 0, now);
+    } else {
+      const std::uint64_t attempts = s.attempts();
+      const std::uint64_t violations = s.violations();
+      const std::uint64_t da = attempts - s.prev_attempts;
+      const std::uint64_t dv = violations - s.prev_violations;
+      s.prev_attempts = attempts;
+      s.prev_violations = violations;
+      // Violated attempts never complete, so the window's offered load is
+      // the completions plus the failures.
+      const std::uint64_t offered = da + dv;
+      const double compliance =
+          offered == 0 ? 1.0 : static_cast<double>(da) / static_cast<double>(offered);
+      grade(s, compliance, offered != 0, now);
+    }
+  }
+}
+
+std::uint64_t SloEngine::total_hard_breaches() const {
+  std::uint64_t n = 0;
+  for (const State& s : states_) n += s.hard_breaches;
+  return n;
+}
+
+void SloEngine::write_json(JsonWriter& w) const {
+  w.key("slo").begin_array();
+  for (const State& s : states_) {
+    w.begin_object();
+    w.field("name", std::string_view(s.spec.name));
+    w.field("kind", to_string(s.spec.kind));
+    if (s.spec.kind == SloKind::latency) {
+      w.field("sketch", std::string_view(s.spec.sketch));
+      w.field("threshold_us", static_cast<double>(s.spec.threshold.ps()) * 1e-6);
+    }
+    w.field("target", s.spec.target);
+    w.field("hard_burn", s.spec.hard_burn);
+    w.field("windows", s.windows);
+    w.field("compliant_windows", s.compliant_windows);
+    w.field("breaches", s.breaches);
+    w.field("hard_breaches", s.hard_breaches);
+    w.field("compliance",
+            s.windows == 0 ? 1.0
+                           : static_cast<double>(s.compliant_windows) /
+                                 static_cast<double>(s.windows));
+    w.field("min_compliance", s.min_compliance);
+    w.field("last_compliance", s.last_compliance);
+    w.field("last_burn", s.last_burn);
+    w.field("max_burn", s.max_burn);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+}  // namespace ncs::obs

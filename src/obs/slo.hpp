@@ -1,0 +1,110 @@
+// Declarative service-level objectives over the telemetry plane.
+//
+// An SloSpec states an objective ("99% of end-to-end latencies under
+// 5 ms", "99.9% of messages delivered without an exception") and the
+// SloEngine grades it once per sampler tick against the current sliding
+// window:
+//
+//   compliance = good / total over the window      (empty window = 1.0)
+//   burn_rate  = (1 - compliance) / (1 - target)
+//
+// burn_rate is the standard error-budget language: 1.0 means the window
+// is failing at exactly the rate the objective tolerates; 10.0 means the
+// budget burns ten times too fast. A window whose burn rate reaches
+// `hard_burn` (and actually contains samples) is a *hard breach* — the
+// engine counts it and fires the hard-breach hook, which the cluster
+// wires to the flight recorder so the dump captures the window that blew
+// the objective.
+//
+// Latency objectives read a WindowedSketch (compliance via
+// Histogram::count_le, which is conservative: a bucket straddling the
+// threshold counts as non-compliant, so compliance is never
+// over-reported). Delivery objectives read two cumulative counters
+// (attempts, violations) and grade the per-window delta.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "obs/sketch.hpp"
+
+namespace ncs::obs {
+
+class JsonWriter;
+
+enum class SloKind : std::uint8_t { latency, delivery };
+
+const char* to_string(SloKind k);
+
+struct SloSpec {
+  std::string name;              // e.g. "e2e_p99_under_5ms"
+  SloKind kind = SloKind::latency;
+  /// Latency objectives: the telemetry sketch graded ("mps/e2e",
+  /// "rma/op"); resolved by the cluster when it binds the spec.
+  std::string sketch;
+  /// Latency objectives: samples <= threshold are compliant.
+  Duration threshold;
+  /// Required fraction of compliant samples per window, in [0, 1).
+  double target = 0.99;
+  /// Burn rate at or above which a window is a hard breach.
+  double hard_burn = 10.0;
+};
+
+class SloEngine {
+ public:
+  struct State {
+    SloSpec spec;
+    const WindowedSketch* sketch = nullptr;        // latency
+    std::function<std::uint64_t()> attempts;       // delivery (cumulative)
+    std::function<std::uint64_t()> violations;     // delivery (cumulative)
+    std::uint64_t prev_attempts = 0;
+    std::uint64_t prev_violations = 0;
+    // Accumulated over the run.
+    std::uint64_t windows = 0;        // evaluations with samples/attempts
+    std::uint64_t compliant_windows = 0;
+    std::uint64_t breaches = 0;       // windows with compliance < target
+    std::uint64_t hard_breaches = 0;  // windows with burn >= hard_burn
+    double last_compliance = 1.0;
+    double last_burn = 0.0;
+    double max_burn = 0.0;
+    /// Worst (lowest) per-window compliance seen, 1.0 if never evaluated.
+    double min_compliance = 1.0;
+  };
+
+  /// Latency objective over `sketch` (not owned; must outlive the engine).
+  void add_latency(SloSpec spec, const WindowedSketch* sketch);
+
+  /// Delivery objective over two cumulative counters; each evaluation
+  /// grades the delta since the previous one.
+  void add_delivery(SloSpec spec, std::function<std::uint64_t()> attempts,
+                    std::function<std::uint64_t()> violations);
+
+  /// Grades every objective against its current window. `now` is only
+  /// forwarded to the hard-breach hook.
+  void evaluate(TimePoint now);
+
+  /// Fired (from evaluate) for each hard-breach window.
+  void set_hard_breach_hook(
+      std::function<void(const SloSpec&, double burn, TimePoint)> hook) {
+    hard_breach_hook_ = std::move(hook);
+  }
+
+  const std::vector<State>& states() const { return states_; }
+  bool empty() const { return states_.empty(); }
+  std::uint64_t total_hard_breaches() const;
+
+  /// Emits the "slo" array: one object per objective with spec, live
+  /// values and run accumulators.
+  void write_json(JsonWriter& w) const;
+
+ private:
+  void grade(State& s, double compliance, bool had_samples, TimePoint now);
+
+  std::vector<State> states_;
+  std::function<void(const SloSpec&, double, TimePoint)> hard_breach_hook_;
+};
+
+}  // namespace ncs::obs

@@ -44,6 +44,22 @@ std::uint8_t wire_kind(OpKind k) {
   return 0;
 }
 
+const char* request_name(std::uint8_t wire) {
+  switch (wire) {
+    case kPut: return "put";
+    case kGet: return "get";
+    case kFetchAdd: return "fetch_add";
+    case kCompareSwap: return "compare_swap";
+  }
+  return "?";
+}
+
+/// A point strictly inside [begin, end) when the span is non-empty — where
+/// flow events must land so Perfetto binds the arrow to the enclosing span.
+TimePoint midpoint(TimePoint begin, TimePoint end) {
+  return begin + Duration::picoseconds((end.ps() - begin.ps()) / 2);
+}
+
 }  // namespace
 
 Engine::Engine(mts::Scheduler& host, atm::Nic& nic, int rank, int n_procs,
@@ -93,6 +109,7 @@ std::uint32_t Engine::put(int peer_rank, int rwindow, std::uint64_t roffset,
   NCS_ASSERT(peer_rank >= 0 && peer_rank < n_procs_);
   NCS_ASSERT(rwindow >= 0 && rwindow <= 0xFFFF);
   NCS_ASSERT_MSG(data.size() <= params_.max_op_bytes, "put exceeds max_op_bytes");
+  const TimePoint post_begin = engine_.now();
   host_.charge_cycles(params_.desc_post_cycles, sim::Activity::overhead);
   PeerState& ps = peer(peer_rank);
   PendingOp op;
@@ -109,6 +126,7 @@ std::uint32_t Engine::put(int peer_rank, int rwindow, std::uint64_t roffset,
   stats_.bytes_put += data.size();
   if (peer_rank == rank_) return post_self(std::move(op), to_bytes(data));
   op.wire = build_frame(op, data);
+  trace_post(op, post_begin);
   const std::uint32_t id = op.op_id;
   ++pending_total_;
   issue(peer_rank, std::move(op));
@@ -124,6 +142,7 @@ std::uint32_t Engine::get(int peer_rank, int rwindow, std::uint64_t roffset,
   Window* lw = window(lwindow);
   NCS_ASSERT_MSG(lw != nullptr && lw->in_range(loffset, len),
                  "get destination outside a registered window");
+  const TimePoint post_begin = engine_.now();
   host_.charge_cycles(params_.desc_post_cycles, sim::Activity::overhead);
   PeerState& ps = peer(peer_rank);
   PendingOp op;
@@ -140,6 +159,7 @@ std::uint32_t Engine::get(int peer_rank, int rwindow, std::uint64_t roffset,
   ++stats_.gets;
   if (peer_rank == rank_) return post_self(std::move(op), {});
   op.wire = build_frame(op, {});
+  trace_post(op, post_begin);
   const std::uint32_t id = op.op_id;
   ++pending_total_;
   issue(peer_rank, std::move(op));
@@ -150,6 +170,7 @@ std::uint32_t Engine::fetch_add(int peer_rank, int rwindow, std::uint64_t roffse
                                 std::uint64_t delta, std::uint64_t cookie) {
   NCS_ASSERT(peer_rank >= 0 && peer_rank < n_procs_);
   NCS_ASSERT(rwindow >= 0 && rwindow <= 0xFFFF);
+  const TimePoint post_begin = engine_.now();
   host_.charge_cycles(params_.desc_post_cycles, sim::Activity::overhead);
   PeerState& ps = peer(peer_rank);
   PendingOp op;
@@ -165,6 +186,7 @@ std::uint32_t Engine::fetch_add(int peer_rank, int rwindow, std::uint64_t roffse
   ++stats_.fetch_adds;
   if (peer_rank == rank_) return post_self(std::move(op), {});
   op.wire = build_frame(op, {});
+  trace_post(op, post_begin);
   const std::uint32_t id = op.op_id;
   ++pending_total_;
   issue(peer_rank, std::move(op));
@@ -176,6 +198,7 @@ std::uint32_t Engine::compare_swap(int peer_rank, int rwindow,
                                    std::uint64_t desired, std::uint64_t cookie) {
   NCS_ASSERT(peer_rank >= 0 && peer_rank < n_procs_);
   NCS_ASSERT(rwindow >= 0 && rwindow <= 0xFFFF);
+  const TimePoint post_begin = engine_.now();
   host_.charge_cycles(params_.desc_post_cycles, sim::Activity::overhead);
   Bytes desired_bytes(8);
   {
@@ -196,6 +219,7 @@ std::uint32_t Engine::compare_swap(int peer_rank, int rwindow,
   ++stats_.compare_swaps;
   if (peer_rank == rank_) return post_self(std::move(op), std::move(desired_bytes));
   op.wire = build_frame(op, desired_bytes);
+  trace_post(op, post_begin);
   const std::uint32_t id = op.op_id;
   ++pending_total_;
   issue(peer_rank, std::move(op));
@@ -212,6 +236,17 @@ void Engine::fence() {
 void Engine::set_trace(obs::TraceLog* trace, const std::string& prefix) {
   trace_ = trace;
   trace_track_ = trace ? trace->track(prefix) : -1;
+}
+
+void Engine::trace_post(const PendingOp& op, TimePoint begin) {
+  if (trace_ == nullptr || op.peer == rank_) return;
+  const TimePoint end = engine_.now();
+  trace_->complete(trace_track_,
+                   std::string(to_string(op.kind)) + " #" +
+                       std::to_string(op.op_id) + " -> p" + std::to_string(op.peer),
+                   "rma", begin, end - begin);
+  trace_->flow_start(trace_track_, "rma-req", "flow", midpoint(begin, end),
+                     obs::rma_flow_id(rank_, op.peer, op.op_id, 0));
 }
 
 void Engine::register_metrics(obs::MetricsRegistry& reg,
@@ -387,8 +422,21 @@ void Engine::complete(int p, PendingOp op, bool ok, std::uint64_t value) {
     prof_->record(obs::Layer::rma, lat);
     prof_->record_rma(to_string(op.kind), lat);
   }
+  if (latency_sketch_ != nullptr) latency_sketch_->record(engine_.now(), lat);
   if (ok) {
     ++stats_.completions;
+    if (trace_ != nullptr && p != rank_) {
+      // Synthetic sliver ending at completion time — just wide enough for
+      // the response arrow to land inside it.
+      const TimePoint end = engine_.now();
+      const TimePoint begin = end - Duration::nanoseconds(500);
+      trace_->complete(trace_track_,
+                       std::string("comp ") + to_string(op.kind) + " #" +
+                           std::to_string(op.op_id) + " <- p" + std::to_string(p),
+                       "rma", begin, end - begin);
+      trace_->flow_end(trace_track_, "rma-resp", "flow", midpoint(begin, end),
+                       obs::rma_flow_id(rank_, p, op.op_id, 1));
+    }
   } else {
     ++stats_.error_completions;
     if (trace_) trace_->instant(trace_track_, "rma-error", "rma", engine_.now());
@@ -563,6 +611,20 @@ void Engine::execute_request(RxRequest q) {
     // exhaust and it completes with error.
     ++stats_.rx_bad_window;
     return;
+  }
+  if (trace_ != nullptr) {
+    // The request parked for exactly target_exec of firmware time; the
+    // span covers it, ends the request arrow, and starts the response one.
+    const TimePoint end = engine_.now();
+    const TimePoint begin = end - params_.target_exec;
+    trace_->complete(trace_track_,
+                     std::string("exec ") + request_name(q.kind) + " #" +
+                         std::to_string(q.op_id) + " from p" + std::to_string(q.p),
+                     "rma", begin, end - begin);
+    trace_->flow_end(trace_track_, "rma-req", "flow", midpoint(begin, end),
+                     obs::rma_flow_id(q.p, rank_, q.op_id, 0));
+    trace_->flow_start(trace_track_, "rma-resp", "flow", midpoint(begin, end),
+                       obs::rma_flow_id(q.p, rank_, q.op_id, 1));
   }
   switch (q.kind) {
     case kPut:

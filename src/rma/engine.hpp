@@ -128,6 +128,14 @@ class Engine {
   /// Outstanding (posted, not yet completed) operations.
   int pending() const { return pending_total_; }
 
+  /// Admission credits held right now, summed over every peer — the
+  /// telemetry probe for descriptor-ring occupancy.
+  int credits_in_use() const {
+    int n = 0;
+    for (const PeerState& ps : peers_) n += ps.credits_used;
+    return n;
+  }
+
   struct Stats {
     std::uint64_t puts = 0;
     std::uint64_t gets = 0;
@@ -155,7 +163,14 @@ class Engine {
   }
 
   void set_profiler(obs::Profiler* prof) { prof_ = prof; }
-  /// Creates "<prefix>" as an instant-event track (posts, errors, replays).
+  /// Telemetry sink: every completion (ok or error) records its
+  /// post->completion latency into the sketch at completion time.
+  void set_latency_sketch(obs::WindowedSketch* sketch) { latency_sketch_ = sketch; }
+  /// Creates "<prefix>" as this engine's trace track. Posts become spans
+  /// (descriptor-build cost) starting a flow arrow; target execution spans
+  /// end it and start the response arrow; completions end that — the
+  /// one-sided analogue of the send/recv flow stitching. Retransmits,
+  /// errors and replays stay instants.
   void set_trace(obs::TraceLog* trace, const std::string& prefix);
   void register_metrics(obs::MetricsRegistry& reg, const std::string& prefix) const;
 
@@ -221,6 +236,9 @@ class Engine {
   PeerState& peer(int p) { return peers_[static_cast<std::size_t>(p)]; }
 
   Bytes build_frame(const PendingOp& op, BytesView payload) const;
+  /// Initiator-side trace span + request flow arrow for a just-posted op;
+  /// `begin` is when the descriptor build started charging.
+  void trace_post(const PendingOp& op, TimePoint begin);
   std::uint32_t post_self(PendingOp op, Bytes data);
   void run_self_op();
   void issue(int p, PendingOp op);
@@ -269,6 +287,7 @@ class Engine {
 
   std::function<void(const mps::NcsException&)> exception_hook_;
   obs::Profiler* prof_ = nullptr;
+  obs::WindowedSketch* latency_sketch_ = nullptr;
   obs::TraceLog* trace_ = nullptr;
   int trace_track_ = -1;
   Stats stats_;

@@ -105,6 +105,26 @@ TEST(Histogram, QuantilesOrderedAndClamped) {
               50000.0 / Histogram::kSub + 1000.0);
 }
 
+TEST(Histogram, P999IsolatesTheTailOutlier) {
+  // Nine samples of 10 and a single 1,000,000 outlier: the p99.9 rank
+  // lands on the outlier and must report it exactly (bucket top clamped
+  // to the true max), while the median stays with the bulk. This is the
+  // regression the telemetry plane's tail gates depend on — a p99.9 that
+  // rounded the outlier away would pass every SLO it should fail.
+  Histogram h;
+  for (int i = 0; i < 9; ++i) h.record(std::int64_t{10});
+  h.record(std::int64_t{1000000});
+  EXPECT_EQ(h.quantile(0.5), 10);
+  EXPECT_EQ(h.quantile(0.999), 1000000);
+  EXPECT_EQ(h.quantile(1.0), 1000000);
+  // With the outlier diluted below the p99.9 rank it must disappear again.
+  Histogram big;
+  for (int i = 0; i < 9999; ++i) big.record(std::int64_t{10});
+  big.record(std::int64_t{1000000});
+  EXPECT_EQ(big.quantile(0.999), 10);
+  EXPECT_EQ(big.quantile(1.0), 1000000);
+}
+
 TEST(Histogram, RecordsDurations) {
   Histogram h;
   h.record(3_us);

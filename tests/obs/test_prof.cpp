@@ -216,7 +216,7 @@ TEST(OverlapFold, TouchingIntervalsDoNotOverlap) {
 
 // --- End-to-end: a profiled cluster run -------------------------------------
 
-TEST(ProfiledRun, ReportV2AndFlowEventsFromRealTraffic) {
+TEST(ProfiledRun, ReportV3AndFlowEventsFromRealTraffic) {
   using cluster::Cluster;
   cluster::ClusterConfig cfg = cluster::sun_atm_lan(2);
   cfg.profile = true;
@@ -247,10 +247,11 @@ TEST(ProfiledRun, ReportV2AndFlowEventsFromRealTraffic) {
   EXPECT_GT(c.profiler()->hist(Layer::nic_sar).count(), 0u);
 
   const std::string report = cluster::report_json(c);
-  EXPECT_NE(report.find("\"schema\":\"ncs-run-report-v2\""), std::string::npos);
+  EXPECT_NE(report.find("\"schema\":\"ncs-run-report-v3\""), std::string::npos);
   EXPECT_NE(report.find("\"profile\""), std::string::npos);
   EXPECT_NE(report.find("\"end_to_end\""), std::string::npos);
   EXPECT_NE(report.find("\"p99_us\""), std::string::npos);
+  EXPECT_NE(report.find("\"p999_us\""), std::string::npos);
   EXPECT_NE(report.find("\"overlap_ratio\""), std::string::npos);
   EXPECT_NE(report.find("\"hosts\""), std::string::npos);
   EXPECT_NE(report.find("\"threads\""), std::string::npos);

@@ -1,0 +1,116 @@
+// WindowedSketch: absolute-time slot alignment, sliding-window merge,
+// idle expiry, cumulative totals, and bit-identical determinism.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "obs/sketch.hpp"
+
+namespace ncs::obs {
+namespace {
+
+TimePoint at_ms(std::int64_t ms) {
+  return TimePoint::origin() + Duration::milliseconds(static_cast<double>(ms));
+}
+
+TEST(WindowedSketch, GeometryFromConfig) {
+  WindowedSketch s(Duration::milliseconds(100), 10);
+  EXPECT_EQ(s.n_sub(), 10);
+  EXPECT_EQ(s.subwindow(), Duration::milliseconds(10));
+  EXPECT_EQ(s.window(), Duration::milliseconds(100));
+  EXPECT_EQ(s.rotations(), 0u);
+  EXPECT_EQ(s.window_hist().count(), 0u);
+}
+
+TEST(WindowedSketch, BoundariesAlignToAbsoluteTimeNotFirstSample) {
+  // First sample at 7 ms, second at 12 ms: under one sub-window apart,
+  // but they straddle the absolute 10 ms boundary, so the ring rotates.
+  // This is what makes the rotation schedule a pure function of
+  // timestamps — and the series deterministic across runs.
+  WindowedSketch s(Duration::milliseconds(100), 10);
+  s.record(at_ms(7), 1);
+  EXPECT_EQ(s.rotations(), 0u);
+  s.record(at_ms(12), 2);
+  EXPECT_EQ(s.rotations(), 1u);
+  EXPECT_EQ(s.window_hist().count(), 2u);
+}
+
+TEST(WindowedSketch, WindowMergeCoversExactlyTheLastWindow) {
+  WindowedSketch s(Duration::milliseconds(100), 10);
+  for (int ms = 0; ms < 200; ms += 10) s.record(at_ms(ms), ms);
+  // At t=190 the live slots cover [100 ms, 200 ms): ten samples, the
+  // first ten (0..90) aged out — while the cumulative histogram kept
+  // everything.
+  const Histogram w = s.window_hist();
+  EXPECT_EQ(w.count(), 10u);
+  EXPECT_EQ(w.min(), 100);
+  EXPECT_EQ(w.max(), 190);
+  EXPECT_EQ(s.total().count(), 20u);
+  EXPECT_EQ(s.total().min(), 0);
+  EXPECT_EQ(s.total().max(), 190);
+}
+
+TEST(WindowedSketch, SlidingWindowForgetsAnOldOutlier) {
+  // A giant early sample must stop dominating the window p99 once the
+  // window slides past it — the whole point of windowed tail tracking.
+  WindowedSketch s(Duration::milliseconds(100), 10);
+  s.record(at_ms(0), 1'000'000);
+  for (int ms = 10; ms <= 90; ms += 10) s.record(at_ms(ms), 10);
+  EXPECT_EQ(s.window_hist().quantile(0.99), 1'000'000);
+  for (int ms = 100; ms <= 190; ms += 10) s.record(at_ms(ms), 10);
+  EXPECT_EQ(s.window_hist().quantile(0.99), 10);
+  EXPECT_EQ(s.total().max(), 1'000'000);  // the run summary still knows
+}
+
+TEST(WindowedSketch, AdvanceAgesWindowsOutWhileIdle) {
+  WindowedSketch s(Duration::milliseconds(100), 10);
+  s.record(at_ms(0), 42);
+  s.record(at_ms(5), 43);
+  // An idle gap longer than the whole window expires every slot in one
+  // clear — the sampler calls advance_to every tick so quiet phases
+  // report empty windows, not stale tails.
+  s.advance_to(at_ms(1000));
+  EXPECT_EQ(s.window_hist().count(), 0u);
+  EXPECT_EQ(s.total().count(), 2u);
+}
+
+TEST(WindowedSketch, OlderTimestampLandsInCurrentSlot) {
+  // Engine order is non-decreasing; a backdated timestamp must neither
+  // rotate backwards nor crash — it lands in the current slot.
+  WindowedSketch s(Duration::milliseconds(100), 10);
+  s.record(at_ms(50), 1);
+  s.record(at_ms(49), 2);
+  EXPECT_EQ(s.rotations(), 0u);
+  EXPECT_EQ(s.window_hist().count(), 2u);
+}
+
+TEST(WindowedSketch, IdenticalFeedsProduceBitIdenticalState) {
+  WindowedSketch a(Duration::milliseconds(100), 10);
+  WindowedSketch b(Duration::milliseconds(100), 10);
+  std::uint64_t x = 0x9E3779B97F4A7C15ull;  // splitmix-style feed
+  std::int64_t t_ps = 0;
+  for (int i = 0; i < 5000; ++i) {
+    x ^= x >> 12;
+    x *= 0x2545F4914F6CDD1Dull;
+    x ^= x << 25;
+    t_ps += static_cast<std::int64_t>(x % 200'000'000);  // 0..200 us steps
+    const auto v = static_cast<std::int64_t>(x % 50'000'000);
+    const TimePoint t = TimePoint::origin() + Duration::picoseconds(t_ps);
+    a.record(t, v);
+    b.record(t, v);
+    if (i % 500 == 0) {
+      const Histogram wa = a.window_hist();
+      const Histogram wb = b.window_hist();
+      ASSERT_EQ(wa.count(), wb.count());
+      ASSERT_EQ(wa.quantile(0.5), wb.quantile(0.5));
+      ASSERT_EQ(wa.quantile(0.99), wb.quantile(0.99));
+      ASSERT_EQ(wa.quantile(0.999), wb.quantile(0.999));
+      ASSERT_EQ(a.rotations(), b.rotations());
+    }
+  }
+  EXPECT_EQ(a.total().count(), 5000u);
+  EXPECT_EQ(a.total().sum(), b.total().sum());
+}
+
+}  // namespace
+}  // namespace ncs::obs

@@ -12,9 +12,16 @@ drift, and regressions are judged against the looser --rate-tol (default
 hardware variance between the recording machine and CI does not trip the
 gate, while an algorithmic regression in the event core still does.
 
+Latency fields (name ending in `_p99`, `_p999`, `_p99_us`, `_p999_us` or
+`_latency_us`) are lower-is-better tails over *simulated* time: getting
+faster never counts as drift, while a rise beyond --lat-tol (default
+0.25) fails the gate. The asymmetric tolerance exists because tail
+quantiles snap between histogram buckets — a one-bucket wobble is noise,
+a 25% p99.9 climb is a scheduling or queueing regression.
+
 Usage:
     tools/bench_diff.py BASELINE.json CURRENT.json [--bench NAME]
-                        [--tol 0.02] [--rate-tol 0.6]
+                        [--tol 0.02] [--rate-tol 0.6] [--lat-tol 0.25]
 
 BASELINE.json is either an ncs-bench-baseline-v1 document (its `benches`
 map is searched for the bench named in CURRENT.json, or for --bench) or a
@@ -30,6 +37,9 @@ import sys
 # Higher-is-better wall-clock rates: events_per_sec, msgs_per_sec,
 # speedup_vs_legacy, ...
 RATE_FIELD = re.compile(r"(_per_sec$|speedup)")
+
+# Lower-is-better latency tails: e2e_p999_us, rma_p99_us, put_latency_us, ...
+LAT_FIELD = re.compile(r"(_p99$|_p999$|_p99_us$|_p999_us$|_latency_us$)")
 
 
 def fail(msg):
@@ -65,11 +75,12 @@ def pick_baseline(doc, bench_name):
     fail(f"unrecognised baseline schema {schema!r}")
 
 
-def diff(path, base, cur, tol, rate_tol, drifts, key=None):
+def diff(path, base, cur, tol, rate_tol, lat_tol, drifts, key=None):
     """Structural diff: exact for strings/bools/shape, relative for numbers.
 
     `key` is the nearest enclosing dict key — what classifies a numeric
-    leaf as a symmetric deterministic quantity or a higher-is-better rate.
+    leaf as a symmetric deterministic quantity, a higher-is-better rate,
+    or a lower-is-better latency tail.
     """
     if isinstance(base, dict) and isinstance(cur, dict):
         for k in sorted(set(base) | set(cur)):
@@ -78,12 +89,13 @@ def diff(path, base, cur, tol, rate_tol, drifts, key=None):
             elif k not in base:
                 drifts.append(f"{path}.{k}: not in baseline (new field)")
             else:
-                diff(f"{path}.{k}", base[k], cur[k], tol, rate_tol, drifts, key=k)
+                diff(f"{path}.{k}", base[k], cur[k], tol, rate_tol, lat_tol,
+                     drifts, key=k)
     elif isinstance(base, list) and isinstance(cur, list):
         if len(base) != len(cur):
             drifts.append(f"{path}: length {len(base)} -> {len(cur)}")
         for i, (b, c) in enumerate(zip(base, cur)):
-            diff(f"{path}[{i}]", b, c, tol, rate_tol, drifts, key=key)
+            diff(f"{path}[{i}]", b, c, tol, rate_tol, lat_tol, drifts, key=key)
     elif isinstance(base, bool) or isinstance(cur, bool):
         if base is not cur:
             drifts.append(f"{path}: {base} -> {cur}")
@@ -93,6 +105,13 @@ def diff(path, base, cur, tol, rate_tol, drifts, key=None):
             if base > 0 and (base - cur) / base > rate_tol:
                 pct = (cur - base) / base * 100.0
                 drifts.append(f"{path}: rate {base:g} -> {cur:g} ({pct:+.2f}%)")
+            return
+        if key is not None and LAT_FIELD.search(key):
+            # Lower is better: only a rise beyond lat_tol drifts.
+            if base > 0 and (cur - base) / base > lat_tol:
+                pct = (cur - base) / base * 100.0
+                drifts.append(f"{path}: latency {base:g} -> {cur:g} "
+                              f"({pct:+.2f}%)")
             return
         scale = max(abs(base), abs(cur))
         if scale > 0 and abs(cur - base) / scale > tol:
@@ -114,6 +133,11 @@ def main():
                     help="allowed relative drop for higher-is-better rate "
                          "fields (*_per_sec, speedup); improvements always "
                          "pass (default 0.6)")
+    ap.add_argument("--lat-tol", type=float, default=0.25,
+                    help="allowed relative rise for lower-is-better latency "
+                         "tails (*_p99, *_p999, *_p99_us, *_p999_us, "
+                         "*_latency_us); improvements always pass "
+                         "(default 0.25)")
     args = ap.parse_args()
 
     try:
@@ -135,7 +159,7 @@ def main():
     base = pick_baseline(base_doc, bench_name)
 
     drifts = []
-    diff(bench_name, base, cur, args.tol, args.rate_tol, drifts)
+    diff(bench_name, base, cur, args.tol, args.rate_tol, args.lat_tol, drifts)
     if drifts:
         print(f"bench_diff: {bench_name}: {len(drifts)} field(s) drifted "
               f"beyond {args.tol:.0%}:")

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Self-check for tools/bench_diff.py — the gate that gates the gates.
+
+Builds synthetic ncs-bench-v1 reports and asserts the three numeric
+classes behave:
+
+  symmetric   any drift beyond --tol fails, both directions
+  rate        higher-is-better: improvements pass, a drop beyond
+              --rate-tol fails
+  latency     lower-is-better: improvements pass, a p99.9 rise beyond
+              --lat-tol fails (the injected-regression case CI runs this
+              file for)
+
+Run: python3 tools/test_bench_diff.py   (exit 0 = bench_diff behaves)
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)), "bench_diff.py")
+
+REPORT = {
+    "schema": "ncs-bench-v1",
+    "bench": "selfcheck",
+    "rows": [
+        {
+            "experiment": "telemetry",
+            "payload_bytes": 64,
+            "msgs_per_sec": 100000.0,
+            "e2e_p99_us": 120.0,
+            "e2e_p999_us": 480.0,
+            "slo_compliance": 1.0,
+        }
+    ],
+    "summary": {"all_ok": True, "sim_elapsed_sec": 1.25},
+}
+
+
+def run_diff(base, cur, *extra):
+    with tempfile.TemporaryDirectory() as d:
+        bp = os.path.join(d, "base.json")
+        cp = os.path.join(d, "cur.json")
+        with open(bp, "w") as f:
+            json.dump(base, f)
+        with open(cp, "w") as f:
+            json.dump(cur, f)
+        r = subprocess.run([sys.executable, TOOL, bp, cp, *extra],
+                           capture_output=True, text=True)
+        return r.returncode, r.stdout + r.stderr
+
+
+def mutate(**changes):
+    cur = copy.deepcopy(REPORT)
+    cur["rows"][0].update(changes)
+    return cur
+
+
+def check(name, want_exit, got_exit, output):
+    if got_exit != want_exit:
+        print(f"FAIL {name}: expected exit {want_exit}, got {got_exit}\n"
+              f"{output}", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok   {name}")
+
+
+def main():
+    code, out = run_diff(REPORT, copy.deepcopy(REPORT))
+    check("identical reports pass", 0, code, out)
+
+    # Symmetric fields: deterministic, both directions drift.
+    code, out = run_diff(REPORT, mutate(slo_compliance=0.9))
+    check("symmetric drift fails", 1, code, out)
+
+    # Rate class: higher is better.
+    code, out = run_diff(REPORT, mutate(msgs_per_sec=250000.0))
+    check("rate improvement passes", 0, code, out)
+    code, out = run_diff(REPORT, mutate(msgs_per_sec=30000.0))
+    check("rate collapse fails", 1, code, out)
+    code, out = run_diff(REPORT, mutate(msgs_per_sec=80000.0))
+    check("rate wobble within rate-tol passes", 0, code, out)
+
+    # Latency class: lower is better — the injected p99.9 regression.
+    code, out = run_diff(REPORT, mutate(e2e_p999_us=960.0))
+    check("p999 regression fails", 1, code, out)
+    if "latency" not in out:
+        print(f"FAIL p999 regression not classified as latency:\n{out}",
+              file=sys.stderr)
+        sys.exit(1)
+    code, out = run_diff(REPORT, mutate(e2e_p999_us=100.0))
+    check("p999 improvement passes", 0, code, out)
+    code, out = run_diff(REPORT, mutate(e2e_p99_us=130.0))
+    check("p99 wobble within lat-tol passes", 0, code, out)
+    code, out = run_diff(REPORT, mutate(e2e_p99_us=130.0), "--lat-tol", "0.05")
+    check("tightened lat-tol catches the wobble", 1, code, out)
+
+    print("bench_diff self-check: all behaviors hold")
+
+
+if __name__ == "__main__":
+    main()
