@@ -2,8 +2,15 @@
 // raw context switches, thread creation, scheduler queue operations and
 // synchronization primitives. These measure the *implementation* on the
 // build machine, complementing the simulated-time benches.
+// With `--json[=path]` the binary additionally emits an "ncs-bench-v1"
+// report of the multi-core scheduler's *simulated* per-core counters
+// (dispatches / steals / cpu_busy_us on a fixed fan-out workload) — those
+// are deterministic, so bench_diff.py can gate them at zero tolerance.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
+#include "cluster/bench_json.hpp"
 #include "core/mts/sync.hpp"
 #include "qt/context.hpp"
 
@@ -124,6 +131,84 @@ void BM_EngineEventDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineEventDispatch)->Arg(10000);
 
+// --- multi-core scheduler -----------------------------------------------------
+
+/// The fixed smp fan-out workload: 32 user threads with lumpy per-thread
+/// work (1..16 chunks of 100us compute — round-robin placement leaves the
+/// per-core loads unequal, so early-draining cores steal from loaded
+/// ones), dispatched over `cores` work-stealing run queues. Simulated time
+/// and all per-core counters are deterministic for a given core count.
+mts::SchedulerParams smp_params(int cores) {
+  mts::SchedulerParams p = zero_cost();
+  p.smp.n_cores = cores;
+  p.smp.steal = mts::StealPolicy::seeded;
+  p.smp.progress = mts::ProgressModel::on_demand;
+  return p;
+}
+
+void run_smp_fanout(mts::Scheduler& sched) {
+  for (int t = 0; t < 32; ++t)
+    sched.spawn([&sched, t] {
+      for (int i = 0; i < (1 << (t % 5)); ++i)
+        sched.charge(Duration::microseconds(100), sim::Activity::compute);
+    });
+}
+
+void BM_MultiCoreChargeFanout(benchmark::State& state) {
+  const auto cores = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    mts::Scheduler sched(engine, smp_params(cores));
+    run_smp_fanout(sched);
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_MultiCoreChargeFanout)->Arg(1)->Arg(2)->Arg(4);
+
+/// Emits the deterministic per-core counters of the fan-out workload under
+/// the stable ncs-bench-v1 schema, one row per (cores, core).
+void emit_smp_report(const std::string& path) {
+  ncs::cluster::BenchReport report("micro_mts");
+  for (const int cores : {1, 2, 4}) {
+    sim::Engine engine;
+    mts::Scheduler sched(engine, smp_params(cores));
+    run_smp_fanout(sched);
+    engine.run();
+    for (int c = 0; c < sched.n_cores(); ++c) {
+      const mts::CoreStats& s = sched.core_stats(c);
+      report.row();
+      report.set("experiment", std::string("smp_fanout"));
+      report.set("cores", cores);
+      report.set("core", c);
+      report.set("dispatches", s.dispatches);
+      report.set("steals", s.steals_in);
+      report.set("cpu_busy_us", static_cast<double>(s.cpu_busy.ps()) * 1e-6);
+      report.set("elapsed_us",
+                 static_cast<double>((engine.now() - TimePoint::origin()).ps()) * 1e-6);
+    }
+  }
+  report.emit(path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --json[=path] before google-benchmark sees (and rejects) it.
+  std::string json_path;
+  const bool want_json = ncs::cluster::parse_json_flag(argc, argv, &json_path);
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" || arg.rfind("--json=", 0) == 0) continue;
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (want_json) emit_smp_report(json_path);
+  return 0;
+}

@@ -1,0 +1,260 @@
+// Overlap sweep across core counts, steal policies and progress models —
+// the multi-core extension of Figure 4 / Table 4.
+//
+// Part 1 re-runs the Fig 4 overlapped matmul (host + 2 node processes,
+// Ethernet, 2 compute threads per node) over cores x steal x progress and
+// reports each node host's overlap ratio (overlapped / communicate, the
+// Fig 4 quantity), elapsed time and steal counts: with >= 2 cores the
+// node's compute threads charge in parallel, so more of the communication
+// hides behind live computation.
+//
+// Part 2 probes the progress-model tradeoff on a message-processing
+// pipeline with a background compute thread: `dedicated_core` reserves the
+// last core for the system planes (snappy protocol, one fewer compute
+// core), `on_demand` lets every core compute and progresses the protocol
+// from the receiver. Sweeping compute-per-message moves the bottleneck
+// from message turnaround to raw compute and flips the winner.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/matmul.hpp"
+#include "cluster/bench_json.hpp"
+#include "cluster/bench_opts.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/compute.hpp"
+#include "obs/prof.hpp"
+
+using namespace ncs;
+using namespace ncs::cluster;
+using apps::matmul::make_matrix;
+using apps::matmul::Matrix;
+using apps::matmul::op_count;
+using apps::matmul::pack_rows;
+using apps::matmul::unpack_rows;
+
+namespace {
+
+constexpr int kNodes = 2;
+constexpr int kTpn = 2;
+
+struct OverlapPoint {
+  Duration elapsed;
+  double node_overlap = 0.0;  // mean overlap ratio over the node hosts
+  std::uint64_t steals = 0;
+};
+
+/// The Fig 4 threaded matmul under an smp configuration.
+OverlapPoint run_fig4(int cores, mts::StealPolicy steal, mts::ProgressModel progress) {
+  const int n = calibration().matmul_n;
+  ClusterConfig cfg = sun_ethernet(0);
+  cfg.n_procs = kNodes + 1;
+  cfg.cores = cores;
+  cfg.steal = steal;
+  cfg.progress = progress;
+  Cluster cluster(cfg);
+  cluster.enable_timeline();
+  cluster.init_ncs_nsm();
+
+  const Matrix a = make_matrix(n, 1);
+  const Matrix b = make_matrix(n, 2);
+  const int rpt = n / (kNodes * kTpn);
+
+  OverlapPoint out;
+  out.elapsed = cluster.run([&](int rank) {
+    mps::Node& node = cluster.node(rank);
+    if (rank == 0) {
+      std::vector<int> tids;
+      for (int t = 0; t < kTpn; ++t) {
+        tids.push_back(node.t_create([&, t] {
+          if (t == 0)
+            for (int i = 1; i <= kNodes; ++i) node.send(0, 0, i, pack_rows(b.data(), n, n));
+          for (int i = 1; i <= kNodes; ++i) {
+            const int slice = (i - 1) * kTpn + t;
+            node.send(t, t, i,
+                      pack_rows(a.data() + static_cast<std::ptrdiff_t>(slice) * rpt * n, rpt, n));
+          }
+          for (int i = 1; i <= kNodes; ++i) (void)node.recv(t, i, t);
+        }, t == 0 ? mts::kDefaultPriority - 1 : mts::kDefaultPriority,
+           "host-t" + std::to_string(t)));
+      }
+      for (int tid : tids) node.host().join(node.user_thread(tid));
+    } else {
+      auto b_local = std::make_shared<std::vector<double>>();
+      auto b_ready = std::make_shared<mts::Event>(node.host());
+      std::vector<int> tids;
+      for (int t = 0; t < kTpn; ++t) {
+        tids.push_back(node.t_create([&, t, b_local, b_ready] {
+          if (t == 0) {
+            *b_local = unpack_rows(node.recv(0, 0, 0));
+            b_ready->set();
+          } else {
+            b_ready->wait();
+          }
+          const auto a_rows = unpack_rows(node.recv(t, 0, t));
+          std::vector<double> c_rows(static_cast<std::size_t>(rpt) * static_cast<std::size_t>(n));
+          charge_compute(node.host(), op_count(rpt, n) * calibration().matmul_cycles_per_op);
+          apps::matmul::multiply_rows(a_rows.data(), b_local->data(), c_rows.data(), n, 0, rpt);
+          node.send(t, t, 0, pack_rows(c_rows.data(), rpt, n));
+        }, mts::kDefaultPriority, "thread" + std::to_string(t)));
+      }
+      for (int tid : tids) node.host().join(node.user_thread(tid));
+    }
+  });
+
+  double sum = 0.0;
+  int node_hosts = 0;
+  for (const auto& u : ncs::obs::fold_hosts(cluster.timeline())) {
+    if (u.host == "p0") continue;  // the host rank barely computes
+    sum += u.overlap_ratio();
+    ++node_hosts;
+  }
+  if (node_hosts > 0) out.node_overlap = sum / node_hosts;
+  for (int r = 0; r < cluster.n_procs(); ++r) out.steals += cluster.host(r).stats().steals;
+  return out;
+}
+
+/// Part 2 workload: the host streams `msgs` messages of `size` bytes
+/// round-robin to 2 worker threads on the node; each message costs
+/// `compute` to process. A background thread on the node keeps charging
+/// 500us analysis chunks the whole time (the application compute that a
+/// dedicated progress core is protected from). Returns the time at which
+/// the last message finished processing.
+Duration run_progress_point(int msgs, int size, Duration compute,
+                            mts::ProgressModel progress) {
+  ClusterConfig cfg = sun_ethernet(2);
+  cfg.cores = 2;
+  cfg.steal = mts::StealPolicy::seeded;
+  cfg.progress = progress;
+  Cluster cluster(cfg);
+  cluster.init_ncs_nsm();
+
+  auto done = std::make_shared<bool>(false);
+  auto finished = std::make_shared<TimePoint>(TimePoint::origin());
+  cluster.run([&](int rank) {
+    mps::Node& node = cluster.node(rank);
+    if (rank == 0) {
+      const int tid = node.t_create([&] {
+        const Bytes payload(static_cast<std::size_t>(size), std::byte{7});
+        for (int i = 0; i < msgs; ++i) node.send(i % kTpn, i % kTpn, 1, payload);
+        for (int t = 0; t < kTpn; ++t) (void)node.recv(mps::kAnyThread, 1, 0);
+      });
+      node.host().join(node.user_thread(tid));
+    } else {
+      std::vector<int> tids;
+      for (int t = 0; t < kTpn; ++t) {
+        tids.push_back(node.t_create([&, t] {
+          for (int i = 0; i < msgs / kTpn; ++i) {
+            (void)node.recv(t, 0, t);
+            node.host().charge(compute, sim::Activity::compute);
+          }
+          node.send(t, 0, 0, Bytes(1, std::byte{1}));
+        }, mts::kDefaultPriority, "worker" + std::to_string(t)));
+      }
+      // Charges in 500us chunks with a yield between them (a cooperative
+      // background job, not a core monopolist — charge() keeps CPU
+      // ownership, so back-to-back charges would starve the workers).
+      // Bounded so an envelope bug cannot hang the bench forever.
+      const int hog = node.t_create([&, done] {
+        for (int i = 0; i < 200000 && !*done; ++i) {
+          node.host().charge(Duration::microseconds(500), sim::Activity::compute);
+          node.host().yield();
+        }
+      }, mts::kDefaultPriority, "analysis");
+      for (int tid : tids) node.host().join(node.user_thread(tid));
+      *finished = cluster.engine().now();
+      *done = true;
+      node.host().join(node.user_thread(hog));
+    }
+  });
+  return *finished - TimePoint::origin();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
+  BenchReport report("overlap_sweep");
+
+  std::printf("Overlap sweep: Fig 4 matmul (2 nodes, %d threads/node, Ethernet)\n"
+              "across cores x steal policy x progress model.\n\n", kTpn);
+  std::printf("%-6s %-8s %-15s %10s %12s %8s\n", "cores", "steal", "progress",
+              "time (s)", "overlap (%)", "steals");
+
+  double overlap_c1 = 0.0;       // the single-core (PR 8) baseline
+  double overlap_c2_best = 0.0;  // best multi-core configuration at cores=2
+  for (const int cores : {1, 2, 4}) {
+    for (const mts::StealPolicy steal : {mts::StealPolicy::none, mts::StealPolicy::seeded}) {
+      for (const mts::ProgressModel progress :
+           {mts::ProgressModel::dedicated_core, mts::ProgressModel::on_demand,
+            mts::ProgressModel::hybrid}) {
+        const OverlapPoint p = run_fig4(cores, steal, progress);
+        std::printf("%-6d %-8s %-15s %10.3f %12.1f %8llu\n", cores, to_string(steal),
+                    to_string(progress), p.elapsed.sec(), p.node_overlap * 100.0,
+                    static_cast<unsigned long long>(p.steals));
+        if (cores == 1 && steal == mts::StealPolicy::seeded &&
+            progress == mts::ProgressModel::dedicated_core)
+          overlap_c1 = p.node_overlap;
+        if (cores == 2 && p.node_overlap > overlap_c2_best) overlap_c2_best = p.node_overlap;
+        report.row();
+        report.set("experiment", std::string("fig4_overlap"));
+        report.set("cores", cores);
+        report.set("steal", std::string(to_string(steal)));
+        report.set("progress", std::string(to_string(progress)));
+        report.set("elapsed_sec", p.elapsed.sec());
+        report.set("overlap_ratio", p.node_overlap);
+        report.set("steals", p.steals);
+      }
+    }
+  }
+  std::printf("\nnode overlap ratio: %.1f%% at 1 core -> %.1f%% best at 2 cores\n\n",
+              overlap_c1 * 100.0, overlap_c2_best * 100.0);
+
+  std::printf("Progress-model crossover: 64 messages to 2 workers + background\n"
+              "compute, 2 cores; sweep compute-per-message.\n\n");
+  std::printf("%-12s %-12s %14s %14s   %s\n", "size (B)", "compute", "dedicated (s)",
+              "on_demand (s)", "winner");
+  bool dedicated_wins_somewhere = false;
+  bool on_demand_wins_somewhere = false;
+  const struct {
+    int msgs;
+    int size;
+    Duration compute;
+    const char* label;
+  } points[] = {
+      {64, 2048, Duration::microseconds(50), "50us"},
+      {64, 16384, Duration::microseconds(500), "500us"},
+      {64, 16384, Duration::milliseconds(5), "5ms"},
+  };
+  for (const auto& pt : points) {
+    const Duration ded =
+        run_progress_point(pt.msgs, pt.size, pt.compute, mts::ProgressModel::dedicated_core);
+    const Duration ond =
+        run_progress_point(pt.msgs, pt.size, pt.compute, mts::ProgressModel::on_demand);
+    const char* winner = ded < ond ? "dedicated_core" : ond < ded ? "on_demand" : "tie";
+    if (ded < ond) dedicated_wins_somewhere = true;
+    if (ond < ded) on_demand_wins_somewhere = true;
+    std::printf("%-12d %-12s %14.4f %14.4f   %s\n", pt.size, pt.label, ded.sec(), ond.sec(),
+                winner);
+    report.row();
+    report.set("experiment", std::string("progress_crossover"));
+    report.set("msgs", pt.msgs);
+    report.set("size_bytes", pt.size);
+    report.set("compute_us", static_cast<double>(pt.compute.ps()) * 1e-6);
+    report.set("dedicated_sec", ded.sec());
+    report.set("on_demand_sec", ond.sec());
+    report.set("winner", std::string(winner));
+  }
+
+  const bool overlap_improves = overlap_c2_best > overlap_c1;
+  const bool crossover = dedicated_wins_somewhere && on_demand_wins_somewhere;
+  std::printf("\noverlap improves 1 -> 2 cores: %s\n", overlap_improves ? "yes" : "NO");
+  std::printf("dedicated/on_demand crossover: %s\n", crossover ? "yes" : "NO");
+
+  report.summary("overlap_ratio_cores1", overlap_c1);
+  report.summary("overlap_ratio_cores2_best", overlap_c2_best);
+  report.summary("overlap_improves", overlap_improves);
+  report.summary("progress_crossover", crossover);
+  if (opts.json) report.emit(opts.json_path);
+  return overlap_improves && crossover ? 0 : 1;
+}

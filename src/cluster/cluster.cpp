@@ -23,6 +23,13 @@ Cluster::Cluster(ClusterConfig config)
     sp.cpu_mhz = config_.cpu_mhz;
     sp.context_switch_cost = config_.context_switch_cost;
     sp.thread_create_cost = config_.thread_create_cost;
+    sp.smp.n_cores = config_.cores;
+    sp.smp.steal = config_.steal;
+    sp.smp.progress = config_.progress;
+    sp.smp.poll_quantum = config_.poll_quantum;
+    // Per-rank seed offset so hosts don't share victim permutations.
+    sp.smp.steal_seed =
+        config_.steal_seed + static_cast<std::uint64_t>(r) * 0x9E3779B97F4A7C15;
     hosts_.push_back(std::make_unique<mts::Scheduler>(engine_, sp));
   }
 
@@ -92,15 +99,21 @@ Cluster::Cluster(ClusterConfig config)
     fault::HostFault* hf = host_faults_.back().get();
     mts::Scheduler* sched = hosts_[static_cast<std::size_t>(r)].get();
     hf->set_pause_handler([sched](TimePoint resume_at) {
-      sched->spawn(
-          [sched, resume_at] {
-            const TimePoint now = sched->engine().now();
-            if (resume_at > now)
-              sched->charge(resume_at - now, sim::Activity::overhead);
-          },
-          {.name = "fault-pause",
-           .priority = mts::kHighestPriority,
-           .cls = mts::ThreadClass::system});
+      // One pinned pauser per core: a paused workstation stalls every
+      // core, not just the one the planes happen to run on. With one core
+      // this spawns exactly the single thread it always did.
+      for (int c = 0; c < sched->n_cores(); ++c) {
+        sched->spawn(
+            [sched, resume_at] {
+              const TimePoint now = sched->engine().now();
+              if (resume_at > now)
+                sched->charge(resume_at - now, sim::Activity::overhead);
+            },
+            {.name = c == 0 ? "fault-pause" : "fault-pause" + std::to_string(c),
+             .priority = mts::kHighestPriority,
+             .cls = mts::ThreadClass::system,
+             .affinity = c});
+      }
     });
     injector_->attach_host("p" + std::to_string(r), hf);
   }
@@ -291,6 +304,12 @@ void Cluster::bind_telemetry() {
     mts::Scheduler* sched = hosts_[static_cast<std::size_t>(r)].get();
     ts.probe("p" + std::to_string(r) + "/mts/runnable",
              [sched] { return static_cast<double>(sched->runnable_count()); });
+    if (sched->n_cores() > 1) {
+      for (int c = 0; c < sched->n_cores(); ++c) {
+        ts.probe("p" + std::to_string(r) + "/mts/core" + std::to_string(c) + "/runnable",
+                 [sched, c] { return static_cast<double>(sched->runnable_count_on(c)); });
+      }
+    }
   }
   for (auto& node : nodes_) {
     const mps::Node* n = node.get();

@@ -48,6 +48,17 @@ struct ClusterConfig {
   Duration context_switch_cost = Duration::microseconds(8);
   Duration thread_create_cost = Duration::microseconds(25);
 
+  /// Cores per workstation (core/mts/smp.hpp). 1 = the paper's uniprocessor
+  /// testbed, bit-identical to the original scheduler; >1 enables the
+  /// work-stealing multi-core runtime with the knobs below.
+  int cores = 1;
+  mts::StealPolicy steal = mts::StealPolicy::seeded;
+  mts::ProgressModel progress = mts::ProgressModel::dedicated_core;
+  /// hybrid progress: maximum user charge slice between yield points.
+  Duration poll_quantum = Duration::microseconds(200);
+  /// Base of the per-rank victim-permutation seeds (StealPolicy::seeded).
+  std::uint64_t steal_seed = 1995;
+
   proto::CostModel costs;
   /// p4 sets TCP_NODELAY on its sockets (as every message-passing library
   /// of the era learned to), so the presets disable Nagle; the

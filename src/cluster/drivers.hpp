@@ -54,6 +54,22 @@ struct AppResult {
   std::uint64_t slo_hard_breaches = 0;
   std::uint64_t recorder_triggers = 0;
   std::uint64_t recorder_dumps = 0;
+
+  /// Per-core scheduler counters, one entry per (process, core). Always
+  /// filled (cores=1 runs produce one row per process) so benches can emit
+  /// stable per-core columns regardless of the smp configuration.
+  struct CoreUsage {
+    int proc = 0;
+    int core = 0;
+    std::uint64_t dispatches = 0;
+    std::uint64_t steals_in = 0;
+    std::uint64_t steals_out = 0;
+    std::uint64_t migrations_in = 0;
+    Duration cpu_busy;
+  };
+  std::vector<CoreUsage> cores;
+  /// Sum of steals_in over all processes and cores (0 at cores=1).
+  std::uint64_t steals = 0;
 };
 
 /// FNV-1a over raw bytes; pass a previous digest as `h` to chain buffers.
@@ -97,6 +113,15 @@ inline void fill_runtime_stats(Cluster& c, AppResult& r) {
   if (obs::FlightRecorder* fr = c.recorder(); fr != nullptr) {
     r.recorder_triggers = fr->triggers();
     r.recorder_dumps = fr->dumps();
+  }
+  for (int p = 0; p < c.n_procs(); ++p) {
+    mts::Scheduler& h = c.host(p);
+    for (int core = 0; core < h.n_cores(); ++core) {
+      const mts::CoreStats& s = h.core_stats(core);
+      r.cores.push_back({p, core, s.dispatches, s.steals_in, s.steals_out,
+                         s.migrations_in, s.cpu_busy});
+      r.steals += s.steals_in;
+    }
   }
   if (!c.has_ncs()) return;
   r.exceptions = c.ncs_exception_count();

@@ -39,6 +39,18 @@ std::string report(Cluster& cluster) {
     line(out, "p%-4d %10llu %10.3fs %10.3fs %11llu", r,
          static_cast<unsigned long long>(s.dispatches), s.cpu_busy.sec(), s.overhead.sec(),
          static_cast<unsigned long long>(s.spawns));
+    // Per-core breakdown for multi-core hosts, including where work came
+    // from (steals, on-demand migrations).
+    if (cluster.host(r).n_cores() > 1) {
+      for (int c = 0; c < cluster.host(r).n_cores(); ++c) {
+        const auto& cs = cluster.host(r).core_stats(c);
+        line(out, "  c%-3d %10llu %10.3fs %10.3fs  steals %llu/%llu migr %llu", c,
+             static_cast<unsigned long long>(cs.dispatches), cs.cpu_busy.sec(),
+             cs.overhead.sec(), static_cast<unsigned long long>(cs.steals_in),
+             static_cast<unsigned long long>(cs.steals_out),
+             static_cast<unsigned long long>(cs.migrations_in));
+      }
+    }
   }
 
   if (cluster.has_ncs()) {
@@ -234,6 +246,18 @@ std::string bottleneck_report(Cluster& cluster) {
            static_cast<unsigned long long>(h.count()),
            static_cast<double>(h.quantile(0.5)), static_cast<double>(h.quantile(0.99)),
            static_cast<double>(h.max()));
+    }
+  }
+
+  if (!prof->core_hists().empty()) {
+    // Per-core dispatch queue wait (multi-core hosts): which cores work
+    // waited behind, keyed "<host>/c<index>" by the scheduler.
+    line(out, "%-28s %8s %10s %10s %10s", "core-dispatch", "count", "p50-us",
+         "p99-us", "max-us");
+    for (const auto& [key, h] : prof->core_hists()) {
+      line(out, "%-28s %8llu %10.1f %10.1f %10.1f", key.c_str(),
+           static_cast<unsigned long long>(h.count()), us(h.quantile(0.5)),
+           us(h.quantile(0.99)), us(h.max()));
     }
   }
 

@@ -213,6 +213,10 @@ Message Node::recv_matching(const Pattern& pattern) {
 Bytes Node::recv(int from_thread, int from_process, int to_thread, int* src_thread,
                  int* src_process) {
   NCS_ASSERT_MSG(mts::Scheduler::active() == &host_, "NCS_recv from a foreign thread");
+  // On-demand progress: pull runnable protocol planes onto this core before
+  // waiting, so communication advances inside the receive (MPI-style). A
+  // no-op on one core or under dedicated-core progress.
+  host_.progress_hint();
   const TimePoint wait_began = host_.engine().now();
   Message msg = recv_matching(Pattern{from_thread, from_process, to_thread, rank_});
   ++stats_.recvs;

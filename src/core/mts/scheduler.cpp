@@ -17,7 +17,9 @@ Scheduler* g_active = nullptr;
 Scheduler* Scheduler::active() { return g_active; }
 
 Scheduler::Scheduler(sim::Engine& engine, SchedulerParams params)
-    : engine_(engine), params_(std::move(params)) {
+    : engine_(engine),
+      params_(std::move(params)),
+      cores_(params_.smp, params_.name) {
   NCS_ASSERT(params_.cpu_mhz > 0);
 }
 
@@ -28,8 +30,31 @@ Scheduler::~Scheduler() {
   for (auto& t : threads_) {
     if (t->sleep_timer_ != 0) engine_.cancel(t->sleep_timer_);
   }
-  for (auto& q : runnable_) q.clear();
+  for (int c = 0; c < cores_.size(); ++c) {
+    for (auto& q : cores_[c].runnable) q.clear();
+  }
   blocked_.clear();
+}
+
+int Scheduler::place(const Thread& t) {
+  const int n = cores_.size();
+  if (t.affinity_ >= 0) {
+    NCS_ASSERT_MSG(t.affinity_ < n, "thread pinned to a core the host lacks");
+    return t.affinity_;
+  }
+  if (n == 1) return 0;
+  if (t.cls_ == ThreadClass::system) {
+    // dedicated_core reserves the last core for the communication planes;
+    // the on-demand models start them on core 0 and let progress_hint()
+    // pull them to wherever the application is waiting.
+    return params_.smp.progress == ProgressModel::dedicated_core ? n - 1 : 0;
+  }
+  // User threads round-robin across the compute cores (all of them, unless
+  // the last one is dedicated to progress).
+  const int compute = params_.smp.progress == ProgressModel::dedicated_core ? n - 1 : n;
+  const int c = next_user_core_ % compute;
+  next_user_core_ = (next_user_core_ + 1) % compute;
+  return c;
 }
 
 Thread* Scheduler::spawn(std::function<void()> body, ThreadOptions opts) {
@@ -37,6 +62,7 @@ Thread* Scheduler::spawn(std::function<void()> body, ThreadOptions opts) {
   threads_.push_back(std::make_unique<Thread>(*this, id, std::move(body), std::move(opts)));
   Thread* t = threads_.back().get();
   ++stats_.spawns;
+  t->core_ = place(*t);
 
   if (timeline_ != nullptr) {
     t->timeline_track_ = timeline_->add_track(params_.name + "/" + t->name_);
@@ -45,42 +71,94 @@ Thread* Scheduler::spawn(std::function<void()> body, ThreadOptions opts) {
   if (trace_ != nullptr) t->trace_track_ = trace_->track(params_.name + "/" + t->name_);
 
   // Creation cost: charged inline when a thread of this host spawns,
-  // otherwise (setup from engine context) pushed onto the CPU horizon.
+  // otherwise (setup from engine context) pushed onto the new thread's
+  // core horizon.
   if (params_.thread_create_cost > Duration::zero()) {
     if (g_active == this && current_ != nullptr) {
       stats_.overhead += params_.thread_create_cost;
+      cores_[current_->core_].stats.overhead += params_.thread_create_cost;
       charge(params_.thread_create_cost, sim::Activity::overhead);
     } else {
-      reserve_cpu(params_.thread_create_cost, /*as_overhead=*/true);
+      reserve_cpu(cores_[t->core_], params_.thread_create_cost, /*as_overhead=*/true);
     }
   }
 
   t->state_ = ThreadState::runnable;
   make_runnable(t, /*front=*/false);
-  kick();
   return t;
 }
 
 void Scheduler::make_runnable(Thread* t, bool front) {
   NCS_ASSERT(t->queue_ == nullptr);
   t->runnable_since_ = engine_.now();
-  Queue& q = runnable_[static_cast<std::size_t>(t->priority_)];
+  Core& c = cores_[t->core_];
+  Queue& q = c.runnable[static_cast<std::size_t>(t->priority_)];
   if (front) {
     q.push_front(*t);
   } else {
     q.push_back(*t);
   }
   t->queue_ = &q;
+  kick(c.index);
+  // Idle-kick: a stealable thread that lands behind a busy core is
+  // advertised to idle siblings now, instead of waiting for their next
+  // natural dispatch pass. No-op on one core (no siblings).
+  if (params_.smp.steal == StealPolicy::none) return;
+  if (t->cls_ != ThreadClass::user || t->affinity_ >= 0) return;
+  const bool busy = c.cpu_owner != nullptr || c.resume_direct != nullptr ||
+                    engine_.now() < c.cpu_free_at;
+  if (!busy) return;
+  for (int s = 0; s < cores_.size(); ++s) {
+    if (s != c.index && cores_[s].idle()) kick(s);
+  }
 }
 
-Thread* Scheduler::pop_runnable() {
-  for (auto& q : runnable_) {
+Thread* Scheduler::pop_runnable(Core& core) {
+  for (auto& q : core.runnable) {
     if (!q.empty()) {
       Thread& t = q.pop_front();
       t.queue_ = nullptr;
-      if (prof_ != nullptr)
-        prof_->record(obs::Layer::sched_dispatch, engine_.now() - t.runnable_since_);
+      if (prof_ != nullptr) {
+        const Duration lat = engine_.now() - t.runnable_since_;
+        prof_->record(obs::Layer::sched_dispatch, lat);
+        if (cores_.size() > 1) prof_->record_core(core.prof_key, lat);
+      }
       return &t;
+    }
+  }
+  return nullptr;
+}
+
+Thread* Scheduler::steal_into(Core& thief) {
+  if (thief.victims.empty()) return nullptr;
+  // Keep the dedicated progress core dedicated: it never pulls user work.
+  if (params_.smp.progress == ProgressModel::dedicated_core &&
+      thief.index == cores_.size() - 1)
+    return nullptr;
+  for (int v : thief.victims) {
+    Core& victim = cores_[v];
+    for (auto& q : victim.runnable) {
+      // The owner pops from the front of a level; the thief scans the same
+      // level back-to-front (Chase-Lev discipline, simulated).
+      for (auto it = q.end(); it != q.begin();) {
+        --it;
+        Thread& cand = *it;
+        if (cand.cls_ != ThreadClass::user || cand.affinity_ >= 0) continue;
+        q.remove(cand);
+        cand.queue_ = nullptr;
+        cand.core_ = thief.index;
+        ++stats_.steals;
+        ++thief.stats.steals_in;
+        ++victim.stats.steals_out;
+        if (trace_ != nullptr && cand.trace_track_ >= 0)
+          trace_->instant(cand.trace_track_, "steal", "mts", engine_.now());
+        if (prof_ != nullptr) {
+          const Duration lat = engine_.now() - cand.runnable_since_;
+          prof_->record(obs::Layer::sched_dispatch, lat);
+          prof_->record_core(thief.prof_key, lat);
+        }
+        return &cand;
+      }
     }
   }
   return nullptr;
@@ -91,65 +169,101 @@ void Scheduler::mark(Thread* t, sim::Activity a) {
     timeline_->transition(t->timeline_track_, engine_.now(), a);
 }
 
-void Scheduler::reserve_cpu(Duration d, bool as_overhead) {
-  cpu_free_at_ = ncs::max(engine_.now(), cpu_free_at_) + d;
+void Scheduler::reserve_cpu(Core& core, Duration d, bool as_overhead) {
+  core.cpu_free_at = ncs::max(engine_.now(), core.cpu_free_at) + d;
   stats_.cpu_busy += d;
-  if (as_overhead) stats_.overhead += d;
+  core.stats.cpu_busy += d;
+  if (as_overhead) {
+    stats_.overhead += d;
+    core.stats.overhead += d;
+  }
 }
 
 void Scheduler::kick() {
-  if (dispatch_scheduled_ || in_dispatch_) return;
-  dispatch_scheduled_ = true;
-  engine_.post([this] {
-    dispatch_scheduled_ = false;
-    if (!in_dispatch_) dispatch_loop();
+  for (int c = 0; c < cores_.size(); ++c) kick(c);
+}
+
+void Scheduler::kick(int core) {
+  Core& c = cores_[core];
+  if (c.dispatch_scheduled || c.in_dispatch) return;
+  c.dispatch_scheduled = true;
+  engine_.post([this, core] {
+    Core& c2 = cores_[core];
+    c2.dispatch_scheduled = false;
+    if (!c2.in_dispatch) dispatch_loop(core);
   });
 }
 
-void Scheduler::dispatch_loop() {
-  NCS_ASSERT(!in_dispatch_ && current_ == nullptr);
-  in_dispatch_ = true;
+void Scheduler::dispatch_loop(int core) {
+  Core& c = cores_[core];
+  NCS_ASSERT(!c.in_dispatch && current_ == nullptr);
+  c.in_dispatch = true;
   for (;;) {
     // Overhead window (context switch / spawn cost) still running.
-    if (engine_.now() < cpu_free_at_) {
-      if (!dispatch_scheduled_) {
-        dispatch_scheduled_ = true;
-        engine_.schedule_at(cpu_free_at_, [this] {
-          dispatch_scheduled_ = false;
-          if (!in_dispatch_) dispatch_loop();
+    if (engine_.now() < c.cpu_free_at) {
+      if (!c.dispatch_scheduled) {
+        c.dispatch_scheduled = true;
+        engine_.schedule_at(c.cpu_free_at, [this, core] {
+          Core& c2 = cores_[core];
+          c2.dispatch_scheduled = false;
+          if (!c2.in_dispatch) dispatch_loop(core);
         });
       }
       break;
     }
 
     Thread* t = nullptr;
-    if (resume_direct_ != nullptr) {
+    if (c.resume_direct != nullptr) {
       // Continuation of the running thread (post-charge or post-switch-cost):
       // no context switch happens, so no switch cost.
-      t = std::exchange(resume_direct_, nullptr);
-    } else if (cpu_owner_ != nullptr) {
+      t = std::exchange(c.resume_direct, nullptr);
+    } else if (c.cpu_owner != nullptr) {
       break;  // a charge window is in progress; its timer will resume us
     } else {
-      t = pop_runnable();
+      t = pop_runnable(c);
+      if (t == nullptr) t = steal_into(c);
       if (t == nullptr) break;
       if (params_.context_switch_cost > Duration::zero()) {
         // Pay the dispatch cost, then resume this thread directly.
-        reserve_cpu(params_.context_switch_cost, /*as_overhead=*/true);
-        resume_direct_ = t;
+        reserve_cpu(c, params_.context_switch_cost, /*as_overhead=*/true);
+        c.resume_direct = t;
         continue;
       }
     }
-    run_thread(t);
+    run_thread(c, t);
   }
-  in_dispatch_ = false;
+  // The loop may leave runnable work behind a charge window or overhead
+  // horizon; offer it to idle siblings before going quiet.
+  advertise(c);
+  c.in_dispatch = false;
 }
 
-void Scheduler::run_thread(Thread* t) {
+void Scheduler::advertise(Core& core) {
+  if (cores_.size() <= 1 || params_.smp.steal == StealPolicy::none) return;
+  bool stealable = false;
+  for (auto& q : core.runnable) {
+    for (Thread& t : q) {
+      if (t.thread_class() == ThreadClass::user && t.affinity() < 0) {
+        stealable = true;
+        break;
+      }
+    }
+    if (stealable) break;
+  }
+  if (!stealable) return;
+  for (int s = 0; s < cores_.size(); ++s) {
+    if (s != core.index && cores_[s].idle()) kick(s);
+  }
+}
+
+void Scheduler::run_thread(Core& core, Thread* t) {
   NCS_ASSERT(t->queue_ == nullptr);
   NCS_ASSERT(t->state_ == ThreadState::runnable || t->state_ == ThreadState::blocked);
+  NCS_ASSERT(t->core_ == core.index);
   t->state_ = ThreadState::running;
   current_ = t;
   ++stats_.dispatches;
+  ++core.stats.dispatches;
   if (trace_ != nullptr && t->trace_track_ >= 0)
     trace_->instant(t->trace_track_, "dispatch", "mts", engine_.now());
 
@@ -206,29 +320,47 @@ void Scheduler::unblock(Thread* t) {
   t->queue_ = nullptr;
   t->state_ = ThreadState::runnable;
   mark(t, sim::Activity::idle);
+  // Sticky wake-up: the thread re-queues on the core it last ran on.
   make_runnable(t, /*front=*/false);
-  kick();
 }
 
 void Scheduler::charge(Duration d, sim::Activity a) {
   Thread* t = current_;
   NCS_ASSERT_MSG(t != nullptr && g_active == this, "charge() outside a thread");
   if (d <= Duration::zero()) return;
+  // hybrid progress: long user-thread compute bursts are sliced at
+  // poll_quantum with a yield point between slices, bounding how long the
+  // communication planes can starve behind a busy core.
+  if (params_.smp.progress == ProgressModel::hybrid &&
+      t->cls_ == ThreadClass::user && params_.smp.poll_quantum > Duration::zero()) {
+    while (d > params_.smp.poll_quantum) {
+      charge_window(t, params_.smp.poll_quantum, a);
+      d = d - params_.smp.poll_quantum;
+      yield_to_higher();
+    }
+  }
+  charge_window(t, d, a);
+}
 
+void Scheduler::charge_window(Thread* t, Duration d, sim::Activity a) {
+  const int core = t->core_;
+  Core& c = cores_[core];
   if (trace_ != nullptr && t->trace_track_ >= 0)
     trace_->complete(t->trace_track_, std::string("charge:") + sim::activity_name(a), "mts",
                      engine_.now(), d);
   mark(t, a);
   stats_.cpu_busy += d;
-  NCS_ASSERT(cpu_owner_ == nullptr);
-  cpu_owner_ = t;
-  engine_.schedule_after(d, [this, t] {
-    NCS_ASSERT(cpu_owner_ == t);
-    cpu_owner_ = nullptr;
-    resume_direct_ = t;
-    if (!in_dispatch_) dispatch_loop();
+  c.stats.cpu_busy += d;
+  NCS_ASSERT(c.cpu_owner == nullptr);
+  c.cpu_owner = t;
+  engine_.schedule_after(d, [this, t, core] {
+    Core& c2 = cores_[core];
+    NCS_ASSERT(c2.cpu_owner == t);
+    c2.cpu_owner = nullptr;
+    c2.resume_direct = t;
+    if (!c2.in_dispatch) dispatch_loop(core);
   });
-  t->state_ = ThreadState::blocked;  // parked, but owns the CPU; not queued
+  t->state_ = ThreadState::blocked;  // parked, but owns the core; not queued
   switch_to_scheduler();
   mark(t, sim::Activity::idle);
 }
@@ -236,7 +368,7 @@ void Scheduler::charge(Duration d, sim::Activity a) {
 void Scheduler::yield() {
   Thread* t = current_;
   NCS_ASSERT_MSG(t != nullptr && g_active == this, "yield() outside a thread");
-  if (runnable_count() == 0) return;  // nothing to yield to
+  if (cores_[t->core_].runnable_count() == 0) return;  // nothing to yield to here
   t->state_ = ThreadState::runnable;
   make_runnable(t, /*front=*/false);
   mark(t, sim::Activity::idle);
@@ -246,9 +378,10 @@ void Scheduler::yield() {
 void Scheduler::yield_to_higher() {
   Thread* t = current_;
   NCS_ASSERT_MSG(t != nullptr && g_active == this, "yield_to_higher() outside a thread");
+  Core& c = cores_[t->core_];
   bool higher = false;
   for (int p = kHighestPriority; p < t->priority_; ++p) {
-    if (!runnable_[static_cast<std::size_t>(p)].empty()) {
+    if (!c.runnable[static_cast<std::size_t>(p)].empty()) {
       higher = true;
       break;
     }
@@ -308,9 +441,34 @@ void Scheduler::set_priority(Thread* t, int priority) {
     t->queue_ = nullptr;
   }
   t->priority_ = priority;
-  if (requeue) {
-    make_runnable(t, /*front=*/false);
-    kick();
+  if (requeue) make_runnable(t, /*front=*/false);
+}
+
+void Scheduler::progress_hint() {
+  if (cores_.size() <= 1) return;
+  if (params_.smp.progress != ProgressModel::on_demand &&
+      params_.smp.progress != ProgressModel::hybrid)
+    return;
+  Thread* self = current_;
+  NCS_ASSERT_MSG(self != nullptr && g_active == this, "progress_hint() outside a thread");
+  Core& here = cores_[self->core_];
+  for (int ci = 0; ci < cores_.size(); ++ci) {
+    if (ci == here.index) continue;
+    Core& other = cores_[ci];
+    for (auto& q : other.runnable) {
+      for (auto it = q.begin(); it != q.end();) {
+        Thread& cand = *it;
+        ++it;  // advance before a possible unlink
+        if (cand.cls_ != ThreadClass::system || cand.affinity_ >= 0) continue;
+        q.remove(cand);
+        cand.queue_ = nullptr;
+        cand.core_ = here.index;
+        ++here.stats.migrations_in;
+        if (trace_ != nullptr && cand.trace_track_ >= 0)
+          trace_->instant(cand.trace_track_, "migrate", "mts", engine_.now());
+        make_runnable(&cand, /*front=*/false);
+      }
+    }
   }
 }
 
@@ -319,19 +477,37 @@ void Scheduler::register_metrics(obs::MetricsRegistry& reg, const std::string& p
   reg.counter(prefix + "/spawns", &stats_.spawns);
   reg.duration(prefix + "/cpu_busy", &stats_.cpu_busy);
   reg.duration(prefix + "/overhead", &stats_.overhead);
+  if (cores_.size() > 1) {
+    reg.counter(prefix + "/steals", &stats_.steals);
+    for (int c = 0; c < cores_.size(); ++c) {
+      const std::string p = prefix + "/core" + std::to_string(c);
+      const CoreStats& s = cores_[c].stats;
+      reg.counter(p + "/dispatches", &s.dispatches);
+      reg.counter(p + "/steals_in", &s.steals_in);
+      reg.counter(p + "/steals_out", &s.steals_out);
+      reg.counter(p + "/migrations_in", &s.migrations_in);
+      reg.duration(p + "/cpu_busy", &s.cpu_busy);
+      reg.duration(p + "/overhead", &s.overhead);
+    }
+  }
 }
 
 bool Scheduler::quiescent() const {
-  if (current_ != nullptr || cpu_owner_ != nullptr || resume_direct_ != nullptr) return false;
-  for (const auto& q : runnable_)
-    if (!q.empty()) return false;
+  if (current_ != nullptr) return false;
+  for (int c = 0; c < cores_.size(); ++c) {
+    if (!cores_[c].idle()) return false;
+  }
   return true;
 }
 
 std::size_t Scheduler::runnable_count() const {
   std::size_t n = 0;
-  for (const auto& q : runnable_) n += q.size();
+  for (int c = 0; c < cores_.size(); ++c) n += cores_[c].runnable_count();
   return n;
+}
+
+std::size_t Scheduler::runnable_count_on(int core) const {
+  return cores_[core].runnable_count();
 }
 
 Thread* Scheduler::thread_by_id(ThreadId id) {

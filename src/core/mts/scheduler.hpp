@@ -18,8 +18,13 @@
 //    threads" the paper cites to explain NCS losing slightly to p4 at one
 //    node (Table 1).
 //
-// One Scheduler == one simulated host CPU. All schedulers in a simulation
-// interleave deterministically through the shared engine.
+// One Scheduler == one simulated host. The host has SmpParams::n_cores
+// virtual CPUs (core/mts/smp.hpp): each core has its own run queues,
+// dispatch state and busy horizon, while the thread table, blocked queue
+// and fiber machinery stay host-wide. With one core (the default) the
+// behaviour is bit-identical to the original single-CPU scheduler. All
+// schedulers in a simulation interleave deterministically through the
+// shared engine.
 #pragma once
 
 #include <functional>
@@ -28,6 +33,7 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "core/mts/smp.hpp"
 #include "core/mts/thread.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prof.hpp"
@@ -47,6 +53,8 @@ struct SchedulerParams {
   Duration context_switch_cost = Duration::microseconds(8);
   /// CPU cost of creating a thread.
   Duration thread_create_cost = Duration::microseconds(25);
+  /// Multi-core layout, stealing and progress model (core/mts/smp.hpp).
+  SmpParams smp;
 };
 
 class Scheduler {
@@ -70,10 +78,10 @@ class Scheduler {
   /// via the engine). The scheduler owns the Thread.
   Thread* spawn(std::function<void()> body, ThreadOptions opts = {});
 
-  /// Moves a blocked thread to the runnable queue and kicks dispatch.
+  /// Moves a blocked thread to its core's runnable queue and kicks dispatch.
   void unblock(Thread* t);
 
-  /// Schedules a dispatch pass if none is pending.
+  /// Schedules a dispatch pass on every core that has none pending.
   void kick();
 
   // --- primitives callable only from a running thread of this scheduler ---
@@ -116,6 +124,13 @@ class Scheduler {
   /// at their next queueing.
   void set_priority(Thread* t, int priority);
 
+  /// On-demand communication progress (ProgressModel::on_demand): pulls
+  /// runnable, unpinned system-class threads from sibling cores onto the
+  /// calling thread's core, so the protocol planes run here while the
+  /// caller waits. The NCS_recv path calls this before blocking; a no-op
+  /// on one core or under the other progress models.
+  void progress_hint();
+
   /// The running thread, or nullptr from engine context.
   Thread* current() { return current_; }
 
@@ -126,11 +141,16 @@ class Scheduler {
   // --- introspection ---
   bool quiescent() const;  // no runnable or running threads
   std::size_t runnable_count() const;
+  std::size_t runnable_count_on(int core) const;
   Thread* thread_by_id(ThreadId id);
+
+  int n_cores() const { return cores_.size(); }
+  const CoreStats& core_stats(int core) const { return cores_[core].stats; }
 
   struct Stats {
     std::uint64_t dispatches = 0;
     std::uint64_t spawns = 0;
+    std::uint64_t steals = 0;  // cross-core steals (0 on one core)
     Duration cpu_busy;      // total charged time incl. switch overhead
     Duration overhead;      // context-switch + spawn portion of cpu_busy
   };
@@ -155,16 +175,21 @@ class Scheduler {
  private:
   friend class Thread;
 
-  using Queue = IntrusiveList<Thread, &Thread::queue_hook_>;
+  using Queue = Thread::Queue;
 
-  void dispatch_loop();
-  void run_thread(Thread* t);
+  void kick(int core);
+  void dispatch_loop(int core);
+  void run_thread(Core& core, Thread* t);
   void switch_to_scheduler();
   void thread_main(Thread* t);  // called from trampoline
   void make_runnable(Thread* t, bool front);
-  Thread* pop_runnable();
+  Thread* pop_runnable(Core& core);
+  Thread* steal_into(Core& thief);
+  void advertise(Core& core);  // offer leftover stealable work to idle siblings
+  int place(const Thread& t);  // initial core for a newly spawned thread
   void mark(Thread* t, sim::Activity a);
-  void reserve_cpu(Duration d, bool as_overhead);
+  void reserve_cpu(Core& core, Duration d, bool as_overhead);
+  void charge_window(Thread* t, Duration d, sim::Activity a);
 
   sim::Engine& engine_;
   SchedulerParams params_;
@@ -173,21 +198,19 @@ class Scheduler {
   obs::Profiler* prof_ = nullptr;
 
   std::vector<std::unique_ptr<Thread>> threads_;
-  Queue runnable_[kPriorityLevels];
+  /// Per-core run contexts (queues, dispatch state, busy horizons). The
+  /// blocked queue stays host-wide: a blocked thread belongs to no core's
+  /// run state, only its `core_` field remembers where it will wake.
+  CoreSet cores_;
   Queue blocked_;
 
+  /// One fiber context suffices for all cores: the whole simulation runs
+  /// on one OS thread and dispatch loops never nest, so at most one core
+  /// is mid-dispatch at any host at any real instant.
   qt::Context scheduler_context_;
   Thread* current_ = nullptr;
-  /// Thread whose charge() window is in progress: it owns the CPU and is
-  /// resumed directly, ahead of any queue, when the window ends.
-  Thread* cpu_owner_ = nullptr;
-  /// Thread to resume ahead of the queues (end of a charge window, or a
-  /// dispatch whose context-switch cost was just paid).
-  Thread* resume_direct_ = nullptr;
-  /// CPU busy horizon for switch/spawn overhead windows.
-  TimePoint cpu_free_at_;
-  bool dispatch_scheduled_ = false;
-  bool in_dispatch_ = false;
+  /// Round-robin cursor for placing new user threads across compute cores.
+  int next_user_core_ = 0;
 
   Stats stats_;
 };

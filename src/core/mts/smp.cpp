@@ -1,0 +1,57 @@
+#include "core/mts/smp.hpp"
+
+#include <memory>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace ncs::mts {
+
+const char* to_string(ProgressModel m) {
+  switch (m) {
+    case ProgressModel::dedicated_core: return "dedicated_core";
+    case ProgressModel::on_demand: return "on_demand";
+    case ProgressModel::hybrid: return "hybrid";
+  }
+  return "?";
+}
+
+const char* to_string(StealPolicy p) {
+  switch (p) {
+    case StealPolicy::none: return "none";
+    case StealPolicy::seeded: return "seeded";
+    case StealPolicy::ring: return "ring";
+  }
+  return "?";
+}
+
+std::vector<int> victim_order(int self, int n_cores, StealPolicy policy,
+                              std::uint64_t seed) {
+  std::vector<int> order;
+  if (policy == StealPolicy::none || n_cores <= 1) return order;
+  // Ring order: the next core first, wrapping around.
+  for (int i = 1; i < n_cores; ++i) order.push_back((self + i) % n_cores);
+  if (policy == StealPolicy::ring) return order;
+  // Seeded: Fisher-Yates over the ring with a per-(seed, core) stream, so
+  // thieves spread over victims instead of all hammering core self+1.
+  constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15;  // SplitMix64 increment
+  Rng rng(seed ^ (static_cast<std::uint64_t>(self) * kGamma));
+  for (std::size_t i = order.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(order[i - 1], order[j]);
+  }
+  return order;
+}
+
+CoreSet::CoreSet(const SmpParams& params, const std::string& host_name) {
+  NCS_ASSERT(params.n_cores >= 1);
+  for (int c = 0; c < params.n_cores; ++c) {
+    cores_.push_back(std::make_unique<Core>());
+    Core& core = *cores_.back();
+    core.index = c;
+    core.victims = victim_order(c, params.n_cores, params.steal, params.steal_seed);
+    core.prof_key = host_name + "/c" + std::to_string(c);
+  }
+}
+
+}  // namespace ncs::mts

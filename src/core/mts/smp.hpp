@@ -1,0 +1,129 @@
+// Multi-core host runtime for NCS_MTS.
+//
+// The paper's Section 4.1 scheduler models one non-preemptive CPU per
+// host. This header generalises it to N cores sharing one host's thread
+// table: a CoreSet of per-core run contexts, each with its own 16-level
+// priority queue, dispatch state and virtual-CPU horizon, plus the knobs
+// that make the design ablatable:
+//
+//  - StealPolicy: when a core's own queues drain it may steal a runnable
+//    *user-class, unpinned* thread from a sibling. The discipline is
+//    Chase-Lev in spirit — the owner pops from the front of a level, the
+//    thief scans from the back — but simulated and fully deterministic:
+//    victim order is a seeded permutation fixed at construction, and all
+//    scheduling flows through the engine's (time, insertion-seq) contract.
+//
+//  - ProgressModel: who runs the communication system planes (ncs-send /
+//    ncs-recv / ncs-ec, the collective and RMA handlers).
+//      dedicated_core : system threads are placed on the last core, user
+//                       threads round-robin the remaining cores — progress
+//                       is immediate but one core is lost to compute.
+//      on_demand      : system threads start on core 0 unpinned; NCS_recv
+//                       pulls runnable system threads onto the calling
+//                       thread's core before it blocks (progress happens
+//                       inside the application's receive, MPI-style).
+//      hybrid         : like on_demand placement, but long user-thread
+//                       charge() windows are sliced at poll_quantum with a
+//                       yield-to-higher point between slices, bounding how
+//                       long a compute burst can starve the planes.
+//
+// Determinism: with n_cores == 1 every operation reduces to the original
+// single-CPU code path — no steal scans, no sibling kicks, no migrations —
+// so existing digests (chaos_soak, BENCH_PR*.json) remain bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "core/mts/thread.hpp"
+
+namespace ncs::mts {
+
+enum class ProgressModel : std::uint8_t { dedicated_core, on_demand, hybrid };
+
+enum class StealPolicy : std::uint8_t {
+  none,    // strict per-core queues (ablation baseline)
+  seeded,  // deterministic seeded victim permutation per thief core
+  ring,    // scan victims in ring order starting at the next core
+};
+
+const char* to_string(ProgressModel m);
+const char* to_string(StealPolicy p);
+
+struct SmpParams {
+  int n_cores = 1;
+  StealPolicy steal = StealPolicy::seeded;
+  ProgressModel progress = ProgressModel::dedicated_core;
+  /// hybrid: maximum user-thread charge slice between yield points.
+  Duration poll_quantum = Duration::microseconds(200);
+  /// Seeds the per-core victim permutations (StealPolicy::seeded).
+  std::uint64_t steal_seed = 1995;
+};
+
+struct CoreStats {
+  std::uint64_t dispatches = 0;
+  std::uint64_t steals_in = 0;       // threads this core stole from siblings
+  std::uint64_t steals_out = 0;      // threads siblings stole from this core
+  std::uint64_t migrations_in = 0;   // on-demand progress pulls onto this core
+  Duration cpu_busy;                 // charged time incl. switch overhead
+  Duration overhead;                 // context-switch + spawn portion
+};
+
+/// One per-core run context. This is the state that was per-Scheduler when
+/// one Scheduler meant one CPU; the Scheduler now owns a CoreSet of these
+/// and keeps only the host-wide state (thread table, blocked queue, fiber
+/// context) shared.
+struct Core {
+  int index = 0;
+  Thread::Queue runnable[kPriorityLevels];
+  /// Thread whose charge() window is in progress on this core: it owns the
+  /// core and is resumed directly, ahead of any queue, when the window ends.
+  Thread* cpu_owner = nullptr;
+  /// Thread to resume ahead of the queues (end of a charge window, or a
+  /// dispatch whose context-switch cost was just paid).
+  Thread* resume_direct = nullptr;
+  /// Core busy horizon for switch/spawn overhead windows.
+  TimePoint cpu_free_at;
+  bool dispatch_scheduled = false;
+  bool in_dispatch = false;
+  /// Victim scan order for stealing (excludes this core; empty at 1 core).
+  std::vector<int> victims;
+  /// Cached per-core dispatch-attribution key, "<host>/c<index>".
+  std::string prof_key;
+  CoreStats stats;
+
+  std::size_t runnable_count() const {
+    std::size_t n = 0;
+    for (const auto& q : runnable) n += q.size();
+    return n;
+  }
+  /// No work bound to this core: nothing queued, nothing mid-charge,
+  /// nothing waiting to resume.
+  bool idle() const {
+    return cpu_owner == nullptr && resume_direct == nullptr && runnable_count() == 0;
+  }
+};
+
+/// The per-host collection of cores. Cores are stable in memory (metrics
+/// registration takes addresses into CoreStats).
+class CoreSet {
+ public:
+  CoreSet(const SmpParams& params, const std::string& host_name);
+
+  int size() const { return static_cast<int>(cores_.size()); }
+  Core& operator[](int i) { return *cores_[static_cast<std::size_t>(i)]; }
+  const Core& operator[](int i) const { return *cores_[static_cast<std::size_t>(i)]; }
+
+ private:
+  std::vector<std::unique_ptr<Core>> cores_;
+};
+
+/// Victim scan order for core `self` of `n_cores` under `policy`: a seeded
+/// deterministic permutation of the siblings (seeded), ring order (ring),
+/// or empty (none / single core).
+std::vector<int> victim_order(int self, int n_cores, StealPolicy policy,
+                              std::uint64_t seed);
+
+}  // namespace ncs::mts

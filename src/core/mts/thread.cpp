@@ -22,6 +22,7 @@ Thread::Thread(Scheduler& scheduler, ThreadId id, std::function<void()> body, Th
       name_(opts.name.empty() ? "t" + std::to_string(id) : std::move(opts.name)),
       priority_(opts.priority),
       cls_(opts.cls),
+      affinity_(opts.affinity),
       body_(std::move(body)),
       stack_(opts.stack_size) {
   NCS_ASSERT(priority_ >= kHighestPriority && priority_ <= kLowestPriority);

@@ -43,6 +43,9 @@ struct ThreadOptions {
   int priority = kDefaultPriority;
   ThreadClass cls = ThreadClass::user;
   std::size_t stack_size = qt::Stack::kDefaultSize;
+  /// Pin the thread to one core of a multi-core host (core/mts/smp.hpp):
+  /// it is never stolen or migrated. -1 = let the scheduler place it.
+  int affinity = -1;
 };
 
 class Thread {
@@ -58,6 +61,11 @@ class Thread {
   ThreadClass thread_class() const { return cls_; }
   ThreadState state() const { return state_; }
   Scheduler& scheduler() { return scheduler_; }
+  /// Core the thread is currently bound to (queued on / running on). Work
+  /// stealing and on-demand progress migration rebind unpinned threads.
+  int core() const { return core_; }
+  /// Pinned core, or -1 when the scheduler may move the thread.
+  int affinity() const { return affinity_; }
 
   bool finished() const { return state_ == ThreadState::finished; }
 
@@ -74,6 +82,8 @@ class Thread {
   int priority_;
   ThreadClass cls_;
   ThreadState state_ = ThreadState::runnable;
+  int affinity_ = -1;
+  int core_ = 0;
 
   std::function<void()> body_;
   qt::Stack stack_;
@@ -100,6 +110,12 @@ class Thread {
   /// woken early so a dead timer neither fires stale nor sits in the event
   /// queue until its deadline. 0 = no timer pending.
   sim::EventId sleep_timer_ = 0;
+
+ public:
+  /// The intrusive queue type threaded through queue_hook_ — the per-core
+  /// runnable levels and the host blocked queue (scheduler internals; see
+  /// core/mts/smp.hpp).
+  using Queue = IntrusiveList<Thread, &Thread::queue_hook_>;
 };
 
 }  // namespace ncs::mts

@@ -150,6 +150,15 @@ void Profiler::write_json(JsonWriter& w) const {
     }
     w.end_object();
   }
+  if (!core_.empty()) {
+    w.key("cores").begin_object();
+    for (const auto& [key, hist] : core_) {
+      w.key(key).begin_object();
+      hist.write_json(w);
+      w.end_object();
+    }
+    w.end_object();
+  }
   w.key("messages")
       .begin_object()
       .field("completed", completed_)

@@ -154,6 +154,15 @@ class Profiler {
 
   const std::map<std::string, Histogram>& rma_hists() const { return rma_; }
 
+  /// Per-core dispatch-latency sample, keyed "<host>/c<index>", emitted as
+  /// the profile's "cores" section when a multi-core host is attached; the
+  /// scheduler also folds the same sample into Layer::sched_dispatch as
+  /// the aggregate. Single-core hosts record nothing here, so the profile
+  /// JSON is unchanged for them.
+  void record_core(const std::string& key, Duration d) { core_[key].record(d); }
+
+  const std::map<std::string, Histogram>& core_hists() const { return core_; }
+
   /// Telemetry sink for completed end-to-end latencies: every on_wakeup
   /// fold additionally records (wakeup time, e2e) into the sketch, so the
   /// sampler sees tail latency as it happens. Pointer-guarded like the
@@ -191,6 +200,7 @@ class Profiler {
   std::map<std::string, Histogram> proto_time_;
   std::map<std::string, Histogram> proto_count_;
   std::map<std::string, Histogram> rma_;
+  std::map<std::string, Histogram> core_;
   std::uint64_t completed_ = 0;
   WindowedSketch* e2e_sketch_ = nullptr;
   FlightRecorder* recorder_ = nullptr;

@@ -430,6 +430,40 @@ TEST(Scheduler, SetPriorityOnBlockedThreadTakesEffectOnWake) {
   EXPECT_EQ(order, (std::vector<std::string>{"woken", "other"}));
 }
 
+TEST(Scheduler, SetPriorityDuringChargeTakesEffectAtNextQueueing) {
+  // A thread inside a charge() window is parked (blocked, not queued) but
+  // still owns the CPU. Changing its priority mid-window must neither
+  // requeue it nor disturb the window: the charge runs to completion, the
+  // thread resumes directly, and the new level applies at its next
+  // queueing (the documented "takes effect at next queueing" semantics).
+  sim::Engine engine;
+  Scheduler sched(engine, zero_cost());
+  std::vector<std::string> order;
+  TimePoint resumed;
+  Thread* charger = sched.spawn([&] {
+    sched.charge(100_us);  // the promotion lands mid-window
+    resumed = engine.now();
+    order.push_back("charger");
+    sched.yield();  // first queueing after the change: new level applies
+    order.push_back("charger-after-yield");
+  }, {.name = "charger", .priority = 8});
+  engine.schedule_at(TimePoint::origin() + 50_us, [&] {
+    EXPECT_EQ(charger->state(), ThreadState::blocked);  // parked in charge()
+    sched.set_priority(charger, 0);
+    EXPECT_EQ(charger->priority(), 0);
+  });
+  // A peer above the charger's old level but below its new one, queued
+  // while the window runs: the non-preemptive CPU keeps it waiting, and
+  // at the charger's yield the *new* priority must outrank it.
+  engine.schedule_at(TimePoint::origin() + 60_us, [&] {
+    sched.spawn([&] { order.push_back("peer"); }, {.name = "peer", .priority = 4});
+  });
+  engine.run();
+  EXPECT_EQ(resumed, TimePoint::origin() + 100_us);  // window undisturbed
+  EXPECT_EQ(order, (std::vector<std::string>{"charger", "charger-after-yield", "peer"}));
+  EXPECT_TRUE(sched.quiescent());
+}
+
 TEST(SchedulerDeathTest, BlockOutsideThreadAborts) {
   sim::Engine engine;
   Scheduler sched(engine, zero_cost());

@@ -1,0 +1,334 @@
+#include "core/mts/smp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/mts/scheduler.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace ncs::mts {
+namespace {
+
+using namespace ncs::literals;
+
+SchedulerParams smp_params(int cores, StealPolicy steal = StealPolicy::seeded,
+                           ProgressModel progress = ProgressModel::dedicated_core) {
+  SchedulerParams p;
+  p.name = "h0";
+  p.cpu_mhz = 40;
+  p.context_switch_cost = Duration::zero();
+  p.thread_create_cost = Duration::zero();
+  p.smp.n_cores = cores;
+  p.smp.steal = steal;
+  p.smp.progress = progress;
+  return p;
+}
+
+TEST(VictimOrder, EmptyForSingleCoreOrNoStealing) {
+  EXPECT_TRUE(victim_order(0, 1, StealPolicy::seeded, 1).empty());
+  EXPECT_TRUE(victim_order(0, 4, StealPolicy::none, 1).empty());
+}
+
+TEST(VictimOrder, RingStartsAtNextCore) {
+  EXPECT_EQ(victim_order(1, 4, StealPolicy::ring, 0), (std::vector<int>{2, 3, 0}));
+  EXPECT_EQ(victim_order(3, 4, StealPolicy::ring, 0), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(VictimOrder, SeededIsAPermutationOfSiblingsAndDeterministic) {
+  for (int self = 0; self < 8; ++self) {
+    const auto a = victim_order(self, 8, StealPolicy::seeded, 1995);
+    const auto b = victim_order(self, 8, StealPolicy::seeded, 1995);
+    EXPECT_EQ(a, b);
+    ASSERT_EQ(a.size(), 7u);
+    auto sorted = a;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0, j = 0; i < 8; ++i) {
+      if (i == self) continue;
+      EXPECT_EQ(sorted[static_cast<std::size_t>(j++)], i);
+    }
+  }
+}
+
+TEST(VictimOrder, DifferentSeedsGiveDifferentPermutations) {
+  // Not guaranteed per-core, but across 8 thieves at least one must differ.
+  bool any_differ = false;
+  for (int self = 0; self < 8; ++self)
+    any_differ |= victim_order(self, 8, StealPolicy::seeded, 1) !=
+                  victim_order(self, 8, StealPolicy::seeded, 2);
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(Smp, SingleCoreHasNoSiblingState) {
+  sim::Engine engine;
+  Scheduler sched(engine, smp_params(1));
+  EXPECT_EQ(sched.n_cores(), 1);
+  sched.spawn([&] { sched.charge(10_us); });
+  engine.run();
+  EXPECT_EQ(sched.stats().steals, 0u);
+  EXPECT_EQ(sched.core_stats(0).dispatches, sched.stats().dispatches);
+}
+
+TEST(Smp, DedicatedCorePlacesSystemThreadsOnLastCore) {
+  sim::Engine engine;
+  Scheduler sched(engine, smp_params(4, StealPolicy::none));
+  Thread* sys = sched.spawn([&] {}, {.name = "sys", .cls = ThreadClass::system});
+  Thread* u0 = sched.spawn([&] {}, {.name = "u0"});
+  Thread* u1 = sched.spawn([&] {}, {.name = "u1"});
+  Thread* u2 = sched.spawn([&] {}, {.name = "u2"});
+  Thread* u3 = sched.spawn([&] {}, {.name = "u3"});
+  EXPECT_EQ(sys->core(), 3);
+  // Users round-robin the three compute cores, wrapping.
+  EXPECT_EQ(u0->core(), 0);
+  EXPECT_EQ(u1->core(), 1);
+  EXPECT_EQ(u2->core(), 2);
+  EXPECT_EQ(u3->core(), 0);
+  engine.run();
+}
+
+TEST(Smp, OnDemandPlacesSystemThreadsOnCoreZero) {
+  sim::Engine engine;
+  Scheduler sched(engine, smp_params(4, StealPolicy::none, ProgressModel::on_demand));
+  Thread* sys = sched.spawn([&] {}, {.name = "sys", .cls = ThreadClass::system});
+  Thread* u0 = sched.spawn([&] {}, {.name = "u0"});
+  Thread* u1 = sched.spawn([&] {}, {.name = "u1"});
+  Thread* u2 = sched.spawn([&] {}, {.name = "u2"});
+  Thread* u3 = sched.spawn([&] {}, {.name = "u3"});
+  EXPECT_EQ(sys->core(), 0);
+  // All four cores take user threads: no core is reserved.
+  EXPECT_EQ(u0->core(), 0);
+  EXPECT_EQ(u1->core(), 1);
+  EXPECT_EQ(u2->core(), 2);
+  EXPECT_EQ(u3->core(), 3);
+  engine.run();
+}
+
+TEST(Smp, AffinityPinsPlacement) {
+  sim::Engine engine;
+  Scheduler sched(engine, smp_params(4));
+  Thread* pinned = sched.spawn([&] {}, {.name = "pin", .affinity = 2});
+  EXPECT_EQ(pinned->core(), 2);
+  EXPECT_EQ(pinned->affinity(), 2);
+  engine.run();
+}
+
+TEST(Smp, ChargeWindowsOverlapAcrossCores) {
+  // Two compute threads on different cores charge 1 ms each; on two compute
+  // cores the host finishes in ~1 ms, not 2 ms.
+  sim::Engine engine;
+  Scheduler sched(engine, smp_params(3));  // 2 compute + 1 progress core
+  TimePoint end_a, end_b;
+  sched.spawn([&] {
+    sched.charge(1_ms);
+    end_a = engine.now();
+  }, {.name = "A"});
+  sched.spawn([&] {
+    sched.charge(1_ms);
+    end_b = engine.now();
+  }, {.name = "B"});
+  engine.run();
+  EXPECT_EQ((end_a - TimePoint::origin()).ps(), Duration(1_ms).ps());
+  EXPECT_EQ((end_b - TimePoint::origin()).ps(), Duration(1_ms).ps());
+  EXPECT_EQ(sched.core_stats(0).dispatches + sched.core_stats(1).dispatches,
+            sched.stats().dispatches);
+}
+
+TEST(Smp, IdleCoreStealsQueuedUserWork) {
+  // A (pinned) occupies core 0 with a charge; B, unpinned and placed on
+  // core 0 by round-robin, sits queued behind it until the idle sibling
+  // steals it — after which both charges run concurrently.
+  sim::Engine engine;
+  Scheduler sched(engine, smp_params(2, StealPolicy::seeded, ProgressModel::on_demand));
+  TimePoint end_a, end_b;
+  Thread* b = nullptr;
+  sched.spawn([&] {
+    sched.charge(1_ms);
+    end_a = engine.now();
+  }, {.name = "A", .affinity = 0});
+  b = sched.spawn([&] {
+    sched.charge(1_ms);
+    end_b = engine.now();
+  }, {.name = "B"});
+  engine.run();
+  EXPECT_GE(sched.stats().steals, 1u);
+  EXPECT_EQ(sched.core_stats(1).steals_in, sched.stats().steals);
+  EXPECT_EQ(sched.core_stats(0).steals_out, sched.stats().steals);
+  EXPECT_EQ(b->core(), 1);  // rebound to the thief
+  // Both finish at 1 ms: the steal ran B concurrently with A.
+  EXPECT_EQ((end_a - TimePoint::origin()).ps(), Duration(1_ms).ps());
+  EXPECT_EQ((end_b - TimePoint::origin()).ps(), Duration(1_ms).ps());
+}
+
+TEST(Smp, StealPolicyNoneSerializesACore) {
+  sim::Engine engine;
+  Scheduler sched(engine, smp_params(2, StealPolicy::none, ProgressModel::on_demand));
+  TimePoint end_b;
+  sched.spawn([&] { sched.charge(1_ms); }, {.name = "A", .affinity = 0});
+  sched.spawn([&] {
+    sched.charge(1_ms);
+    end_b = engine.now();
+  }, {.name = "B"});  // placed on core 0 by round-robin
+  engine.run();
+  EXPECT_EQ(sched.stats().steals, 0u);
+  EXPECT_EQ((end_b - TimePoint::origin()).ps(), Duration(2_ms).ps());
+}
+
+TEST(Smp, PinnedThreadsAreNeverStolen) {
+  sim::Engine engine;
+  Scheduler sched(engine, smp_params(2, StealPolicy::seeded, ProgressModel::on_demand));
+  TimePoint end_b;
+  sched.spawn([&] { sched.charge(1_ms); }, {.name = "A", .affinity = 0});
+  Thread* b = sched.spawn([&] {
+    sched.charge(1_ms);
+    end_b = engine.now();
+  }, {.name = "B", .affinity = 0});
+  engine.run();
+  EXPECT_EQ(sched.stats().steals, 0u);
+  EXPECT_EQ(b->core(), 0);
+  EXPECT_EQ((end_b - TimePoint::origin()).ps(), Duration(2_ms).ps());
+}
+
+TEST(Smp, DedicatedProgressCoreDoesNotStealUserWork) {
+  // 2 cores under dedicated_core: core 1 is the progress core. Queue two
+  // user threads on core 0; core 1 must stay idle rather than steal.
+  sim::Engine engine;
+  Scheduler sched(engine, smp_params(2, StealPolicy::seeded));
+  TimePoint end_b;
+  sched.spawn([&] { sched.charge(1_ms); }, {.name = "A"});
+  sched.spawn([&] {
+    sched.charge(1_ms);
+    end_b = engine.now();
+  }, {.name = "B"});
+  engine.run();
+  EXPECT_EQ(sched.stats().steals, 0u);
+  EXPECT_EQ(sched.core_stats(1).dispatches, 0u);
+  EXPECT_EQ((end_b - TimePoint::origin()).ps(), Duration(2_ms).ps());
+}
+
+TEST(Smp, ProgressHintMigratesRunnableSystemThreads) {
+  sim::Engine engine;
+  Scheduler sched(engine, smp_params(2, StealPolicy::none, ProgressModel::on_demand));
+  TimePoint plane_ran;
+  // A system "plane" that ends up runnable on core 0 behind a 5 ms charge.
+  Thread* plane = sched.spawn([&] {
+    sched.block();
+    plane_ran = engine.now();
+  }, {.name = "plane", .priority = 1, .cls = ThreadClass::system});
+  sched.spawn([&] { sched.charge(5_ms); }, {.name = "hog", .affinity = 0});
+  sched.spawn([&] {
+    sched.sleep_for(1_ms);
+    sched.unblock(plane);  // re-queues on core 0, behind the hog's charge
+  }, {.name = "waker", .cls = ThreadClass::system, .affinity = 1});
+  // Caller on core 1 pulls the plane over instead of waiting for core 0.
+  sched.spawn([&] {
+    sched.sleep_for(2_ms);
+    sched.progress_hint();
+    sched.yield_to_higher();  // plane is priority 1: it runs here, now
+  }, {.name = "caller", .affinity = 1});
+  engine.run();
+  EXPECT_EQ(sched.core_stats(1).migrations_in, 1u);
+  EXPECT_EQ(plane->core(), 1);
+  EXPECT_EQ((plane_ran - TimePoint::origin()).ps(), Duration(2_ms).ps());
+}
+
+TEST(Smp, HybridSlicesLongUserCharges) {
+  // hybrid: a 1 ms user charge with a 200 us quantum gets 5 windows with
+  // yield points between them; a higher-priority thread woken mid-charge
+  // runs at the next slice boundary, not after the full 1 ms.
+  sim::Engine engine;
+  SchedulerParams p = smp_params(1, StealPolicy::none, ProgressModel::hybrid);
+  p.smp.poll_quantum = Duration::microseconds(200);
+  Scheduler sched(engine, p);
+  TimePoint urgent_ran;
+  Thread* urgent = sched.spawn([&] {
+    sched.block();
+    urgent_ran = engine.now();
+  }, {.name = "urgent", .priority = 0});
+  TimePoint hog_done;
+  sched.spawn([&] {
+    sched.charge(1_ms);
+    hog_done = engine.now();
+  }, {.name = "hog", .priority = 8});
+  sched.spawn([&] {
+    sched.sleep_for(300_us);
+    sched.unblock(urgent);
+  }, {.name = "waker", .priority = 4, .cls = ThreadClass::system});
+  engine.run();
+  // urgent runs at the 400 us slice boundary (woken at 300 us), far before
+  // the hog's charge completes at >= 1 ms.
+  EXPECT_EQ((urgent_ran - TimePoint::origin()).ps(), Duration(400_us).ps());
+  EXPECT_GE((hog_done - TimePoint::origin()).ps(), Duration(1_ms).ps());
+}
+
+TEST(Smp, HybridDoesNotSliceSystemThreads) {
+  sim::Engine engine;
+  SchedulerParams p = smp_params(1, StealPolicy::none, ProgressModel::hybrid);
+  p.smp.poll_quantum = Duration::microseconds(200);
+  Scheduler sched(engine, p);
+  TimePoint urgent_ran;
+  Thread* urgent = sched.spawn([&] {
+    sched.block();
+    urgent_ran = engine.now();
+  }, {.name = "urgent", .priority = 0});
+  sched.spawn([&] { sched.charge(1_ms); },
+              {.name = "sys-hog", .priority = 8, .cls = ThreadClass::system});
+  sched.spawn([&] {
+    sched.sleep_for(300_us);
+    sched.unblock(urgent);
+  }, {.name = "waker", .priority = 4, .cls = ThreadClass::system});
+  engine.run();
+  // System charges are atomic: urgent waits for the full window.
+  EXPECT_GE((urgent_ran - TimePoint::origin()).ps(), Duration(1_ms).ps());
+}
+
+TEST(Smp, StickyWakeupKeepsStolenThreadOnItsNewCore) {
+  sim::Engine engine;
+  Scheduler sched(engine, smp_params(2, StealPolicy::seeded, ProgressModel::on_demand));
+  Thread* mover = nullptr;
+  mover = sched.spawn([&] {
+    sched.block();  // woken at 0.5 ms while core 0 is charging: stolen
+    EXPECT_EQ(sched.current()->core(), 1);
+    sched.block();  // woken again when every core is free: sticky to core 1
+    EXPECT_EQ(sched.current()->core(), 1);
+  }, {.name = "mover"});
+  sched.spawn([&] { sched.charge(1_ms); }, {.name = "hog", .affinity = 0});
+  sched.spawn([&] {
+    sched.sleep_for(500_us);
+    sched.unblock(mover);
+    sched.sleep_for(1500_us);
+    sched.unblock(mover);
+  }, {.name = "waker", .cls = ThreadClass::system, .affinity = 1});
+  engine.run();
+  EXPECT_EQ(mover->core(), 1);
+  EXPECT_GE(sched.stats().steals, 1u);
+  EXPECT_TRUE(mover->finished());
+}
+
+TEST(Smp, RegisterMetricsExposesPerCoreCountersOnlyWhenMultiCore) {
+  sim::Engine engine;
+  Scheduler one(engine, smp_params(1));
+  Scheduler four(engine, smp_params(4, StealPolicy::seeded, ProgressModel::on_demand));
+  obs::MetricsRegistry reg1, reg4;
+  one.register_metrics(reg1, "p0/mts");
+  four.register_metrics(reg4, "p0/mts");
+  obs::JsonWriter w1, w4;
+  w1.begin_object();
+  reg1.write_json(w1);
+  w1.end_object();
+  w4.begin_object();
+  reg4.write_json(w4);
+  w4.end_object();
+  const std::string s1 = std::move(w1).str();
+  const std::string s4 = std::move(w4).str();
+  EXPECT_EQ(s1.find("core0"), std::string::npos);
+  EXPECT_EQ(s1.find("steals"), std::string::npos);
+  EXPECT_NE(s4.find("p0/mts/core0/dispatches"), std::string::npos);
+  EXPECT_NE(s4.find("p0/mts/core3/steals_in"), std::string::npos);
+  EXPECT_NE(s4.find("p0/mts/steals"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ncs::mts

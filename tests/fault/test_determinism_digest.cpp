@@ -44,7 +44,7 @@ StreamDigest run_stream(ClusterConfig cfg, int count) {
           b[0] = static_cast<std::byte>(i);
           node.send(0, 0, 1, b);
         }
-      } else {
+      } else if (rank == 1) {
         for (int i = 0; i < count; ++i) {
           const Bytes m = node.recv(kAnyThread, kAnyProcess, 0);
           out.order.push_back(static_cast<int>(m[0]));
@@ -115,6 +115,92 @@ TEST(DeterminismDigest, RepeatRunsStayBitIdenticalOnTheCalendarQueue) {
   const StreamDigest a = run_stream(chaos_config(sim::Engine::QueueKind::calendar), 10);
   const StreamDigest b = run_stream(chaos_config(sim::Engine::QueueKind::calendar), 10);
   EXPECT_EQ(a, b);
+}
+
+// --- multi-core (PR 9) digests -------------------------------------------
+//
+// The work-stealing scheduler must not perturb the engine's deterministic
+// contract: multi-core runs are repeat-stable and backend-independent, and
+// single-core runs are bit-identical to the seed scheduler no matter which
+// smp knobs are set (they all reduce to no-ops at one core).
+
+/// The golden seed digest of chaos_config's 10-message stream, captured on
+/// the PR 8 scheduler (one CPU per host). Any cores=1 run must reproduce
+/// it exactly; a change here means the single-core fast path regressed.
+constexpr std::int64_t kSeedElapsedPs = 108101894184;
+constexpr std::uint64_t kSeedRetransmits = 5;
+
+void expect_seed_digest(const StreamDigest& d) {
+  EXPECT_EQ(d.order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  EXPECT_EQ(d.elapsed.ps(), kSeedElapsedPs);
+  EXPECT_EQ(d.retransmits, kSeedRetransmits);
+}
+
+TEST(DeterminismDigest, SingleCoreChaosDigestIsBitIdenticalToTheSeed) {
+  expect_seed_digest(run_stream(chaos_config(sim::Engine::QueueKind::calendar), 10));
+  expect_seed_digest(run_stream(chaos_config(sim::Engine::QueueKind::legacy_map), 10));
+}
+
+TEST(DeterminismDigest, SingleCoreDigestIsIndependentOfSmpKnobs) {
+  // At one core every smp knob is inert: no victims, no sibling kicks, no
+  // migrations. (ProgressModel::hybrid is excluded — it slices long user
+  // charges even on one core, by design.)
+  for (const mts::StealPolicy steal :
+       {mts::StealPolicy::none, mts::StealPolicy::seeded, mts::StealPolicy::ring}) {
+    for (const mts::ProgressModel progress :
+         {mts::ProgressModel::dedicated_core, mts::ProgressModel::on_demand}) {
+      SCOPED_TRACE(std::string(to_string(steal)) + "/" + to_string(progress));
+      ClusterConfig cfg = chaos_config(sim::Engine::QueueKind::calendar);
+      cfg.cores = 1;
+      cfg.steal = steal;
+      cfg.progress = progress;
+      expect_seed_digest(run_stream(cfg, 10));
+    }
+  }
+}
+
+TEST(DeterminismDigest, MultiCoreMatrixMatchesLegacyMapBitIdentically) {
+  // P x cores sweep: both event-queue backends must agree bit-for-bit on
+  // every multi-core configuration, exactly as they do on one core.
+  for (const int procs : {4, 16}) {
+    for (const int cores : {1, 2, 4}) {
+      SCOPED_TRACE("procs=" + std::to_string(procs) +
+                   " cores=" + std::to_string(cores));
+      auto run = [&](sim::Engine::QueueKind queue) {
+        ClusterConfig cfg = nynet_wan(procs);
+        cfg.queue = queue;
+        cfg.cores = cores;
+        cfg.ncs.error = {.kind = mps::ErrorControlKind::retransmit, .rto = 100_ms};
+        cfg.faults.seed = 99;
+        cfg.faults.link_burst("sonet", TimePoint::origin() + 1_ms, 80_ms,
+                              {.p_good_to_bad = 0.2, .p_bad_to_good = 0.2,
+                               .loss_good = 0.0, .loss_bad = 0.9});
+        return run_stream(cfg, 10);
+      };
+      const StreamDigest calendar = run(sim::Engine::QueueKind::calendar);
+      const StreamDigest legacy = run(sim::Engine::QueueKind::legacy_map);
+      EXPECT_EQ(calendar, legacy);
+      EXPECT_EQ(calendar.order.size(), 10u);
+    }
+  }
+}
+
+TEST(DeterminismDigest, MultiCoreRunsAreRepeatStableUnderEveryProgressModel) {
+  for (const mts::ProgressModel progress :
+       {mts::ProgressModel::dedicated_core, mts::ProgressModel::on_demand,
+        mts::ProgressModel::hybrid}) {
+    SCOPED_TRACE(to_string(progress));
+    auto run = [&] {
+      ClusterConfig cfg = chaos_config(sim::Engine::QueueKind::calendar);
+      cfg.cores = 4;
+      cfg.progress = progress;
+      return run_stream(cfg, 10);
+    };
+    const StreamDigest a = run();
+    const StreamDigest b = run();
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.order.size(), 10u);
+  }
 }
 
 }  // namespace

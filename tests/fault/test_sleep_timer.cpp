@@ -10,7 +10,11 @@
 //    Engine::cancel so the dead timer neither fires stale against a later
 //    sleep nor sits in the event queue until its deadline;
 //  - a wake landing at the exact deadline instant must not race the timer
-//    into a double wake.
+//    into a double wake;
+//  - on a multi-core host, a sleeper woken early and *stolen* to another
+//    core (its original core paused by a HostFault) must still retire its
+//    timer from the new core — the cancel path keys off the thread, not
+//    the core it slept on.
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -124,6 +128,58 @@ TEST(SleepTimer, WakeAtTheExactDeadlineInstantDoesNotDoubleWake) {
   e.run();
 
   EXPECT_EQ(wakes, 1);
+  EXPECT_TRUE(sched.quiescent());
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(SleepTimer, StolenSleeperStillCancelsItsTimerFromTheNewCore) {
+  // Two cores, work stealing on. The sleeper lives on core 0; a HostFault
+  // pause parks a top-priority pauser pinned there. An early wake lands
+  // mid-pause: the sleeper re-queues on the paused core, the idle sibling
+  // steals it, and its sleep returns on core 1 — where it must cancel the
+  // still-pending 10 ms timer exactly as if it had never moved.
+  sim::Engine e;
+  mts::SchedulerParams p = exact_params();
+  p.smp.n_cores = 2;
+  p.smp.steal = mts::StealPolicy::seeded;
+  p.smp.progress = mts::ProgressModel::on_demand;
+  mts::Scheduler sched(e, p);
+  fault::HostFault hf;
+  hf.set_pause_handler([&sched](TimePoint resume_at) {
+    sched.spawn(
+        [&sched, resume_at] {
+          const TimePoint now = sched.engine().now();
+          if (resume_at > now) sched.charge(resume_at - now, sim::Activity::overhead);
+        },
+        {.name = "fault-pause",
+         .priority = mts::kHighestPriority,
+         .cls = mts::ThreadClass::system,
+         .affinity = 0});
+  });
+
+  std::vector<TimePoint> wakes;
+  mts::Thread* sleeper = sched.spawn([&] {
+    sched.sleep_until(TimePoint::origin() + 10_ms);
+    wakes.push_back(e.now());
+    EXPECT_EQ(sched.current()->core(), 1);  // resumed on the thief
+    sched.sleep_for(1_ms);  // a fresh sleep must work from the new core
+    wakes.push_back(e.now());
+  });
+  e.schedule_at(TimePoint::origin() + 1_ms,
+                [&] { hf.pause_until(TimePoint::origin() + 5_ms); });
+  e.schedule_at(TimePoint::origin() + 2_ms, [&] { sched.unblock(sleeper); });
+
+  const std::uint64_t cancelled_before = e.stats().cancelled;
+  e.run();
+
+  ASSERT_EQ(wakes.size(), 2u);
+  EXPECT_EQ(wakes[0], TimePoint::origin() + 2_ms);  // escaped the paused core
+  EXPECT_EQ(wakes[1], TimePoint::origin() + 3_ms);
+  EXPECT_EQ(sleeper->core(), 1);
+  EXPECT_GE(sched.stats().steals, 1u);
+  // The early wake retired the 10 ms timer from the new core; the second
+  // sleep's timer fired normally, so exactly one cancellation.
+  EXPECT_EQ(e.stats().cancelled, cancelled_before + 1);
   EXPECT_TRUE(sched.quiescent());
   EXPECT_TRUE(e.empty());
 }
