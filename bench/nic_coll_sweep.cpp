@@ -1,0 +1,276 @@
+// NIC-offload collective sweep: the firmware combine/forward path against
+// the best host algorithm for each op (barrier: dissemination; bcast:
+// binomial tree; allreduce: recursive doubling) over process count and
+// payload size on the ATM LAN tier. Every case forces one algorithm via
+// ClusterConfig::ncs.coll and times `iters` back-to-back collectives in
+// simulated time; a '*' (and "selected" in the JSON) marks the pick
+// coll::select makes with nic_offload enabled, so the table shows whether
+// the selection window (offload_min_procs / offload_max_bytes) sits where
+// the measured crossovers do.
+//
+// The sweep ends with a WAN chaos stage: the same mixed collective
+// workload on the 4-node SONET WAN, once clean and once with the backbone
+// cut mid-operation. The faulted run must fall back to the host
+// algorithms (fallbacks > 0), leak no NIC contexts, and produce a
+// bit-identical digest — the "result_hash" rows ride the bench-diff gate.
+//
+//   --fast   CI-sized grid (P in {4,8,16}, two payload sizes)
+//   --json   ncs-bench-v1 rows: op/algorithm/n_procs/payload_bytes/
+//            per_op_us/selected + wan rows, summary speedups and the
+//            measured allreduce crossover
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/bench_json.hpp"
+#include "cluster/bench_opts.hpp"
+#include "cluster/drivers.hpp"
+#include "coll/algorithms.hpp"
+#include "coll/select.hpp"
+
+namespace {
+
+using namespace ncs;
+using namespace ncs::literals;
+using namespace ncs::cluster;
+
+struct CaseResult {
+  double per_op_us = 0.0;
+  bool correct = false;
+};
+
+std::byte pattern_at(std::size_t i) {
+  return static_cast<std::byte>((i * 31 + 7) & 0xFF);
+}
+
+void run_collectives(mps::Node& node, coll::Op op, int procs, std::size_t bytes, int iters,
+                     bool* ok) {
+  if (op == coll::Op::barrier) {
+    for (int it = 0; it < iters; ++it) node.barrier();
+  } else if (op == coll::Op::bcast) {
+    Bytes payload;
+    if (node.rank() == 0) {
+      payload.resize(bytes);
+      for (std::size_t i = 0; i < bytes; ++i) payload[i] = pattern_at(i);
+    }
+    for (int it = 0; it < iters; ++it) {
+      const Bytes out = node.bcast(0, payload);
+      if (out.size() != bytes) *ok = false;
+      for (std::size_t i = 0; i < out.size(); i += 97)
+        if (out[i] != pattern_at(i)) *ok = false;
+    }
+  } else {
+    const std::size_t n = bytes / sizeof(double);
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+      v[i] = static_cast<double>(node.rank() + 1) * static_cast<double>(i % 17 + 1);
+    // Small-integer contributions: the rank sums are exact in FP, so the
+    // check is equality regardless of which fold order (NIC tree or host
+    // recursive doubling) produced the result.
+    const double ranks = static_cast<double>(procs) * static_cast<double>(procs + 1) / 2.0;
+    for (int it = 0; it < iters; ++it) {
+      const auto r = node.allreduce_sum(v);
+      if (r.size() != n) *ok = false;
+      for (std::size_t i = 0; i < r.size(); i += 61)
+        if (r[i] != ranks * static_cast<double>(i % 17 + 1)) *ok = false;
+    }
+  }
+}
+
+CaseResult run_case(coll::Op op, coll::Algorithm algo, int procs, std::size_t bytes,
+                    int iters) {
+  ClusterConfig cfg = sun_atm_lan(procs);
+  if (algo == coll::Algorithm::nic_offload) cfg.ncs.coll.nic_offload = true;
+  cfg.ncs.coll.set_force(op, algo);
+  Cluster cluster(std::move(cfg));
+  cluster.init_ncs_hsm();
+
+  bool ok = true;
+  const Duration elapsed = cluster.run([&](int rank) {
+    run_collectives(cluster.node(rank), op, procs, bytes, iters, &ok);
+  });
+  return {elapsed.sec() * 1e6 / iters, ok};
+}
+
+struct WanOutcome {
+  std::uint64_t hash = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t rearms = 0;
+  std::size_t contexts_leaked = 0;
+  double elapsed_sec = 0.0;
+};
+
+/// Mixed allreduce+bcast+barrier rounds on the offloaded 4-node SONET WAN,
+/// digesting every rank's results in rank order (same shape as the
+/// coll_offload fault tests).
+WanOutcome run_wan(bool faulted) {
+  constexpr int kProcs = 4;
+  constexpr std::size_t kN = 32;
+  constexpr int kOps = 4;
+
+  ClusterConfig cfg = nynet_wan(kProcs);
+  cfg.ncs.coll.nic_offload = true;
+  cfg.ncs.error = {.kind = mps::ErrorControlKind::retransmit, .rto = 50_ms};
+  if (faulted) cfg.faults.link_down("sonet", TimePoint::origin() + 1_ms, 120_ms);
+  Cluster c(std::move(cfg));
+  c.init_ncs_hsm();
+
+  std::vector<std::vector<double>> sums(kProcs);
+  std::vector<Bytes> casts(kProcs);
+  const Duration elapsed = c.run([&](int rank) {
+    mps::Node& node = c.node(rank);
+    const int t = node.t_create([&, rank] {
+      std::vector<double> mine(kN);
+      for (std::size_t i = 0; i < kN; ++i)
+        mine[i] = std::sin(static_cast<double>(rank + 1) * (static_cast<double>(i) + 0.5));
+      for (int op = 0; op < kOps; ++op) {
+        std::vector<double> s = node.allreduce_sum(mine);
+        for (double v : s) sums[static_cast<std::size_t>(rank)].push_back(v);
+        const Bytes payload = rank == 0 ? coll::pack_doubles(s) : Bytes{};
+        append(casts[static_cast<std::size_t>(rank)], node.bcast(0, payload));
+        node.barrier();
+      }
+    });
+    node.host().join(node.user_thread(t));
+  });
+
+  WanOutcome out;
+  out.elapsed_sec = elapsed.sec();
+  out.hash = 0xCBF29CE484222325ull;
+  for (const auto& s : sums)
+    out.hash = fnv1a(s.data(), s.size() * sizeof(double), out.hash);
+  for (const auto& b : casts) out.hash = fnv1a(b.data(), b.size(), out.hash);
+  for (int r = 0; r < kProcs; ++r) {
+    out.fallbacks += c.coll_port(r).stats().fallbacks;
+    out.rearms += c.coll_port(r).stats().rearms;
+    out.contexts_leaked += c.coll_port(r).engine().pending_ops();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_bench_options(argc, argv);
+  bool fast = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--fast") == 0) fast = true;
+
+  const std::vector<int> procs =
+      fast ? std::vector<int>{4, 8, 16} : std::vector<int>{4, 8, 16, 32, 64};
+  const std::vector<std::size_t> sizes =
+      fast ? std::vector<std::size_t>{256, 2048}
+           : std::vector<std::size_t>{64, 512, 2048, 8192};
+  constexpr int kIters = 2;
+
+  struct Sweep {
+    coll::Op op;
+    coll::Algorithm host;  // the best host algorithm at these sizes
+  };
+  const std::vector<Sweep> sweeps = {
+      {coll::Op::barrier, coll::Algorithm::dissemination},
+      {coll::Op::bcast, coll::Algorithm::binomial_tree},
+      {coll::Op::allreduce, coll::Algorithm::recursive_doubling},
+  };
+
+  // What coll::select would pick with the offload window enabled.
+  coll::Params sel;
+  sel.nic_offload = true;
+
+  BenchReport report("nic_coll_sweep");
+  bool all_correct = true;
+  std::map<std::string, double> us;
+  const auto key = [](coll::Op op, coll::Algorithm a, int p, std::size_t b) {
+    return std::string(coll::to_string(op)) + "/" + coll::to_string(a) + "/" +
+           std::to_string(p) + "/" + std::to_string(b);
+  };
+
+  std::printf("NIC-offload collective sweep, ATM LAN (HSM), %d iterations per case; "
+              "'*' = coll::select's pick with nic_offload on\n",
+              kIters);
+  for (const Sweep& s : sweeps) {
+    // Barrier has no payload; one size-0 row per P.
+    const std::vector<std::size_t> case_sizes =
+        s.op == coll::Op::barrier ? std::vector<std::size_t>{0} : sizes;
+    for (const int p : procs) {
+      for (const std::size_t bytes : case_sizes) {
+        std::printf("%-9s P=%-2d %7zu B:", coll::to_string(s.op), p, bytes);
+        for (const coll::Algorithm algo : {s.host, coll::Algorithm::nic_offload}) {
+          const CaseResult r = run_case(s.op, algo, p, bytes, kIters);
+          all_correct = all_correct && r.correct;
+          const bool selected = coll::select(s.op, p, bytes, sel) == algo;
+          us[key(s.op, algo, p, bytes)] = r.per_op_us;
+
+          report.row();
+          report.set("op", std::string(coll::to_string(s.op)));
+          report.set("algorithm", std::string(coll::to_string(algo)));
+          report.set("n_procs", p);
+          report.set("payload_bytes", static_cast<std::int64_t>(bytes));
+          report.set("per_op_us", r.per_op_us);
+          report.set("selected", selected);
+          std::printf("  %-18s %9.1f us%s", coll::to_string(algo), r.per_op_us,
+                      selected ? "*" : " ");
+        }
+        std::printf("\n");
+      }
+    }
+  }
+
+  // The tentpole's headline claim: the firmware barrier beats dissemination
+  // from P = 16 up (the sweep fails otherwise), and by more as P grows.
+  const int big_p = procs.back();
+  const double barrier_speedup =
+      us[key(coll::Op::barrier, coll::Algorithm::dissemination, 16, 0)] /
+      us[key(coll::Op::barrier, coll::Algorithm::nic_offload, 16, 0)];
+  const double barrier_speedup_big =
+      us[key(coll::Op::barrier, coll::Algorithm::dissemination, big_p, 0)] /
+      us[key(coll::Op::barrier, coll::Algorithm::nic_offload, big_p, 0)];
+  all_correct = all_correct && barrier_speedup > 1.0;
+
+  // Measured allreduce crossover at the largest group: the biggest swept
+  // payload where the firmware path still wins. coll::Params's
+  // offload_max_bytes should sit at this point.
+  std::size_t crossover = 0;
+  for (const std::size_t bytes : sizes)
+    if (us[key(coll::Op::allreduce, coll::Algorithm::nic_offload, big_p, bytes)] <=
+        us[key(coll::Op::allreduce, coll::Algorithm::recursive_doubling, big_p, bytes)])
+      crossover = bytes;
+
+  std::printf("barrier: offload %.2fx vs dissemination at P=16, %.2fx at P=%d\n",
+              barrier_speedup, barrier_speedup_big, big_p);
+  std::printf("allreduce: offload wins through %zu B at P=%d (params window: %zu B)\n",
+              crossover, big_p, coll::Params{}.offload_max_bytes);
+  report.summary("barrier_offload_speedup", barrier_speedup);
+  report.summary("allreduce_crossover_bytes", static_cast<double>(crossover));
+
+  // WAN chaos stage: clean vs backbone-cut digests must match bit for bit.
+  const WanOutcome clean = run_wan(false);
+  const WanOutcome faulted = run_wan(true);
+  for (const auto* w : {&clean, &faulted}) {
+    report.row();
+    report.set("op", std::string(w == &clean ? "wan_clean" : "wan_chaos"));
+    report.set("n_procs", 4);
+    report.set("result_hash", w->hash);
+    report.set("fallbacks", w->fallbacks);
+    report.set("rearms", w->rearms);
+    report.set("elapsed_sec", w->elapsed_sec);
+  }
+  const bool wan_ok = clean.hash == faulted.hash && clean.fallbacks == 0 &&
+                      faulted.fallbacks > 0 && clean.contexts_leaked == 0 &&
+                      faulted.contexts_leaked == 0;
+  std::printf("wan chaos: clean %.3fs hash %016llx, faulted %.3fs hash %016llx "
+              "(%llu fallbacks, %llu re-arms) -> %s\n",
+              clean.elapsed_sec, static_cast<unsigned long long>(clean.hash),
+              faulted.elapsed_sec, static_cast<unsigned long long>(faulted.hash),
+              static_cast<unsigned long long>(faulted.fallbacks),
+              static_cast<unsigned long long>(faulted.rearms),
+              wan_ok ? "bit-identical" : "MISMATCH");
+  all_correct = all_correct && wan_ok;
+
+  std::printf("result verification: %s\n", all_correct ? "all cases correct" : "FAILED");
+  if (opts.json) report.emit(opts.json_path);
+  return all_correct ? 0 : 1;
+}

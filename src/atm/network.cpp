@@ -32,6 +32,11 @@ AtmLan::AtmLan(sim::Engine& engine, LanConfig config) {
   for (int i = 0; i < config.n_hosts; ++i)
     for (int j = 0; j < config.n_hosts; ++j)
       switch_->add_route(i, rma_vc_to(j), j, rma_vc_to(i));
+  // NIC-collective plane: a third mesh in the kCollVciBase range, added
+  // last so the data/RMA label assignment stays byte-identical.
+  for (int i = 0; i < config.n_hosts; ++i)
+    for (int j = 0; j < config.n_hosts; ++j)
+      switch_->add_route(i, coll_vc_to(j), j, coll_vc_to(i));
 }
 
 AtmWan::AtmWan(sim::Engine& engine, WanConfig config) {
@@ -81,6 +86,7 @@ AtmWan::AtmWan(sim::Engine& engine, WanConfig config) {
       if (si == sj) {
         switches_[static_cast<std::size_t>(si)]->add_route(pi, vc_to(j), pj, vc_to(i));
         switches_[static_cast<std::size_t>(si)]->add_route(pi, rma_vc_to(j), pj, rma_vc_to(i));
+        switches_[static_cast<std::size_t>(si)]->add_route(pi, coll_vc_to(j), pj, coll_vc_to(i));
       } else {
         // Ingress switch: host uplink -> backbone, with a per-pair backbone
         // label in VPI 1 space. Egress switch: backbone -> host downlink.
@@ -94,6 +100,12 @@ AtmWan::AtmWan(sim::Engine& engine, WanConfig config) {
             pi, rma_vc_to(j), /*out_port=*/bb_in_port[si], bb_rma);
         switches_[static_cast<std::size_t>(sj)]->add_route(bb_in_port[sj], bb_rma, pj,
                                                            rma_vc_to(i));
+        // NIC-collective plane crosses on its own per-pair labels in VPI 3.
+        const VcId bb_coll{3, static_cast<std::uint16_t>(i * 256 + j)};
+        switches_[static_cast<std::size_t>(si)]->add_route(
+            pi, coll_vc_to(j), /*out_port=*/bb_in_port[si], bb_coll);
+        switches_[static_cast<std::size_t>(sj)]->add_route(bb_in_port[sj], bb_coll, pj,
+                                                           coll_vc_to(i));
       }
     }
   }
@@ -172,22 +184,28 @@ AtmMultiWan::AtmMultiWan(sim::Engine& engine, MultiWanConfig config) {
       if (i != j) pairs.emplace_back(i, j);
     }
   }
-  // Data plane first, then the RMA plane as a second pass, so the data
-  // path's backbone label assignment is byte-identical with or without the
-  // one-sided subsystem in play (chaos digests must not move).
-  for (const auto& [i, j] : pairs) provision_pair(i, j, /*rma=*/false);
-  for (const auto& [i, j] : pairs) provision_pair(i, j, /*rma=*/true);
+  // Data plane first, then the RMA plane, then the NIC-collective plane,
+  // each as its own pass, so the earlier planes' backbone label assignment
+  // is byte-identical with or without the later subsystems in play (chaos
+  // digests must not move).
+  for (const auto& [i, j] : pairs) provision_pair(i, j, Plane::data);
+  for (const auto& [i, j] : pairs) provision_pair(i, j, Plane::rma);
+  for (const auto& [i, j] : pairs) provision_pair(i, j, Plane::coll);
 }
 
-void AtmMultiWan::provision_pair(int src, int dst, bool rma) {
+void AtmMultiWan::provision_pair(int src, int dst, Plane plane) {
   const int si = site_of(src);
   const int sj = site_of(dst);
   const int pi = local_port_[static_cast<std::size_t>(src)];
   const int pj = local_port_[static_cast<std::size_t>(dst)];
   Switch& in_sw = *switches_[static_cast<std::size_t>(si)];
   Switch& out_sw = *switches_[static_cast<std::size_t>(sj)];
-  const VcId dst_vc = rma ? rma_vc_to(dst) : vc_to(dst);
-  const VcId src_vc = rma ? rma_vc_to(src) : vc_to(src);
+  const VcId dst_vc = plane == Plane::rma    ? rma_vc_to(dst)
+                      : plane == Plane::coll ? coll_vc_to(dst)
+                                             : vc_to(dst);
+  const VcId src_vc = plane == Plane::rma    ? rma_vc_to(src)
+                      : plane == Plane::coll ? coll_vc_to(src)
+                                             : vc_to(src);
   if (si == sj) {
     in_sw.add_route(pi, dst_vc, pj, src_vc);
     return;

@@ -61,6 +61,25 @@ inline int rma_src_of(VcId vc) {
   return static_cast<int>(vc.vci) - static_cast<int>(kRmaVciBase);
 }
 
+/// NIC-collective plane: a third PVC mesh carrying combine/forward traffic
+/// between adapter firmware instances (NicCollEngine). Sits below the RMA
+/// range and above the signaling channel's dynamic labels, which
+/// assert-stop short of this base. These VCs terminate in firmware — no
+/// adapter->host DMA, no host upcall on interior tree hops.
+inline constexpr std::uint16_t kCollVciBase = 38000;
+
+/// VC a host's adapter uses for collective contributions/results sent to
+/// host `dst`'s adapter; also the label such traffic *from* `dst` arrives
+/// on (switches rewrite between the two, mirroring the data plane).
+inline VcId coll_vc_to(int dst) {
+  return VcId{0, static_cast<std::uint16_t>(kCollVciBase + dst)};
+}
+
+/// Source host of a received collective cell.
+inline int coll_src_of(VcId vc) {
+  return static_cast<int>(vc.vci) - static_cast<int>(kCollVciBase);
+}
+
 /// Abstract N-host ATM fabric; LAN and WAN expose the same host-side API
 /// so the protocol stacks are topology-agnostic.
 class AtmFabric {
@@ -171,7 +190,8 @@ class AtmMultiWan final : public AtmFabric {
   }
 
  private:
-  void provision_pair(int src, int dst, bool rma);
+  enum class Plane { data, rma, coll };
+  void provision_pair(int src, int dst, Plane plane);
 
   std::vector<int> site_of_;     // per host
   std::vector<int> local_port_;  // per host, port index on its site switch

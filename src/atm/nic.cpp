@@ -125,6 +125,55 @@ void Nic::submit_tx(VcId vc, Bytes chunk, bool end_of_message) {
   });
 }
 
+void Nic::firmware_tx(VcId vc, Bytes payload) {
+  NCS_ASSERT_MSG(tx_link_ != nullptr && peer_ != nullptr, "NIC not attached");
+  NCS_ASSERT_MSG(payload.size() <= params_.io_buffer_size, "firmware PDU exceeds I/O buffer");
+  Burst burst;
+  burst.vc = vc;
+  burst.end_of_message = true;
+  burst.n_cells = static_cast<std::uint32_t>(cells_for(payload.size()));
+  burst.payload = std::move(payload);
+  if (fault_.corrupting()) {
+    // Same per-cell Bernoulli corruption process as host bursts; a damaged
+    // firmware PDU is dropped at the receiving adapter's CRC check.
+    for (std::uint32_t i = 0; i < burst.n_cells; ++i) {
+      if (fault_.draw_corrupt()) {
+        ++fault_.stats().corrupted_cells;
+        burst.damaged = true;
+      }
+    }
+  }
+  ++stats_.tx_chunks;
+  stats_.tx_cells += burst.n_cells;
+
+  // No host->adapter DMA and no I/O buffer: the PDU originates in adapter
+  // memory. The SAR engine is shared with host traffic, so firmware sends
+  // queue behind in-flight host segmentation (and vice versa).
+  const Duration sar_time = params_.sar_setup + params_.sar_per_cell * burst.n_cells;
+  const TimePoint sar_done = sar_.occupy(engine_.now(), sar_time);
+  if (prof_ != nullptr) {
+    prof_->record(obs::Layer::nic_sar, sar_time);
+    prof_->record(obs::Layer::wire, tx_link_->tx_time(burst.wire_bytes()));
+  }
+  if (trace_ != nullptr)
+    trace_->complete(tx_track_, "fw-tx x" + std::to_string(burst.n_cells), "nic",
+                     engine_.now(), sar_done - engine_.now());
+  engine_.schedule_at(sar_done, [this, b = std::move(burst)]() mutable {
+    CellSink* peer = peer_;
+    const int port = peer_port_;
+    tx_link_->transmit(
+        b.wire_bytes(), nullptr,
+        [peer, port, b2 = std::move(b)]() mutable { peer->accept(port, std::move(b2)); });
+  });
+}
+
+TimePoint Nic::rx_dma_delay(std::size_t n) {
+  const Duration dma_time =
+      params_.dma_setup +
+      Duration::for_bytes(static_cast<std::int64_t>(n), params_.dma_bandwidth_bps);
+  return rx_dma_.occupy(engine_.now(), dma_time);
+}
+
 void Nic::accept(int /*port*/, Burst burst) {
   ++stats_.rx_chunks;
   stats_.rx_cells += burst.n_cells;
@@ -167,6 +216,13 @@ void Nic::accept(int /*port*/, Burst burst) {
       return;
     }
     payload = std::move(burst.payload);
+  }
+
+  // Firmware-terminated VCs never cross the SBus: the i960 consumes the
+  // PDU right after reassembly, with no RX DMA and no host upcall.
+  if (fw_handler_ && burst.vc.vpi == 0 && burst.vc.vci >= fw_lo_ && burst.vc.vci < fw_hi_) {
+    fw_handler_(burst.vc, std::move(payload), burst.end_of_message);
+    return;
   }
 
   // Adapter->host DMA, then the host upcall.

@@ -88,6 +88,16 @@ class Nic : public CellSink {
     vc_handlers_[vc] = std::move(handler);
   }
 
+  /// Firmware-resident termination for the VPI-0 VCI range [lo, hi):
+  /// reassembled PDUs on these VCs are handed to `handler` in adapter
+  /// (i960) time — no adapter->host DMA, no host upcall. This is how the
+  /// NIC-collective combine/forward engine terminates its plane.
+  void set_firmware_range(std::uint16_t lo, std::uint16_t hi, RxHandler handler) {
+    fw_lo_ = lo;
+    fw_hi_ = hi;
+    fw_handler_ = std::move(handler);
+  }
+
   // --- TX (driver interface) ---
   bool tx_buffer_available() const { return tx_buffers_in_use_ < params_.tx_buffers; }
   /// Occupied I/O buffers right now — the telemetry backpressure probe.
@@ -105,6 +115,18 @@ class Nic : public CellSink {
   /// Adapter time (DMA+SAR+wire serialization, no queueing or propagation)
   /// for a chunk of `n` bytes — used by benches to report ideal pipelines.
   Duration tx_stage_time(std::size_t n) const;
+
+  /// Firmware-originated transmit: the i960 segments and sends `payload` on
+  /// `vc` without touching host I/O buffers or the host->adapter DMA — the
+  /// cells never existed in host memory. Charges the SAR engine (sharing it
+  /// with host traffic) and enters the wire in SAR-completion order.
+  void firmware_tx(VcId vc, Bytes payload);
+
+  /// Occupies the adapter->host RX DMA engine for an `n`-byte delivery and
+  /// returns the completion time — firmware-resident modules use it to
+  /// schedule their host completion upcalls with the same contention the
+  /// data path sees.
+  TimePoint rx_dma_delay(std::size_t n);
 
   // --- RX (network side) ---
   void accept(int port, Burst burst) override;
@@ -163,6 +185,9 @@ class Nic : public CellSink {
   std::uint8_t next_btag_ = 0;
   fault::NicFault fault_;
   RxHandler rx_handler_;
+  std::uint16_t fw_lo_ = 0;
+  std::uint16_t fw_hi_ = 0;  // empty range = no firmware termination
+  RxHandler fw_handler_;
   std::map<VcId, RxHandler> vc_handlers_;
   obs::TraceLog* trace_ = nullptr;
   int tx_track_ = -1;

@@ -216,9 +216,12 @@ SignalingAgent& CallController::agent(int host) {
 }
 
 VcId CallController::allocate_vc() {
-  // Dynamic labels must stay below the RMA PVC plane: colliding with
-  // kRmaVciBase would silently splice SVC traffic into one-sided VCs.
-  NCS_ASSERT_MSG(next_vci_ < kRmaVciBase, "dynamic VCI space exhausted");
+  // Dynamic labels must stay below every reserved PVC plane. The NIC
+  // collective-context range (kCollVciBase) now sits *under* the RMA range,
+  // so guarding against kRmaVciBase alone would let SVC churn silently
+  // splice call labels into live firmware combine contexts.
+  static_assert(kCollVciBase < kRmaVciBase);
+  NCS_ASSERT_MSG(next_vci_ < kCollVciBase, "dynamic VCI space exhausted");
   return VcId{0, next_vci_++};
 }
 
@@ -402,8 +405,9 @@ SignalingAgent& WanCallController::agent(int host) {
 
 VcId WanCallController::allocate_vc() {
   // Same bound as the LAN controller: dynamic labels stop short of the
-  // RMA PVC plane instead of wrapping into it.
-  NCS_ASSERT_MSG(next_vci_ < kRmaVciBase, "dynamic VCI space exhausted");
+  // lowest reserved PVC plane (the NIC collective-context range) instead
+  // of wrapping into it.
+  NCS_ASSERT_MSG(next_vci_ < kCollVciBase, "dynamic VCI space exhausted");
   return VcId{0, next_vci_++};
 }
 

@@ -139,6 +139,10 @@ class CallController {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Test hook: fast-forwards the dynamic label allocator so range-guard
+  /// tests need not burn tens of thousands of real calls.
+  void set_next_vci_for_test(std::uint16_t v) { next_vci_ = v; }
+
  private:
   friend class SignalingAgent;
 
@@ -196,6 +200,10 @@ class WanCallController {
     std::uint64_t faulted_releases = 0;
   };
   const Stats& stats() const { return stats_; }
+
+  /// Test hook: fast-forwards the dynamic label allocator (see
+  /// CallController::set_next_vci_for_test).
+  void set_next_vci_for_test(std::uint16_t v) { next_vci_ = v; }
 
  private:
   struct Call {

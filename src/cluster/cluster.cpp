@@ -221,6 +221,8 @@ obs::MetricsRegistry& Cluster::metrics() {
     }
     for (auto& e : rma_engines_)
       e->register_metrics(reg, "p" + std::to_string(e->rank()) + "/rma");
+    for (auto& p : coll_ports_)
+      p->register_metrics(reg, "p" + std::to_string(p->rank()) + "/nic_coll");
     if (p4_ != nullptr) p4_->mesh().register_metrics(reg, "tcp");
     injector_->register_metrics(reg, "fault");
   }
@@ -293,6 +295,17 @@ void Cluster::init_ncs_hsm() {
         rma_engines_.back()->set_latency_sketch(&telemetry_->sketch("rma/op"));
       nodes_.back()->set_rma(rma_engines_.back().get());
     }
+    if (config_.ncs.coll.nic_offload) {
+      atm::NicCollParams ncp = config_.nic_coll;
+      ncp.radix = config_.ncs.coll.offload_radix;
+      coll_ports_.push_back(
+          std::make_unique<mps::NicCollPort>(*nodes_.back(), fabric_->nic(r), ncp));
+      mps::NicCollPort* port = coll_ports_.back().get();
+      if (trace_enabled_)
+        port->engine().set_trace(&trace_, "p" + std::to_string(r) + "/nic_coll");
+      if (profiler_ != nullptr) port->engine().set_profiler(profiler_.get());
+      nodes_.back()->set_coll_offload(port);
+    }
   }
 }
 
@@ -322,6 +335,11 @@ void Cluster::bind_telemetry() {
     ts.probe(p + "/rma/credits_used",
              [e] { return static_cast<double>(e->credits_in_use()); });
     ts.probe(p + "/rma/pending", [e] { return static_cast<double>(e->pending()); });
+  }
+  for (auto& cp : coll_ports_) {
+    const mps::NicCollPort* p = cp.get();
+    ts.probe("p" + std::to_string(p->rank()) + "/nic_coll/contexts_open",
+             [p] { return static_cast<double>(p->engine().pending_ops()); });
   }
   if (fabric_ != nullptr) {
     for (int r = 0; r < config_.n_procs; ++r) {

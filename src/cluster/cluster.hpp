@@ -10,6 +10,7 @@
 #include "atm/signaling.hpp"
 #include "cluster/config.hpp"
 #include "core/api.hpp"
+#include "core/mps/coll_offload.hpp"
 #include "core/mps/node.hpp"
 #include "fault/injector.hpp"
 #include "obs/metrics.hpp"
@@ -97,6 +98,13 @@ class Cluster {
   rma::Engine& rma(int rank) { return *rma_engines_[static_cast<std::size_t>(rank)]; }
   bool has_rma() const { return !rma_engines_.empty(); }
 
+  /// The NIC-offload collective port of `rank` (HSM runs with
+  /// config.ncs.coll.nic_offload only).
+  mps::NicCollPort& coll_port(int rank) {
+    return *coll_ports_[static_cast<std::size_t>(rank)];
+  }
+  bool has_coll_offload() const { return !coll_ports_.empty(); }
+
   /// The physical substrate, for statistics reporting (null when the other
   /// network kind is configured).
   ether::Bus* ethernet() { return bus_.get(); }
@@ -147,6 +155,7 @@ class Cluster {
   std::unique_ptr<p4::Runtime> p4_;
   std::vector<std::unique_ptr<mps::Node>> nodes_;
   std::vector<std::unique_ptr<rma::Engine>> rma_engines_;
+  std::vector<std::unique_ptr<mps::NicCollPort>> coll_ports_;
 };
 
 }  // namespace ncs::cluster

@@ -15,6 +15,7 @@
 #pragma once
 
 #include "atm/network.hpp"
+#include "atm/nic_coll.hpp"
 #include "core/mps/node.hpp"
 #include "core/mts/scheduler.hpp"
 #include "ether/bus.hpp"
@@ -92,6 +93,12 @@ struct ClusterConfig {
   /// beyond what the constructor already installed).
   bool rma_enabled = false;
   rma::Params rma;
+  /// Firmware timing model for the NIC-offloaded collectives. The feature
+  /// itself is switched by `ncs.coll.nic_offload` (selection thresholds
+  /// live beside it in coll::Params); when set, init_ncs_hsm() attaches a
+  /// mps::NicCollPort per rank. The tree radix is taken from
+  /// `ncs.coll.offload_radix` — the value here is ignored.
+  atm::NicCollParams nic_coll;
   /// HSM tier circuit provisioning: static full-mesh PVCs (default, the
   /// testbed configuration) or on-demand SVCs via the signaling channel
   /// (ATM LAN only; first contact with a peer pays the call setup).

@@ -77,6 +77,30 @@ std::string report(Cluster& cluster) {
          static_cast<unsigned long long>(give_ups));
   }
 
+  if (cluster.has_coll_offload()) {
+    std::uint64_t combines = 0, forwards = 0, completions = 0, rearms = 0,
+                  fallbacks = 0, late = 0;
+    for (int r = 0; r < cluster.n_procs(); ++r) {
+      const auto& es = cluster.coll_port(r).engine().stats();
+      const auto& ps = cluster.coll_port(r).stats();
+      combines += es.combines;
+      forwards += es.forwards;
+      completions += es.completions;
+      late += es.late_drops;
+      rearms += ps.rearms;
+      fallbacks += ps.fallbacks;
+    }
+    line(out,
+         "nic-coll: %llu firmware combines, %llu forwards, %llu completions, "
+         "%llu re-arms, %llu host fallbacks, %llu late drops",
+         static_cast<unsigned long long>(combines),
+         static_cast<unsigned long long>(forwards),
+         static_cast<unsigned long long>(completions),
+         static_cast<unsigned long long>(rearms),
+         static_cast<unsigned long long>(fallbacks),
+         static_cast<unsigned long long>(late));
+  }
+
   if (cluster.has_p4()) {
     const auto tcp = cluster.p4().mesh().total_stats();
     line(out,

@@ -1,8 +1,10 @@
 #include "coll/engine.hpp"
 
 #include <string>
+#include <utility>
 
 #include "coll/algorithms.hpp"
+#include "coll/offload.hpp"
 #include "common/assert.hpp"
 #include "obs/prof.hpp"
 
@@ -28,11 +30,60 @@ class Engine::Timed {
   TimePoint began_;
 };
 
+Algorithm Engine::host_algorithm_for(Op op, std::size_t bytes) const {
+  Params host = params_;
+  host.nic_offload = false;
+  if (host.forced(op) == Algorithm::nic_offload) host.set_force(op, Algorithm::automatic);
+  return select(op, fabric_.n_procs(), bytes, host);
+}
+
+Bytes Engine::offload_round(Op op, BytesView own) {
+  const std::uint64_t seq = offload_seq_++;
+  offload_->begin(seq, op, own);
+  if (auto result = offload_->await(seq)) return std::move(*result);
+
+  // Timeout (fault in the combine tree, or the context was torn down).
+  // Drop the NIC's partial accumulation for this sequence *before*
+  // restarting on the host — late cells must not double-contribute — then
+  // rebuild from original contributions. fetch() blocks until the remote
+  // rank has begun the same sequence, which preserves barrier semantics.
+  offload_->abort(seq);
+  const int n = fabric_.n_procs();
+  const int rank = fabric_.rank();
+  if (op == Op::bcast) return rank == 0 ? to_bytes(own) : offload_->fetch(seq, 0);
+  std::vector<Bytes> contribs(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r)
+    contribs[static_cast<std::size_t>(r)] =
+        r == rank ? to_bytes(own) : offload_->fetch(seq, r);
+  if (op == Op::barrier) return {};
+  return pack_doubles(tree_fold(contribs, n, params_.offload_radix));
+}
+
 Bytes Engine::bcast(int root, BytesView payload) {
   NCS_ASSERT(root >= 0 && root < fabric_.n_procs());
   if (fabric_.n_procs() == 1) return to_bytes(payload);
-  const Algorithm a = algorithm_for(Op::bcast, payload.size());
+  Algorithm a = algorithm_for(Op::bcast, payload.size());
+  // The offload tree is rooted at rank 0; other roots resolve to the host
+  // table (same `root` argument on every rank, so the group agrees).
+  if (a == Algorithm::nic_offload && (offload_ == nullptr || root != 0))
+    a = host_algorithm_for(Op::bcast, payload.size());
   Timed timed(*this, Op::bcast, a);
+  if (a == Algorithm::nic_offload) {
+    // Flag round through the adapter tree: the root pushes one header PDU
+    // carrying either the payload inline (small) or a "big" marker, in
+    // which case the payload itself follows on the host binomial tree.
+    // Non-roots learn the size in-band, so selection never depends on it.
+    Bytes header;
+    if (fabric_.rank() == 0) {
+      const bool inline_ok = payload.size() <= params_.offload_max_bytes;
+      header.push_back(static_cast<std::byte>(inline_ok ? 1 : 0));
+      if (inline_ok) append(header, payload);
+    }
+    const Bytes got = offload_round(Op::bcast, header);
+    NCS_ASSERT(!got.empty());
+    if (got.front() == std::byte{1}) return Bytes(got.begin() + 1, got.end());
+    return bcast_binomial(fabric_, 0, payload);
+  }
   return a == Algorithm::binomial_tree ? bcast_binomial(fabric_, root, payload)
                                        : bcast_flat(fabric_, root, payload);
 }
@@ -62,9 +113,12 @@ Bytes Engine::scatter(int root, std::span<const Bytes> payloads) {
 
 void Engine::barrier() {
   if (fabric_.n_procs() == 1) return;
-  const Algorithm a = algorithm_for(Op::barrier, 0);
+  Algorithm a = algorithm_for(Op::barrier, 0);
+  if (a == Algorithm::nic_offload && offload_ == nullptr) a = host_algorithm_for(Op::barrier, 0);
   Timed timed(*this, Op::barrier, a);
-  if (a == Algorithm::dissemination) {
+  if (a == Algorithm::nic_offload) {
+    offload_round(Op::barrier, {});
+  } else if (a == Algorithm::dissemination) {
     barrier_dissemination(fabric_);
   } else {
     barrier_flat(fabric_);
@@ -82,9 +136,13 @@ std::vector<double> Engine::reduce_sum(int root, std::span<const double> values)
 
 std::vector<double> Engine::allreduce_sum(std::span<const double> values) {
   if (fabric_.n_procs() == 1) return {values.begin(), values.end()};
-  const Algorithm a = algorithm_for(Op::allreduce, values.size_bytes());
+  Algorithm a = algorithm_for(Op::allreduce, values.size_bytes());
+  if (a == Algorithm::nic_offload && offload_ == nullptr)
+    a = host_algorithm_for(Op::allreduce, values.size_bytes());
   Timed timed(*this, Op::allreduce, a);
   switch (a) {
+    case Algorithm::nic_offload:
+      return unpack_doubles(offload_round(Op::allreduce, pack_doubles(values)));
     case Algorithm::recursive_doubling:
       return allreduce_recursive_doubling(fabric_, values);
     case Algorithm::ring:

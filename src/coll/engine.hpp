@@ -13,6 +13,7 @@
 // attribute).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -25,6 +26,8 @@ class Profiler;
 }
 
 namespace ncs::coll {
+
+class OffloadPort;
 
 class Engine {
  public:
@@ -39,6 +42,12 @@ class Engine {
 
   /// Samples land in Layer::coll plus a per-"op/algorithm" histogram.
   void set_profiler(obs::Profiler* prof) { prof_ = prof; }
+
+  /// Attaches the NIC-offload port (coll/offload.hpp). Attachment is part
+  /// of cluster configuration and must be uniform across the group: with
+  /// no port, Algorithm::nic_offload selections resolve to the host table
+  /// on every rank alike.
+  void set_offload(OffloadPort* port) { offload_ = port; }
 
   /// Root's payload lands on every rank (root included).
   Bytes bcast(int root, BytesView payload);
@@ -67,9 +76,24 @@ class Engine {
   /// Scope guard sampling one op's latency at destruction.
   class Timed;
 
+  /// The table's answer with the offload family masked out — what a
+  /// nic_offload selection degrades to when no port is attached (or a
+  /// bcast root is not rank 0).
+  Algorithm host_algorithm_for(Op op, std::size_t bytes) const;
+
+  /// One offloaded operation: begin/await on the port; on timeout, abort
+  /// the NIC state and rebuild a bit-identical result from every rank's
+  /// original contribution (fetched over the reliable plane, folded in
+  /// the same tree order the firmware uses).
+  Bytes offload_round(Op op, BytesView own);
+
   Fabric& fabric_;
   Params params_;
   obs::Profiler* prof_ = nullptr;
+  OffloadPort* offload_ = nullptr;
+  /// Offloaded ops burn one group-wide sequence number each; every rank
+  /// must attempt the same set of offloaded ops in the same order.
+  std::uint64_t offload_seq_ = 0;
 };
 
 }  // namespace ncs::coll

@@ -1,0 +1,42 @@
+#include "coll/offload.hpp"
+
+#include "coll/algorithms.hpp"
+#include "common/assert.hpp"
+
+namespace ncs::coll {
+
+int offload_parent(int rank, int radix) {
+  NCS_ASSERT(radix >= 1);
+  return rank == 0 ? -1 : (rank - 1) / radix;
+}
+
+std::vector<int> offload_children(int rank, int n_procs, int radix) {
+  NCS_ASSERT(radix >= 1);
+  std::vector<int> out;
+  for (int c = rank * radix + 1; c <= rank * radix + radix && c < n_procs; ++c)
+    out.push_back(c);
+  return out;
+}
+
+namespace {
+
+std::vector<double> subtree(const std::vector<Bytes>& contribs, int n_procs, int radix,
+                            int rank) {
+  // Exactly the firmware fold: start from the node's own doubles, then
+  // accumulate each child's *packed* subtree result in ascending order.
+  std::vector<double> acc = unpack_doubles(contribs[static_cast<std::size_t>(rank)]);
+  for (const int c : offload_children(rank, n_procs, radix)) {
+    const Bytes packed = pack_doubles(subtree(contribs, n_procs, radix, c));
+    accumulate_doubles(acc, packed);
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::vector<double> tree_fold(const std::vector<Bytes>& contribs, int n_procs, int radix) {
+  NCS_ASSERT(static_cast<int>(contribs.size()) == n_procs);
+  return subtree(contribs, n_procs, radix, 0);
+}
+
+}  // namespace ncs::coll

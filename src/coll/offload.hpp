@@ -1,0 +1,73 @@
+// NIC-offload support: the host-side contract for adapter-resident
+// combine/forward collectives.
+//
+// The firmware half lives in atm/nic_coll (a table of collective contexts
+// on the i960 that folds arriving contribution cells and forwards one
+// result upstream); mps/coll_offload bridges the two across the reliable
+// message plane. This header owns everything both halves must agree on:
+//
+//   * the combine-tree shape (radix-k over plain ranks, rooted at rank 0),
+//   * the fold order (own contribution first, then children ascending) —
+//     replayed on the host by tree_fold so a fallback after a mid-operation
+//     abort reconstructs a bit-identical result from the original
+//     contributions, no matter which ranks already completed on the NIC,
+//   * the OffloadPort interface coll::Engine drives.
+//
+// Offload participation is decided from configuration alone (coll::Params),
+// never from live port state: every rank must reach the same
+// offload-or-host decision and burn the same operation sequence numbers,
+// or the group deadlocks. A rank whose context is torn down still calls
+// begin() — the contribution is retained for peers' fetch fallback — and
+// simply times out in await().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "coll/select.hpp"
+#include "common/bytes.hpp"
+
+namespace ncs::coll {
+
+/// Parent of `rank` in the radix-k combine tree rooted at rank 0
+/// (-1 for the root).
+int offload_parent(int rank, int radix);
+
+/// Children of `rank` in the radix-k combine tree over `n_procs` ranks,
+/// ascending.
+std::vector<int> offload_children(int rank, int n_procs, int radix);
+
+/// The NIC combine order, replayed on the host: subtree(r) folds rank r's
+/// own doubles, then each child's folded subtree in ascending child order.
+/// Returns subtree(0) — the full reduction. `contribs[r]` is rank r's
+/// original packed-doubles contribution.
+std::vector<double> tree_fold(const std::vector<Bytes>& contribs, int n_procs, int radix);
+
+/// Host-side port into the adapter's collective contexts. One per rank;
+/// coll::Engine drives it when select() picks Algorithm::nic_offload.
+class OffloadPort {
+ public:
+  virtual ~OffloadPort() = default;
+
+  /// Starts offloaded operation `seq`: retains `own` for peers' fetch
+  /// fallback (and answers any parked fetches for it), re-arms the NIC
+  /// context if a fault tore it down, then injects the contribution.
+  virtual void begin(std::uint64_t seq, Op op, BytesView own) = 0;
+
+  /// Blocks until the NIC completion upcall for `seq` delivers the combined
+  /// result (empty for barrier), or nullopt after the offload timeout.
+  virtual std::optional<Bytes> await(std::uint64_t seq) = 0;
+
+  /// Abandons `seq` after a timeout: partial NIC accumulations for it are
+  /// dropped and late cells/completions must not surface (the
+  /// double-contribution guard), and the context is torn down for re-arm.
+  virtual void abort(std::uint64_t seq) = 0;
+
+  /// Fetches `rank`'s original contribution for `seq` over the reliable
+  /// message plane — the fallback's input. Blocks until served (the remote
+  /// side parks the request if it has not reached begin(seq) yet).
+  virtual Bytes fetch(std::uint64_t seq, int rank) = 0;
+};
+
+}  // namespace ncs::coll

@@ -24,6 +24,7 @@ const char* to_string(Algorithm a) {
     case Algorithm::dissemination: return "dissemination";
     case Algorithm::recursive_doubling: return "recursive_doubling";
     case Algorithm::ring: return "ring";
+    case Algorithm::nic_offload: return "nic_offload";
   }
   return "?";
 }
@@ -35,11 +36,12 @@ bool implements(Op op, Algorithm a) {
     case Op::gather:
     case Op::scatter:
     case Op::reduce:
-      return a == Algorithm::binomial_tree;
+      return a == Algorithm::binomial_tree || (op == Op::bcast && a == Algorithm::nic_offload);
     case Op::barrier:
-      return a == Algorithm::dissemination;
+      return a == Algorithm::dissemination || a == Algorithm::nic_offload;
     case Op::allreduce:
-      return a == Algorithm::recursive_doubling || a == Algorithm::ring;
+      return a == Algorithm::recursive_doubling || a == Algorithm::ring ||
+             a == Algorithm::nic_offload;
     case Op::allgather:
     case Op::reduce_scatter:
       return a == Algorithm::ring;
@@ -50,6 +52,14 @@ bool implements(Op op, Algorithm a) {
 namespace {
 
 Algorithm table(Op op, int n_procs, std::size_t bytes, const Params& p) {
+  // The NIC-offload family preempts the host table. bcast must decide
+  // independently of `bytes`: only the root knows the payload size, so a
+  // size-dependent rule would diverge across ranks (the payload size is
+  // negotiated in-band by the offloaded flag round instead).
+  if (p.nic_offload && n_procs >= p.offload_min_procs) {
+    if (op == Op::barrier || op == Op::bcast) return Algorithm::nic_offload;
+    if (op == Op::allreduce && bytes <= p.offload_max_bytes) return Algorithm::nic_offload;
+  }
   if (n_procs < p.tree_min_procs) return Algorithm::flat;
   switch (op) {
     case Op::bcast:

@@ -47,6 +47,8 @@ enum class Algorithm : std::uint8_t {
   dissemination,
   recursive_doubling,
   ring,
+  nic_offload,  // adapter-resident combine/forward tree (atm/nic_coll):
+                // barrier, root-0 bcast, small allreduce
 };
 
 const char* to_string(Op op);
@@ -66,6 +68,34 @@ struct Params {
   /// bytes so a segment's tail serializes while its head is already on
   /// the wire (rounded to whole doubles; 0 = no chunking).
   std::size_t ring_chunk_bytes = 8 * 1024;
+
+  /// NIC-offloaded combine/forward family (cluster wiring attaches the
+  /// OffloadPort when this is set; without a port the table is used).
+  /// Participation must be decided from these fields alone — every rank
+  /// has to reach the same offload-or-host decision — so the thresholds
+  /// below gate on group size and payload size only.
+  bool nic_offload = false;
+
+  /// Offloaded barrier/bcast take over at or above this group size (the
+  /// measured LAN crossover vs dissemination/binomial_tree; see
+  /// bench/nic_coll_sweep — the adapter tree wins from P=4 up, the default
+  /// stays conservative for mixed workloads).
+  int offload_min_procs = 4;
+
+  /// Allreduce payloads at or below this combine inline in firmware;
+  /// larger payloads stay on the host algorithms (measured crossover:
+  /// firmware folding wins while the whole vector fits a handful of
+  /// cells; past ~2 KiB recursive doubling's pipelining takes over).
+  std::size_t offload_max_bytes = 2048;
+
+  /// Radix of the adapter combine tree (rooted at rank 0).
+  int offload_radix = 2;
+
+  /// Host-side wait bound for an offloaded operation before it aborts the
+  /// NIC state and falls back to fetching original contributions over the
+  /// reliable plane. Only fires under faults; must comfortably exceed a
+  /// healthy WAN combine round-trip.
+  std::int64_t offload_timeout_us = 50'000;
 
   /// Per-op forced algorithm; `automatic` defers to the table above.
   /// An op forced to an algorithm that cannot implement it falls back to

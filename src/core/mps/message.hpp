@@ -27,6 +27,13 @@ inline constexpr int kCollectiveThread = -3;
 /// into ordinary messages by the receiving node's ProtoEngine before any
 /// mailbox pattern ever sees them.
 inline constexpr int kProtoThread = -4;
+/// Endpoints of the NIC-offload collective fallback plane
+/// (mps/coll_offload.hpp): contribution-fetch requests land on the
+/// server endpoint of the serving node; replies land on the requester
+/// endpoint. Reserved so fallback traffic can never match an application
+/// wildcard receive or the collective plane itself.
+inline constexpr int kCollFetchThread = -5;
+inline constexpr int kCollFetchReplyThread = -6;
 
 struct Endpoint {
   int process = 0;

@@ -273,6 +273,8 @@ void Node::barrier() {
   coll_->barrier();
 }
 
+void Node::set_coll_offload(coll::OffloadPort* port) { coll_->set_offload(port); }
+
 void Node::collective_send(int to_process, BytesView data, bool wait) {
   NCS_ASSERT(to_process >= 0 && to_process < n_procs_);
   Message msg{rank_, kCollectiveThread, to_process, kCollectiveThread,
@@ -291,6 +293,13 @@ void Node::collective_send(int to_process, BytesView data, bool wait) {
 }
 
 Bytes Node::collective_recv(int from_process) {
+  // Same on-demand progress pull as NCS_recv: without it a collective
+  // blocked on its peer's token under ProgressModel::on_demand leaves the
+  // send/receive planes stranded on an idle core — the multi-core audit
+  // found collectives were the one blocking receive path missing the hint.
+  // A no-op on one core or under dedicated-core progress, so single-core
+  // digests are unchanged.
+  host_.progress_hint();
   const TimePoint wait_began = host_.engine().now();
   Message msg =
       recv_matching(Pattern{kCollectiveThread, from_process, kCollectiveThread, rank_});

@@ -35,6 +35,7 @@
 
 namespace ncs::coll {
 class Engine;
+class OffloadPort;
 }
 
 namespace ncs::rma {
@@ -157,6 +158,11 @@ class Node {
 
   /// The collective engine (algorithm_for introspection, Params).
   coll::Engine& coll() { return *coll_; }
+
+  /// Attaches the NIC-offload port (must be uniform across the group —
+  /// see coll::Engine::set_offload). The port's lifetime is the caller's
+  /// problem; the cluster harness owns one per node.
+  void set_coll_offload(coll::OffloadPort* port);
 
   // --- one-sided plane (src/rma; optional, attached by the harness) ---
 

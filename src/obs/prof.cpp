@@ -27,6 +27,7 @@ const char* to_string(Layer l) {
     case Layer::coll: return "coll";
     case Layer::proto: return "proto";
     case Layer::rma: return "rma";
+    case Layer::nic_coll: return "nic_coll";
   }
   return "?";
 }

@@ -70,8 +70,10 @@ enum class Layer : std::uint8_t {
                     // rendezvous RTS->CTS handshake waits (mps/proto.hpp)
   rma,              // one-sided operation latency (post -> completion, all
                     // kinds; per-kind split lives in the "rma" section)
+  nic_coll,         // NIC-offloaded collective firmware stages: per-hop
+                    // combine and forward time on the i960 (atm/nic_coll)
 };
-inline constexpr int kLayerCount = static_cast<int>(Layer::rma) + 1;
+inline constexpr int kLayerCount = static_cast<int>(Layer::nic_coll) + 1;
 
 const char* to_string(Layer l);
 

@@ -242,10 +242,10 @@ TEST(AtmMultiWan, SparseProvisioningBoundsTheLabelSpace) {
   // vast majority are intra-site. Hop 0 carries 15->16 rightward, 16->15
   // leftward, plus the 63->0 wraparound transit (leftward through every
   // hop) and 0->63 (rightward through every hop) — each crossing takes one
-  // data-plane label and one RMA-plane label.
+  // label per plane (data, RMA, collective).
   for (int h = 0; h < 3; ++h) {
-    EXPECT_LE(wan.labels_used(h, /*rightward=*/true), 4) << "hop " << h;
-    EXPECT_LE(wan.labels_used(h, /*rightward=*/false), 4) << "hop " << h;
+    EXPECT_LE(wan.labels_used(h, /*rightward=*/true), 6) << "hop " << h;
+    EXPECT_LE(wan.labels_used(h, /*rightward=*/false), 6) << "hop " << h;
   }
 
   std::vector<Delivery> rx;

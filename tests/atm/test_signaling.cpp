@@ -259,6 +259,38 @@ TEST_F(SignalingFixture, PortFailureReleasesCallsAndRecoveredPortCarriesNewSvc) 
   EXPECT_EQ(lan->fabric().stats().unroutable, unroutable_before + 1);
 }
 
+// --- dynamic-label space vs. the reserved planes ---------------------------
+
+TEST_F(SignalingFixture, DynamicVciStopsBelowTheCollectivePlane) {
+  // The last legal dynamic labels are kCollVciBase - 2 and - 1 (a call
+  // takes one per direction); the allocator must hand them out rather than
+  // hoard them.
+  controller->set_next_vci_for_test(kCollVciBase - 2);
+  std::optional<VcId> vc;
+  controller->agent(1);
+  controller->agent(0).open_call(1, [&](Result<VcId> r) { vc = r.value(); });
+  engine.run();
+  ASSERT_TRUE(vc.has_value());
+  EXPECT_EQ(vc->vci, kCollVciBase - 2);
+}
+
+using SignalingDeathTest = SignalingFixture;
+
+TEST_F(SignalingDeathTest, ExhaustedDynamicVciDiesInsteadOfSplicingIntoCollPlane) {
+  // Regression: the guard used to assert against kRmaVciBase only, so a
+  // long-lived SVC workload could allocate straight through
+  // [kCollVciBase, kRmaVciBase) and splice calls into the firmware
+  // combine contexts. Exhaustion must die loudly at the *collective* base.
+  controller->set_next_vci_for_test(kCollVciBase);
+  controller->agent(1);
+  EXPECT_DEATH(
+      {
+        controller->agent(0).open_call(1, [](Result<VcId>) {});
+        engine.run();
+      },
+      "dynamic VCI space exhausted");
+}
+
 // --- WAN (two-site) signaling --------------------------------------------------
 
 struct WanSignalingFixture : ::testing::Test {

@@ -76,5 +76,29 @@ TEST(CollChaos, RingAllreduceBitIdenticalUnderBackboneLoss) {
   EXPECT_LT(baseline.elapsed, faulted.elapsed);
 }
 
+// Multi-core audit regression: the collective plane's blocking receive
+// must pull a progress hint like every other blocking receive, or under
+// ProgressModel::on_demand the system threads that move collective traffic
+// can sit unmigrated while every core runs user compute. The digest must
+// not depend on how many cores a host has — and with one core the hint is
+// a no-op, so the historical single-core digests are untouched.
+TEST(CollChaos, RingAllreduceDigestInvariantAcrossCoreCounts) {
+  constexpr int kProcs = 4;
+  constexpr std::size_t kN = 1024;
+
+  std::uint64_t expected = 0;
+  for (const int cores : {1, 2, 4}) {
+    ClusterConfig cfg = cluster::sun_atm_lan(kProcs);
+    cfg.cores = cores;
+    cfg.progress = mts::ProgressModel::on_demand;
+    const Outcome out = run_ring_allreduce(cfg, kProcs, kN);
+    if (cores == 1) {
+      expected = out.hash;
+    } else {
+      EXPECT_EQ(out.hash, expected) << cores << " cores";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ncs::coll

@@ -1,0 +1,203 @@
+// NIC-offloaded collectives at the cluster level: bit-identity against the
+// host algorithms, the abort-window double-contribution regression, and
+// fault-driven fallback/re-arm with the no-leaked-contexts census.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/drivers.hpp"
+#include "coll/algorithms.hpp"
+#include "coll/select.hpp"
+#include "core/mps/node.hpp"
+
+namespace ncs::coll {
+namespace {
+
+using namespace ncs::literals;
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using mps::Node;
+
+/// Irrational contributions: any fold-order deviation (a duplicate or a
+/// dropped contribution slipping through recovery) changes the bits.
+std::vector<double> contribution(int rank, std::size_t n) {
+  std::vector<double> mine(n);
+  for (std::size_t i = 0; i < n; ++i)
+    mine[i] = std::sin(static_cast<double>(rank + 1) * (static_cast<double>(i) + 0.5));
+  return mine;
+}
+
+/// Small-integer contributions: every partial sum is exactly representable,
+/// so the digest is fold-order independent — the one case where a NIC tree
+/// fold and a host recursive doubling must agree bit for bit.
+std::vector<double> integer_contribution(int rank, std::size_t n) {
+  std::vector<double> mine(n);
+  for (std::size_t i = 0; i < n; ++i)
+    mine[i] = static_cast<double>((static_cast<std::size_t>(rank + 1) * (i + 3)) % 97);
+  return mine;
+}
+
+struct Outcome {
+  std::uint64_t hash = 0;  // FNV-1a over every rank's results, in rank order
+  std::uint64_t fallbacks = 0;
+  std::uint64_t rearms = 0;
+  std::uint64_t nic_completions = 0;
+  std::uint64_t late_drops = 0;
+  std::size_t contexts_leaked = 0;
+  Duration elapsed;
+};
+
+/// Each rank runs `ops` rounds of allreduce+bcast with a barrier between
+/// rounds; the digest covers every rank's allreduce results and received
+/// bcast payloads.
+Outcome run_mixed_collectives(ClusterConfig cfg, int procs, std::size_t n, int ops,
+                              bool integer_inputs = false) {
+  Cluster c(std::move(cfg));
+  c.init_ncs_hsm();
+
+  std::vector<std::vector<double>> sums(static_cast<std::size_t>(procs));
+  std::vector<Bytes> casts(static_cast<std::size_t>(procs));
+  const Duration elapsed = c.run([&](int rank) {
+    Node& node = c.node(rank);
+    const int t = node.t_create([&, rank] {
+      const std::vector<double> mine =
+          integer_inputs ? integer_contribution(rank, n) : contribution(rank, n);
+      for (int op = 0; op < ops; ++op) {
+        std::vector<double> s = node.allreduce_sum(mine);
+        for (double v : s) sums[static_cast<std::size_t>(rank)].push_back(v);
+        const Bytes payload =
+            rank == 0 ? pack_doubles(s) : Bytes{};
+        Bytes got = node.bcast(0, payload);
+        append(casts[static_cast<std::size_t>(rank)], got);
+        node.barrier();
+      }
+    });
+    node.host().join(node.user_thread(t));
+  });
+
+  Outcome out;
+  out.elapsed = elapsed;
+  out.hash = 0xCBF29CE484222325ull;
+  for (const auto& s : sums)
+    out.hash = cluster::fnv1a(s.data(), s.size() * sizeof(double), out.hash);
+  for (const auto& b : casts) out.hash = cluster::fnv1a(b.data(), b.size(), out.hash);
+  if (c.has_coll_offload()) {
+    for (int r = 0; r < procs; ++r) {
+      out.fallbacks += c.coll_port(r).stats().fallbacks;
+      out.rearms += c.coll_port(r).stats().rearms;
+      out.nic_completions += c.coll_port(r).engine().stats().completions;
+      out.late_drops += c.coll_port(r).engine().stats().late_drops;
+      out.contexts_leaked += c.coll_port(r).engine().pending_ops();
+    }
+  }
+  return out;
+}
+
+TEST(CollOffload, OffloadedResultsBitIdenticalToHostAlgorithms) {
+  constexpr int kProcs = 8;
+  constexpr std::size_t kN = 32;  // 256 B: inside the offload size window
+
+  // Integer inputs: host recursive doubling and the NIC tree fold sum in
+  // different orders, and only exactly-representable sums let results be
+  // compared bit for bit across *algorithms*. (Offload-vs-fallback
+  // identity, which holds for any doubles, is the fault tests' job.)
+  ClusterConfig host_cfg = cluster::sun_atm_lan(kProcs);
+  const Outcome host = run_mixed_collectives(host_cfg, kProcs, kN, 3, true);
+
+  ClusterConfig off_cfg = cluster::sun_atm_lan(kProcs);
+  off_cfg.ncs.coll.nic_offload = true;
+  const Outcome offloaded = run_mixed_collectives(off_cfg, kProcs, kN, 3, true);
+
+  // The offload path really ran (NIC completions on every rank, no
+  // fallback), finished every operation, and produced the same bits the
+  // host algorithms produce.
+  EXPECT_GT(offloaded.nic_completions, 0u);
+  EXPECT_EQ(offloaded.fallbacks, 0u);
+  EXPECT_EQ(offloaded.contexts_leaked, 0u);
+  EXPECT_EQ(offloaded.hash, host.hash);
+}
+
+TEST(CollOffload, OffloadedBarrierIsFasterThanHostBarrierAtScale) {
+  constexpr int kProcs = 16;
+  auto barrier_time = [](bool offload) {
+    ClusterConfig cfg = cluster::sun_atm_lan(kProcs);
+    cfg.ncs.coll.nic_offload = offload;
+    Cluster c(std::move(cfg));
+    c.init_ncs_hsm();
+    return c.run([&](int rank) {
+      Node& node = c.node(rank);
+      const int t = node.t_create([&] {
+        for (int i = 0; i < 8; ++i) node.barrier();
+      });
+      node.host().join(node.user_thread(t));
+    });
+  };
+  const Duration host = barrier_time(false);
+  const Duration nic = barrier_time(true);
+  EXPECT_LT(nic, host);  // the tentpole's headline claim at P = 16
+}
+
+// Satellite regression: a fault strands offloaded operations mid-flight;
+// every rank times out, aborts the NIC state, and restarts on the host
+// fallback. The partial NIC accumulations from before the abort must not
+// double-contribute — the digest across the abort window must equal the
+// fault-free offloaded digest bit for bit.
+TEST(CollOffload, AbortWindowFallbackIsBitIdenticalAndLeaksNothing) {
+  constexpr int kProcs = 4;
+  constexpr std::size_t kN = 32;
+  constexpr int kOps = 6;
+
+  ClusterConfig clean = cluster::nynet_wan(kProcs);
+  clean.ncs.coll.nic_offload = true;
+  clean.ncs.error = {.kind = mps::ErrorControlKind::retransmit, .rto = 50_ms};
+  const Outcome baseline = run_mixed_collectives(clean, kProcs, kN, kOps);
+  EXPECT_EQ(baseline.fallbacks, 0u);
+
+  ClusterConfig faulty = cluster::nynet_wan(kProcs);
+  faulty.ncs.coll.nic_offload = true;
+  faulty.ncs.error = {.kind = mps::ErrorControlKind::retransmit, .rto = 50_ms};
+  // The SONET hop dies mid-collective: firmware contributions crossing the
+  // backbone are lost (no retransmission on the offload plane), so the
+  // stranded ranks must take the abort -> fetch -> refold path, whose
+  // fetches ride the retransmitting message plane.
+  faulty.faults.link_down("sonet", TimePoint::origin() + 1_ms, 120_ms);
+  const Outcome faulted = run_mixed_collectives(faulty, kProcs, kN, kOps);
+
+  EXPECT_GT(faulted.fallbacks, 0u);       // the fault actually bit
+  EXPECT_GT(faulted.rearms, static_cast<std::uint64_t>(kProcs));  // re-armed after teardown
+  EXPECT_EQ(faulted.contexts_leaked, 0u);  // census: nothing left open
+  EXPECT_EQ(faulted.hash, baseline.hash);  // bit-identical, only later
+  EXPECT_LT(baseline.elapsed, faulted.elapsed);
+}
+
+// The offload decision is config-only: ranks never consult live NIC state,
+// so a faulted run keeps burning the same sequence numbers on every rank
+// and converges back to the NIC path after re-arm.
+TEST(CollOffload, SwitchFaultMidRunRecoversBackToTheNicPath) {
+  constexpr int kProcs = 8;
+  constexpr std::size_t kN = 16;
+  constexpr int kOps = 8;
+
+  ClusterConfig clean = cluster::sun_atm_lan(kProcs);
+  clean.ncs.coll.nic_offload = true;
+  clean.ncs.error = {.kind = mps::ErrorControlKind::retransmit, .rto = 50_ms};
+  const Outcome baseline = run_mixed_collectives(clean, kProcs, kN, kOps);
+
+  ClusterConfig faulty = cluster::sun_atm_lan(kProcs);
+  faulty.ncs.coll.nic_offload = true;
+  faulty.ncs.error = {.kind = mps::ErrorControlKind::retransmit, .rto = 50_ms};
+  // Port 3 of the LAN switch flaps mid-barrier: rank 3's contributions and
+  // its downstream results are dropped at the fabric for the window.
+  faulty.faults.port_down("lan-switch", 3, TimePoint::origin() + 500_us, 60_ms);
+  const Outcome faulted = run_mixed_collectives(faulty, kProcs, kN, kOps);
+
+  EXPECT_GT(faulted.fallbacks, 0u);
+  EXPECT_GT(faulted.nic_completions, 0u);  // came back to the NIC after re-arm
+  EXPECT_EQ(faulted.contexts_leaked, 0u);
+  EXPECT_EQ(faulted.hash, baseline.hash);
+}
+
+}  // namespace
+}  // namespace ncs::coll

@@ -46,6 +46,26 @@ TEST(Select, ThresholdsComeFromParams) {
   EXPECT_EQ(select(Op::allreduce, 8, 1, p), Algorithm::ring);
 }
 
+TEST(Select, NicOffloadPreemptsTheHostTableInsideItsWindow) {
+  Params p;
+  p.nic_offload = true;
+  // Barrier and bcast offload independent of size (for bcast only the root
+  // knows the payload size, so the decision cannot depend on it).
+  EXPECT_EQ(select(Op::barrier, p.offload_min_procs, 0, p), Algorithm::nic_offload);
+  EXPECT_EQ(select(Op::bcast, 16, 1 << 20, p), Algorithm::nic_offload);
+  // Allreduce offloads up to the size crossover, inclusive.
+  EXPECT_EQ(select(Op::allreduce, 16, p.offload_max_bytes, p), Algorithm::nic_offload);
+  EXPECT_EQ(select(Op::allreduce, 16, p.offload_max_bytes + 1, p),
+            Algorithm::recursive_doubling);
+  // Below the group-size floor the host table answers.
+  EXPECT_EQ(select(Op::barrier, p.offload_min_procs - 1, 0, p), Algorithm::flat);
+  // Off by default: the host table is untouched.
+  EXPECT_EQ(select(Op::barrier, 16, 0, Params{}), Algorithm::dissemination);
+  // Ops the firmware has no context kind for never offload.
+  EXPECT_EQ(select(Op::gather, 16, 64, p), Algorithm::binomial_tree);
+  EXPECT_EQ(select(Op::allgather, 16, 64, p), Algorithm::ring);
+}
+
 TEST(Select, ForcedAlgorithmWinsWhenItImplementsTheOp) {
   Params p;
   p.set_force(Op::bcast, Algorithm::flat);
